@@ -1,0 +1,98 @@
+// Ablation study (DESIGN.md): how much each engine optimization contributes. The monitored
+// NameNode workload from T4 (namespace ops + metaprogrammed tracing with count rollups) is
+// replayed with individual optimizations disabled:
+//
+//   A. full engine            — incremental aggregates + version skip + index catch-up
+//   B. no incremental aggs    — rollups recompute from scratch whenever inputs change
+//   C. no version skip        — every aggregate recomputes every tick, changed or not
+//   D. no index catch-up      — any table change rebuilds dependent indexes in full
+//
+// B, C, and D each turn an O(delta) mechanism back into an O(state) one, so their cost grows
+// with the run; the full engine's cost stays flat. This is the engineering lesson the JOL
+// lineage encodes: declarative runtimes need incremental view maintenance to be viable.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/logging.h"
+#include "src/boomfs/nn_program.h"
+#include "src/monitor/meta.h"
+#include "src/overlog/engine.h"
+#include "src/overlog/parser.h"
+
+namespace boom {
+namespace {
+
+constexpr int kOps = 1200;
+
+double RunConfig(bool incremental_aggs, bool version_skip, bool index_catchup) {
+  Table::SetDisableIndexCatchupForBenchmarks(!index_catchup);
+  EngineOptions opts;
+  opts.address = "nn";
+  opts.disable_incremental_aggregates = !incremental_aggs;
+  opts.disable_aggregate_version_skip = !version_skip;
+  Engine engine(opts);
+  BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
+  Result<Program> parsed = ParseProgram(BoomFsNnProgram());
+  BOOM_CHECK(parsed.ok());
+  TracingOptions trace_opts;
+  trace_opts.tables = {"file", "fqpath", "ns_request"};
+  BOOM_CHECK(engine.Install(MakeTracingProgram(*parsed, trace_opts)).ok());
+
+  engine.Tick(0);
+  double now = 1;
+  auto op = [&engine, &now](int64_t id, const std::string& cmd, const std::string& path) {
+    BOOM_CHECK(engine
+                   .Enqueue("ns_request", Tuple{Value("nn"), Value(id), Value("client"),
+                                                Value(cmd), Value(path), Value()})
+                   .ok());
+    engine.Tick(now);
+    engine.Tick(now);
+    now += 1;
+  };
+  for (int d = 0; d < 16; ++d) {
+    op(-d - 1, "mkdir", "/d" + std::to_string(d));
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    op(i, "create", "/d" + std::to_string(i % 16) + "/f" + std::to_string(i));
+  }
+  auto end = std::chrono::steady_clock::now();
+  BOOM_CHECK(engine.catalog().Get("file").size() == static_cast<size_t>(kOps) + 17);
+  Table::SetDisableIndexCatchupForBenchmarks(false);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+}  // namespace boom
+
+int main() {
+  using namespace boom;
+  PrintHeader("ablation", "engine incremental-maintenance mechanisms, one disabled at a time");
+  std::printf("%d monitored namespace ops (real wall-clock):\n\n", kOps);
+
+  struct Config {
+    const char* label;
+    bool inc_agg, version_skip, index_catchup;
+  };
+  const Config configs[] = {
+      {"A. full engine", true, true, true},
+      {"B. no incremental aggregates", false, true, true},
+      {"C. no aggregate version-skip", false, false, true},
+      {"D. no index catch-up", true, true, false},
+  };
+  double base = 0;
+  for (const Config& config : configs) {
+    double ms = RunConfig(config.inc_agg, config.version_skip, config.index_catchup);
+    if (base == 0) {
+      base = ms;
+    }
+    std::printf("  %-32s %10.1f ms   %8.0f ops/s   %6.2fx vs full\n", config.label, ms,
+                kOps / (ms / 1000.0), ms / base);
+  }
+  std::printf(
+      "\nReading: each disabled mechanism re-introduces an O(state)-per-op cost, so its\n"
+      "slowdown grows with the run length (double kOps and the ratios roughly double).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared output helpers for the figure/table benchmarks. Each bench binary prints the rows
+// or series of the corresponding paper artifact; these helpers keep the format uniform.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace boom {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+// Prints a CDF as `fraction value` pairs sampled at ~20 quantiles (enough to re-plot).
+inline void PrintCdfSeries(const std::string& label, const std::vector<double>& samples) {
+  std::printf("# CDF %s (n=%zu)  [fraction  value_ms]\n", label.c_str(), samples.size());
+  if (samples.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  for (int q = 5; q <= 100; q += 5) {
+    std::printf("  %.2f  %.1f\n", q / 100.0, Percentile(samples, q));
+  }
+}
+
+inline void PrintSummaryRow(const std::string& label, const std::vector<double>& samples) {
+  Summary s = Summarize(samples);
+  std::printf("  %-28s n=%-5zu p25=%-8.1f p50=%-8.1f p75=%-8.1f p90=%-8.1f p99=%-8.1f max=%-8.1f\n",
+              label.c_str(), s.n, s.p25, s.p50, s.p75, s.p90, s.p99, s.max);
+}
+
+}  // namespace boom
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,140 @@
+// F1 / F2 — CDFs of map and reduce task completion times for the four stack combinations
+// {Hadoop, BOOM-MR} x {HDFS, BOOM-FS} (the paper's main performance figures).
+//
+// The paper ran wordcount on 101 EC2 nodes and found all four CDFs roughly comparable, with
+// the BOOM variants slightly slower. Here the cluster is simulated; what distinguishes the
+// combinations is *measured reality*: we first measure the real wall-clock cost of a
+// namespace/scheduler operation on the Overlog engine vs the imperative baseline (a pilot
+// run), then use those costs as the simulated service times of the JobTracker and as the
+// per-task metadata overhead contributed by the file system. Task durations are lognormal
+// (median 8s maps / 12s reduces), one map per input chunk, as in a wordcount job.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/boomfs/boomfs.h"
+#include "src/boommr/boommr.h"
+#include "src/workload/workload.h"
+
+namespace boom {
+namespace {
+
+// Measures real wall-clock ms per namespace op for one NameNode implementation by running a
+// pilot simulated FS and timing the whole loop.
+double MeasureNsOpMs(FsKind kind) {
+  Cluster cluster(555);
+  FsSetupOptions opts;
+  opts.kind = kind;
+  opts.num_datanodes = 3;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client);
+  cluster.RunUntil(1200);
+  constexpr int kOps = 400;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    fs.Mkdir("/p" + std::to_string(i));
+  }
+  auto end = std::chrono::steady_clock::now();
+  double total_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return total_ms / kOps;
+}
+
+struct ComboResult {
+  std::string label;
+  std::vector<double> map_times;
+  std::vector<double> reduce_times;
+  double job_time = 0;
+};
+
+ComboResult RunCombo(MrKind mr_kind, FsKind fs_kind, double mr_service_ms,
+                     double fs_op_ms) {
+  ComboResult result;
+  result.label = std::string(MrKindName(mr_kind)) + "/" + FsKindName(fs_kind);
+
+  Cluster cluster(99101);
+  MrSetupOptions opts;
+  opts.kind = mr_kind;
+  opts.num_trackers = 20;
+  opts.map_slots = 2;
+  opts.reduce_slots = 2;
+  opts.heartbeat_period_ms = 500;
+  MrHandles handles = SetupMr(cluster, opts);
+  // The JobTracker is a busy server: every heartbeat/progress/completion message costs the
+  // measured per-op service time of its implementation.
+  cluster.SetServiceTime(handles.jobtracker,
+                         [mr_service_ms](const Message&) { return mr_service_ms; });
+
+  JobDurationModel model;
+  model.map_median_ms = 8000;
+  model.reduce_median_ms = 12000;
+  // Each task performs ~3 namespace round-trips against the FS under test (locate chunks,
+  // open, report), so the FS choice shifts every task by a small constant.
+  model.fs_overhead_ms = 3 * (2 * 0.7 + fs_op_ms);
+
+  JobSpec spec;
+  spec.job_id = handles.client->NextJobId();
+  spec.client = handles.client->address();
+  spec.num_maps = 160;
+  spec.num_reduces = 20;
+  spec.duration_ms = MakeDurationFn(model);
+  int64_t job_id = spec.job_id;
+  double finish = RunJobSync(cluster, handles, std::move(spec), 3600000);
+  result.job_time = finish - handles.data_plane->metrics().job_submit_ms[job_id];
+  result.map_times = handles.data_plane->metrics().TaskCompletionTimes(/*maps=*/true);
+  result.reduce_times = handles.data_plane->metrics().TaskCompletionTimes(/*maps=*/false);
+  return result;
+}
+
+}  // namespace
+}  // namespace boom
+
+int main() {
+  using namespace boom;
+  PrintHeader("F1/F2", "map & reduce completion CDFs, {Hadoop,BOOM-MR} x {HDFS,BOOM-FS}");
+
+  double boom_op = MeasureNsOpMs(FsKind::kBoomFs);
+  double hdfs_op = MeasureNsOpMs(FsKind::kHdfsBaseline);
+  std::printf("measured per-op cost (real wall-clock, used as simulated service time):\n");
+  std::printf("  Overlog engine  : %.3f ms/op\n", boom_op);
+  std::printf("  imperative C++  : %.3f ms/op  (ratio %.1fx)\n\n", hdfs_op,
+              boom_op / std::max(1e-6, hdfs_op));
+
+  struct Combo {
+    MrKind mr;
+    FsKind fs;
+  };
+  const Combo combos[] = {
+      {MrKind::kHadoopBaseline, FsKind::kHdfsBaseline},
+      {MrKind::kHadoopBaseline, FsKind::kBoomFs},
+      {MrKind::kBoomMr, FsKind::kHdfsBaseline},
+      {MrKind::kBoomMr, FsKind::kBoomFs},
+  };
+  std::vector<ComboResult> results;
+  for (const Combo& combo : combos) {
+    double mr_service = combo.mr == MrKind::kBoomMr ? boom_op : hdfs_op;
+    double fs_op = combo.fs == FsKind::kBoomFs ? boom_op : hdfs_op;
+    results.push_back(RunCombo(combo.mr, combo.fs, mr_service, fs_op));
+  }
+
+  std::printf("--- Figure 1: map task completion time (ms since job submission) ---\n");
+  for (const ComboResult& r : results) {
+    PrintCdfSeries(r.label + " (map)", r.map_times);
+  }
+  std::printf("\n--- Figure 2: reduce task completion time ---\n");
+  for (const ComboResult& r : results) {
+    PrintCdfSeries(r.label + " (reduce)", r.reduce_times);
+  }
+  std::printf("\n--- summary (job completion) ---\n");
+  for (const ComboResult& r : results) {
+    std::printf("  %-22s job=%0.1f ms  maps p50=%.0f p90=%.0f  reduces p50=%.0f p90=%.0f\n",
+                r.label.c_str(), r.job_time, Percentile(r.map_times, 50),
+                Percentile(r.map_times, 90), Percentile(r.reduce_times, 50),
+                Percentile(r.reduce_times, 90));
+  }
+  std::printf(
+      "\nShape check vs paper: the four CDFs should nearly overlap, with the BOOM variants\n"
+      "shifted slightly right (the declarative control plane costs more per message but the\n"
+      "job is dominated by task execution).\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Engine microbenchmarks (google-benchmark): not a paper figure, but the calibration data
+// behind the simulated service times used in the cluster figures, and a regression guard
+// for the Overlog runtime itself.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/logging.h"
+
+#include "src/boomfs/nn_program.h"
+#include "src/overlog/engine.h"
+#include "src/overlog/parser.h"
+#include "src/paxos/paxos_program.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+namespace {
+
+void BM_TupleHashEquality(benchmark::State& state) {
+  Tuple a{Value(42), Value("some/path/name"), Value(3.5)};
+  Tuple b{Value(42), Value("some/path/name"), Value(3.5)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+    benchmark::DoNotOptimize(a.hash());
+  }
+}
+BENCHMARK(BM_TupleHashEquality);
+
+void BM_TableInsert(benchmark::State& state) {
+  TableDef def;
+  def.name = "t";
+  def.columns = {"A", "B", "C"};
+  def.key_columns = {0};
+  int64_t i = 0;
+  Table table(def);
+  for (auto _ : state) {
+    table.Insert(Tuple{Value(i++), Value("payload"), Value(i * 2)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableInsert);
+
+void BM_IndexProbe(benchmark::State& state) {
+  TableDef def;
+  def.name = "t";
+  def.columns = {"A", "B"};
+  def.key_columns = {0};
+  Table table(def);
+  for (int64_t i = 0; i < 10000; ++i) {
+    table.Insert(Tuple{Value(i), Value(i % 100)});
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Probe({1}, Tuple{Value(probe++ % 100)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexProbe);
+
+void BM_ParseNameNodeProgram(benchmark::State& state) {
+  std::string source = BoomFsNnProgram();
+  for (auto _ : state) {
+    Result<Program> p = ParseProgram(source);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_ParseNameNodeProgram);
+
+void BM_TransitiveClosureFixpoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    EngineOptions opts;
+    opts.address = "n";
+    Engine engine(opts);
+    Status s = engine.InstallSource(R"(
+      program tc;
+      table link(X, Y);
+      table reach(X, Y);
+      r1 reach(X, Y) :- link(X, Y);
+      r2 reach(X, Z) :- link(X, Y), reach(Y, Z);
+    )");
+    BOOM_CHECK(s.ok());
+    for (int i = 0; i < n; ++i) {
+      BOOM_CHECK(engine.Enqueue("link", Tuple{Value(i), Value(i + 1)}).ok());
+    }
+    state.ResumeTiming();
+    engine.Tick(0);
+    benchmark::DoNotOptimize(engine.catalog().Get("reach").size());
+  }
+  state.SetLabel("chain length " + std::to_string(n));
+}
+BENCHMARK(BM_TransitiveClosureFixpoint)->Arg(32)->Arg(128);
+
+void BM_NamespaceOp(benchmark::State& state) {
+  EngineOptions opts;
+  opts.address = "nn";
+  Engine engine(opts);
+  BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
+  engine.Tick(0);
+  BOOM_CHECK(engine
+                 .Enqueue("ns_request", Tuple{Value("nn"), Value(0), Value("c"),
+                                              Value("mkdir"), Value("/base"), Value()})
+                 .ok());
+  engine.Tick(1);
+  engine.Tick(1);
+  int64_t i = 1;
+  double now = 2;
+  for (auto _ : state) {
+    BOOM_CHECK(engine
+                   .Enqueue("ns_request",
+                            Tuple{Value("nn"), Value(i), Value("c"), Value("create"),
+                                  Value("/base/f" + std::to_string(i)), Value()})
+                   .ok());
+    engine.Tick(now);
+    engine.Tick(now);
+    ++i;
+    now += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NamespaceOp);
+
+void BM_PaxosDecree(benchmark::State& state) {
+  Cluster cluster(11);
+  std::vector<std::string> peers = {"p0", "p1", "p2"};
+  for (int i = 0; i < 3; ++i) {
+    PaxosProgramOptions popts;
+    popts.peers = peers;
+    popts.my_index = i;
+    std::string source = PaxosProgram(popts);
+    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [source](Engine& engine) {
+      BOOM_CHECK(engine.InstallSource(source).ok());
+    });
+  }
+  cluster.RunUntil(2000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    cluster.Send("p0", "p0", "px_request",
+                 Tuple{Value("p0"), Value("cmd" + std::to_string(i++))});
+    size_t want = cluster.engine("p0")->catalog().Get("decided").size() + 1;
+    while (cluster.engine("p0")->catalog().Get("decided").size() < want) {
+      cluster.RunUntil(cluster.now() + 10);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("full decree incl. virtual network RTTs");
+}
+BENCHMARK(BM_PaxosDecree);
+
+}  // namespace
+}  // namespace boom
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// T1 / T2 — Code-size comparison (the paper's headline tables).
+//
+// The paper reports lines of Overlog vs lines of Java for each BOOM component and revision:
+// BOOM-FS's NameNode is a few hundred lines of rules vs ~21,700 lines of Java in HDFS, and
+// each major feature (Paxos availability, partitioning, monitoring) lands in tens of rules.
+// We regenerate the same table for this reproduction: every Overlog program is parsed and
+// counted (rules, tables, semicolon-free source lines), and the imperative C++ baselines
+// are counted from their sources.
+
+#include <cctype>
+#include <set>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/strings.h"
+#include "src/boomfs/ha.h"
+#include "src/boomfs/nn_program.h"
+#include "src/boommr/jt_program.h"
+#include "src/monitor/meta.h"
+#include "src/overlog/parser.h"
+#include "src/paxos/paxos_program.h"
+
+#ifndef BOOM_SOURCE_DIR
+#define BOOM_SOURCE_DIR "."
+#endif
+
+namespace boom {
+namespace {
+
+struct OlgStats {
+  size_t rules = 0;
+  size_t tables = 0;
+  size_t lines = 0;  // non-blank, non-comment source lines
+};
+
+size_t CountSourceLines(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  size_t n = 0;
+  bool in_block_comment = false;
+  while (std::getline(is, line)) {
+    std::string_view s = StripWhitespace(line);
+    if (in_block_comment) {
+      if (s.find("*/") != std::string_view::npos) {
+        in_block_comment = false;
+      }
+      continue;
+    }
+    if (s.empty() || s.substr(0, 2) == "//" || s.substr(0, 2) == "/*") {
+      if (s.substr(0, 2) == "/*" && s.find("*/") == std::string_view::npos) {
+        in_block_comment = true;
+      }
+      continue;
+    }
+    // Ignore the ///... separator banners.
+    if (s.find_first_not_of('/') == std::string_view::npos) {
+      continue;
+    }
+    ++n;
+  }
+  return n;
+}
+
+OlgStats AnalyzeOlg(const std::string& source,
+                    const std::set<std::string>& external_tables = {}) {
+  OlgStats stats;
+  stats.lines = CountSourceLines(source);
+  ParserOptions popts;
+  popts.known_tables = external_tables;
+  Result<Program> parsed = ParseProgram(source, popts);
+  if (parsed.ok()) {
+    stats.rules = parsed->rules.size();
+    stats.tables = parsed->tables.size();
+  } else {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.status().ToString().c_str());
+  }
+  return stats;
+}
+
+size_t CountCppLines(const std::vector<std::string>& relative_paths) {
+  size_t total = 0;
+  for (const std::string& rel : relative_paths) {
+    std::ifstream in(std::string(BOOM_SOURCE_DIR) + "/" + rel);
+    if (!in) {
+      std::fprintf(stderr, "missing source file %s\n", rel.c_str());
+      continue;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    total += CountSourceLines(buf.str());
+  }
+  return total;
+}
+
+void Row(const char* component, const OlgStats& olg, size_t cpp_lines,
+         const char* cpp_what) {
+  std::printf("  %-34s %6zu %8zu %8zu   %8zu  (%s)\n", component, olg.rules, olg.tables,
+              olg.lines, cpp_lines, cpp_what);
+}
+
+}  // namespace
+}  // namespace boom
+
+int main() {
+  using namespace boom;
+
+  PrintHeader("T1/T2", "code size: Overlog rules vs imperative C++ (paper Tables 1-2)");
+  std::printf("  %-34s %6s %8s %8s   %8s\n", "component", "rules", "tables", "olg-loc",
+              "c++-loc");
+
+  // --- BOOM-FS revisions ---
+  NnProgramOptions f1;
+  f1.with_failure_detector = false;
+  OlgStats fs_core = AnalyzeOlg(BoomFsNnProgram(f1));
+  size_t hdfs_loc = CountCppLines({"src/hdfs_baseline/namenode.cc",
+                                   "src/hdfs_baseline/namenode.h"});
+  Row("BOOM-FS NameNode (F1 core)", fs_core, hdfs_loc, "HDFS-baseline NameNode");
+
+  OlgStats fs_fd = AnalyzeOlg(BoomFsNnProgram());
+  Row("BOOM-FS + failure detector", fs_fd, hdfs_loc, "same baseline");
+
+  PaxosProgramOptions px;
+  px.peers = {"a", "b", "c"};
+  OlgStats paxos = AnalyzeOlg(PaxosProgram(px));
+  Row("Paxos (F2 availability)", paxos, 0, "no imperative twin: tested by property");
+
+  OlgStats bridge = AnalyzeOlg(HaBridgeProgram(),
+                               {"leader", "apply_cmd", "px_request", "ns_request"});
+  Row("HA bridge (F2 glue)", bridge, 0, "-");
+
+  std::printf("  %-34s %6s %8s %8s   %8zu  (client routing fn)\n",
+              "Partitioning (F3)", "0", "0", "0",
+              CountCppLines({"src/boomfs/partition.cc"}));
+
+  // --- BOOM-MR policies ---
+  JtProgramOptions fifo;
+  fifo.policy = MrPolicy::kFifo;
+  OlgStats jt_fifo = AnalyzeOlg(BoomMrJtProgram(fifo));
+  size_t hadoop_loc = CountCppLines({"src/mr_baseline/jobtracker.cc",
+                                     "src/mr_baseline/jobtracker.h"});
+  Row("BOOM-MR JobTracker (FIFO)", jt_fifo, hadoop_loc, "Hadoop-baseline JobTracker");
+
+  JtProgramOptions late;
+  late.policy = MrPolicy::kLate;
+  OlgStats jt_late = AnalyzeOlg(BoomMrJtProgram(late));
+  OlgStats late_only;
+  late_only.rules = jt_late.rules - jt_fifo.rules;
+  late_only.tables = jt_late.tables - jt_fifo.tables;
+  late_only.lines = jt_late.lines - jt_fifo.lines;
+  Row("  LATE policy delta", late_only, 0, "policy = data: swap the rule set");
+
+  // --- Monitoring (F4): rewrite output size for the FS program ---
+  Result<Program> fs_parsed = ParseProgram(BoomFsNnProgram());
+  if (fs_parsed.ok()) {
+    Program tracing = MakeTracingProgram(*fs_parsed);
+    OlgStats mon;
+    mon.rules = tracing.rules.size();
+    mon.tables = tracing.tables.size();
+    mon.lines = 0;  // generated mechanically, zero hand-written lines
+    Row("Monitoring (F4, generated)", mon, 0, "metaprogrammed from the FS program");
+  }
+
+  std::printf(
+      "\nShape check vs paper: the Overlog NameNode is ~%zu lines of rules against %zu"
+      "\nlines for the imperative twin of the *same* protocol (the paper compared against"
+      "\nproduction HDFS at ~21.7k lines); Paxos and LATE land in tens of rules each.\n",
+      fs_fd.lines, hdfs_loc);
+  return 0;
+}

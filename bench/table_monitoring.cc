@@ -1,0 +1,93 @@
+// T4 — Monitoring overhead (paper rev F4): real wall-clock cost of running the NameNode
+// program with metaprogrammed tracing rules and invariant checks installed, vs bare.
+//
+// This is a *real* measurement, not simulation: the same stream of namespace operations is
+// pushed through two engines and the elapsed time compared. The paper reports that
+// automatic tracing rewrites impose a modest constant overhead.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/logging.h"
+#include "src/boomfs/nn_program.h"
+#include "src/monitor/meta.h"
+#include "src/overlog/engine.h"
+#include "src/overlog/parser.h"
+
+namespace boom {
+namespace {
+
+constexpr int kOps = 1500;
+
+double RunOps(Engine& engine) {
+  engine.Tick(0);
+  double now = 1;
+  auto op = [&engine, &now](int64_t id, const std::string& cmd, const std::string& path) {
+    Status s = engine.Enqueue("ns_request", Tuple{Value("nn"), Value(id), Value("client"),
+                                                  Value(cmd), Value(path), Value()});
+    BOOM_CHECK(s.ok());
+    engine.Tick(now);
+    engine.Tick(now);  // second timestep applies the @next state update
+    now += 1;
+  };
+  // Directory skeleton (not timed).
+  for (int d = 0; d < 16; ++d) {
+    op(-d - 1, "mkdir", "/d" + std::to_string(d));
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    op(i, "create", "/d" + std::to_string(i % 16) + "/f" + std::to_string(i));
+  }
+  auto end = std::chrono::steady_clock::now();
+  // Every create must have succeeded (file table: 16 dirs + root + kOps files).
+  BOOM_CHECK(engine.catalog().Get("file").size() == static_cast<size_t>(kOps) + 17);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+}  // namespace boom
+
+int main() {
+  using namespace boom;
+  PrintHeader("T4", "monitoring overhead: metaprogrammed tracing + invariants vs bare");
+  std::printf("%d namespace ops through the real Overlog engine (wall-clock):\n\n", kOps);
+
+  EngineOptions opts;
+  opts.address = "nn";
+
+  // Bare NameNode.
+  Engine bare(opts);
+  BOOM_CHECK(bare.InstallSource(BoomFsNnProgram()).ok());
+  double bare_ms = RunOps(bare);
+
+  // NameNode + tracing of the core state tables + invariants.
+  Engine traced(opts);
+  BOOM_CHECK(traced.InstallSource(BoomFsNnProgram()).ok());
+  Result<Program> parsed = ParseProgram(BoomFsNnProgram());
+  BOOM_CHECK(parsed.ok());
+  TracingOptions trace_opts;
+  trace_opts.tables = {"file", "fqpath", "fchunk", "ns_request", "ns_response"};
+  Program tracing = MakeTracingProgram(*parsed, trace_opts);
+  BOOM_CHECK(traced.Install(tracing).ok());
+  std::vector<std::string> violations;
+  BOOM_CHECK(InstallInvariants(traced, BoomFsInvariantRules(3), &violations).ok());
+  double traced_ms = RunOps(traced);
+
+  double bare_rate = kOps / (bare_ms / 1000.0);
+  double traced_rate = kOps / (traced_ms / 1000.0);
+  std::printf("  %-34s %10.1f ms   %8.0f ops/s\n", "bare NameNode", bare_ms, bare_rate);
+  std::printf("  %-34s %10.1f ms   %8.0f ops/s\n", "with tracing + invariants", traced_ms,
+              traced_rate);
+  std::printf("  overhead: %.1f%%  (trace tables now hold %zu + %zu rows)\n",
+              (traced_ms / bare_ms - 1.0) * 100.0,
+              traced.catalog().Get("trace_file").size(),
+              traced.catalog().Get("trace_ns_request").size());
+  std::printf("  invariant violations observed: %zu (expected 0)\n", violations.size());
+  std::printf(
+      "\nShape check vs paper: tracing every state-table insertion and continuously\n"
+      "checking invariants costs a bounded constant factor, cheap enough to leave on — the\n"
+      "paper's argument that metaprogrammed monitoring is nearly free to *write* and\n"
+      "affordable to run.\n");
+  return 0;
+}

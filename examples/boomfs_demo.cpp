@@ -1,0 +1,71 @@
+// BOOM-FS demo: a simulated cluster with an Overlog NameNode, four DataNodes, and a client.
+// Builds a small directory tree, writes and reads real bytes through chunk pipelines, shows
+// replication, then deletes a file — narrating each step. Run it to watch an HDFS-workalike
+// whose entire metadata plane is the Datalog program in src/boomfs/nn_program.cc.
+
+#include <iostream>
+
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/protocol.h"
+
+using boom::Cluster;
+using boom::FsKind;
+using boom::SyncFs;
+using boom::Value;
+
+int main() {
+  Cluster cluster(42);
+  boom::FsSetupOptions options;
+  options.kind = FsKind::kBoomFs;
+  options.num_datanodes = 4;
+  options.replication_factor = 3;
+  options.chunk_size = 24;  // tiny chunks so a short file spans several
+  boom::FsHandles handles = SetupFs(cluster, options);
+  SyncFs fs(cluster, handles.client);
+
+  cluster.RunUntil(1200);  // let DataNodes register
+  std::cout << "cluster up: NameNode=" << handles.namenode << ", "
+            << handles.datanodes.size() << " DataNodes\n\n";
+
+  std::cout << "mkdir /users           -> " << (fs.Mkdir("/users") ? "ok" : "FAIL") << "\n";
+  std::cout << "mkdir /users/alice     -> " << (fs.Mkdir("/users/alice") ? "ok" : "FAIL")
+            << "\n";
+  std::cout << "mkdir /users/alice (2) -> "
+            << (fs.Mkdir("/users/alice") ? "ok" : "rejected (already exists)") << "\n\n";
+
+  const std::string payload =
+      "Declarative programming: the NameNode holding this file is a Datalog program.";
+  std::cout << "write /users/alice/notes.txt (" << payload.size() << " bytes, "
+            << options.chunk_size << "-byte chunks) -> "
+            << (fs.WriteFile("/users/alice/notes.txt", payload) ? "ok" : "FAIL") << "\n";
+
+  std::string read_back;
+  bool ok = fs.ReadFile("/users/alice/notes.txt", &read_back);
+  std::cout << "read it back            -> " << (ok && read_back == payload ? "ok" : "FAIL")
+            << "\n";
+
+  Value chunks;
+  fs.Op(boom::kCmdChunks, "/users/alice/notes.txt", &chunks);
+  std::cout << "file spans " << chunks.as_list().size() << " chunks\n\n";
+
+  std::vector<std::string> names;
+  fs.Ls("/users/alice", &names);
+  std::cout << "ls /users/alice:";
+  for (const std::string& name : names) {
+    std::cout << " " << name;
+  }
+  std::cout << "\n";
+
+  // Peek straight into the NameNode's relational state.
+  boom::Engine* nn = cluster.engine(handles.namenode);
+  std::cout << "\nNameNode metadata (the fqpath view, derived by a recursive rule):\n";
+  nn->catalog().Get("fqpath").ForEach([](const boom::Tuple& row) {
+    std::cout << "  fqpath" << row.ToString() << "\n";
+  });
+
+  std::cout << "\nrm /users/alice/notes.txt -> "
+            << (fs.Rm("/users/alice/notes.txt") ? "ok" : "FAIL") << "\n";
+  std::cout << "exists after rm           -> "
+            << (fs.Exists("/users/alice/notes.txt") ? "yes (FAIL)" : "no") << "\n";
+  return 0;
+}

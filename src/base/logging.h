@@ -1,0 +1,62 @@
+// Minimal leveled logging. Streams to stderr; level filtered by BOOM_LOG_LEVEL env var or
+// SetLogLevel(). Usage: BOOM_LOG(INFO) << "started " << n << " nodes";
+
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace boom {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: one log statement; flushes on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards the streamed expression without evaluating the stream chain eagerly.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+#define BOOM_LOG(severity)                                                      \
+  (::boom::LogLevel::k##severity < ::boom::GetLogLevel())                       \
+      ? (void)0                                                                 \
+      : ::boom::LogVoidify() &                                                  \
+            ::boom::LogMessage(::boom::LogLevel::k##severity, __FILE__, __LINE__).stream()
+
+#define BOOM_CHECK(cond)                                                        \
+  (cond) ? (void)0                                                              \
+         : ::boom::LogVoidify() &                                               \
+               ::boom::LogMessage(::boom::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+                   << "Check failed: " #cond " "
+
+// Helper that swallows the stream expression so BOOM_LOG can be used as a statement.
+class LogVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace boom
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,134 @@
+// Lightweight Status / Result<T> error-handling primitives, in the spirit of absl::Status.
+// Fallible APIs in this codebase return Status or Result<T> instead of throwing.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace boom {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnavailable,
+  kOutOfRange,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (no message allocated).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+// A value or an error. Accessing value() on an error aborts in debug builds;
+// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error Status from an expression that yields Status.
+#define BOOM_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::boom::Status _st = (expr);          \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define BOOM_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto BOOM_CONCAT_(_res_, __LINE__) = (expr);        \
+  if (!BOOM_CONCAT_(_res_, __LINE__).ok()) {          \
+    return BOOM_CONCAT_(_res_, __LINE__).status();    \
+  }                                                   \
+  lhs = std::move(BOOM_CONCAT_(_res_, __LINE__)).value()
+
+#define BOOM_CONCAT_INNER_(a, b) a##b
+#define BOOM_CONCAT_(a, b) BOOM_CONCAT_INNER_(a, b)
+
+}  // namespace boom
+
+#endif  // SRC_BASE_STATUS_H_

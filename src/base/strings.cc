@@ -1,0 +1,112 @@
+#include "src/base/strings.h"
+
+#include <cctype>
+
+namespace boom {
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> StrSplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& part : StrSplit(s, sep)) {
+    if (!part.empty()) {
+      out.push_back(std::move(part));
+    }
+  }
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string PathJoin(std::string_view dir, std::string_view name) {
+  if (dir.empty()) {
+    return std::string(name);
+  }
+  std::string out(dir);
+  if (out.back() != '/') {
+    out.push_back('/');
+  }
+  out.append(name);
+  return out;
+}
+
+std::string PathDirname(std::string_view path) {
+  if (path.empty() || path == "/") {
+    return "/";
+  }
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string PathBasename(std::string_view path) {
+  if (path.empty() || path == "/") {
+    return "";
+  }
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string_view::npos) {
+    return std::string(path);
+  }
+  return std::string(path.substr(pos + 1));
+}
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  return StrSplitSkipEmpty(path, '/');
+}
+
+}  // namespace boom

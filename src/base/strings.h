@@ -1,0 +1,43 @@
+// Small string utilities shared across the codebase.
+
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace boom {
+
+// Splits `s` on `sep`, keeping empty fields ("a//b" -> {"a", "", "b"}).
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Splits `s` on `sep`, dropping empty fields ("/a//b/" -> {"a", "b"}).
+std::vector<std::string> StrSplitSkipEmpty(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between each pair.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// 64-bit FNV-1a hash; stable across platforms, used for partition routing.
+uint64_t Fnv1a64(std::string_view s);
+
+// POSIX-style path helpers used by the filesystem layers.
+// Joins "/a" + "b" -> "/a/b"; handles the root directory without doubling slashes.
+std::string PathJoin(std::string_view dir, std::string_view name);
+// "/a/b/c" -> "/a/b"; "/a" -> "/"; "/" -> "/".
+std::string PathDirname(std::string_view path);
+// "/a/b/c" -> "c"; "/" -> "".
+std::string PathBasename(std::string_view path);
+// Splits "/a/b/c" into {"a", "b", "c"}.
+std::vector<std::string> PathComponents(std::string_view path);
+
+}  // namespace boom
+
+#endif  // SRC_BASE_STRINGS_H_

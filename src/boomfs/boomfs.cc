@@ -1,0 +1,150 @@
+#include "src/boomfs/boomfs.h"
+
+#include "src/base/logging.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+
+const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kBoomFs:
+      return "BOOM-FS";
+    case FsKind::kHdfsBaseline:
+      return "HDFS";
+  }
+  return "?";
+}
+
+void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
+                 const FsSetupOptions& options) {
+  if (kind == FsKind::kBoomFs) {
+    NnProgramOptions prog;
+    prog.replication_factor = options.replication_factor;
+    prog.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+    prog.with_failure_detector = options.with_failure_detector;
+    std::string source = BoomFsNnProgram(prog);
+    cluster.AddOverlogNode(address, [source](Engine& engine) {
+      Status status = engine.InstallSource(source);
+      BOOM_CHECK(status.ok()) << "BOOM-FS NameNode program failed to install: "
+                              << status.ToString();
+    });
+    return;
+  }
+  HdfsNameNodeOptions nn_opts;
+  nn_opts.replication_factor = options.replication_factor;
+  nn_opts.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+  nn_opts.with_failure_detector = options.with_failure_detector;
+  cluster.AddActor(std::make_unique<HdfsNameNode>(address, nn_opts));
+}
+
+FsHandles SetupFs(Cluster& cluster, const FsSetupOptions& options) {
+  FsHandles handles;
+  handles.namenode = options.namenode;
+  AddNameNode(cluster, options.kind, options.namenode, options);
+
+  for (int i = 0; i < options.num_datanodes; ++i) {
+    std::string dn = options.namenode + "_dn" + std::to_string(i);
+    DataNodeOptions dn_opts;
+    dn_opts.namenode = options.namenode;
+    dn_opts.heartbeat_period_ms = options.heartbeat_period_ms;
+    cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
+    handles.datanodes.push_back(std::move(dn));
+  }
+
+  FsClientOptions client_opts;
+  client_opts.namenode = options.namenode;
+  client_opts.chunk_size = options.chunk_size;
+  auto client = std::make_unique<FsClient>(options.namenode + "_client", client_opts);
+  handles.client = client.get();
+  cluster.AddActor(std::move(client));
+  return handles;
+}
+
+bool SyncFs::Await(const bool* done) {
+  double deadline = cluster_.now() + timeout_ms_;
+  while (!*done && cluster_.now() < deadline) {
+    // Advance in small quanta; each quantum processes all due events.
+    cluster_.RunUntil(cluster_.now() + 1.0);
+  }
+  return *done;
+}
+
+bool SyncFs::Op(const std::string& cmd, const std::string& path, Value* payload) {
+  bool done = false;
+  bool ok = false;
+  auto cb = [&done, &ok, payload](bool response_ok, const Value& response_payload) {
+    ok = response_ok;
+    if (payload != nullptr) {
+      *payload = response_payload;
+    }
+    done = true;
+  };
+  if (cmd == kCmdMkdir) {
+    client_->Mkdir(cluster_, path, cb);
+  } else if (cmd == kCmdCreate) {
+    client_->CreateFile(cluster_, path, cb);
+  } else if (cmd == kCmdExists) {
+    client_->Exists(cluster_, path, cb);
+  } else if (cmd == kCmdLs) {
+    client_->Ls(cluster_, path, cb);
+  } else if (cmd == kCmdRm) {
+    client_->Rm(cluster_, path, cb);
+  } else if (cmd == kCmdChunks) {
+    client_->Chunks(cluster_, path, cb);
+  } else if (cmd == kCmdAddChunk) {
+    client_->AddChunk(cluster_, path, cb);
+  } else {
+    return false;
+  }
+  return Await(&done) && ok;
+}
+
+bool SyncFs::Mkdir(const std::string& path) { return Op(kCmdMkdir, path, nullptr); }
+bool SyncFs::CreateFile(const std::string& path) { return Op(kCmdCreate, path, nullptr); }
+
+bool SyncFs::Exists(const std::string& path) {
+  Value payload;
+  if (!Op(kCmdExists, path, &payload)) {
+    return false;
+  }
+  return payload.Truthy();
+}
+
+bool SyncFs::Ls(const std::string& path, std::vector<std::string>* names) {
+  Value payload;
+  if (!Op(kCmdLs, path, &payload) || !payload.is_list()) {
+    return false;
+  }
+  names->clear();
+  for (const Value& v : payload.as_list()) {
+    names->push_back(v.as_string());
+  }
+  return true;
+}
+
+bool SyncFs::Rm(const std::string& path) { return Op(kCmdRm, path, nullptr); }
+
+bool SyncFs::WriteFile(const std::string& path, std::string data) {
+  bool done = false;
+  bool ok = false;
+  client_->WriteFile(cluster_, path, std::move(data), [&done, &ok](bool write_ok) {
+    ok = write_ok;
+    done = true;
+  });
+  return Await(&done) && ok;
+}
+
+bool SyncFs::ReadFile(const std::string& path, std::string* data) {
+  bool done = false;
+  bool ok = false;
+  client_->ReadFile(cluster_, path, [&done, &ok, data](bool read_ok, const std::string& d) {
+    ok = read_ok;
+    if (read_ok) {
+      *data = d;
+    }
+    done = true;
+  });
+  return Await(&done) && ok;
+}
+
+}  // namespace boom

@@ -1,0 +1,250 @@
+#include "src/boomfs/client.h"
+
+#include "src/base/logging.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+
+// State for a multi-chunk write in flight.
+struct WriteJob {
+  std::string path;
+  std::string data;
+  size_t next_offset = 0;
+  std::function<void(bool)> cb;
+};
+
+// State for a multi-chunk read in flight.
+struct ReadJob {
+  std::string path;
+  ValueList chunk_ids;
+  size_t next_chunk = 0;
+  std::string assembled;
+  FsClient::DataCb cb;
+};
+
+void FsClient::Request(Cluster& cluster, const std::string& cmd, const std::string& path,
+                       Value arg, ResponseCb cb, std::string forced_target) {
+  int64_t req = next_req_++;
+  PendingReq& pending = pending_[req];
+  pending.cmd = cmd;
+  pending.path = path;
+  pending.arg = std::move(arg);
+  pending.cb = std::move(cb);
+  pending.forced_target = std::move(forced_target);
+  pending.target_index = preferred_target_;
+  Dispatch(cluster, req);
+}
+
+void FsClient::Dispatch(Cluster& cluster, int64_t req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingReq& pending = it->second;
+  ++requests_sent_;
+  ++pending.attempts;
+  std::string nn;
+  if (!pending.forced_target.empty()) {
+    nn = pending.forced_target;
+  } else if (router_) {
+    nn = router_(pending.cmd, pending.path);
+  } else if (pending.target_index == 0 || options_.fallbacks.empty()) {
+    nn = options_.namenode;
+  } else {
+    nn = options_.fallbacks[(pending.target_index - 1) % options_.fallbacks.size()];
+  }
+  cluster.Send(address(), nn, options_.request_table,
+               Tuple{Value(nn), Value(req), Value(address()), Value(pending.cmd),
+                     Value(pending.path), pending.arg});
+  if (options_.request_timeout_ms > 0) {
+    ArmTimeout(cluster, req, pending.attempts);
+  }
+}
+
+void FsClient::ArmTimeout(Cluster& cluster, int64_t req, int attempt) {
+  cluster.ScheduleAfter(options_.request_timeout_ms, [this, &cluster, req, attempt] {
+    auto it = pending_.find(req);
+    if (it == pending_.end() || it->second.attempts != attempt) {
+      return;  // answered, or a later attempt owns the timeout
+    }
+    if (it->second.attempts <= options_.max_retries) {
+      ++it->second.target_index;  // rotate to the next NameNode
+      Dispatch(cluster, req);
+      return;
+    }
+    ResponseCb cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(false, Value("timeout"));
+  });
+}
+
+void FsClient::Mkdir(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdMkdir, path, Value(), std::move(cb));
+}
+
+void FsClient::MkdirAll(Cluster& c, const std::string& path,
+                        std::vector<std::string> targets, ResponseCb cb) {
+  auto remaining = std::make_shared<size_t>(targets.size());
+  auto all_ok = std::make_shared<bool>(true);
+  auto done_cb = std::make_shared<ResponseCb>(std::move(cb));
+  for (const std::string& target : targets) {
+    Request(c, kCmdMkdir, path, Value(),
+            [remaining, all_ok, done_cb](bool ok, const Value&) {
+              *all_ok = *all_ok && ok;
+              if (--*remaining == 0) {
+                (*done_cb)(*all_ok, Value());
+              }
+            },
+            target);
+  }
+}
+void FsClient::CreateFile(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdCreate, path, Value(), std::move(cb));
+}
+void FsClient::Exists(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdExists, path, Value(), std::move(cb));
+}
+void FsClient::Ls(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdLs, path, Value(), std::move(cb));
+}
+void FsClient::Rm(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdRm, path, Value(), std::move(cb));
+}
+void FsClient::AddChunk(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdAddChunk, path, Value(), std::move(cb));
+}
+void FsClient::Chunks(Cluster& c, const std::string& path, ResponseCb cb) {
+  Request(c, kCmdChunks, path, Value(), std::move(cb));
+}
+void FsClient::Locations(Cluster& c, int64_t chunk_id, ResponseCb cb) {
+  Request(c, kCmdLocations, "", Value(chunk_id), std::move(cb));
+}
+
+void FsClient::WriteFile(Cluster& cluster, const std::string& path, std::string data,
+                         std::function<void(bool)> cb) {
+  auto job = std::make_shared<WriteJob>();
+  job->path = path;
+  job->data = std::move(data);
+  job->cb = std::move(cb);
+  CreateFile(cluster, path, [this, &cluster, job](bool ok, const Value&) {
+    if (!ok) {
+      job->cb(false);
+      return;
+    }
+    WriteChunks(cluster, job);
+  });
+}
+
+void FsClient::WriteChunks(Cluster& cluster, std::shared_ptr<WriteJob> job) {
+  if (job->next_offset >= job->data.size()) {
+    job->cb(true);
+    return;
+  }
+  AddChunk(cluster, job->path, [this, &cluster, job](bool ok, const Value& payload) {
+    if (!ok || !payload.is_list() || payload.as_list().size() != 2) {
+      job->cb(false);
+      return;
+    }
+    int64_t chunk_id = payload.as_list()[0].as_int();
+    const ValueList& dns = payload.as_list()[1].as_list();
+    if (dns.empty()) {
+      job->cb(false);
+      return;
+    }
+    size_t len = std::min(options_.chunk_size, job->data.size() - job->next_offset);
+    std::string piece = job->data.substr(job->next_offset, len);
+    job->next_offset += len;
+
+    int64_t ack_req = next_req_++;
+    pending_acks_[ack_req] = [this, &cluster, job] { WriteChunks(cluster, job); };
+    ValueList pipeline(dns.begin() + 1, dns.end());
+    const std::string& first = dns[0].as_string();
+    cluster.Send(address(), first, kDnWrite,
+                 Tuple{Value(first), Value(chunk_id), Value(std::move(piece)),
+                       Value(std::move(pipeline)), Value(address()), Value(ack_req)});
+  });
+}
+
+void FsClient::ReadFile(Cluster& cluster, const std::string& path, DataCb cb) {
+  auto job = std::make_shared<ReadJob>();
+  job->path = path;
+  job->cb = std::move(cb);
+  Chunks(cluster, path, [this, &cluster, job](bool ok, const Value& payload) {
+    if (!ok || !payload.is_list()) {
+      job->cb(false, "");
+      return;
+    }
+    job->chunk_ids = payload.as_list();
+    ReadChunks(cluster, job);
+  });
+}
+
+void FsClient::ReadChunks(Cluster& cluster, std::shared_ptr<ReadJob> job) {
+  if (job->next_chunk >= job->chunk_ids.size()) {
+    job->cb(true, job->assembled);
+    return;
+  }
+  int64_t chunk_id = job->chunk_ids[job->next_chunk].as_int();
+  Locations(cluster, chunk_id, [this, &cluster, job, chunk_id](bool ok, const Value& locs) {
+    if (!ok || !locs.is_list() || locs.as_list().empty()) {
+      job->cb(false, "");
+      return;
+    }
+    const std::string& dn = locs.as_list()[0].as_string();
+    int64_t read_req = next_req_++;
+    pending_reads_[read_req] = [this, &cluster, job](bool read_ok, std::string data) {
+      if (!read_ok) {
+        job->cb(false, "");
+        return;
+      }
+      job->assembled += data;
+      ++job->next_chunk;
+      ReadChunks(cluster, job);
+    };
+    cluster.Send(address(), dn, kDnRead,
+                 Tuple{Value(dn), Value(chunk_id), Value(address()), Value(read_req)});
+  });
+}
+
+void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kNsResponse) {
+    // (Client, ReqId, Ok, Payload)
+    int64_t req = msg.tuple[1].as_int();
+    auto it = pending_.find(req);
+    if (it == pending_.end()) {
+      return;  // duplicate/late response (possible during failover)
+    }
+    ResponseCb cb = std::move(it->second.cb);
+    preferred_target_ = it->second.target_index;  // this target answered: stick to it
+    pending_.erase(it);
+    cb(msg.tuple[2].Truthy(), msg.tuple[3]);
+    return;
+  }
+  if (msg.table == kDnWriteAck) {
+    // (Client, ReqId, ChunkId)
+    int64_t req = msg.tuple[1].as_int();
+    auto it = pending_acks_.find(req);
+    if (it == pending_acks_.end()) {
+      return;
+    }
+    auto cb = std::move(it->second);
+    pending_acks_.erase(it);
+    cb();
+    return;
+  }
+  if (msg.table == kDnReadData) {
+    // (Client, ReqId, Ok, Data)
+    int64_t req = msg.tuple[1].as_int();
+    auto it = pending_reads_.find(req);
+    if (it == pending_reads_.end()) {
+      return;
+    }
+    auto cb = std::move(it->second);
+    pending_reads_.erase(it);
+    cb(msg.tuple[2].Truthy(), msg.tuple[3].as_string());
+    return;
+  }
+  BOOM_LOG(Warning) << "FsClient " << address() << ": unknown message " << msg.table;
+}
+
+}  // namespace boom

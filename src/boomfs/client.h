@@ -1,0 +1,105 @@
+// FsClient: asynchronous file-system client. Works against either NameNode implementation
+// (BOOM-FS Overlog or the HDFS baseline) since both speak the same protocol.
+//
+// Primitive ops map 1:1 onto namespace requests; WriteFile/ReadFile are composite: they
+// drive the addchunk -> DataNode-pipeline -> ack, and chunks -> locations -> dn_read chains.
+
+#ifndef SRC_BOOMFS_CLIENT_H_
+#define SRC_BOOMFS_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct FsClientOptions {
+  std::string namenode;
+  size_t chunk_size = 64 * 1024;   // bytes per chunk on WriteFile
+  double request_timeout_ms = 0;   // 0 = wait forever
+  // Failover: on timeout the request is retried (same request id) against the next target in
+  // {namenode} U fallbacks, round-robin, up to max_retries times.
+  std::vector<std::string> fallbacks;
+  int max_retries = 0;
+  // Table requests are sent as; HA mode uses "ha_request" to route through Paxos.
+  std::string request_table = "ns_request";
+};
+
+class FsClient : public Actor {
+ public:
+  using ResponseCb = std::function<void(bool ok, const Value& payload)>;
+  using DataCb = std::function<void(bool ok, const std::string& data)>;
+
+  FsClient(std::string address, FsClientOptions options)
+      : Actor(std::move(address)), options_(std::move(options)) {}
+
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+  // Routes requests per (command, path) — used by the partitioned NameNode; overrides
+  // options_.namenode.
+  using RouterFn = std::function<std::string(const std::string& cmd, const std::string& path)>;
+  void SetRouter(RouterFn router) { router_ = std::move(router); }
+  void set_namenode(const std::string& nn) { options_.namenode = nn; }
+  const std::string& namenode() const { return options_.namenode; }
+
+  // --- primitive namespace operations ---
+  void Mkdir(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void CreateFile(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Exists(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Ls(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Rm(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void AddChunk(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Chunks(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Locations(Cluster& cluster, int64_t chunk_id, ResponseCb cb);
+  // Issues mkdir to every listed NameNode (partitioned mode replicates the directory
+  // skeleton); cb(true) iff all succeed.
+  void MkdirAll(Cluster& cluster, const std::string& path,
+                std::vector<std::string> targets, ResponseCb cb);
+
+  // --- composite data operations ---
+  // Creates `path` and writes `data` as a sequence of chunks through DataNode pipelines.
+  void WriteFile(Cluster& cluster, const std::string& path, std::string data,
+                 std::function<void(bool ok)> cb);
+  // Reads all chunks of `path` and returns the concatenated bytes.
+  void ReadFile(Cluster& cluster, const std::string& path, DataCb cb);
+
+  // Number of namespace requests issued (for throughput accounting).
+  uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  void Request(Cluster& cluster, const std::string& cmd, const std::string& path, Value arg,
+               ResponseCb cb, std::string forced_target = "");
+  void WriteChunks(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
+  void ReadChunks(Cluster& cluster, std::shared_ptr<struct ReadJob> job);
+
+  struct PendingReq {
+    std::string cmd;
+    std::string path;
+    Value arg;
+    ResponseCb cb;
+    int attempts = 0;
+    size_t target_index = 0;   // into {namenode} U fallbacks
+    std::string forced_target;  // when nonempty, overrides routing entirely
+  };
+  void Dispatch(Cluster& cluster, int64_t req);
+  void ArmTimeout(Cluster& cluster, int64_t req, int attempt);
+
+  FsClientOptions options_;
+  RouterFn router_;
+  // Sticky failover: index into {namenode} U fallbacks that last answered; new requests
+  // start there instead of re-probing a dead primary.
+  size_t preferred_target_ = 0;
+  int64_t next_req_ = 1;
+  std::map<int64_t, PendingReq> pending_;
+  std::map<int64_t, std::function<void(bool, std::string)>> pending_reads_;
+  std::map<int64_t, std::function<void()>> pending_acks_;
+  uint64_t requests_sent_ = 0;
+};
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_CLIENT_H_

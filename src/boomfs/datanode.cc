@@ -1,0 +1,120 @@
+#include "src/boomfs/datanode.h"
+
+#include "src/base/logging.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+
+void DataNode::OnStart(Cluster& cluster) {
+  ++start_epoch_;
+  SendHeartbeat(cluster, /*full_report=*/true);
+  HeartbeatLoop(cluster);
+}
+
+void DataNode::HeartbeatLoop(Cluster& cluster) {
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.heartbeat_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;  // superseded by a restart, or we are dead
+    }
+    ++heartbeats_sent_;
+    bool full = options_.full_report_every > 0 &&
+                heartbeats_sent_ % options_.full_report_every == 0;
+    SendHeartbeat(cluster, full);
+    HeartbeatLoop(cluster);
+  });
+}
+
+void DataNode::ForEachNameNode(const std::function<void(const std::string&)>& fn) const {
+  fn(options_.namenode);
+  for (const std::string& nn : options_.extra_namenodes) {
+    fn(nn);
+  }
+}
+
+void DataNode::SendHeartbeat(Cluster& cluster, bool full_report) {
+  ForEachNameNode([this, &cluster, full_report](const std::string& nn) {
+    cluster.Send(address(), nn, kDnHeartbeat, Tuple{Value(nn), Value(address())});
+    if (full_report) {
+      for (const auto& [chunk_id, data] : chunks_) {
+        cluster.Send(address(), nn, kDnChunkReport,
+                     Tuple{Value(nn), Value(address()), Value(chunk_id)});
+      }
+    }
+  });
+}
+
+void DataNode::StoreChunk(int64_t chunk_id, std::string data, Cluster& cluster) {
+  bool fresh = chunks_.emplace(chunk_id, std::move(data)).second;
+  if (fresh) {
+    // Incremental report so the NameNodes learn the location without waiting for the next
+    // full report.
+    ForEachNameNode([this, &cluster, chunk_id](const std::string& nn) {
+      cluster.Send(address(), nn, kDnChunkReport,
+                   Tuple{Value(nn), Value(address()), Value(chunk_id)});
+    });
+  }
+}
+
+void DataNode::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kDnWrite) {
+    // (To, ChunkId, Data, Pipeline, AckTo, ReqId)
+    int64_t chunk_id = msg.tuple[1].as_int();
+    const std::string& data = msg.tuple[2].as_string();
+    const ValueList& pipeline = msg.tuple[3].as_list();
+    const std::string& ack_to = msg.tuple[4].as_string();
+    StoreChunk(chunk_id, data, cluster);
+    if (!pipeline.empty()) {
+      // Forward along the replication pipeline.
+      ValueList rest(pipeline.begin() + 1, pipeline.end());
+      const std::string& next = pipeline[0].as_string();
+      cluster.Send(address(), next, kDnWrite,
+                   Tuple{Value(next), Value(chunk_id), Value(data), Value(std::move(rest)),
+                         msg.tuple[4], msg.tuple[5]});
+    } else if (!ack_to.empty()) {
+      cluster.Send(address(), ack_to, kDnWriteAck,
+                   Tuple{Value(ack_to), msg.tuple[5], Value(chunk_id)});
+    }
+    return;
+  }
+  if (msg.table == kDnRead) {
+    // (To, ChunkId, Client, ReqId)
+    int64_t chunk_id = msg.tuple[1].as_int();
+    const std::string& client = msg.tuple[2].as_string();
+    auto it = chunks_.find(chunk_id);
+    bool ok = it != chunks_.end();
+    cluster.Send(address(), client, kDnReadData,
+                 Tuple{Value(client), msg.tuple[3], Value(ok),
+                       Value(ok ? it->second : std::string())});
+    return;
+  }
+  if (msg.table == kDnDelete) {
+    // (To, ChunkId) — the NameNode garbage-collected this chunk.
+    chunks_.erase(msg.tuple[1].as_int());
+    return;
+  }
+  if (msg.table == kReplicateCmd) {
+    // (To, ChunkId, Dest) — copy one of our chunks to Dest, no client ack.
+    int64_t chunk_id = msg.tuple[1].as_int();
+    const std::string& dest = msg.tuple[2].as_string();
+    auto it = chunks_.find(chunk_id);
+    if (it == chunks_.end() || dest == address()) {
+      return;
+    }
+    cluster.Send(address(), dest, kDnWrite,
+                 Tuple{Value(dest), Value(chunk_id), Value(it->second), Value(ValueList{}),
+                       Value(std::string()), Value(int64_t{0})});
+    return;
+  }
+  BOOM_LOG(Warning) << "DataNode " << address() << ": unknown message " << msg.table;
+}
+
+size_t DataNode::stored_bytes() const {
+  size_t total = 0;
+  for (const auto& [id, data] : chunks_) {
+    total += data.size();
+  }
+  return total;
+}
+
+}  // namespace boom

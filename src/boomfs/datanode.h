@@ -1,0 +1,57 @@
+// DataNode: the imperative data plane of BOOM-FS (chunk storage and transfer stay in native
+// code in the paper too; only metadata is declarative).
+
+#ifndef SRC_BOOMFS_DATANODE_H_
+#define SRC_BOOMFS_DATANODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct DataNodeOptions {
+  std::string namenode;            // control-plane target
+  // Additional NameNodes (HA replicas) that also receive heartbeats and chunk reports.
+  std::vector<std::string> extra_namenodes;
+  double heartbeat_period_ms = 500;
+  // Every Nth heartbeat carries a full chunk report (lets a failed-over NameNode rebuild its
+  // location table).
+  int full_report_every = 4;
+};
+
+class DataNode : public Actor {
+ public:
+  DataNode(std::string address, DataNodeOptions options)
+      : Actor(std::move(address)), options_(std::move(options)) {}
+
+  void OnStart(Cluster& cluster) override;
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+  // Points heartbeats/reports at a different NameNode (used by HA failover glue).
+  void set_namenode(const std::string& nn) { options_.namenode = nn; }
+
+  size_t chunk_count() const { return chunks_.size(); }
+  bool HasChunk(int64_t chunk_id) const { return chunks_.count(chunk_id) > 0; }
+  // Total stored bytes (for tests / examples).
+  size_t stored_bytes() const;
+
+ private:
+  void HeartbeatLoop(Cluster& cluster);
+  void SendHeartbeat(Cluster& cluster, bool full_report);
+  void StoreChunk(int64_t chunk_id, std::string data, Cluster& cluster);
+  void ForEachNameNode(const std::function<void(const std::string&)>& fn) const;
+
+  DataNodeOptions options_;
+  std::map<int64_t, std::string> chunks_;
+  int heartbeats_sent_ = 0;
+  uint64_t start_epoch_ = 0;  // invalidates heartbeat loops from before a restart
+};
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_DATANODE_H_

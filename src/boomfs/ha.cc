@@ -1,0 +1,88 @@
+#include "src/boomfs/ha.h"
+
+#include "src/base/logging.h"
+#include "src/boomfs/datanode.h"
+#include "src/boomfs/nn_program.h"
+
+namespace boom {
+
+std::string HaBridgeProgram() {
+  return R"olg(
+program ha_bridge;
+
+// Client-facing request event; same shape as ns_request but routed through Paxos.
+event ha_request(Addr, ReqId, Client, Cmd, Path, Arg);
+table seen_req(Client, ReqId) keys(0, 1);
+
+// Leader: propose the command (unless this exact client request was already applied —
+// dedupes client retries across failovers).
+h1 px_request(@Me, C) :- ha_request(@Me, R, Cl, Cm, P, A), leader(1, L), Me := f_me(),
+                         L == Me, notin seen_req(Cl, R), C := [R, Cl, Cm, P, A];
+
+// Non-leader: forward to the current leader.
+h2 ha_request(@L, R, Cl, Cm, P, A) :- ha_request(@Me, R, Cl, Cm, P, A), leader(1, L),
+                                      L != f_me();
+
+// Every replica replays decided commands into its local BOOM-FS program.
+h3 seen_req(Cl, R)@next :- apply_cmd(_, C), R := list_get(C, 0), Cl := list_get(C, 1);
+h4 ns_request(@Me, R, Cl, Cm, P, A) :- apply_cmd(_, C), Me := f_me(),
+                                       R := list_get(C, 0), Cl := list_get(C, 1),
+                                       Cm := list_get(C, 2), P := list_get(C, 3),
+                                       A := list_get(C, 4);
+)olg";
+}
+
+HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options) {
+  HaFsHandles handles;
+  for (int i = 0; i < options.num_replicas; ++i) {
+    handles.replicas.push_back(options.prefix + std::to_string(i));
+  }
+
+  NnProgramOptions nn_prog;
+  nn_prog.replication_factor = options.replication_factor;
+  nn_prog.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+  std::string fs_source = BoomFsNnProgram(nn_prog);
+  std::string bridge_source = HaBridgeProgram();
+
+  for (int i = 0; i < options.num_replicas; ++i) {
+    PaxosProgramOptions paxos = options.paxos;
+    paxos.peers = handles.replicas;
+    paxos.my_index = i;
+    std::string paxos_source = PaxosProgram(paxos);
+    auto init = [paxos_source, fs_source, bridge_source](Engine& engine) {
+      Status s = engine.InstallSource(paxos_source);
+      BOOM_CHECK(s.ok()) << "paxos install: " << s.ToString();
+      s = engine.InstallSource(fs_source);
+      BOOM_CHECK(s.ok()) << "boomfs install: " << s.ToString();
+      s = engine.InstallSource(bridge_source);
+      BOOM_CHECK(s.ok()) << "ha bridge install: " << s.ToString();
+    };
+    // Shared salt: replicas replaying the same log mint identical file/chunk ids.
+    cluster.AddOverlogNode(handles.replicas[static_cast<size_t>(i)], init,
+                           /*id_salt=*/0xB00);
+  }
+
+  for (int i = 0; i < options.num_datanodes; ++i) {
+    std::string dn = options.prefix + "_dn" + std::to_string(i);
+    DataNodeOptions dn_opts;
+    dn_opts.namenode = handles.replicas[0];
+    dn_opts.extra_namenodes.assign(handles.replicas.begin() + 1, handles.replicas.end());
+    dn_opts.heartbeat_period_ms = options.heartbeat_period_ms;
+    cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
+    handles.datanodes.push_back(std::move(dn));
+  }
+
+  FsClientOptions client_opts;
+  client_opts.namenode = handles.replicas[0];
+  client_opts.fallbacks.assign(handles.replicas.begin() + 1, handles.replicas.end());
+  client_opts.chunk_size = options.chunk_size;
+  client_opts.request_timeout_ms = options.client_timeout_ms;
+  client_opts.max_retries = options.client_retries;
+  client_opts.request_table = "ha_request";
+  auto client = std::make_unique<FsClient>(options.prefix + "_client", client_opts);
+  handles.client = client.get();
+  cluster.AddActor(std::move(client));
+  return handles;
+}
+
+}  // namespace boom

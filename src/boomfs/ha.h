@@ -1,0 +1,46 @@
+// Highly-available BOOM-FS (paper revision F2): NameNode metadata commands are sequenced
+// through the Overlog Paxos program, and every replica applies the decided log to its own
+// BOOM-FS tables. Clients retry against any replica; non-leaders forward to the leader.
+//
+// Replica engine = paxos.olg + boomfs_nn.olg + the bridge below, with a shared f_unique_id
+// salt so ids minted while replaying the log agree across replicas.
+
+#ifndef SRC_BOOMFS_HA_H_
+#define SRC_BOOMFS_HA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/boomfs/boomfs.h"
+#include "src/paxos/paxos_program.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct HaFsOptions {
+  int num_replicas = 3;
+  std::string prefix = "nn";       // replicas are named <prefix>0 .. <prefix>N-1
+  int num_datanodes = 4;
+  int replication_factor = 3;
+  double heartbeat_period_ms = 500;
+  double heartbeat_timeout_ms = 2000;
+  size_t chunk_size = 64 * 1024;
+  double client_timeout_ms = 400;  // per-attempt timeout before rotating replicas
+  int client_retries = 20;
+  PaxosProgramOptions paxos;       // peers/my_index filled in by SetupHaFs
+};
+
+struct HaFsHandles {
+  std::vector<std::string> replicas;
+  std::vector<std::string> datanodes;
+  FsClient* client = nullptr;  // owned by the cluster
+};
+
+// The bridge program: client requests -> Paxos commands -> replayed namespace requests.
+std::string HaBridgeProgram();
+
+HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options);
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_HA_H_

@@ -1,0 +1,220 @@
+#include "src/boomfs/nn_program.h"
+
+namespace boom {
+
+namespace {
+
+// Core namespace program (paper revision F1). $REP / $HBTO / $CHECK are substituted.
+constexpr char kNamespaceProgram[] = R"olg(
+program boomfs_nn;
+
+/////////////////////////////////////////////////////////////////////////////
+// File-system metadata: the entire NameNode state is relational.
+/////////////////////////////////////////////////////////////////////////////
+table file(FileId, ParentId, FName, IsDir) keys(0);
+table fqpath(Path, FileId);
+table fchunk(ChunkId, FileId) keys(0);
+table datanode(Dn, LastHb) keys(0);
+table hb_chunk(Dn, ChunkId);
+table dn_load(Dn, Load) keys(0);
+
+// The root directory.
+file(0, -1, "", true);
+fqpath("/", 0);
+
+// Fully-qualified paths: a recursive view over the directory tree.
+fq1 fqpath(P, F) :- file(F, Par, Name, _), F != 0, fqpath(PPath, Par),
+                    P := path_join(PPath, Name);
+
+/////////////////////////////////////////////////////////////////////////////
+// Client protocol events and command dispatch.
+/////////////////////////////////////////////////////////////////////////////
+event ns_request(Addr, ReqId, Client, Cmd, Path, Arg);
+event ns_response(Addr, ReqId, Ok, Payload);
+
+event do_mkdir(ReqId, Client, Path);
+event do_create(ReqId, Client, Path);
+event do_exists(ReqId, Client, Path);
+event do_ls(ReqId, Client, Path);
+event do_rm(ReqId, Client, Path);
+event do_addchunk(ReqId, Client, Path);
+event do_chunks(ReqId, Client, Path);
+event do_locations(ReqId, Client, ChunkId);
+
+dp1 do_mkdir(R, C, P)     :- ns_request(@Me, R, C, "mkdir", P, _);
+dp2 do_create(R, C, P)    :- ns_request(@Me, R, C, "create", P, _);
+dp3 do_exists(R, C, P)    :- ns_request(@Me, R, C, "exists", P, _);
+dp4 do_ls(R, C, P)        :- ns_request(@Me, R, C, "ls", P, _);
+dp5 do_rm(R, C, P)        :- ns_request(@Me, R, C, "rm", P, _);
+dp6 do_addchunk(R, C, P)  :- ns_request(@Me, R, C, "addchunk", P, _);
+dp7 do_chunks(R, C, P)    :- ns_request(@Me, R, C, "chunks", P, _);
+dp8 do_locations(R, C, A) :- ns_request(@Me, R, C, "locations", _, A);
+
+/////////////////////////////////////////////////////////////////////////////
+// mkdir / create: insert under an existing parent directory unless the path
+// already exists. State updates are deferred (@next), Dedalus-style, so the
+// existence checks read the pre-request state.
+/////////////////////////////////////////////////////////////////////////////
+event mkdir_ok(ReqId, Client, ParentId, BName);
+mk1 mkdir_ok(R, C, Par, N) :- do_mkdir(R, C, P), D := path_dirname(P),
+                              N := path_basename(P), N != "",
+                              fqpath(D, Par), file(Par, _, _, true),
+                              notin fqpath(P, _);
+mk2 file(Id, Par, N, true)@next :- mkdir_ok(_, _, Par, N), Id := f_unique_id();
+mk3 ns_response(@C, R, true, nil)  :- mkdir_ok(R, C, _, _);
+mk4 ns_response(@C, R, false, "mkdir failed") :- do_mkdir(R, C, _),
+                                                 notin mkdir_ok(R, _, _, _);
+
+event create_ok(ReqId, Client, ParentId, BName);
+cr1 create_ok(R, C, Par, N) :- do_create(R, C, P), D := path_dirname(P),
+                               N := path_basename(P), N != "",
+                               fqpath(D, Par), file(Par, _, _, true),
+                               notin fqpath(P, _);
+cr2 file(Id, Par, N, false)@next :- create_ok(_, _, Par, N), Id := f_unique_id();
+cr3 ns_response(@C, R, true, nil) :- create_ok(R, C, _, _);
+cr4 ns_response(@C, R, false, "create failed") :- do_create(R, C, _),
+                                                  notin create_ok(R, _, _, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// exists / ls
+/////////////////////////////////////////////////////////////////////////////
+ex1 ns_response(@C, R, true, true)  :- do_exists(R, C, P), fqpath(P, _);
+ex2 ns_response(@C, R, true, false) :- do_exists(R, C, P), notin fqpath(P, _);
+
+event do_ls2(ReqId, Client, DirId);
+event ls_result(ReqId, Client, Names);
+ls1 do_ls2(R, C, Dir) :- do_ls(R, C, P), fqpath(P, Dir), file(Dir, _, _, true);
+ls2 ls_result(R, C, bottomk<1000000, N>) :- do_ls2(R, C, Dir), file(_, Dir, N, _);
+ls3 ns_response(@C, R, true, Names) :- ls_result(R, C, Names);
+ls4 ns_response(@C, R, true, L) :- do_ls2(R, C, Dir), notin file(_, Dir, _, _), L := [];
+ls5 ns_response(@C, R, false, "no such directory") :- do_ls(R, C, _),
+                                                      notin do_ls2(R, _, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// rm: files and empty directories only; deletes cascade to the path index
+// and chunk ownership at the tick boundary.
+/////////////////////////////////////////////////////////////////////////////
+event rm_ok(ReqId, Client, FileId);
+rm1 rm_ok(R, C, F) :- do_rm(R, C, P), fqpath(P, F), F != 0, notin file(_, F, _, _);
+rm2 delete file(F, Par, N, D) :- rm_ok(_, _, F), file(F, Par, N, D);
+rm3 delete fqpath(P, F)       :- rm_ok(_, _, F), fqpath(P, F);
+rm4 delete fchunk(Ch, F)      :- rm_ok(_, _, F), fchunk(Ch, F);
+// Chunk garbage collection: tell every holder to drop the dead file's chunks, and forget
+// their locations.
+event dn_delete(Addr, ChunkId);
+rm7 dn_delete(@Dn, Ch) :- rm_ok(_, _, F), fchunk(Ch, F), hb_chunk(Dn, Ch);
+rm8 delete hb_chunk(Dn, Ch) :- rm_ok(_, _, F), fchunk(Ch, F), hb_chunk(Dn, Ch);
+rm5 ns_response(@C, R, true, nil) :- rm_ok(R, C, _);
+rm6 ns_response(@C, R, false, "rm failed") :- do_rm(R, C, _), notin rm_ok(R, _, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// addchunk: allocate a fresh chunk id and pick the $REP least-loaded live
+// DataNodes (load = chunk count, a classic declarative placement policy).
+/////////////////////////////////////////////////////////////////////////////
+dl1 dn_load(Dn, count<C>) :- datanode(Dn, _), hb_chunk(Dn, C);
+
+// Candidate targets per request: every live DataNode, with its chunk count as load — or 0
+// when it holds nothing (dn_load has no row then; deletions of hb_chunk rows retract its
+// groups, so the fallback must live at the consumer, evaluated per request).
+event do_addchunk2(ReqId, Client, FileId);
+event cand_dn(ReqId, Client, FileId, Dn, Load);
+event addchunk_sel(ReqId, Client, FileId, Pairs);
+event addchunk_ok(ReqId, Client, FileId, ChunkId, Dns);
+ac0 do_addchunk2(R, C, F) :- do_addchunk(R, C, P), fqpath(P, F), file(F, _, _, false);
+ac1a cand_dn(R, C, F, Dn, L) :- do_addchunk2(R, C, F), datanode(Dn, _), dn_load(Dn, L);
+ac1b cand_dn(R, C, F, Dn, 0) :- do_addchunk2(R, C, F), datanode(Dn, _),
+                                notin dn_load(Dn, _);
+ac1 addchunk_sel(R, C, F, bottomk<$REP, Pair>) :- cand_dn(R, C, F, Dn, L),
+                                                  Pair := [L, Dn];
+ac2 addchunk_ok(R, C, F, Ch, Dns) :- addchunk_sel(R, C, F, Pairs),
+                                     list_len(Pairs) > 0,
+                                     Ch := f_unique_id(),
+                                     Dns := list_project(Pairs, 1);
+ac3 fchunk(Ch, F) :- addchunk_ok(_, _, F, Ch, _);
+ac4 ns_response(@C, R, true, Payload) :- addchunk_ok(R, C, _, Ch, Dns),
+                                         Payload := [Ch, Dns];
+ac5 ns_response(@C, R, false, "addchunk failed") :- do_addchunk(R, C, _),
+                                                    notin addchunk_ok(R, _, _, _, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// chunks / locations: read-side metadata lookups.
+/////////////////////////////////////////////////////////////////////////////
+event chunks_ok(ReqId, Client, FileId);
+event chunk_list(ReqId, Client, L);
+ch1 chunks_ok(R, C, F) :- do_chunks(R, C, P), fqpath(P, F), file(F, _, _, false);
+ch2 chunk_list(R, C, bottomk<1000000, Ch>) :- chunks_ok(R, C, F), fchunk(Ch, F);
+ch3 ns_response(@C, R, true, L) :- chunk_list(R, C, L);
+ch4 ns_response(@C, R, true, L) :- chunks_ok(R, C, F), notin fchunk(_, F), L := [];
+ch5 ns_response(@C, R, false, "no such file") :- do_chunks(R, C, _),
+                                                 notin chunks_ok(R, _, _);
+
+event loc_list(ReqId, Client, L);
+lo1 loc_list(R, C, bottomk<100, Dn>) :- do_locations(R, C, Ch), hb_chunk(Dn, Ch),
+                                        datanode(Dn, _);
+lo2 ns_response(@C, R, true, L) :- loc_list(R, C, L);
+lo3 ns_response(@C, R, false, "no locations") :- do_locations(R, C, Ch),
+                                                 notin hb_chunk(_, Ch);
+
+/////////////////////////////////////////////////////////////////////////////
+// DataNode control plane: heartbeats and chunk reports.
+/////////////////////////////////////////////////////////////////////////////
+event dn_heartbeat(Addr, Dn);
+event dn_chunk_report(Addr, Dn, ChunkId);
+hb1 datanode(Dn, T) :- dn_heartbeat(_, Dn), T := f_now();
+hb2 hb_chunk(Dn, Ch) :- dn_chunk_report(_, Dn, Ch);
+)olg";
+
+// Availability extension: failure detection + re-replication (toward revision F2).
+constexpr char kFailureDetectorProgram[] = R"olg(
+// ---- availability extension: failure detection + re-replication ----
+
+timer dn_check($CHECK);
+event dn_dead(Dn);
+fd1 dn_dead(Dn) :- dn_check(_), datanode(Dn, T), f_now() - T > $HBTO;
+fd2 delete datanode(Dn, T) :- dn_dead(Dn), datanode(Dn, T);
+fd3 delete hb_chunk(Dn, Ch) :- dn_dead(Dn), hb_chunk(Dn, Ch);
+
+// Re-replicate chunks whose live replica count dropped below the target. A chunk with zero
+// live replicas is lost (nothing to copy from).
+table chunk_rep(ChunkId, N) keys(0);
+event under_rep(ChunkId);
+event repl_sel(ChunkId, Pairs);
+table repl_src(ChunkId, Src) keys(0);
+event replicate_cmd(Addr, ChunkId, Dest);
+event repl_cand(ChunkId, Dn, Load);
+rr1 chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
+rr2 under_rep(Ch) :- dn_check(_), chunk_rep(Ch, N), N < $REP, N > 0;
+// Candidate targets: loaded DataNodes not already holding the chunk, plus chunk-less ones
+// (which have no dn_load row at all).
+rr2a repl_cand(Ch, Dn, L) :- under_rep(Ch), datanode(Dn, _), dn_load(Dn, L),
+                             notin hb_chunk(Dn, Ch);
+rr2b repl_cand(Ch, Dn, 0) :- under_rep(Ch), datanode(Dn, _), notin dn_load(Dn, _);
+rr3 repl_sel(Ch, bottomk<1, Pair>) :- repl_cand(Ch, Dn, L), Pair := [L, Dn];
+rr4 repl_src(Ch, min<Dn>) :- under_rep(Ch), hb_chunk(Dn, Ch);
+rr5 replicate_cmd(@Src, Ch, Dest) :- repl_sel(Ch, Pairs), list_len(Pairs) > 0,
+                                     repl_src(Ch, Src),
+                                     Dest := list_get(list_project(Pairs, 1), 0);
+)olg";
+
+void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = s->find(from, pos)) != std::string::npos) {
+    s->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+}  // namespace
+
+std::string BoomFsNnProgram(const NnProgramOptions& options) {
+  std::string out = kNamespaceProgram;
+  if (options.with_failure_detector) {
+    out += kFailureDetectorProgram;
+  }
+  ReplaceAll(&out, "$REP", std::to_string(options.replication_factor));
+  ReplaceAll(&out, "$HBTO", std::to_string(options.heartbeat_timeout_ms));
+  ReplaceAll(&out, "$CHECK", std::to_string(options.failure_check_period_ms));
+  return out;
+}
+
+}  // namespace boom

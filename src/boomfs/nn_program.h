@@ -1,0 +1,30 @@
+// The BOOM-FS NameNode as an Overlog program (the paper's core artifact for BOOM-FS).
+//
+// All file-system *metadata* lives in Overlog tables on the NameNode — the directory tree
+// (`file`), the fully-qualified path index (`fqpath`, a recursive view), chunk ownership
+// (`fchunk`), and DataNode liveness/locations (`datanode`, `hb_chunk`). Every namespace
+// operation is a handful of rules over those tables; chunk placement is a bottomk aggregate
+// over DataNode load; failure detection and re-replication are a timer plus six rules.
+
+#ifndef SRC_BOOMFS_NN_PROGRAM_H_
+#define SRC_BOOMFS_NN_PROGRAM_H_
+
+#include <string>
+
+namespace boom {
+
+struct NnProgramOptions {
+  int replication_factor = 3;
+  double heartbeat_timeout_ms = 2000;
+  double failure_check_period_ms = 500;
+  // When false, the failure-detector / re-replication rules are omitted (the paper's initial
+  // BOOM-FS revision F1 vs the availability revision).
+  bool with_failure_detector = true;
+};
+
+// Returns the NameNode Overlog program text.
+std::string BoomFsNnProgram(const NnProgramOptions& options = {});
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_NN_PROGRAM_H_

@@ -1,0 +1,64 @@
+#include "src/boomfs/partition.h"
+
+#include "src/base/strings.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+
+std::string RouteByPath(const std::vector<std::string>& partitions, const std::string& cmd,
+                        const std::string& path) {
+  if (partitions.size() == 1) {
+    return partitions[0];
+  }
+  // Files live on the partition that hashes their parent directory, so a directory's direct
+  // children are colocated: `ls` routes by the listed directory itself, every other op by
+  // the parent. Directories are replicated to all partitions (MkdirAll), making them valid
+  // parents everywhere. Chunk-location lookups can go anywhere (every partition hears every
+  // DataNode); they hash the empty path.
+  std::string key = (cmd == kCmdLs) ? path : (path.empty() ? "/" : PathDirname(path));
+  return partitions[Fnv1a64(key) % partitions.size()];
+}
+
+PartitionedFsHandles SetupPartitionedFs(Cluster& cluster,
+                                        const PartitionedFsOptions& options) {
+  PartitionedFsHandles handles;
+  FsSetupOptions fs_opts;
+  fs_opts.kind = options.kind;
+  fs_opts.replication_factor = options.replication_factor;
+  fs_opts.heartbeat_timeout_ms = 4000;
+
+  for (int p = 0; p < options.num_partitions; ++p) {
+    std::string nn = options.prefix + std::to_string(p);
+    AddNameNode(cluster, options.kind, nn, fs_opts);
+    handles.partitions.push_back(std::move(nn));
+  }
+
+  // A shared DataNode pool reporting to every partition.
+  for (int i = 0; i < options.num_datanodes; ++i) {
+    std::string dn = options.prefix + "_dn" + std::to_string(i);
+    DataNodeOptions dn_opts;
+    dn_opts.namenode = handles.partitions[0];
+    dn_opts.extra_namenodes.assign(handles.partitions.begin() + 1,
+                                   handles.partitions.end());
+    dn_opts.heartbeat_period_ms = options.heartbeat_period_ms;
+    cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
+    handles.datanodes.push_back(std::move(dn));
+  }
+
+  std::vector<std::string> partitions = handles.partitions;
+  for (int c = 0; c < options.num_clients; ++c) {
+    FsClientOptions client_opts;
+    client_opts.namenode = handles.partitions[0];
+    client_opts.chunk_size = options.chunk_size;
+    auto client = std::make_unique<FsClient>(options.prefix + "_client" + std::to_string(c),
+                                             client_opts);
+    client->SetRouter([partitions](const std::string& cmd, const std::string& path) {
+      return RouteByPath(partitions, cmd, path);
+    });
+    handles.clients.push_back(client.get());
+    cluster.AddActor(std::move(client));
+  }
+  return handles;
+}
+
+}  // namespace boom

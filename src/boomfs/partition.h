@@ -1,0 +1,49 @@
+// Partitioned NameNode (paper revision F3, the scalability experiment): the namespace is
+// hash-partitioned across N independent NameNode processes, and clients route each request
+// by the hash of the *directory* portion of its path, so a directory and its direct children
+// live on the same partition (ls and create/mkdir existence checks stay partition-local).
+//
+// The paper notes this took "one new table and eight rules" conceptually; here the change is
+// purely a client-side routing function plus running N unmodified NameNode programs — the
+// NameNode itself needs no modification, which is the same point the paper makes about
+// data-centric designs partitioning naturally.
+
+#ifndef SRC_BOOMFS_PARTITION_H_
+#define SRC_BOOMFS_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/boomfs/boomfs.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct PartitionedFsOptions {
+  FsKind kind = FsKind::kBoomFs;
+  int num_partitions = 2;
+  std::string prefix = "nnp";
+  int num_datanodes = 4;        // shared pool; every DataNode reports to every partition
+  int replication_factor = 3;
+  double heartbeat_period_ms = 500;
+  size_t chunk_size = 64 * 1024;
+  int num_clients = 1;
+};
+
+struct PartitionedFsHandles {
+  std::vector<std::string> partitions;
+  std::vector<std::string> datanodes;
+  std::vector<FsClient*> clients;  // owned by the cluster
+};
+
+// Routing rule shared by all clients: ls routes by the listed directory; everything else by
+// hash(dirname(path)). Directories must be created with FsClient::MkdirAll so they exist on
+// every partition.
+std::string RouteByPath(const std::vector<std::string>& partitions, const std::string& cmd,
+                        const std::string& path);
+
+PartitionedFsHandles SetupPartitionedFs(Cluster& cluster, const PartitionedFsOptions& options);
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_PARTITION_H_

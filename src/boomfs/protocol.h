@@ -1,0 +1,57 @@
+// Wire protocol shared by BOOM-FS and the HDFS baseline.
+//
+// The NameNode (either implementation) serves the namespace protocol; DataNodes and clients
+// are protocol-agnostic about which NameNode implementation they talk to — this is what lets
+// the evaluation mix {BOOM-MR, Hadoop-baseline} x {BOOM-FS, HDFS-baseline}.
+//
+// Namespace requests:  ns_request(NN, ReqId, Client, Cmd, Path, Arg)
+//   Cmd in {"mkdir", "create", "exists", "ls", "rm", "addchunk", "chunks", "locations"};
+//   Arg carries the chunk id for "locations", nil otherwise.
+// Namespace responses: ns_response(Client, ReqId, Ok, Payload)
+//   mkdir/create/rm: payload nil; exists: bool; ls: list of names; addchunk:
+//   [ChunkId, [dn...]]; chunks: list of chunk ids; locations: list of datanode addresses.
+//
+// Data plane (client <-> DataNode, native):
+//   dn_write(To, ChunkId, Data, Pipeline, AckTo, ReqId) — store + forward along Pipeline;
+//     the final replica acks with dn_write_ack(AckTo, ReqId, ChunkId) (skipped when AckTo="").
+//   dn_read(To, ChunkId, Client, ReqId) -> dn_read_data(Client, ReqId, Ok, Data)
+//
+// DataNode -> NameNode control plane:
+//   dn_heartbeat(NN, Dn); dn_chunk_report(NN, Dn, ChunkId)
+// NameNode -> DataNode:
+//   replicate_cmd(Dn, ChunkId, DestDn); dn_delete(Dn, ChunkId) — drop a GC'd chunk
+
+#ifndef SRC_BOOMFS_PROTOCOL_H_
+#define SRC_BOOMFS_PROTOCOL_H_
+
+namespace boom {
+
+// Namespace protocol.
+inline constexpr char kNsRequest[] = "ns_request";
+inline constexpr char kNsResponse[] = "ns_response";
+
+// Commands.
+inline constexpr char kCmdMkdir[] = "mkdir";
+inline constexpr char kCmdCreate[] = "create";
+inline constexpr char kCmdExists[] = "exists";
+inline constexpr char kCmdLs[] = "ls";
+inline constexpr char kCmdRm[] = "rm";
+inline constexpr char kCmdAddChunk[] = "addchunk";
+inline constexpr char kCmdChunks[] = "chunks";
+inline constexpr char kCmdLocations[] = "locations";
+
+// Data plane.
+inline constexpr char kDnWrite[] = "dn_write";
+inline constexpr char kDnWriteAck[] = "dn_write_ack";
+inline constexpr char kDnRead[] = "dn_read";
+inline constexpr char kDnReadData[] = "dn_read_data";
+
+// Control plane.
+inline constexpr char kDnHeartbeat[] = "dn_heartbeat";
+inline constexpr char kDnChunkReport[] = "dn_chunk_report";
+inline constexpr char kReplicateCmd[] = "replicate_cmd";
+inline constexpr char kDnDelete[] = "dn_delete";
+
+}  // namespace boom
+
+#endif  // SRC_BOOMFS_PROTOCOL_H_

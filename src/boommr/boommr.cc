@@ -1,0 +1,78 @@
+#include "src/boommr/boommr.h"
+
+#include "src/base/logging.h"
+#include "src/mr_baseline/jobtracker.h"
+
+namespace boom {
+
+const char* MrKindName(MrKind kind) {
+  switch (kind) {
+    case MrKind::kBoomMr:
+      return "BOOM-MR";
+    case MrKind::kHadoopBaseline:
+      return "Hadoop";
+  }
+  return "?";
+}
+
+MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
+  MrHandles handles;
+  handles.jobtracker = options.jobtracker;
+  handles.data_plane = std::make_shared<MrDataPlane>();
+
+  if (options.kind == MrKind::kBoomMr) {
+    JtProgramOptions prog;
+    prog.policy = options.policy;
+    prog.speculative_cap = options.speculative_cap;
+    prog.slow_task_fraction = options.slow_task_fraction;
+    std::string source = BoomMrJtProgram(prog);
+    cluster.AddOverlogNode(options.jobtracker, [source](Engine& engine) {
+      Status status = engine.InstallSource(source);
+      BOOM_CHECK(status.ok()) << "BOOM-MR JobTracker program failed to install: "
+                              << status.ToString();
+    });
+  } else {
+    HadoopJtOptions jt_opts;
+    jt_opts.policy = options.policy;
+    jt_opts.speculative_cap = options.speculative_cap;
+    jt_opts.slow_task_fraction = options.slow_task_fraction;
+    cluster.AddActor(std::make_unique<HadoopJobTracker>(options.jobtracker, jt_opts));
+  }
+
+  for (int i = 0; i < options.num_trackers; ++i) {
+    std::string tt = options.jobtracker + "_tt" + std::to_string(i);
+    TaskTrackerOptions tt_opts;
+    tt_opts.jobtracker = options.jobtracker;
+    tt_opts.map_slots = options.map_slots;
+    tt_opts.reduce_slots = options.reduce_slots;
+    tt_opts.heartbeat_period_ms = options.heartbeat_period_ms;
+    tt_opts.progress_period_ms = options.progress_period_ms;
+    if (static_cast<size_t>(i) < options.tracker_slowdowns.size()) {
+      tt_opts.slowdown = options.tracker_slowdowns[static_cast<size_t>(i)];
+    }
+    cluster.AddActor(std::make_unique<TaskTracker>(tt, tt_opts, handles.data_plane));
+    handles.trackers.push_back(std::move(tt));
+  }
+
+  auto client = std::make_unique<MrClient>(options.jobtracker + "_client",
+                                           options.jobtracker, handles.data_plane);
+  handles.client = client.get();
+  cluster.AddActor(std::move(client));
+  return handles;
+}
+
+double RunJobSync(Cluster& cluster, MrHandles& handles, JobSpec spec, double timeout_ms) {
+  double finish = -1;
+  bool done = false;
+  handles.client->Submit(cluster, std::move(spec), [&finish, &done](double t) {
+    finish = t;
+    done = true;
+  });
+  double deadline = cluster.now() + timeout_ms;
+  while (!done && cluster.now() < deadline) {
+    cluster.RunUntil(cluster.now() + 50.0);
+  }
+  return done ? finish : -1;
+}
+
+}  // namespace boom

@@ -1,0 +1,58 @@
+// Cluster assembly for MapReduce: a JobTracker (BOOM-MR Overlog or Hadoop baseline), a pool
+// of TaskTrackers, a client, and a shared data plane — plus a synchronous job runner.
+
+#ifndef SRC_BOOMMR_BOOMMR_H_
+#define SRC_BOOMMR_BOOMMR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/boommr/jt_program.h"
+#include "src/boommr/mr_client.h"
+#include "src/boommr/mr_types.h"
+#include "src/boommr/tasktracker.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+enum class MrKind {
+  kBoomMr,          // Overlog JobTracker
+  kHadoopBaseline,  // imperative JobTracker
+};
+
+const char* MrKindName(MrKind kind);
+
+struct MrSetupOptions {
+  MrKind kind = MrKind::kBoomMr;
+  MrPolicy policy = MrPolicy::kFifo;
+  std::string jobtracker = "jt";
+  int num_trackers = 10;
+  int map_slots = 2;
+  int reduce_slots = 2;
+  double heartbeat_period_ms = 200;
+  double progress_period_ms = 500;
+  int speculative_cap = 10;
+  double slow_task_fraction = 0.5;
+  // Straggler injection: per-tracker slowdown factors; index i applies to tracker i
+  // (missing entries default to 1.0).
+  std::vector<double> tracker_slowdowns;
+};
+
+struct MrHandles {
+  std::string jobtracker;
+  std::vector<std::string> trackers;
+  MrClient* client = nullptr;                 // owned by the cluster
+  std::shared_ptr<MrDataPlane> data_plane;
+};
+
+MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options);
+
+// Submits `spec` and drives the simulation until the job finishes (or timeout). Returns the
+// finish time, or a negative value on timeout.
+double RunJobSync(Cluster& cluster, MrHandles& handles, JobSpec spec,
+                  double timeout_ms = 600000);
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_BOOMMR_H_

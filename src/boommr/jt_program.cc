@@ -1,0 +1,203 @@
+#include "src/boommr/jt_program.h"
+
+namespace boom {
+
+const char* MrPolicyName(MrPolicy policy) {
+  switch (policy) {
+    case MrPolicy::kFifo:
+      return "FIFO";
+    case MrPolicy::kLate:
+      return "LATE";
+  }
+  return "?";
+}
+
+namespace {
+
+// Core scheduler: state relations, FIFO policy, barrier between map and reduce phases,
+// completion tracking. All state updates are deferred (@next); assignments and client
+// notifications are events.
+constexpr char kSchedulerProgram[] = R"olg(
+program boommr_jt;
+
+/////////////////////////////////////////////////////////////////////////////
+// The four relations at the heart of BOOM-MR (paper section on MapReduce).
+/////////////////////////////////////////////////////////////////////////////
+table job(JobId, Client, SubmitTime, NumMaps, NumReduces, Status) keys(0);
+table task(JobId, TaskId, Type, Status) keys(0, 1, 2);
+table attempt(JobId, TaskId, AttemptId, Tracker, Status, Progress, StartTime, EndTime, Spec) keys(2);
+table tasktracker(TT, LastHb) keys(0);
+
+/////////////////////////////////////////////////////////////////////////////
+// Protocol events.
+/////////////////////////////////////////////////////////////////////////////
+event mr_submit(Addr, JobId, Client, NumMaps, NumReduces);
+event mr_task(Addr, JobId, TaskId, Type);
+event mr_job_done(Addr, JobId, FinishTime);
+event tt_hb(Addr, TT, FreeMap, FreeReduce);
+event tt_progress(Addr, TT, JobId, TaskId, AttemptId, Progress);
+event tt_done(Addr, TT, JobId, TaskId, AttemptId, Type);
+event assign(Addr, JobId, TaskId, AttemptId, Type, Spec);
+
+/////////////////////////////////////////////////////////////////////////////
+// Job and task intake.
+/////////////////////////////////////////////////////////////////////////////
+s1 job(J, C, T, M, R, "running")@next :- mr_submit(_, J, C, M, R), T := f_now();
+s2 task(J, T, Ty, "pending")@next :- mr_task(_, J, T, Ty);
+s3 tasktracker(TT, T) :- tt_hb(_, TT, _, _), T := f_now();
+
+/////////////////////////////////////////////////////////////////////////////
+// Phase barrier: reduces become runnable when every map of the job is done.
+/////////////////////////////////////////////////////////////////////////////
+table map_done_cnt(JobId, N) keys(0);
+table reduce_done_cnt(JobId, N) keys(0);
+table maps_done(JobId) keys(0);
+b1 map_done_cnt(J, count<T>) :- task(J, T, "map", "done");
+b2 reduce_done_cnt(J, count<T>) :- task(J, T, "reduce", "done");
+b3 maps_done(J) :- job(J, _, _, M, _, "running"), map_done_cnt(J, N), N == M;
+b4 maps_done(J) :- job(J, _, _, 0, _, "running");
+
+/////////////////////////////////////////////////////////////////////////////
+// FIFO policy: when a tracker advertises a free slot, hand it the pending
+// task of the oldest running job. min<> over [SubmitTime, JobId, TaskId]
+// triples gives the FIFO order declaratively.
+/////////////////////////////////////////////////////////////////////////////
+event best_map(TT, Cand);
+event best_reduce(TT, Cand);
+f1 best_map(TT, min<Cand>) :- tt_hb(_, TT, FreeM, _), FreeM > 0,
+                              task(J, T, "map", "pending"),
+                              job(J, _, S, _, _, "running"),
+                              Cand := [S, J, T];
+f2 best_reduce(TT, min<Cand>) :- tt_hb(_, TT, _, FreeR), FreeR > 0,
+                                 task(J, T, "reduce", "pending"),
+                                 job(J, _, S, _, _, "running"), maps_done(J),
+                                 Cand := [S, J, T];
+
+event launch(TT, JobId, TaskId, Type, Spec);
+f3 launch(TT, J, T, "map", false) :- best_map(TT, Cand),
+                                     J := list_get(Cand, 1), T := list_get(Cand, 2);
+f4 launch(TT, J, T, "reduce", false) :- best_reduce(TT, Cand),
+                                        J := list_get(Cand, 1), T := list_get(Cand, 2);
+
+/////////////////////////////////////////////////////////////////////////////
+// Launch machinery (shared by FIFO and LATE): mint an attempt id, notify the
+// tracker, record the attempt, flip the task to running.
+/////////////////////////////////////////////////////////////////////////////
+event launch2(TT, JobId, TaskId, Type, Spec, AttemptId);
+l1 launch2(TT, J, T, Ty, Sp, Aid) :- launch(TT, J, T, Ty, Sp), Aid := f_unique_id();
+l2 assign(@TT, J, T, Aid, Ty, Sp) :- launch2(TT, J, T, Ty, Sp, Aid);
+l3 attempt(J, T, Aid, TT, "running", 0.0, Now, 0.0, Sp)@next :-
+       launch2(TT, J, T, Ty, Sp, Aid), Now := f_now();
+l4 task(J, T, Ty, "running")@next :- launch2(TT, J, T, Ty, false, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// Progress and completion reports.
+/////////////////////////////////////////////////////////////////////////////
+p1 attempt(J, T, Aid, TT, "running", Pr, St, 0.0, Sp)@next :-
+       tt_progress(_, _, J, T, Aid, Pr), attempt(J, T, Aid, TT, "running", _, St, _, Sp);
+c1 task(J, T, Ty, "done")@next :- tt_done(_, _, J, T, _, Ty), task(J, T, Ty, _);
+c2 attempt(J, T, Aid, TT, "done", 1.0, St, En, Sp)@next :-
+       tt_done(_, _, J, T, Aid, _), attempt(J, T, Aid, TT, _, _, St, _, Sp),
+       En := f_now();
+
+/////////////////////////////////////////////////////////////////////////////
+// Job completion: all maps and reduces done.
+/////////////////////////////////////////////////////////////////////////////
+j1 job(J, C, S, M, R, "done")@next :- job(J, C, S, M, R, "running"),
+                                      map_done_cnt(J, DM), DM == M,
+                                      reduce_done_cnt(J, DR), DR == R, R > 0;
+j2 job(J, C, S, M, 0, "done")@next :- job(J, C, S, M, 0, "running"),
+                                      map_done_cnt(J, DM), DM == M, M > 0;
+// Degenerate shapes: count aggregates have no row when zero tasks of a type exist.
+j4 job(J, C, S, 0, 0, "done")@next :- job(J, C, S, 0, 0, "running");
+j5 job(J, C, S, 0, R, "done")@next :- job(J, C, S, 0, R, "running"),
+                                      reduce_done_cnt(J, DR), DR == R, R > 0;
+j3 mr_job_done(@C, J, T) :- job(J, C, _, _, _, "done"), T := f_now();
+
+/////////////////////////////////////////////////////////////////////////////
+// TaskTracker failure handling: a silent tracker is declared dead; its
+// running attempts fail and their tasks go back to pending for re-execution.
+/////////////////////////////////////////////////////////////////////////////
+timer tt_check($TTCHECK);
+event tt_dead(TT);
+x1 tt_dead(TT) :- tt_check(_), tasktracker(TT, T), f_now() - T > $TTTO;
+x2 delete tasktracker(TT, T) :- tt_dead(TT), tasktracker(TT, T);
+x3 attempt(J, T, A, TT, "failed", Pr, St, En, Sp)@next :-
+       tt_dead(TT), attempt(J, T, A, TT, "running", Pr, St, En, Sp);
+x4 task(J, T, Ty, "pending")@next :- tt_dead(TT),
+                                     attempt(J, T, _, TT, "running", _, _, _, false),
+                                     task(J, T, Ty, "running");
+)olg";
+
+// LATE speculative execution. When a tracker has a free slot and there is no pending work,
+// re-execute the running attempt with the Longest Approximate Time to End, provided the
+// attempt is slow relative to the fleet (rate below $SLOWFRAC of the average) and the number
+// of in-flight speculative attempts is under $SPECCAP. This condenses the LATE heuristics
+// into five rules — the paper's point about policy being data.
+constexpr char kLateProgram[] = R"olg(
+// ---- LATE speculation policy ----
+table spec_attempt(JobId, TaskId, Type) keys(0, 1, 2);
+table spec_running_cnt(K, N) keys(0);
+table rate_stats(K, AvgRate) keys(0);
+event spec_req(TT, Type);
+event spec_cand(TT, Type, Cand);
+event spec_launch(TT, JobId, TaskId, Type);
+
+sl0 spec_running_cnt(1, count<A>) :- attempt(_, _, A, _, "running", _, _, _, true);
+table attempt_rate(AttemptId, Rate) keys(0);
+ar1 attempt_rate(A, Rate) :- attempt(_, _, A, _, "running", Pr, St, _, _), Pr > 0.0,
+                             Rate := Pr / (f_now() - St + 1.0);
+ar2 attempt_rate(A, Rate) :- attempt(_, _, A, _, "done", _, St, En, _),
+                             Rate := 1.0 / (En - St + 1.0);
+sl1 rate_stats(1, avg<Rate>) :- attempt_rate(_, Rate);
+
+sr1 spec_req(TT, "map") :- tt_hb(_, TT, FreeM, _), FreeM > 0,
+                           notin task(_, _, "map", "pending");
+sr2 spec_req(TT, "reduce") :- tt_hb(_, TT, _, FreeR), FreeR > 0,
+                              notin task(_, _, "reduce", "pending");
+
+sc1 spec_cand(TT, Ty, max<Cand>) :- spec_req(TT, Ty),
+                                    attempt(J, T, _, _, "running", Pr, St, _, false),
+                                    task(J, T, Ty, "running"),
+                                    notin spec_attempt(J, T, Ty),
+                                    rate_stats(1, AvgRate),
+                                    Pr > 0.0, Pr < 1.0,
+                                    Rate := Pr / (f_now() - St + 1.0),
+                                    Rate < AvgRate * $SLOWFRAC,
+                                    TimeLeft := (1.0 - Pr) / (Rate + 0.000001),
+                                    Cand := [TimeLeft, J, T];
+
+sp1 spec_launch(TT, J, T, Ty) :- spec_cand(TT, Ty, Cand), spec_running_cnt(1, N),
+                                 N < $SPECCAP,
+                                 J := list_get(Cand, 1), T := list_get(Cand, 2);
+sp2 spec_launch(TT, J, T, Ty) :- spec_cand(TT, Ty, Cand),
+                                 notin attempt(_, _, _, _, "running", _, _, _, true),
+                                 J := list_get(Cand, 1), T := list_get(Cand, 2);
+
+sp3 launch(TT, J, T, Ty, true) :- spec_launch(TT, J, T, Ty);
+sp4 spec_attempt(J, T, Ty)@next :- spec_launch(_, J, T, Ty);
+)olg";
+
+void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = s->find(from, pos)) != std::string::npos) {
+    s->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+}  // namespace
+
+std::string BoomMrJtProgram(const JtProgramOptions& options) {
+  std::string out = kSchedulerProgram;
+  ReplaceAll(&out, "$TTCHECK", std::to_string(options.tracker_check_period_ms));
+  ReplaceAll(&out, "$TTTO", std::to_string(options.tracker_timeout_ms));
+  if (options.policy == MrPolicy::kLate) {
+    out += kLateProgram;
+    ReplaceAll(&out, "$SPECCAP", std::to_string(options.speculative_cap));
+    ReplaceAll(&out, "$SLOWFRAC", std::to_string(options.slow_task_fraction));
+  }
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,36 @@
+// The BOOM-MR JobTracker as an Overlog program — the paper's headline result for MapReduce:
+// Hadoop's scheduling core becomes four relations (job, task, attempt, tasktracker) plus a
+// handful of rules, and the scheduling *policy* is a swappable rule set. Two policies ship,
+// matching the paper: the default FIFO policy and the LATE speculative-execution policy
+// (Zaharia et al., OSDI 2008).
+
+#ifndef SRC_BOOMMR_JT_PROGRAM_H_
+#define SRC_BOOMMR_JT_PROGRAM_H_
+
+#include <string>
+
+namespace boom {
+
+enum class MrPolicy {
+  kFifo,  // no speculation
+  kLate,  // FIFO + LATE speculative re-execution of stragglers
+};
+
+const char* MrPolicyName(MrPolicy policy);
+
+struct JtProgramOptions {
+  MrPolicy policy = MrPolicy::kFifo;
+  // LATE parameters (fractions, as in the paper).
+  int speculative_cap = 10;        // max concurrent speculative attempts
+  double slow_task_fraction = 0.5;  // attempt is "slow" if rate < fraction * avg rate
+  // TaskTracker failure detection: silent trackers lose their running attempts.
+  double tracker_check_period_ms = 1000;
+  double tracker_timeout_ms = 3000;
+};
+
+// Returns the JobTracker Overlog program text.
+std::string BoomMrJtProgram(const JtProgramOptions& options = {});
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_JT_PROGRAM_H_

@@ -1,0 +1,44 @@
+#include "src/boommr/mr_client.h"
+
+#include "src/boommr/mr_protocol.h"
+
+namespace boom {
+
+void MrClient::Submit(Cluster& cluster, JobSpec spec,
+                      std::function<void(double)> done) {
+  int64_t job = spec.job_id;
+  int num_maps = spec.num_maps;
+  int num_reduces = spec.num_reduces;
+  data_plane_->RegisterJob(std::move(spec));
+  data_plane_->metrics().job_submit_ms[job] = cluster.now();
+  pending_[job] = std::move(done);
+
+  cluster.Send(address(), jobtracker_, kMrSubmit,
+               Tuple{Value(jobtracker_), Value(job), Value(address()), Value(num_maps),
+                     Value(num_reduces)});
+  for (int t = 0; t < num_maps; ++t) {
+    cluster.Send(address(), jobtracker_, kMrTask,
+                 Tuple{Value(jobtracker_), Value(job), Value(t), Value(kTaskMap)});
+  }
+  for (int t = 0; t < num_reduces; ++t) {
+    cluster.Send(address(), jobtracker_, kMrTask,
+                 Tuple{Value(jobtracker_), Value(job), Value(t), Value(kTaskReduce)});
+  }
+}
+
+void MrClient::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kMrJobDone) {
+    // (Client, JobId, FinishTime)
+    int64_t job = msg.tuple[1].as_int();
+    auto it = pending_.find(job);
+    if (it == pending_.end()) {
+      return;  // duplicate completion notice
+    }
+    auto cb = std::move(it->second);
+    pending_.erase(it);
+    data_plane_->metrics().job_done_ms[job] = cluster.now();
+    cb(cluster.now());
+  }
+}
+
+}  // namespace boom

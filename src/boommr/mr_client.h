@@ -1,0 +1,42 @@
+// MrClient: submits jobs to a JobTracker (either implementation) and awaits completion.
+
+#ifndef SRC_BOOMMR_MR_CLIENT_H_
+#define SRC_BOOMMR_MR_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/boommr/mr_types.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+class MrClient : public Actor {
+ public:
+  MrClient(std::string address, std::string jobtracker,
+           std::shared_ptr<MrDataPlane> data_plane)
+      : Actor(std::move(address)),
+        jobtracker_(std::move(jobtracker)),
+        data_plane_(std::move(data_plane)) {}
+
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+  // Registers the job in the data plane and streams the submit + task events to the
+  // JobTracker. `done` fires when mr_job_done arrives.
+  void Submit(Cluster& cluster, JobSpec spec, std::function<void(double finish_ms)> done);
+
+  // Fresh process-unique job id.
+  int64_t NextJobId() { return next_job_id_++; }
+
+ private:
+  std::string jobtracker_;
+  std::shared_ptr<MrDataPlane> data_plane_;
+  std::map<int64_t, std::function<void(double)>> pending_;
+  int64_t next_job_id_ = 1;
+};
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_MR_CLIENT_H_

@@ -1,0 +1,35 @@
+// MapReduce control-plane protocol, shared by the BOOM-MR (Overlog) JobTracker and the
+// Hadoop-baseline (imperative) JobTracker. TaskTrackers and MR clients are agnostic about
+// which JobTracker they talk to.
+//
+// Client -> JobTracker:
+//   mr_submit(JT, JobId, Client, NumMaps, NumReduces)
+//   mr_task(JT, JobId, TaskId, Type)            Type in {"map", "reduce"}
+// JobTracker -> client:
+//   mr_job_done(Client, JobId, FinishTime)
+// TaskTracker -> JobTracker:
+//   tt_hb(JT, TT, FreeMapSlots, FreeReduceSlots)
+//   tt_progress(JT, TT, JobId, TaskId, AttemptId, Progress)
+//   tt_done(JT, TT, JobId, TaskId, AttemptId, Type)
+// JobTracker -> TaskTracker:
+//   assign(TT, JobId, TaskId, AttemptId, Type, Speculative)
+
+#ifndef SRC_BOOMMR_MR_PROTOCOL_H_
+#define SRC_BOOMMR_MR_PROTOCOL_H_
+
+namespace boom {
+
+inline constexpr char kMrSubmit[] = "mr_submit";
+inline constexpr char kMrTask[] = "mr_task";
+inline constexpr char kMrJobDone[] = "mr_job_done";
+inline constexpr char kTtHb[] = "tt_hb";
+inline constexpr char kTtProgress[] = "tt_progress";
+inline constexpr char kTtDone[] = "tt_done";
+inline constexpr char kAssign[] = "assign";
+
+inline constexpr char kTaskMap[] = "map";
+inline constexpr char kTaskReduce[] = "reduce";
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_MR_PROTOCOL_H_

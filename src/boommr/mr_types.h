@@ -1,0 +1,141 @@
+// Shared MapReduce job machinery: job specifications, the in-process data plane, and the
+// metrics sink the benchmarks read.
+//
+// Scheduling and control flow are strictly message-passing (through either JobTracker); the
+// *data* plane — input splits, intermediate shuffle files, task outputs — lives in a shared
+// in-process object, mirroring the paper's split where Hadoop's data path stayed in Java.
+// Task durations come from a pluggable model so benchmarks can impose lognormal workloads
+// and stragglers while examples run real map/reduce functions over real bytes.
+
+#ifndef SRC_BOOMMR_MR_TYPES_H_
+#define SRC_BOOMMR_MR_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+struct TaskRef {
+  int64_t job_id = 0;
+  int64_t task_id = 0;
+  bool is_map = true;
+};
+
+using KvPair = std::pair<std::string, std::string>;
+// Map: input split bytes -> intermediate key/value pairs.
+using MapFn = std::function<void(const std::string& input, std::vector<KvPair>* out)>;
+// Reduce: key + all its values -> output line.
+using ReduceFn =
+    std::function<std::string(const std::string& key, const std::vector<std::string>& values)>;
+// Virtual-time duration of a task attempt on a given tracker (before the tracker's own
+// slowdown factor is applied).
+using DurationFn = std::function<double(const TaskRef& task, const std::string& tracker)>;
+
+struct JobSpec {
+  int64_t job_id = 0;
+  std::string client;
+  int num_maps = 0;
+  int num_reduces = 0;
+  // Optional real data-plane work (null fns = pure simulation).
+  MapFn map_fn;
+  ReduceFn reduce_fn;
+  std::vector<std::string> map_inputs;  // one split per map task
+  // Timing model; when null a small constant is used.
+  DurationFn duration_ms;
+};
+
+struct AttemptRecord {
+  int64_t job_id = 0;
+  int64_t task_id = 0;
+  int64_t attempt_id = 0;
+  std::string tracker;
+  bool is_map = true;
+  bool speculative = false;
+  double start_ms = 0;
+  double end_ms = -1;       // -1 while running
+  bool won = false;         // this attempt completed first for its task
+};
+
+// Metrics sink shared by trackers / clients; benchmarks read it after the run.
+struct MrMetrics {
+  std::vector<AttemptRecord> attempts;
+  std::map<int64_t, double> job_submit_ms;
+  std::map<int64_t, double> job_done_ms;
+  std::map<std::tuple<int64_t, int64_t, bool>, double>
+      task_first_done_ms;  // (job, task, is_map)
+
+  // Completion times (end - job submit) of winning attempts of the given type.
+  std::vector<double> TaskCompletionTimes(bool maps) const {
+    std::vector<double> out;
+    for (const AttemptRecord& a : attempts) {
+      if (a.is_map == maps && a.won && a.end_ms >= 0) {
+        auto it = job_submit_ms.find(a.job_id);
+        if (it != job_submit_ms.end()) {
+          out.push_back(a.end_ms - it->second);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+// In-process data plane: job registry, intermediate shuffle partitions, reduce outputs.
+class MrDataPlane {
+ public:
+  void RegisterJob(JobSpec spec) {
+    BOOM_CHECK(jobs_.emplace(spec.job_id, std::move(spec)).second) << "duplicate job";
+  }
+  const JobSpec* FindJob(int64_t job_id) const {
+    auto it = jobs_.find(job_id);
+    return it == jobs_.end() ? nullptr : &it->second;
+  }
+
+  // Map output for one (job, map task, reduce partition).
+  void PutIntermediate(int64_t job, int64_t map_task, int64_t partition,
+                       std::vector<KvPair> kvs) {
+    intermediates_[{job, map_task, partition}] = std::move(kvs);
+  }
+  // All intermediate pairs destined for one reduce partition.
+  std::vector<KvPair> CollectPartition(int64_t job, int64_t partition) const {
+    std::vector<KvPair> out;
+    for (const auto& [key, kvs] : intermediates_) {
+      const auto& [j, m, p] = key;
+      if (j == job && p == partition) {
+        out.insert(out.end(), kvs.begin(), kvs.end());
+      }
+    }
+    return out;
+  }
+
+  void PutOutput(int64_t job, int64_t reduce_task, std::string data) {
+    outputs_[{job, reduce_task}] = std::move(data);
+  }
+  // Concatenated reduce outputs in partition order.
+  std::string JobOutput(int64_t job) const {
+    std::string out;
+    for (const auto& [key, data] : outputs_) {
+      if (key.first == job) {
+        out += data;
+      }
+    }
+    return out;
+  }
+
+  MrMetrics& metrics() { return metrics_; }
+
+ private:
+  std::map<int64_t, JobSpec> jobs_;
+  std::map<std::tuple<int64_t, int64_t, int64_t>, std::vector<KvPair>> intermediates_;
+  std::map<std::pair<int64_t, int64_t>, std::string> outputs_;
+  MrMetrics metrics_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_MR_TYPES_H_

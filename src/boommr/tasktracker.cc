@@ -1,0 +1,201 @@
+#include "src/boommr/tasktracker.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/boommr/mr_protocol.h"
+
+namespace boom {
+
+void TaskTracker::OnStart(Cluster& cluster) {
+  ++start_epoch_;
+  SendHeartbeat(cluster);
+  HeartbeatLoop(cluster);
+}
+
+void TaskTracker::HeartbeatLoop(Cluster& cluster) {
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.heartbeat_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    SendHeartbeat(cluster);
+    HeartbeatLoop(cluster);
+  });
+}
+
+void TaskTracker::SendHeartbeat(Cluster& cluster) {
+  int64_t free_map = std::max(0, options_.map_slots - running_maps_);
+  int64_t free_reduce = std::max(0, options_.reduce_slots - running_reduces_);
+  cluster.Send(address(), options_.jobtracker, kTtHb,
+               Tuple{Value(options_.jobtracker), Value(address()), Value(free_map),
+                     Value(free_reduce)});
+}
+
+void TaskTracker::StartAttempt(const Message& msg, Cluster& cluster) {
+  // assign(TT, JobId, TaskId, AttemptId, Type, Spec)
+  RunningAttempt attempt;
+  attempt.job_id = msg.tuple[1].as_int();
+  attempt.task_id = msg.tuple[2].as_int();
+  attempt.attempt_id = msg.tuple[3].as_int();
+  attempt.is_map = msg.tuple[4].as_string() == kTaskMap;
+  attempt.speculative = msg.tuple[5].Truthy();
+  attempt.start_ms = cluster.now();
+
+  const JobSpec* job = data_plane_->FindJob(attempt.job_id);
+  double base = 100.0;
+  if (job != nullptr && job->duration_ms) {
+    TaskRef ref{attempt.job_id, attempt.task_id, attempt.is_map};
+    base = job->duration_ms(ref, address());
+  }
+  attempt.duration_ms = base * options_.slowdown;
+
+  int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
+  int slots = attempt.is_map ? options_.map_slots : options_.reduce_slots;
+  if (running_count >= slots) {
+    queued_.push_back(std::move(attempt));  // over-assignment: wait for a slot
+    return;
+  }
+  LaunchNow(std::move(attempt), cluster);
+}
+
+void TaskTracker::LaunchNow(RunningAttempt attempt, Cluster& cluster) {
+  int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
+  ++running_count;
+  attempt.start_ms = cluster.now();
+
+  AttemptRecord record;
+  record.job_id = attempt.job_id;
+  record.task_id = attempt.task_id;
+  record.attempt_id = attempt.attempt_id;
+  record.tracker = address();
+  record.is_map = attempt.is_map;
+  record.speculative = attempt.speculative;
+  record.start_ms = attempt.start_ms;
+  attempt.metrics_index = data_plane_->metrics().attempts.size();
+  data_plane_->metrics().attempts.push_back(record);
+
+  int64_t attempt_id = attempt.attempt_id;
+  double duration = attempt.duration_ms;
+  running_.emplace(attempt_id, std::move(attempt));
+  ReportProgress(attempt_id, cluster);
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(duration, [this, &cluster, attempt_id, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    FinishAttempt(attempt_id, cluster);
+  });
+}
+
+void TaskTracker::ReportProgress(int64_t attempt_id, Cluster& cluster) {
+  auto it = running_.find(attempt_id);
+  if (it == running_.end()) {
+    return;
+  }
+  const RunningAttempt& attempt = it->second;
+  double progress =
+      std::min(1.0, (cluster.now() - attempt.start_ms) / std::max(1.0, attempt.duration_ms));
+  cluster.Send(address(), options_.jobtracker, kTtProgress,
+               Tuple{Value(options_.jobtracker), Value(address()), Value(attempt.job_id),
+                     Value(attempt.task_id), Value(attempt_id), Value(progress)});
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.progress_period_ms, [this, &cluster, attempt_id, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    ReportProgress(attempt_id, cluster);
+  });
+}
+
+void TaskTracker::ExecuteWork(const RunningAttempt& attempt) {
+  const JobSpec* job = data_plane_->FindJob(attempt.job_id);
+  if (job == nullptr) {
+    return;
+  }
+  if (attempt.is_map) {
+    if (!job->map_fn) {
+      return;
+    }
+    std::string input;
+    if (attempt.task_id >= 0 &&
+        static_cast<size_t>(attempt.task_id) < job->map_inputs.size()) {
+      input = job->map_inputs[static_cast<size_t>(attempt.task_id)];
+    }
+    std::vector<KvPair> kvs;
+    job->map_fn(input, &kvs);
+    // Partition intermediates by key hash, as Hadoop does.
+    std::vector<std::vector<KvPair>> parts(
+        static_cast<size_t>(std::max(1, job->num_reduces)));
+    for (KvPair& kv : kvs) {
+      size_t p = Fnv1a64(kv.first) % parts.size();
+      parts[p].push_back(std::move(kv));
+    }
+    for (size_t p = 0; p < parts.size(); ++p) {
+      data_plane_->PutIntermediate(attempt.job_id, attempt.task_id,
+                                   static_cast<int64_t>(p), std::move(parts[p]));
+    }
+    return;
+  }
+  if (!job->reduce_fn) {
+    return;
+  }
+  std::vector<KvPair> pairs = data_plane_->CollectPartition(attempt.job_id, attempt.task_id);
+  std::map<std::string, std::vector<std::string>> grouped;
+  for (KvPair& kv : pairs) {
+    grouped[kv.first].push_back(std::move(kv.second));
+  }
+  std::string out;
+  for (const auto& [key, values] : grouped) {
+    out += job->reduce_fn(key, values);
+  }
+  data_plane_->PutOutput(attempt.job_id, attempt.task_id, std::move(out));
+}
+
+void TaskTracker::FinishAttempt(int64_t attempt_id, Cluster& cluster) {
+  auto it = running_.find(attempt_id);
+  if (it == running_.end()) {
+    return;
+  }
+  RunningAttempt attempt = std::move(it->second);
+  running_.erase(it);
+
+  ExecuteWork(attempt);
+
+  MrMetrics& metrics = data_plane_->metrics();
+  metrics.attempts[attempt.metrics_index].end_ms = cluster.now();
+  auto task_key = std::make_tuple(attempt.job_id, attempt.task_id, attempt.is_map);
+  if (metrics.task_first_done_ms.count(task_key) == 0) {
+    metrics.task_first_done_ms[task_key] = cluster.now();
+    metrics.attempts[attempt.metrics_index].won = true;
+  }
+
+  cluster.Send(address(), options_.jobtracker, kTtDone,
+               Tuple{Value(options_.jobtracker), Value(address()), Value(attempt.job_id),
+                     Value(attempt.task_id), Value(attempt_id),
+                     Value(attempt.is_map ? kTaskMap : kTaskReduce)});
+
+  int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
+  --running_count;
+
+  // Pull over-assigned work of the freed kind.
+  for (auto queued_it = queued_.begin(); queued_it != queued_.end(); ++queued_it) {
+    if (queued_it->is_map == attempt.is_map) {
+      RunningAttempt next = std::move(*queued_it);
+      queued_.erase(queued_it);
+      LaunchNow(std::move(next), cluster);
+      break;
+    }
+  }
+  SendHeartbeat(cluster);  // advertise the freed slot promptly
+}
+
+void TaskTracker::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kAssign) {
+    StartAttempt(msg, cluster);
+    return;
+  }
+  BOOM_LOG(Warning) << "TaskTracker " << address() << ": unknown message " << msg.table;
+}
+
+}  // namespace boom

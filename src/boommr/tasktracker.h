@@ -1,0 +1,74 @@
+// TaskTracker: runs assigned task attempts. Heartbeats advertise free slots; progress
+// reports drive the JobTracker's (and LATE's) estimates; completion frees the slot. Real
+// map/reduce functions execute at completion time through the shared data plane.
+
+#ifndef SRC_BOOMMR_TASKTRACKER_H_
+#define SRC_BOOMMR_TASKTRACKER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/boommr/mr_types.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct TaskTrackerOptions {
+  std::string jobtracker;
+  int map_slots = 2;
+  int reduce_slots = 2;
+  double heartbeat_period_ms = 200;
+  double progress_period_ms = 500;
+  // Straggler injection: all task durations on this tracker are multiplied by this factor.
+  double slowdown = 1.0;
+};
+
+class TaskTracker : public Actor {
+ public:
+  TaskTracker(std::string address, TaskTrackerOptions options,
+              std::shared_ptr<MrDataPlane> data_plane)
+      : Actor(std::move(address)),
+        options_(std::move(options)),
+        data_plane_(std::move(data_plane)) {}
+
+  void OnStart(Cluster& cluster) override;
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+  int running_maps() const { return running_maps_; }
+  int running_reduces() const { return running_reduces_; }
+  double slowdown() const { return options_.slowdown; }
+
+ private:
+  struct RunningAttempt {
+    int64_t job_id;
+    int64_t task_id;
+    int64_t attempt_id;
+    bool is_map;
+    bool speculative;
+    double start_ms;
+    double duration_ms;
+    size_t metrics_index;
+  };
+
+  void HeartbeatLoop(Cluster& cluster);
+  void SendHeartbeat(Cluster& cluster);
+  void StartAttempt(const Message& msg, Cluster& cluster);
+  void LaunchNow(RunningAttempt attempt, Cluster& cluster);
+  void ReportProgress(int64_t attempt_id, Cluster& cluster);
+  void FinishAttempt(int64_t attempt_id, Cluster& cluster);
+  void ExecuteWork(const RunningAttempt& attempt);
+
+  TaskTrackerOptions options_;
+  std::shared_ptr<MrDataPlane> data_plane_;
+  std::map<int64_t, RunningAttempt> running_;  // by attempt id
+  std::deque<RunningAttempt> queued_;          // over-assigned tasks wait for a slot
+  int running_maps_ = 0;
+  int running_reduces_ = 0;
+  uint64_t start_epoch_ = 0;
+};
+
+}  // namespace boom
+
+#endif  // SRC_BOOMMR_TASKTRACKER_H_

@@ -1,0 +1,143 @@
+#include "src/chord/chord_program.h"
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace boom {
+
+namespace {
+
+// The ring-interval tests are spelled out inline (Overlog has no macros): K in (My, S] for
+// routing, X in (A, B) open for pointer adoption — both with wraparound.
+constexpr char kChordRules[] = R"olg(
+event find_succ(Addr, Key, ReplyTo, Tag, Hops);
+event found_succ(Addr, Tag, Key, OwnerAddr, OwnerId, Hops);
+event get_pred(Addr, From);
+event pred_reply(Addr, PredAddr, PredId);
+event notify_msg(Addr, From, FromId);
+
+predecessor(1, "", -1);
+
+/////////////////////////////////////////////////////////////////////////////
+// Join: ask the bootstrap node who owns our own id; that owner is our
+// successor. (Fires once, at install, via the node_id seed.)
+/////////////////////////////////////////////////////////////////////////////
+j1 find_succ(@B, MyId, Me, "join", 0) :- node_id(1, MyId), B := boot_addr,
+                                         Me := f_me(), B != Me;
+j2 successor(1, OA, OI)@next :- found_succ(@Me, "join", _, OA, OI, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// Lookup routing: if the key falls in (my id, successor id] (mod the ring),
+// the successor owns it; otherwise forward to the successor.
+/////////////////////////////////////////////////////////////////////////////
+rt1 found_succ(@R, Tag, K, SA, SI, H) :-
+        find_succ(@Me, K, R, Tag, H), node_id(1, MyId), successor(1, SA, SI), SA != "",
+        ((MyId < SI && K > MyId && K <= SI) ||
+         (MyId >= SI && (K > MyId || K <= SI)));
+rt2 find_succ(@SA, K, R, Tag, H2) :-
+        find_succ(@Me, K, R, Tag, H), node_id(1, MyId), successor(1, SA, SI), SA != "",
+        !((MyId < SI && K > MyId && K <= SI) ||
+          (MyId >= SI && (K > MyId || K <= SI))),
+        H2 := H + 1;
+
+/////////////////////////////////////////////////////////////////////////////
+// Stabilization (Chord's four classic steps): periodically ask the successor
+// for its predecessor; adopt it if it sits between us; then notify the
+// successor so it can adopt us as predecessor.
+/////////////////////////////////////////////////////////////////////////////
+st1 get_pred(@SA, Me) :- stab_t(_), successor(1, SA, _), SA != "", Me := f_me();
+st2 pred_reply(@F, PA, PI) :- get_pred(@Me, F), predecessor(1, PA, PI);
+st3 successor(1, PA, PI)@next :-
+        pred_reply(@Me, PA, PI), PA != "", node_id(1, MyId), successor(1, SA, SI),
+        PA != SA,
+        ((MyId < SI && PI > MyId && PI < SI) ||
+         (MyId >= SI && (PI > MyId || PI < SI)));
+st4 notify_msg(@SA, Me, MyId) :- stab_t(_), successor(1, SA, _), SA != "",
+                                 Me := f_me(), SA != Me, node_id(1, MyId);
+nt1 predecessor(1, F, FI)@next :- notify_msg(@Me, F, FI), predecessor(1, "", _);
+nt2 predecessor(1, F, FI)@next :-
+        notify_msg(@Me, F, FI), predecessor(1, PA, PI), PA != "", PA != F,
+        node_id(1, MyId),
+        ((PI < MyId && FI > PI && FI < MyId) ||
+         (PI >= MyId && (FI > PI || FI < MyId)));
+)olg";
+
+}  // namespace
+
+int64_t ChordId(const std::string& address, int64_t id_space) {
+  return static_cast<int64_t>(Fnv1a64(address) % static_cast<uint64_t>(id_space));
+}
+
+std::string ChordProgram(const std::string& address, const ChordOptions& options) {
+  int64_t id = ChordId(address, options.id_space);
+  std::string out = "program chord;\n";
+  out += "const boot_addr = \"" + options.bootstrap + "\";\n";
+  out += "table node_id(K, Id) keys(0);\n";
+  out += "table successor(K, Addr, Id) keys(0);\n";
+  out += "table predecessor(K, Addr, Id) keys(0);\n";
+  out += "timer stab_t(" + std::to_string(options.stabilize_period_ms) + ");\n";
+  out += "node_id(1, " + std::to_string(id) + ");\n";
+  if (address == options.bootstrap) {
+    // The bootstrap starts as a one-node ring: its own successor.
+    out += "successor(1, \"" + address + "\", " + std::to_string(id) + ");\n";
+  } else {
+    out += "successor(1, \"\", -1);\n";  // unknown until the join lookup answers
+  }
+  out += kChordRules;
+  return out;
+}
+
+void SetupChordRing(Cluster& cluster, const std::vector<std::string>& addresses,
+                    const ChordOptions& options) {
+  BOOM_CHECK(!addresses.empty());
+  ChordOptions opts = options;
+  if (opts.bootstrap.empty()) {
+    opts.bootstrap = addresses[0];
+  }
+  for (const std::string& address : addresses) {
+    std::string source = ChordProgram(address, opts);
+    cluster.AddOverlogNode(address, [source](Engine& engine) {
+      Status status = engine.InstallSource(source);
+      BOOM_CHECK(status.ok()) << "chord install failed: " << status.ToString();
+    });
+  }
+}
+
+std::string SuccessorOf(Cluster& cluster, const std::string& address) {
+  Engine* engine = cluster.engine(address);
+  if (engine == nullptr) {
+    return "";
+  }
+  const Tuple* row = engine->catalog().Get("successor").LookupByKey(Tuple{Value(1)});
+  return row == nullptr ? "" : (*row)[1].as_string();
+}
+
+std::string LookupSync(Cluster& cluster, const std::string& via, int64_t key, int* hops_out,
+                       double timeout_ms) {
+  Engine* engine = cluster.engine(via);
+  BOOM_CHECK(engine != nullptr);
+  static int64_t tag_counter = 0;
+  std::string tag = "lk" + std::to_string(++tag_counter);
+  std::string owner;
+  int hops = -1;
+  bool done = false;
+  engine->AddWatch("found_succ", [&](const std::string&, const Tuple& t, bool inserted) {
+    if (inserted && t[1] == Value(tag)) {
+      owner = t[3].as_string();
+      hops = static_cast<int>(t[5].as_int());
+      done = true;
+    }
+  });
+  cluster.Send(via, via, "find_succ",
+               Tuple{Value(via), Value(key), Value(via), Value(tag), Value(int64_t{0})});
+  double deadline = cluster.now() + timeout_ms;
+  while (!done && cluster.now() < deadline) {
+    cluster.RunUntil(cluster.now() + 5.0);
+  }
+  if (hops_out != nullptr) {
+    *hops_out = hops;
+  }
+  return done ? owner : "";
+}
+
+}  // namespace boom

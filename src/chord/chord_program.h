@@ -1,0 +1,44 @@
+// Chord in Overlog — the original declarative-networking showpiece (P2 implemented a full
+// Chord DHT in 47 rules; the BOOM papers cite it as the lineage's proof of concept). This
+// module provides a compact Chord: ring membership with successor/predecessor pointers,
+// join through a bootstrap node, periodic stabilization, and key lookup routed around the
+// ring. It demonstrates that the engine generalizes beyond the BOOM systems.
+
+#ifndef SRC_CHORD_CHORD_PROGRAM_H_
+#define SRC_CHORD_CHORD_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct ChordOptions {
+  std::string bootstrap;        // address of the first ring member
+  double stabilize_period_ms = 300;
+  int64_t id_space = 1 << 16;   // ring ids are hash(addr) % id_space
+};
+
+// Ring id of a node address.
+int64_t ChordId(const std::string& address, int64_t id_space = 1 << 16);
+
+// The per-node Overlog program ($-parameters baked in for `address`).
+std::string ChordProgram(const std::string& address, const ChordOptions& options);
+
+// Creates `addresses.size()` Overlog nodes running Chord (addresses[0] is bootstrap).
+void SetupChordRing(Cluster& cluster, const std::vector<std::string>& addresses,
+                    const ChordOptions& options = {});
+
+// Reads a node's current successor pointer ("" while joining).
+std::string SuccessorOf(Cluster& cluster, const std::string& address);
+
+// Issues a lookup for `key` at `via` and runs the cluster until the answer arrives.
+// Returns the owner address (empty on timeout) and stores the hop count.
+std::string LookupSync(Cluster& cluster, const std::string& via, int64_t key,
+                       int* hops_out = nullptr, double timeout_ms = 10000);
+
+}  // namespace boom
+
+#endif  // SRC_CHORD_CHORD_PROGRAM_H_

@@ -1,0 +1,247 @@
+#include "src/hdfs_baseline/namenode.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+
+void HdfsNameNode::OnStart(Cluster& cluster) {
+  ++start_epoch_;
+  ArmFailureCheck(cluster);
+}
+
+void HdfsNameNode::ArmFailureCheck(Cluster& cluster) {
+  if (!options_.with_failure_detector) {
+    return;
+  }
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.failure_check_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    CheckFailures(cluster);
+    ArmFailureCheck(cluster);
+  });
+}
+
+const HdfsNameNode::Inode* HdfsNameNode::Resolve(const std::string& path) const {
+  int64_t cur = 0;
+  for (const std::string& comp : PathComponents(path)) {
+    auto it = children_.find({cur, comp});
+    if (it == children_.end()) {
+      return nullptr;
+    }
+    cur = it->second;
+  }
+  auto it = inodes_.find(cur);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+void HdfsNameNode::Respond(Cluster& cluster, const std::string& client, int64_t req, bool ok,
+                           Value payload) {
+  cluster.Send(address(), client, kNsResponse,
+               Tuple{Value(client), Value(req), Value(ok), std::move(payload)});
+}
+
+std::vector<std::string> HdfsNameNode::PickDataNodes(int n) const {
+  // Least-loaded placement, same policy as the Overlog rules: order by (chunk count, name).
+  std::vector<std::pair<int64_t, std::string>> load;
+  load.reserve(datanodes_.size());
+  for (const auto& [dn, hb] : datanodes_) {
+    int64_t count = 0;
+    for (const auto& [chunk, locs] : chunk_locs_) {
+      if (locs.count(dn) > 0) {
+        ++count;
+      }
+    }
+    load.emplace_back(count, dn);
+  }
+  std::sort(load.begin(), load.end());
+  std::vector<std::string> out;
+  for (int i = 0; i < n && i < static_cast<int>(load.size()); ++i) {
+    out.push_back(load[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+
+void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
+  // (NN, ReqId, Client, Cmd, Path, Arg)
+  int64_t req = msg.tuple[1].as_int();
+  const std::string& client = msg.tuple[2].as_string();
+  const std::string& cmd = msg.tuple[3].as_string();
+  const std::string& path = msg.tuple[4].as_string();
+  const Value& arg = msg.tuple[5];
+
+  if (cmd == kCmdMkdir || cmd == kCmdCreate) {
+    std::string parent = PathDirname(path);
+    std::string name = PathBasename(path);
+    const Inode* dir = Resolve(parent);
+    if (name.empty() || dir == nullptr || !dir->is_dir ||
+        children_.count({dir->id, name}) > 0) {
+      Respond(cluster, client, req, false, Value(std::string(cmd) + " failed"));
+      return;
+    }
+    int64_t id = next_id_++;
+    inodes_[id] = Inode{id, dir->id, name, cmd == kCmdMkdir};
+    children_[{dir->id, name}] = id;
+    Respond(cluster, client, req, true, Value());
+    return;
+  }
+  if (cmd == kCmdExists) {
+    Respond(cluster, client, req, true, Value(Resolve(path) != nullptr));
+    return;
+  }
+  if (cmd == kCmdLs) {
+    const Inode* dir = Resolve(path);
+    if (dir == nullptr || !dir->is_dir) {
+      Respond(cluster, client, req, false, Value("no such directory"));
+      return;
+    }
+    ValueList names;
+    auto it = children_.lower_bound({dir->id, ""});
+    for (; it != children_.end() && it->first.first == dir->id; ++it) {
+      names.push_back(Value(it->first.second));
+    }
+    Respond(cluster, client, req, true, Value(std::move(names)));
+    return;
+  }
+  if (cmd == kCmdRm) {
+    const Inode* node = Resolve(path);
+    if (node == nullptr || node->id == 0) {
+      Respond(cluster, client, req, false, Value("rm failed"));
+      return;
+    }
+    auto child_it = children_.lower_bound({node->id, ""});
+    if (child_it != children_.end() && child_it->first.first == node->id) {
+      Respond(cluster, client, req, false, Value("rm failed"));  // non-empty directory
+      return;
+    }
+    for (int64_t chunk : file_chunks_[node->id]) {
+      auto locs_it = chunk_locs_.find(chunk);
+      if (locs_it != chunk_locs_.end()) {
+        for (const std::string& dn : locs_it->second) {
+          cluster.Send(address(), dn, kDnDelete, Tuple{Value(dn), Value(chunk)});
+        }
+      }
+      chunk_file_.erase(chunk);
+      chunk_locs_.erase(chunk);
+    }
+    file_chunks_.erase(node->id);
+    children_.erase({node->parent, node->name});
+    inodes_.erase(node->id);
+    Respond(cluster, client, req, true, Value());
+    return;
+  }
+  if (cmd == kCmdAddChunk) {
+    const Inode* node = Resolve(path);
+    std::vector<std::string> dns = PickDataNodes(options_.replication_factor);
+    if (node == nullptr || node->is_dir || dns.empty()) {
+      Respond(cluster, client, req, false, Value("addchunk failed"));
+      return;
+    }
+    int64_t chunk = next_id_++;
+    file_chunks_[node->id].push_back(chunk);
+    chunk_file_[chunk] = node->id;
+    ValueList dn_vals;
+    for (const std::string& dn : dns) {
+      dn_vals.push_back(Value(dn));
+    }
+    Respond(cluster, client, req, true,
+            Value(ValueList{Value(chunk), Value(std::move(dn_vals))}));
+    return;
+  }
+  if (cmd == kCmdChunks) {
+    const Inode* node = Resolve(path);
+    if (node == nullptr || node->is_dir) {
+      Respond(cluster, client, req, false, Value("no such file"));
+      return;
+    }
+    ValueList chunks;
+    auto it = file_chunks_.find(node->id);
+    if (it != file_chunks_.end()) {
+      for (int64_t chunk : it->second) {
+        chunks.push_back(Value(chunk));
+      }
+    }
+    Respond(cluster, client, req, true, Value(std::move(chunks)));
+    return;
+  }
+  if (cmd == kCmdLocations) {
+    auto it = chunk_locs_.find(arg.as_int());
+    if (it == chunk_locs_.end() || it->second.empty()) {
+      Respond(cluster, client, req, false, Value("no locations"));
+      return;
+    }
+    ValueList locs;
+    for (const std::string& dn : it->second) {
+      locs.push_back(Value(dn));
+    }
+    Respond(cluster, client, req, true, Value(std::move(locs)));
+    return;
+  }
+  Respond(cluster, client, req, false, Value("unknown command " + cmd));
+}
+
+void HdfsNameNode::CheckFailures(Cluster& cluster) {
+  std::vector<std::string> dead;
+  for (const auto& [dn, last_hb] : datanodes_) {
+    if (cluster.now() - last_hb > options_.heartbeat_timeout_ms) {
+      dead.push_back(dn);
+    }
+  }
+  for (const std::string& dn : dead) {
+    datanodes_.erase(dn);
+    for (auto& [chunk, locs] : chunk_locs_) {
+      locs.erase(dn);
+    }
+  }
+  if (!options_.with_failure_detector) {
+    return;
+  }
+  // Re-replication: copy under-replicated chunks from a live holder to the least-loaded
+  // datanode not already holding them.
+  for (const auto& [chunk, locs] : chunk_locs_) {
+    if (locs.empty() ||
+        static_cast<int>(locs.size()) >= options_.replication_factor ||
+        chunk_file_.count(chunk) == 0) {
+      continue;
+    }
+    for (const std::string& dn : PickDataNodes(static_cast<int>(datanodes_.size()))) {
+      if (locs.count(dn) == 0) {
+        const std::string& src = *locs.begin();
+        cluster.Send(address(), src, kReplicateCmd,
+                     Tuple{Value(src), Value(chunk), Value(dn)});
+        break;
+      }
+    }
+  }
+}
+
+void HdfsNameNode::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kNsRequest) {
+    HandleRequest(msg, cluster);
+    return;
+  }
+  if (msg.table == kDnHeartbeat) {
+    datanodes_[msg.tuple[1].as_string()] = cluster.now();
+    return;
+  }
+  if (msg.table == kDnChunkReport) {
+    chunk_locs_[msg.tuple[2].as_int()].insert(msg.tuple[1].as_string());
+    return;
+  }
+  BOOM_LOG(Warning) << "HdfsNameNode: unknown message " << msg.table;
+}
+
+std::vector<std::string> HdfsNameNode::ChunkLocations(int64_t chunk_id) const {
+  auto it = chunk_locs_.find(chunk_id);
+  if (it == chunk_locs_.end()) {
+    return {};
+  }
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+}  // namespace boom

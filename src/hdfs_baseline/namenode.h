@@ -1,0 +1,72 @@
+// HdfsNameNode: an imperative C++ NameNode implementing the same namespace protocol as the
+// BOOM-FS Overlog NameNode. This is the reproduction's stand-in for stock HDFS — the
+// comparator for the paper's code-size and performance experiments.
+
+#ifndef SRC_HDFS_BASELINE_NAMENODE_H_
+#define SRC_HDFS_BASELINE_NAMENODE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct HdfsNameNodeOptions {
+  int replication_factor = 3;
+  double heartbeat_timeout_ms = 2000;
+  double failure_check_period_ms = 500;
+  bool with_failure_detector = true;
+};
+
+class HdfsNameNode : public Actor {
+ public:
+  HdfsNameNode(std::string address, HdfsNameNodeOptions options)
+      : Actor(std::move(address)), options_(std::move(options)) {
+    // The root directory.
+    inodes_[0] = Inode{0, -1, "", true};
+  }
+
+  void OnStart(Cluster& cluster) override;
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+  // Introspection for tests.
+  size_t file_count() const { return inodes_.size(); }
+  size_t live_datanodes() const { return datanodes_.size(); }
+  std::vector<std::string> ChunkLocations(int64_t chunk_id) const;
+
+ private:
+  struct Inode {
+    int64_t id;
+    int64_t parent;
+    std::string name;
+    bool is_dir;
+  };
+
+  // Path resolution: walk components from the root. Returns nullptr when missing.
+  const Inode* Resolve(const std::string& path) const;
+  void ArmFailureCheck(Cluster& cluster);
+  void Respond(Cluster& cluster, const std::string& client, int64_t req, bool ok,
+               Value payload);
+  void HandleRequest(const Message& msg, Cluster& cluster);
+  void CheckFailures(Cluster& cluster);
+  std::vector<std::string> PickDataNodes(int n) const;
+
+  HdfsNameNodeOptions options_;
+  std::map<int64_t, Inode> inodes_;
+  // (parent id, name) -> child id. Doubles as the per-directory listing index.
+  std::map<std::pair<int64_t, std::string>, int64_t> children_;
+  std::map<int64_t, std::vector<int64_t>> file_chunks_;   // file -> ordered chunks
+  std::map<int64_t, int64_t> chunk_file_;                 // chunk -> file
+  std::map<int64_t, std::set<std::string>> chunk_locs_;   // chunk -> datanodes
+  std::map<std::string, double> datanodes_;               // datanode -> last heartbeat
+  int64_t next_id_ = 1;
+  uint64_t start_epoch_ = 0;
+};
+
+}  // namespace boom
+
+#endif  // SRC_HDFS_BASELINE_NAMENODE_H_

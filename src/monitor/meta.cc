@@ -1,0 +1,122 @@
+#include "src/monitor/meta.h"
+
+#include <set>
+
+namespace boom {
+
+Program MakeTracingProgram(const Program& program, const TracingOptions& options) {
+  std::set<std::string> wanted(options.tables.begin(), options.tables.end());
+  Program out;
+  out.name = program.name + "_trace";
+
+  for (const TableDef& def : program.tables) {
+    if (!wanted.empty() && wanted.count(def.name) == 0) {
+      continue;
+    }
+    // trace_<name>(TraceTime, <cols...>), set semantics (all columns keyed).
+    TableDef trace;
+    trace.name = "trace_" + def.name;
+    trace.columns.push_back("TraceTime");
+    for (const std::string& col : def.columns) {
+      trace.columns.push_back(col);
+    }
+    out.tables.push_back(trace);
+
+    // trace_<name>(T, C0..Cn) :- <name>(C0..Cn), T := f_now();
+    Rule rule;
+    rule.name = "trace_" + def.name + "_r";
+    rule.head.table = trace.name;
+    HeadArg time_arg;
+    time_arg.expr = Expr::Var("TraceTime");
+    rule.head.args.push_back(time_arg);
+    Atom body;
+    body.table = def.name;
+    for (size_t i = 0; i < def.columns.size(); ++i) {
+      std::string var = "C" + std::to_string(i);
+      body.args.push_back(Expr::Var(var));
+      HeadArg arg;
+      arg.expr = Expr::Var(var);
+      rule.head.args.push_back(arg);
+    }
+    rule.body.push_back(BodyTerm::MakeAtom(std::move(body)));
+    Assignment assign;
+    assign.var = "TraceTime";
+    assign.expr = Expr::Call("f_now", {});
+    rule.body.push_back(BodyTerm::MakeAssign(std::move(assign)));
+    out.rules.push_back(std::move(rule));
+
+    if (options.with_counts) {
+      // trace_cnt_<name>(1, count<T>) :- trace_<name>(T, ...);
+      TableDef cnt;
+      cnt.name = "trace_cnt_" + def.name;
+      cnt.columns = {"K", "N"};
+      cnt.key_columns = {0};
+      out.tables.push_back(cnt);
+
+      Rule cnt_rule;
+      cnt_rule.name = "trace_cnt_" + def.name + "_r";
+      cnt_rule.head.table = cnt.name;
+      HeadArg key;
+      key.expr = Expr::Const(Value(1));
+      cnt_rule.head.args.push_back(key);
+      HeadArg agg;
+      agg.agg = AggKind::kCount;
+      agg.expr = Expr::Var("TraceTime");
+      cnt_rule.head.args.push_back(agg);
+      Atom cnt_body;
+      cnt_body.table = trace.name;
+      cnt_body.args.push_back(Expr::Var("TraceTime"));
+      for (size_t i = 0; i < def.columns.size(); ++i) {
+        cnt_body.args.push_back(Expr::Var("_AnonTrace" + std::to_string(i)));
+      }
+      cnt_rule.body.push_back(BodyTerm::MakeAtom(std::move(cnt_body)));
+      out.rules.push_back(std::move(cnt_rule));
+    }
+  }
+  return out;
+}
+
+Status InstallInvariants(Engine& engine, std::string_view rules_source,
+                         std::vector<std::string>* sink) {
+  if (engine.catalog().Find("invariant_violation") == nullptr) {
+    TableDef def;
+    def.name = "invariant_violation";
+    def.columns = {"Name", "Detail"};
+    BOOM_RETURN_IF_ERROR(engine.catalog().Declare(def));
+  }
+  BOOM_RETURN_IF_ERROR(engine.InstallSource(rules_source));
+  engine.AddWatch("invariant_violation",
+                  [sink](const std::string&, const Tuple& tuple, bool inserted) {
+                    if (inserted) {
+                      sink->push_back(tuple.ToString());
+                    }
+                  });
+  return Status::Ok();
+}
+
+std::string BoomFsInvariantRules(int replication_factor) {
+  std::string rep = std::to_string(replication_factor);
+  return R"olg(
+program boomfs_invariants;
+
+// Every chunk of a live file should be reported by at most )olg" +
+         rep + R"olg( DataNodes (over-replication indicates a placement bug).
+table inv_chunk_rep(ChunkId, N) keys(0);
+iv1 inv_chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
+iv2 invariant_violation("over_replicated", D) :- inv_chunk_rep(Ch, N), N > )olg" +
+         rep + R"olg(,
+                                                 D := str_cat("chunk ", Ch, " has ", N);
+
+// The directory tree must be acyclic/rooted: every file's parent must exist (except the
+// root itself).
+iv3 invariant_violation("orphan_inode", D) :- file(F, Par, _, _), F != 0,
+                                              notin file(Par, _, _, _),
+                                              D := str_cat("file ", F, " parent ", Par);
+
+// fqpath is a function of FileId: two distinct paths for one file id is a view bug.
+iv4 invariant_violation("dup_path", D) :- fqpath(P1, F), fqpath(P2, F), P1 != P2,
+                                          P1 < P2, D := str_cat(F, ": ", P1, " vs ", P2);
+)olg";
+}
+
+}  // namespace boom

@@ -1,0 +1,41 @@
+// Metaprogramming (paper revision F4 / MR monitoring): Overlog programs are data, so
+// monitoring is a program rewrite. Given a parsed Program, these functions return a new
+// Program with tracing and counting rules added; invariants are ordinary Overlog rules
+// installed next to the program they guard.
+
+#ifndef SRC_MONITOR_META_H_
+#define SRC_MONITOR_META_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/ast.h"
+#include "src/overlog/engine.h"
+
+namespace boom {
+
+struct TracingOptions {
+  // Tables to trace; empty = every table and event in the program.
+  std::vector<std::string> tables;
+  // Also add a count-rollup table trace_cnt_<name>(K, N) per traced table.
+  bool with_counts = true;
+};
+
+// Returns a companion program ("<name>_trace") that, when installed on the same engine,
+// records every insertion into the selected tables as trace_<name>(Time, cols...) rows.
+Program MakeTracingProgram(const Program& program, const TracingOptions& options = {});
+
+// Installs invariant rules (plain Overlog text; violations should derive tuples of
+// `invariant_violation(Name, Detail)`), declares the violation table if needed, and wires a
+// watch that collects violations into `sink`.
+Status InstallInvariants(Engine& engine, std::string_view rules_source,
+                         std::vector<std::string>* sink);
+
+// The BOOM-FS invariants from the paper's monitoring discussion: chunk replication bounds
+// and response coverage are expressible as rules over the NameNode's own tables.
+std::string BoomFsInvariantRules(int replication_factor);
+
+}  // namespace boom
+
+#endif  // SRC_MONITOR_META_H_

@@ -1,0 +1,253 @@
+#include "src/mr_baseline/jobtracker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/logging.h"
+#include "src/boommr/mr_protocol.h"
+
+namespace boom {
+
+void HadoopJobTracker::OnStart(Cluster& cluster) {
+  ++start_epoch_;
+  ArmTrackerCheck(cluster);
+}
+
+void HadoopJobTracker::ArmTrackerCheck(Cluster& cluster) {
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.tracker_check_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    CheckTrackerFailures(cluster);
+    ArmTrackerCheck(cluster);
+  });
+}
+
+void HadoopJobTracker::CheckTrackerFailures(Cluster& cluster) {
+  std::vector<std::string> dead;
+  for (const auto& [tracker, last_hb] : tracker_last_hb_) {
+    if (cluster.now() - last_hb > options_.tracker_timeout_ms) {
+      dead.push_back(tracker);
+    }
+  }
+  for (const std::string& tracker : dead) {
+    tracker_last_hb_.erase(tracker);
+    // Fail the tracker's running attempts; non-speculative ones requeue their task.
+    for (auto& [id, attempt] : attempts_) {
+      if (!attempt.running || attempt.tracker != tracker) {
+        continue;
+      }
+      attempt.running = false;
+      attempt.end_ms = -1;
+      if (attempt.speculative) {
+        --speculative_running_;
+        continue;
+      }
+      auto job_it = jobs_.find(attempt.job);
+      if (job_it == jobs_.end()) {
+        continue;
+      }
+      auto& tasks = attempt.is_map ? job_it->second.map_tasks : job_it->second.reduce_tasks;
+      auto task_it = tasks.find(attempt.task);
+      if (task_it != tasks.end() && task_it->second.status == TaskStatus::kRunning) {
+        task_it->second.status = TaskStatus::kPending;
+      }
+    }
+  }
+}
+
+void HadoopJobTracker::OnMessage(const Message& msg, Cluster& cluster) {
+  if (msg.table == kMrSubmit) {
+    // (JT, JobId, Client, NumMaps, NumReduces)
+    JobState& job = jobs_[msg.tuple[1].as_int()];
+    job.client = msg.tuple[2].as_string();
+    job.submit_ms = cluster.now();
+    job.num_maps = static_cast<int>(msg.tuple[3].as_int());
+    job.num_reduces = static_cast<int>(msg.tuple[4].as_int());
+    CheckJobDone(cluster, msg.tuple[1].as_int());  // zero-task jobs complete immediately
+    return;
+  }
+  if (msg.table == kMrTask) {
+    // (JT, JobId, TaskId, Type)
+    JobState& job = jobs_[msg.tuple[1].as_int()];
+    int64_t task = msg.tuple[2].as_int();
+    if (msg.tuple[3].as_string() == kTaskMap) {
+      job.map_tasks[task];
+    } else {
+      job.reduce_tasks[task];
+    }
+    return;
+  }
+  if (msg.table == kTtHb) {
+    HandleHeartbeat(msg, cluster);
+    return;
+  }
+  if (msg.table == kTtProgress) {
+    // (JT, TT, JobId, TaskId, AttemptId, Progress)
+    auto it = attempts_.find(msg.tuple[4].as_int());
+    if (it != attempts_.end() && it->second.running) {
+      it->second.progress = msg.tuple[5].as_double();
+    }
+    return;
+  }
+  if (msg.table == kTtDone) {
+    // (JT, TT, JobId, TaskId, AttemptId, Type)
+    int64_t job_id = msg.tuple[2].as_int();
+    int64_t task_id = msg.tuple[3].as_int();
+    int64_t attempt_id = msg.tuple[4].as_int();
+    bool is_map = msg.tuple[5].as_string() == kTaskMap;
+    auto attempt_it = attempts_.find(attempt_id);
+    if (attempt_it != attempts_.end() && attempt_it->second.running) {
+      attempt_it->second.running = false;
+      attempt_it->second.end_ms = cluster.now();
+      if (attempt_it->second.speculative) {
+        --speculative_running_;
+      }
+    }
+    auto job_it = jobs_.find(job_id);
+    if (job_it == jobs_.end()) {
+      return;
+    }
+    JobState& job = job_it->second;
+    auto& tasks = is_map ? job.map_tasks : job.reduce_tasks;
+    auto task_it = tasks.find(task_id);
+    if (task_it == tasks.end() || task_it->second.status == TaskStatus::kDone) {
+      return;
+    }
+    task_it->second.status = TaskStatus::kDone;
+    (is_map ? job.maps_done : job.reduces_done)++;
+    CheckJobDone(cluster, job_id);
+    return;
+  }
+  BOOM_LOG(Warning) << "HadoopJobTracker: unknown message " << msg.table;
+}
+
+bool HadoopJobTracker::PickFifo(bool maps, int64_t* job_out, int64_t* task_out) {
+  // Oldest running job first (scan in submit order).
+  std::vector<std::pair<double, int64_t>> order;
+  for (const auto& [id, job] : jobs_) {
+    if (!job.done) {
+      order.emplace_back(job.submit_ms, id);
+    }
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [submit, id] : order) {
+    JobState& job = jobs_[id];
+    if (!maps && job.maps_done < job.num_maps) {
+      continue;  // reduce barrier: all maps must finish first
+    }
+    auto& tasks = maps ? job.map_tasks : job.reduce_tasks;
+    for (auto& [task_id, state] : tasks) {
+      if (state.status == TaskStatus::kPending) {
+        *job_out = id;
+        *task_out = task_id;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool HadoopJobTracker::PickLate(bool maps, double now, int64_t* job_out, int64_t* task_out) {
+  if (options_.policy != MrPolicy::kLate ||
+      speculative_running_ >= options_.speculative_cap) {
+    return false;
+  }
+  // Average progress rate across running attempts.
+  // Average rate over running *and* finished attempts: with only stragglers left running,
+  // comparing against the fleet's historical rate is what identifies them as slow.
+  double rate_sum = 0;
+  int rate_n = 0;
+  for (const auto& [id, attempt] : attempts_) {
+    if (attempt.running && attempt.progress > 0) {
+      rate_sum += attempt.progress / (now - attempt.start_ms + 1.0);
+      ++rate_n;
+    } else if (!attempt.running && attempt.end_ms >= 0) {
+      rate_sum += 1.0 / (attempt.end_ms - attempt.start_ms + 1.0);
+      ++rate_n;
+    }
+  }
+  if (rate_n == 0) {
+    return false;
+  }
+  double avg_rate = rate_sum / rate_n;
+
+  double best_time_left = -1;
+  for (const auto& [id, attempt] : attempts_) {
+    if (!attempt.running || attempt.speculative || attempt.is_map != maps ||
+        attempt.progress <= 0 || attempt.progress >= 1.0) {
+      continue;
+    }
+    JobState& job = jobs_[attempt.job];
+    auto& tasks = maps ? job.map_tasks : job.reduce_tasks;
+    auto task_it = tasks.find(attempt.task);
+    if (task_it == tasks.end() || task_it->second.status != TaskStatus::kRunning ||
+        task_it->second.speculated) {
+      continue;
+    }
+    double rate = attempt.progress / (now - attempt.start_ms + 1.0);
+    if (rate >= avg_rate * options_.slow_task_fraction) {
+      continue;  // not slow enough to speculate
+    }
+    double time_left = (1.0 - attempt.progress) / (rate + 1e-6);
+    if (time_left > best_time_left) {
+      best_time_left = time_left;
+      *job_out = attempt.job;
+      *task_out = attempt.task;
+    }
+  }
+  return best_time_left >= 0;
+}
+
+void HadoopJobTracker::Launch(Cluster& cluster, const std::string& tracker, int64_t job_id,
+                              int64_t task_id, bool is_map, bool speculative) {
+  JobState& job = jobs_[job_id];
+  auto& tasks = is_map ? job.map_tasks : job.reduce_tasks;
+  TaskState& task = tasks[task_id];
+  if (speculative) {
+    task.speculated = true;
+    ++speculative_running_;
+  } else {
+    task.status = TaskStatus::kRunning;
+  }
+  int64_t attempt_id = next_attempt_++;
+  attempts_[attempt_id] =
+      AttemptState{job_id, task_id, tracker, is_map, speculative, cluster.now()};
+  cluster.Send(address(), tracker, kAssign,
+               Tuple{Value(tracker), Value(job_id), Value(task_id), Value(attempt_id),
+                     Value(is_map ? kTaskMap : kTaskReduce), Value(speculative)});
+}
+
+void HadoopJobTracker::HandleHeartbeat(const Message& msg, Cluster& cluster) {
+  // (JT, TT, FreeMap, FreeReduce)
+  const std::string& tracker = msg.tuple[1].as_string();
+  tracker_last_hb_[tracker] = cluster.now();
+  bool free_map = msg.tuple[2].as_int() > 0;
+  bool free_reduce = msg.tuple[3].as_int() > 0;
+  double now = cluster.now();
+
+  for (bool maps : {true, false}) {
+    if ((maps && !free_map) || (!maps && !free_reduce)) {
+      continue;
+    }
+    int64_t job, task;
+    if (PickFifo(maps, &job, &task)) {
+      Launch(cluster, tracker, job, task, maps, /*speculative=*/false);
+    } else if (PickLate(maps, now, &job, &task)) {
+      Launch(cluster, tracker, job, task, maps, /*speculative=*/true);
+    }
+  }
+}
+
+void HadoopJobTracker::CheckJobDone(Cluster& cluster, int64_t job_id) {
+  JobState& job = jobs_[job_id];
+  if (job.done || job.maps_done < job.num_maps || job.reduces_done < job.num_reduces) {
+    return;
+  }
+  job.done = true;
+  cluster.Send(address(), job.client, kMrJobDone,
+               Tuple{Value(job.client), Value(job_id), Value(cluster.now())});
+}
+
+}  // namespace boom

@@ -1,0 +1,86 @@
+// HadoopJobTracker: the imperative comparator for BOOM-MR. Same protocol, same FIFO and
+// LATE policies, written as conventional C++ state machines — the "Hadoop" side of the
+// paper's MapReduce experiments.
+
+#ifndef SRC_MR_BASELINE_JOBTRACKER_H_
+#define SRC_MR_BASELINE_JOBTRACKER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/boommr/jt_program.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct HadoopJtOptions {
+  MrPolicy policy = MrPolicy::kFifo;
+  int speculative_cap = 10;
+  double slow_task_fraction = 0.5;
+  double tracker_check_period_ms = 1000;
+  double tracker_timeout_ms = 3000;
+};
+
+class HadoopJobTracker : public Actor {
+ public:
+  HadoopJobTracker(std::string address, HadoopJtOptions options)
+      : Actor(std::move(address)), options_(std::move(options)) {}
+
+  void OnStart(Cluster& cluster) override;
+  void OnMessage(const Message& msg, Cluster& cluster) override;
+
+ private:
+  enum class TaskStatus { kPending, kRunning, kDone };
+  struct TaskState {
+    TaskStatus status = TaskStatus::kPending;
+    bool speculated = false;
+  };
+  struct AttemptState {
+    int64_t job;
+    int64_t task;
+    std::string tracker;
+    bool is_map;
+    bool speculative;
+    double start_ms;
+    double progress = 0;
+    double end_ms = -1;
+    bool running = true;
+  };
+  struct JobState {
+    std::string client;
+    double submit_ms;
+    int num_maps;
+    int num_reduces;
+    int maps_done = 0;
+    int reduces_done = 0;
+    bool done = false;
+    std::map<int64_t, TaskState> map_tasks;
+    std::map<int64_t, TaskState> reduce_tasks;
+  };
+
+  void HandleHeartbeat(const Message& msg, Cluster& cluster);
+  // FIFO pick: pending task of the oldest running job. Returns false when none.
+  bool PickFifo(bool maps, int64_t* job_out, int64_t* task_out);
+  // LATE pick: slow running task with the longest estimated time to end.
+  bool PickLate(bool maps, double now, int64_t* job_out, int64_t* task_out);
+  void Launch(Cluster& cluster, const std::string& tracker, int64_t job, int64_t task,
+              bool is_map, bool speculative);
+  void CheckJobDone(Cluster& cluster, int64_t job);
+  void ArmTrackerCheck(Cluster& cluster);
+  void CheckTrackerFailures(Cluster& cluster);
+
+  HadoopJtOptions options_;
+  std::map<int64_t, JobState> jobs_;           // job id -> state (FIFO order by submit time)
+  std::map<int64_t, AttemptState> attempts_;   // attempt id -> state
+  std::map<std::string, double> tracker_last_hb_;
+  int64_t next_attempt_ = 1;
+  int speculative_running_ = 0;
+  uint64_t start_epoch_ = 0;
+};
+
+}  // namespace boom
+
+#endif  // SRC_MR_BASELINE_JOBTRACKER_H_

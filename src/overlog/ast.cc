@@ -1,0 +1,210 @@
+#include "src/overlog/ast.h"
+
+#include "src/base/strings.h"
+
+namespace boom {
+
+void Expr::CollectVars(std::set<std::string>* out) const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return;
+    case ExprKind::kVar:
+      out->insert(var);
+      return;
+    case ExprKind::kCall:
+      for (const Expr& a : args) {
+        a.CollectVars(out);
+      }
+      return;
+  }
+}
+
+namespace {
+
+bool IsInfixOp(const std::string& fn) {
+  static const char* kOps[] = {"+",  "-",  "*",  "/", "%",  "==", "!=",
+                               "<",  "<=", ">",  ">=", "&&", "||"};
+  for (const char* op : kOps) {
+    if (fn == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string QuoteValue(const Value& v) {
+  if (v.is_string()) {
+    return "\"" + v.as_string() + "\"";
+  }
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kConst:
+      return QuoteValue(constant);
+    case ExprKind::kVar:
+      return var;
+    case ExprKind::kCall: {
+      if (args.size() == 2 && IsInfixOp(fn)) {
+        return "(" + args[0].ToString() + " " + fn + " " + args[1].ToString() + ")";
+      }
+      if (fn == "neg" && args.size() == 1) {
+        return "-" + args[0].ToString();
+      }
+      if (fn == "!" && args.size() == 1) {
+        return "!" + args[0].ToString();
+      }
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const Expr& a : args) {
+        parts.push_back(a.ToString());
+      }
+      return fn + "(" + StrJoin(parts, ", ") + ")";
+    }
+  }
+  return "?";
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kNone:
+      return "none";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kBottomK:
+      return "bottomk";
+  }
+  return "?";
+}
+
+std::string HeadArg::ToString() const {
+  if (agg == AggKind::kNone) {
+    return expr.ToString();
+  }
+  if (agg == AggKind::kBottomK) {
+    return std::string("bottomk<") + std::to_string(k) + ", " + expr.ToString() + ">";
+  }
+  return std::string(AggKindName(agg)) + "<" + expr.ToString() + ">";
+}
+
+std::string Atom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string s = args[i].ToString();
+    if (i == 0 && has_location) {
+      s = "@" + s;
+    }
+    parts.push_back(std::move(s));
+  }
+  std::string out = table + "(" + StrJoin(parts, ", ") + ")";
+  if (negated) {
+    out = "notin " + out;
+  }
+  return out;
+}
+
+bool HeadAtom::HasAggregate() const {
+  for (const HeadArg& a : args) {
+    if (a.agg != AggKind::kNone) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string HeadAtom::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string s = args[i].ToString();
+    if (i == 0 && has_location) {
+      s = "@" + s;
+    }
+    parts.push_back(std::move(s));
+  }
+  return table + "(" + StrJoin(parts, ", ") + ")";
+}
+
+std::string BodyTerm::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString();
+    case Kind::kAssign:
+      return assign.ToString();
+    case Kind::kCondition:
+      return condition.ToString();
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  if (!name.empty()) {
+    out += name + " ";
+  }
+  if (is_delete) {
+    out += "delete ";
+  }
+  out += head.ToString();
+  if (is_next) {
+    out += "@next";
+  }
+  if (!body.empty()) {
+    out += " :- ";
+    std::vector<std::string> parts;
+    parts.reserve(body.size());
+    for (const BodyTerm& t : body) {
+      parts.push_back(t.ToString());
+    }
+    out += StrJoin(parts, ", ");
+  }
+  out += ";";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out = "program " + name + ";\n";
+  for (const TableDef& def : tables) {
+    out += (def.kind == TableKind::kEvent) ? "event " : "table ";
+    out += def.name + "(" + StrJoin(def.columns, ", ") + ")";
+    if (def.kind == TableKind::kTable && !def.key_columns.empty()) {
+      std::vector<std::string> keys;
+      keys.reserve(def.key_columns.size());
+      for (size_t k : def.key_columns) {
+        keys.push_back(std::to_string(k));
+      }
+      out += " keys(" + StrJoin(keys, ", ") + ")";
+    }
+    if (def.ttl_ms > 0) {
+      out += " ttl(" + std::to_string(def.ttl_ms) + ")";
+    }
+    out += ";\n";
+  }
+  for (const TimerDecl& t : timers) {
+    out += "timer " + t.name + "(" + std::to_string(t.period_ms) + ");\n";
+  }
+  for (const std::string& w : watches) {
+    out += "watch " + w + ";\n";
+  }
+  for (const Fact& f : facts) {
+    out += f.table + f.tuple.ToString() + ";\n";
+  }
+  for (const Rule& r : rules) {
+    out += r.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,63 @@
+#include "src/overlog/catalog.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+Status Catalog::Declare(const TableDef& def) {
+  auto it = tables_.find(def.name);
+  if (it != tables_.end()) {
+    const TableDef& existing = it->second->def();
+    if (existing.arity() != def.arity() || existing.key_columns != def.key_columns ||
+        existing.kind != def.kind || existing.ttl_ms != def.ttl_ms) {
+      return AlreadyExists("conflicting redefinition of table " + def.name);
+    }
+    return Status::Ok();
+  }
+  tables_.emplace(def.name, std::make_unique<Table>(def));
+  return Status::Ok();
+}
+
+Table* Catalog::Find(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table& Catalog::Get(const std::string& name) {
+  Table* t = Find(name);
+  BOOM_CHECK(t != nullptr) << "unknown table " << name;
+  return *t;
+}
+
+const Table& Catalog::Get(const std::string& name) const {
+  const Table* t = Find(name);
+  BOOM_CHECK(t != nullptr) << "unknown table " << name;
+  return *t;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Catalog::ClearEvents() {
+  for (auto& [name, table] : tables_) {
+    if (table->def().kind == TableKind::kEvent) {
+      table->Clear();
+    }
+  }
+}
+
+}  // namespace boom

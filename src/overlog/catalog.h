@@ -1,0 +1,47 @@
+// Catalog: the set of named tables owned by one Engine instance (one logical node).
+
+#ifndef SRC_OVERLOG_CATALOG_H_
+#define SRC_OVERLOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/table.h"
+
+namespace boom {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates a table. Re-declaring an existing table with an identical definition is a no-op;
+  // a conflicting redefinition is an error.
+  Status Declare(const TableDef& def);
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+
+  // nullptr when not declared.
+  Table* Find(const std::string& name);
+  const Table* Find(const std::string& name) const;
+
+  // Aborts if not declared; use when the planner has already validated the program.
+  Table& Get(const std::string& name);
+  const Table& Get(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  // Clears all tables of kind kEvent (end-of-timestep semantics).
+  void ClearEvents();
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_CATALOG_H_

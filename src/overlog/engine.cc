@@ -1,0 +1,450 @@
+#include "src/overlog/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace boom {
+
+void Engine::AggAccum::Fold(const Value& v) {
+  ++count;
+  if (v.is_numeric()) {
+    if (v.is_int() && sum_is_int) {
+      sum_i += v.as_int();
+    } else {
+      if (sum_is_int) {
+        sum_d = static_cast<double>(sum_i);
+        sum_is_int = false;
+      }
+      sum_d += v.ToDouble();
+    }
+  }
+  if (!has_minmax) {
+    min = v;
+    max = v;
+    has_minmax = true;
+  } else {
+    if (v < min) {
+      min = v;
+    }
+    if (max < v) {
+      max = v;
+    }
+  }
+}
+
+Value Engine::AggAccum::Finish(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kCount:
+      return Value(count);
+    case AggKind::kSum:
+      return sum_is_int ? Value(sum_i) : Value(sum_d);
+    case AggKind::kMin:
+      return min;
+    case AggKind::kMax:
+      return max;
+    case AggKind::kAvg: {
+      double total = sum_is_int ? static_cast<double>(sum_i) : sum_d;
+      return Value(count == 0 ? 0.0 : total / static_cast<double>(count));
+    }
+    case AggKind::kBottomK:
+    case AggKind::kNone:
+      break;
+  }
+  return Value();
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      builtins_(BuiltinRegistry::Standard()),
+      rng_(options_.seed),
+      evaluator_(&catalog_, &builtins_, &ctx_) {
+  ctx_.local_address = options_.address;
+  ctx_.rng = &rng_;
+  ctx_.id_counter = &id_counter_;
+  ctx_.id_salt = options_.id_salt.value_or(Fnv1a64(options_.address));
+}
+
+Status Engine::InstallSource(std::string_view source, std::map<std::string, Value> consts) {
+  ParserOptions popts;
+  for (const std::string& name : catalog_.TableNames()) {
+    popts.known_tables.insert(name);
+  }
+  popts.consts = std::move(consts);
+  for (const std::string& fn : builtins_.Names()) {
+    popts.known_functions.insert(fn);
+  }
+  Result<Program> program = ParseProgram(source, popts);
+  if (!program.ok()) {
+    return program.status();
+  }
+  return Install(std::move(program).value());
+}
+
+Status Engine::Install(Program program) {
+  for (const TableDef& def : program.tables) {
+    BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
+  }
+  for (const Fact& fact : program.facts) {
+    Table* table = catalog_.Find(fact.table);
+    if (table == nullptr) {
+      return InvalidArgument("fact references undeclared table " + fact.table);
+    }
+    if (table->def().arity() != fact.tuple.size()) {
+      return InvalidArgument("fact arity mismatch for " + fact.table);
+    }
+    table->Insert(fact.tuple);
+  }
+  for (const TimerDecl& timer : program.timers) {
+    timers_.push_back(TimerState{timer.name, timer.period_ms, now_ms_ + timer.period_ms});
+  }
+  for (const std::string& w : program.watches) {
+    AddWatch(w, [](const std::string& table, const Tuple& tuple, bool inserted) {
+      BOOM_LOG(Info) << "watch " << (inserted ? "+" : "-") << table << tuple.ToString();
+    });
+  }
+  programs_.push_back(std::move(program));
+  Status status = Recompile();
+  if (!status.ok()) {
+    programs_.pop_back();
+    Status rollback = Recompile();
+    BOOM_CHECK(rollback.ok()) << "rollback recompile failed: " << rollback.ToString();
+    return status;
+  }
+  needs_seed_ = true;
+  // The seed tick replays every stored row as a delta; reset incremental accumulators so
+  // they are rebuilt once rather than double-counted.
+  for (auto& [name, state] : agg_state_) {
+    state.accum.clear();
+    state.has_input_version = false;
+  }
+  return Status::Ok();
+}
+
+Status Engine::Recompile() {
+  std::vector<Rule> all_rules;
+  std::vector<std::string> rule_programs;
+  for (const Program& p : programs_) {
+    for (const Rule& r : p.rules) {
+      all_rules.push_back(r);
+      rule_programs.push_back(p.name);
+    }
+  }
+  Result<CompiledProgram> compiled = CompileRules(all_rules, rule_programs, catalog_);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  compiled_ = std::move(compiled).value();
+  return Status::Ok();
+}
+
+Status Engine::Enqueue(const std::string& table, Tuple tuple) {
+  const Table* t = catalog_.Find(table);
+  if (t == nullptr) {
+    return NotFound("enqueue into undeclared table " + table);
+  }
+  if (t->def().arity() != tuple.size()) {
+    return InvalidArgument("enqueue arity mismatch for " + table + ": got " +
+                           std::to_string(tuple.size()) + ", want " +
+                           std::to_string(t->def().arity()));
+  }
+  inbox_.emplace_back(table, std::move(tuple));
+  ++stats_.tuples_enqueued;
+  return Status::Ok();
+}
+
+double Engine::NextTimerDeadline() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const TimerState& t : timers_) {
+    next = std::min(next, t.next_deadline);
+  }
+  return next;
+}
+
+void Engine::AddWatch(const std::string& table, WatchFn fn) {
+  watches_[table].push_back(std::move(fn));
+}
+
+void Engine::FireWatches(const std::string& table, const Tuple& tuple, bool inserted) {
+  auto it = watches_.find(table);
+  if (it == watches_.end()) {
+    return;
+  }
+  for (const WatchFn& fn : it->second) {
+    fn(table, tuple, inserted);
+  }
+}
+
+bool Engine::ApplyLocalInsert(const std::string& table, const Tuple& tuple) {
+  Table* t = catalog_.Find(table);
+  BOOM_CHECK(t != nullptr) << "insert into undeclared table " << table;
+  Table::InsertOutcome outcome = t->Insert(tuple, now_ms_);
+  if (outcome == Table::InsertOutcome::kUnchanged) {
+    return false;
+  }
+  tick_new_[table].push_back(tuple);
+  FireWatches(table, tuple, /*inserted=*/true);
+  return true;
+}
+
+Engine::TickResult Engine::Tick(double now_ms) {
+  BOOM_CHECK(now_ms >= now_ms_) << "time must be non-decreasing: " << now_ms << " < "
+                                << now_ms_;
+  now_ms_ = now_ms;
+  ctx_.now_ms = now_ms;
+  TickResult result;
+  evaluator_.ClearErrors();
+  tick_new_.clear();
+
+  // 0. Soft-state expiry: TTL rows not refreshed recently vanish before anything derives
+  // from them this tick.
+  for (const std::string& name : catalog_.TableNames()) {
+    Table& table = catalog_.Get(name);
+    if (table.def().ttl_ms <= 0) {
+      continue;
+    }
+    for (const Tuple& expired : table.ExpireOlderThan(now_ms - table.def().ttl_ms)) {
+      FireWatches(name, expired, /*inserted=*/false);
+    }
+  }
+
+  // 1. Fire due timers as events.
+  for (TimerState& timer : timers_) {
+    while (timer.next_deadline <= now_ms) {
+      inbox_.emplace_back(timer.name, Tuple{Value(options_.address)});
+      timer.next_deadline += timer.period_ms;
+    }
+  }
+
+  // 2. Apply the inbox.
+  std::vector<std::pair<std::string, Tuple>> inbox;
+  inbox.swap(inbox_);
+  for (auto& [table, tuple] : inbox) {
+    ApplyLocalInsert(table, tuple);
+  }
+
+  // 3. Seed after (re)install: treat every stored tuple as a delta once, so rules derive
+  // from pre-existing state.
+  if (needs_seed_) {
+    for (const std::string& name : catalog_.TableNames()) {
+      const Table& t = catalog_.Get(name);
+      std::vector<Tuple>& dst = tick_new_[name];
+      t.ForEach([&dst](const Tuple& row) { dst.push_back(row); });
+    }
+  }
+
+  std::vector<Derivation> deletions;
+  // Deduplicate network sends within the tick.
+  std::set<std::pair<std::pair<std::string, std::string>, Tuple>> sent;
+
+  auto apply_derivations = [&](std::vector<Derivation>& derived) {
+    for (Derivation& d : derived) {
+      ++result.derivations;
+      if (d.kind == Derivation::Kind::kDelete) {
+        deletions.push_back(std::move(d));
+        continue;
+      }
+      if (d.remote) {
+        auto key = std::make_pair(std::make_pair(d.dest, d.table), d.tuple);
+        if (sent.insert(key).second) {
+          result.sends.push_back(Send{std::move(d.dest), std::move(d.table), d.tuple});
+          ++stats_.messages_sent;
+        }
+        continue;
+      }
+      if (d.next) {
+        // Deferred head: becomes an input of the next timestep.
+        inbox_.emplace_back(std::move(d.table), std::move(d.tuple));
+        continue;
+      }
+      ApplyLocalInsert(d.table, d.tuple);
+    }
+    derived.clear();
+  };
+
+  // Group rules by stratum once per tick (cheap; ~tens of rules).
+  std::vector<std::vector<const CompiledRule*>> by_stratum(
+      static_cast<size_t>(compiled_.num_strata));
+  for (const CompiledRule& rule : compiled_.rules) {
+    by_stratum[static_cast<size_t>(rule.stratum)].push_back(&rule);
+  }
+
+  std::vector<Derivation> derived;
+
+  // 4. Strata, lowest first.
+  for (size_t stratum = 0; stratum < by_stratum.size(); ++stratum) {
+    // 4a. Aggregate rules: full recomputation + reconciliation against their prior output.
+    // Skipped entirely when none of the rule's input tables changed since the last
+    // recomputation — this is what keeps ever-growing audit tables from making every tick
+    // O(table size).
+    for (const CompiledRule* rule : by_stratum[stratum]) {
+      if (!rule->has_agg) {
+        continue;
+      }
+      if (rule->incremental_agg && !options_.disable_incremental_aggregates) {
+        // Fold only this tick's inserts into running accumulators: O(delta), not O(table).
+        auto delta_it = tick_new_.find(rule->body_tables[0]);
+        if (delta_it == tick_new_.end() || delta_it->second.empty()) {
+          continue;
+        }
+        std::vector<std::pair<Tuple, std::vector<Value>>> bindings;
+        evaluator_.EvalAggBindings(*rule, delta_it->second, &bindings);
+        if (bindings.empty()) {
+          continue;
+        }
+        AggState& state = agg_state_[rule->name];
+        std::set<Tuple> changed;
+        for (auto& [key, inputs] : bindings) {
+          std::vector<AggAccum>& accums = state.accum[key];
+          accums.resize(inputs.size());
+          for (size_t i = 0; i < inputs.size(); ++i) {
+            accums[i].Fold(inputs[i]);
+          }
+          changed.insert(key);
+        }
+        for (const Tuple& key : changed) {
+          const std::vector<AggAccum>& accums = state.accum[key];
+          std::vector<Value> vals;
+          vals.reserve(rule->head_args.size());
+          size_t key_idx = 0;
+          size_t agg_idx = 0;
+          for (const CompiledHeadArg& arg : rule->head_args) {
+            if (arg.agg == AggKind::kNone) {
+              vals.push_back(key[key_idx++]);
+            } else {
+              vals.push_back(accums[agg_idx++].Finish(arg.agg));
+            }
+          }
+          ++result.derivations;
+          ApplyLocalInsert(rule->head_table, Tuple(std::move(vals)));
+        }
+        continue;
+      }
+      {
+        AggState& state = agg_state_[rule->name];
+        uint64_t version_sum = 0;
+        for (const std::string& table : rule->body_tables) {
+          const Table* t = catalog_.Find(table);
+          if (t != nullptr) {
+            version_sum += t->version();
+          }
+        }
+        if (!needs_seed_ && state.has_input_version &&
+            state.input_version_sum == version_sum &&
+            !options_.disable_aggregate_version_skip) {
+          continue;
+        }
+        state.has_input_version = true;
+        state.input_version_sum = version_sum;
+      }
+      std::vector<Tuple> head_rows;
+      evaluator_.EvalAggregate(*rule, &head_rows);
+      AggState& state = agg_state_[rule->name];
+      std::map<Tuple, Tuple> new_output;
+      Table* head_table = catalog_.Find(rule->head_table);
+      BOOM_CHECK(head_table != nullptr);
+      for (Tuple& row : head_rows) {
+        ++result.derivations;
+        if (rule->head_has_location && row[0].is_string() &&
+            row[0].as_string() != options_.address) {
+          // Remote aggregate result: send when changed since last time.
+          Tuple group_key = head_table->KeyOf(row);
+          auto it = state.last_sent.find(group_key);
+          if (it == state.last_sent.end() || it->second != row) {
+            state.last_sent[group_key] = row;
+            result.sends.push_back(Send{row[0].as_string(), rule->head_table, row});
+            ++stats_.messages_sent;
+          }
+          continue;
+        }
+        Tuple group_key = head_table->KeyOf(row);
+        new_output.emplace(std::move(group_key), row);
+        ApplyLocalInsert(rule->head_table, row);
+      }
+      // Retract groups this rule derived before but no longer does.
+      for (const auto& [key, old_row] : state.last_output) {
+        if (new_output.count(key) > 0) {
+          continue;
+        }
+        const Tuple* current = head_table->LookupByKey(key);
+        if (current != nullptr && *current == old_row) {
+          head_table->EraseByKey(key);
+          FireWatches(rule->head_table, old_row, /*inserted=*/false);
+        }
+      }
+      state.last_output = std::move(new_output);
+    }
+
+    // 4b. Driverless rules run once, at seed time.
+    if (needs_seed_) {
+      for (const CompiledRule* rule : by_stratum[stratum]) {
+        if (rule->driverless && !rule->has_agg) {
+          evaluator_.EvalFull(*rule, &derived);
+          apply_derivations(derived);
+        }
+      }
+    }
+
+    // 4c. Semi-naive rounds over this stratum.
+    std::map<std::string, size_t> cursor;  // per-table consumed prefix of tick_new_
+    size_t rounds = 0;
+    while (true) {
+      if (++rounds > options_.max_rounds_per_tick) {
+        result.errors.push_back("fixpoint did not converge within " +
+                                std::to_string(options_.max_rounds_per_tick) + " rounds");
+        break;
+      }
+      // Snapshot unconsumed deltas.
+      std::map<std::string, std::vector<Tuple>> deltas;
+      for (const auto& [table, rows] : tick_new_) {
+        size_t& c = cursor[table];
+        if (c < rows.size()) {
+          deltas[table].assign(rows.begin() + static_cast<long>(c), rows.end());
+          c = rows.size();
+        }
+      }
+      if (deltas.empty()) {
+        break;
+      }
+      ++result.rounds;
+      for (const CompiledRule* rule : by_stratum[stratum]) {
+        if (rule->has_agg || rule->driverless) {
+          continue;
+        }
+        for (const CompiledVariant& variant : rule->variants) {
+          auto it = deltas.find(variant.driver_table);
+          if (it == deltas.end()) {
+            continue;
+          }
+          evaluator_.EvalFromRows(*rule, variant, it->second, &derived);
+        }
+        apply_derivations(derived);
+      }
+    }
+  }
+
+  // 5. Apply deletions (tick-boundary semantics).
+  for (const Derivation& d : deletions) {
+    if (d.remote) {
+      continue;  // remote deletes are not part of the language subset
+    }
+    Table* t = catalog_.Find(d.table);
+    if (t != nullptr && t->Erase(d.tuple)) {
+      FireWatches(d.table, d.tuple, /*inserted=*/false);
+    }
+  }
+
+  // 6. Clear events; finish.
+  catalog_.ClearEvents();
+  needs_seed_ = false;
+  for (const std::string& err : evaluator_.errors()) {
+    result.errors.push_back(err);
+  }
+  ++stats_.ticks;
+  stats_.derivations += result.derivations;
+  return result;
+}
+
+}  // namespace boom

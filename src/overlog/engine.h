@@ -1,0 +1,166 @@
+// Engine: one node's Overlog runtime.
+//
+// Follows JOL/P2 timestep semantics. External inputs (network tuples, client requests, timer
+// firings) queue in an inbox. Tick(now) then:
+//   0. expires soft-state (ttl) rows that were not refreshed,
+//   1. fires due timers (as events),
+//   2. applies the inbox (including @next derivations deferred from the previous step),
+//   3. runs each stratum to a semi-naive fixpoint (aggregates maintained incrementally where
+//      eligible, otherwise recomputed at stratum entry when their inputs changed),
+//   4. applies deletions derived by `delete` rules,
+//   5. clears event tables and returns tuples destined for other nodes.
+//
+// Multiple programs can be installed on one engine (e.g. Paxos + BOOM-FS on a NameNode
+// replica); rules are recompiled and stratified over the union.
+
+#ifndef SRC_OVERLOG_ENGINE_H_
+#define SRC_OVERLOG_ENGINE_H_
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/builtins.h"
+#include "src/overlog/catalog.h"
+#include "src/overlog/eval.h"
+#include "src/overlog/parser.h"
+#include "src/overlog/planner.h"
+
+namespace boom {
+
+struct EngineOptions {
+  std::string address = "local";
+  uint64_t seed = 1;
+  // Safety valve: a tick aborts (with an error) after this many fixpoint rounds.
+  size_t max_rounds_per_tick = 100000;
+  // f_unique_id() salt; defaults to a hash of the address. Replicated state machines that
+  // replay an identical command log set the same salt on every replica so minted ids agree.
+  std::optional<uint64_t> id_salt;
+  // Ablation switches (benchmarks only): fall back to full recomputation strategies.
+  bool disable_incremental_aggregates = false;
+  bool disable_aggregate_version_skip = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::string& address() const { return options_.address; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  BuiltinRegistry& builtins() { return builtins_; }
+  std::mt19937_64& rng() { return rng_; }
+  double now() const { return now_ms_; }
+
+  // Parses and installs a program. Tables declared by earlier programs are visible.
+  Status InstallSource(std::string_view source, std::map<std::string, Value> consts = {});
+  Status Install(Program program);
+  const std::vector<Program>& programs() const { return programs_; }
+
+  // Queues an external tuple (message arrival, client request). Applied on the next Tick.
+  Status Enqueue(const std::string& table, Tuple tuple);
+  bool HasQueuedInput() const { return !inbox_.empty(); }
+
+  // Earliest pending timer deadline, or +inf when no timers are installed.
+  double NextTimerDeadline() const;
+
+  struct Send {
+    std::string dest;
+    std::string table;
+    Tuple tuple;
+  };
+  struct TickResult {
+    std::vector<Send> sends;
+    std::vector<std::string> errors;
+    size_t derivations = 0;
+    size_t rounds = 0;
+  };
+
+  // Runs one timestep at virtual time `now_ms` (must be non-decreasing).
+  TickResult Tick(double now_ms);
+
+  // Watch callback: fired when a tuple is inserted into (or deleted from) `table` during a
+  // tick, including event derivations. `inserted` is false for deletions.
+  using WatchFn = std::function<void(const std::string& table, const Tuple&, bool inserted)>;
+  void AddWatch(const std::string& table, WatchFn fn);
+
+  struct Stats {
+    uint64_t ticks = 0;
+    uint64_t derivations = 0;
+    uint64_t messages_sent = 0;
+    uint64_t tuples_enqueued = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Rule/stratum introspection (used by tests and the monitoring layer).
+  const CompiledProgram& compiled() const { return compiled_; }
+
+ private:
+  struct TimerState {
+    std::string name;
+    double period_ms;
+    double next_deadline;
+  };
+  // Running accumulator for one aggregate position of one group (incremental aggregates).
+  struct AggAccum {
+    int64_t count = 0;
+    bool sum_is_int = true;
+    int64_t sum_i = 0;
+    double sum_d = 0;
+    bool has_minmax = false;
+    Value min;
+    Value max;
+
+    void Fold(const Value& v);
+    Value Finish(AggKind kind) const;
+  };
+
+  struct AggState {
+    // group key -> last derived head tuple (local groups only).
+    std::map<Tuple, Tuple> last_output;
+    // last tuple sent per destination+group, to suppress duplicate sends.
+    std::map<Tuple, Tuple> last_sent;
+    // Sum of input-table versions at the last recomputation (skip when unchanged).
+    bool has_input_version = false;
+    uint64_t input_version_sum = 0;
+    // Incremental path: group key -> one accumulator per aggregate head position.
+    std::map<Tuple, std::vector<AggAccum>> accum;
+  };
+
+  Status Recompile();
+  void FireWatches(const std::string& table, const Tuple& tuple, bool inserted);
+  // Inserts locally; appends to tick_new_ on change; fires watches. Returns true if new.
+  bool ApplyLocalInsert(const std::string& table, const Tuple& tuple);
+
+  EngineOptions options_;
+  Catalog catalog_;
+  BuiltinRegistry builtins_;
+  std::mt19937_64 rng_;
+  EvalContext ctx_;
+  Evaluator evaluator_;
+
+  std::vector<Program> programs_;
+  CompiledProgram compiled_;
+  std::vector<TimerState> timers_;
+  std::map<std::string, std::vector<WatchFn>> watches_;
+  std::map<std::string, AggState> agg_state_;  // keyed by rule name
+
+  std::vector<std::pair<std::string, Tuple>> inbox_;
+  std::map<std::string, std::vector<Tuple>> tick_new_;  // tuples newly inserted this tick
+
+  double now_ms_ = 0;
+  bool needs_seed_ = false;
+  uint64_t id_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_ENGINE_H_

@@ -1,0 +1,284 @@
+#include "src/overlog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace boom {
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kInt:
+    case TokenKind::kDouble:
+      return "number '" + text + "'";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kEof:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      BOOM_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (AtEnd()) {
+        out.push_back(Make(TokenKind::kEof, ""));
+        return out;
+      }
+      Result<Token> tok = Next();
+      if (!tok.ok()) {
+        return tok.status();
+      }
+      out.push_back(std::move(tok).value());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (AtEnd()) {
+          return InvalidArgument("unterminated block comment at line " + std::to_string(line_));
+        }
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      return LexIdent();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber();
+    }
+    if (c == '"') {
+      return LexString();
+    }
+    if (c == '_') {
+      // `_foo` is an identifier; bare `_` is the wildcard.
+      if (std::isalnum(static_cast<unsigned char>(Peek(1))) || Peek(1) == '_') {
+        return LexIdent();
+      }
+      Advance();
+      return Make(TokenKind::kUnderscore, "_");
+    }
+    Advance();
+    switch (c) {
+      case '(':
+        return Make(TokenKind::kLParen, "(");
+      case ')':
+        return Make(TokenKind::kRParen, ")");
+      case '[':
+        return Make(TokenKind::kLBracket, "[");
+      case ']':
+        return Make(TokenKind::kRBracket, "]");
+      case ',':
+        return Make(TokenKind::kComma, ",");
+      case ';':
+        return Make(TokenKind::kSemi, ";");
+      case '@':
+        return Make(TokenKind::kAt, "@");
+      case '+':
+        return Make(TokenKind::kPlus, "+");
+      case '-':
+        return Make(TokenKind::kMinus, "-");
+      case '*':
+        return Make(TokenKind::kStar, "*");
+      case '/':
+        return Make(TokenKind::kSlash, "/");
+      case '%':
+        return Make(TokenKind::kPercent, "%");
+      case ':':
+        if (Peek() == '-') {
+          Advance();
+          return Make(TokenKind::kTurnstile, ":-");
+        }
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kAssign, ":=");
+        }
+        return InvalidArgument("stray ':' at line " + std::to_string(line_));
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kEq, "==");
+        }
+        return Make(TokenKind::kEquals, "=");
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kNe, "!=");
+        }
+        return Make(TokenKind::kBang, "!");
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe, "<=");
+        }
+        return Make(TokenKind::kLt, "<");
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe, ">=");
+        }
+        return Make(TokenKind::kGt, ">");
+      case '&':
+        if (Peek() == '&') {
+          Advance();
+          return Make(TokenKind::kAnd, "&&");
+        }
+        return InvalidArgument("stray '&' at line " + std::to_string(line_));
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          return Make(TokenKind::kOr, "||");
+        }
+        return InvalidArgument("stray '|' at line " + std::to_string(line_));
+      default:
+        return InvalidArgument(std::string("unexpected character '") + c + "' at line " +
+                               std::to_string(line_));
+    }
+  }
+
+  Result<Token> LexIdent() {
+    std::string text;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      text.push_back(Advance());
+    }
+    return Make(TokenKind::kIdent, std::move(text));
+  }
+
+  Result<Token> LexNumber() {
+    std::string text;
+    bool is_double = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      text.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_double = true;
+      text.push_back(Advance());
+      if (Peek() == '+' || Peek() == '-') {
+        text.push_back(Advance());
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    Token t = Make(is_double ? TokenKind::kDouble : TokenKind::kInt, text);
+    if (is_double) {
+      t.literal = Value(std::strtod(text.c_str(), nullptr));
+    } else {
+      t.literal = Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+    }
+    return t;
+  }
+
+  Result<Token> LexString() {
+    Advance();  // opening quote
+    std::string text;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\') {
+        if (AtEnd()) {
+          break;
+        }
+        char esc = Advance();
+        switch (esc) {
+          case 'n':
+            text.push_back('\n');
+            break;
+          case 't':
+            text.push_back('\t');
+            break;
+          case '\\':
+            text.push_back('\\');
+            break;
+          case '"':
+            text.push_back('"');
+            break;
+          default:
+            text.push_back(esc);
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    if (AtEnd()) {
+      return InvalidArgument("unterminated string literal at line " + std::to_string(line_));
+    }
+    Advance();  // closing quote
+    Token t = Make(TokenKind::kString, text);
+    t.literal = Value(text);
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace boom

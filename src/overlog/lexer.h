@@ -1,0 +1,62 @@
+// Tokenizer for the Overlog surface syntax.
+
+#ifndef SRC_OVERLOG_LEXER_H_
+#define SRC_OVERLOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/value.h"
+
+namespace boom {
+
+enum class TokenKind {
+  kIdent,    // file, Path, f_now (variables and names are distinguished by case in the parser)
+  kInt,      // 42
+  kDouble,   // 2.5
+  kString,   // "abc" (escapes: \" \\ \n \t)
+  kLParen,   // (
+  kRParen,   // )
+  kLBracket, // [
+  kRBracket, // ]
+  kComma,    // ,
+  kSemi,     // ;
+  kAt,       // @
+  kTurnstile,  // :-
+  kAssign,     // :=
+  kEq,       // ==
+  kNe,       // !=
+  kLe,       // <=
+  kGe,       // >=
+  kLt,       // <
+  kGt,       // >
+  kPlus,     // +
+  kMinus,    // -
+  kStar,     // *
+  kSlash,    // /
+  kPercent,  // %
+  kAnd,      // &&
+  kOr,       // ||
+  kBang,     // !
+  kEquals,   // =
+  kUnderscore,  // _
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier text / raw literal
+  Value literal;      // kInt/kDouble/kString payload
+  int line = 0;
+  int column = 0;
+
+  std::string Describe() const;
+};
+
+// Tokenizes the whole input. Comments: // line and /* block */.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_LEXER_H_

@@ -1,0 +1,36 @@
+// Recursive-descent parser for the Overlog surface syntax.
+//
+// Conventions (following P2/JOL usage):
+//   - Identifiers starting with an uppercase letter are variables; `_` is a wildcard.
+//   - Lowercase identifiers name tables, builtin functions (calls require parens), or
+//     declared constants.
+//   - Declarations must precede use. Tables declared by previously installed programs can be
+//     referenced by passing them in ParserOptions::known_tables.
+
+#ifndef SRC_OVERLOG_PARSER_H_
+#define SRC_OVERLOG_PARSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/overlog/ast.h"
+
+namespace boom {
+
+struct ParserOptions {
+  // Tables declared outside this program text (e.g. by already-installed programs).
+  std::set<std::string> known_tables;
+  // Externally supplied named constants, usable as lowercase identifiers.
+  std::map<std::string, Value> consts;
+  // When nonempty, a body term of the form `name(...)` where `name` is neither a table nor
+  // in this set is a parse error (catches typo'd predicates early).
+  std::set<std::string> known_functions;
+};
+
+Result<Program> ParseProgram(std::string_view source, const ParserOptions& options = {});
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_PARSER_H_

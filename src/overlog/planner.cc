@@ -1,0 +1,573 @@
+#include "src/overlog/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+namespace {
+
+// Working state for compiling a single rule.
+class RuleCompiler {
+ public:
+  RuleCompiler(const Rule& rule, const std::string& program, const Catalog& catalog)
+      : rule_(rule), program_(program), catalog_(catalog) {}
+
+  Result<CompiledRule> Run() {
+    CompiledRule out;
+    out.name = rule_.name;
+    out.program = program_;
+    out.is_delete = rule_.is_delete;
+    out.is_next = rule_.is_next;
+    out.has_agg = rule_.head.HasAggregate();
+    if (out.is_next && out.has_agg) {
+      return Err("@next cannot be combined with aggregates");
+    }
+    if (out.is_next && out.is_delete) {
+      return Err("@next cannot be combined with delete (deletes already defer)");
+    }
+    out.head_table = rule_.head.table;
+    out.head_has_location = rule_.head.has_location;
+
+    const Table* head_table = catalog_.Find(rule_.head.table);
+    if (head_table == nullptr) {
+      return Err("head table '" + rule_.head.table + "' is not declared");
+    }
+    if (head_table->def().arity() != rule_.head.args.size()) {
+      return Err("head arity mismatch for " + rule_.head.table + ": rule has " +
+                 std::to_string(rule_.head.args.size()) + " args, table has " +
+                 std::to_string(head_table->def().arity()));
+    }
+    out.head_is_event = head_table->def().kind == TableKind::kEvent;
+    if (out.is_delete) {
+      if (out.head_is_event) {
+        return Err("cannot delete from event table " + rule_.head.table);
+      }
+      if (out.has_agg) {
+        return Err("delete rules cannot use aggregates");
+      }
+    }
+    BOOM_RETURN_IF_ERROR(ValidateBodyAtoms());
+    AssignSlots(&out);
+
+    // Gather positive atom indices in the body.
+    std::vector<size_t> positive_atoms;
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      const BodyTerm& t = rule_.body[i];
+      if (t.kind == BodyTerm::Kind::kAtom) {
+        out.body_tables.push_back(t.atom.table);
+        if (!t.atom.negated) {
+          positive_atoms.push_back(i);
+        }
+      }
+    }
+    out.driverless = positive_atoms.empty();
+    out.single_positive_atom = positive_atoms.size() == 1;
+
+    // Full ordering (seed evaluation and aggregate rules): drive from the first positive
+    // atom's full table contents, or no driver at all when the body has none.
+    {
+      Result<CompiledVariant> full =
+          OrderBody(out, positive_atoms.empty() ? -1 : static_cast<int>(positive_atoms[0]));
+      if (!full.ok()) {
+        return full.status();
+      }
+      out.full_variant = std::move(full).value();
+    }
+
+    if (!out.has_agg) {
+      for (size_t atom_idx : positive_atoms) {
+        Result<CompiledVariant> variant = OrderBody(out, static_cast<int>(atom_idx));
+        if (!variant.ok()) {
+          return variant.status();
+        }
+        out.variants.push_back(std::move(variant).value());
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return InvalidArgument("rule " + rule_.name + ": " + msg);
+  }
+
+  Status ValidateBodyAtoms() const {
+    for (const BodyTerm& t : rule_.body) {
+      if (t.kind != BodyTerm::Kind::kAtom) {
+        continue;
+      }
+      const Table* table = catalog_.Find(t.atom.table);
+      if (table == nullptr) {
+        return Err("body table '" + t.atom.table + "' is not declared");
+      }
+      if (table->def().arity() != t.atom.args.size()) {
+        return Err("arity mismatch for " + t.atom.table + ": atom has " +
+                   std::to_string(t.atom.args.size()) + " args, table has " +
+                   std::to_string(table->def().arity()));
+      }
+    }
+    return Status::Ok();
+  }
+
+  void AssignSlots(CompiledRule* out) {
+    auto intern = [out](const std::string& var) {
+      auto [it, added] = out->slot_of.emplace(var, out->num_slots);
+      if (added) {
+        ++out->num_slots;
+      }
+      return it->second;
+    };
+    for (const BodyTerm& t : rule_.body) {
+      std::set<std::string> vars;
+      switch (t.kind) {
+        case BodyTerm::Kind::kAtom:
+          for (const Expr& a : t.atom.args) {
+            a.CollectVars(&vars);
+          }
+          break;
+        case BodyTerm::Kind::kAssign:
+          vars.insert(t.assign.var);
+          t.assign.expr.CollectVars(&vars);
+          break;
+        case BodyTerm::Kind::kCondition:
+          t.condition.CollectVars(&vars);
+          break;
+      }
+      for (const std::string& v : vars) {
+        intern(v);
+      }
+    }
+    for (const HeadArg& a : rule_.head.args) {
+      std::set<std::string> vars;
+      a.expr.CollectVars(&vars);
+      for (const std::string& v : vars) {
+        intern(v);
+      }
+    }
+    // Compile head args.
+    for (const HeadArg& a : rule_.head.args) {
+      CompiledHeadArg ch;
+      ch.expr = a.expr;
+      ch.agg = a.agg;
+      ch.k = a.k;
+      out->head_args.push_back(std::move(ch));
+    }
+  }
+
+  bool ExprVarsBound(const Expr& e, const std::set<int>& bound,
+                     const CompiledRule& out) const {
+    std::set<std::string> vars;
+    e.CollectVars(&vars);
+    for (const std::string& v : vars) {
+      if (bound.count(out.slot_of.at(v)) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool IsAnonVar(const std::string& name) {
+    return name.rfind("_Anon", 0) == 0;
+  }
+
+  // Compiles an atom given the current bound-slot set; updates `bound` with new bindings.
+  CompiledAtom CompileAtom(const Atom& atom, const CompiledRule& out,
+                           std::set<int>* bound, bool is_probe) const {
+    CompiledAtom ca;
+    ca.table = atom.table;
+    ca.negated = atom.negated;
+    std::set<int> locally_bound;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Expr& arg = atom.args[i];
+      CompiledArg carg;
+      if (arg.is_const()) {
+        carg.is_const = true;
+        carg.constant = arg.constant;
+        ca.probe_cols.push_back(i);
+      } else {
+        int slot = out.slot_of.at(arg.var);
+        carg.slot = slot;
+        bool already = bound->count(slot) > 0 || locally_bound.count(slot) > 0;
+        if (already) {
+          carg.first_binding = false;
+          // Pre-bound vars participate in the index probe; within-atom repeats are checked
+          // after binding instead.
+          if (bound->count(slot) > 0 && locally_bound.count(slot) == 0) {
+            ca.probe_cols.push_back(i);
+          }
+        } else {
+          carg.first_binding = true;
+          locally_bound.insert(slot);
+        }
+      }
+      ca.args.push_back(std::move(carg));
+    }
+    if (!atom.negated) {
+      for (int s : locally_bound) {
+        bound->insert(s);
+      }
+    }
+    return ca;
+  }
+
+  // True when all *named* variables of a negated atom are bound (anonymous ones are
+  // existential).
+  bool NegatedAtomReady(const Atom& atom, const CompiledRule& out,
+                        const std::set<int>& bound) const {
+    for (const Expr& arg : atom.args) {
+      if (arg.is_var() && !IsAnonVar(arg.var) &&
+          bound.count(out.slot_of.at(arg.var)) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Result<CompiledVariant> OrderBody(const CompiledRule& out, int driver_idx) const {
+    CompiledVariant variant;
+    std::set<int> bound;
+    std::vector<bool> used(rule_.body.size(), false);
+
+    if (driver_idx >= 0) {
+      const Atom& driver_atom = rule_.body[static_cast<size_t>(driver_idx)].atom;
+      variant.driver_table = driver_atom.table;
+      variant.driver = CompileAtom(driver_atom, out, &bound, /*is_probe=*/false);
+      used[static_cast<size_t>(driver_idx)] = true;
+    }
+
+    size_t remaining = 0;
+    for (size_t i = 0; i < rule_.body.size(); ++i) {
+      if (!used[i]) {
+        ++remaining;
+      }
+    }
+
+    while (remaining > 0) {
+      bool progressed = false;
+
+      // 1. Emit every ready condition, assignment, and negated atom (cheap filters first).
+      for (size_t i = 0; i < rule_.body.size(); ++i) {
+        if (used[i]) {
+          continue;
+        }
+        const BodyTerm& t = rule_.body[i];
+        if (t.kind == BodyTerm::Kind::kCondition &&
+            ExprVarsBound(t.condition, bound, out)) {
+          CompiledStep step;
+          step.kind = BodyTerm::Kind::kCondition;
+          step.condition = t.condition;
+          variant.steps.push_back(std::move(step));
+          used[i] = true;
+          --remaining;
+          progressed = true;
+        } else if (t.kind == BodyTerm::Kind::kAssign &&
+                   ExprVarsBound(t.assign.expr, bound, out)) {
+          int slot = out.slot_of.at(t.assign.var);
+          CompiledStep step;
+          if (bound.count(slot) > 0) {
+            // The target is already bound in this ordering (e.g. by the delta-driver atom of
+            // another variant): unification semantics turn the assignment into an equality
+            // check.
+            step.kind = BodyTerm::Kind::kCondition;
+            step.condition = Expr::Call("==", {Expr::Var(t.assign.var), t.assign.expr});
+          } else {
+            step.kind = BodyTerm::Kind::kAssign;
+            step.assign_slot = slot;
+            step.assign_expr = t.assign.expr;
+            bound.insert(slot);
+          }
+          variant.steps.push_back(std::move(step));
+          used[i] = true;
+          --remaining;
+          progressed = true;
+        } else if (t.kind == BodyTerm::Kind::kAtom && t.atom.negated &&
+                   NegatedAtomReady(t.atom, out, bound)) {
+          CompiledStep step;
+          step.kind = BodyTerm::Kind::kAtom;
+          step.atom = CompileAtom(t.atom, out, &bound, /*is_probe=*/true);
+          variant.steps.push_back(std::move(step));
+          used[i] = true;
+          --remaining;
+          progressed = true;
+        }
+      }
+      if (progressed) {
+        continue;
+      }
+
+      // 2. Pick the positive atom with the most bound/const argument positions.
+      int best = -1;
+      int best_score = -1;
+      for (size_t i = 0; i < rule_.body.size(); ++i) {
+        if (used[i]) {
+          continue;
+        }
+        const BodyTerm& t = rule_.body[i];
+        if (t.kind != BodyTerm::Kind::kAtom || t.atom.negated) {
+          continue;
+        }
+        int score = 0;
+        for (const Expr& arg : t.atom.args) {
+          if (arg.is_const() ||
+              (arg.is_var() && bound.count(out.slot_of.at(arg.var)) > 0)) {
+            ++score;
+          }
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        return Err("cannot order rule body: unbound condition, assignment, or negation");
+      }
+      CompiledStep step;
+      step.kind = BodyTerm::Kind::kAtom;
+      step.atom = CompileAtom(rule_.body[static_cast<size_t>(best)].atom, out, &bound,
+                              /*is_probe=*/true);
+      variant.steps.push_back(std::move(step));
+      used[static_cast<size_t>(best)] = true;
+      --remaining;
+    }
+
+    // Safety: all head variables (plain and aggregated) must be bound.
+    for (const HeadArg& a : rule_.head.args) {
+      if (!ExprVarsBound(a.expr, bound, out)) {
+        return Err("unsafe head: variable in " + a.ToString() +
+                   " is not bound by the body");
+      }
+    }
+    variant.bound_slots.assign(bound.begin(), bound.end());
+    return variant;
+  }
+
+  const Rule& rule_;
+  const std::string& program_;
+  const Catalog& catalog_;
+};
+
+// Iterative Tarjan SCC over table dependency graph.
+class SccFinder {
+ public:
+  explicit SccFinder(const std::map<std::string, std::set<std::string>>& adj) : adj_(adj) {}
+
+  // Returns component id per node; ids are in reverse topological order of the condensation
+  // (Tarjan property: a component is numbered after all components it can reach).
+  std::map<std::string, int> Run() {
+    for (const auto& [node, succs] : adj_) {
+      if (index_.count(node) == 0) {
+        Strongconnect(node);
+      }
+    }
+    return component_;
+  }
+
+  int num_components() const { return next_component_; }
+
+ private:
+  void Strongconnect(const std::string& root) {
+    struct Frame {
+      std::string node;
+      std::vector<std::string> succs;
+      size_t next_succ = 0;
+    };
+    std::vector<Frame> stack;
+    auto push_node = [this, &stack](const std::string& n) {
+      index_[n] = lowlink_[n] = next_index_++;
+      tarjan_stack_.push_back(n);
+      on_stack_.insert(n);
+      Frame f;
+      f.node = n;
+      auto it = adj_.find(n);
+      if (it != adj_.end()) {
+        f.succs.assign(it->second.begin(), it->second.end());
+      }
+      stack.push_back(std::move(f));
+    };
+    push_node(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_succ < frame.succs.size()) {
+        const std::string& succ = frame.succs[frame.next_succ++];
+        if (index_.count(succ) == 0) {
+          push_node(succ);
+        } else if (on_stack_.count(succ) > 0) {
+          lowlink_[frame.node] = std::min(lowlink_[frame.node], index_[succ]);
+        }
+      } else {
+        if (lowlink_[frame.node] == index_[frame.node]) {
+          while (true) {
+            std::string top = tarjan_stack_.back();
+            tarjan_stack_.pop_back();
+            on_stack_.erase(top);
+            component_[top] = next_component_;
+            if (top == frame.node) {
+              break;
+            }
+          }
+          ++next_component_;
+        }
+        std::string done = frame.node;
+        stack.pop_back();
+        if (!stack.empty()) {
+          lowlink_[stack.back().node] =
+              std::min(lowlink_[stack.back().node], lowlink_[done]);
+        }
+      }
+    }
+  }
+
+  const std::map<std::string, std::set<std::string>>& adj_;
+  std::map<std::string, int> index_;
+  std::map<std::string, int> lowlink_;
+  std::map<std::string, int> component_;
+  std::vector<std::string> tarjan_stack_;
+  std::set<std::string> on_stack_;
+  int next_index_ = 0;
+  int next_component_ = 0;
+};
+
+}  // namespace
+
+Result<CompiledProgram> CompileRules(const std::vector<Rule>& rules,
+                                     const std::vector<std::string>& programs,
+                                     const Catalog& catalog) {
+  CompiledProgram out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const std::string program = i < programs.size() ? programs[i] : "";
+    Result<CompiledRule> compiled = RuleCompiler(rules[i], program, catalog).Run();
+    if (!compiled.ok()) {
+      return compiled.status();
+    }
+    out.rules.push_back(std::move(compiled).value());
+  }
+
+  // --- incremental-aggregate eligibility ---
+  // A table is insert-only when no delete rule targets it and no aggregate rule derives it
+  // (aggregate reconciliation can retract rows).
+  {
+    std::set<std::string> mutated;
+    for (const CompiledRule& cr : out.rules) {
+      if (cr.is_delete || cr.has_agg) {
+        mutated.insert(cr.head_table);
+      }
+    }
+    for (CompiledRule& cr : out.rules) {
+      if (!cr.has_agg || !cr.single_positive_atom || cr.body_tables.size() != 1 ||
+          cr.head_has_location) {
+        continue;
+      }
+      const Table* driver = catalog.Find(cr.body_tables[0]);
+      if (driver == nullptr || driver->def().kind != TableKind::kTable ||
+          driver->def().ttl_ms > 0 ||  // soft-state rows expire: not insert-only
+          driver->def().EffectiveKey().size() != driver->def().arity() ||
+          mutated.count(cr.body_tables[0]) > 0) {
+        continue;
+      }
+      bool kinds_ok = true;
+      for (const CompiledHeadArg& arg : cr.head_args) {
+        if (arg.agg == AggKind::kBottomK) {
+          kinds_ok = false;
+        }
+      }
+      cr.incremental_agg = kinds_ok;
+    }
+  }
+
+  // --- stratification ---
+  // Dependency edges body_table -> head_table; an edge is "negative" when the body atom is
+  // negated or the rule aggregates. Delete rules impose no derivation edges (deletions apply
+  // at tick boundaries).
+  std::map<std::string, std::set<std::string>> adj;
+  std::map<std::pair<std::string, std::string>, int> weight;  // max weight per edge
+  auto touch = [&adj](const std::string& t) { adj[t]; };
+
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const Rule& rule = rules[i];
+    touch(rule.head.table);
+    for (const BodyTerm& t : rule.body) {
+      if (t.kind != BodyTerm::Kind::kAtom) {
+        continue;
+      }
+      touch(t.atom.table);
+      if (rule.is_delete || rule.is_next) {
+        continue;  // deferred heads impose no same-timestep derivation edge
+      }
+      int w = (t.atom.negated || rule.head.HasAggregate()) ? 1 : 0;
+      adj[t.atom.table].insert(rule.head.table);
+      auto key = std::make_pair(t.atom.table, rule.head.table);
+      auto it = weight.find(key);
+      if (it == weight.end()) {
+        weight[key] = w;
+      } else {
+        it->second = std::max(it->second, w);
+      }
+    }
+  }
+
+  SccFinder scc(adj);
+  std::map<std::string, int> component = scc.Run();
+
+  // Any negative edge inside one SCC makes the program unstratifiable.
+  for (const auto& [edge, w] : weight) {
+    if (w > 0 && component[edge.first] == component[edge.second]) {
+      return InvalidArgument("unstratifiable program: negation/aggregation cycle through " +
+                             edge.first + " and " + edge.second);
+    }
+  }
+
+  // Longest-path strata over the condensation. Tarjan numbers components in reverse
+  // topological order, so iterating components from high to low visits sources first.
+  std::map<int, int> comp_stratum;
+  for (const auto& [node, comp] : component) {
+    comp_stratum[comp] = 0;
+  }
+  std::vector<std::pair<int, std::string>> order;  // (component, node) sorted desc
+  order.reserve(component.size());
+  for (const auto& [node, comp] : component) {
+    order.emplace_back(comp, node);
+  }
+  std::sort(order.begin(), order.end(), std::greater<>());
+  for (const auto& [comp, node] : order) {
+    for (const std::string& succ : adj[node]) {
+      int succ_comp = component[succ];
+      if (succ_comp == comp) {
+        continue;
+      }
+      int w = weight[{node, succ}];
+      comp_stratum[succ_comp] =
+          std::max(comp_stratum[succ_comp], comp_stratum[comp] + w);
+    }
+  }
+
+  auto table_stratum = [&](const std::string& table) {
+    auto it = component.find(table);
+    return it == component.end() ? 0 : comp_stratum[it->second];
+  };
+
+  int max_stratum = 0;
+  for (size_t i = 0; i < out.rules.size(); ++i) {
+    CompiledRule& cr = out.rules[i];
+    if (cr.is_delete || cr.is_next) {
+      // Deferred heads run once their body tables are final.
+      int s = 0;
+      for (const BodyTerm& t : rules[i].body) {
+        if (t.kind == BodyTerm::Kind::kAtom) {
+          s = std::max(s, table_stratum(t.atom.table));
+        }
+      }
+      cr.stratum = s;
+    } else {
+      cr.stratum = table_stratum(cr.head_table);
+    }
+    max_stratum = std::max(max_stratum, cr.stratum);
+  }
+  out.num_strata = max_stratum + 1;
+  return out;
+}
+
+}  // namespace boom

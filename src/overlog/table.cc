@@ -1,0 +1,167 @@
+#include "src/overlog/table.h"
+
+#include <numeric>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+namespace {
+bool g_disable_index_catchup = false;
+}  // namespace
+
+void Table::SetDisableIndexCatchupForBenchmarks(bool disable) {
+  g_disable_index_catchup = disable;
+}
+
+std::vector<size_t> TableDef::EffectiveKey() const {
+  if (!key_columns.empty()) {
+    return key_columns;
+  }
+  std::vector<size_t> all(columns.size());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  effective_key_ = def_.EffectiveKey();
+  key_is_whole_row_ = effective_key_.size() == def_.arity();
+}
+
+Table::InsertOutcome Table::Insert(Tuple tuple, double now_ms) {
+  BOOM_CHECK(tuple.size() == def_.arity())
+      << "arity mismatch inserting into " << def_.name << ": got " << tuple.size()
+      << ", want " << def_.arity();
+  Tuple key = KeyOf(tuple);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    if (def_.ttl_ms > 0) {
+      row_time_[key] = now_ms;
+    }
+    auto [inserted_it, added] = rows_.emplace(std::move(key), std::move(tuple));
+    insert_log_.push_back(&inserted_it->second);
+    ++version_;
+    return InsertOutcome::kInserted;
+  }
+  if (def_.ttl_ms > 0) {
+    row_time_[key] = now_ms;  // re-insertion refreshes the lease even when unchanged
+  }
+  if (it->second == tuple) {
+    return InsertOutcome::kUnchanged;
+  }
+  it->second = std::move(tuple);
+  ++version_;
+  ++mutation_epoch_;  // cached index entries may point at the replaced payload
+  insert_log_.clear();
+  return InsertOutcome::kReplaced;
+}
+
+bool Table::Erase(const Tuple& tuple) {
+  auto it = rows_.find(KeyOf(tuple));
+  if (it == rows_.end() || it->second != tuple) {
+    return false;
+  }
+  rows_.erase(it);
+  ++version_;
+  ++mutation_epoch_;
+  insert_log_.clear();
+  return true;
+}
+
+bool Table::EraseByKey(const Tuple& key) {
+  if (rows_.erase(key) > 0) {
+    ++version_;
+    ++mutation_epoch_;
+    insert_log_.clear();
+    return true;
+  }
+  return false;
+}
+
+const Tuple* Table::LookupByKey(const Tuple& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool Table::Contains(const Tuple& tuple) const {
+  const Tuple* row = LookupByKey(KeyOf(tuple));
+  return row != nullptr && *row == tuple;
+}
+
+std::vector<Tuple> Table::Rows() const {
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) {
+    out.push_back(row);
+  }
+  return out;
+}
+
+const Index& Table::GetIndex(const std::vector<size_t>& cols) {
+  CachedIndex& cached = indexes_[cols];
+  if (!cached.built || cached.epoch != mutation_epoch_ ||
+      (g_disable_index_catchup && cached.log_pos != insert_log_.size())) {
+    // Full rebuild: a replacement or erase may have invalidated cached row pointers.
+    cached.index.clear();
+    for (const auto& [key, row] : rows_) {
+      cached.index[row.Project(cols)].push_back(&row);
+    }
+    cached.built = true;
+    cached.epoch = mutation_epoch_;
+    cached.log_pos = insert_log_.size();
+    return cached.index;
+  }
+  // Catch up on plain inserts only: O(delta) per probe instead of O(table).
+  for (; cached.log_pos < insert_log_.size(); ++cached.log_pos) {
+    const Tuple* row = insert_log_[cached.log_pos];
+    cached.index[row->Project(cols)].push_back(row);
+  }
+  return cached.index;
+}
+
+const std::vector<const Tuple*>& Table::Probe(const std::vector<size_t>& cols,
+                                              const Tuple& probe) {
+  const Index& index = GetIndex(cols);
+  auto it = index.find(probe);
+  if (it == index.end()) {
+    return empty_result_;
+  }
+  return it->second;
+}
+
+void Table::Clear() {
+  if (!rows_.empty()) {
+    rows_.clear();
+    row_time_.clear();
+    ++version_;
+    ++mutation_epoch_;
+    insert_log_.clear();
+  }
+}
+
+std::vector<Tuple> Table::ExpireOlderThan(double cutoff_ms) {
+  std::vector<Tuple> expired;
+  if (def_.ttl_ms <= 0) {
+    return expired;
+  }
+  for (auto it = row_time_.begin(); it != row_time_.end();) {
+    if (it->second < cutoff_ms) {
+      auto row_it = rows_.find(it->first);
+      if (row_it != rows_.end()) {
+        expired.push_back(row_it->second);
+        rows_.erase(row_it);
+      }
+      it = row_time_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!expired.empty()) {
+    ++version_;
+    ++mutation_epoch_;
+    insert_log_.clear();
+  }
+  return expired;
+}
+
+}  // namespace boom

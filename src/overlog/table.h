@@ -1,0 +1,130 @@
+// Table: a materialized Overlog relation with primary-key semantics and lazily built
+// secondary hash indexes.
+//
+// Overlog tables declare a primary key (subset of columns). Inserting a tuple whose key is
+// already present replaces the old row (update-in-place semantics, as in P2/JOL). Tables with
+// no declared key treat every column as the key, i.e. plain set semantics.
+//
+// Event tables hold tuples for a single engine timestep; the Engine clears them between ticks.
+
+#ifndef SRC_OVERLOG_TABLE_H_
+#define SRC_OVERLOG_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/tuple.h"
+
+namespace boom {
+
+enum class TableKind {
+  kTable,  // persistent across timesteps
+  kEvent,  // cleared at the end of each timestep
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<std::string> columns;  // column names (for diagnostics; arity = size)
+  std::vector<size_t> key_columns;   // empty => all columns form the key
+  TableKind kind = TableKind::kTable;
+  // Soft state (P2-style): rows older than this expire unless refreshed by re-insertion.
+  // 0 = permanent.
+  double ttl_ms = 0;
+
+  size_t arity() const { return columns.size(); }
+  // Effective key: declared keys, or all columns when none declared.
+  std::vector<size_t> EffectiveKey() const;
+};
+
+// Secondary index: projection of selected columns -> rows having that projection.
+using Index = std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash>;
+
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  const TableDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  uint64_t version() const { return version_; }
+
+  enum class InsertOutcome {
+    kInserted,   // new key
+    kReplaced,   // existing key, different row
+    kUnchanged,  // identical row already present
+  };
+
+  // Inserts or replaces by primary key. Tuple arity must match the declaration. `now_ms`
+  // stamps the row for TTL expiry (ignored for permanent tables).
+  InsertOutcome Insert(Tuple tuple, double now_ms = 0);
+
+  // Removes the exact tuple if present (key match with identical payload).
+  bool Erase(const Tuple& tuple);
+  // Removes whatever row currently holds this primary key.
+  bool EraseByKey(const Tuple& key);
+
+  // Returns the row with this primary key, or nullptr. The pointer is stable until the next
+  // mutation of that key.
+  const Tuple* LookupByKey(const Tuple& key) const;
+  bool Contains(const Tuple& tuple) const;
+
+  // Snapshot of all rows (copy; used where mutation during iteration is possible).
+  std::vector<Tuple> Rows() const;
+
+  // Visits all rows without copying. Callers must not mutate the table during the visit.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, row] : rows_) {
+      fn(row);
+    }
+  }
+
+  // Returns rows whose projection on `cols` equals `probe`, via a lazily built and cached
+  // hash index. The returned pointers are valid until the next table mutation.
+  const std::vector<const Tuple*>& Probe(const std::vector<size_t>& cols, const Tuple& probe);
+
+  void Clear();
+
+  // Soft state: removes rows stamped before `cutoff_ms`, returning the expired rows.
+  std::vector<Tuple> ExpireOlderThan(double cutoff_ms);
+
+  // Extracts the primary key projection from a full row.
+  Tuple KeyOf(const Tuple& tuple) const { return tuple.Project(effective_key_); }
+
+  // Ablation switch (benchmarks only): when true, every probe rebuilds its index from
+  // scratch instead of catching up from the insert log.
+  static void SetDisableIndexCatchupForBenchmarks(bool disable);
+
+ private:
+  struct CachedIndex {
+    bool built = false;
+    uint64_t epoch = 0;     // full rebuild needed when != mutation_epoch_
+    size_t log_pos = 0;     // prefix of insert_log_ already folded in
+    Index index;
+  };
+
+  const Index& GetIndex(const std::vector<size_t>& cols);
+
+  TableDef def_;
+  std::vector<size_t> effective_key_;
+  bool key_is_whole_row_;
+  std::unordered_map<Tuple, Tuple, TupleHash> rows_;  // key projection -> full row
+  std::unordered_map<Tuple, double, TupleHash> row_time_;  // TTL tables only
+  std::map<std::vector<size_t>, CachedIndex> indexes_;
+  uint64_t version_ = 0;
+  // Index maintenance: plain inserts append here (stable pointers into rows_), so cached
+  // indexes catch up in O(delta). Replacements/erases bump mutation_epoch_, forcing a full
+  // rebuild (stale pointers would otherwise dangle).
+  std::vector<const Tuple*> insert_log_;
+  uint64_t mutation_epoch_ = 0;
+  std::vector<const Tuple*> empty_result_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_TABLE_H_

@@ -1,0 +1,21 @@
+#include "src/overlog/tuple.h"
+
+namespace boom {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < vals_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    if (vals_[i].is_string()) {
+      out += "\"" + vals_[i].as_string() + "\"";
+    } else {
+      out += vals_[i].ToString();
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace boom

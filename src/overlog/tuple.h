@@ -1,0 +1,87 @@
+// Tuple: an immutable row of Values with a precomputed hash.
+
+#ifndef SRC_OVERLOG_TUPLE_H_
+#define SRC_OVERLOG_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/overlog/value.h"
+
+namespace boom {
+
+class Tuple {
+ public:
+  Tuple() : hash_(EmptyHash()) {}
+  explicit Tuple(std::vector<Value> vals) : vals_(std::move(vals)) { hash_ = ComputeHash(); }
+  Tuple(std::initializer_list<Value> vals) : vals_(vals) { hash_ = ComputeHash(); }
+
+  size_t size() const { return vals_.size(); }
+  bool empty() const { return vals_.empty(); }
+  const Value& at(size_t i) const { return vals_[i]; }
+  const Value& operator[](size_t i) const { return vals_[i]; }
+  const std::vector<Value>& values() const { return vals_; }
+
+  size_t hash() const { return hash_; }
+
+  bool operator==(const Tuple& other) const {
+    if (hash_ != other.hash_ || vals_.size() != other.vals_.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < vals_.size(); ++i) {
+      if (!(vals_[i] == other.vals_[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const {
+    size_t n = std::min(vals_.size(), other.vals_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (vals_[i] < other.vals_[i]) {
+        return true;
+      }
+      if (other.vals_[i] < vals_[i]) {
+        return false;
+      }
+    }
+    return vals_.size() < other.vals_.size();
+  }
+
+  // Projects the given columns into a new tuple (used for keys and join probes).
+  Tuple Project(const std::vector<size_t>& cols) const {
+    std::vector<Value> out;
+    out.reserve(cols.size());
+    for (size_t c : cols) {
+      out.push_back(vals_[c]);
+    }
+    return Tuple(std::move(out));
+  }
+
+  // "(1, "foo", 3.5)"
+  std::string ToString() const;
+
+ private:
+  static size_t EmptyHash() { return 0x12345678; }
+  size_t ComputeHash() const {
+    size_t h = EmptyHash();
+    for (const Value& v : vals_) {
+      h = HashCombine(h, v.Hash());
+    }
+    return h;
+  }
+
+  std::vector<Value> vals_;
+  size_t hash_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.hash(); }
+};
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_TUPLE_H_

@@ -1,0 +1,197 @@
+#include "src/overlog/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace boom {
+
+namespace {
+
+int KindRank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNil:
+      return 0;
+    case ValueKind::kBool:
+      return 1;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 2;  // numerics compare with each other
+    case ValueKind::kString:
+      return 3;
+    case ValueKind::kList:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+double Value::ToDouble() const {
+  switch (kind()) {
+    case ValueKind::kInt:
+      return static_cast<double>(as_int());
+    case ValueKind::kDouble:
+      return as_double();
+    case ValueKind::kBool:
+      return as_bool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::Truthy() const {
+  switch (kind()) {
+    case ValueKind::kNil:
+      return false;
+    case ValueKind::kBool:
+      return as_bool();
+    case ValueKind::kInt:
+      return as_int() != 0;
+    case ValueKind::kDouble:
+      return as_double() != 0.0;
+    case ValueKind::kString:
+      return !as_string().empty();
+    case ValueKind::kList:
+      return !as_list().empty();
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      return as_int() == other.as_int();
+    }
+    return ToDouble() == other.ToDouble();
+  }
+  if (kind() != other.kind()) {
+    return false;
+  }
+  switch (kind()) {
+    case ValueKind::kNil:
+      return true;
+    case ValueKind::kBool:
+      return as_bool() == other.as_bool();
+    case ValueKind::kString:
+      return as_string() == other.as_string();
+    case ValueKind::kList: {
+      const ValueList& a = as_list();
+      const ValueList& b = other.as_list();
+      if (a.size() != b.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  int ra = KindRank(kind());
+  int rb = KindRank(other.kind());
+  if (ra != rb) {
+    return ra < rb;
+  }
+  switch (kind()) {
+    case ValueKind::kNil:
+      return false;
+    case ValueKind::kBool:
+      return !as_bool() && other.as_bool();
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      if (is_int() && other.is_int()) {
+        return as_int() < other.as_int();
+      }
+      return ToDouble() < other.ToDouble();
+    case ValueKind::kString:
+      return as_string() < other.as_string();
+    case ValueKind::kList: {
+      const ValueList& a = as_list();
+      const ValueList& b = other.as_list();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i]) {
+          return true;
+        }
+        if (b[i] < a[i]) {
+          return false;
+        }
+      }
+      return a.size() < b.size();
+    }
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case ValueKind::kNil:
+      return 0x9e3779b9;
+    case ValueKind::kBool:
+      return as_bool() ? 0x517cc1b7 : 0x27220a95;
+    case ValueKind::kInt:
+      return std::hash<int64_t>{}(as_int());
+    case ValueKind::kDouble: {
+      double d = as_double();
+      // Hash integral doubles like their int counterpart so 1 == 1.0 implies equal hashes.
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueKind::kString:
+      return std::hash<std::string>{}(as_string());
+    case ValueKind::kList: {
+      size_t h = 0xabcdef01;
+      for (const Value& v : as_list()) {
+        h = HashCombine(h, v.Hash());
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(as_int());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << as_double();
+      return os.str();
+    }
+    case ValueKind::kString:
+      return as_string();
+    case ValueKind::kList: {
+      std::string out = "[";
+      const ValueList& list = as_list();
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        if (list[i].is_string()) {
+          out += "\"" + list[i].as_string() + "\"";
+        } else {
+          out += list[i].ToString();
+        }
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace boom

@@ -1,0 +1,38 @@
+// Multi-Paxos as an Overlog program — the paper's availability revision (F2): BOOM-FS
+// NameNode state updates become a Paxos-replicated log of namespace commands, and the whole
+// consensus protocol is a page of rules.
+//
+// Design (global-ballot multi-Paxos):
+//   - Leader election: replicas ping each other on a timer; the lowest-addressed live
+//     replica is leader (min<> aggregate over live peers).
+//   - Phase 1 runs once per (leader, ballot) across all log slots; promises stream back the
+//     acceptor's accepted entries so a new leader can re-propose unfinished commands.
+//   - Client commands queue in `request_q`; the leader drains one per paxos tick into the
+//     next log slot (this serializes slot assignment declaratively).
+//   - Phase 2 per slot; a majority of accept acks decides the slot; `decide` is broadcast
+//     and each replica applies decided commands in strict slot order (`apply_cmd`).
+//
+// Ballot uniqueness: ballot = round * num_peers + replica_index.
+
+#ifndef SRC_PAXOS_PAXOS_PROGRAM_H_
+#define SRC_PAXOS_PAXOS_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace boom {
+
+struct PaxosProgramOptions {
+  std::vector<std::string> peers;  // all replica addresses, including this node
+  int my_index = 0;                // this node's position in `peers`
+  double ping_period_ms = 200;     // leader-election heartbeat
+  double lead_timeout_ms = 1000;   // peer considered dead after this silence
+  double tick_period_ms = 10;      // proposer drain rate (one command per tick)
+};
+
+// Returns the Paxos Overlog program text for one replica.
+std::string PaxosProgram(const PaxosProgramOptions& options);
+
+}  // namespace boom
+
+#endif  // SRC_PAXOS_PAXOS_PROGRAM_H_

@@ -1,0 +1,297 @@
+#include "src/sim/cluster.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+Cluster::Cluster(uint64_t seed) : rng_(seed) {}
+
+Engine& Cluster::AddOverlogNode(const std::string& address,
+                                std::function<void(Engine&)> init,
+                                std::optional<uint64_t> id_salt) {
+  BOOM_CHECK(nodes_.count(address) == 0) << "duplicate node " << address;
+  Node& node = nodes_[address];
+  node.address = address;
+  node.engine_seed = rng_.generator()();
+  node.id_salt = id_salt;
+  EngineOptions opts;
+  opts.address = address;
+  opts.seed = node.engine_seed;
+  opts.id_salt = id_salt;
+  node.engine = std::make_unique<Engine>(opts);
+  node.init = std::move(init);
+  if (node.init) {
+    node.init(*node.engine);
+  }
+  // Give the engine an initial tick (seeds rule evaluation over installed facts) and keep
+  // its timer schedule live.
+  ScheduleEngineTick(node, now_ms_);
+  return *node.engine;
+}
+
+void Cluster::AddActor(std::unique_ptr<Actor> actor) {
+  const std::string address = actor->address();
+  BOOM_CHECK(nodes_.count(address) == 0) << "duplicate node " << address;
+  Node& node = nodes_[address];
+  node.address = address;
+  node.actor = std::move(actor);
+  if (started_) {
+    Actor* raw = node.actor.get();
+    ScheduleAt(now_ms_, [this, raw] { raw->OnStart(*this); });
+  }
+}
+
+Engine* Cluster::engine(const std::string& address) {
+  Node* node = FindNode(address);
+  return node == nullptr ? nullptr : node->engine.get();
+}
+
+Actor* Cluster::actor(const std::string& address) {
+  Node* node = FindNode(address);
+  return node == nullptr ? nullptr : node->actor.get();
+}
+
+bool Cluster::HasNode(const std::string& address) const {
+  return nodes_.count(address) > 0;
+}
+
+void Cluster::SetServiceTime(const std::string& address,
+                             std::function<double(const Message&)> service_ms) {
+  Node* node = FindNode(address);
+  BOOM_CHECK(node != nullptr) << "unknown node " << address;
+  node->service_ms = std::move(service_ms);
+}
+
+Cluster::Node* Cluster::FindNode(const std::string& address) {
+  auto it = nodes_.find(address);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const Cluster::Node* Cluster::FindNode(const std::string& address) const {
+  auto it = nodes_.find(address);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool Cluster::LinkBlocked(const std::string& a, const std::string& b) const {
+  return blocked_.count({a, b}) > 0 || blocked_.count({b, a}) > 0;
+}
+
+double Cluster::SampleLatency() {
+  double jitter = latency_.jitter_ms > 0 ? rng_.Uniform(0, latency_.jitter_ms) : 0;
+  return latency_.base_ms + jitter;
+}
+
+void Cluster::Send(const std::string& from, const std::string& to, const std::string& table,
+                   Tuple tuple, double extra_delay_ms) {
+  ++net_stats_.messages;
+  Message msg{from, to, table, std::move(tuple)};
+  double delay = (from == to ? 0.0 : SampleLatency()) + extra_delay_ms;
+  // Per-link FIFO (TCP semantics): jitter must not reorder messages on one link. Protocol
+  // correctness can depend on it — e.g. a Paxos promise must not overtake the accepted-value
+  // stream sent just before it.
+  double arrival = now_ms_ + delay;
+  double& last = link_last_arrival_[{from, to}];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  ScheduleAt(arrival, [this, msg = std::move(msg)]() mutable {
+    DeliverMessage(std::move(msg));
+  });
+}
+
+void Cluster::DeliverLocal(const std::string& to, const std::string& table, Tuple tuple,
+                           double delay_ms) {
+  Message msg{to, to, table, std::move(tuple)};
+  ScheduleAfter(delay_ms, [this, msg = std::move(msg)]() mutable {
+    DeliverMessage(std::move(msg));
+  });
+}
+
+void Cluster::DeliverMessage(Message msg) {
+  Node* src = FindNode(msg.from);
+  Node* dst = FindNode(msg.to);
+  if (dst == nullptr || !dst->alive || (src != nullptr && !src->alive && msg.from != msg.to)) {
+    ++net_stats_.dropped_dead;
+    return;
+  }
+  if (LinkBlocked(msg.from, msg.to)) {
+    ++net_stats_.dropped_partition;
+    return;
+  }
+  // Busy-server semantics: messages wait for the server to free up.
+  if (dst->service_ms) {
+    double service = dst->service_ms(msg);
+    double start = std::max(now_ms_, dst->busy_until);
+    double done = start + service;
+    if (done > now_ms_) {
+      dst->busy_until = done;
+      ScheduleAt(done, [this, msg = std::move(msg)]() mutable {
+        Node* node = FindNode(msg.to);
+        if (node == nullptr || !node->alive) {
+          ++net_stats_.dropped_dead;
+          return;
+        }
+        if (node->actor) {
+          node->actor->OnMessage(msg, *this);
+        } else if (node->engine) {
+          Status s = node->engine->Enqueue(msg.table, std::move(msg.tuple));
+          if (!s.ok()) {
+            BOOM_LOG(Warning) << "drop message to " << msg.to << ": " << s.ToString();
+            return;
+          }
+          ScheduleEngineTick(*node, now_ms_);
+        }
+      });
+      return;
+    }
+  }
+  if (dst->actor) {
+    dst->actor->OnMessage(msg, *this);
+    return;
+  }
+  if (dst->engine) {
+    Status s = dst->engine->Enqueue(msg.table, std::move(msg.tuple));
+    if (!s.ok()) {
+      BOOM_LOG(Warning) << "drop message to " << msg.to << ": " << s.ToString();
+      return;
+    }
+    ScheduleEngineTick(*dst, now_ms_);
+  }
+}
+
+void Cluster::ScheduleAt(double time_ms, std::function<void()> fn) {
+  BOOM_CHECK(time_ms >= now_ms_) << "cannot schedule into the past";
+  queue_.push(Event{time_ms, seq_++, std::move(fn)});
+}
+
+void Cluster::ScheduleAfter(double delay_ms, std::function<void()> fn) {
+  ScheduleAt(now_ms_ + std::max(0.0, delay_ms), std::move(fn));
+}
+
+void Cluster::ScheduleEngineTick(Node& node, double time_ms) {
+  if (!node.engine || !node.alive) {
+    return;
+  }
+  if (node.scheduled_tick >= 0 && node.scheduled_tick <= time_ms) {
+    return;  // an earlier-or-equal tick is already pending
+  }
+  node.scheduled_tick = time_ms;
+  std::string address = node.address;
+  ScheduleAt(time_ms, [this, address] { RunEngineTick(address); });
+}
+
+void Cluster::RunEngineTick(const std::string& address) {
+  Node* node = FindNode(address);
+  if (node == nullptr || !node->alive || !node->engine) {
+    return;
+  }
+  if (node->scheduled_tick < 0 || node->scheduled_tick > now_ms_) {
+    return;  // stale event (tick was rescheduled or node restarted)
+  }
+  node->scheduled_tick = -1;
+  Engine::TickResult result = node->engine->Tick(now_ms_);
+  for (const std::string& err : result.errors) {
+    BOOM_LOG(Warning) << address << ": " << err;
+  }
+  for (Engine::Send& send : result.sends) {
+    Send(address, send.dest, send.table, std::move(send.tuple));
+  }
+  double next_timer = node->engine->NextTimerDeadline();
+  if (next_timer < std::numeric_limits<double>::infinity()) {
+    ScheduleEngineTick(*node, std::max(next_timer, now_ms_));
+  }
+  if (node->engine->HasQueuedInput()) {
+    ScheduleEngineTick(*node, now_ms_);
+  }
+}
+
+void Cluster::KillNode(const std::string& address) {
+  Node* node = FindNode(address);
+  BOOM_CHECK(node != nullptr) << "unknown node " << address;
+  node->alive = false;
+  node->scheduled_tick = -1;
+}
+
+void Cluster::RestartNode(const std::string& address, bool fresh_state) {
+  Node* node = FindNode(address);
+  BOOM_CHECK(node != nullptr) << "unknown node " << address;
+  node->alive = true;
+  node->busy_until = now_ms_;
+  if (node->engine && fresh_state) {
+    EngineOptions opts;
+    opts.address = address;
+    opts.seed = node->engine_seed + 1;
+    opts.id_salt = node->id_salt;
+    node->engine = std::make_unique<Engine>(opts);
+    if (node->init) {
+      node->init(*node->engine);
+    }
+  }
+  node->scheduled_tick = -1;
+  if (node->engine) {
+    ScheduleEngineTick(*node, now_ms_);
+  }
+  if (node->actor) {
+    Actor* raw = node->actor.get();
+    ScheduleAt(now_ms_, [this, raw] { raw->OnStart(*this); });
+  }
+}
+
+bool Cluster::IsAlive(const std::string& address) const {
+  const Node* node = FindNode(address);
+  return node != nullptr && node->alive;
+}
+
+void Cluster::BlockLink(const std::string& a, const std::string& b) {
+  blocked_.insert({a, b});
+}
+
+void Cluster::UnblockLink(const std::string& a, const std::string& b) {
+  blocked_.erase({a, b});
+  blocked_.erase({b, a});
+}
+
+void Cluster::ClearBlockedLinks() { blocked_.clear(); }
+
+void Cluster::StartActorsIfNeeded() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (auto& [address, node] : nodes_) {
+    if (node.actor) {
+      Actor* raw = node.actor.get();
+      ScheduleAt(now_ms_, [this, raw] { raw->OnStart(*this); });
+    }
+  }
+}
+
+void Cluster::RunUntil(double until_ms) {
+  StartActorsIfNeeded();
+  while (!queue_.empty() && queue_.top().time <= until_ms) {
+    Event ev = queue_.top();
+    queue_.pop();
+    BOOM_CHECK(ev.time >= now_ms_);
+    now_ms_ = ev.time;
+    ev.fn();
+  }
+  now_ms_ = std::max(now_ms_, until_ms);
+}
+
+bool Cluster::RunUntilIdle(double max_ms) {
+  StartActorsIfNeeded();
+  while (!queue_.empty()) {
+    if (queue_.top().time > max_ms) {
+      now_ms_ = max_ms;
+      return false;
+    }
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ms_ = ev.time;
+    ev.fn();
+  }
+  return true;
+}
+
+}  // namespace boom

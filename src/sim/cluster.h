@@ -1,0 +1,182 @@
+// Cluster: a deterministic discrete-event simulation of a distributed system.
+//
+// A cluster hosts named nodes. A node is either an Overlog node (an Engine whose network
+// sends are routed as simulated messages) or a native Actor (imperative C++, used for data
+// planes, clients, and the Hadoop/HDFS baselines). Virtual time advances only through the
+// event queue; everything is reproducible from the cluster seed.
+//
+// Fault injection: nodes can be killed (messages to/from them are dropped, their engines
+// stop ticking) and links can be blocked to emulate network partitions. Per-node service
+// times model a busy server: inbound messages queue and are processed serially, which is
+// what makes throughput saturate in the scale-out experiments.
+
+#ifndef SRC_SIM_CLUSTER_H_
+#define SRC_SIM_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/overlog/engine.h"
+#include "src/sim/random.h"
+
+namespace boom {
+
+class Cluster;
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string table;
+  Tuple tuple;
+};
+
+// A native (imperative) node.
+class Actor {
+ public:
+  explicit Actor(std::string address) : address_(std::move(address)) {}
+  virtual ~Actor() = default;
+
+  const std::string& address() const { return address_; }
+
+  // Called once when the simulation starts (first RunUntil), at time 0.
+  virtual void OnStart(Cluster& cluster) {}
+  virtual void OnMessage(const Message& msg, Cluster& cluster) = 0;
+
+ private:
+  std::string address_;
+};
+
+struct LatencyModel {
+  double base_ms = 0.5;    // one-way propagation
+  double jitter_ms = 0.2;  // uniform [0, jitter)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(uint64_t seed);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  double now() const { return now_ms_; }
+  Rng& rng() { return rng_; }
+  void set_latency(LatencyModel m) { latency_ = m; }
+
+  // --- topology ---
+
+  // Creates an Overlog node. `init` installs programs on the engine; it is re-run if the
+  // node is restarted with fresh state. `id_salt` overrides the engine's f_unique_id salt
+  // (used by replicated state machines that must mint identical ids).
+  Engine& AddOverlogNode(const std::string& address,
+                         std::function<void(Engine&)> init = nullptr,
+                         std::optional<uint64_t> id_salt = std::nullopt);
+  // Registers a native actor node.
+  void AddActor(std::unique_ptr<Actor> actor);
+
+  Engine* engine(const std::string& address);
+  // The native actor at `address` (nullptr for Overlog nodes / unknown addresses). Callers
+  // downcast to the concrete actor type they registered.
+  Actor* actor(const std::string& address);
+  bool HasNode(const std::string& address) const;
+
+  // Serial service time for inbound messages at `address` (0 = infinitely fast server).
+  void SetServiceTime(const std::string& address,
+                      std::function<double(const Message&)> service_ms);
+
+  // --- messaging & scheduling ---
+
+  // Sends a tuple from one node to another with sampled network latency (plus extra_delay).
+  void Send(const std::string& from, const std::string& to, const std::string& table,
+            Tuple tuple, double extra_delay_ms = 0);
+  // Delivers into a local engine's inbox at the given virtual time (no network latency).
+  void DeliverLocal(const std::string& to, const std::string& table, Tuple tuple,
+                    double delay_ms = 0);
+
+  void ScheduleAt(double time_ms, std::function<void()> fn);
+  void ScheduleAfter(double delay_ms, std::function<void()> fn);
+
+  // --- fault injection ---
+
+  void KillNode(const std::string& address);
+  // Revives a node. With fresh_state, an Overlog node gets a brand-new engine and its init
+  // function re-runs (crash-recovery semantics); otherwise state is retained.
+  void RestartNode(const std::string& address, bool fresh_state = true);
+  bool IsAlive(const std::string& address) const;
+
+  // Symmetric link block (partition building block).
+  void BlockLink(const std::string& a, const std::string& b);
+  void UnblockLink(const std::string& a, const std::string& b);
+  void ClearBlockedLinks();
+
+  // --- execution ---
+
+  // Runs all events with time <= until_ms; virtual time ends at until_ms.
+  void RunUntil(double until_ms);
+  // Runs until the queue drains or max_ms is reached. Returns true when drained. Nodes with
+  // periodic Overlog timers never drain; use RunUntil with those.
+  bool RunUntilIdle(double max_ms);
+
+  struct NetStats {
+    uint64_t messages = 0;
+    uint64_t dropped_dead = 0;
+    uint64_t dropped_partition = 0;
+  };
+  const NetStats& net_stats() const { return net_stats_; }
+
+ private:
+  struct Node {
+    std::string address;
+    bool alive = true;
+    // Exactly one of engine/actor is set.
+    std::unique_ptr<Engine> engine;
+    std::function<void(Engine&)> init;
+    std::unique_ptr<Actor> actor;
+    uint64_t engine_seed = 0;
+    std::optional<uint64_t> id_salt;
+    // Engine tick scheduling.
+    double scheduled_tick = -1;  // earliest pending tick event time, -1 if none
+    // Busy-server modeling.
+    std::function<double(const Message&)> service_ms;
+    double busy_until = 0;
+  };
+
+  struct Event {
+    double time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  Node* FindNode(const std::string& address);
+  const Node* FindNode(const std::string& address) const;
+  bool LinkBlocked(const std::string& a, const std::string& b) const;
+  double SampleLatency();
+  void DeliverMessage(Message msg);
+  void ScheduleEngineTick(Node& node, double time_ms);
+  void RunEngineTick(const std::string& address);
+  void StartActorsIfNeeded();
+
+  Rng rng_;
+  LatencyModel latency_;
+  std::map<std::string, Node> nodes_;
+  std::map<std::pair<std::string, std::string>, double> link_last_arrival_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::set<std::pair<std::string, std::string>> blocked_;
+  double now_ms_ = 0;
+  uint64_t seq_ = 0;
+  bool started_ = false;
+  NetStats net_stats_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_SIM_CLUSTER_H_

@@ -1,0 +1,71 @@
+// Seeded random distributions for the cluster simulator. All simulator randomness flows
+// through one Rng so every experiment is reproducible from its seed.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace boom {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(gen_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  // Exponential with the given mean.
+  double Exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(gen_);
+  }
+
+  // Lognormal parameterized by its median and shape sigma (long right tail for task
+  // durations, as observed in MapReduce clusters).
+  double LogNormal(double median, double sigma) {
+    std::lognormal_distribution<double> d(std::log(median), sigma);
+    return d(gen_);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(gen_);
+  }
+
+  // Picks k distinct indices from [0, n).
+  std::vector<size_t> Sample(size_t n, size_t k) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) {
+      idx[i] = i;
+    }
+    for (size_t i = 0; i < k && i < n; ++i) {
+      size_t j = i + static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n - i - 1)));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(std::min(n, k));
+    return idx;
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,64 @@
+// Small statistics helpers used by benchmarks: percentiles and CDF series.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace boom {
+
+// p in [0, 100]. Nearest-rank percentile; empty input yields 0.
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+// Returns (value, cumulative fraction) pairs at each sample, for CDF plots.
+inline std::vector<std::pair<double, double>> Cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out.emplace_back(xs[i], static_cast<double>(i + 1) / static_cast<double>(xs.size()));
+  }
+  return out;
+}
+
+struct Summary {
+  double p10 = 0, p25 = 0, p50 = 0, p75 = 0, p90 = 0, p99 = 0, max = 0, mean = 0;
+  size_t n = 0;
+};
+
+inline Summary Summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) {
+    return s;
+  }
+  s.p10 = Percentile(xs, 10);
+  s.p25 = Percentile(xs, 25);
+  s.p50 = Percentile(xs, 50);
+  s.p75 = Percentile(xs, 75);
+  s.p90 = Percentile(xs, 90);
+  s.p99 = Percentile(xs, 99);
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+
+}  // namespace boom
+
+#endif  // SRC_SIM_STATS_H_

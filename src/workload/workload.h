@@ -1,0 +1,69 @@
+// Workload models for the evaluation: task-duration distributions (lognormal with a long
+// right tail, as observed in production MapReduce clusters), straggler injection, and
+// namespace-operation generators.
+
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/base/strings.h"
+#include "src/boommr/mr_types.h"
+
+namespace boom {
+
+struct JobDurationModel {
+  double map_median_ms = 8000;
+  double map_sigma = 0.4;
+  double reduce_median_ms = 12000;
+  double reduce_sigma = 0.3;
+  // Fixed per-task metadata overhead (e.g. chunk-location lookups against the FS under
+  // test); calibrated by the benchmarks from measured namespace-op latencies.
+  double fs_overhead_ms = 0;
+  uint64_t seed = 1;
+};
+
+// Deterministic per-(job, task, tracker) duration: re-executions on a different tracker
+// draw a fresh value, repeated calls for the same placement agree.
+inline DurationFn MakeDurationFn(const JobDurationModel& model) {
+  return [model](const TaskRef& task, const std::string& tracker) {
+    uint64_t h = Fnv1a64(tracker + "/" + std::to_string(task.job_id) + "/" +
+                         std::to_string(task.task_id) + (task.is_map ? "m" : "r"));
+    std::mt19937_64 gen(h ^ model.seed);
+    double median = task.is_map ? model.map_median_ms : model.reduce_median_ms;
+    double sigma = task.is_map ? model.map_sigma : model.reduce_sigma;
+    std::lognormal_distribution<double> dist(std::log(median), sigma);
+    return dist(gen) + model.fs_overhead_ms;
+  };
+}
+
+// slowdown factors for `n` trackers: `straggler_fraction` of them run `factor`x slower.
+inline std::vector<double> StragglerSlowdowns(int n, double straggler_fraction,
+                                              double factor, uint64_t seed = 7) {
+  std::vector<double> out(static_cast<size_t>(n), 1.0);
+  std::mt19937_64 gen(seed);
+  int stragglers = static_cast<int>(std::lround(n * straggler_fraction));
+  // Choose distinct indices deterministically.
+  std::vector<int> idx(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    idx[static_cast<size_t>(i)] = i;
+  }
+  std::shuffle(idx.begin(), idx.end(), gen);
+  for (int i = 0; i < stragglers && i < n; ++i) {
+    out[static_cast<size_t>(idx[static_cast<size_t>(i)])] = factor;
+  }
+  return out;
+}
+
+// A deterministic stream of namespace paths: round-robin files over `dirs` directories.
+inline std::string NthFilePath(int i, int dirs = 8) {
+  return "/d" + std::to_string(i % dirs) + "/f" + std::to_string(i);
+}
+
+}  // namespace boom
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

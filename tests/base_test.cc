@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/base/status.h"
+#include "src/base/strings.h"
+
+namespace boom {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitSkipEmpty) {
+  EXPECT_EQ(StrSplitSkipEmpty("/a//b/", '/'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(StrSplitSkipEmpty("///", '/').empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/user/data", "/user"));
+  EXPECT_FALSE(StartsWith("/us", "/user"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", "file.txt"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, Fnv1a64Stable) {
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), Fnv1a64("a"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(PathTest, Join) {
+  EXPECT_EQ(PathJoin("/", "a"), "/a");
+  EXPECT_EQ(PathJoin("/a", "b"), "/a/b");
+  EXPECT_EQ(PathJoin("", "b"), "b");
+}
+
+TEST(PathTest, Dirname) {
+  EXPECT_EQ(PathDirname("/a/b/c"), "/a/b");
+  EXPECT_EQ(PathDirname("/a"), "/");
+  EXPECT_EQ(PathDirname("/"), "/");
+}
+
+TEST(PathTest, Basename) {
+  EXPECT_EQ(PathBasename("/a/b/c"), "c");
+  EXPECT_EQ(PathBasename("/"), "");
+  EXPECT_EQ(PathBasename("name"), "name");
+}
+
+TEST(PathTest, Components) {
+  EXPECT_EQ(PathComponents("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(PathComponents("/").empty());
+}
+
+}  // namespace
+}  // namespace boom

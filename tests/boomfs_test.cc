@@ -1,0 +1,246 @@
+// Integration tests for the file-system layer, parameterized over both NameNode
+// implementations: every behaviour must hold for BOOM-FS (Overlog) and the HDFS baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/protocol.h"
+
+namespace boom {
+namespace {
+
+class FsTest : public ::testing::TestWithParam<FsKind> {
+ protected:
+  FsTest() : cluster_(12345) {
+    FsSetupOptions opts;
+    opts.kind = GetParam();
+    opts.num_datanodes = 4;
+    opts.replication_factor = 3;
+    opts.chunk_size = 16;  // small chunks force multi-chunk files in tests
+    handles_ = SetupFs(cluster_, opts);
+    fs_ = std::make_unique<SyncFs>(cluster_, handles_.client);
+    // Let DataNodes register with the NameNode.
+    cluster_.RunUntil(1000);
+  }
+
+  Cluster cluster_;
+  FsHandles handles_;
+  std::unique_ptr<SyncFs> fs_;
+};
+
+TEST_P(FsTest, MkdirAndExists) {
+  EXPECT_FALSE(fs_->Exists("/tmp"));
+  EXPECT_TRUE(fs_->Mkdir("/tmp"));
+  EXPECT_TRUE(fs_->Exists("/tmp"));
+  EXPECT_TRUE(fs_->Exists("/"));
+}
+
+TEST_P(FsTest, MkdirFailsWithoutParent) {
+  EXPECT_FALSE(fs_->Mkdir("/a/b/c"));
+  EXPECT_TRUE(fs_->Mkdir("/a"));
+  EXPECT_TRUE(fs_->Mkdir("/a/b"));
+  EXPECT_TRUE(fs_->Mkdir("/a/b/c"));
+  EXPECT_TRUE(fs_->Exists("/a/b/c"));
+}
+
+TEST_P(FsTest, MkdirFailsIfExists) {
+  EXPECT_TRUE(fs_->Mkdir("/dup"));
+  EXPECT_FALSE(fs_->Mkdir("/dup"));
+}
+
+TEST_P(FsTest, CreateRequiresParentDir) {
+  EXPECT_FALSE(fs_->CreateFile("/nodir/f"));
+  EXPECT_TRUE(fs_->Mkdir("/nodir"));
+  EXPECT_TRUE(fs_->CreateFile("/nodir/f"));
+  EXPECT_FALSE(fs_->CreateFile("/nodir/f"));  // already exists
+}
+
+TEST_P(FsTest, LsListsChildren) {
+  ASSERT_TRUE(fs_->Mkdir("/d"));
+  ASSERT_TRUE(fs_->CreateFile("/d/one"));
+  ASSERT_TRUE(fs_->CreateFile("/d/two"));
+  ASSERT_TRUE(fs_->Mkdir("/d/sub"));
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs_->Ls("/d", &names));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"one", "sub", "two"}));
+}
+
+TEST_P(FsTest, LsEmptyDirAndMissingDir) {
+  ASSERT_TRUE(fs_->Mkdir("/empty"));
+  std::vector<std::string> names{"sentinel"};
+  ASSERT_TRUE(fs_->Ls("/empty", &names));
+  EXPECT_TRUE(names.empty());
+  EXPECT_FALSE(fs_->Ls("/missing", &names));
+}
+
+TEST_P(FsTest, RmFileAndEmptyDirOnly) {
+  ASSERT_TRUE(fs_->Mkdir("/rmdir"));
+  ASSERT_TRUE(fs_->CreateFile("/rmdir/f"));
+  EXPECT_FALSE(fs_->Rm("/rmdir"));  // non-empty
+  EXPECT_TRUE(fs_->Rm("/rmdir/f"));
+  EXPECT_FALSE(fs_->Exists("/rmdir/f"));
+  EXPECT_TRUE(fs_->Rm("/rmdir"));
+  EXPECT_FALSE(fs_->Exists("/rmdir"));
+  EXPECT_FALSE(fs_->Rm("/rmdir"));  // already gone
+  EXPECT_FALSE(fs_->Rm("/"));       // root is protected
+}
+
+TEST_P(FsTest, WriteAndReadBack) {
+  ASSERT_TRUE(fs_->Mkdir("/data"));
+  const std::string payload = "The quick brown fox jumps over the lazy dog. 0123456789";
+  ASSERT_TRUE(fs_->WriteFile("/data/f.txt", payload));
+  std::string read_back;
+  ASSERT_TRUE(fs_->ReadFile("/data/f.txt", &read_back));
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST_P(FsTest, MultiChunkFileRoundTrips) {
+  ASSERT_TRUE(fs_->Mkdir("/big"));
+  std::string payload;
+  for (int i = 0; i < 100; ++i) {
+    payload += "chunk piece " + std::to_string(i) + ";";
+  }
+  ASSERT_TRUE(fs_->WriteFile("/big/blob", payload));
+  // chunk_size=16 forces many chunks.
+  Value chunks;
+  ASSERT_TRUE(fs_->Op(kCmdChunks, "/big/blob", &chunks));
+  EXPECT_GT(chunks.as_list().size(), 10u);
+  std::string read_back;
+  ASSERT_TRUE(fs_->ReadFile("/big/blob", &read_back));
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST_P(FsTest, ReadMissingFileFails) {
+  std::string data;
+  EXPECT_FALSE(fs_->ReadFile("/nope", &data));
+}
+
+TEST_P(FsTest, ChunksAreReplicated) {
+  ASSERT_TRUE(fs_->Mkdir("/r"));
+  ASSERT_TRUE(fs_->WriteFile("/r/f", "0123456789abcdef"));  // exactly one chunk
+  Value chunks;
+  ASSERT_TRUE(fs_->Op(kCmdChunks, "/r/f", &chunks));
+  ASSERT_EQ(chunks.as_list().size(), 1u);
+  int64_t chunk = chunks.as_list()[0].as_int();
+  // All three replicas eventually report the chunk.
+  cluster_.RunUntil(cluster_.now() + 3000);
+  bool done = false;
+  Value locs;
+  handles_.client->Locations(cluster_, chunk, [&done, &locs](bool ok, const Value& p) {
+    ASSERT_TRUE(ok);
+    locs = p;
+    done = true;
+  });
+  cluster_.RunUntil(cluster_.now() + 1000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(locs.as_list().size(), 3u);
+}
+
+TEST_P(FsTest, ReReplicationAfterDataNodeFailure) {
+  ASSERT_TRUE(fs_->Mkdir("/ha"));
+  ASSERT_TRUE(fs_->WriteFile("/ha/f", "payload-that-matters"));
+  Value chunks;
+  ASSERT_TRUE(fs_->Op(kCmdChunks, "/ha/f", &chunks));
+  ASSERT_EQ(chunks.as_list().size(), 2u);  // 20 bytes / 16-byte chunks
+  cluster_.RunUntil(cluster_.now() + 3000);
+
+  // Kill one datanode that holds the first chunk.
+  int64_t chunk = chunks.as_list()[0].as_int();
+  bool done = false;
+  Value locs;
+  handles_.client->Locations(cluster_, chunk, [&](bool ok, const Value& p) {
+    ASSERT_TRUE(ok);
+    locs = p;
+    done = true;
+  });
+  cluster_.RunUntil(cluster_.now() + 1000);
+  ASSERT_TRUE(done);
+  ASSERT_GE(locs.as_list().size(), 3u);
+  cluster_.KillNode(locs.as_list()[0].as_string());
+
+  // Failure detector + re-replication restores the replication factor on live nodes.
+  cluster_.RunUntil(cluster_.now() + 15000);
+  done = false;
+  Value locs2;
+  handles_.client->Locations(cluster_, chunk, [&](bool ok, const Value& p) {
+    ASSERT_TRUE(ok);
+    locs2 = p;
+    done = true;
+  });
+  cluster_.RunUntil(cluster_.now() + 1000);
+  ASSERT_TRUE(done);
+  size_t live = 0;
+  for (const Value& dn : locs2.as_list()) {
+    if (cluster_.IsAlive(dn.as_string())) {
+      ++live;
+    }
+  }
+  EXPECT_GE(live, 3u);
+  // The data is still readable.
+  std::string data;
+  ASSERT_TRUE(fs_->ReadFile("/ha/f", &data));
+  EXPECT_EQ(data, "payload-that-matters");
+}
+
+TEST_P(FsTest, DeepDirectoryTree) {
+  std::string path;
+  for (int depth = 0; depth < 12; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(fs_->Mkdir(path)) << path;
+  }
+  EXPECT_TRUE(fs_->Exists(path));
+  ASSERT_TRUE(fs_->CreateFile(path + "/leaf"));
+  EXPECT_TRUE(fs_->Exists(path + "/leaf"));
+}
+
+TEST_P(FsTest, ManyFilesInOneDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/many"));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs_->CreateFile("/many/f" + std::to_string(i)));
+  }
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs_->Ls("/many", &names));
+  EXPECT_EQ(names.size(), 50u);
+}
+
+TEST_P(FsTest, RecreateAfterRm) {
+  ASSERT_TRUE(fs_->Mkdir("/cycle"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fs_->WriteFile("/cycle/f", "gen" + std::to_string(i)));
+    std::string data;
+    ASSERT_TRUE(fs_->ReadFile("/cycle/f", &data));
+    EXPECT_EQ(data, "gen" + std::to_string(i));
+    ASSERT_TRUE(fs_->Rm("/cycle/f"));
+  }
+}
+
+
+TEST_P(FsTest, RmGarbageCollectsChunksOnDataNodes) {
+  ASSERT_TRUE(fs_->Mkdir("/gc"));
+  std::string payload(200, 'x');
+  ASSERT_TRUE(fs_->WriteFile("/gc/big", payload));
+  cluster_.RunUntil(cluster_.now() + 3000);  // replication settles
+
+  auto stored_bytes = [this] {
+    size_t total = 0;
+    for (const std::string& dn : handles_.datanodes) {
+      total += static_cast<DataNode*>(cluster_.actor(dn))->stored_bytes();
+    }
+    return total;
+  };
+  EXPECT_GE(stored_bytes(), payload.size());  // at least one full copy stored
+
+  ASSERT_TRUE(fs_->Rm("/gc/big"));
+  cluster_.RunUntil(cluster_.now() + 3000);  // GC commands propagate
+  EXPECT_EQ(stored_bytes(), 0u) << "chunks leaked on datanodes after rm";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFileSystems, FsTest,
+                         ::testing::Values(FsKind::kBoomFs, FsKind::kHdfsBaseline),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           return info.param == FsKind::kBoomFs ? "BoomFs" : "HdfsBaseline";
+                         });
+
+}  // namespace
+}  // namespace boom

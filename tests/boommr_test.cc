@@ -1,0 +1,251 @@
+// Integration tests for the MapReduce layer, parameterized over both JobTracker
+// implementations (BOOM-MR Overlog vs Hadoop baseline).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/boommr/boommr.h"
+#include "src/sim/stats.h"
+
+namespace boom {
+namespace {
+
+JobSpec SimpleSimJob(MrHandles& handles, int maps, int reduces, double duration) {
+  JobSpec spec;
+  spec.job_id = handles.client->NextJobId();
+  spec.client = handles.client->address();
+  spec.num_maps = maps;
+  spec.num_reduces = reduces;
+  spec.duration_ms = [duration](const TaskRef&, const std::string&) { return duration; };
+  return spec;
+}
+
+class MrTest : public ::testing::TestWithParam<MrKind> {
+ protected:
+  MrTest() : cluster_(777) {}
+
+  MrHandles Setup(MrSetupOptions opts) {
+    opts.kind = GetParam();
+    return SetupMr(cluster_, opts);
+  }
+
+  Cluster cluster_;
+};
+
+TEST_P(MrTest, SingleMapOnlyJobCompletes) {
+  MrSetupOptions opts;
+  opts.num_trackers = 2;
+  MrHandles handles = Setup(opts);
+  double finish = RunJobSync(cluster_, handles, SimpleSimJob(handles, 4, 0, 100));
+  EXPECT_GT(finish, 0);
+}
+
+TEST_P(MrTest, MapReduceJobCompletes) {
+  MrSetupOptions opts;
+  opts.num_trackers = 4;
+  MrHandles handles = Setup(opts);
+  double finish = RunJobSync(cluster_, handles, SimpleSimJob(handles, 8, 3, 150));
+  ASSERT_GT(finish, 0);
+  // All tasks ran exactly once under FIFO (no speculation).
+  const MrMetrics& metrics = handles.data_plane->metrics();
+  EXPECT_EQ(metrics.attempts.size(), 11u);
+}
+
+TEST_P(MrTest, ReduceBarrierHolds) {
+  MrSetupOptions opts;
+  opts.num_trackers = 4;
+  MrHandles handles = Setup(opts);
+  double finish = RunJobSync(cluster_, handles, SimpleSimJob(handles, 6, 2, 200));
+  ASSERT_GT(finish, 0);
+  const MrMetrics& metrics = handles.data_plane->metrics();
+  double last_map_end = 0;
+  double first_reduce_start = 1e18;
+  for (const AttemptRecord& a : metrics.attempts) {
+    if (a.is_map) {
+      last_map_end = std::max(last_map_end, a.end_ms);
+    } else {
+      first_reduce_start = std::min(first_reduce_start, a.start_ms);
+    }
+  }
+  EXPECT_GE(first_reduce_start, last_map_end);
+}
+
+TEST_P(MrTest, SlotsRespected) {
+  MrSetupOptions opts;
+  opts.num_trackers = 2;
+  opts.map_slots = 1;
+  MrHandles handles = Setup(opts);
+  double finish = RunJobSync(cluster_, handles, SimpleSimJob(handles, 8, 0, 100));
+  ASSERT_GT(finish, 0);
+  // 8 x 100ms maps on 2 single-slot trackers: at least 4 sequential rounds.
+  EXPECT_GE(finish, 400);
+  // Verify no tracker ever overlapped two maps: reconstruct concurrency from records.
+  const MrMetrics& metrics = handles.data_plane->metrics();
+  for (const AttemptRecord& a : metrics.attempts) {
+    int overlap = 0;
+    for (const AttemptRecord& b : metrics.attempts) {
+      if (b.tracker == a.tracker && b.start_ms < a.end_ms && a.start_ms < b.end_ms) {
+        ++overlap;
+      }
+    }
+    EXPECT_LE(overlap, 1) << "tracker " << a.tracker << " overlapped attempts";
+  }
+}
+
+TEST_P(MrTest, TwoJobsFifoOrder) {
+  MrSetupOptions opts;
+  opts.num_trackers = 2;
+  opts.map_slots = 1;
+  opts.reduce_slots = 1;
+  MrHandles handles = Setup(opts);
+  JobSpec job1 = SimpleSimJob(handles, 6, 0, 200);
+  JobSpec job2 = SimpleSimJob(handles, 6, 0, 200);
+  int64_t id1 = job1.job_id;
+  int64_t id2 = job2.job_id;
+  double done1 = -1, done2 = -1;
+  handles.client->Submit(cluster_, std::move(job1), [&done1](double t) { done1 = t; });
+  cluster_.RunUntil(50);  // job1 strictly earlier
+  handles.client->Submit(cluster_, std::move(job2), [&done2](double t) { done2 = t; });
+  cluster_.RunUntil(30000);
+  ASSERT_GT(done1, 0);
+  ASSERT_GT(done2, 0);
+  EXPECT_LT(done1, done2);  // FIFO: the earlier job finishes first
+  const MrMetrics& metrics = handles.data_plane->metrics();
+  // Earliest attempts must belong to job1.
+  double earliest_job2_start = 1e18;
+  double latest_job1_start = 0;
+  for (const AttemptRecord& a : metrics.attempts) {
+    if (a.job_id == id1) {
+      latest_job1_start = std::max(latest_job1_start, a.start_ms);
+    }
+    if (a.job_id == id2) {
+      earliest_job2_start = std::min(earliest_job2_start, a.start_ms);
+    }
+  }
+  EXPECT_LE(latest_job1_start, earliest_job2_start + 1e-9);
+}
+
+TEST_P(MrTest, RealWordCountProducesCorrectCounts) {
+  MrSetupOptions opts;
+  opts.num_trackers = 3;
+  MrHandles handles = Setup(opts);
+
+  JobSpec spec = SimpleSimJob(handles, 3, 2, 50);
+  spec.map_inputs = {"the cat sat on the mat", "the dog ate the cat", "mat and dog and cat"};
+  spec.map_fn = [](const std::string& input, std::vector<KvPair>* out) {
+    std::istringstream is(input);
+    std::string word;
+    while (is >> word) {
+      out->emplace_back(word, "1");
+    }
+  };
+  spec.reduce_fn = [](const std::string& key, const std::vector<std::string>& values) {
+    return key + "\t" + std::to_string(values.size()) + "\n";
+  };
+  int64_t job_id = spec.job_id;
+  double finish = RunJobSync(cluster_, handles, std::move(spec));
+  ASSERT_GT(finish, 0);
+
+  std::string output = handles.data_plane->JobOutput(job_id);
+  auto count_of = [&output](const std::string& word) {
+    size_t pos = output.find(word + "\t");
+    EXPECT_NE(pos, std::string::npos) << word << " missing from:\n" << output;
+    if (pos == std::string::npos) {
+      return -1;
+    }
+    return std::stoi(output.substr(pos + word.size() + 1));
+  };
+  EXPECT_EQ(count_of("the"), 4);
+  EXPECT_EQ(count_of("cat"), 3);
+  EXPECT_EQ(count_of("dog"), 2);
+  EXPECT_EQ(count_of("and"), 2);
+  EXPECT_EQ(count_of("mat"), 2);
+}
+
+TEST_P(MrTest, LateSpeculationBeatsFifoWithStragglers) {
+  // One very slow tracker; LATE should re-execute its tasks elsewhere and finish much
+  // earlier than FIFO.
+  auto run = [](MrKind kind, MrPolicy policy) {
+    Cluster cluster(4242);
+    MrSetupOptions opts;
+    opts.kind = kind;
+    opts.policy = policy;
+    opts.num_trackers = 6;
+    opts.map_slots = 1;
+    opts.reduce_slots = 1;
+    opts.tracker_slowdowns = {10.0};  // tracker 0 is a 10x straggler
+    MrHandles handles = SetupMr(cluster, opts);
+    JobSpec spec;
+    spec.job_id = handles.client->NextJobId();
+    spec.client = handles.client->address();
+    spec.num_maps = 12;
+    spec.num_reduces = 0;
+    spec.duration_ms = [](const TaskRef&, const std::string&) { return 500.0; };
+    return RunJobSync(cluster, handles, std::move(spec), 600000);
+  };
+  double fifo = run(GetParam(), MrPolicy::kFifo);
+  double late = run(GetParam(), MrPolicy::kLate);
+  ASSERT_GT(fifo, 0);
+  ASSERT_GT(late, 0);
+  // The straggler stretches FIFO to ~5000ms; LATE should cut the tail substantially.
+  EXPECT_LT(late, fifo * 0.7) << "FIFO=" << fifo << " LATE=" << late;
+}
+
+
+TEST_P(MrTest, TaskTrackerDeathRequeuesItsTasks) {
+  MrSetupOptions opts;
+  opts.num_trackers = 4;
+  opts.map_slots = 1;
+  opts.reduce_slots = 1;
+  MrHandles handles = Setup(opts);
+  JobSpec spec = SimpleSimJob(handles, 12, 2, 2000);
+  int64_t job_id = spec.job_id;
+  double finish = -1;
+  handles.client->Submit(cluster_, std::move(spec), [&finish](double t) { finish = t; });
+  // Let the job get rolling, then kill one tracker mid-flight.
+  cluster_.RunUntil(3000);
+  cluster_.KillNode(handles.trackers[0]);
+  cluster_.RunUntil(180000);
+  ASSERT_GT(finish, 0) << "job hung after tracker death";
+  // Every map and reduce task completed exactly once (winners), none on the dead tracker
+  // after its death.
+  const MrMetrics& metrics = handles.data_plane->metrics();
+  std::set<std::pair<int64_t, bool>> winners;
+  for (const AttemptRecord& a : metrics.attempts) {
+    if (a.job_id == job_id && a.won) {
+      winners.insert({a.task_id, a.is_map});
+    }
+  }
+  EXPECT_EQ(winners.size(), 14u);
+}
+
+TEST_P(MrTest, ManyConcurrentJobsAllComplete) {
+  MrSetupOptions opts;
+  opts.num_trackers = 6;
+  MrHandles handles = Setup(opts);
+  int done = 0;
+  for (int j = 0; j < 5; ++j) {
+    JobSpec spec = SimpleSimJob(handles, 8, 2, 300 + 100 * j);
+    handles.client->Submit(cluster_, std::move(spec), [&done](double) { ++done; });
+  }
+  cluster_.RunUntil(120000);
+  EXPECT_EQ(done, 5);
+}
+
+TEST_P(MrTest, ZeroMapJobCompletesImmediately) {
+  MrSetupOptions opts;
+  opts.num_trackers = 2;
+  MrHandles handles = Setup(opts);
+  double finish = RunJobSync(cluster_, handles, SimpleSimJob(handles, 0, 0, 100));
+  EXPECT_GT(finish, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothJobTrackers, MrTest,
+                         ::testing::Values(MrKind::kBoomMr, MrKind::kHadoopBaseline),
+                         [](const ::testing::TestParamInfo<MrKind>& info) {
+                           return info.param == MrKind::kBoomMr ? "BoomMr" : "Hadoop";
+                         });
+
+}  // namespace
+}  // namespace boom

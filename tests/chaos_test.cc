@@ -1,0 +1,151 @@
+// Failure-injection ("chaos") tests: repeated and adversarial failures against the HA
+// NameNode, message-loss through partitions during Paxos, and DataNode churn under BOOM-FS —
+// the behaviours a downstream user relies on but no single-fault test exercises.
+
+#include <gtest/gtest.h>
+
+#include "src/boomfs/ha.h"
+#include "src/paxos/paxos_program.h"
+
+namespace boom {
+namespace {
+
+// Paxos replicas under a rolling partition schedule must never disagree on a decided slot.
+class PaxosSafetySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaxosSafetySweep, NoDisagreementUnderRollingPartitions) {
+  Cluster cluster(GetParam());
+  std::vector<std::string> peers = {"px0", "px1", "px2"};
+  for (int i = 0; i < 3; ++i) {
+    PaxosProgramOptions opts;
+    opts.peers = peers;
+    opts.my_index = i;
+    std::string source = PaxosProgram(opts);
+    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [source](Engine& engine) {
+      ASSERT_TRUE(engine.InstallSource(source).ok());
+    });
+  }
+  cluster.RunUntil(2000);
+
+  // Interleave commands with partitions that isolate each replica in turn.
+  int cmd = 0;
+  for (int round = 0; round < 3; ++round) {
+    std::string isolated = peers[static_cast<size_t>(round)];
+    for (const std::string& other : peers) {
+      if (other != isolated) {
+        cluster.BlockLink(isolated, other);
+      }
+    }
+    for (int k = 0; k < 3; ++k) {
+      // Submit to every replica; only the majority side can decide.
+      for (const std::string& p : peers) {
+        cluster.Send(p, p, "px_request",
+                     Tuple{Value(p), Value("cmd-" + std::to_string(cmd++))});
+      }
+      cluster.RunUntil(cluster.now() + 1500);
+    }
+    cluster.ClearBlockedLinks();
+    cluster.RunUntil(cluster.now() + 4000);  // heal and re-elect
+  }
+  cluster.RunUntil(cluster.now() + 10000);
+
+  // Safety: every pair of replicas agrees on the intersection of their logs.
+  std::vector<std::map<int64_t, std::string>> logs;
+  for (const std::string& p : peers) {
+    std::map<int64_t, std::string> log;
+    cluster.engine(p)->catalog().Get("decided").ForEach([&log](const Tuple& row) {
+      log[row[0].as_int()] = row[1].as_string();
+    });
+    logs.push_back(std::move(log));
+  }
+  for (size_t a = 0; a < logs.size(); ++a) {
+    for (size_t b = a + 1; b < logs.size(); ++b) {
+      for (const auto& [slot, value] : logs[a]) {
+        auto it = logs[b].find(slot);
+        if (it != logs[b].end()) {
+          EXPECT_EQ(it->second, value)
+              << "replicas " << a << "/" << b << " disagree on slot " << slot;
+        }
+      }
+    }
+  }
+  // Liveness: something was decided despite the churn.
+  EXPECT_GT(logs[0].size() + logs[1].size() + logs[2].size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaxosSafetySweep,
+                         ::testing::Values(777, 1234, 5678, 9999, 424242),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+// The HA file system keeps serving through a kill->recover->kill-another schedule.
+TEST(ChaosTest, HaFsSurvivesLeaderChurn) {
+  Cluster cluster(31415);
+  HaFsOptions opts;
+  opts.num_replicas = 3;
+  opts.num_datanodes = 4;
+  HaFsHandles handles = SetupHaFs(cluster, opts);
+  SyncFs fs(cluster, handles.client, /*timeout_ms=*/240000);
+  cluster.RunUntil(3000);
+
+  ASSERT_TRUE(fs.Mkdir("/base"));
+  int created = 0;
+  auto create_some = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      if (fs.CreateFile("/base/f" + std::to_string(created))) {
+        ++created;
+      }
+    }
+  };
+
+  create_some(5);
+  cluster.KillNode(handles.replicas[0]);  // primary dies
+  cluster.RunUntil(cluster.now() + 4000);
+  create_some(5);
+  cluster.RestartNode(handles.replicas[0], /*fresh_state=*/true);  // recovers empty
+  cluster.RunUntil(cluster.now() + 4000);
+  create_some(5);
+  cluster.KillNode(handles.replicas[1]);  // current leader dies
+  cluster.RunUntil(cluster.now() + 4000);
+  create_some(5);
+
+  EXPECT_GE(created, 18) << "too many operations lost across failovers";
+  // All created files are visible via ls.
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs.Ls("/base", &names));
+  EXPECT_EQ(names.size(), static_cast<size_t>(created));
+}
+
+// BOOM-FS data survives DataNode churn: kill nodes one at a time (waiting for re-replication
+// between kills) and the file must remain readable throughout.
+TEST(ChaosTest, BoomFsSurvivesDataNodeChurn) {
+  Cluster cluster(2718);
+  FsSetupOptions opts;
+  opts.kind = FsKind::kBoomFs;
+  opts.num_datanodes = 6;
+  opts.replication_factor = 3;
+  opts.chunk_size = 16;
+  opts.heartbeat_period_ms = 300;
+  opts.heartbeat_timeout_ms = 1200;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client);
+  cluster.RunUntil(1500);
+
+  const std::string payload = "chunked payload that must survive datanode churn, honest";
+  ASSERT_TRUE(fs.Mkdir("/c"));
+  ASSERT_TRUE(fs.WriteFile("/c/data", payload));
+  cluster.RunUntil(cluster.now() + 2000);
+
+  // Kill half the datanodes, one at a time, with recovery windows between.
+  for (int i = 0; i < 3; ++i) {
+    cluster.KillNode(handles.datanodes[static_cast<size_t>(i)]);
+    cluster.RunUntil(cluster.now() + 12000);  // detector + re-replication
+    std::string read_back;
+    ASSERT_TRUE(fs.ReadFile("/c/data", &read_back)) << "after killing dn" << i;
+    EXPECT_EQ(read_back, payload) << "after killing dn" << i;
+  }
+}
+
+}  // namespace
+}  // namespace boom

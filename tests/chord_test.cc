@@ -1,0 +1,145 @@
+// Chord-in-Overlog tests: ring convergence via stabilization, lookup correctness against a
+// sorted-id oracle, and incremental join.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/chord/chord_program.h"
+
+namespace boom {
+namespace {
+
+std::vector<std::string> Addresses(int n) {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back("chord" + std::to_string(i));
+  }
+  return out;
+}
+
+// Oracle: the owner of `key` is the node with the smallest id >= key (wrapping).
+std::string OracleOwner(const std::vector<std::string>& nodes, int64_t key) {
+  std::map<int64_t, std::string> ring;
+  for (const std::string& n : nodes) {
+    ring[ChordId(n)] = n;
+  }
+  auto it = ring.lower_bound(key);
+  if (it == ring.end()) {
+    it = ring.begin();  // wrap
+  }
+  return it->second;
+}
+
+// True when successor pointers form the sorted-id ring.
+bool RingConverged(Cluster& cluster, const std::vector<std::string>& nodes) {
+  std::vector<std::pair<int64_t, std::string>> sorted;
+  for (const std::string& n : nodes) {
+    sorted.emplace_back(ChordId(n), n);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const std::string& expected_succ = sorted[(i + 1) % sorted.size()].second;
+    if (SuccessorOf(cluster, sorted[i].second) != expected_succ) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ChordTest, DistinctIds) {
+  std::set<int64_t> ids;
+  for (const std::string& a : Addresses(12)) {
+    ids.insert(ChordId(a));
+  }
+  EXPECT_EQ(ids.size(), 12u);  // no collisions among the test addresses
+  EXPECT_EQ(ChordId("x"), ChordId("x"));
+}
+
+TEST(ChordTest, SingleNodeOwnsEverything) {
+  Cluster cluster(5);
+  std::vector<std::string> nodes = Addresses(1);
+  SetupChordRing(cluster, nodes);
+  cluster.RunUntil(1000);
+  EXPECT_EQ(SuccessorOf(cluster, nodes[0]), nodes[0]);
+  int hops = -1;
+  EXPECT_EQ(LookupSync(cluster, nodes[0], 12345, &hops), nodes[0]);
+  EXPECT_EQ(hops, 0);
+}
+
+TEST(ChordTest, TwoNodesFormARing) {
+  Cluster cluster(5);
+  std::vector<std::string> nodes = Addresses(2);
+  SetupChordRing(cluster, nodes);
+  cluster.RunUntil(5000);
+  EXPECT_EQ(SuccessorOf(cluster, nodes[0]), nodes[1]);
+  EXPECT_EQ(SuccessorOf(cluster, nodes[1]), nodes[0]);
+}
+
+class ChordRingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChordRingSweep, StabilizesAndRoutesCorrectly) {
+  const int n = GetParam();
+  Cluster cluster(99);
+  std::vector<std::string> nodes = Addresses(n);
+  SetupChordRing(cluster, nodes);
+
+  // Stabilization needs O(ring length) rounds to converge.
+  double deadline = 1000.0 * n + 10000;
+  while (cluster.now() < deadline && !RingConverged(cluster, nodes)) {
+    cluster.RunUntil(cluster.now() + 500);
+  }
+  ASSERT_TRUE(RingConverged(cluster, nodes)) << "ring did not converge for n=" << n;
+
+  // Lookups from several vantage points agree with the oracle.
+  std::mt19937_64 gen(42);
+  for (int i = 0; i < 12; ++i) {
+    int64_t key = static_cast<int64_t>(gen() % (1 << 16));
+    const std::string& via = nodes[static_cast<size_t>(i) % nodes.size()];
+    int hops = -1;
+    std::string owner = LookupSync(cluster, via, key, &hops);
+    EXPECT_EQ(owner, OracleOwner(nodes, key)) << "key " << key << " via " << via;
+    EXPECT_GE(hops, 0);
+    EXPECT_LT(hops, n + 1) << "lookup circled the ring more than once";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, ChordRingSweep, ::testing::Values(3, 5, 8, 12),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(ChordTest, LateJoinerIsAbsorbed) {
+  Cluster cluster(7);
+  std::vector<std::string> nodes = Addresses(4);
+  SetupChordRing(cluster, nodes);
+  double deadline = 20000;
+  while (cluster.now() < deadline && !RingConverged(cluster, nodes)) {
+    cluster.RunUntil(cluster.now() + 500);
+  }
+  ASSERT_TRUE(RingConverged(cluster, nodes));
+
+  // A fifth node joins the running ring through the bootstrap.
+  ChordOptions opts;
+  opts.bootstrap = nodes[0];
+  std::string late = "chord_late";
+  std::string source = ChordProgram(late, opts);
+  cluster.AddOverlogNode(late, [source](Engine& engine) {
+    ASSERT_TRUE(engine.InstallSource(source).ok());
+  });
+  std::vector<std::string> all = nodes;
+  all.push_back(late);
+  deadline = cluster.now() + 30000;
+  while (cluster.now() < deadline && !RingConverged(cluster, all)) {
+    cluster.RunUntil(cluster.now() + 500);
+  }
+  EXPECT_TRUE(RingConverged(cluster, all)) << "late joiner never absorbed";
+  // And it is reachable by lookup.
+  int64_t its_id = ChordId(late);
+  EXPECT_EQ(LookupSync(cluster, nodes[1], its_id), late);
+}
+
+}  // namespace
+}  // namespace boom

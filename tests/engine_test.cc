@@ -1,0 +1,516 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/overlog/engine.h"
+
+namespace boom {
+namespace {
+
+EngineOptions MakeEngine(const std::string& addr = "node0") {
+  EngineOptions opts;
+  opts.address = addr;
+  opts.seed = 7;
+  return opts;
+}
+
+std::set<Tuple> RowSet(const Engine& e, const std::string& table) {
+  const Table* t = e.catalog().Find(table);
+  EXPECT_NE(t, nullptr);
+  std::set<Tuple> out;
+  t->ForEach([&out](const Tuple& row) { out.insert(row); });
+  return out;
+}
+
+TEST(EngineTest, FactsAndSeedDerivation) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table a(X);
+    table b(X);
+    a(1); a(2);
+    b(X) :- a(X);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "b"), (std::set<Tuple>{Tuple{Value(1)}, Tuple{Value(2)}}));
+}
+
+TEST(EngineTest, TransitiveClosure) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program tc;
+    table link(X, Y);
+    table reach(X, Y);
+    link(1, 2); link(2, 3); link(3, 4);
+    r1 reach(X, Y) :- link(X, Y);
+    r2 reach(X, Z) :- link(X, Y), reach(Y, Z);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "reach").size(), 6u);  // all ordered pairs along the chain
+  EXPECT_TRUE(RowSet(e, "reach").count(Tuple{Value(1), Value(4)}) > 0);
+}
+
+TEST(EngineTest, IncrementalDeltasAcrossTicks) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program tc;
+    table link(X, Y);
+    table reach(X, Y);
+    r1 reach(X, Y) :- link(X, Y);
+    r2 reach(X, Z) :- link(X, Y), reach(Y, Z);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("link", Tuple{Value(1), Value(2)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "reach").size(), 1u);
+  ASSERT_TRUE(e.Enqueue("link", Tuple{Value(2), Value(3)}).ok());
+  e.Tick(2);
+  // New link must join against previously derived reach: 1->2, 2->3, 1->3.
+  EXPECT_EQ(RowSet(e, "reach").size(), 3u);
+}
+
+TEST(EngineTest, NegationStratified) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table a(X);
+    table b(X);
+    table onlya(X);
+    a(1); a(2); b(2);
+    onlya(X) :- a(X), notin b(X);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "onlya"), (std::set<Tuple>{Tuple{Value(1)}}));
+}
+
+TEST(EngineTest, CountAggregate) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table chunk(C, F);
+    table cnt(F, N) keys(0);
+    chunk(10, 1); chunk(11, 1); chunk(12, 2);
+    cnt(F, count<C>) :- chunk(C, F);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "cnt"),
+            (std::set<Tuple>{Tuple{Value(1), Value(2)}, Tuple{Value(2), Value(1)}}));
+}
+
+TEST(EngineTest, AggregateUpdatesWhenInputsChange) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table chunk(C, F);
+    table cnt(F, N) keys(0);
+    cnt(F, count<C>) :- chunk(C, F);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("chunk", Tuple{Value(10), Value(1)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "cnt"), (std::set<Tuple>{Tuple{Value(1), Value(1)}}));
+  ASSERT_TRUE(e.Enqueue("chunk", Tuple{Value(11), Value(1)}).ok());
+  e.Tick(2);
+  EXPECT_EQ(RowSet(e, "cnt"), (std::set<Tuple>{Tuple{Value(1), Value(2)}}));
+}
+
+TEST(EngineTest, MinMaxSumAvg) {
+  Engine e2(MakeEngine());
+  ASSERT_TRUE(e2.InstallSource(R"(
+    program t;
+    table load(Dn, L);
+    table stats(K, Mn, Mx, Sm, Av) keys(0);
+    load("d1", 4); load("d2", 2); load("d3", 6);
+    stats(1, min<L>, max<L>, sum<L>, avg<L>) :- load(Dn, L);
+  )").ok());
+  e2.Tick(0);
+  std::set<Tuple> rows = RowSet(e2, "stats");
+  ASSERT_EQ(rows.size(), 1u);
+  const Tuple& row = *rows.begin();
+  EXPECT_EQ(row[1], Value(2));
+  EXPECT_EQ(row[2], Value(6));
+  EXPECT_EQ(row[3], Value(12));
+  EXPECT_EQ(row[4], Value(4.0));
+}
+
+TEST(EngineTest, BottomKPicksSmallestPairs) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table load(Dn, L);
+    table best(K, List) keys(0);
+    load("d1", 5); load("d2", 1); load("d3", 3); load("d4", 9);
+    best(1, bottomk<2, Pair>) :- load(Dn, L), Pair := [L, Dn];
+  )").ok());
+  e.Tick(0);
+  std::set<Tuple> rows = RowSet(e, "best");
+  ASSERT_EQ(rows.size(), 1u);
+  const Value& list = (*rows.begin())[1];
+  ASSERT_TRUE(list.is_list());
+  ASSERT_EQ(list.as_list().size(), 2u);
+  EXPECT_EQ(list.as_list()[0].as_list()[1], Value("d2"));
+  EXPECT_EQ(list.as_list()[1].as_list()[1], Value("d3"));
+}
+
+TEST(EngineTest, DeleteRuleRemovesAtTickEnd) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table file(F);
+    event rm(F);
+    file(1); file(2);
+    delete file(F) :- rm(F), file(F);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("rm", Tuple{Value(1)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "file"), (std::set<Tuple>{Tuple{Value(2)}}));
+}
+
+TEST(EngineTest, EventsClearedAfterTick) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event req(X);
+    table log(X);
+    log(X) :- req(X);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("req", Tuple{Value(5)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(e.catalog().Get("req").size(), 0u);
+  EXPECT_EQ(RowSet(e, "log"), (std::set<Tuple>{Tuple{Value(5)}}));
+  // The event must not re-fire on later ticks.
+  e.Tick(2);
+  EXPECT_EQ(RowSet(e, "log").size(), 1u);
+}
+
+TEST(EngineTest, EventChainingWithinTick) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event a(X);
+    event b(X);
+    table out(X);
+    b(X + 1) :- a(X);
+    out(X) :- b(X);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("a", Tuple{Value(1)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "out"), (std::set<Tuple>{Tuple{Value(2)}}));
+}
+
+TEST(EngineTest, RemoteDerivationGoesToOutbox) {
+  Engine e(MakeEngine("n1"));
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event ping(Addr, From);
+    event pong(Addr, From);
+    pong(@From, Me) :- ping(@Me, From);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("ping", Tuple{Value("n1"), Value("n2")}).ok());
+  Engine::TickResult r = e.Tick(1);
+  ASSERT_EQ(r.sends.size(), 1u);
+  EXPECT_EQ(r.sends[0].dest, "n2");
+  EXPECT_EQ(r.sends[0].table, "pong");
+  EXPECT_EQ(r.sends[0].tuple, (Tuple{Value("n2"), Value("n1")}));
+}
+
+TEST(EngineTest, LocalDestinationStaysLocal) {
+  Engine e(MakeEngine("n1"));
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event ping(Addr, From);
+    table got(Addr, From);
+    got(@Me, From) :- ping(@Me, From);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("ping", Tuple{Value("n1"), Value("n2")}).ok());
+  Engine::TickResult r = e.Tick(1);
+  EXPECT_TRUE(r.sends.empty());
+  EXPECT_EQ(RowSet(e, "got").size(), 1u);
+}
+
+TEST(EngineTest, TimerFiresPeriodically) {
+  Engine e(MakeEngine("n1"));
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    timer tick(100);
+    table count(K, N) keys(0);
+    table fired(T) keys(0);
+    fired(T) :- tick(N), T := f_now();
+  )").ok());
+  EXPECT_DOUBLE_EQ(e.NextTimerDeadline(), 100.0);
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "fired").size(), 0u);
+  e.Tick(100);
+  EXPECT_EQ(RowSet(e, "fired").size(), 1u);
+  e.Tick(350);  // catches up: fires at 200 and 300 (both apply at this tick)
+  std::set<Tuple> rows = RowSet(e, "fired");
+  EXPECT_TRUE(rows.count(Tuple{Value(350.0)}) > 0);
+}
+
+TEST(EngineTest, WatchCallbackFires) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table a(X);
+    table b(X);
+    b(X * 10) :- a(X);
+  )").ok());
+  std::vector<Tuple> seen;
+  e.AddWatch("b", [&seen](const std::string&, const Tuple& t, bool inserted) {
+    if (inserted) {
+      seen.push_back(t);
+    }
+  });
+  ASSERT_TRUE(e.Enqueue("a", Tuple{Value(3)}).ok());
+  e.Tick(0);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], (Tuple{Value(30)}));
+}
+
+TEST(EngineTest, PrimaryKeyUpdateThroughRules) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event set(K, V);
+    table kv(K, V) keys(0);
+    kv(K, V) :- set(K, V);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("set", Tuple{Value(1), Value("a")}).ok());
+  e.Tick(1);
+  ASSERT_TRUE(e.Enqueue("set", Tuple{Value(1), Value("b")}).ok());
+  e.Tick(2);
+  EXPECT_EQ(RowSet(e, "kv"), (std::set<Tuple>{Tuple{Value(1), Value("b")}}));
+}
+
+TEST(EngineTest, RecursivePathConstruction) {
+  // The BOOM-FS fqpath idiom: recursive path construction from parent pointers.
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program fs;
+    table file(FileId, ParentId, Name, IsDir) keys(0);
+    table fqpath(Path, FileId);
+    file(0, -1, "", true);
+    file(1, 0, "usr", true);
+    file(2, 1, "data", true);
+    file(3, 2, "f.txt", false);
+    fqpath("/", 0) :- file(0, -1, _, _);
+    fqpath(P, F) :- file(F, Par, Name, _), F != 0, fqpath(PPath, Par),
+                    P := path_join(PPath, Name);
+  )").ok());
+  e.Tick(0);
+  std::set<Tuple> rows = RowSet(e, "fqpath");
+  EXPECT_TRUE(rows.count(Tuple{Value("/"), Value(0)}) > 0);
+  EXPECT_TRUE(rows.count(Tuple{Value("/usr"), Value(1)}) > 0);
+  EXPECT_TRUE(rows.count(Tuple{Value("/usr/data/f.txt"), Value(3)}) > 0);
+}
+
+TEST(EngineTest, RuntimeErrorDropsBindingAndReports) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table a(X);
+    table out(Y);
+    a(0); a(2);
+    out(Y) :- a(X), Y := 10 / X;
+  )").ok());
+  Engine::TickResult r = e.Tick(0);
+  EXPECT_FALSE(r.errors.empty());
+  EXPECT_EQ(RowSet(e, "out"), (std::set<Tuple>{Tuple{Value(5)}}));
+}
+
+TEST(EngineTest, EnqueueValidatesTableAndArity) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource("program t; table a(X, Y);").ok());
+  EXPECT_FALSE(e.Enqueue("nope", Tuple{Value(1)}).ok());
+  EXPECT_FALSE(e.Enqueue("a", Tuple{Value(1)}).ok());
+  EXPECT_TRUE(e.Enqueue("a", Tuple{Value(1), Value(2)}).ok());
+}
+
+TEST(EngineTest, MultipleProgramsShareTables) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program p1;
+    table shared(X);
+    shared(1);
+  )").ok());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program p2;
+    table derived(X);
+    derived(X + 1) :- shared(X);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "derived"), (std::set<Tuple>{Tuple{Value(2)}}));
+}
+
+TEST(EngineTest, InstallErrorRollsBack) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource("program p1; table a(X);").ok());
+  // Unsafe rule: must fail and leave the engine usable.
+  EXPECT_FALSE(e.InstallSource("program p2; table b(X, Y); b(X, Y) :- a(X);").ok());
+  ASSERT_TRUE(e.Enqueue("a", Tuple{Value(1)}).ok());
+  Engine::TickResult r = e.Tick(0);
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(EngineTest, SelfJoinsWork) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table edge(X, Y);
+    table triangle(A, B, C);
+    edge(1, 2); edge(2, 3); edge(3, 1);
+    triangle(A, B, C) :- edge(A, B), edge(B, C), edge(C, A);
+  )").ok());
+  e.Tick(0);
+  EXPECT_EQ(RowSet(e, "triangle").size(), 3u);  // three rotations
+}
+
+TEST(EngineTest, FMeBuiltin) {
+  Engine e(MakeEngine("node42"));
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event go(X);
+    table me(Addr);
+    me(A) :- go(_), A := f_me();
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("go", Tuple{Value(1)}).ok());
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "me"), (std::set<Tuple>{Tuple{Value("node42")}}));
+}
+
+
+TEST(EngineTest, NextRuleDefersOneTimestep) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event go(X);
+    table stored(X);
+    stored(X)@next :- go(X);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("go", Tuple{Value(1)}).ok());
+  e.Tick(1);
+  // Not yet visible: the derivation applies at the next timestep.
+  EXPECT_EQ(RowSet(e, "stored").size(), 0u);
+  EXPECT_TRUE(e.HasQueuedInput());
+  e.Tick(1);  // same virtual time, next logical timestep
+  EXPECT_EQ(RowSet(e, "stored"), (std::set<Tuple>{Tuple{Value(1)}}));
+}
+
+TEST(EngineTest, NextEnablesStateUpdateThroughNegation) {
+  // Register key K only if not already registered -- unstratifiable without @next.
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    event reg(K, V);
+    table kv(K, V) keys(0);
+    event accepted(K, V);
+    event rejected(K);
+    accepted(K, V) :- reg(K, V), notin kv(K, _);
+    rejected(K) :- reg(K, _), kv(K, _);
+    kv(K, V)@next :- accepted(K, V);
+  )").ok());
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("reg", Tuple{Value(1), Value("a")}).ok());
+  e.Tick(1);
+  e.Tick(1);
+  EXPECT_EQ(RowSet(e, "kv"), (std::set<Tuple>{Tuple{Value(1), Value("a")}}));
+  // Second registration of the same key is rejected.
+  std::vector<Tuple> rejections;
+  e.AddWatch("rejected", [&rejections](const std::string&, const Tuple& t, bool ins) {
+    if (ins) rejections.push_back(t);
+  });
+  ASSERT_TRUE(e.Enqueue("reg", Tuple{Value(1), Value("b")}).ok());
+  e.Tick(2);
+  EXPECT_EQ(RowSet(e, "kv"), (std::set<Tuple>{Tuple{Value(1), Value("a")}}));
+  ASSERT_EQ(rejections.size(), 1u);
+}
+
+TEST(EngineTest, UniqueIdsAreFreshAndNodeScoped) {
+  Engine e1(MakeEngine("n1"));
+  Engine e2(MakeEngine("n2"));
+  const char* src = R"(
+    program t;
+    event go(X);
+    table ids(Id);
+    ids(Id) :- go(_), Id := f_unique_id();
+  )";
+  ASSERT_TRUE(e1.InstallSource(src).ok());
+  ASSERT_TRUE(e2.InstallSource(src).ok());
+  e1.Tick(0);
+  e2.Tick(0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(e1.Enqueue("go", Tuple{Value(i)}).ok());
+    ASSERT_TRUE(e2.Enqueue("go", Tuple{Value(i)}).ok());
+    e1.Tick(i + 1);
+    e2.Tick(i + 1);
+  }
+  std::set<Tuple> ids1 = RowSet(e1, "ids");
+  std::set<Tuple> ids2 = RowSet(e2, "ids");
+  EXPECT_EQ(ids1.size(), 5u);
+  EXPECT_EQ(ids2.size(), 5u);
+  for (const Tuple& t : ids1) {
+    EXPECT_EQ(ids2.count(t), 0u) << "id collision across nodes";
+  }
+}
+
+
+TEST(EngineTest, TtlTablesExpireUnlessRefreshed) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table lease(Node, Info) keys(0) ttl(1000);
+  )").ok());
+  std::vector<Tuple> expirations;
+  e.AddWatch("lease", [&expirations](const std::string&, const Tuple& t, bool inserted) {
+    if (!inserted) {
+      expirations.push_back(t);
+    }
+  });
+  e.Tick(0);
+  ASSERT_TRUE(e.Enqueue("lease", Tuple{Value("n1"), Value("a")}).ok());
+  ASSERT_TRUE(e.Enqueue("lease", Tuple{Value("n2"), Value("b")}).ok());
+  e.Tick(100);
+  EXPECT_EQ(e.catalog().Get("lease").size(), 2u);
+  // Refresh only n1 before the ttl elapses.
+  ASSERT_TRUE(e.Enqueue("lease", Tuple{Value("n1"), Value("a")}).ok());
+  e.Tick(900);
+  // At t=1200 n2's lease (stamped 100) is past ttl; n1 (refreshed at 900) survives.
+  e.Tick(1200);
+  EXPECT_EQ(e.catalog().Get("lease").size(), 1u);
+  EXPECT_NE(e.catalog().Get("lease").LookupByKey(Tuple{Value("n1")}), nullptr);
+  ASSERT_EQ(expirations.size(), 1u);
+  EXPECT_EQ(expirations[0][0], Value("n2"));
+  // And n1 expires once its refresh lapses.
+  e.Tick(2000);
+  EXPECT_EQ(e.catalog().Get("lease").size(), 0u);
+}
+
+TEST(EngineTest, TtlRoundTripsThroughToString) {
+  Engine e(MakeEngine());
+  ASSERT_TRUE(e.InstallSource(R"(
+    program t;
+    table lease(Node) keys(0) ttl(500);
+  )").ok());
+  const std::string text = e.programs()[0].ToString();
+  EXPECT_NE(text.find("ttl(500"), std::string::npos);
+  Engine e2(MakeEngine("other"));
+  EXPECT_TRUE(e2.InstallSource(text).ok());
+  EXPECT_DOUBLE_EQ(e2.catalog().Get("lease").def().ttl_ms, 500.0);
+}
+
+TEST(EngineTest, TtlOnEventRejected) {
+  Engine e(MakeEngine());
+  EXPECT_FALSE(e.InstallSource("program t; event x(A) ttl(100);").ok());
+}
+
+}  // namespace
+}  // namespace boom

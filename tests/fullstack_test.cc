@@ -1,0 +1,151 @@
+// Full-stack integration: the complete BOOM Analytics story in one test — input stored in
+// BOOM-FS (declarative NameNode), processed by a real wordcount scheduled by BOOM-MR
+// (declarative JobTracker), output written back to BOOM-FS and read out — plus a variant
+// where the HA (Paxos-replicated) NameNode loses its primary mid-workload.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/ha.h"
+#include "src/boommr/boommr.h"
+
+namespace boom {
+namespace {
+
+constexpr char kCorpus[] =
+    "to be or not to be that is the question "
+    "whether tis nobler in the mind to suffer "
+    "the slings and arrows of outrageous fortune";
+
+JobSpec WordCountJob(MrHandles& mr, const std::string& text, size_t split_bytes) {
+  JobSpec spec;
+  spec.job_id = mr.client->NextJobId();
+  spec.client = mr.client->address();
+  std::istringstream words(text);
+  std::string word;
+  std::string split;
+  while (words >> word) {
+    split += word + " ";
+    if (split.size() >= split_bytes) {
+      spec.map_inputs.push_back(split);
+      split.clear();
+    }
+  }
+  if (!split.empty()) {
+    spec.map_inputs.push_back(split);
+  }
+  spec.num_maps = static_cast<int>(spec.map_inputs.size());
+  spec.num_reduces = 2;
+  spec.map_fn = [](const std::string& input, std::vector<KvPair>* out) {
+    std::istringstream is(input);
+    std::string w;
+    while (is >> w) {
+      out->emplace_back(w, "1");
+    }
+  };
+  spec.reduce_fn = [](const std::string& key, const std::vector<std::string>& values) {
+    return key + " " + std::to_string(values.size()) + "\n";
+  };
+  spec.duration_ms = [](const TaskRef&, const std::string&) { return 120.0; };
+  return spec;
+}
+
+int CountOf(const std::string& output, const std::string& word) {
+  std::istringstream is(output);
+  std::string w;
+  int n;
+  while (is >> w >> n) {
+    if (w == word) {
+      return n;
+    }
+  }
+  return -1;
+}
+
+TEST(FullStackTest, FsToMapReduceToFsRoundTrip) {
+  Cluster cluster(8181);
+
+  FsSetupOptions fs_opts;
+  fs_opts.kind = FsKind::kBoomFs;
+  fs_opts.num_datanodes = 3;
+  fs_opts.chunk_size = 48;
+  FsHandles fs_handles = SetupFs(cluster, fs_opts);
+  SyncFs fs(cluster, fs_handles.client);
+  cluster.RunUntil(1200);
+
+  // 1. Input through the declarative NameNode.
+  ASSERT_TRUE(fs.Mkdir("/in"));
+  ASSERT_TRUE(fs.Mkdir("/out"));
+  ASSERT_TRUE(fs.WriteFile("/in/corpus", kCorpus));
+  std::string stored;
+  ASSERT_TRUE(fs.ReadFile("/in/corpus", &stored));
+  ASSERT_EQ(stored, kCorpus);
+
+  // 2. Wordcount scheduled by the declarative JobTracker.
+  MrSetupOptions mr_opts;
+  mr_opts.kind = MrKind::kBoomMr;
+  mr_opts.num_trackers = 3;
+  MrHandles mr = SetupMr(cluster, mr_opts);
+  JobSpec spec = WordCountJob(mr, stored, fs_opts.chunk_size);
+  int64_t job_id = spec.job_id;
+  double finish = RunJobSync(cluster, mr, std::move(spec));
+  ASSERT_GT(finish, 0);
+
+  // 3. Output written back into BOOM-FS and verified after a round trip.
+  std::string output = mr.data_plane->JobOutput(job_id);
+  ASSERT_TRUE(fs.WriteFile("/out/wordcount", output));
+  std::string read_back;
+  ASSERT_TRUE(fs.ReadFile("/out/wordcount", &read_back));
+  EXPECT_EQ(read_back, output);
+  EXPECT_EQ(CountOf(read_back, "to"), 3);
+  EXPECT_EQ(CountOf(read_back, "the"), 3);
+  EXPECT_EQ(CountOf(read_back, "be"), 2);
+  EXPECT_EQ(CountOf(read_back, "question"), 1);
+}
+
+TEST(FullStackTest, MapReduceWhileHaNameNodeFailsOver) {
+  Cluster cluster(2727);
+
+  HaFsOptions ha_opts;
+  ha_opts.num_replicas = 3;
+  ha_opts.num_datanodes = 3;
+  ha_opts.chunk_size = 48;
+  HaFsHandles ha = SetupHaFs(cluster, ha_opts);
+  SyncFs fs(cluster, ha.client, /*timeout_ms=*/240000);
+  cluster.RunUntil(3000);
+
+  ASSERT_TRUE(fs.Mkdir("/data"));
+  ASSERT_TRUE(fs.WriteFile("/data/corpus", kCorpus));
+  std::string stored;
+  ASSERT_TRUE(fs.ReadFile("/data/corpus", &stored));
+
+  MrSetupOptions mr_opts;
+  mr_opts.kind = MrKind::kBoomMr;
+  mr_opts.num_trackers = 3;
+  MrHandles mr = SetupMr(cluster, mr_opts);
+  JobSpec spec = WordCountJob(mr, stored, ha_opts.chunk_size);
+  spec.duration_ms = [](const TaskRef&, const std::string&) { return 2000.0; };
+  int64_t job_id = spec.job_id;
+
+  double finish = -1;
+  mr.client->Submit(cluster, std::move(spec), [&finish](double t) { finish = t; });
+  // Kill the FS primary while the job runs.
+  cluster.RunUntil(cluster.now() + 1500);
+  cluster.KillNode(ha.replicas[0]);
+  cluster.RunUntil(cluster.now() + 120000);
+  ASSERT_GT(finish, 0) << "job did not finish";
+
+  // The surviving NameNodes still serve: write the result and read it back.
+  std::string output = mr.data_plane->JobOutput(job_id);
+  ASSERT_FALSE(output.empty());
+  ASSERT_TRUE(fs.WriteFile("/data/wordcount", output));
+  std::string read_back;
+  ASSERT_TRUE(fs.ReadFile("/data/wordcount", &read_back));
+  EXPECT_EQ(read_back, output);
+  EXPECT_EQ(CountOf(read_back, "to"), 3);
+}
+
+}  // namespace
+}  // namespace boom

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/overlog/lexer.h"
+
+namespace boom {
+namespace {
+
+std::vector<Token> MustLex(std::string_view src) {
+  Result<std::vector<Token>> r = Tokenize(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+std::vector<TokenKind> Kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : MustLex(src)) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto toks = MustLex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto toks = MustLex("foo Bar _under f_now x1");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].text, "foo");
+  EXPECT_EQ(toks[1].text, "Bar");
+  EXPECT_EQ(toks[2].text, "_under");
+  EXPECT_EQ(toks[3].text, "f_now");
+  EXPECT_EQ(toks[4].text, "x1");
+}
+
+TEST(LexerTest, BareUnderscoreIsWildcard) {
+  auto kinds = Kinds("_ _x");
+  EXPECT_EQ(kinds[0], TokenKind::kUnderscore);
+  EXPECT_EQ(kinds[1], TokenKind::kIdent);
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = MustLex("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[0].literal, Value(42));
+  EXPECT_EQ(toks[1].kind, TokenKind::kDouble);
+  EXPECT_EQ(toks[1].literal, Value(3.5));
+  EXPECT_EQ(toks[2].kind, TokenKind::kDouble);
+  EXPECT_EQ(toks[2].literal, Value(1000.0));
+  EXPECT_EQ(toks[3].kind, TokenKind::kDouble);
+  EXPECT_EQ(toks[3].literal, Value(0.025));
+}
+
+TEST(LexerTest, Strings) {
+  auto toks = MustLex(R"("plain" "with \"esc\"" "tab\tnl\n")");
+  EXPECT_EQ(toks[0].literal, Value("plain"));
+  EXPECT_EQ(toks[1].literal, Value("with \"esc\""));
+  EXPECT_EQ(toks[2].literal, Value("tab\tnl\n"));
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, CompoundOperators) {
+  auto kinds = Kinds(":- := == != <= >= < > && ||");
+  std::vector<TokenKind> want{TokenKind::kTurnstile, TokenKind::kAssign, TokenKind::kEq,
+                              TokenKind::kNe,        TokenKind::kLe,     TokenKind::kGe,
+                              TokenKind::kLt,        TokenKind::kGt,     TokenKind::kAnd,
+                              TokenKind::kOr,        TokenKind::kEof};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, StrayAmpersandFails) {
+  EXPECT_FALSE(Tokenize("a & b").ok());
+  EXPECT_FALSE(Tokenize("a | b").ok());
+  EXPECT_FALSE(Tokenize("a : b").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto kinds = Kinds("a // to end of line\nb /* block\nspanning */ c");
+  std::vector<TokenKind> want{TokenKind::kIdent, TokenKind::kIdent, TokenKind::kIdent,
+                              TokenKind::kEof};
+  EXPECT_EQ(kinds, want);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_FALSE(Tokenize("a /* never closed").ok());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto toks = MustLex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(LexerTest, FullRuleTokenization) {
+  auto toks = MustLex(R"(r1 path(@X, Y, C) :- link(@X, Y, C), C < 10;)");
+  // r1 path ( @ X , Y , C ) :- link ( @ X , Y , C ) , C < 10 ; EOF
+  EXPECT_EQ(toks.size(), 26u);
+  EXPECT_EQ(toks[3].kind, TokenKind::kAt);
+  EXPECT_EQ(toks[10].kind, TokenKind::kTurnstile);
+  EXPECT_EQ(toks[24].kind, TokenKind::kSemi);
+}
+
+}  // namespace
+}  // namespace boom

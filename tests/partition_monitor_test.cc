@@ -1,0 +1,216 @@
+// Tests for the partitioned NameNode (paper rev F3) and the monitoring metaprogramming
+// rewrites (rev F4).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/boomfs/partition.h"
+#include "src/boomfs/nn_program.h"
+#include "src/monitor/meta.h"
+#include "src/overlog/parser.h"
+
+namespace boom {
+namespace {
+
+// --- partitioned namespace ---
+
+class PartitionTest : public ::testing::TestWithParam<int> {
+ protected:
+  PartitionTest() : cluster_(31337) {
+    PartitionedFsOptions opts;
+    opts.num_partitions = GetParam();
+    opts.num_datanodes = 4;
+    opts.chunk_size = 32;
+    handles_ = SetupPartitionedFs(cluster_, opts);
+    fs_ = std::make_unique<SyncFs>(cluster_, handles_.clients[0]);
+    cluster_.RunUntil(1500);
+  }
+
+  // Directory creation in partitioned mode: broadcast.
+  bool MkdirAllSync(const std::string& path) {
+    bool done = false;
+    bool ok = false;
+    handles_.clients[0]->MkdirAll(cluster_, path, handles_.partitions,
+                                  [&done, &ok](bool r, const Value&) {
+                                    ok = r;
+                                    done = true;
+                                  });
+    double deadline = cluster_.now() + 30000;
+    while (!done && cluster_.now() < deadline) {
+      cluster_.RunUntil(cluster_.now() + 1.0);
+    }
+    return done && ok;
+  }
+
+  Cluster cluster_;
+  PartitionedFsHandles handles_;
+  std::unique_ptr<SyncFs> fs_;
+};
+
+TEST_P(PartitionTest, FilesSpreadAcrossPartitionsAndRoundTrip) {
+  ASSERT_TRUE(MkdirAllSync("/data"));
+  ASSERT_TRUE(MkdirAllSync("/logs"));
+  ASSERT_TRUE(MkdirAllSync("/home"));
+  for (int i = 0; i < 6; ++i) {
+    std::string dir = (i % 3 == 0) ? "/data" : (i % 3 == 1 ? "/logs" : "/home");
+    std::string path = dir + "/f" + std::to_string(i);
+    ASSERT_TRUE(fs_->WriteFile(path, "contents-" + std::to_string(i))) << path;
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::string dir = (i % 3 == 0) ? "/data" : (i % 3 == 1 ? "/logs" : "/home");
+    std::string data;
+    ASSERT_TRUE(fs_->ReadFile(dir + "/f" + std::to_string(i), &data));
+    EXPECT_EQ(data, "contents-" + std::to_string(i));
+  }
+}
+
+TEST_P(PartitionTest, LsSeesAllChildrenOfADirectory) {
+  ASSERT_TRUE(MkdirAllSync("/d"));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs_->CreateFile("/d/f" + std::to_string(i)));
+  }
+  std::vector<std::string> names;
+  ASSERT_TRUE(fs_->Ls("/d", &names));
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST_P(PartitionTest, ExistsAndRmRouteCorrectly) {
+  ASSERT_TRUE(MkdirAllSync("/x"));
+  ASSERT_TRUE(fs_->CreateFile("/x/f"));
+  EXPECT_TRUE(fs_->Exists("/x/f"));
+  EXPECT_TRUE(fs_->Rm("/x/f"));
+  EXPECT_FALSE(fs_->Exists("/x/f"));
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionCounts, PartitionTest, ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST(PartitionRoutingTest, DeterministicAndDirnameBased) {
+  std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(RouteByPath(parts, "create", "/d/f1"), RouteByPath(parts, "exists", "/d/f2"));
+  EXPECT_EQ(RouteByPath(parts, "ls", "/d"), RouteByPath(parts, "create", "/d/f1"));
+  EXPECT_EQ(RouteByPath({"only"}, "create", "/any"), "only");
+}
+
+// --- monitoring metaprogramming ---
+
+TEST(MonitorTest, TracingProgramRecordsInsertions) {
+  EngineOptions eopts;
+  eopts.address = "n";
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.InstallSource(R"(
+    program app;
+    event req(X);
+    table kv(K, V) keys(0);
+    kv(K, V) :- req(K), V := K * 10;
+  )").ok());
+
+  Result<Program> parsed = ParseProgram(R"(
+    program app;
+    event req(X);
+    table kv(K, V) keys(0);
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Program tracing = MakeTracingProgram(*parsed);
+  ASSERT_TRUE(engine.Install(tracing).ok()) << "tracing program install failed";
+
+  engine.Tick(0);
+  ASSERT_TRUE(engine.Enqueue("req", Tuple{Value(1)}).ok());
+  engine.Tick(5);
+  ASSERT_TRUE(engine.Enqueue("req", Tuple{Value(2)}).ok());
+  engine.Tick(9);
+
+  const Table& trace_kv = engine.catalog().Get("trace_kv");
+  EXPECT_EQ(trace_kv.size(), 2u);
+  const Table& trace_req = engine.catalog().Get("trace_req");
+  EXPECT_EQ(trace_req.size(), 2u);
+  // Count rollup.
+  const Tuple* cnt = engine.catalog().Get("trace_cnt_kv").LookupByKey(Tuple{Value(1)});
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_EQ((*cnt)[1], Value(2));
+}
+
+TEST(MonitorTest, TracingSelectsRequestedTablesOnly) {
+  Result<Program> parsed = ParseProgram(R"(
+    program app;
+    table a(X);
+    table b(X);
+  )");
+  ASSERT_TRUE(parsed.ok());
+  TracingOptions opts;
+  opts.tables = {"b"};
+  Program tracing = MakeTracingProgram(*parsed, opts);
+  std::set<std::string> names;
+  for (const TableDef& def : tracing.tables) {
+    names.insert(def.name);
+  }
+  EXPECT_TRUE(names.count("trace_b"));
+  EXPECT_FALSE(names.count("trace_a"));
+}
+
+TEST(MonitorTest, InvariantViolationDetected) {
+  EngineOptions eopts;
+  eopts.address = "n";
+  Engine engine(eopts);
+  // A tiny program with a planted bug: inserting an orphan inode.
+  ASSERT_TRUE(engine.InstallSource(R"(
+    program fsmini;
+    table file(FileId, ParentId, FName, IsDir) keys(0);
+    table fqpath(Path, FileId);
+    table fchunk(ChunkId, FileId) keys(0);
+    table hb_chunk(Dn, ChunkId);
+    file(0, -1, "", true);
+  )").ok());
+  std::vector<std::string> violations;
+  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+  engine.Tick(0);
+  EXPECT_TRUE(violations.empty());
+  // Orphan: parent 999 does not exist.
+  ASSERT_TRUE(engine.Enqueue("file", Tuple{Value(7), Value(999), Value("x"), Value(false)})
+                  .ok());
+  engine.Tick(1);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("orphan_inode"), std::string::npos);
+}
+
+TEST(MonitorTest, CleanBoomFsRaisesNoViolations) {
+  EngineOptions eopts;
+  eopts.address = "nn";
+  Engine engine(eopts);
+  ASSERT_TRUE(engine.InstallSource(BoomFsNnProgram()).ok());
+  std::vector<std::string> violations;
+  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+  engine.Tick(0);
+  // Drive a few namespace ops directly.
+  auto request = [&engine](int64_t id, const std::string& cmd, const std::string& path) {
+    ASSERT_TRUE(engine
+                    .Enqueue("ns_request",
+                             Tuple{Value("nn"), Value(id), Value("cl"), Value(cmd),
+                                   Value(path), Value()})
+                    .ok());
+  };
+  request(1, "mkdir", "/a");
+  engine.Tick(1);
+  engine.Tick(1);
+  request(2, "mkdir", "/a/b");
+  engine.Tick(2);
+  engine.Tick(2);
+  request(3, "create", "/a/b/f");
+  engine.Tick(3);
+  engine.Tick(3);
+  EXPECT_TRUE(violations.empty()) << violations[0];
+  // Sanity: metadata actually exists.
+  bool found = false;
+  engine.catalog().Get("fqpath").ForEach([&found](const Tuple& row) {
+    if (row[0] == Value("/a/b/f")) {
+      found = true;
+    }
+  });
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace boom

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/cluster.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+
+namespace boom {
+namespace {
+
+// A native actor that records the messages it receives.
+class Recorder : public Actor {
+ public:
+  explicit Recorder(std::string address) : Actor(std::move(address)) {}
+  void OnMessage(const Message& msg, Cluster& cluster) override {
+    received.push_back(msg);
+    times.push_back(cluster.now());
+  }
+  std::vector<Message> received;
+  std::vector<double> times;
+};
+
+// An actor that echoes every message back to its sender.
+class Echo : public Actor {
+ public:
+  explicit Echo(std::string address) : Actor(std::move(address)) {}
+  void OnMessage(const Message& msg, Cluster& cluster) override {
+    cluster.Send(address(), msg.from, "echo", msg.tuple);
+  }
+};
+
+TEST(ClusterTest, ScheduledEventsRunInOrder) {
+  Cluster c(1);
+  std::vector<int> order;
+  c.ScheduleAt(10, [&order] { order.push_back(2); });
+  c.ScheduleAt(5, [&order] { order.push_back(1); });
+  c.ScheduleAt(10, [&order] { order.push_back(3); });  // FIFO at equal times
+  c.RunUntil(20);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(c.now(), 20);
+}
+
+TEST(ClusterTest, ActorToActorMessage) {
+  Cluster c(1);
+  auto recorder = std::make_unique<Recorder>("sink");
+  Recorder* sink = recorder.get();
+  c.AddActor(std::move(recorder));
+  c.AddActor(std::make_unique<Echo>("echo"));
+  c.ScheduleAt(0, [&c] { c.Send("sink", "echo", "hello", Tuple{Value(1)}); });
+  c.RunUntil(100);
+  ASSERT_EQ(sink->received.size(), 1u);
+  EXPECT_EQ(sink->received[0].table, "echo");
+  EXPECT_GT(sink->times[0], 0);  // two network hops of latency
+}
+
+TEST(ClusterTest, DeterministicUnderSameSeed) {
+  auto run = [](uint64_t seed) {
+    Cluster c(seed);
+    auto recorder = std::make_unique<Recorder>("sink");
+    Recorder* sink = recorder.get();
+    c.AddActor(std::move(recorder));
+    c.AddActor(std::make_unique<Echo>("echo"));
+    for (int i = 0; i < 10; ++i) {
+      c.ScheduleAt(i, [&c, i] { c.Send("sink", "echo", "m", Tuple{Value(i)}); });
+    }
+    c.RunUntil(1000);
+    return sink->times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(ClusterTest, KilledNodeDropsMessages) {
+  Cluster c(1);
+  auto recorder = std::make_unique<Recorder>("sink");
+  Recorder* sink = recorder.get();
+  c.AddActor(std::move(recorder));
+  c.AddActor(std::make_unique<Echo>("echo"));
+  c.ScheduleAt(0, [&c] { c.Send("echo", "sink", "m", Tuple{Value(1)}); });
+  c.ScheduleAt(10, [&c] {
+    c.KillNode("sink");
+    c.Send("echo", "sink", "m", Tuple{Value(2)});
+  });
+  c.RunUntil(100);
+  EXPECT_EQ(sink->received.size(), 1u);
+  EXPECT_EQ(c.net_stats().dropped_dead, 1u);
+}
+
+TEST(ClusterTest, RestartRevivesActor) {
+  Cluster c(1);
+  auto recorder = std::make_unique<Recorder>("sink");
+  Recorder* sink = recorder.get();
+  c.AddActor(std::move(recorder));
+  c.AddActor(std::make_unique<Echo>("echo"));
+  c.ScheduleAt(10, [&c] { c.KillNode("sink"); });
+  c.ScheduleAt(20, [&c] { c.RestartNode("sink"); });
+  c.ScheduleAt(30, [&c] { c.Send("echo", "sink", "m", Tuple{Value(1)}); });
+  c.RunUntil(100);
+  EXPECT_EQ(sink->received.size(), 1u);
+}
+
+TEST(ClusterTest, BlockedLinkDropsBothDirections) {
+  Cluster c(1);
+  auto recorder = std::make_unique<Recorder>("sink");
+  Recorder* sink = recorder.get();
+  c.AddActor(std::move(recorder));
+  c.AddActor(std::make_unique<Echo>("echo"));
+  c.BlockLink("echo", "sink");
+  c.ScheduleAt(0, [&c] { c.Send("echo", "sink", "m", Tuple{Value(1)}); });
+  c.ScheduleAt(1, [&c] { c.Send("sink", "echo", "m", Tuple{Value(2)}); });
+  c.RunUntil(100);
+  EXPECT_EQ(sink->received.size(), 0u);
+  EXPECT_EQ(c.net_stats().dropped_partition, 2u);
+  c.UnblockLink("sink", "echo");
+  c.Send("echo", "sink", "m", Tuple{Value(3)});
+  c.RunUntil(200);
+  EXPECT_EQ(sink->received.size(), 1u);
+}
+
+TEST(ClusterTest, OverlogNodesExchangeMessages) {
+  Cluster c(7);
+  c.AddOverlogNode("n1", [](Engine& e) {
+    Status s = e.InstallSource(R"(
+      program pingpong;
+      event ping(Addr, From);
+      event pong(Addr, From);
+      table got_pong(From);
+      pong(@From, Me) :- ping(@Me, From);
+      got_pong(F) :- pong(_, F);
+    )");
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  });
+  c.AddOverlogNode("n2", [](Engine& e) {
+    Status s = e.InstallSource(R"(
+      program pingpong;
+      event ping(Addr, From);
+      event pong(Addr, From);
+      table got_pong(From);
+      pong(@From, Me) :- ping(@Me, From);
+      got_pong(F) :- pong(_, F);
+    )");
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  });
+  c.ScheduleAt(0, [&c] {
+    c.Send("n2", "n1", "ping", Tuple{Value("n1"), Value("n2")});
+  });
+  c.RunUntil(100);
+  const Table& got = c.engine("n2")->catalog().Get("got_pong");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(got.Contains(Tuple{Value("n1")}));
+}
+
+TEST(ClusterTest, OverlogTimerDrivesTicks) {
+  Cluster c(7);
+  c.AddOverlogNode("n1", [](Engine& e) {
+    Status s = e.InstallSource(R"(
+      program t;
+      timer hb(50);
+      table beats(T) keys(0);
+      table beat_count(K, N) keys(0);
+      beats(T) :- hb(_), T := f_now();
+      beat_count(1, count<T>) :- beats(T);
+    )");
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  });
+  c.RunUntil(500);
+  const Table& beats = c.engine("n1")->catalog().Get("beats");
+  // Timer fires at 50, 100, ..., 500 => 10 distinct timestamps.
+  EXPECT_EQ(beats.size(), 10u);
+}
+
+TEST(ClusterTest, FreshRestartWipesOverlogState) {
+  auto init = [](Engine& e) {
+    Status s = e.InstallSource(R"(
+      program t;
+      table log(X);
+    )");
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  };
+  Cluster c(7);
+  c.AddOverlogNode("n1", init);
+  c.ScheduleAt(0, [&c] { c.Send("n1", "n1", "log", Tuple{Value(1)}); });
+  c.RunUntil(10);
+  EXPECT_EQ(c.engine("n1")->catalog().Get("log").size(), 1u);
+  c.KillNode("n1");
+  c.RestartNode("n1", /*fresh_state=*/true);
+  EXPECT_EQ(c.engine("n1")->catalog().Get("log").size(), 0u);
+}
+
+TEST(ClusterTest, ServiceTimeSerializesRequests) {
+  Cluster c(1);
+  c.set_latency(LatencyModel{0, 0});
+  auto recorder = std::make_unique<Recorder>("server");
+  Recorder* server = recorder.get();
+  c.AddActor(std::move(recorder));
+  c.AddActor(std::make_unique<Echo>("client"));
+  c.SetServiceTime("server", [](const Message&) { return 10.0; });
+  c.ScheduleAt(0, [&c] {
+    for (int i = 0; i < 5; ++i) {
+      c.Send("client", "server", "req", Tuple{Value(i)});
+    }
+  });
+  c.RunUntil(1000);
+  ASSERT_EQ(server->times.size(), 5u);
+  // Serial 10ms service: completions at 10, 20, 30, 40, 50.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(server->times[i], 10.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    double x = a.Uniform(2, 3);
+    EXPECT_EQ(x, b.Uniform(2, 3));
+    EXPECT_GE(x, 2);
+    EXPECT_LT(x, 3);
+  }
+}
+
+TEST(RngTest, SampleDistinct) {
+  Rng r(5);
+  std::vector<size_t> s = r.Sample(10, 4);
+  ASSERT_EQ(s.size(), 4u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  EXPECT_EQ(r.Sample(3, 10).size(), 3u);
+}
+
+TEST(RngTest, LogNormalMedianRoughlyCorrect) {
+  Rng r(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(r.LogNormal(100, 0.5));
+  }
+  double med = Percentile(xs, 50);
+  EXPECT_NEAR(med, 100, 10);
+}
+
+TEST(StatsTest, Percentiles) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 10);
+  EXPECT_NEAR(Percentile(xs, 50), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0);
+}
+
+TEST(StatsTest, CdfMonotone) {
+  auto cdf = Cdf({3, 1, 2});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+  EXPECT_LT(cdf[0].second, cdf[1].second);
+}
+
+TEST(StatsTest, Summarize) {
+  Summary s = Summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+}
+
+}  // namespace
+}  // namespace boom

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/overlog/catalog.h"
+#include "src/overlog/table.h"
+
+namespace boom {
+namespace {
+
+TableDef KeyedDef() {
+  TableDef def;
+  def.name = "file";
+  def.columns = {"FileId", "ParentId", "Name"};
+  def.key_columns = {0};
+  return def;
+}
+
+TableDef SetDef() {
+  TableDef def;
+  def.name = "link";
+  def.columns = {"From", "To"};
+  return def;
+}
+
+TEST(TableTest, InsertAndLookupByKey) {
+  Table t(KeyedDef());
+  EXPECT_EQ(t.Insert(Tuple{Value(1), Value(0), Value("a")}), Table::InsertOutcome::kInserted);
+  const Tuple* row = t.LookupByKey(Tuple{Value(1)});
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[2], Value("a"));
+}
+
+TEST(TableTest, PrimaryKeyReplaces) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_EQ(t.Insert(Tuple{Value(1), Value(0), Value("b")}), Table::InsertOutcome::kReplaced);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ((*t.LookupByKey(Tuple{Value(1)}))[2], Value("b"));
+}
+
+TEST(TableTest, DuplicateInsertUnchanged) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_EQ(t.Insert(Tuple{Value(1), Value(0), Value("a")}), Table::InsertOutcome::kUnchanged);
+}
+
+TEST(TableTest, SetSemanticsWhenNoKeys) {
+  Table t(SetDef());
+  t.Insert(Tuple{Value(1), Value(2)});
+  t.Insert(Tuple{Value(1), Value(3)});
+  EXPECT_EQ(t.Insert(Tuple{Value(1), Value(2)}), Table::InsertOutcome::kUnchanged);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TableTest, EraseExactTupleOnly) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_FALSE(t.Erase(Tuple{Value(1), Value(0), Value("zzz")}));
+  EXPECT_TRUE(t.Erase(Tuple{Value(1), Value(0), Value("a")}));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TableTest, EraseByKey) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_TRUE(t.EraseByKey(Tuple{Value(1)}));
+  EXPECT_FALSE(t.EraseByKey(Tuple{Value(1)}));
+}
+
+TEST(TableTest, ProbeSecondaryIndex) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  t.Insert(Tuple{Value(2), Value(0), Value("b")});
+  t.Insert(Tuple{Value(3), Value(9), Value("c")});
+  const auto& rows = t.Probe({1}, Tuple{Value(0)});
+  EXPECT_EQ(rows.size(), 2u);
+  const auto& none = t.Probe({1}, Tuple{Value(42)});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(TableTest, ProbeIndexRefreshesAfterMutation) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_EQ(t.Probe({1}, Tuple{Value(0)}).size(), 1u);
+  t.Insert(Tuple{Value(2), Value(0), Value("b")});
+  EXPECT_EQ(t.Probe({1}, Tuple{Value(0)}).size(), 2u);
+  t.EraseByKey(Tuple{Value(1)});
+  EXPECT_EQ(t.Probe({1}, Tuple{Value(0)}).size(), 1u);
+}
+
+TEST(TableTest, EmptyProbeColsReturnsAllRows) {
+  Table t(SetDef());
+  t.Insert(Tuple{Value(1), Value(2)});
+  t.Insert(Tuple{Value(3), Value(4)});
+  EXPECT_EQ(t.Probe({}, Tuple{}).size(), 2u);
+}
+
+TEST(TableTest, ContainsChecksFullRow) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_TRUE(t.Contains(Tuple{Value(1), Value(0), Value("a")}));
+  EXPECT_FALSE(t.Contains(Tuple{Value(1), Value(0), Value("x")}));
+}
+
+
+// Regression sweep for incremental index maintenance: interleaved inserts, replacements,
+// erases, and probes must always match a brute-force scan.
+class IndexMaintenanceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexMaintenanceProperty, ProbeAlwaysMatchesScan) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_int_distribution<int> key(0, 40);
+  std::uniform_int_distribution<int> group(0, 5);
+  std::uniform_int_distribution<int> op(0, 9);
+
+  Table t(KeyedDef());  // file(FileId keys(0), ParentId, Name)
+  for (int step = 0; step < 500; ++step) {
+    int action = op(gen);
+    if (action < 6) {
+      // Insert or replace.
+      t.Insert(Tuple{Value(key(gen)), Value(group(gen)),
+                     Value("n" + std::to_string(step))});
+    } else if (action < 8) {
+      t.EraseByKey(Tuple{Value(key(gen))});
+    } else {
+      // Probe on the non-key column and cross-check against a full scan.
+      int g = group(gen);
+      const auto& via_index = t.Probe({1}, Tuple{Value(g)});
+      size_t scan_count = 0;
+      t.ForEach([&scan_count, g](const Tuple& row) {
+        if (row[1] == Value(g)) {
+          ++scan_count;
+        }
+      });
+      ASSERT_EQ(via_index.size(), scan_count) << "step " << step << " group " << g;
+      for (const Tuple* row : via_index) {
+        ASSERT_EQ((*row)[1], Value(g));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexMaintenanceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+TEST(TableTest, ProbeSurvivesRehash) {
+  // Growing the unordered_map must not invalidate cached index pointers between probes.
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(0), Value(0), Value("x")});
+  EXPECT_EQ(t.Probe({1}, Tuple{Value(0)}).size(), 1u);
+  for (int i = 1; i < 2000; ++i) {
+    t.Insert(Tuple{Value(i), Value(i % 7), Value("x")});
+  }
+  const auto& rows = t.Probe({1}, Tuple{Value(0)});
+  size_t expected = 0;
+  t.ForEach([&expected](const Tuple& row) {
+    if (row[1] == Value(0)) {
+      ++expected;
+    }
+  });
+  EXPECT_EQ(rows.size(), expected);
+  for (const Tuple* row : rows) {
+    EXPECT_EQ((*row)[1], Value(0));  // pointers still valid
+  }
+}
+
+TEST(CatalogTest, DeclareAndFind) {
+  Catalog c;
+  ASSERT_TRUE(c.Declare(KeyedDef()).ok());
+  EXPECT_TRUE(c.Has("file"));
+  EXPECT_NE(c.Find("file"), nullptr);
+  EXPECT_EQ(c.Find("nope"), nullptr);
+}
+
+TEST(CatalogTest, IdenticalRedeclareIsNoop) {
+  Catalog c;
+  ASSERT_TRUE(c.Declare(KeyedDef()).ok());
+  EXPECT_TRUE(c.Declare(KeyedDef()).ok());
+}
+
+TEST(CatalogTest, ConflictingRedeclareFails) {
+  Catalog c;
+  ASSERT_TRUE(c.Declare(KeyedDef()).ok());
+  TableDef other = KeyedDef();
+  other.columns.push_back("Extra");
+  EXPECT_FALSE(c.Declare(other).ok());
+}
+
+TEST(CatalogTest, ClearEventsOnlyClearsEvents) {
+  Catalog c;
+  TableDef ev;
+  ev.name = "req";
+  ev.columns = {"X"};
+  ev.kind = TableKind::kEvent;
+  ASSERT_TRUE(c.Declare(ev).ok());
+  ASSERT_TRUE(c.Declare(KeyedDef()).ok());
+  c.Get("req").Insert(Tuple{Value(1)});
+  c.Get("file").Insert(Tuple{Value(1), Value(0), Value("a")});
+  c.ClearEvents();
+  EXPECT_EQ(c.Get("req").size(), 0u);
+  EXPECT_EQ(c.Get("file").size(), 1u);
+}
+
+}  // namespace
+}  // namespace boom

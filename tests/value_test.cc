@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/overlog/tuple.h"
+#include "src/overlog/value.h"
+
+namespace boom {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value().is_nil());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{5}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(ValueList{Value(1)}).is_list());
+}
+
+TEST(ValueTest, NumericEqualityAcrossIntAndDouble) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+  EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(99), Value("a"));
+  EXPECT_LT(Value("z"), Value(ValueList{}));
+}
+
+TEST(ValueTest, StringOrder) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, ListOrderLexicographic) {
+  Value a(ValueList{Value(1), Value(2)});
+  Value b(ValueList{Value(1), Value(3)});
+  Value c(ValueList{Value(1)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);
+  EXPECT_EQ(a, Value(ValueList{Value(1), Value(2)}));
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_FALSE(Value(ValueList{}).Truthy());
+  EXPECT_TRUE(Value(1).Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(ValueList{Value(1), Value("a")}).ToString(), "[1, \"a\"]");
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  Tuple c{Value(1), Value("y")};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(TupleTest, Project) {
+  Tuple t{Value(1), Value(2), Value(3)};
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value(3));
+  EXPECT_EQ(p[1], Value(1));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  Tuple a{Value(1), Value(2)};
+  Tuple b{Value(1), Value(3)};
+  Tuple c{Value(1)};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(c < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(TupleTest, ToStringQuotesStrings) {
+  Tuple t{Value(1), Value("a b")};
+  EXPECT_EQ(t.ToString(), "(1, \"a b\")");
+}
+
+}  // namespace
+}  // namespace boom
