@@ -37,6 +37,15 @@ class DataNode : public Actor {
 
   size_t chunk_count() const { return chunks_.size(); }
   bool HasChunk(int64_t chunk_id) const { return chunks_.count(chunk_id) > 0; }
+  // Stored chunk ids in ascending order (chaos invariants audit these against the NameNode).
+  std::vector<int64_t> ChunkIds() const {
+    std::vector<int64_t> ids;
+    ids.reserve(chunks_.size());
+    for (const auto& [id, data] : chunks_) {
+      ids.push_back(id);
+    }
+    return ids;
+  }
   // Total stored bytes (for tests / examples).
   size_t stored_bytes() const;
 

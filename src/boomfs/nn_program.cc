@@ -17,6 +17,11 @@ table fchunk(ChunkId, FileId) keys(0);
 table datanode(Dn, LastHb) keys(0);
 table hb_chunk(Dn, ChunkId);
 table dn_load(Dn, Load) keys(0);
+// Tombstones for removed chunks: a DataNode that was down during the rm would otherwise
+// resurrect the chunk's location via its next full chunk report. Tombstones (not absence
+// from fchunk) gate reports so an HA replica that is still replaying the command log never
+// garbage-collects a chunk it merely has not heard of yet.
+table dead_chunk(ChunkId) keys(0);
 
 // The root directory.
 file(0, -1, "", true);
@@ -56,21 +61,29 @@ dp8 do_locations(R, C, A) :- ns_request(@Me, R, C, "locations", _, A);
 // existence checks read the pre-request state.
 /////////////////////////////////////////////////////////////////////////////
 event mkdir_ok(ReqId, Client, ParentId, BName);
+event mk_new(ParentId, BName);
 mk1 mkdir_ok(R, C, Par, N) :- do_mkdir(R, C, P), D := path_dirname(P),
                               N := path_basename(P), N != "",
                               fqpath(D, Par), file(Par, _, _, true),
                               notin fqpath(P, _);
-mk2 file(Id, Par, N, true)@next :- mkdir_ok(_, _, Par, N), Id := f_unique_id();
+// mk1b collapses same-tick duplicate requests for one (parent, name) into a single set-
+// semantics row, so two concurrent mkdirs of one path can never mint two file ids. Cross-
+// tick duplicates are already rejected by mk1's fqpath guard (fqpath materializes in the
+// same tick the file row lands).
+mk1b mk_new(Par, N) :- mkdir_ok(_, _, Par, N);
+mk2 file(Id, Par, N, true)@next :- mk_new(Par, N), Id := f_unique_id();
 mk3 ns_response(@C, R, true, nil)  :- mkdir_ok(R, C, _, _);
 mk4 ns_response(@C, R, false, "mkdir failed") :- do_mkdir(R, C, _),
                                                  notin mkdir_ok(R, _, _, _);
 
 event create_ok(ReqId, Client, ParentId, BName);
+event cr_new(ParentId, BName);
 cr1 create_ok(R, C, Par, N) :- do_create(R, C, P), D := path_dirname(P),
                                N := path_basename(P), N != "",
                                fqpath(D, Par), file(Par, _, _, true),
                                notin fqpath(P, _);
-cr2 file(Id, Par, N, false)@next :- create_ok(_, _, Par, N), Id := f_unique_id();
+cr1b cr_new(Par, N) :- create_ok(_, _, Par, N);
+cr2 file(Id, Par, N, false)@next :- cr_new(Par, N), Id := f_unique_id();
 cr3 ns_response(@C, R, true, nil) :- create_ok(R, C, _, _);
 cr4 ns_response(@C, R, false, "create failed") :- do_create(R, C, _),
                                                   notin create_ok(R, _, _, _);
@@ -104,6 +117,7 @@ rm4 delete fchunk(Ch, F)      :- rm_ok(_, _, F), fchunk(Ch, F);
 event dn_delete(Addr, ChunkId);
 rm7 dn_delete(@Dn, Ch) :- rm_ok(_, _, F), fchunk(Ch, F), hb_chunk(Dn, Ch);
 rm8 delete hb_chunk(Dn, Ch) :- rm_ok(_, _, F), fchunk(Ch, F), hb_chunk(Dn, Ch);
+rm9 dead_chunk(Ch) :- rm_ok(_, _, F), fchunk(Ch, F);
 rm5 ns_response(@C, R, true, nil) :- rm_ok(R, C, _);
 rm6 ns_response(@C, R, false, "rm failed") :- do_rm(R, C, _), notin rm_ok(R, _, _);
 
@@ -162,6 +176,14 @@ event dn_heartbeat(Addr, Dn);
 event dn_chunk_report(Addr, Dn, ChunkId);
 hb1 datanode(Dn, T) :- dn_heartbeat(_, Dn), T := f_now();
 hb2 hb_chunk(Dn, Ch) :- dn_chunk_report(_, Dn, Ch);
+// Distributed GC: a report of a tombstoned chunk means the DataNode missed the rm-time
+// dn_delete (it was down or the message was lost) — tell it again, and retract the
+// location row in the same timestep instead of resurrecting it. (A delete rule, not a
+// `notin dead_chunk` guard on hb2: the guard would close a negation cycle through the
+// dn_load aggregate and the addchunk placement rules.)
+hb3 dn_delete(@Dn, Ch) :- dn_chunk_report(_, Dn, Ch), dead_chunk(Ch);
+hb4 delete hb_chunk(Dn, Ch) :- dn_chunk_report(_, Dn, Ch), dead_chunk(Ch),
+                               hb_chunk(Dn, Ch);
 )olg";
 
 // Availability extension: failure detection + re-replication (toward revision F2).

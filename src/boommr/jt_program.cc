@@ -127,6 +127,21 @@ x3 attempt(J, T, A, TT, "failed", Pr, St, En, Sp)@next :-
 x4 task(J, T, Ty, "pending")@next :- tt_dead(TT),
                                      attempt(J, T, _, TT, "running", _, _, _, false),
                                      task(J, T, Ty, "running");
+
+// Attempt-level timeout (Hadoop's mapred.task.timeout): an attempt stuck "running" far
+// beyond any plausible duration — the assign was lost in flight, or the tracker crashed
+// and restarted before the dead-tracker timeout — is failed and its task re-queued. A
+// spuriously timed-out attempt that later completes anyway is harmless: the first
+// completion wins and duplicates are ignored.
+event attempt_stuck(JobId, TaskId, AttemptId, Tracker);
+x5 attempt_stuck(J, T, A, TT) :- tt_check(_),
+                                 attempt(J, T, A, TT, "running", _, St, _, _),
+                                 f_now() - St > $ATTTO;
+x6 attempt(J, T, A, TT, "failed", Pr, St, En, Sp)@next :-
+       attempt_stuck(J, T, A, TT), attempt(J, T, A, TT, "running", Pr, St, En, Sp);
+x7 task(J, T, Ty, "pending")@next :- attempt_stuck(J, T, _, TT),
+                                     attempt(J, T, _, TT, "running", _, _, _, false),
+                                     task(J, T, Ty, "running");
 )olg";
 
 // LATE speculative execution. When a tracker has a free slot and there is no pending work,
@@ -192,6 +207,7 @@ std::string BoomMrJtProgram(const JtProgramOptions& options) {
   std::string out = kSchedulerProgram;
   ReplaceAll(&out, "$TTCHECK", std::to_string(options.tracker_check_period_ms));
   ReplaceAll(&out, "$TTTO", std::to_string(options.tracker_timeout_ms));
+  ReplaceAll(&out, "$ATTTO", std::to_string(options.attempt_timeout_ms));
   if (options.policy == MrPolicy::kLate) {
     out += kLateProgram;
     ReplaceAll(&out, "$SPECCAP", std::to_string(options.speculative_cap));

@@ -26,6 +26,9 @@ struct JtProgramOptions {
   // TaskTracker failure detection: silent trackers lose their running attempts.
   double tracker_check_period_ms = 1000;
   double tracker_timeout_ms = 3000;
+  // Per-attempt timeout: a "running" attempt older than this is failed and re-queued
+  // (covers assigns lost in flight and trackers that bounced under the tracker timeout).
+  double attempt_timeout_ms = 10000;
 };
 
 // Returns the JobTracker Overlog program text.

@@ -9,6 +9,23 @@ namespace boom {
 
 void TaskTracker::OnStart(Cluster& cluster) {
   ++start_epoch_;
+  // Crash recovery: attempts that were in flight when the process died are re-executed from
+  // the recovered task list (their completion timers belonged to the previous epoch). The
+  // JobTracker may have re-assigned them elsewhere in the meantime; the metrics layer
+  // resolves the race by crowning only the first completion.
+  uint64_t epoch = start_epoch_;
+  for (auto& [attempt_id, attempt] : running_) {
+    attempt.start_ms = cluster.now();
+    int64_t id = attempt_id;
+    double duration = attempt.duration_ms;
+    cluster.ScheduleAfter(duration, [this, &cluster, id, epoch] {
+      if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+        return;
+      }
+      FinishAttempt(id, cluster);
+    });
+    ReportProgress(attempt_id, cluster);
+  }
   SendHeartbeat(cluster);
   HeartbeatLoop(cluster);
 }

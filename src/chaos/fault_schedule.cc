@@ -1,0 +1,200 @@
+#include "src/chaos/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/logging.h"
+#include "src/sim/random.h"
+
+namespace boom {
+
+namespace {
+
+std::string Fmt(const char* fmt, double a, double b = 0) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultEvent::ToString() const {
+  std::string out = Fmt("[%.1f +%.1f] ", start_ms, duration_ms);
+  switch (type) {
+    case FaultType::kCrash:
+      out += "crash " + node;
+      break;
+    case FaultType::kPartition: {
+      out += "partition {";
+      for (size_t i = 0; i < side_a.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += side_a[i];
+      }
+      out += "} | rest";
+      break;
+    }
+    case FaultType::kLinkDegrade:
+      out += "degrade " + link_a + "<->" + link_b;
+      out += Fmt(" drop=%.2f", faults.drop_prob);
+      out += Fmt(" dup=%.2f", faults.dup_prob);
+      out += Fmt(" reorder=%.2f", faults.reorder_prob);
+      out += Fmt(" lat=%.1fms", faults.extra_latency_ms);
+      break;
+  }
+  return out;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    out += "  " + ev.ToString() + "\n";
+  }
+  return out;
+}
+
+FaultSchedule GenerateFaultSchedule(uint64_t seed, const FaultGenOptions& o) {
+  // Decorrelate from the cluster seed (which scenarios also derive state from).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  FaultSchedule schedule;
+
+  if (!o.killable.empty() && o.max_crashes > 0) {
+    int n = static_cast<int>(rng.UniformInt(1, o.max_crashes));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kCrash;
+      ev.node = o.killable[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.killable.size()) - 1))];
+      ev.duration_ms = rng.Uniform(o.min_crash_ms, o.max_crash_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  if (o.partitionable.size() >= 2 && o.max_partitions > 0) {
+    // Partition windows are laid out left-to-right without overlap so a heal never
+    // unblocks pairs another active partition still needs.
+    int n = static_cast<int>(rng.UniformInt(0, o.max_partitions));
+    double cursor = 0;
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kPartition;
+      ev.start_ms = cursor + rng.Uniform(500, std::max(600.0, o.horizon_ms / (n + 1)));
+      ev.duration_ms = rng.Uniform(o.min_partition_ms, o.max_partition_ms);
+      if (ev.start_ms >= o.horizon_ms) {
+        break;
+      }
+      ev.duration_ms = std::min(ev.duration_ms, o.horizon_ms - ev.start_ms);
+      int64_t k = rng.UniformInt(1, static_cast<int64_t>(o.partitionable.size()) - 1);
+      for (size_t idx : rng.Sample(o.partitionable.size(), static_cast<size_t>(k))) {
+        ev.side_a.push_back(o.partitionable[idx]);
+      }
+      std::sort(ev.side_a.begin(), ev.side_a.end());
+      for (const std::string& n : o.all_nodes) {
+        if (std::find(ev.side_a.begin(), ev.side_a.end(), n) == ev.side_a.end()) {
+          ev.side_b.push_back(n);
+        }
+      }
+      cursor = ev.start_ms + ev.duration_ms + 200;
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  bool any_degrade = o.allow_drop || o.allow_dup || o.allow_reorder || o.allow_latency;
+  if (!o.degradable_links.empty() && o.max_degrades > 0 && any_degrade) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_degrades));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kLinkDegrade;
+      const auto& link = o.degradable_links[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.degradable_links.size()) - 1))];
+      ev.link_a = link.first;
+      ev.link_b = link.second;
+      ev.duration_ms = rng.Uniform(o.min_degrade_ms, o.max_degrade_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      // Sample every knob unconditionally so the draw sequence (and thus the rest of the
+      // schedule) does not depend on which knobs a scenario allows.
+      double drop = rng.Uniform(0.05, 0.35);
+      double dup = rng.Uniform(0.0, 0.25);
+      double reorder = rng.Uniform(0.0, 0.30);
+      double latency = rng.Uniform(0.0, 25.0);
+      ev.faults.drop_prob = o.allow_drop ? drop : 0;
+      ev.faults.dup_prob = o.allow_dup ? dup : 0;
+      ev.faults.reorder_prob = o.allow_reorder ? reorder : 0;
+      ev.faults.extra_latency_ms = o.allow_latency ? latency : 0;
+      if (!ev.faults.active()) {
+        continue;
+      }
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start_ms < b.start_ms;
+                   });
+  return schedule;
+}
+
+void ApplySchedule(Cluster& cluster, const FaultSchedule& schedule, bool fresh_state) {
+  for (const FaultEvent& ev : schedule.events) {
+    double start = std::max(ev.start_ms, cluster.now());
+    double end = start + ev.duration_ms;
+    switch (ev.type) {
+      case FaultType::kCrash: {
+        std::string node = ev.node;
+        cluster.ScheduleAt(start, [&cluster, node] {
+          if (cluster.IsAlive(node)) {
+            cluster.KillNode(node);
+          }
+        });
+        cluster.ScheduleAt(end, [&cluster, node, fresh_state] {
+          // Overlapping crash windows on one node: only the first due restart revives it.
+          if (!cluster.IsAlive(node)) {
+            cluster.RestartNode(node, fresh_state);
+          }
+        });
+        break;
+      }
+      case FaultType::kPartition: {
+        std::vector<std::string> inside = ev.side_a;
+        std::vector<std::string> outside = ev.side_b;
+        cluster.ScheduleAt(start, [&cluster, inside, outside] {
+          for (const std::string& a : inside) {
+            for (const std::string& b : outside) {
+              cluster.BlockLink(a, b);
+            }
+          }
+        });
+        cluster.ScheduleAt(end, [&cluster, inside, outside] {
+          for (const std::string& a : inside) {
+            for (const std::string& b : outside) {
+              cluster.UnblockLink(a, b);
+            }
+          }
+        });
+        break;
+      }
+      case FaultType::kLinkDegrade: {
+        std::string a = ev.link_a, b = ev.link_b;
+        LinkFaults f = ev.faults;
+        cluster.ScheduleAt(start, [&cluster, a, b, f] { cluster.SetLinkFaults(a, b, f); });
+        cluster.ScheduleAt(end, [&cluster, a, b] { cluster.ClearLinkFaults(a, b); });
+        break;
+      }
+    }
+  }
+}
+
+void HealAll(Cluster& cluster, const std::vector<std::string>& nodes, bool fresh_state) {
+  cluster.ClearBlockedLinks();
+  cluster.ClearAllLinkFaults();
+  for (const std::string& node : nodes) {
+    if (cluster.HasNode(node) && !cluster.IsAlive(node)) {
+      cluster.RestartNode(node, fresh_state);
+    }
+  }
+}
+
+}  // namespace boom

@@ -1,0 +1,89 @@
+// FaultSchedule: a deterministic timeline of fault windows — crashes (kill + later
+// restart), partitions (one group cut off from the rest), and link-degradation windows
+// (drop/duplicate/reorder/latency-spike) — generated from a single uint64 seed.
+//
+// Every window is self-contained (start + duration), so the shrinker can delete whole
+// windows and the remaining schedule still heals itself; the chaos runner additionally
+// force-heals everything at the horizon so a shrunk schedule that lost its tail cannot
+// fake a liveness violation.
+
+#ifndef SRC_CHAOS_FAULT_SCHEDULE_H_
+#define SRC_CHAOS_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+enum class FaultType {
+  kCrash,        // KillNode at start, RestartNode at start + duration
+  kPartition,    // side_a cut off from every other node
+  kLinkDegrade,  // LinkFaults applied to one link for the window
+};
+
+struct FaultEvent {
+  FaultType type = FaultType::kCrash;
+  double start_ms = 0;
+  double duration_ms = 0;
+  std::string node;                 // kCrash
+  std::vector<std::string> side_a;  // kPartition: the isolated group
+  std::vector<std::string> side_b;  // kPartition: everyone else (all_nodes - side_a)
+  std::string link_a, link_b;       // kLinkDegrade
+  LinkFaults faults;                // kLinkDegrade
+
+  std::string ToString() const;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  // One event per line, fixed-precision numbers — identical seeds print identical text.
+  std::string ToString() const;
+};
+
+// Knobs a scenario uses to describe which faults its protocol model tolerates and where
+// they may land. Scenarios that assume reliable FIFO links (TCP) disable drop/reorder.
+struct FaultGenOptions {
+  double horizon_ms = 20000;
+
+  // Upper bounds per fault type; the per-seed count is sampled in [lo, hi].
+  int max_crashes = 3;
+  int max_partitions = 2;
+  int max_degrades = 3;
+
+  double min_crash_ms = 800;
+  double max_crash_ms = 5000;
+  double min_partition_ms = 1500;
+  double max_partition_ms = 6000;
+  double min_degrade_ms = 1500;
+  double max_degrade_ms = 8000;
+
+  bool allow_drop = true;
+  bool allow_dup = true;
+  bool allow_reorder = true;
+  bool allow_latency = true;
+
+  std::vector<std::string> killable;       // crash targets
+  std::vector<std::string> partitionable;  // the isolated side is drawn from these
+  std::vector<std::string> all_nodes;      // partition: other side = all_nodes - side_a
+  std::vector<std::pair<std::string, std::string>> degradable_links;
+};
+
+// Deterministic: the same (seed, options) always yields the same schedule. The generator
+// has its own Rng — it never touches the cluster's stream.
+FaultSchedule GenerateFaultSchedule(uint64_t seed, const FaultGenOptions& options);
+
+// Schedules every window's start and end on the cluster's event queue. `fresh_state`
+// selects crash-recovery semantics for Overlog nodes (false = durable on-disk state).
+void ApplySchedule(Cluster& cluster, const FaultSchedule& schedule, bool fresh_state);
+
+// End-of-run normalization: restart anything dead, unblock all links, clear all faults.
+void HealAll(Cluster& cluster, const std::vector<std::string>& nodes, bool fresh_state);
+
+}  // namespace boom
+
+#endif  // SRC_CHAOS_FAULT_SCHEDULE_H_

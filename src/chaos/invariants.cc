@@ -1,0 +1,313 @@
+#include "src/chaos/invariants.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/datanode.h"
+
+namespace boom {
+
+namespace {
+
+// Reads a table as a vector of tuples; empty when the table (or engine) is missing —
+// a freshly restarted replica that has not reinstalled state yet is not a violation.
+std::vector<Tuple> ReadTable(Cluster& cluster, const std::string& node,
+                             const std::string& table) {
+  std::vector<Tuple> rows;
+  Engine* engine = cluster.engine(node);
+  if (engine == nullptr) {
+    return rows;
+  }
+  const Table* t = engine->catalog().Find(table);
+  if (t == nullptr) {
+    return rows;
+  }
+  t->ForEach([&rows](const Tuple& row) { rows.push_back(row); });
+  return rows;
+}
+
+}  // namespace
+
+// --- Paxos ---
+
+void PaxosAgreementChecker::Check(Cluster& cluster, bool /*final_check*/,
+                                  std::vector<std::string>* out) {
+  for (const std::string& p : peers_) {
+    for (const Tuple& row : ReadTable(cluster, p, "decided")) {
+      int64_t slot = row[0].as_int();
+      std::string cmd = row[1].ToString();
+      auto& mine = seen_[p];
+      auto it = mine.find(slot);
+      if (it != mine.end()) {
+        if (it->second != cmd) {
+          out->push_back(p + " rewrote decided slot " + std::to_string(slot) + ": " +
+                         it->second + " -> " + cmd);
+        }
+        continue;  // already cross-checked when first seen
+      }
+      mine[slot] = cmd;
+      auto chosen = chosen_.find(slot);
+      if (chosen == chosen_.end()) {
+        chosen_[slot] = {cmd, p};
+      } else if (chosen->second.first != cmd) {
+        out->push_back("slot " + std::to_string(slot) + " diverged: " +
+                       chosen->second.second + " decided " + chosen->second.first +
+                       " but " + p + " decided " + cmd);
+      }
+    }
+  }
+}
+
+void PaxosProgressChecker::Check(Cluster& cluster, bool final_check,
+                                 std::vector<std::string>* out) {
+  if (!final_check) {
+    return;
+  }
+  for (const std::string& p : peers_) {
+    if (!ReadTable(cluster, p, "decided").empty()) {
+      return;
+    }
+  }
+  out->push_back("no slot was decided by any replica despite healing");
+}
+
+// --- BOOM-FS ---
+
+void BoomFsInvariantChecker::Check(Cluster& cluster, bool final_check,
+                                   std::vector<std::string>* out) {
+  struct FileRow {
+    int64_t parent;
+    std::string name;
+    bool is_dir;
+  };
+  std::map<int64_t, FileRow> files;
+  std::set<std::pair<int64_t, std::string>> names_seen;
+  for (const Tuple& row : ReadTable(cluster, namenode_, "file")) {
+    int64_t id = row[0].as_int();
+    FileRow fr{row[1].as_int(), row[2].as_string(), row[3].Truthy()};
+    if (!files.emplace(id, fr).second) {
+      out->push_back("duplicate file id " + std::to_string(id));
+      continue;
+    }
+    if (id == 0) {
+      continue;  // the root has no parent
+    }
+    if (!names_seen.insert({fr.parent, fr.name}).second) {
+      out->push_back("two files named '" + fr.name + "' under parent " +
+                     std::to_string(fr.parent));
+    }
+  }
+
+  // Tree shape: every non-root entry hangs off an existing directory and reaches the root.
+  for (const auto& [id, fr] : files) {
+    if (id == 0) {
+      continue;
+    }
+    auto parent = files.find(fr.parent);
+    if (parent == files.end()) {
+      out->push_back("file " + std::to_string(id) + " ('" + fr.name +
+                     "') has missing parent " + std::to_string(fr.parent));
+      continue;
+    }
+    if (!parent->second.is_dir) {
+      out->push_back("file " + std::to_string(id) + " ('" + fr.name +
+                     "') nested under non-directory " + std::to_string(fr.parent));
+    }
+  }
+
+  // Recompute fully-qualified paths from `file` and compare with the fqpath view.
+  std::map<int64_t, std::string> paths;
+  std::function<const std::string*(int64_t, int)> path_of =
+      [&](int64_t id, int depth) -> const std::string* {
+    auto done = paths.find(id);
+    if (done != paths.end()) {
+      return &done->second;
+    }
+    if (depth > 64) {
+      return nullptr;  // cycle
+    }
+    auto it = files.find(id);
+    if (it == files.end()) {
+      return nullptr;
+    }
+    if (id == 0) {
+      return &(paths[0] = "/");
+    }
+    const std::string* parent = path_of(it->second.parent, depth + 1);
+    if (parent == nullptr) {
+      return nullptr;
+    }
+    std::string p = (*parent == "/") ? "/" + it->second.name
+                                     : *parent + "/" + it->second.name;
+    return &(paths[id] = std::move(p));
+  };
+  std::set<std::pair<std::string, int64_t>> expect_fq;
+  for (const auto& [id, fr] : files) {
+    const std::string* p = path_of(id, 0);
+    if (p == nullptr) {
+      out->push_back("file " + std::to_string(id) + " is not reachable from the root");
+      continue;
+    }
+    expect_fq.insert({*p, id});
+  }
+  std::set<std::pair<std::string, int64_t>> actual_fq;
+  for (const Tuple& row : ReadTable(cluster, namenode_, "fqpath")) {
+    actual_fq.insert({row[0].as_string(), row[1].as_int()});
+  }
+  for (const auto& e : expect_fq) {
+    if (!actual_fq.count(e)) {
+      out->push_back("fqpath missing " + e.first + " -> " + std::to_string(e.second));
+    }
+  }
+  for (const auto& a : actual_fq) {
+    if (!expect_fq.count(a)) {
+      out->push_back("fqpath has stale entry " + a.first + " -> " +
+                     std::to_string(a.second));
+    }
+  }
+
+  // Chunk ownership: every owned chunk belongs to an existing plain file; every reported
+  // location is for a chunk that is either owned or tombstoned (in transit to GC).
+  std::set<int64_t> owned;
+  for (const Tuple& row : ReadTable(cluster, namenode_, "fchunk")) {
+    int64_t chunk = row[0].as_int();
+    int64_t file = row[1].as_int();
+    owned.insert(chunk);
+    auto it = files.find(file);
+    if (it == files.end()) {
+      out->push_back("chunk " + std::to_string(chunk) + " owned by missing file " +
+                     std::to_string(file));
+    } else if (it->second.is_dir) {
+      out->push_back("chunk " + std::to_string(chunk) + " owned by directory " +
+                     std::to_string(file));
+    }
+  }
+  std::set<int64_t> dead;
+  for (const Tuple& row : ReadTable(cluster, namenode_, "dead_chunk")) {
+    dead.insert(row[0].as_int());
+  }
+  for (const Tuple& row : ReadTable(cluster, namenode_, "hb_chunk")) {
+    int64_t chunk = row[1].as_int();
+    if (!owned.count(chunk) && !dead.count(chunk)) {
+      out->push_back("orphan location: " + row[0].as_string() + " reports chunk " +
+                     std::to_string(chunk) + " that no file owns");
+    }
+  }
+
+  // Model conformance: every acknowledged operation (older than the ack slack) must be
+  // durably visible, and every acknowledged rm must stay gone (paths are never reused).
+  double cutoff = cluster.now() - ack_slack_ms_;
+  std::map<std::string, int64_t> by_path;
+  for (const auto& [path, id] : actual_fq) {
+    by_path[path] = id;
+  }
+  for (const auto& [path, entry] : model_->acked) {
+    if (entry.ack_ms > cutoff) {
+      continue;
+    }
+    auto it = by_path.find(path);
+    if (it == by_path.end()) {
+      out->push_back("acked path " + path + " is missing from the namespace");
+      continue;
+    }
+    auto fr = files.find(it->second);
+    if (fr != files.end() && fr->second.is_dir != entry.is_dir) {
+      out->push_back("acked path " + path + " changed type");
+    }
+  }
+  for (const auto& [path, ack_ms] : model_->removed) {
+    if (ack_ms <= cutoff && by_path.count(path)) {
+      out->push_back("acked rm of " + path + " did not stick");
+    }
+  }
+
+  if (!final_check) {
+    return;
+  }
+
+  // After heal + settle: no DataNode may store a chunk the namespace does not own (dead
+  // chunks must have been garbage-collected via the tombstone protocol), and every
+  // acknowledged write must read back byte-for-byte.
+  for (const std::string& dn : datanodes_) {
+    auto* datanode = dynamic_cast<DataNode*>(cluster.actor(dn));
+    if (datanode == nullptr) {
+      continue;
+    }
+    for (int64_t chunk : datanode->ChunkIds()) {
+      if (!owned.count(chunk)) {
+        out->push_back(dn + " still stores deleted chunk " + std::to_string(chunk));
+      }
+    }
+  }
+  SyncFs fs(cluster, client_, /*timeout_ms=*/60000);
+  for (const auto& [path, data] : model_->contents) {
+    std::string got;
+    if (!fs.ReadFile(path, &got)) {
+      out->push_back("acked file " + path + " is unreadable after heal");
+    } else if (got != data) {
+      out->push_back("acked file " + path + " read back wrong bytes");
+    }
+  }
+}
+
+// --- BOOM-MR ---
+
+void BoomMrExactlyOnceChecker::Check(Cluster& /*cluster*/, bool /*final_check*/,
+                                     std::vector<std::string>* out) {
+  const MrMetrics& metrics = data_plane_->metrics();
+  // (job, task, is_map) -> winning attempt count.
+  std::map<std::tuple<int64_t, int64_t, bool>, int> wins;
+  for (const AttemptRecord& a : metrics.attempts) {
+    if (a.won) {
+      if (a.end_ms < 0) {
+        out->push_back("job " + std::to_string(a.job_id) + " task " +
+                       std::to_string(a.task_id) + " marked won while still running");
+      }
+      wins[{a.job_id, a.task_id, a.is_map}]++;
+    }
+  }
+  for (const auto& [key, count] : wins) {
+    if (count > 1) {
+      const auto& [job, task, is_map] = key;
+      out->push_back("job " + std::to_string(job) + (is_map ? " map " : " reduce ") +
+                     std::to_string(task) + " succeeded on " + std::to_string(count) +
+                     " attempts");
+    }
+  }
+  // Completed jobs must have exactly one success per task (not zero).
+  for (const auto& [job, done_ms] : metrics.job_done_ms) {
+    auto shape = log_->job_shape.find(job);
+    if (shape == log_->job_shape.end()) {
+      continue;
+    }
+    const auto& [num_maps, num_reduces] = shape->second;
+    for (int t = 0; t < num_maps; ++t) {
+      if (!wins.count({job, t, true})) {
+        out->push_back("job " + std::to_string(job) + " completed but map " +
+                       std::to_string(t) + " never succeeded");
+      }
+    }
+    for (int t = 0; t < num_reduces; ++t) {
+      if (!wins.count({job, t, false})) {
+        out->push_back("job " + std::to_string(job) + " completed but reduce " +
+                       std::to_string(t) + " never succeeded");
+      }
+    }
+  }
+}
+
+void BoomMrCompletionChecker::Check(Cluster& /*cluster*/, bool final_check,
+                                    std::vector<std::string>* out) {
+  if (!final_check) {
+    return;
+  }
+  const MrMetrics& metrics = data_plane_->metrics();
+  for (int64_t job : log_->submitted) {
+    if (!metrics.job_done_ms.count(job)) {
+      out->push_back("job " + std::to_string(job) + " never completed after healing");
+    }
+  }
+}
+
+}  // namespace boom

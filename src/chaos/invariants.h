@@ -1,0 +1,141 @@
+// Reusable invariant checkers for the chaos explorer. Each checker inspects the cluster at
+// quiescent checkpoints (and once more, with final=true, after every fault has healed and
+// the system has settled) and reports violations as human-readable strings.
+//
+// The checkers encode the safety contracts of the three systems under test:
+//   - Paxos: no two replicas ever disagree on a decided slot, and a decided slot never
+//     changes on any single replica (cumulative across checkpoints, so a transient
+//     divergence is caught even if a later overwrite re-converges the logs).
+//   - BOOM-FS: the NameNode's relational metadata stays a well-formed tree that matches a
+//     sequential model built from acknowledged client operations, and after healing no
+//     DataNode stores a chunk the namespace does not own.
+//   - BOOM-MR: every task of a completed job ran to success on exactly one attempt.
+
+#ifndef SRC_CHAOS_INVARIANTS_H_
+#define SRC_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/boomfs/client.h"
+#include "src/boommr/mr_types.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+  virtual std::string name() const = 0;
+  // Appends one string per violation to `out`. `final_check` is true only for the last
+  // invocation, after HealAll + settle — liveness-flavoured checks belong there.
+  virtual void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) = 0;
+};
+
+// --- Paxos ---
+
+class PaxosAgreementChecker : public InvariantChecker {
+ public:
+  explicit PaxosAgreementChecker(std::vector<std::string> peers)
+      : peers_(std::move(peers)) {}
+  std::string name() const override { return "paxos-agreement"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::vector<std::string> peers_;
+  // Cumulative: slot -> (command, first replica seen deciding it).
+  std::map<int64_t, std::pair<std::string, std::string>> chosen_;
+  // Cumulative per replica: replica -> slot -> command (detects in-place rewrites).
+  std::map<std::string, std::map<int64_t, std::string>> seen_;
+};
+
+// Liveness (final only): at least one slot was decided somewhere despite the faults.
+class PaxosProgressChecker : public InvariantChecker {
+ public:
+  explicit PaxosProgressChecker(std::vector<std::string> peers)
+      : peers_(std::move(peers)) {}
+  std::string name() const override { return "paxos-progress"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::vector<std::string> peers_;
+};
+
+// --- BOOM-FS ---
+
+// Sequential model oracle maintained by the workload driver. One-directional by design:
+// under faults an operation may *apply* without its ack reaching the client, so only
+// acknowledged-successful operations carry obligations (they must be durably visible);
+// extra namespace entries from un-acked operations are legal.
+struct FsModel {
+  struct Entry {
+    bool is_dir = false;
+    double ack_ms = 0;  // virtual time the success ack was observed
+  };
+  std::map<std::string, Entry> acked;         // live paths the client was promised
+  std::map<std::string, double> removed;      // paths whose rm was acked (never reused)
+  std::map<std::string, std::string> contents;  // path -> bytes for acked WriteFile
+};
+
+class BoomFsInvariantChecker : public InvariantChecker {
+ public:
+  BoomFsInvariantChecker(std::string namenode, std::vector<std::string> datanodes,
+                         FsClient* client, std::shared_ptr<const FsModel> model)
+      : namenode_(std::move(namenode)),
+        datanodes_(std::move(datanodes)),
+        client_(client),
+        model_(std::move(model)) {}
+  std::string name() const override { return "boomfs-metadata"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::string namenode_;
+  std::vector<std::string> datanodes_;
+  FsClient* client_;
+  std::shared_ptr<const FsModel> model_;
+  // Acks racing the checkpoint: an op acked within this window may not have materialized
+  // into `file` yet (@next lands state one tick later).
+  double ack_slack_ms_ = 150;
+};
+
+// --- BOOM-MR ---
+
+// Shared between the workload driver (writer) and the checkers (readers).
+struct MrWorkloadLog {
+  std::vector<int64_t> submitted;                      // job ids, in submit order
+  std::map<int64_t, std::pair<int, int>> job_shape;    // job -> (num_maps, num_reduces)
+};
+
+class BoomMrExactlyOnceChecker : public InvariantChecker {
+ public:
+  BoomMrExactlyOnceChecker(std::shared_ptr<MrDataPlane> data_plane,
+                           std::shared_ptr<const MrWorkloadLog> log)
+      : data_plane_(std::move(data_plane)), log_(std::move(log)) {}
+  std::string name() const override { return "boommr-exactly-once"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<MrDataPlane> data_plane_;
+  std::shared_ptr<const MrWorkloadLog> log_;
+};
+
+// Liveness (final only): every submitted job completed once the cluster healed.
+class BoomMrCompletionChecker : public InvariantChecker {
+ public:
+  BoomMrCompletionChecker(std::shared_ptr<MrDataPlane> data_plane,
+                          std::shared_ptr<const MrWorkloadLog> log)
+      : data_plane_(std::move(data_plane)), log_(std::move(log)) {}
+  std::string name() const override { return "boommr-completion"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<MrDataPlane> data_plane_;
+  std::shared_ptr<const MrWorkloadLog> log_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_CHAOS_INVARIANTS_H_

@@ -1,0 +1,395 @@
+#include "src/chaos/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/base/logging.h"
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/client.h"
+#include "src/boomfs/datanode.h"
+#include "src/boomfs/nn_program.h"
+#include "src/boommr/boommr.h"
+#include "src/paxos/paxos_program.h"
+#include "src/sim/random.h"
+
+namespace boom {
+
+namespace {
+
+void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
+  size_t pos = 0;
+  while ((pos = s->find(from, pos)) != std::string::npos) {
+    s->replace(pos, from.size(), to);
+    pos += to.size();
+  }
+}
+
+// Removes one rule ("<label> head :- body;") from an Overlog program by label.
+void StripRule(std::string* src, const std::string& label) {
+  size_t pos = src->find("\n" + label + " ");
+  BOOM_CHECK(pos != std::string::npos) << "rule " << label << " not found";
+  size_t end = src->find(';', pos);
+  BOOM_CHECK(end != std::string::npos);
+  src->erase(pos, end - pos + 1);
+}
+
+// --- Paxos: three replicas, a steady command stream, agreement + progress checks ---
+
+class PaxosScenario : public ChaosScenario {
+ public:
+  explicit PaxosScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int i = 0; i < 3; ++i) {
+      peers_.push_back("px" + std::to_string(i));
+    }
+  }
+
+  std::string name() const override { return "paxos"; }
+  bool FreshStateOnRestart() const override { return options_.bug == "amnesia"; }
+
+  void Setup(Cluster& cluster, uint64_t /*seed*/) override {
+    for (int i = 0; i < static_cast<int>(peers_.size()); ++i) {
+      PaxosProgramOptions opts;
+      opts.peers = peers_;
+      opts.my_index = i;
+      std::string source = PaxosProgram(opts);
+      if (options_.bug == "quorum1") {
+        ReplaceAll(&source, "quorum(1, 2);", "quorum(1, 1);");
+      }
+      cluster.AddOverlogNode(peers_[static_cast<size_t>(i)], [source](Engine& engine) {
+        Status status = engine.InstallSource(source);
+        BOOM_CHECK(status.ok()) << status.ToString();
+      });
+    }
+    // Command stream: one batch every 250ms, submitted to every replica (only the majority
+    // side can decide; the losing side's queue drains after healing).
+    std::vector<std::string> peers = peers_;
+    for (int k = 0; 500 + k * 250 < horizon_ms() - 1500; ++k) {
+      cluster.ScheduleAt(500 + k * 250, [&cluster, peers, k] {
+        for (const std::string& p : peers) {
+          cluster.Send(p, p, "px_request",
+                       Tuple{Value(p), Value("cmd-" + std::to_string(k))});
+        }
+      });
+    }
+    checkers_.push_back(std::make_unique<PaxosAgreementChecker>(peers_));
+    checkers_.push_back(std::make_unique<PaxosProgressChecker>(peers_));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    o.killable = peers_;
+    o.partitionable = peers_;
+    o.all_nodes = peers_;
+    for (size_t a = 0; a < peers_.size(); ++a) {
+      for (size_t b = a + 1; b < peers_.size(); ++b) {
+        o.degradable_links.push_back({peers_[a], peers_[b]});
+      }
+    }
+    // The Overlog Paxos rides on TCP in the paper's deployment: links may slow down or
+    // duplicate (retransmits), but never lose or reorder a delivered stream. Crashes and
+    // partitions are the faults the protocol itself must absorb.
+    o.allow_drop = false;
+    o.allow_reorder = false;
+    o.max_crashes = 2;
+    o.min_crash_ms = 800;
+    o.max_crash_ms = 4000;
+    o.max_partitions = 2;
+    o.min_partition_ms = 1500;
+    o.max_partition_ms = 5000;
+    o.max_degrades = 2;
+    o.min_degrade_ms = 1500;
+    o.max_degrade_ms = 6000;
+    return o;
+  }
+
+ private:
+  ScenarioOptions options_;
+  std::vector<std::string> peers_;
+};
+
+// --- BOOM-FS: Overlog NameNode + DataNode churn + random metadata/data workload ---
+
+class BoomFsScenario : public ChaosScenario {
+ public:
+  explicit BoomFsScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int i = 0; i < kNumDataNodes; ++i) {
+      datanodes_.push_back(nn_ + "_dn" + std::to_string(i));
+    }
+  }
+
+  std::string name() const override { return "boomfs"; }
+
+  void Setup(Cluster& cluster, uint64_t seed) override {
+    NnProgramOptions prog;
+    prog.replication_factor = 3;
+    prog.heartbeat_timeout_ms = 1200;
+    prog.failure_check_period_ms = 400;
+    std::string source = BoomFsNnProgram(prog);
+    if (options_.bug == "resurrect") {
+      // Without the tombstone protocol a DataNode that missed the rm-time dn_delete
+      // resurrects the chunk's location on its next full report, and never drops the bytes.
+      StripRule(&source, "rm9");
+      StripRule(&source, "hb3");
+      StripRule(&source, "hb4");
+    }
+    cluster.AddOverlogNode(nn_, [source](Engine& engine) {
+      Status status = engine.InstallSource(source);
+      BOOM_CHECK(status.ok()) << status.ToString();
+    });
+    for (const std::string& dn : datanodes_) {
+      DataNodeOptions dn_opts;
+      dn_opts.namenode = nn_;
+      dn_opts.heartbeat_period_ms = 300;
+      dn_opts.full_report_every = 4;
+      cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
+    }
+    FsClientOptions client_opts;
+    client_opts.namenode = nn_;
+    client_opts.chunk_size = 24;  // small files still span several chunks
+    auto client = std::make_unique<FsClient>(client_, client_opts);
+    FsClient* client_ptr = client.get();
+    cluster.AddActor(std::move(client));
+
+    auto work = std::make_shared<Work>(seed);
+    for (double t = 1500; t < horizon_ms() - 1000; t += 250) {
+      cluster.ScheduleAt(t, [&cluster, client_ptr, work] {
+        Step(cluster, client_ptr, work);
+      });
+    }
+    checkers_.push_back(std::make_unique<BoomFsInvariantChecker>(
+        nn_, datanodes_, client_ptr, work->model));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    // Only the data plane degrades: the client <-> NameNode path models a reliable local
+    // connection (namespace requests are not idempotent and have no retry protocol).
+    o.killable = datanodes_;
+    o.partitionable = datanodes_;
+    o.all_nodes = datanodes_;
+    o.all_nodes.push_back(nn_);
+    o.all_nodes.push_back(client_);
+    for (const std::string& dn : datanodes_) {
+      o.degradable_links.push_back({nn_, dn});
+    }
+    o.max_crashes = 3;
+    o.min_crash_ms = 800;
+    o.max_crash_ms = 4000;
+    o.max_partitions = 2;
+    o.min_partition_ms = 1500;
+    o.max_partition_ms = 5000;
+    o.max_degrades = 3;
+    o.min_degrade_ms = 1500;
+    o.max_degrade_ms = 6000;
+    return o;
+  }
+
+ private:
+  static constexpr int kNumDataNodes = 5;
+
+  struct Work {
+    explicit Work(uint64_t seed)
+        : rng(seed ^ 0xABCDEF0123456789ULL), model(std::make_shared<FsModel>()) {}
+    Rng rng;
+    std::shared_ptr<FsModel> model;
+    std::set<std::string> in_flight;  // paths with a pending rm (never double-issue)
+    int next_dir = 0;
+    int next_file = 0;
+  };
+
+  static void Step(Cluster& cluster, FsClient* client, std::shared_ptr<Work> work) {
+    auto& m = *work->model;
+    std::vector<std::string> dirs = {""};  // "" = the root as a parent prefix
+    for (const auto& [path, entry] : m.acked) {
+      if (entry.is_dir) {
+        dirs.push_back(path);
+      }
+    }
+    auto pick_dir = [&] {
+      return dirs[static_cast<size_t>(
+          work->rng.UniformInt(0, static_cast<int64_t>(dirs.size()) - 1))];
+    };
+    double r = work->rng.Uniform(0, 1);
+    if (r < 0.2) {
+      std::string path = "/d" + std::to_string(work->next_dir++);
+      client->Mkdir(cluster, path, [&cluster, work, path](bool ok, const Value&) {
+        if (ok) {
+          work->model->acked[path] = {true, cluster.now()};
+        }
+      });
+    } else if (r < 0.55) {
+      std::string path = pick_dir() + "/f" + std::to_string(work->next_file++);
+      client->CreateFile(cluster, path, [&cluster, work, path](bool ok, const Value&) {
+        if (ok) {
+          work->model->acked[path] = {false, cluster.now()};
+        }
+      });
+    } else if (r < 0.8) {
+      std::string path = pick_dir() + "/w" + std::to_string(work->next_file++);
+      std::string data;
+      while (data.size() < 60) {
+        data += path + "|";
+      }
+      client->WriteFile(cluster, path, data, [&cluster, work, path, data](bool ok) {
+        if (ok) {
+          work->model->acked[path] = {false, cluster.now()};
+          work->model->contents[path] = data;
+        }
+      });
+    } else {
+      std::vector<std::string> victims;
+      for (const auto& [path, entry] : m.acked) {
+        if (!entry.is_dir && !work->in_flight.count(path)) {
+          victims.push_back(path);
+        }
+      }
+      if (victims.empty()) {
+        return;
+      }
+      std::string path = victims[static_cast<size_t>(
+          work->rng.UniformInt(0, static_cast<int64_t>(victims.size()) - 1))];
+      work->in_flight.insert(path);
+      client->Rm(cluster, path, [&cluster, work, path](bool ok, const Value&) {
+        work->in_flight.erase(path);
+        if (ok) {
+          work->model->acked.erase(path);
+          work->model->contents.erase(path);
+          work->model->removed[path] = cluster.now();
+        }
+      });
+    }
+  }
+
+  ScenarioOptions options_;
+  std::string nn_ = "nn";
+  std::string client_ = "nn_client";
+  std::vector<std::string> datanodes_;
+};
+
+// --- BOOM-MR: Overlog JobTracker + TaskTracker churn + a stream of jobs ---
+
+class BoomMrScenario : public ChaosScenario {
+ public:
+  explicit BoomMrScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int i = 0; i < kNumTrackers; ++i) {
+      trackers_.push_back(jt_ + "_tt" + std::to_string(i));
+    }
+  }
+
+  std::string name() const override { return "boommr"; }
+  double default_horizon_ms() const override { return 22000; }
+  double default_settle_ms() const override { return 20000; }
+
+  void Setup(Cluster& cluster, uint64_t /*seed*/) override {
+    MrSetupOptions opts;
+    opts.kind = MrKind::kBoomMr;
+    opts.jobtracker = jt_;
+    opts.num_trackers = kNumTrackers;
+    opts.map_slots = 2;
+    opts.reduce_slots = 2;
+    MrHandles handles = SetupMr(cluster, opts);
+    MrClient* client = handles.client;
+    data_plane_ = handles.data_plane;
+
+    auto log = std::make_shared<MrWorkloadLog>();
+    for (double t = 1000; t < horizon_ms() - 4000; t += 5000) {
+      cluster.ScheduleAt(t, [&cluster, client, log] {
+        JobSpec spec;
+        spec.job_id = client->NextJobId();
+        spec.client = client->address();
+        spec.num_maps = 6;
+        spec.num_reduces = 3;
+        spec.duration_ms = [](const TaskRef& task, const std::string&) {
+          return 150.0 + ((task.job_id * 31 + task.task_id * 17) % 5) * 40.0;
+        };
+        log->submitted.push_back(spec.job_id);
+        log->job_shape[spec.job_id] = {spec.num_maps, spec.num_reduces};
+        client->Submit(cluster, std::move(spec), [](double) {});
+      });
+    }
+    checkers_.push_back(std::make_unique<BoomMrExactlyOnceChecker>(data_plane_, log));
+    checkers_.push_back(std::make_unique<BoomMrCompletionChecker>(data_plane_, log));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    o.killable = trackers_;
+    o.partitionable = trackers_;
+    o.all_nodes = trackers_;
+    o.all_nodes.push_back(jt_);
+    o.all_nodes.push_back(jt_ + "_client");
+    for (const std::string& tt : trackers_) {
+      o.degradable_links.push_back({jt_, tt});
+    }
+    // Control-plane messages (assignments, completions) have no retransmit protocol, so
+    // like the real deployment they assume TCP: only latency spikes degrade the links.
+    // Partitions outlast the JobTracker's 3s tracker timeout so reassignment fires.
+    o.allow_drop = false;
+    o.allow_dup = false;
+    o.allow_reorder = false;
+    o.max_crashes = 3;
+    o.min_crash_ms = 1000;
+    o.max_crash_ms = 4000;
+    o.max_partitions = 2;
+    o.min_partition_ms = 4000;
+    o.max_partition_ms = 6000;
+    o.max_degrades = 2;
+    o.min_degrade_ms = 1500;
+    o.max_degrade_ms = 6000;
+    return o;
+  }
+
+ private:
+  static constexpr int kNumTrackers = 5;
+
+  ScenarioOptions options_;
+  std::string jt_ = "jt";
+  std::vector<std::string> trackers_;
+  std::shared_ptr<MrDataPlane> data_plane_;
+};
+
+}  // namespace
+
+namespace {
+
+bool KnownBug(const std::string& scenario, const std::string& bug) {
+  if (bug.empty()) {
+    return true;
+  }
+  if (scenario == "paxos") {
+    return bug == "quorum1" || bug == "amnesia";
+  }
+  if (scenario == "boomfs") {
+    return bug == "resurrect";
+  }
+  return false;  // boommr has no bug variants yet
+}
+
+}  // namespace
+
+std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
+                                            const ScenarioOptions& options) {
+  // Rejecting unknown bug names matters: a typo'd --bug would otherwise sweep the
+  // *correct* implementation and report it green under the misspelled bug's banner.
+  if (!KnownBug(name, options.bug)) {
+    return nullptr;
+  }
+  if (name == "paxos") {
+    return std::make_unique<PaxosScenario>(options);
+  }
+  if (name == "boomfs") {
+    return std::make_unique<BoomFsScenario>(options);
+  }
+  if (name == "boommr") {
+    return std::make_unique<BoomMrScenario>(options);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioNames() { return {"paxos", "boomfs", "boommr"}; }
+
+}  // namespace boom

@@ -1,0 +1,66 @@
+// ChaosScenario: one system-under-test wired for the chaos explorer — how to build the
+// cluster, which workload to drive, which faults its deployment assumptions tolerate, and
+// which invariants must hold. A scenario instance is single-use: make one per run.
+//
+// Bug variants (ScenarioOptions::bug) deliberately re-introduce a subtle defect so the
+// explorer's find-and-shrink loop can be validated end to end:
+//   paxos:  "quorum1"  — quorum size 1: a partitioned minority leader can decide alone.
+//           "amnesia"  — replicas restart with fresh state, forgetting promises/accepts.
+//   boomfs: "resurrect" — drops the dead-chunk tombstone rules: a DataNode that missed an
+//           rm re-registers the deleted chunk via its next full report.
+
+#ifndef SRC_CHAOS_SCENARIO_H_
+#define SRC_CHAOS_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/invariants.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+struct ScenarioOptions {
+  std::string bug;  // empty = correct implementation
+};
+
+class ChaosScenario {
+ public:
+  virtual ~ChaosScenario() = default;
+
+  virtual std::string name() const = 0;
+  // Builds the system and schedules its workload inside `cluster`. Also populates
+  // checkers(). Must be called exactly once.
+  virtual void Setup(Cluster& cluster, uint64_t seed) = 0;
+  // The fault envelope this system's deployment assumptions tolerate (e.g. Paxos assumes
+  // TCP links, so loss/reorder are off; crash windows and partitions are fair game).
+  virtual FaultGenOptions FaultProfile() const = 0;
+  // Crash-recovery semantics: false = durable state survives a restart.
+  virtual bool FreshStateOnRestart() const { return false; }
+
+  virtual double default_horizon_ms() const { return 20000; }
+  virtual double default_settle_ms() const { return 15000; }
+
+  const std::vector<std::unique_ptr<InvariantChecker>>& checkers() const {
+    return checkers_;
+  }
+
+  // The runner fixes the effective horizon before Setup so the workload can bound itself.
+  void set_horizon_ms(double h) { horizon_ms_ = h; }
+  double horizon_ms() const { return horizon_ms_ > 0 ? horizon_ms_ : default_horizon_ms(); }
+
+ protected:
+  std::vector<std::unique_ptr<InvariantChecker>> checkers_;
+  double horizon_ms_ = 0;
+};
+
+// Factory for {"paxos", "boomfs", "boommr"}; returns nullptr for unknown names.
+std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
+                                            const ScenarioOptions& options = {});
+std::vector<std::string> ScenarioNames();
+
+}  // namespace boom
+
+#endif  // SRC_CHAOS_SCENARIO_H_

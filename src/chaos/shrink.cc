@@ -1,0 +1,81 @@
+#include "src/chaos/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace boom {
+
+namespace {
+
+FaultSchedule Subset(const FaultSchedule& from, const std::vector<size_t>& keep) {
+  FaultSchedule out;
+  for (size_t i : keep) {
+    out.events.push_back(from.events[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkSchedule(const FaultSchedule& failing,
+                            const std::function<bool(const FaultSchedule&)>& still_fails,
+                            int max_runs) {
+  ShrinkResult result;
+  result.schedule = failing;
+
+  // Fast path: does it fail with no faults at all? (A bug that needs no faults shrinks to
+  // the empty schedule immediately.)
+  if (max_runs > 0) {
+    ++result.runs;
+    if (still_fails(FaultSchedule{})) {
+      result.schedule.events.clear();
+      return result;
+    }
+  }
+
+  std::vector<size_t> current(failing.events.size());
+  for (size_t i = 0; i < current.size(); ++i) {
+    current[i] = i;
+  }
+
+  size_t granularity = 2;
+  while (current.size() >= 2 && result.runs < max_runs) {
+    size_t n = std::min(granularity, current.size());
+    size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    // Try deleting each chunk (ddmin's "complement" step; with n == size this degenerates
+    // to removing single events).
+    for (size_t start = 0; start < current.size() && result.runs < max_runs;
+         start += chunk) {
+      std::vector<size_t> candidate;
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate.push_back(current[i]);
+        }
+      }
+      if (candidate.size() == current.size()) {
+        continue;
+      }
+      ++result.runs;
+      if (still_fails(Subset(failing, candidate))) {
+        current = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) {
+        break;  // 1-minimal: no single event can be removed
+      }
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+
+  // A failing singleton may still remain shrinkable to zero only via the fast path above,
+  // so `current` is the answer.
+  result.schedule = Subset(failing, current);
+  return result;
+}
+
+}  // namespace boom

@@ -1,0 +1,28 @@
+// Failing-seed shrinker: ddmin-style delta debugging over a fault schedule's event list.
+// Given a schedule known to violate an invariant and a predicate that re-runs the scenario,
+// it searches for a minimal sub-schedule that still fails. Events are self-contained
+// windows, so any subset is itself a well-formed schedule.
+
+#ifndef SRC_CHAOS_SHRINK_H_
+#define SRC_CHAOS_SHRINK_H_
+
+#include <functional>
+
+#include "src/chaos/fault_schedule.h"
+
+namespace boom {
+
+struct ShrinkResult {
+  FaultSchedule schedule;  // smallest schedule found that still fails
+  int runs = 0;            // predicate invocations spent
+};
+
+// `still_fails` must be deterministic (same schedule -> same verdict). `max_runs` bounds
+// the search; the best schedule found so far is returned when the budget is exhausted.
+ShrinkResult ShrinkSchedule(const FaultSchedule& failing,
+                            const std::function<bool(const FaultSchedule&)>& still_fails,
+                            int max_runs = 64);
+
+}  // namespace boom
+
+#endif  // SRC_CHAOS_SHRINK_H_

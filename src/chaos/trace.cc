@@ -1,0 +1,18 @@
+#include "src/chaos/trace.h"
+
+namespace boom {
+
+void TraceRecorder::Attach(Cluster& cluster) {
+  cluster.set_trace([this](const std::string& line) { Record(line); });
+}
+
+std::string TraceRecorder::ToString() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,36 @@
+// TraceRecorder: captures the cluster's fault/network trace as an ordered list of text
+// lines. Because the cluster emits fixed-precision, heap-address-free lines, two runs with
+// the same seed and schedule must produce byte-identical traces — which is what the
+// determinism regression test asserts, and what makes a recorded failure replayable.
+
+#ifndef SRC_CHAOS_TRACE_H_
+#define SRC_CHAOS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/cluster.h"
+
+namespace boom {
+
+class TraceRecorder {
+ public:
+  // Registers this recorder as the cluster's trace sink. The recorder must outlive the
+  // cluster's last event.
+  void Attach(Cluster& cluster);
+
+  void Record(std::string line) { lines_.push_back(std::move(line)); }
+  const std::vector<std::string>& lines() const { return lines_; }
+  size_t size() const { return lines_.size(); }
+  void Clear() { lines_.clear(); }
+
+  // All lines joined with '\n' (trailing newline included when non-empty).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_CHAOS_TRACE_H_

@@ -128,6 +128,7 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
       }
       chunk_file_.erase(chunk);
       chunk_locs_.erase(chunk);
+      dead_chunks_.insert(chunk);
     }
     file_chunks_.erase(node->id);
     children_.erase({node->parent, node->name});
@@ -230,7 +231,15 @@ void HdfsNameNode::OnMessage(const Message& msg, Cluster& cluster) {
     return;
   }
   if (msg.table == kDnChunkReport) {
-    chunk_locs_[msg.tuple[2].as_int()].insert(msg.tuple[1].as_string());
+    // A report of a deleted chunk means the DataNode missed the rm-time delete (it was down
+    // or the message was lost): re-issue the delete instead of resurrecting the location.
+    int64_t chunk = msg.tuple[2].as_int();
+    const std::string& dn = msg.tuple[1].as_string();
+    if (dead_chunks_.count(chunk) > 0) {
+      cluster.Send(address(), dn, kDnDelete, Tuple{Value(dn), Value(chunk)});
+      return;
+    }
+    chunk_locs_[chunk].insert(dn);
     return;
   }
   BOOM_LOG(Warning) << "HdfsNameNode: unknown message " << msg.table;

@@ -62,6 +62,7 @@ class HdfsNameNode : public Actor {
   std::map<int64_t, std::vector<int64_t>> file_chunks_;   // file -> ordered chunks
   std::map<int64_t, int64_t> chunk_file_;                 // chunk -> file
   std::map<int64_t, std::set<std::string>> chunk_locs_;   // chunk -> datanodes
+  std::set<int64_t> dead_chunks_;                         // rm tombstones (gates reports)
   std::map<std::string, double> datanodes_;               // datanode -> last heartbeat
   int64_t next_id_ = 1;
   uint64_t start_epoch_ = 0;

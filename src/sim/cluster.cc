@@ -1,6 +1,7 @@
 #include "src/sim/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/base/logging.h"
 
@@ -78,6 +79,55 @@ bool Cluster::LinkBlocked(const std::string& a, const std::string& b) const {
   return blocked_.count({a, b}) > 0 || blocked_.count({b, a}) > 0;
 }
 
+namespace {
+// Normalized (unordered) link key so faults set on (a,b) apply to (b,a) too.
+std::pair<std::string, std::string> LinkKey(const std::string& a, const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+const LinkFaults* Cluster::FindLinkFaults(const std::string& a, const std::string& b) const {
+  auto it = link_faults_.find(LinkKey(a, b));
+  return it == link_faults_.end() ? nullptr : &it->second;
+}
+
+void Cluster::SetLinkFaults(const std::string& a, const std::string& b, LinkFaults faults) {
+  if (!faults.active()) {
+    ClearLinkFaults(a, b);
+    return;
+  }
+  link_faults_[LinkKey(a, b)] = faults;
+  Trace("faults", a, b, "set");
+}
+
+void Cluster::ClearLinkFaults(const std::string& a, const std::string& b) {
+  if (link_faults_.erase(LinkKey(a, b)) > 0) {
+    Trace("faults", a, b, "clear");
+  }
+}
+
+void Cluster::ClearAllLinkFaults() { link_faults_.clear(); }
+
+void Cluster::Trace(const char* kind, const std::string& from, const std::string& to,
+                    const std::string& detail) {
+  if (!trace_) {
+    return;
+  }
+  char head[64];
+  std::snprintf(head, sizeof(head), "t=%.3f %s ", now_ms_, kind);
+  std::string line = head;
+  line += from;
+  if (!to.empty()) {
+    line += ">";
+    line += to;
+  }
+  if (!detail.empty()) {
+    line += " ";
+    line += detail;
+  }
+  trace_(line);
+}
+
 double Cluster::SampleLatency() {
   double jitter = latency_.jitter_ms > 0 ? rng_.Uniform(0, latency_.jitter_ms) : 0;
   return latency_.base_ms + jitter;
@@ -86,15 +136,43 @@ double Cluster::SampleLatency() {
 void Cluster::Send(const std::string& from, const std::string& to, const std::string& table,
                    Tuple tuple, double extra_delay_ms) {
   ++net_stats_.messages;
+  const LinkFaults* faults =
+      (link_faults_.empty() || from == to) ? nullptr : FindLinkFaults(from, to);
+  // All fault sampling is gated on a fault actually being configured for the link so that
+  // fault-free runs consume the exact same Rng stream as before the chaos harness existed.
+  if (faults != nullptr && faults->drop_prob > 0 && rng_.Bernoulli(faults->drop_prob)) {
+    ++net_stats_.dropped_fault;
+    Trace("dropF", from, to, table);
+    return;
+  }
   Message msg{from, to, table, std::move(tuple)};
   double delay = (from == to ? 0.0 : SampleLatency()) + extra_delay_ms;
+  if (faults != nullptr) {
+    delay += faults->extra_latency_ms;
+  }
   // Per-link FIFO (TCP semantics): jitter must not reorder messages on one link. Protocol
   // correctness can depend on it — e.g. a Paxos promise must not overtake the accepted-value
-  // stream sent just before it.
+  // stream sent just before it. A reordered message bypasses the clamp (and does not advance
+  // it), modeling a UDP-like link during a degradation window.
   double arrival = now_ms_ + delay;
   double& last = link_last_arrival_[{from, to}];
-  arrival = std::max(arrival, last);
-  last = arrival;
+  if (faults != nullptr && faults->reorder_prob > 0 && rng_.Bernoulli(faults->reorder_prob)) {
+    ++net_stats_.reordered;
+    arrival += rng_.Uniform(0, std::max(0.001, faults->reorder_window_ms));
+  } else {
+    arrival = std::max(arrival, last);
+    last = arrival;
+  }
+  if (faults != nullptr && faults->dup_prob > 0 && rng_.Bernoulli(faults->dup_prob)) {
+    ++net_stats_.duplicated;
+    double dup_arrival =
+        arrival + rng_.Uniform(0, std::max(0.001, faults->reorder_window_ms));
+    Message copy = msg;
+    Trace("dup", from, to, table);
+    ScheduleAt(dup_arrival, [this, copy = std::move(copy)]() mutable {
+      DeliverMessage(std::move(copy));
+    });
+  }
   ScheduleAt(arrival, [this, msg = std::move(msg)]() mutable {
     DeliverMessage(std::move(msg));
   });
@@ -113,12 +191,15 @@ void Cluster::DeliverMessage(Message msg) {
   Node* dst = FindNode(msg.to);
   if (dst == nullptr || !dst->alive || (src != nullptr && !src->alive && msg.from != msg.to)) {
     ++net_stats_.dropped_dead;
+    Trace("dropD", msg.from, msg.to, msg.table);
     return;
   }
   if (LinkBlocked(msg.from, msg.to)) {
     ++net_stats_.dropped_partition;
+    Trace("dropP", msg.from, msg.to, msg.table);
     return;
   }
+  Trace("dlv", msg.from, msg.to, msg.table);
   // Busy-server semantics: messages wait for the server to free up.
   if (dst->service_ms) {
     double service = dst->service_ms(msg);
@@ -211,11 +292,13 @@ void Cluster::KillNode(const std::string& address) {
   BOOM_CHECK(node != nullptr) << "unknown node " << address;
   node->alive = false;
   node->scheduled_tick = -1;
+  Trace("kill", address, "", "");
 }
 
 void Cluster::RestartNode(const std::string& address, bool fresh_state) {
   Node* node = FindNode(address);
   BOOM_CHECK(node != nullptr) << "unknown node " << address;
+  Trace("restart", address, "", fresh_state ? "fresh" : "durable");
   node->alive = true;
   node->busy_until = now_ms_;
   if (node->engine && fresh_state) {
@@ -245,11 +328,13 @@ bool Cluster::IsAlive(const std::string& address) const {
 
 void Cluster::BlockLink(const std::string& a, const std::string& b) {
   blocked_.insert({a, b});
+  Trace("block", a, b, "");
 }
 
 void Cluster::UnblockLink(const std::string& a, const std::string& b) {
   blocked_.erase({a, b});
   blocked_.erase({b, a});
+  Trace("unblock", a, b, "");
 }
 
 void Cluster::ClearBlockedLinks() { blocked_.clear(); }

@@ -56,6 +56,22 @@ struct LatencyModel {
   double jitter_ms = 0.2;  // uniform [0, jitter)
 };
 
+// Per-link fault model (the chaos harness's degradation primitives). Applied symmetrically
+// to messages traversing the link in either direction; all sampling draws from the cluster
+// Rng, so a degraded run is still reproducible from the cluster seed. Self-sends are never
+// degraded (a node's loopback does not cross the network).
+struct LinkFaults {
+  double drop_prob = 0;         // iid message loss
+  double dup_prob = 0;          // message delivered a second time
+  double reorder_prob = 0;      // message may overtake others (bypasses the FIFO clamp)
+  double reorder_window_ms = 4; // extra delay sampled for reordered / duplicated copies
+  double extra_latency_ms = 0;  // latency spike added to every traversal
+
+  bool active() const {
+    return drop_prob > 0 || dup_prob > 0 || reorder_prob > 0 || extra_latency_ms > 0;
+  }
+};
+
 class Cluster {
  public:
   explicit Cluster(uint64_t seed);
@@ -112,6 +128,18 @@ class Cluster {
   void UnblockLink(const std::string& a, const std::string& b);
   void ClearBlockedLinks();
 
+  // Symmetric link degradation (drop/duplicate/reorder/latency-spike). Replaces any faults
+  // previously set on the link; a default-constructed LinkFaults clears them.
+  void SetLinkFaults(const std::string& a, const std::string& b, LinkFaults faults);
+  void ClearLinkFaults(const std::string& a, const std::string& b);
+  void ClearAllLinkFaults();
+
+  // Observability hook for the chaos harness: every network/fault event is reported as one
+  // formatted text line (fixed-precision times, no addresses of heap objects), so two runs
+  // with the same seed must produce byte-identical traces.
+  using TraceFn = std::function<void(const std::string& line)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
   // --- execution ---
 
   // Runs all events with time <= until_ms; virtual time ends at until_ms.
@@ -124,6 +152,9 @@ class Cluster {
     uint64_t messages = 0;
     uint64_t dropped_dead = 0;
     uint64_t dropped_partition = 0;
+    uint64_t dropped_fault = 0;  // lost to LinkFaults::drop_prob
+    uint64_t duplicated = 0;
+    uint64_t reordered = 0;
   };
   const NetStats& net_stats() const { return net_stats_; }
 
@@ -159,6 +190,9 @@ class Cluster {
   Node* FindNode(const std::string& address);
   const Node* FindNode(const std::string& address) const;
   bool LinkBlocked(const std::string& a, const std::string& b) const;
+  const LinkFaults* FindLinkFaults(const std::string& a, const std::string& b) const;
+  void Trace(const char* kind, const std::string& from, const std::string& to,
+             const std::string& detail);
   double SampleLatency();
   void DeliverMessage(Message msg);
   void ScheduleEngineTick(Node& node, double time_ms);
@@ -171,6 +205,8 @@ class Cluster {
   std::map<std::pair<std::string, std::string>, double> link_last_arrival_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::set<std::pair<std::string, std::string>> blocked_;
+  std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
+  TraceFn trace_;
   double now_ms_ = 0;
   uint64_t seq_ = 0;
   bool started_ = false;

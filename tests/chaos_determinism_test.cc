@@ -1,0 +1,92 @@
+// Seed-determinism regression tests: the whole point of the simulation-first architecture
+// is that a seed IS the test case. Same seed + same schedule must reproduce the same run
+// down to the byte — traces, checker outcomes, explorer reports. Any nondeterminism
+// (wall-clock leakage, container iteration order, heap addresses in output) breaks failing
+// seeds as bug reports, so this suite runs everything twice and diffs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/chaos/explorer.h"
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/scenario.h"
+
+namespace boom {
+namespace {
+
+// One full chaos run (with trace recording) of `scenario_name` at `seed`.
+ChaosRunResult TracedRun(const std::string& scenario_name, uint64_t seed) {
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario(scenario_name);
+  FaultSchedule schedule = GenerateFaultSchedule(seed, scenario->FaultProfile());
+  ChaosRunOptions options;
+  options.record_trace = true;
+  return RunChaosOnce(*scenario, seed, schedule, options);
+}
+
+class TraceDeterminism : public ::testing::TestWithParam<std::string> {};
+
+// Same seed twice => byte-identical fault/network traces and identical outcomes.
+TEST_P(TraceDeterminism, SameSeedSameTrace) {
+  const std::string scenario = GetParam();
+  for (uint64_t seed : {uint64_t{3}, uint64_t{11}}) {
+    ChaosRunResult a = TracedRun(scenario, seed);
+    ChaosRunResult b = TracedRun(scenario, seed);
+    ASSERT_FALSE(a.trace.empty()) << scenario << " seed " << seed << ": no trace recorded";
+    EXPECT_EQ(a.trace, b.trace) << scenario << " seed " << seed << ": traces diverged";
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.end_ms, b.end_ms);
+  }
+}
+
+// Different seeds must actually produce different schedules/traces — otherwise the sweep
+// is re-running one case N times and the determinism above is vacuous.
+TEST_P(TraceDeterminism, DifferentSeedsDiffer) {
+  const std::string scenario = GetParam();
+  ChaosRunResult a = TracedRun(scenario, 3);
+  ChaosRunResult b = TracedRun(scenario, 4);
+  EXPECT_NE(a.trace, b.trace) << scenario << ": seeds 3 and 4 produced identical traces";
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, TraceDeterminism,
+                         ::testing::ValuesIn(ScenarioNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// Schedule generation is a pure function of (seed, profile).
+TEST(ChaosDeterminism, ScheduleGenerationIsPure) {
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario("boomfs");
+  FaultGenOptions profile = scenario->FaultProfile();
+  FaultSchedule a = GenerateFaultSchedule(42, profile);
+  FaultSchedule b = GenerateFaultSchedule(42, profile);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_FALSE(a.events.empty());
+}
+
+// The explorer's full report text — the CLI's stdout — is byte-stable across invocations,
+// including the failure/shrink sections produced by a bug variant.
+TEST(ChaosDeterminism, ExplorerReportIsByteStable) {
+  ExplorerOptions options;
+  options.scenario = "boommr";
+  options.seeds = 5;
+  options.verbose = true;
+  ExplorerReport a = ExploreSeeds(options);
+  ExplorerReport b = ExploreSeeds(options);
+  EXPECT_EQ(a.text, b.text);
+
+  ExplorerOptions buggy;
+  buggy.scenario = "paxos";
+  buggy.bug = "quorum1";
+  buggy.seeds = 2;
+  ExplorerReport c = ExploreSeeds(buggy);
+  ExplorerReport d = ExploreSeeds(buggy);
+  ASSERT_GT(c.failures, 0);
+  EXPECT_EQ(c.text, d.text);
+}
+
+}  // namespace
+}  // namespace boom

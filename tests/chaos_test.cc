@@ -1,83 +1,147 @@
-// Failure-injection ("chaos") tests: repeated and adversarial failures against the HA
-// NameNode, message-loss through partitions during Paxos, and DataNode churn under BOOM-FS —
-// the behaviours a downstream user relies on but no single-fault test exercises.
+// Chaos tests: generator-driven fault-schedule sweeps over the three Overlog systems, with
+// the reusable invariant checkers from src/chaos asserting safety at every quiescent point.
+// Each (scenario, seed) pair is an independent ctest case, so a failure names the exact
+// deterministic schedule that produced it; reproduce with
+//   tools/chaos_explorer --scenario=<name> --seed0=<seed> --seeds=1 --verbose
+// A final set of tests injects known-buggy rule variants and checks that the explorer both
+// catches them and shrinks the failing schedule to a handful of fault events.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "src/boomfs/ha.h"
-#include "src/paxos/paxos_program.h"
+#include "src/chaos/explorer.h"
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/scenario.h"
+#include "src/chaos/shrink.h"
 
 namespace boom {
 namespace {
 
-// Paxos replicas under a rolling partition schedule must never disagree on a decided slot.
-class PaxosSafetySweep : public ::testing::TestWithParam<uint64_t> {};
+constexpr int kSweepSeeds = 25;
 
-TEST_P(PaxosSafetySweep, NoDisagreementUnderRollingPartitions) {
-  Cluster cluster(GetParam());
-  std::vector<std::string> peers = {"px0", "px1", "px2"};
-  for (int i = 0; i < 3; ++i) {
-    PaxosProgramOptions opts;
-    opts.peers = peers;
-    opts.my_index = i;
-    std::string source = PaxosProgram(opts);
-    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [source](Engine& engine) {
-      ASSERT_TRUE(engine.InstallSource(source).ok());
-    });
-  }
-  cluster.RunUntil(2000);
+// ---------------------------------------------------------------------------------------
+// Generator-driven sweep: 25 seeds x {paxos, boomfs, boommr}. Every run generates a fault
+// timeline from the seed (crashes, partitions, link degradation within each scenario's
+// sound fault model), executes it, heals, and asserts the scenario's invariant checkers.
+// ---------------------------------------------------------------------------------------
 
-  // Interleave commands with partitions that isolate each replica in turn.
-  int cmd = 0;
-  for (int round = 0; round < 3; ++round) {
-    std::string isolated = peers[static_cast<size_t>(round)];
-    for (const std::string& other : peers) {
-      if (other != isolated) {
-        cluster.BlockLink(isolated, other);
-      }
-    }
-    for (int k = 0; k < 3; ++k) {
-      // Submit to every replica; only the majority side can decide.
-      for (const std::string& p : peers) {
-        cluster.Send(p, p, "px_request",
-                     Tuple{Value(p), Value("cmd-" + std::to_string(cmd++))});
-      }
-      cluster.RunUntil(cluster.now() + 1500);
-    }
-    cluster.ClearBlockedLinks();
-    cluster.RunUntil(cluster.now() + 4000);  // heal and re-elect
-  }
-  cluster.RunUntil(cluster.now() + 10000);
+class ChaosSweep : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
 
-  // Safety: every pair of replicas agrees on the intersection of their logs.
-  std::vector<std::map<int64_t, std::string>> logs;
-  for (const std::string& p : peers) {
-    std::map<int64_t, std::string> log;
-    cluster.engine(p)->catalog().Get("decided").ForEach([&log](const Tuple& row) {
-      log[row[0].as_int()] = row[1].as_string();
-    });
-    logs.push_back(std::move(log));
+TEST_P(ChaosSweep, InvariantsHoldUnderGeneratedFaults) {
+  const auto& [scenario_name, seed] = GetParam();
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario(scenario_name);
+  ASSERT_NE(scenario, nullptr);
+  FaultSchedule schedule = GenerateFaultSchedule(seed, scenario->FaultProfile());
+  ChaosRunResult result = RunChaosOnce(*scenario, seed, schedule, {});
+  EXPECT_TRUE(result.passed) << "seed " << seed << " under schedule:\n"
+                             << schedule.ToString();
+  for (const std::string& violation : result.violations) {
+    ADD_FAILURE() << violation;
   }
-  for (size_t a = 0; a < logs.size(); ++a) {
-    for (size_t b = a + 1; b < logs.size(); ++b) {
-      for (const auto& [slot, value] : logs[a]) {
-        auto it = logs[b].find(slot);
-        if (it != logs[b].end()) {
-          EXPECT_EQ(it->second, value)
-              << "replicas " << a << "/" << b << " disagree on slot " << slot;
-        }
-      }
-    }
-  }
-  // Liveness: something was decided despite the churn.
-  EXPECT_GT(logs[0].size() + logs[1].size() + logs[2].size(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PaxosSafetySweep,
-                         ::testing::Values(777, 1234, 5678, 9999, 424242),
-                         [](const ::testing::TestParamInfo<uint64_t>& info) {
-                           return "Seed" + std::to_string(info.param);
-                         });
+std::vector<std::tuple<std::string, uint64_t>> SweepParams() {
+  std::vector<std::tuple<std::string, uint64_t>> params;
+  for (const std::string& name : ScenarioNames()) {
+    for (uint64_t seed = 1; seed <= kSweepSeeds; ++seed) {
+      params.emplace_back(name, seed);
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosSweep, ::testing::ValuesIn(SweepParams()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, uint64_t>>& info) {
+      return std::get<0>(info.param) + "Seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------------------
+// Bug-variant validation: the explorer must catch injected rule bugs and shrink the failing
+// schedule to a minimal reproduction. These pin the tool's detection power, so a future
+// checker regression that silently stops seeing real violations fails loudly here.
+// ---------------------------------------------------------------------------------------
+
+// quorum1: the Paxos rules count a single acceptor as a quorum. Any partition or crash that
+// splits proposers lets both sides decide, so most seeds fail and shrink to one event.
+TEST(ChaosBugVariants, PaxosQuorum1CaughtAndShrunk) {
+  ExplorerOptions options;
+  options.scenario = "paxos";
+  options.bug = "quorum1";
+  options.seeds = 3;  // seeds 1..3 all fail for this bug
+  ExplorerReport report = ExploreSeeds(options);
+  EXPECT_EQ(report.failures, 3) << report.text;
+  for (const SeedOutcome& outcome : report.outcomes) {
+    EXPECT_FALSE(outcome.passed) << "seed " << outcome.seed;
+    EXPECT_LE(outcome.shrunk.events.size(), 5u)
+        << "seed " << outcome.seed << " schedule did not shrink:\n"
+        << outcome.shrunk.ToString();
+  }
+}
+
+// amnesia: acceptors restart with fresh state, forgetting promises and accepted values.
+// Unsafe only when a quorum of amnesiacs outvotes the remembering minority, so failures are
+// rare; seed 76 is a known catch whose shrunk schedule is the textbook 3-event choreography
+// (crash both acceptors of the deciding quorum, partition away the survivor).
+TEST(ChaosBugVariants, PaxosAmnesiaCaughtAndShrunk) {
+  ExplorerOptions options;
+  options.scenario = "paxos";
+  options.bug = "amnesia";
+  options.seed0 = 76;
+  options.seeds = 1;
+  ExplorerReport report = ExploreSeeds(options);
+  ASSERT_EQ(report.failures, 1) << report.text;
+  EXPECT_LE(report.outcomes[0].shrunk.events.size(), 5u) << report.text;
+}
+
+// resurrect: the NameNode's delete-tombstone rules (rm9/hb3/hb4) are stripped, so chunks of
+// removed files are never reclaimed from DataNodes and the orphan invariant fires.
+TEST(ChaosBugVariants, BoomFsResurrectCaughtAndShrunk) {
+  ExplorerOptions options;
+  options.scenario = "boomfs";
+  options.bug = "resurrect";
+  options.seeds = 3;  // seeds 1..3 all fail for this bug
+  ExplorerReport report = ExploreSeeds(options);
+  EXPECT_EQ(report.failures, 3) << report.text;
+  for (const SeedOutcome& outcome : report.outcomes) {
+    EXPECT_FALSE(outcome.passed) << "seed " << outcome.seed;
+    EXPECT_LE(outcome.shrunk.events.size(), 5u)
+        << "seed " << outcome.seed << " schedule did not shrink:\n"
+        << outcome.shrunk.ToString();
+  }
+}
+
+// The shrinker's result must still reproduce the failure (minimality is best-effort;
+// reproduction is a contract).
+TEST(ChaosBugVariants, ShrunkScheduleStillFails) {
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario("paxos", {.bug = "quorum1"});
+  ASSERT_NE(scenario, nullptr);
+  FaultSchedule schedule = GenerateFaultSchedule(1, scenario->FaultProfile());
+  ChaosRunResult full = RunChaosOnce(*scenario, 1, schedule, {});
+  ASSERT_FALSE(full.passed);
+
+  ShrinkResult shrunk = ShrinkSchedule(schedule, [](const FaultSchedule& candidate) {
+    std::unique_ptr<ChaosScenario> fresh = MakeScenario("paxos", {.bug = "quorum1"});
+    return !RunChaosOnce(*fresh, 1, candidate, {}).passed;
+  });
+  EXPECT_LT(shrunk.schedule.events.size(), schedule.events.size());
+
+  std::unique_ptr<ChaosScenario> replay = MakeScenario("paxos", {.bug = "quorum1"});
+  ChaosRunResult result = RunChaosOnce(*replay, 1, shrunk.schedule, {});
+  EXPECT_FALSE(result.passed) << "shrunk schedule no longer reproduces:\n"
+                              << shrunk.schedule.ToString();
+}
+
+// ---------------------------------------------------------------------------------------
+// Hand-crafted end-to-end churn scenarios kept from the original suite: they exercise the
+// HA (Paxos-replicated) NameNode and re-replication paths the generated sweeps do not.
+// ---------------------------------------------------------------------------------------
 
 // The HA file system keeps serving through a kill->recover->kill-another schedule.
 TEST(ChaosTest, HaFsSurvivesLeaderChurn) {

@@ -1,0 +1,78 @@
+// chaos_explorer: seeded fault-schedule search against the Overlog systems.
+//
+//   chaos_explorer --scenario=paxos --seeds=100
+//   chaos_explorer --scenario=boomfs --bug=resurrect --seeds=20
+//   chaos_explorer --scenario=paxos --bug=quorum1 --seeds=10 --verbose
+//
+// All time is virtual (discrete-event simulation), so output depends only on the flags:
+// two identical invocations print byte-identical reports. Exit status is the number of
+// failing seeds, capped at 1 — i.e. 0 iff every seed passed.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/chaos/explorer.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_explorer [--scenario=paxos|boomfs|boommr] [--seeds=N]\n"
+               "                      [--seed0=N] [--bug=NAME] [--no-shrink]\n"
+               "                      [--horizon=MS] [--settle=MS] [--verbose] [--list]\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  boom::ExplorerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--list") {
+      for (const std::string& name : boom::ScenarioNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (ParseFlag(arg, "scenario", &value)) {
+      options.scenario = value;
+    } else if (ParseFlag(arg, "bug", &value)) {
+      options.bug = value;
+    } else if (ParseFlag(arg, "seeds", &value)) {
+      options.seeds = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "seed0", &value)) {
+      options.seed0 = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "horizon", &value)) {
+      options.horizon_ms = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "settle", &value)) {
+      options.settle_ms = std::atof(value.c_str());
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (options.seeds <= 0 ||
+      boom::MakeScenario(options.scenario, {.bug = options.bug}) == nullptr) {
+    Usage();
+    return 2;
+  }
+
+  boom::ExplorerReport report = boom::ExploreSeeds(options);
+  std::fputs(report.text.c_str(), stdout);
+  return report.failures > 0 ? 1 : 0;
+}
