@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + fast tests, then an ASan smoke of the chaos explorer.
+#
+#   scripts/check.sh            # everything below
+#   SKIP_ASAN=1 scripts/check.sh  # inner loop only (no sanitizer rebuild)
+#
+# Tier 1 (must stay green): plain build + every non-chaos test.
+# ASan smoke: rebuild with -DBOOM_SANITIZE=address and run a 3-seed boomfs chaos sweep
+# (corruption + slow-disk faults included via the scenario's fault profile), so memory
+# errors on the retry/quarantine/re-replication paths surface even though the full chaos
+# tier is too slow for every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> tier-1 build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1 tests (ctest -LE chaos)"
+(cd build && ctest -LE chaos --output-on-failure -j "$JOBS")
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "==> ASan build"
+  cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" --target chaos_explorer
+
+  echo "==> ASan chaos smoke (3 seeds x boomfs)"
+  ./build-asan/tools/chaos_explorer --scenario=boomfs --seeds=3
+fi
+
+echo "==> all checks passed"

@@ -22,6 +22,11 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
     prog.replication_factor = options.replication_factor;
     prog.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
     prog.with_failure_detector = options.with_failure_detector;
+    prog.with_safe_mode = options.with_safe_mode;
+    prog.safe_mode_check_period_ms = options.safe_mode_check_period_ms;
+    prog.safe_mode_report_frac_pct = options.safe_mode_report_frac_pct;
+    prog.safe_mode_timeout_ms = options.safe_mode_timeout_ms;
+    prog.safe_mode_grace_ms = options.safe_mode_grace_ms;
     std::string source = BoomFsNnProgram(prog);
     cluster.AddOverlogNode(address, [source](Engine& engine) {
       Status status = engine.InstallSource(source);
@@ -34,6 +39,11 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
   nn_opts.replication_factor = options.replication_factor;
   nn_opts.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
   nn_opts.with_failure_detector = options.with_failure_detector;
+  nn_opts.with_safe_mode = options.with_safe_mode;
+  nn_opts.safe_mode_check_period_ms = options.safe_mode_check_period_ms;
+  nn_opts.safe_mode_report_frac_pct = options.safe_mode_report_frac_pct;
+  nn_opts.safe_mode_timeout_ms = options.safe_mode_timeout_ms;
+  nn_opts.safe_mode_grace_ms = options.safe_mode_grace_ms;
   cluster.AddActor(std::make_unique<HdfsNameNode>(address, nn_opts));
 }
 
@@ -47,6 +57,8 @@ FsHandles SetupFs(Cluster& cluster, const FsSetupOptions& options) {
     DataNodeOptions dn_opts;
     dn_opts.namenode = options.namenode;
     dn_opts.heartbeat_period_ms = options.heartbeat_period_ms;
+    dn_opts.full_report_every = options.full_report_every;
+    dn_opts.verify_reads = options.verify_reads;
     cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
     handles.datanodes.push_back(std::move(dn));
   }

@@ -33,6 +33,15 @@ struct FsSetupOptions {
   double heartbeat_timeout_ms = 2000;
   bool with_failure_detector = true;
   size_t chunk_size = 64 * 1024;
+  // DataNode data-plane knobs (see DataNodeOptions).
+  int full_report_every = 4;
+  bool verify_reads = true;
+  // NameNode safe mode (see NnProgramOptions / HdfsNameNodeOptions).
+  bool with_safe_mode = true;
+  double safe_mode_check_period_ms = 200;
+  int safe_mode_report_frac_pct = 60;
+  double safe_mode_timeout_ms = 5000;
+  double safe_mode_grace_ms = 400;
 };
 
 struct FsHandles {

@@ -1,15 +1,19 @@
 #include "src/boomfs/client.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 #include "src/boomfs/protocol.h"
 
 namespace boom {
 
-// State for a multi-chunk write in flight.
+// State for a multi-chunk write in flight. next_offset advances only when a chunk is acked,
+// so a retry round re-sends exactly the bytes that were never confirmed.
 struct WriteJob {
   std::string path;
   std::string data;
   size_t next_offset = 0;
+  int round = 0;  // retry rounds consumed by the chunk currently being written
   std::function<void(bool)> cb;
 };
 
@@ -18,6 +22,7 @@ struct ReadJob {
   std::string path;
   ValueList chunk_ids;
   size_t next_chunk = 0;
+  int round = 0;  // retry rounds consumed by the chunk currently being read
   std::string assembled;
   FsClient::DataCb cb;
 };
@@ -56,13 +61,13 @@ void FsClient::Dispatch(Cluster& cluster, int64_t req) {
   cluster.Send(address(), nn, options_.request_table,
                Tuple{Value(nn), Value(req), Value(address()), Value(pending.cmd),
                      Value(pending.path), pending.arg});
-  if (options_.request_timeout_ms > 0) {
-    ArmTimeout(cluster, req, pending.attempts);
-  }
+  // Always armed: with every NameNode dead the request surfaces a terminal cb(false,
+  // "timeout") instead of leaving the caller waiting forever.
+  ArmTimeout(cluster, req, pending.attempts);
 }
 
 void FsClient::ArmTimeout(Cluster& cluster, int64_t req, int attempt) {
-  cluster.ScheduleAfter(options_.request_timeout_ms, [this, &cluster, req, attempt] {
+  cluster.ScheduleAfter(EffectiveRequestTimeout(), [this, &cluster, req, attempt] {
     auto it = pending_.find(req);
     if (it == pending_.end() || it->second.attempts != attempt) {
       return;  // answered, or a later attempt owns the timeout
@@ -76,6 +81,15 @@ void FsClient::ArmTimeout(Cluster& cluster, int64_t req, int attempt) {
     pending_.erase(it);
     cb(false, Value("timeout"));
   });
+}
+
+double FsClient::Backoff(Cluster& cluster, int round) const {
+  double base = options_.retry_base_ms;
+  for (int i = 1; i < round; ++i) {
+    base = std::min(base * 2, options_.retry_max_ms);
+  }
+  base = std::min(base, options_.retry_max_ms);
+  return base + cluster.rng().Uniform(0, base * 0.5);
 }
 
 void FsClient::Mkdir(Cluster& c, const std::string& path, ResponseCb cb) {
@@ -142,27 +156,81 @@ void FsClient::WriteChunks(Cluster& cluster, std::shared_ptr<WriteJob> job) {
   }
   AddChunk(cluster, job->path, [this, &cluster, job](bool ok, const Value& payload) {
     if (!ok || !payload.is_list() || payload.as_list().size() != 2) {
-      job->cb(false);
+      // addchunk can fail transiently (NameNode timeout, safe mode): back off and retry.
+      RetryWrite(cluster, job);
       return;
     }
     int64_t chunk_id = payload.as_list()[0].as_int();
-    const ValueList& dns = payload.as_list()[1].as_list();
+    ValueList dns = payload.as_list()[1].as_list();
     if (dns.empty()) {
-      job->cb(false);
+      RetryWrite(cluster, job);
       return;
     }
     size_t len = std::min(options_.chunk_size, job->data.size() - job->next_offset);
     std::string piece = job->data.substr(job->next_offset, len);
-    job->next_offset += len;
+    int64_t checksum = ChunkChecksum(piece);
 
+    auto advance = [this, &cluster, job, len] {
+      job->next_offset += len;
+      job->round = 0;
+      WriteChunks(cluster, job);
+    };
+
+    // Attempt 1: replication pipeline through dns; the last replica acks.
     int64_t ack_req = next_req_++;
-    pending_acks_[ack_req] = [this, &cluster, job] { WriteChunks(cluster, job); };
+    pending_acks_[ack_req] = advance;
     ValueList pipeline(dns.begin() + 1, dns.end());
     const std::string& first = dns[0].as_string();
     cluster.Send(address(), first, kDnWrite,
-                 Tuple{Value(first), Value(chunk_id), Value(std::move(piece)),
+                 Tuple{Value(first), Value(chunk_id), Value(piece), Value(checksum),
                        Value(std::move(pipeline)), Value(address()), Value(ack_req)});
+    cluster.ScheduleAfter(
+        options_.write_ack_timeout_ms,
+        [this, &cluster, job, chunk_id, dns, piece, checksum, advance, ack_req] {
+          if (pending_acks_.erase(ack_req) == 0) {
+            return;  // pipeline acked in time
+          }
+          // Attempt 2: a replica mid-pipeline died and swallowed the chain. Write each
+          // replica individually; the first ack completes the chunk (the NameNode's
+          // re-replication heals any copy that never landed).
+          int64_t fan_req = next_req_++;
+          pending_acks_[fan_req] = advance;
+          for (const Value& d : dns) {
+            const std::string& dn = d.as_string();
+            cluster.Send(address(), dn, kDnWrite,
+                         Tuple{Value(dn), Value(chunk_id), Value(piece), Value(checksum),
+                               Value(ValueList{}), Value(address()), Value(fan_req)});
+          }
+          cluster.ScheduleAfter(options_.write_ack_timeout_ms,
+                                [this, &cluster, job, chunk_id, fan_req] {
+            if (pending_acks_.erase(fan_req) == 0) {
+              return;  // some replica acked
+            }
+            // No replica is reachable: give the allocated id back (otherwise the file
+            // keeps a chunk that was never written) and retry with a fresh pipeline.
+            AbandonAndRetry(cluster, job, chunk_id);
+          });
+        });
   });
+}
+
+void FsClient::RetryWrite(Cluster& cluster, std::shared_ptr<WriteJob> job) {
+  ++job->round;
+  if (job->round >= options_.write_max_rounds) {
+    job->cb(false);
+    return;
+  }
+  cluster.ScheduleAfter(Backoff(cluster, job->round),
+                        [this, &cluster, job] { WriteChunks(cluster, job); });
+}
+
+void FsClient::AbandonAndRetry(Cluster& cluster, std::shared_ptr<WriteJob> job,
+                               int64_t chunk_id) {
+  // Abandon is idempotent on the NameNode; retry the write whether or not it succeeded
+  // (on a timeout the chunk stays attached, but a re-read would still see its bytes once
+  // some replica write lands — the retry ladder bounds the damage).
+  Request(cluster, kCmdAbandon, job->path, Value(chunk_id),
+          [this, &cluster, job](bool, const Value&) { RetryWrite(cluster, job); });
 }
 
 void FsClient::ReadFile(Cluster& cluster, const std::string& path, DataCb cb) {
@@ -187,23 +255,54 @@ void FsClient::ReadChunks(Cluster& cluster, std::shared_ptr<ReadJob> job) {
   int64_t chunk_id = job->chunk_ids[job->next_chunk].as_int();
   Locations(cluster, chunk_id, [this, &cluster, job, chunk_id](bool ok, const Value& locs) {
     if (!ok || !locs.is_list() || locs.as_list().empty()) {
-      job->cb(false, "");
+      // No locations right now (NameNode in safe mode, every replica quarantined
+      // mid-heal, or the request timed out): back off and re-fetch.
+      RetryRead(cluster, job);
       return;
     }
-    const std::string& dn = locs.as_list()[0].as_string();
-    int64_t read_req = next_req_++;
-    pending_reads_[read_req] = [this, &cluster, job](bool read_ok, std::string data) {
-      if (!read_ok) {
-        job->cb(false, "");
-        return;
-      }
-      job->assembled += data;
-      ++job->next_chunk;
-      ReadChunks(cluster, job);
-    };
-    cluster.Send(address(), dn, kDnRead,
-                 Tuple{Value(dn), Value(chunk_id), Value(address()), Value(read_req)});
+    TryRead(cluster, job, chunk_id, locs.as_list(), 0);
   });
+}
+
+void FsClient::TryRead(Cluster& cluster, std::shared_ptr<ReadJob> job, int64_t chunk_id,
+                       ValueList locs, size_t index) {
+  if (index >= locs.size()) {
+    RetryRead(cluster, job);  // every replica in this round failed
+    return;
+  }
+  const std::string dn = locs[index].as_string();
+  int64_t read_req = next_req_++;
+  pending_reads_[read_req] = [this, &cluster, job, chunk_id, locs, index](
+                                 bool ok, std::string data, int64_t checksum) {
+    if (!ok || ChunkChecksum(data) != checksum) {
+      // Replica missing, quarantined, or the payload fails its own checksum: next replica.
+      TryRead(cluster, job, chunk_id, locs, index + 1);
+      return;
+    }
+    job->assembled += data;
+    ++job->next_chunk;
+    job->round = 0;
+    ReadChunks(cluster, job);
+  };
+  cluster.Send(address(), dn, kDnRead,
+               Tuple{Value(dn), Value(chunk_id), Value(address()), Value(read_req)});
+  cluster.ScheduleAfter(options_.dn_read_timeout_ms,
+                        [this, &cluster, job, chunk_id, locs, index, read_req] {
+    if (pending_reads_.erase(read_req) == 0) {
+      return;  // answered in time
+    }
+    TryRead(cluster, job, chunk_id, locs, index + 1);
+  });
+}
+
+void FsClient::RetryRead(Cluster& cluster, std::shared_ptr<ReadJob> job) {
+  ++job->round;
+  if (job->round >= options_.read_max_rounds) {
+    job->cb(false, "");
+    return;
+  }
+  cluster.ScheduleAfter(Backoff(cluster, job->round),
+                        [this, &cluster, job] { ReadChunks(cluster, job); });
 }
 
 void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
@@ -233,7 +332,7 @@ void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
     return;
   }
   if (msg.table == kDnReadData) {
-    // (Client, ReqId, Ok, Data)
+    // (Client, ReqId, Ok, Data, Checksum)
     int64_t req = msg.tuple[1].as_int();
     auto it = pending_reads_.find(req);
     if (it == pending_reads_.end()) {
@@ -241,7 +340,7 @@ void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
     }
     auto cb = std::move(it->second);
     pending_reads_.erase(it);
-    cb(msg.tuple[2].Truthy(), msg.tuple[3].as_string());
+    cb(msg.tuple[2].Truthy(), msg.tuple[3].as_string(), msg.tuple[4].as_int());
     return;
   }
   BOOM_LOG(Warning) << "FsClient " << address() << ": unknown message " << msg.table;

@@ -3,6 +3,13 @@
 //
 // Primitive ops map 1:1 onto namespace requests; WriteFile/ReadFile are composite: they
 // drive the addchunk -> DataNode-pipeline -> ack, and chunks -> locations -> dn_read chains.
+//
+// Robustness: namespace requests always carry a timeout (a dead NameNode surfaces as
+// cb(false) instead of a hang). Reads verify the end-to-end checksum and rotate through
+// every known replica, re-fetching locations with bounded exponential backoff when a round
+// is exhausted. Writes recover a mid-pipeline DataNode crash: the pipeline attempt is
+// followed by a fan-out of individual replica writes (one ack suffices; re-replication
+// heals the rest), and only then is the allocated chunk abandoned and re-requested.
 
 #ifndef SRC_BOOMFS_CLIENT_H_
 #define SRC_BOOMFS_CLIENT_H_
@@ -12,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/sim/cluster.h"
 
@@ -20,13 +28,28 @@ namespace boom {
 struct FsClientOptions {
   std::string namenode;
   size_t chunk_size = 64 * 1024;   // bytes per chunk on WriteFile
-  double request_timeout_ms = 0;   // 0 = wait forever
+  double request_timeout_ms = 0;   // 0 = default (1500ms); requests never wait forever
   // Failover: on timeout the request is retried (same request id) against the next target in
   // {namenode} U fallbacks, round-robin, up to max_retries times.
   std::vector<std::string> fallbacks;
   int max_retries = 0;
   // Table requests are sent as; HA mode uses "ha_request" to route through Paxos.
   std::string request_table = "ns_request";
+  // Data-plane retry policy. A chunk read that gets no (valid) reply within
+  // dn_read_timeout_ms fails over to the next replica; when every location in a round is
+  // exhausted the client re-fetches locations after a backoff, up to read_max_rounds rounds.
+  double dn_read_timeout_ms = 400;
+  int read_max_rounds = 4;
+  // A pipeline write that gets no ack within write_ack_timeout_ms falls back to writing
+  // each replica individually; if that also times out the chunk is abandoned and a fresh
+  // pipeline requested, up to write_max_rounds rounds.
+  double write_ack_timeout_ms = 600;
+  int write_max_rounds = 4;
+  // Exponential backoff between retry rounds: min(retry_base_ms * 2^(round-1),
+  // retry_max_ms) plus up to 50% seeded jitter (drawn from the cluster Rng, so retries in
+  // a chaos run stay reproducible and fault-free runs draw nothing).
+  double retry_base_ms = 100;
+  double retry_max_ms = 2000;
 };
 
 class FsClient : public Actor {
@@ -74,7 +97,18 @@ class FsClient : public Actor {
   void Request(Cluster& cluster, const std::string& cmd, const std::string& path, Value arg,
                ResponseCb cb, std::string forced_target = "");
   void WriteChunks(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
+  // Retry ladder steps for one chunk write / read (see FsClientOptions comments).
+  void RetryWrite(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
+  void AbandonAndRetry(Cluster& cluster, std::shared_ptr<struct WriteJob> job,
+                       int64_t chunk_id);
   void ReadChunks(Cluster& cluster, std::shared_ptr<struct ReadJob> job);
+  void TryRead(Cluster& cluster, std::shared_ptr<struct ReadJob> job, int64_t chunk_id,
+               ValueList locs, size_t index);
+  void RetryRead(Cluster& cluster, std::shared_ptr<struct ReadJob> job);
+  double Backoff(Cluster& cluster, int round) const;
+  double EffectiveRequestTimeout() const {
+    return options_.request_timeout_ms > 0 ? options_.request_timeout_ms : 1500;
+  }
 
   struct PendingReq {
     std::string cmd;
@@ -95,7 +129,7 @@ class FsClient : public Actor {
   size_t preferred_target_ = 0;
   int64_t next_req_ = 1;
   std::map<int64_t, PendingReq> pending_;
-  std::map<int64_t, std::function<void(bool, std::string)>> pending_reads_;
+  std::map<int64_t, std::function<void(bool, std::string, int64_t)>> pending_reads_;
   std::map<int64_t, std::function<void()>> pending_acks_;
   uint64_t requests_sent_ = 0;
 };

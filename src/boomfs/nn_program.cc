@@ -22,6 +22,9 @@ table dn_load(Dn, Load) keys(0);
 // from fchunk) gate reports so an HA replica that is still replaying the command log never
 // garbage-collects a chunk it merely has not heard of yet.
 table dead_chunk(ChunkId) keys(0);
+// Nonempty while the NameNode is in safe mode (seeded by the safe-mode extension; always
+// empty when that extension is disabled, so the notin guards below are no-ops).
+table safemode(On) keys(0);
 
 // The root directory.
 file(0, -1, "", true);
@@ -45,6 +48,7 @@ event do_rm(ReqId, Client, Path);
 event do_addchunk(ReqId, Client, Path);
 event do_chunks(ReqId, Client, Path);
 event do_locations(ReqId, Client, ChunkId);
+event do_abandon(ReqId, Client, ChunkId);
 
 dp1 do_mkdir(R, C, P)     :- ns_request(@Me, R, C, "mkdir", P, _);
 dp2 do_create(R, C, P)    :- ns_request(@Me, R, C, "create", P, _);
@@ -54,6 +58,7 @@ dp5 do_rm(R, C, P)        :- ns_request(@Me, R, C, "rm", P, _);
 dp6 do_addchunk(R, C, P)  :- ns_request(@Me, R, C, "addchunk", P, _);
 dp7 do_chunks(R, C, P)    :- ns_request(@Me, R, C, "chunks", P, _);
 dp8 do_locations(R, C, A) :- ns_request(@Me, R, C, "locations", _, A);
+dp9 do_abandon(R, C, A)   :- ns_request(@Me, R, C, "abandon", _, A);
 
 /////////////////////////////////////////////////////////////////////////////
 // mkdir / create: insert under an existing parent directory unless the path
@@ -151,6 +156,21 @@ ac5 ns_response(@C, R, false, "addchunk failed") :- do_addchunk(R, C, _),
                                                     notin addchunk_ok(R, _, _, _, _);
 
 /////////////////////////////////////////////////////////////////////////////
+// abandon: a client whose every replica write failed gives the allocated chunk
+// id back. Detach it from the file, tombstone it, and GC any replica that did
+// land. Idempotent: abandoning an unknown chunk succeeds (the retry that
+// follows a lost abandon response must not wedge the writer).
+/////////////////////////////////////////////////////////////////////////////
+event abandon_ok(ReqId, Client, ChunkId);
+ab1 abandon_ok(R, C, Ch) :- do_abandon(R, C, Ch), fchunk(Ch, _);
+ab2 delete fchunk(Ch, F)    :- abandon_ok(_, _, Ch), fchunk(Ch, F);
+ab3 dn_delete(@Dn, Ch)      :- abandon_ok(_, _, Ch), hb_chunk(Dn, Ch);
+ab4 delete hb_chunk(Dn, Ch) :- abandon_ok(_, _, Ch), hb_chunk(Dn, Ch);
+ab5 dead_chunk(Ch) :- abandon_ok(_, _, Ch);
+ab6 ns_response(@C, R, true, nil) :- abandon_ok(R, C, _);
+ab7 ns_response(@C, R, true, nil) :- do_abandon(R, C, Ch), notin fchunk(Ch, _);
+
+/////////////////////////////////////////////////////////////////////////////
 // chunks / locations: read-side metadata lookups.
 /////////////////////////////////////////////////////////////////////////////
 event chunks_ok(ReqId, Client, FileId);
@@ -162,12 +182,17 @@ ch4 ns_response(@C, R, true, L) :- chunks_ok(R, C, F), notin fchunk(_, F), L := 
 ch5 ns_response(@C, R, false, "no such file") :- do_chunks(R, C, _),
                                                  notin chunks_ok(R, _, _);
 
+// Locations are not served in safe mode: the location table is still being rebuilt from
+// chunk reports, and answering from a partial view would steer clients at replicas the
+// NameNode merely has not heard from (clients back off and retry on "safe mode").
 event loc_list(ReqId, Client, L);
 lo1 loc_list(R, C, bottomk<100, Dn>) :- do_locations(R, C, Ch), hb_chunk(Dn, Ch),
-                                        datanode(Dn, _);
+                                        datanode(Dn, _), notin safemode(_);
 lo2 ns_response(@C, R, true, L) :- loc_list(R, C, L);
 lo3 ns_response(@C, R, false, "no locations") :- do_locations(R, C, Ch),
-                                                 notin hb_chunk(_, Ch);
+                                                 notin hb_chunk(_, Ch),
+                                                 notin safemode(_);
+lo4 ns_response(@C, R, false, "safe mode") :- do_locations(R, C, _), safemode(_);
 
 /////////////////////////////////////////////////////////////////////////////
 // DataNode control plane: heartbeats and chunk reports.
@@ -184,6 +209,12 @@ hb2 hb_chunk(Dn, Ch) :- dn_chunk_report(_, Dn, Ch);
 hb3 dn_delete(@Dn, Ch) :- dn_chunk_report(_, Dn, Ch), dead_chunk(Ch);
 hb4 delete hb_chunk(Dn, Ch) :- dn_chunk_report(_, Dn, Ch), dead_chunk(Ch),
                                hb_chunk(Dn, Ch);
+
+// Corrupt-replica quarantine: a DataNode that found a replica failing its checksum has
+// already dropped the bytes; retract the location so reads stop landing there. The
+// re-replication rules see the lowered count and heal from a healthy copy.
+event dn_corrupt(Addr, Dn, ChunkId);
+cq1 delete hb_chunk(Dn, Ch) :- dn_corrupt(_, Dn, Ch), hb_chunk(Dn, Ch);
 )olg";
 
 // Availability extension: failure detection + re-replication (toward revision F2).
@@ -205,7 +236,8 @@ table repl_src(ChunkId, Src) keys(0);
 event replicate_cmd(Addr, ChunkId, Dest);
 event repl_cand(ChunkId, Dn, Load);
 rr1 chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
-rr2 under_rep(Ch) :- dn_check(_), chunk_rep(Ch, N), N < $REP, N > 0;
+rr2 under_rep(Ch) :- dn_check(_), chunk_rep(Ch, N), N < $REP, N > 0,
+                     notin safemode(_);
 // Candidate targets: loaded DataNodes not already holding the chunk, plus chunk-less ones
 // (which have no dn_load row at all).
 rr2a repl_cand(Ch, Dn, L) :- under_rep(Ch), datanode(Dn, _), dn_load(Dn, L),
@@ -216,6 +248,40 @@ rr4 repl_src(Ch, min<Dn>) :- under_rep(Ch), hb_chunk(Dn, Ch);
 rr5 replicate_cmd(@Src, Ch, Dest) :- repl_sel(Ch, Pairs), list_len(Pairs) > 0,
                                      repl_src(Ch, Src),
                                      Dest := list_get(list_project(Pairs, 1), 0);
+)olg";
+
+// Safe-mode extension: after a (re)start the NameNode defers location serving and
+// re-replication until it has heard about enough of its chunks. $SMCHECK / $SMFRAC /
+// $SMTO / $SMGRACE are substituted.
+constexpr char kSafeModeProgram[] = R"olg(
+// ---- safe mode: defer the data plane until the location table is warm ----
+
+// In safe mode from the first tick; the namespace rules above are unaffected.
+safemode(1);
+timer sm_check($SMCHECK);
+// First sm_check stamps the epoch start (f_now-based, so it is correct after a failover
+// restart too — an absolute deadline computed at program-load time would not be).
+table sm_start(T) keys(0);
+// Chunks some DataNode has reported since this start (reports arrive before the fchunk
+// log finishes replaying in HA, hence a table rather than a per-tick join on hb_chunk).
+table sm_reported(ChunkId) keys(0);
+event sm_total(Me, N);
+event sm_seen(Me, N);
+event sm_exit(Me);
+smr sm_reported(Ch) :- dn_chunk_report(_, _, Ch);
+sma sm_start(T)@next :- sm_check(_), notin sm_start(_), T := f_now();
+sm1 sm_total(Me, count<Ch>) :- sm_check(Me), safemode(_), fchunk(Ch, _);
+sm2 sm_seen(Me, count<Ch>)  :- sm_check(Me), safemode(_), sm_reported(Ch), fchunk(Ch, _);
+// Exit when $SMFRAC percent of owned chunks have a reported location...
+sm3 sm_exit(Me) :- sm_total(Me, Tot), sm_seen(Me, Seen), Seen * 100 >= Tot * $SMFRAC;
+// ...or the namespace owns no chunks at all (fresh cluster / empty log) after a short
+// grace period that covers HA log replay...
+sm4 sm_exit(Me) :- sm_check(Me), safemode(_), notin fchunk(_, _), sm_start(T),
+                   f_now() - T > $SMGRACE;
+// ...or unconditionally after the timeout (better to serve a partial view than none).
+sm5 sm_exit(Me) :- sm_check(Me), safemode(_), sm_start(T), f_now() - T > $SMTO;
+sm6 delete safemode(On) :- sm_exit(_), safemode(On);
+sm7 delete sm_reported(Ch) :- sm_exit(_), sm_reported(Ch);
 )olg";
 
 void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
@@ -233,9 +299,16 @@ std::string BoomFsNnProgram(const NnProgramOptions& options) {
   if (options.with_failure_detector) {
     out += kFailureDetectorProgram;
   }
+  if (options.with_safe_mode) {
+    out += kSafeModeProgram;
+  }
   ReplaceAll(&out, "$REP", std::to_string(options.replication_factor));
   ReplaceAll(&out, "$HBTO", std::to_string(options.heartbeat_timeout_ms));
   ReplaceAll(&out, "$CHECK", std::to_string(options.failure_check_period_ms));
+  ReplaceAll(&out, "$SMCHECK", std::to_string(options.safe_mode_check_period_ms));
+  ReplaceAll(&out, "$SMFRAC", std::to_string(options.safe_mode_report_frac_pct));
+  ReplaceAll(&out, "$SMTO", std::to_string(options.safe_mode_timeout_ms));
+  ReplaceAll(&out, "$SMGRACE", std::to_string(options.safe_mode_grace_ms));
   return out;
 }
 

@@ -5,6 +5,13 @@
 // (`fchunk`), and DataNode liveness/locations (`datanode`, `hb_chunk`). Every namespace
 // operation is a handful of rules over those tables; chunk placement is a bottomk aggregate
 // over DataNode load; failure detection and re-replication are a timer plus six rules.
+//
+// Robustness extensions (all still declarative):
+//   - dn_corrupt retracts the (chunk, datanode) location of a quarantined replica, so reads
+//     stop landing on it and the re-replication rules heal the count.
+//   - "abandon" detaches + tombstones a chunk whose write never completed.
+//   - Safe mode: after a (re)start the NameNode answers namespace reads but defers
+//     locations / re-replication until enough chunk reports arrive (or a timeout passes).
 
 #ifndef SRC_BOOMFS_NN_PROGRAM_H_
 #define SRC_BOOMFS_NN_PROGRAM_H_
@@ -20,6 +27,15 @@ struct NnProgramOptions {
   // When false, the failure-detector / re-replication rules are omitted (the paper's initial
   // BOOM-FS revision F1 vs the availability revision).
   bool with_failure_detector = true;
+  // Safe mode: start with location serving and re-replication deferred; exit once
+  // safe_mode_report_frac_pct percent of owned chunks have a reported location, the
+  // namespace has stayed empty for safe_mode_grace_ms (fresh cluster), or
+  // safe_mode_timeout_ms elapses. When false, locations are served immediately.
+  bool with_safe_mode = true;
+  double safe_mode_check_period_ms = 200;
+  int safe_mode_report_frac_pct = 60;
+  double safe_mode_timeout_ms = 5000;
+  double safe_mode_grace_ms = 400;
 };
 
 // Returns the NameNode Overlog program text.

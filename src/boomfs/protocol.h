@@ -5,24 +5,33 @@
 // the evaluation mix {BOOM-MR, Hadoop-baseline} x {BOOM-FS, HDFS-baseline}.
 //
 // Namespace requests:  ns_request(NN, ReqId, Client, Cmd, Path, Arg)
-//   Cmd in {"mkdir", "create", "exists", "ls", "rm", "addchunk", "chunks", "locations"};
-//   Arg carries the chunk id for "locations", nil otherwise.
+//   Cmd in {"mkdir", "create", "exists", "ls", "rm", "addchunk", "chunks", "locations",
+//   "abandon"}; Arg carries the chunk id for "locations"/"abandon", nil otherwise.
 // Namespace responses: ns_response(Client, ReqId, Ok, Payload)
-//   mkdir/create/rm: payload nil; exists: bool; ls: list of names; addchunk:
+//   mkdir/create/rm/abandon: payload nil; exists: bool; ls: list of names; addchunk:
 //   [ChunkId, [dn...]]; chunks: list of chunk ids; locations: list of datanode addresses.
 //
-// Data plane (client <-> DataNode, native):
-//   dn_write(To, ChunkId, Data, Pipeline, AckTo, ReqId) — store + forward along Pipeline;
-//     the final replica acks with dn_write_ack(AckTo, ReqId, ChunkId) (skipped when AckTo="").
-//   dn_read(To, ChunkId, Client, ReqId) -> dn_read_data(Client, ReqId, Ok, Data)
+// Data plane (client <-> DataNode, native). Every chunk transfer carries an end-to-end
+// checksum over the payload (computed by the original writer and stored alongside the
+// bytes), so corruption at rest or in transit is detected at store and at serve time:
+//   dn_write(To, ChunkId, Data, Checksum, Pipeline, AckTo, ReqId) — verify + store +
+//     forward along Pipeline; the final replica acks with
+//     dn_write_ack(AckTo, ReqId, ChunkId) (skipped when AckTo="").
+//   dn_read(To, ChunkId, Client, ReqId) -> dn_read_data(Client, ReqId, Ok, Data, Checksum)
 //
 // DataNode -> NameNode control plane:
 //   dn_heartbeat(NN, Dn); dn_chunk_report(NN, Dn, ChunkId)
+//   dn_corrupt(NN, Dn, ChunkId) — Dn quarantined a corrupt replica; retract its location
 // NameNode -> DataNode:
 //   replicate_cmd(Dn, ChunkId, DestDn); dn_delete(Dn, ChunkId) — drop a GC'd chunk
 
 #ifndef SRC_BOOMFS_PROTOCOL_H_
 #define SRC_BOOMFS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/base/strings.h"
 
 namespace boom {
 
@@ -39,6 +48,9 @@ inline constexpr char kCmdRm[] = "rm";
 inline constexpr char kCmdAddChunk[] = "addchunk";
 inline constexpr char kCmdChunks[] = "chunks";
 inline constexpr char kCmdLocations[] = "locations";
+// Detach + tombstone a chunk whose every replica write failed (client-side pipeline
+// recovery gives up on the allocated id before re-requesting a fresh pipeline).
+inline constexpr char kCmdAbandon[] = "abandon";
 
 // Data plane.
 inline constexpr char kDnWrite[] = "dn_write";
@@ -49,8 +61,15 @@ inline constexpr char kDnReadData[] = "dn_read_data";
 // Control plane.
 inline constexpr char kDnHeartbeat[] = "dn_heartbeat";
 inline constexpr char kDnChunkReport[] = "dn_chunk_report";
+inline constexpr char kDnCorrupt[] = "dn_corrupt";
 inline constexpr char kReplicateCmd[] = "replicate_cmd";
 inline constexpr char kDnDelete[] = "dn_delete";
+
+// Chunk payload checksum (FNV-1a 64, carried as a signed int in tuples). Stable across
+// platforms so a checksum computed by the writer verifies on any replica.
+inline int64_t ChunkChecksum(std::string_view data) {
+  return static_cast<int64_t>(Fnv1a64(data));
+}
 
 }  // namespace boom
 

@@ -42,6 +42,12 @@ std::string FaultEvent::ToString() const {
       out += Fmt(" reorder=%.2f", faults.reorder_prob);
       out += Fmt(" lat=%.1fms", faults.extra_latency_ms);
       break;
+    case FaultType::kDiskCorrupt:
+      out += "corrupt-disk " + node + Fmt(" p=%.2f", corrupt_prob);
+      break;
+    case FaultType::kSlowDisk:
+      out += "slow-disk " + node + Fmt(" +%.1fms", slow_disk_ms);
+      break;
   }
   return out;
 }
@@ -130,6 +136,36 @@ FaultSchedule GenerateFaultSchedule(uint64_t seed, const FaultGenOptions& o) {
     }
   }
 
+  // Disk faults are sampled last and only when enabled, so scenarios that never opt in
+  // keep byte-identical schedules for pre-existing seeds.
+  if (!o.corruptible.empty() && o.max_corruptions > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_corruptions));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kDiskCorrupt;
+      ev.node = o.corruptible[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.corruptible.size()) - 1))];
+      ev.corrupt_prob = rng.Uniform(0.5, 1.0);
+      ev.duration_ms = rng.Uniform(o.min_disk_ms, o.max_disk_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  if (!o.corruptible.empty() && o.max_slow_disks > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_slow_disks));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kSlowDisk;
+      ev.node = o.corruptible[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.corruptible.size()) - 1))];
+      ev.slow_disk_ms = rng.Uniform(20, 200);
+      ev.duration_ms = rng.Uniform(o.min_disk_ms, o.max_disk_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
   std::stable_sort(schedule.events.begin(), schedule.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.start_ms < b.start_ms;
@@ -183,6 +219,37 @@ void ApplySchedule(Cluster& cluster, const FaultSchedule& schedule, bool fresh_s
         cluster.ScheduleAt(end, [&cluster, a, b] { cluster.ClearLinkFaults(a, b); });
         break;
       }
+      case FaultType::kDiskCorrupt: {
+        // Read-modify-write so a concurrent slow-disk window on the same node survives.
+        std::string node = ev.node;
+        double p = ev.corrupt_prob;
+        cluster.ScheduleAt(start, [&cluster, node, p] {
+          DiskFaults f = cluster.disk_faults(node);
+          f.corrupt_prob = p;
+          cluster.SetDiskFaults(node, f);
+        });
+        cluster.ScheduleAt(end, [&cluster, node] {
+          DiskFaults f = cluster.disk_faults(node);
+          f.corrupt_prob = 0;
+          cluster.SetDiskFaults(node, f);
+        });
+        break;
+      }
+      case FaultType::kSlowDisk: {
+        std::string node = ev.node;
+        double ms = ev.slow_disk_ms;
+        cluster.ScheduleAt(start, [&cluster, node, ms] {
+          DiskFaults f = cluster.disk_faults(node);
+          f.slow_ms = ms;
+          cluster.SetDiskFaults(node, f);
+        });
+        cluster.ScheduleAt(end, [&cluster, node] {
+          DiskFaults f = cluster.disk_faults(node);
+          f.slow_ms = 0;
+          cluster.SetDiskFaults(node, f);
+        });
+        break;
+      }
     }
   }
 }
@@ -190,6 +257,7 @@ void ApplySchedule(Cluster& cluster, const FaultSchedule& schedule, bool fresh_s
 void HealAll(Cluster& cluster, const std::vector<std::string>& nodes, bool fresh_state) {
   cluster.ClearBlockedLinks();
   cluster.ClearAllLinkFaults();
+  cluster.ClearAllDiskFaults();
   for (const std::string& node : nodes) {
     if (cluster.HasNode(node) && !cluster.IsAlive(node)) {
       cluster.RestartNode(node, fresh_state);

@@ -23,17 +23,21 @@ enum class FaultType {
   kCrash,        // KillNode at start, RestartNode at start + duration
   kPartition,    // side_a cut off from every other node
   kLinkDegrade,  // LinkFaults applied to one link for the window
+  kDiskCorrupt,  // chunks stored on `node` during the window silently rot at rest
+  kSlowDisk,     // `node` adds per-operation disk latency during the window
 };
 
 struct FaultEvent {
   FaultType type = FaultType::kCrash;
   double start_ms = 0;
   double duration_ms = 0;
-  std::string node;                 // kCrash
+  std::string node;                 // kCrash / kDiskCorrupt / kSlowDisk
   std::vector<std::string> side_a;  // kPartition: the isolated group
   std::vector<std::string> side_b;  // kPartition: everyone else (all_nodes - side_a)
   std::string link_a, link_b;       // kLinkDegrade
   LinkFaults faults;                // kLinkDegrade
+  double corrupt_prob = 0;          // kDiskCorrupt
+  double slow_disk_ms = 0;          // kSlowDisk
 
   std::string ToString() const;
 };
@@ -67,10 +71,18 @@ struct FaultGenOptions {
   bool allow_reorder = true;
   bool allow_latency = true;
 
+  // Disk faults (defaults off: only storage scenarios opt in, which also keeps schedules
+  // of scenarios that predate these knobs byte-identical for old seeds).
+  int max_corruptions = 0;  // kDiskCorrupt windows
+  int max_slow_disks = 0;   // kSlowDisk windows
+  double min_disk_ms = 1500;
+  double max_disk_ms = 6000;
+
   std::vector<std::string> killable;       // crash targets
   std::vector<std::string> partitionable;  // the isolated side is drawn from these
   std::vector<std::string> all_nodes;      // partition: other side = all_nodes - side_a
   std::vector<std::pair<std::string, std::string>> degradable_links;
+  std::vector<std::string> corruptible;    // kDiskCorrupt / kSlowDisk targets
 };
 
 // Deterministic: the same (seed, options) always yields the same schedule. The generator

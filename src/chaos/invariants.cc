@@ -1,6 +1,7 @@
 #include "src/chaos/invariants.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "src/boomfs/boomfs.h"
@@ -9,6 +10,12 @@
 namespace boom {
 
 namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
 
 // Reads a table as a vector of tuples; empty when the table (or engine) is missing —
 // a freshly restarted replica that has not reinstalled state yet is not a violation.
@@ -226,9 +233,31 @@ void BoomFsInvariantChecker::Check(Cluster& cluster, bool final_check,
     return;
   }
 
-  // After heal + settle: no DataNode may store a chunk the namespace does not own (dead
-  // chunks must have been garbage-collected via the tombstone protocol), and every
-  // acknowledged write must read back byte-for-byte.
+  // After heal + settle: every owned chunk must be back at full replication (bounded by
+  // the number of live DataNodes) — a crashed replica or a quarantined corrupt copy must
+  // have been healed by re-replication, without waiting for anything further.
+  size_t live_dns = 0;
+  for (const std::string& dn : datanodes_) {
+    if (cluster.IsAlive(dn)) {
+      ++live_dns;
+    }
+  }
+  size_t expected_rep = std::min<size_t>(static_cast<size_t>(replication_factor_), live_dns);
+  std::map<int64_t, size_t> rep_count;
+  for (const Tuple& row : ReadTable(cluster, namenode_, "hb_chunk")) {
+    ++rep_count[row[1].as_int()];
+  }
+  for (int64_t chunk : owned) {
+    size_t n = rep_count.count(chunk) ? rep_count[chunk] : 0;
+    if (n < expected_rep) {
+      out->push_back("chunk " + std::to_string(chunk) + " under-replicated after heal (" +
+                     std::to_string(n) + "/" + std::to_string(expected_rep) + ")");
+    }
+  }
+
+  // No DataNode may store a chunk the namespace does not own (dead chunks must have been
+  // garbage-collected via the tombstone protocol), and every acknowledged write must read
+  // back byte-for-byte.
   for (const std::string& dn : datanodes_) {
     auto* datanode = dynamic_cast<DataNode*>(cluster.actor(dn));
     if (datanode == nullptr) {
@@ -247,6 +276,20 @@ void BoomFsInvariantChecker::Check(Cluster& cluster, bool final_check,
       out->push_back("acked file " + path + " is unreadable after heal");
     } else if (got != data) {
       out->push_back("acked file " + path + " read back wrong bytes");
+    }
+  }
+}
+
+void BoomFsReadIntegrityChecker::Check(Cluster& /*cluster*/, bool /*final_check*/,
+                                       std::vector<std::string>* out) {
+  for (const FsReadRecord& r : *reads_) {
+    if (r.done_ms < 0 || !r.ok) {
+      continue;  // still in flight, or failed (failure is a liveness concern, not safety)
+    }
+    if (r.got != r.expect) {
+      out->push_back("read of " + r.path + " issued at t=" + Fmt("%.1f", r.issued_ms) +
+                     " succeeded with wrong bytes (" + std::to_string(r.got.size()) +
+                     "B got vs " + std::to_string(r.expect.size()) + "B expected)");
     }
   }
 }

@@ -83,11 +83,13 @@ struct FsModel {
 class BoomFsInvariantChecker : public InvariantChecker {
  public:
   BoomFsInvariantChecker(std::string namenode, std::vector<std::string> datanodes,
-                         FsClient* client, std::shared_ptr<const FsModel> model)
+                         FsClient* client, std::shared_ptr<const FsModel> model,
+                         int replication_factor = 3)
       : namenode_(std::move(namenode)),
         datanodes_(std::move(datanodes)),
         client_(client),
-        model_(std::move(model)) {}
+        model_(std::move(model)),
+        replication_factor_(replication_factor) {}
   std::string name() const override { return "boomfs-metadata"; }
   void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
 
@@ -96,9 +98,37 @@ class BoomFsInvariantChecker : public InvariantChecker {
   std::vector<std::string> datanodes_;
   FsClient* client_;
   std::shared_ptr<const FsModel> model_;
+  int replication_factor_;
   // Acks racing the checkpoint: an op acked within this window may not have materialized
   // into `file` yet (@next lands state one tick later).
   double ack_slack_ms_ = 150;
+};
+
+// One ReadFile issued by the chaos workload, with the sequential oracle's expected bytes
+// captured at issue time (per-path contents are immutable once acked: the workload never
+// overwrites a path, and rm'd paths are never reused).
+struct FsReadRecord {
+  std::string path;
+  std::string expect;
+  double issued_ms = 0;
+  double done_ms = -1;  // < 0 until the callback fires
+  bool ok = false;
+  std::string got;
+};
+using FsReadLog = std::vector<FsReadRecord>;
+
+// Safety at every checkpoint: a ReadFile that completed successfully must have returned
+// exactly the oracle's bytes — a replica serving rotted data must either be caught by
+// checksums (read fails over) or show up here.
+class BoomFsReadIntegrityChecker : public InvariantChecker {
+ public:
+  explicit BoomFsReadIntegrityChecker(std::shared_ptr<const FsReadLog> reads)
+      : reads_(std::move(reads)) {}
+  std::string name() const override { return "boomfs-read-integrity"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<const FsReadLog> reads_;
 };
 
 // --- BOOM-MR ---

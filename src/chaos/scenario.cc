@@ -143,6 +143,9 @@ class BoomFsScenario : public ChaosScenario {
       dn_opts.namenode = nn_;
       dn_opts.heartbeat_period_ms = 300;
       dn_opts.full_report_every = 4;
+      // serve-corrupt: rotted replicas are served with a freshly recomputed checksum, so
+      // only the end-to-end read oracle can catch them.
+      dn_opts.verify_reads = options_.bug != "serve-corrupt";
       cluster.AddActor(std::make_unique<DataNode>(dn, dn_opts));
     }
     FsClientOptions client_opts;
@@ -159,7 +162,8 @@ class BoomFsScenario : public ChaosScenario {
       });
     }
     checkers_.push_back(std::make_unique<BoomFsInvariantChecker>(
-        nn_, datanodes_, client_ptr, work->model));
+        nn_, datanodes_, client_ptr, work->model, /*replication_factor=*/3));
+    checkers_.push_back(std::make_unique<BoomFsReadIntegrityChecker>(work->reads));
   }
 
   FaultGenOptions FaultProfile() const override {
@@ -184,6 +188,11 @@ class BoomFsScenario : public ChaosScenario {
     o.max_degrades = 3;
     o.min_degrade_ms = 1500;
     o.max_degrade_ms = 6000;
+    // Storage faults: replicas rot at rest or the disk slows down. Checksums + quarantine
+    // + re-replication must absorb these, so they are squarely inside the envelope.
+    o.corruptible = datanodes_;
+    o.max_corruptions = 2;
+    o.max_slow_disks = 2;
     return o;
   }
 
@@ -192,9 +201,12 @@ class BoomFsScenario : public ChaosScenario {
 
   struct Work {
     explicit Work(uint64_t seed)
-        : rng(seed ^ 0xABCDEF0123456789ULL), model(std::make_shared<FsModel>()) {}
+        : rng(seed ^ 0xABCDEF0123456789ULL),
+          model(std::make_shared<FsModel>()),
+          reads(std::make_shared<FsReadLog>()) {}
     Rng rng;
     std::shared_ptr<FsModel> model;
+    std::shared_ptr<FsReadLog> reads;
     std::set<std::string> in_flight;  // paths with a pending rm (never double-issue)
     int next_dir = 0;
     int next_file = 0;
@@ -220,14 +232,14 @@ class BoomFsScenario : public ChaosScenario {
           work->model->acked[path] = {true, cluster.now()};
         }
       });
-    } else if (r < 0.55) {
+    } else if (r < 0.5) {
       std::string path = pick_dir() + "/f" + std::to_string(work->next_file++);
       client->CreateFile(cluster, path, [&cluster, work, path](bool ok, const Value&) {
         if (ok) {
           work->model->acked[path] = {false, cluster.now()};
         }
       });
-    } else if (r < 0.8) {
+    } else if (r < 0.7) {
       std::string path = pick_dir() + "/w" + std::to_string(work->next_file++);
       std::string data;
       while (data.size() < 60) {
@@ -239,6 +251,29 @@ class BoomFsScenario : public ChaosScenario {
           work->model->contents[path] = data;
         }
       });
+    } else if (r < 0.85) {
+      // Read back an acked write and record it against the oracle bytes captured now
+      // (contents are immutable per path: no overwrites, rm'd paths never reused).
+      std::vector<std::string> candidates;
+      for (const auto& [path, data] : m.contents) {
+        if (!work->in_flight.count(path)) {
+          candidates.push_back(path);
+        }
+      }
+      if (candidates.empty()) {
+        return;
+      }
+      std::string path = candidates[static_cast<size_t>(
+          work->rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+      size_t idx = work->reads->size();
+      work->reads->push_back({path, m.contents[path], cluster.now(), -1, false, ""});
+      client->ReadFile(cluster, path,
+                       [&cluster, work, idx](bool ok, const std::string& data) {
+                         FsReadRecord& rec = (*work->reads)[idx];
+                         rec.done_ms = cluster.now();
+                         rec.ok = ok;
+                         rec.got = data;
+                       });
     } else {
       std::vector<std::string> victims;
       for (const auto& [path, entry] : m.acked) {
@@ -360,16 +395,21 @@ bool KnownBug(const std::string& scenario, const std::string& bug) {
   if (bug.empty()) {
     return true;
   }
-  if (scenario == "paxos") {
-    return bug == "quorum1" || bug == "amnesia";
-  }
-  if (scenario == "boomfs") {
-    return bug == "resurrect";
-  }
-  return false;  // boommr has no bug variants yet
+  std::vector<std::string> known = ScenarioBugNames(scenario);
+  return std::find(known.begin(), known.end(), bug) != known.end();
 }
 
 }  // namespace
+
+std::vector<std::string> ScenarioBugNames(const std::string& scenario) {
+  if (scenario == "paxos") {
+    return {"quorum1", "amnesia"};
+  }
+  if (scenario == "boomfs") {
+    return {"resurrect", "serve-corrupt"};
+  }
+  return {};  // boommr has no bug variants yet
+}
 
 std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
                                             const ScenarioOptions& options) {

@@ -8,6 +8,9 @@
 //           "amnesia"  — replicas restart with fresh state, forgetting promises/accepts.
 //   boomfs: "resurrect" — drops the dead-chunk tombstone rules: a DataNode that missed an
 //           rm re-registers the deleted chunk via its next full report.
+//           "serve-corrupt" — DataNodes skip checksum verification on reads, so a replica
+//           whose bytes rotted at rest is served (with a recomputed, matching checksum)
+//           instead of being quarantined.
 
 #ifndef SRC_CHAOS_SCENARIO_H_
 #define SRC_CHAOS_SCENARIO_H_
@@ -60,6 +63,9 @@ class ChaosScenario {
 std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
                                             const ScenarioOptions& options = {});
 std::vector<std::string> ScenarioNames();
+// Injectable bug variants for one scenario (empty if it has none) — for CLI validation
+// and error messages.
+std::vector<std::string> ScenarioBugNames(const std::string& scenario);
 
 }  // namespace boom
 

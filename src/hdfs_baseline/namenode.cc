@@ -10,7 +10,52 @@ namespace boom {
 
 void HdfsNameNode::OnStart(Cluster& cluster) {
   ++start_epoch_;
+  // Chunk locations and DataNode liveness are soft state: after a restart they reflect a
+  // world that may no longer exist, so drop them and rebuild from heartbeats/reports —
+  // that rebuild window is exactly what safe mode covers.
+  chunk_locs_.clear();
+  datanodes_.clear();
+  safe_mode_ = options_.with_safe_mode;
+  safe_mode_since_ = cluster.now();
   ArmFailureCheck(cluster);
+  ArmSafeModeCheck(cluster);
+}
+
+void HdfsNameNode::ArmSafeModeCheck(Cluster& cluster) {
+  if (!safe_mode_) {
+    return;
+  }
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.safe_mode_check_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    CheckSafeMode(cluster);
+    ArmSafeModeCheck(cluster);
+  });
+}
+
+void HdfsNameNode::CheckSafeMode(Cluster& cluster) {
+  if (!safe_mode_) {
+    return;
+  }
+  size_t total = chunk_file_.size();
+  size_t seen = 0;
+  for (const auto& [chunk, file] : chunk_file_) {
+    auto it = chunk_locs_.find(chunk);
+    if (it != chunk_locs_.end() && !it->second.empty()) {
+      ++seen;
+    }
+  }
+  double elapsed = cluster.now() - safe_mode_since_;
+  bool enough_reports =
+      total > 0 && seen * 100 >= total * static_cast<size_t>(
+                                            options_.safe_mode_report_frac_pct);
+  bool empty_namespace = total == 0 && elapsed > options_.safe_mode_grace_ms;
+  bool timed_out = elapsed > options_.safe_mode_timeout_ms;
+  if (enough_reports || empty_namespace || timed_out) {
+    safe_mode_ = false;
+  }
 }
 
 void HdfsNameNode::ArmFailureCheck(Cluster& cluster) {
@@ -171,6 +216,12 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
     return;
   }
   if (cmd == kCmdLocations) {
+    if (safe_mode_) {
+      // The location table is still being rebuilt from reports; answering from a partial
+      // view would steer clients at replicas we merely have not heard from.
+      Respond(cluster, client, req, false, Value("safe mode"));
+      return;
+    }
     auto it = chunk_locs_.find(arg.as_int());
     if (it == chunk_locs_.end() || it->second.empty()) {
       Respond(cluster, client, req, false, Value("no locations"));
@@ -183,10 +234,34 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
     Respond(cluster, client, req, true, Value(std::move(locs)));
     return;
   }
+  if (cmd == kCmdAbandon) {
+    // Detach + tombstone a chunk whose write never completed. Idempotent: the client may
+    // retry after a lost response, and the chunk may already be gone.
+    int64_t chunk = arg.as_int();
+    auto owner = chunk_file_.find(chunk);
+    if (owner != chunk_file_.end()) {
+      auto& order = file_chunks_[owner->second];
+      order.erase(std::remove(order.begin(), order.end(), chunk), order.end());
+      auto locs_it = chunk_locs_.find(chunk);
+      if (locs_it != chunk_locs_.end()) {
+        for (const std::string& dn : locs_it->second) {
+          cluster.Send(address(), dn, kDnDelete, Tuple{Value(dn), Value(chunk)});
+        }
+        chunk_locs_.erase(locs_it);
+      }
+      chunk_file_.erase(owner);
+      dead_chunks_.insert(chunk);
+    }
+    Respond(cluster, client, req, true, Value());
+    return;
+  }
   Respond(cluster, client, req, false, Value("unknown command " + cmd));
 }
 
 void HdfsNameNode::CheckFailures(Cluster& cluster) {
+  if (safe_mode_) {
+    return;  // liveness and locations are still warming up; don't act on a partial view
+  }
   std::vector<std::string> dead;
   for (const auto& [dn, last_hb] : datanodes_) {
     if (cluster.now() - last_hb > options_.heartbeat_timeout_ms) {
@@ -240,6 +315,15 @@ void HdfsNameNode::OnMessage(const Message& msg, Cluster& cluster) {
       return;
     }
     chunk_locs_[chunk].insert(dn);
+    return;
+  }
+  if (msg.table == kDnCorrupt) {
+    // (NN, Dn, ChunkId): the DataNode quarantined a corrupt replica; forget the location
+    // so reads stop landing there and re-replication restores the count.
+    auto it = chunk_locs_.find(msg.tuple[2].as_int());
+    if (it != chunk_locs_.end()) {
+      it->second.erase(msg.tuple[1].as_string());
+    }
     return;
   }
   BOOM_LOG(Warning) << "HdfsNameNode: unknown message " << msg.table;

@@ -20,6 +20,15 @@ struct HdfsNameNodeOptions {
   double heartbeat_timeout_ms = 2000;
   double failure_check_period_ms = 500;
   bool with_failure_detector = true;
+  // Safe mode (same policy as the Overlog NameNode): after a (re)start, chunk locations are
+  // soft state rebuilt from reports, so location serving and re-replication are deferred
+  // until safe_mode_report_frac_pct percent of owned chunks have a reported location, the
+  // namespace has stayed chunk-less for safe_mode_grace_ms, or safe_mode_timeout_ms passes.
+  bool with_safe_mode = true;
+  double safe_mode_check_period_ms = 200;
+  int safe_mode_report_frac_pct = 60;
+  double safe_mode_timeout_ms = 5000;
+  double safe_mode_grace_ms = 400;
 };
 
 class HdfsNameNode : public Actor {
@@ -36,6 +45,7 @@ class HdfsNameNode : public Actor {
   // Introspection for tests.
   size_t file_count() const { return inodes_.size(); }
   size_t live_datanodes() const { return datanodes_.size(); }
+  bool in_safe_mode() const { return safe_mode_; }
   std::vector<std::string> ChunkLocations(int64_t chunk_id) const;
 
  private:
@@ -49,6 +59,8 @@ class HdfsNameNode : public Actor {
   // Path resolution: walk components from the root. Returns nullptr when missing.
   const Inode* Resolve(const std::string& path) const;
   void ArmFailureCheck(Cluster& cluster);
+  void ArmSafeModeCheck(Cluster& cluster);
+  void CheckSafeMode(Cluster& cluster);
   void Respond(Cluster& cluster, const std::string& client, int64_t req, bool ok,
                Value payload);
   void HandleRequest(const Message& msg, Cluster& cluster);
@@ -66,6 +78,8 @@ class HdfsNameNode : public Actor {
   std::map<std::string, double> datanodes_;               // datanode -> last heartbeat
   int64_t next_id_ = 1;
   uint64_t start_epoch_ = 0;
+  bool safe_mode_ = false;
+  double safe_mode_since_ = 0;  // virtual time this safe-mode epoch began
 };
 
 }  // namespace boom

@@ -108,6 +108,28 @@ void Cluster::ClearLinkFaults(const std::string& a, const std::string& b) {
 
 void Cluster::ClearAllLinkFaults() { link_faults_.clear(); }
 
+void Cluster::SetDiskFaults(const std::string& address, DiskFaults faults) {
+  if (!faults.active()) {
+    ClearDiskFaults(address);
+    return;
+  }
+  disk_faults_[address] = faults;
+  Trace("dfaults", address, "", "set");
+}
+
+void Cluster::ClearDiskFaults(const std::string& address) {
+  if (disk_faults_.erase(address) > 0) {
+    Trace("dfaults", address, "", "clear");
+  }
+}
+
+void Cluster::ClearAllDiskFaults() { disk_faults_.clear(); }
+
+DiskFaults Cluster::disk_faults(const std::string& address) const {
+  auto it = disk_faults_.find(address);
+  return it == disk_faults_.end() ? DiskFaults{} : it->second;
+}
+
 void Cluster::Trace(const char* kind, const std::string& from, const std::string& to,
                     const std::string& detail) {
   if (!trace_) {

@@ -72,6 +72,16 @@ struct LinkFaults {
   }
 };
 
+// Per-node disk fault model (the chaos harness's storage-degradation primitives). The
+// cluster only stores the knobs; storage actors (DataNodes) consult them at store/serve
+// time, sampling from the cluster Rng so degraded runs stay seed-reproducible.
+struct DiskFaults {
+  double corrupt_prob = 0;  // chance a freshly stored chunk is silently mangled at rest
+  double slow_ms = 0;       // extra per-operation disk latency (slow/failing spindle)
+
+  bool active() const { return corrupt_prob > 0 || slow_ms > 0; }
+};
+
 class Cluster {
  public:
   explicit Cluster(uint64_t seed);
@@ -133,6 +143,14 @@ class Cluster {
   void SetLinkFaults(const std::string& a, const std::string& b, LinkFaults faults);
   void ClearLinkFaults(const std::string& a, const std::string& b);
   void ClearAllLinkFaults();
+
+  // Per-node disk degradation (corruption-at-rest, slow disk). Replaces any faults
+  // previously set on the node; a default-constructed DiskFaults clears them.
+  void SetDiskFaults(const std::string& address, DiskFaults faults);
+  void ClearDiskFaults(const std::string& address);
+  void ClearAllDiskFaults();
+  // The faults currently set on `address` (all-zero when none).
+  DiskFaults disk_faults(const std::string& address) const;
 
   // Observability hook for the chaos harness: every network/fault event is reported as one
   // formatted text line (fixed-precision times, no addresses of heap objects), so two runs
@@ -206,6 +224,7 @@ class Cluster {
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
   std::set<std::pair<std::string, std::string>> blocked_;
   std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
+  std::map<std::string, DiskFaults> disk_faults_;
   TraceFn trace_;
   double now_ms_ = 0;
   uint64_t seq_ = 0;

@@ -242,5 +242,133 @@ INSTANTIATE_TEST_SUITE_P(BothFileSystems, FsTest,
                            return info.param == FsKind::kBoomFs ? "BoomFs" : "HdfsBaseline";
                          });
 
+// Data-plane robustness tests that need custom cluster shapes (so not the FsTest fixture).
+class FsRobustnessTest : public ::testing::TestWithParam<FsKind> {
+ protected:
+  // Fetches a chunk's locations synchronously; fails the test on error.
+  static std::vector<std::string> LocationsOf(Cluster& cluster, FsClient* client,
+                                              int64_t chunk) {
+    bool done = false;
+    Value locs;
+    client->Locations(cluster, chunk, [&](bool ok, const Value& p) {
+      EXPECT_TRUE(ok) << "locations of chunk " << chunk;
+      locs = p;
+      done = true;
+    });
+    cluster.RunUntil(cluster.now() + 1000);
+    EXPECT_TRUE(done);
+    std::vector<std::string> out;
+    if (locs.is_list()) {
+      for (const Value& dn : locs.as_list()) {
+        out.push_back(dn.as_string());
+      }
+    }
+    return out;
+  }
+};
+
+// A write whose pipeline contains a freshly crashed DataNode still completes (the client
+// falls back to fanning out individual chunk writes after the pipeline ack times out), and
+// the cluster converges back to full replication from incremental chunk reports alone —
+// full block reports are disabled, so recovery cannot lean on them.
+TEST_P(FsRobustnessTest, PipelineWriteSurvivesMidPipelineCrash) {
+  Cluster cluster(777);
+  FsSetupOptions opts;
+  opts.kind = GetParam();
+  opts.num_datanodes = 3;  // replication 3 of 3: every pipeline is all three DataNodes
+  opts.replication_factor = 3;
+  opts.chunk_size = 16;
+  opts.full_report_every = 0;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client, /*timeout_ms=*/60000);
+  cluster.RunUntil(1000);
+
+  ASSERT_TRUE(fs.Mkdir("/p"));
+  // Kill the middle pipeline member right before the write: the NameNode has not noticed
+  // yet, so the pipeline it hands out includes the corpse.
+  cluster.KillNode(handles.datanodes[1]);
+  const std::string payload = "pipeline payload that spans several 16-byte chunks!";
+  ASSERT_TRUE(fs.WriteFile("/p/f", payload));
+
+  cluster.RestartNode(handles.datanodes[1], /*fresh_state=*/false);
+  cluster.RunUntil(cluster.now() + 15000);  // failure detector + re-replication
+
+  Value chunks;
+  ASSERT_TRUE(fs.Op(kCmdChunks, "/p/f", &chunks));
+  ASSERT_GE(chunks.as_list().size(), 3u);
+  for (const Value& c : chunks.as_list()) {
+    std::vector<std::string> locs = LocationsOf(cluster, handles.client, c.as_int());
+    size_t live = 0;
+    for (const std::string& dn : locs) {
+      if (cluster.IsAlive(dn)) {
+        ++live;
+      }
+    }
+    EXPECT_EQ(live, 3u) << "chunk " << c.as_int() << " not fully re-replicated";
+  }
+  std::string got;
+  ASSERT_TRUE(fs.ReadFile("/p/f", &got));
+  EXPECT_EQ(got, payload);
+}
+
+// With exactly one corrupt replica per chunk the read still returns the exact bytes: the
+// serving DataNode catches the checksum mismatch, quarantines the replica, and the client
+// fails over to a healthy copy. Re-replication then heals back to full strength.
+TEST_P(FsRobustnessTest, ReadWithOneCorruptReplicaPerChunk) {
+  Cluster cluster(4242);
+  FsSetupOptions opts;
+  opts.kind = GetParam();
+  opts.num_datanodes = 4;
+  opts.replication_factor = 3;
+  opts.chunk_size = 16;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client, /*timeout_ms=*/60000);
+  cluster.RunUntil(1000);
+
+  ASSERT_TRUE(fs.Mkdir("/c"));
+  std::string payload;
+  for (int i = 0; i < 8; ++i) {
+    payload += "block " + std::to_string(i) + " data;";
+  }
+  ASSERT_TRUE(fs.WriteFile("/c/f", payload));
+  cluster.RunUntil(cluster.now() + 3000);  // replication settles
+
+  // Corrupt the replica the client will try first (the first listed location) of every
+  // chunk, so the read must hit the rot and fail over.
+  Value chunks;
+  ASSERT_TRUE(fs.Op(kCmdChunks, "/c/f", &chunks));
+  ASSERT_GT(chunks.as_list().size(), 1u);
+  std::vector<std::pair<std::string, int64_t>> corrupted;
+  for (const Value& c : chunks.as_list()) {
+    int64_t chunk = c.as_int();
+    std::vector<std::string> locs = LocationsOf(cluster, handles.client, chunk);
+    ASSERT_GE(locs.size(), 3u);
+    auto* node = dynamic_cast<DataNode*>(cluster.actor(locs[0]));
+    ASSERT_NE(node, nullptr);
+    ASSERT_TRUE(node->CorruptStoredChunk(chunk));
+    corrupted.push_back({locs[0], chunk});
+  }
+
+  std::string got;
+  ASSERT_TRUE(fs.ReadFile("/c/f", &got));
+  EXPECT_EQ(got, payload);
+  for (const auto& [dn, chunk] : corrupted) {
+    EXPECT_TRUE(dynamic_cast<DataNode*>(cluster.actor(dn))->IsQuarantined(chunk))
+        << dn << " served chunk " << chunk << " without quarantining it";
+  }
+
+  // dn_corrupt retracted the bad locations; re-replication restores them from good copies.
+  cluster.RunUntil(cluster.now() + 15000);
+  std::string again;
+  ASSERT_TRUE(fs.ReadFile("/c/f", &again));
+  EXPECT_EQ(again, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothFileSystems, FsRobustnessTest,
+                         ::testing::Values(FsKind::kBoomFs, FsKind::kHdfsBaseline),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           return info.param == FsKind::kBoomFs ? "BoomFs" : "HdfsBaseline";
+                         });
+
 }  // namespace
 }  // namespace boom

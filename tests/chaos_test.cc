@@ -106,12 +106,32 @@ TEST(ChaosBugVariants, BoomFsResurrectCaughtAndShrunk) {
   ExplorerOptions options;
   options.scenario = "boomfs";
   options.bug = "resurrect";
-  options.seeds = 3;  // seeds 1..3 all fail for this bug
+  options.seed0 = 6;
+  options.seeds = 2;  // seeds 6..7 both fail for this bug
+  ExplorerReport report = ExploreSeeds(options);
+  EXPECT_EQ(report.failures, 2) << report.text;
+  for (const SeedOutcome& outcome : report.outcomes) {
+    EXPECT_FALSE(outcome.passed) << "seed " << outcome.seed;
+    EXPECT_LE(outcome.shrunk.events.size(), 5u)
+        << "seed " << outcome.seed << " schedule did not shrink:\n"
+        << outcome.shrunk.ToString();
+  }
+}
+
+// serve-corrupt: DataNodes skip checksum verification, so a replica that rotted during a
+// corrupt-disk window is served with a freshly recomputed (matching) checksum. Only the
+// end-to-end read oracle can see it — and must, shrinking to a minimal disk-fault recipe.
+TEST(ChaosBugVariants, BoomFsServeCorruptCaughtAndShrunk) {
+  ExplorerOptions options;
+  options.scenario = "boomfs";
+  options.bug = "serve-corrupt";
+  options.seed0 = 4;
+  options.seeds = 3;  // seeds 4..6 all fail for this bug
   ExplorerReport report = ExploreSeeds(options);
   EXPECT_EQ(report.failures, 3) << report.text;
   for (const SeedOutcome& outcome : report.outcomes) {
     EXPECT_FALSE(outcome.passed) << "seed " << outcome.seed;
-    EXPECT_LE(outcome.shrunk.events.size(), 5u)
+    EXPECT_LE(outcome.shrunk.events.size(), 3u)
         << "seed " << outcome.seed << " schedule did not shrink:\n"
         << outcome.shrunk.ToString();
   }

@@ -8,14 +8,24 @@
 // two identical invocations print byte-identical reports. Exit status is the number of
 // failing seeds, capped at 1 — i.e. 0 iff every seed passed.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/chaos/explorer.h"
 
 namespace {
+
+std::string Join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    out += out.empty() ? n : ", " + n;
+  }
+  return out;
+}
 
 void Usage() {
   std::fprintf(stderr,
@@ -66,8 +76,24 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (options.seeds <= 0 ||
-      boom::MakeScenario(options.scenario, {.bug = options.bug}) == nullptr) {
+  if (options.seeds <= 0) {
+    Usage();
+    return 2;
+  }
+  // Reject typos explicitly: a misspelled --scenario or --bug would otherwise sweep the
+  // wrong (or the correct) implementation and report it green under the typo's banner.
+  std::vector<std::string> scenarios = boom::ScenarioNames();
+  if (std::find(scenarios.begin(), scenarios.end(), options.scenario) == scenarios.end()) {
+    std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n", options.scenario.c_str(),
+                 Join(scenarios).c_str());
+    Usage();
+    return 2;
+  }
+  if (boom::MakeScenario(options.scenario, {.bug = options.bug}) == nullptr) {
+    std::vector<std::string> bugs = boom::ScenarioBugNames(options.scenario);
+    std::fprintf(stderr, "unknown bug '%s' for scenario %s (valid: %s)\n",
+                 options.bug.c_str(), options.scenario.c_str(),
+                 bugs.empty() ? "none" : Join(bugs).c_str());
     Usage();
     return 2;
   }
