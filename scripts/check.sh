@@ -4,11 +4,13 @@
 #   scripts/check.sh            # everything below
 #   SKIP_ASAN=1 scripts/check.sh  # inner loop only (no sanitizer rebuild)
 #
-# Tier 1 (must stay green): plain build + every non-chaos test.
-# ASan smoke: rebuild with -DBOOM_SANITIZE=address and run a 3-seed boomfs chaos sweep
-# (corruption + slow-disk faults included via the scenario's fault profile), so memory
-# errors on the retry/quarantine/re-replication paths surface even though the full chaos
-# tier is too slow for every push.
+# Tier 1 (must stay green): plain build + every non-chaos test, then the telemetry label
+# explicitly (metrics/tracing/profiling — see docs/OBSERVABILITY.md).
+# ASan smoke: rebuild with -DBOOM_SANITIZE=address, run the telemetry tests under ASan
+# (the tracer/registry hot paths are lock-free atomics worth sanitizing), then a 3-seed
+# boomfs chaos sweep (corruption + slow-disk faults included via the scenario's fault
+# profile), so memory errors on the retry/quarantine/re-replication paths surface even
+# though the full chaos tier is too slow for every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,10 +23,17 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1 tests (ctest -LE chaos)"
 (cd build && ctest -LE chaos --output-on-failure -j "$JOBS")
 
+echo "==> telemetry tests (ctest -L telemetry)"
+(cd build && ctest -L telemetry --output-on-failure -j "$JOBS")
+
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "==> ASan build"
   cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target chaos_explorer
+  cmake --build build-asan -j "$JOBS" --target chaos_explorer telemetry_test \
+    trace_e2e_test monitor_meta_test
+
+  echo "==> ASan telemetry smoke (ctest -L telemetry)"
+  (cd build-asan && ctest -L telemetry --output-on-failure -j "$JOBS")
 
   echo "==> ASan chaos smoke (3 seeds x boomfs)"
   ./build-asan/tools/chaos_explorer --scenario=boomfs --seeds=3

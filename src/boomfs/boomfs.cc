@@ -2,6 +2,7 @@
 
 #include "src/base/logging.h"
 #include "src/boomfs/protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
 
@@ -32,6 +33,24 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
       Status status = engine.InstallSource(source);
       BOOM_CHECK(status.ok()) << "BOOM-FS NameNode program failed to install: "
                               << status.ToString();
+      // NameNode-side metrics, derived from table activity rather than code paths — the
+      // Overlog NameNode has no imperative handlers to instrument.
+      engine.AddWatch(kNsRequest, [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("fs.nn.ns_request").Add();
+        }
+      });
+      engine.AddWatch(kReplicateCmd, [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("fs.nn.replicate_cmd").Add();
+        }
+      });
+      // safemode(On) holds one row while safe mode is active: insert = enter, delete = exit.
+      engine.AddWatch("safemode", [](const std::string&, const Tuple&, bool inserted) {
+        MetricsRegistry::Global()
+            .counter(inserted ? "fs.nn.safemode_enter" : "fs.nn.safemode_exit")
+            .Add();
+      });
     });
     return;
   }

@@ -4,8 +4,14 @@
 
 #include "src/base/logging.h"
 #include "src/boomfs/protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
+
+namespace {
+// Handles resolved once; registry names are the contract with docs/OBSERVABILITY.md.
+Counter& ClientCounter(const char* name) { return MetricsRegistry::Global().counter(name); }
+}  // namespace
 
 // State for a multi-chunk write in flight. next_offset advances only when a chunk is acked,
 // so a retry round re-sends exactly the bytes that were never confirmed.
@@ -15,6 +21,7 @@ struct WriteJob {
   size_t next_offset = 0;
   int round = 0;  // retry rounds consumed by the chunk currently being written
   std::function<void(bool)> cb;
+  SpanContext span;  // "fs.write" root span for the whole composite op
 };
 
 // State for a multi-chunk read in flight.
@@ -25,6 +32,7 @@ struct ReadJob {
   int round = 0;  // retry rounds consumed by the chunk currently being read
   std::string assembled;
   FsClient::DataCb cb;
+  SpanContext span;  // "fs.read" root span for the whole composite op
 };
 
 void FsClient::Request(Cluster& cluster, const std::string& cmd, const std::string& path,
@@ -37,6 +45,10 @@ void FsClient::Request(Cluster& cluster, const std::string& cmd, const std::stri
   pending.cb = std::move(cb);
   pending.forced_target = std::move(forced_target);
   pending.target_index = preferred_target_;
+  // The request span joins whatever operation is active (an fs.write, a chaos workload
+  // step) and covers the request until its response or terminal timeout.
+  pending.span = cluster.StartSpan("ns:" + cmd, address(), cluster.active_span());
+  pending.sent_ms = cluster.now();
   Dispatch(cluster, req);
 }
 
@@ -48,6 +60,11 @@ void FsClient::Dispatch(Cluster& cluster, int64_t req) {
   PendingReq& pending = it->second;
   ++requests_sent_;
   ++pending.attempts;
+  ClientCounter("fs.client.ns_request").Add();
+  if (pending.attempts > 1) {
+    ClientCounter("fs.client.ns_failover").Add();
+    cluster.SpanAttr(pending.span, "failover", std::to_string(pending.attempts - 1));
+  }
   std::string nn;
   if (!pending.forced_target.empty()) {
     nn = pending.forced_target;
@@ -58,12 +75,16 @@ void FsClient::Dispatch(Cluster& cluster, int64_t req) {
   } else {
     nn = options_.fallbacks[(pending.target_index - 1) % options_.fallbacks.size()];
   }
-  cluster.Send(address(), nn, options_.request_table,
-               Tuple{Value(nn), Value(req), Value(address()), Value(pending.cmd),
-                     Value(pending.path), pending.arg});
-  // Always armed: with every NameNode dead the request surfaces a terminal cb(false,
-  // "timeout") instead of leaving the caller waiting forever.
-  ArmTimeout(cluster, req, pending.attempts);
+  {
+    // Parent the wire message (and the timeout event) to the request's span.
+    Cluster::SpanScope scope(cluster, pending.span);
+    cluster.Send(address(), nn, options_.request_table,
+                 Tuple{Value(nn), Value(req), Value(address()), Value(pending.cmd),
+                       Value(pending.path), pending.arg});
+    // Always armed: with every NameNode dead the request surfaces a terminal cb(false,
+    // "timeout") instead of leaving the caller waiting forever.
+    ArmTimeout(cluster, req, pending.attempts);
+  }
 }
 
 void FsClient::ArmTimeout(Cluster& cluster, int64_t req, int attempt) {
@@ -72,12 +93,15 @@ void FsClient::ArmTimeout(Cluster& cluster, int64_t req, int attempt) {
     if (it == pending_.end() || it->second.attempts != attempt) {
       return;  // answered, or a later attempt owns the timeout
     }
+    ClientCounter("fs.client.ns_timeout").Add();
     if (it->second.attempts <= options_.max_retries) {
       ++it->second.target_index;  // rotate to the next NameNode
       Dispatch(cluster, req);
       return;
     }
     ResponseCb cb = std::move(it->second.cb);
+    cluster.SpanAttr(it->second.span, "timeout", "1");
+    cluster.EndSpan(it->second.span);
     pending_.erase(it);
     cb(false, Value("timeout"));
   });
@@ -139,7 +163,20 @@ void FsClient::WriteFile(Cluster& cluster, const std::string& path, std::string 
   auto job = std::make_shared<WriteJob>();
   job->path = path;
   job->data = std::move(data);
-  job->cb = std::move(cb);
+  // Root span for the composite op; the span ctx and start time are captured by value in
+  // the completion wrapper (capturing `job` there would make the shared_ptr cycle and leak).
+  job->span = cluster.StartSpan("fs.write", address());
+  cluster.SpanAttr(job->span, "path", path);
+  double start_ms = cluster.now();
+  job->cb = [&cluster, span = job->span, start_ms, user_cb = std::move(cb)](bool ok) {
+    ClientCounter(ok ? "fs.client.write_ok" : "fs.client.write_fail").Add();
+    MetricsRegistry::Global().histogram("fs.client.write_ms").Observe(cluster.now() -
+                                                                      start_ms);
+    cluster.SpanAttr(span, "ok", ok ? "1" : "0");
+    cluster.EndSpan(span);
+    user_cb(ok);
+  };
+  Cluster::SpanScope scope(cluster, job->span);
   CreateFile(cluster, path, [this, &cluster, job](bool ok, const Value&) {
     if (!ok) {
       job->cb(false);
@@ -193,6 +230,7 @@ void FsClient::WriteChunks(Cluster& cluster, std::shared_ptr<WriteJob> job) {
           // Attempt 2: a replica mid-pipeline died and swallowed the chain. Write each
           // replica individually; the first ack completes the chunk (the NameNode's
           // re-replication heals any copy that never landed).
+          ClientCounter("fs.client.write_fanout").Add();
           int64_t fan_req = next_req_++;
           pending_acks_[fan_req] = advance;
           for (const Value& d : dns) {
@@ -216,16 +254,21 @@ void FsClient::WriteChunks(Cluster& cluster, std::shared_ptr<WriteJob> job) {
 
 void FsClient::RetryWrite(Cluster& cluster, std::shared_ptr<WriteJob> job) {
   ++job->round;
+  ClientCounter("fs.client.write_retry_round").Add();
   if (job->round >= options_.write_max_rounds) {
     job->cb(false);
     return;
   }
+  // Re-parent the backoff wakeup to the op span: the retry is part of the op, not of
+  // whatever response context triggered it.
+  Cluster::SpanScope scope(cluster, job->span);
   cluster.ScheduleAfter(Backoff(cluster, job->round),
                         [this, &cluster, job] { WriteChunks(cluster, job); });
 }
 
 void FsClient::AbandonAndRetry(Cluster& cluster, std::shared_ptr<WriteJob> job,
                                int64_t chunk_id) {
+  ClientCounter("fs.client.chunk_abandon").Add();
   // Abandon is idempotent on the NameNode; retry the write whether or not it succeeded
   // (on a timeout the chunk stays attached, but a re-read would still see its bytes once
   // some replica write lands — the retry ladder bounds the damage).
@@ -236,7 +279,19 @@ void FsClient::AbandonAndRetry(Cluster& cluster, std::shared_ptr<WriteJob> job,
 void FsClient::ReadFile(Cluster& cluster, const std::string& path, DataCb cb) {
   auto job = std::make_shared<ReadJob>();
   job->path = path;
-  job->cb = std::move(cb);
+  job->span = cluster.StartSpan("fs.read", address());
+  cluster.SpanAttr(job->span, "path", path);
+  double start_ms = cluster.now();
+  job->cb = [&cluster, span = job->span, start_ms, user_cb = std::move(cb)](
+                bool ok, const std::string& data) {
+    ClientCounter(ok ? "fs.client.read_ok" : "fs.client.read_fail").Add();
+    MetricsRegistry::Global().histogram("fs.client.read_ms").Observe(cluster.now() -
+                                                                     start_ms);
+    cluster.SpanAttr(span, "ok", ok ? "1" : "0");
+    cluster.EndSpan(span);
+    user_cb(ok, data);
+  };
+  Cluster::SpanScope scope(cluster, job->span);
   Chunks(cluster, path, [this, &cluster, job](bool ok, const Value& payload) {
     if (!ok || !payload.is_list()) {
       job->cb(false, "");
@@ -276,6 +331,8 @@ void FsClient::TryRead(Cluster& cluster, std::shared_ptr<ReadJob> job, int64_t c
                                  bool ok, std::string data, int64_t checksum) {
     if (!ok || ChunkChecksum(data) != checksum) {
       // Replica missing, quarantined, or the payload fails its own checksum: next replica.
+      ClientCounter(ok ? "fs.client.read_checksum_reject" : "fs.client.read_replica_miss")
+          .Add();
       TryRead(cluster, job, chunk_id, locs, index + 1);
       return;
     }
@@ -291,16 +348,19 @@ void FsClient::TryRead(Cluster& cluster, std::shared_ptr<ReadJob> job, int64_t c
     if (pending_reads_.erase(read_req) == 0) {
       return;  // answered in time
     }
+    ClientCounter("fs.client.read_replica_timeout").Add();
     TryRead(cluster, job, chunk_id, locs, index + 1);
   });
 }
 
 void FsClient::RetryRead(Cluster& cluster, std::shared_ptr<ReadJob> job) {
   ++job->round;
+  ClientCounter("fs.client.read_retry_round").Add();
   if (job->round >= options_.read_max_rounds) {
     job->cb(false, "");
     return;
   }
+  Cluster::SpanScope scope(cluster, job->span);
   cluster.ScheduleAfter(Backoff(cluster, job->round),
                         [this, &cluster, job] { ReadChunks(cluster, job); });
 }
@@ -315,6 +375,10 @@ void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
     }
     ResponseCb cb = std::move(it->second.cb);
     preferred_target_ = it->second.target_index;  // this target answered: stick to it
+    MetricsRegistry::Global()
+        .histogram("fs.client.ns_ms")
+        .Observe(cluster.now() - it->second.sent_ms);
+    cluster.EndSpan(it->second.span);
     pending_.erase(it);
     cb(msg.tuple[2].Truthy(), msg.tuple[3]);
     return;

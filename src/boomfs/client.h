@@ -118,6 +118,8 @@ class FsClient : public Actor {
     int attempts = 0;
     size_t target_index = 0;   // into {namenode} U fallbacks
     std::string forced_target;  // when nonempty, overrides routing entirely
+    SpanContext span;          // "ns:<cmd>" span covering request through response/timeout
+    double sent_ms = 0;
   };
   void Dispatch(Cluster& cluster, int64_t req);
   void ArmTimeout(Cluster& cluster, int64_t req, int attempt);

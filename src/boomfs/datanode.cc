@@ -2,8 +2,13 @@
 
 #include "src/base/logging.h"
 #include "src/boomfs/protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
+
+namespace {
+Counter& DnCounter(const char* name) { return MetricsRegistry::Global().counter(name); }
+}  // namespace
 
 void DataNode::OnStart(Cluster& cluster) {
   ++start_epoch_;
@@ -62,6 +67,7 @@ void DataNode::StoreChunk(int64_t chunk_id, std::string data, int64_t checksum,
     BOOM_LOG(Warning) << "DataNode " << address() << ": chunk " << chunk_id
                       << " overwritten with different bytes (last writer wins)";
   }
+  DnCounter(fresh ? "fs.dn.chunk_store" : "fs.dn.chunk_rewrite").Add();
   StoredChunk& slot = chunks_[chunk_id];
   slot.data = std::move(data);
   slot.checksum = checksum;
@@ -86,6 +92,7 @@ void DataNode::StoreChunk(int64_t chunk_id, std::string data, int64_t checksum,
 }
 
 void DataNode::Quarantine(int64_t chunk_id, Cluster& cluster) {
+  DnCounter("fs.dn.quarantine").Add();
   BOOM_LOG(Warning) << "DataNode " << address() << ": quarantining corrupt chunk "
                     << chunk_id;
   chunks_.erase(chunk_id);
@@ -148,6 +155,7 @@ void DataNode::OnMessage(const Message& msg, Cluster& cluster) {
     if (ChunkChecksum(data) != checksum) {
       // Mangled in transit: refuse the store (no report, no forward, no ack) — the writer
       // times out and retries.
+      DnCounter("fs.dn.write_reject").Add();
       BOOM_LOG(Warning) << "DataNode " << address() << ": rejecting chunk " << chunk_id
                         << " (transfer checksum mismatch)";
       return;
@@ -182,8 +190,10 @@ void DataNode::OnMessage(const Message& msg, Cluster& cluster) {
     // (To, ChunkId, Client, ReqId)
     int64_t chunk_id = msg.tuple[1].as_int();
     const std::string& client = msg.tuple[2].as_string();
+    DnCounter("fs.dn.read").Add();
     auto it = chunks_.find(chunk_id);
     if (it == chunks_.end()) {
+      DnCounter("fs.dn.read_miss").Add();
       cluster.Send(address(), client, kDnReadData,
                    Tuple{Value(client), msg.tuple[3], Value(false), Value(std::string()),
                          Value(int64_t{0})},
@@ -226,6 +236,7 @@ void DataNode::OnMessage(const Message& msg, Cluster& cluster) {
     if (!repl_inflight_.insert({chunk_id, dest}).second) {
       return;  // this exact copy is already in flight (NameNode re-commands periodically)
     }
+    DnCounter("fs.dn.replicate").Add();
     SendReplica(chunk_id, dest, /*attempt=*/1, cluster);
     return;
   }

@@ -3,6 +3,7 @@
 #include "src/base/logging.h"
 #include "src/boomfs/datanode.h"
 #include "src/boomfs/nn_program.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
 
@@ -56,6 +57,35 @@ HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options) {
       BOOM_CHECK(s.ok()) << "boomfs install: " << s.ToString();
       s = engine.InstallSource(bridge_source);
       BOOM_CHECK(s.ok()) << "ha bridge install: " << s.ToString();
+      // Consensus metrics from table activity: proposals, decisions, ballot churn, and
+      // propose->decide quorum latency (virtual ms, matched per slot on this replica).
+      Engine* e = &engine;
+      auto propose_ms = std::make_shared<std::map<int64_t, double>>();
+      engine.AddWatch("proposal", [e, propose_ms](const std::string&, const Tuple& t,
+                                                  bool inserted) {
+        if (inserted && !t.empty() && t[0].is_int()) {
+          MetricsRegistry::Global().counter("paxos.proposal").Add();
+          propose_ms->emplace(t[0].as_int(), e->now());
+        }
+      });
+      engine.AddWatch("decided", [e, propose_ms](const std::string&, const Tuple& t,
+                                                 bool inserted) {
+        if (!inserted || t.empty() || !t[0].is_int()) {
+          return;
+        }
+        MetricsRegistry::Global().counter("paxos.decided").Add();
+        auto it = propose_ms->find(t[0].as_int());
+        if (it != propose_ms->end()) {
+          MetricsRegistry::Global().histogram("paxos.quorum_ms").Observe(e->now() -
+                                                                         it->second);
+          propose_ms->erase(it);
+        }
+      });
+      engine.AddWatch("my_ballot", [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("paxos.ballot_advance").Add();
+        }
+      });
     };
     // Shared salt: replicas replaying the same log mint identical file/chunk ids.
     cluster.AddOverlogNode(handles.replicas[static_cast<size_t>(i)], init,

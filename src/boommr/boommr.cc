@@ -2,6 +2,7 @@
 
 #include "src/base/logging.h"
 #include "src/mr_baseline/jobtracker.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
 
@@ -30,6 +31,17 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
       Status status = engine.InstallSource(source);
       BOOM_CHECK(status.ok()) << "BOOM-MR JobTracker program failed to install: "
                               << status.ToString();
+      // JobTracker-side scheduling metrics from table activity.
+      engine.AddWatch("assign", [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("mr.jt.assign").Add();
+        }
+      });
+      engine.AddWatch("spec_attempt", [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("mr.jt.spec_attempt").Add();
+        }
+      });
     });
   } else {
     HadoopJtOptions jt_opts;

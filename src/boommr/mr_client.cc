@@ -1,6 +1,7 @@
 #include "src/boommr/mr_client.h"
 
 #include "src/boommr/mr_protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
 
@@ -12,6 +13,10 @@ void MrClient::Submit(Cluster& cluster, JobSpec spec,
   data_plane_->RegisterJob(std::move(spec));
   data_plane_->metrics().job_submit_ms[job] = cluster.now();
   pending_[job] = std::move(done);
+  MetricsRegistry::Global().counter("mr.client.job_submit").Add();
+  job_spans_[job] = cluster.StartSpan("mr.job", address());
+  cluster.SpanAttr(job_spans_[job], "job", std::to_string(job));
+  Cluster::SpanScope scope(cluster, job_spans_[job]);
 
   cluster.Send(address(), jobtracker_, kMrSubmit,
                Tuple{Value(jobtracker_), Value(job), Value(address()), Value(num_maps),
@@ -37,6 +42,14 @@ void MrClient::OnMessage(const Message& msg, Cluster& cluster) {
     auto cb = std::move(it->second);
     pending_.erase(it);
     data_plane_->metrics().job_done_ms[job] = cluster.now();
+    auto span_it = job_spans_.find(job);
+    if (span_it != job_spans_.end()) {
+      double submit_ms = data_plane_->metrics().job_submit_ms[job];
+      MetricsRegistry::Global().histogram("mr.client.job_ms").Observe(cluster.now() -
+                                                                      submit_ms);
+      cluster.EndSpan(span_it->second);
+      job_spans_.erase(span_it);
+    }
     cb(cluster.now());
   }
 }

@@ -34,6 +34,7 @@ class MrClient : public Actor {
   std::string jobtracker_;
   std::shared_ptr<MrDataPlane> data_plane_;
   std::map<int64_t, std::function<void(double)>> pending_;
+  std::map<int64_t, SpanContext> job_spans_;  // "mr.job" root span per job in flight
   int64_t next_job_id_ = 1;
 };
 

@@ -4,6 +4,7 @@
 
 #include "src/base/strings.h"
 #include "src/boommr/mr_protocol.h"
+#include "src/telemetry/metrics.h"
 
 namespace boom {
 
@@ -70,6 +71,7 @@ void TaskTracker::StartAttempt(const Message& msg, Cluster& cluster) {
   int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
   int slots = attempt.is_map ? options_.map_slots : options_.reduce_slots;
   if (running_count >= slots) {
+    MetricsRegistry::Global().counter("mr.tt.attempt_queued").Add();
     queued_.push_back(std::move(attempt));  // over-assignment: wait for a slot
     return;
   }
@@ -80,6 +82,9 @@ void TaskTracker::LaunchNow(RunningAttempt attempt, Cluster& cluster) {
   int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
   ++running_count;
   attempt.start_ms = cluster.now();
+  MetricsRegistry::Global()
+      .counter(attempt.speculative ? "mr.tt.attempt_start_spec" : "mr.tt.attempt_start")
+      .Add();
 
   AttemptRecord record;
   record.job_id = attempt.job_id;
@@ -179,6 +184,10 @@ void TaskTracker::FinishAttempt(int64_t attempt_id, Cluster& cluster) {
 
   ExecuteWork(attempt);
 
+  MetricsRegistry::Global().counter("mr.tt.attempt_done").Add();
+  MetricsRegistry::Global()
+      .histogram("mr.tt.attempt_ms")
+      .Observe(cluster.now() - attempt.start_ms);
   MrMetrics& metrics = data_plane_->metrics();
   metrics.attempts[attempt.metrics_index].end_ms = cluster.now();
   auto task_key = std::make_tuple(attempt.job_id, attempt.task_id, attempt.is_map);

@@ -3,6 +3,8 @@
 #include "src/base/logging.h"
 #include "src/chaos/runner.h"
 #include "src/chaos/shrink.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_query.h"
 
 namespace boom {
 
@@ -64,6 +66,20 @@ ExplorerReport ExploreSeeds(const ExplorerOptions& options) {
         text += " shrunk to " + std::to_string(shrunk.schedule.events.size()) +
                 " events (" + std::to_string(shrunk.runs) + " runs):\n" +
                 shrunk.schedule.ToString();
+        if (options.timeline) {
+          // One more run of the minimal reproducer, this time with causal tracing on, so
+          // the repro line ships with the span timeline of the failure it reproduces.
+          auto replay = MakeScenario(options.scenario, sopts);
+          if (options.horizon_ms > 0) {
+            replay->set_horizon_ms(options.horizon_ms);
+          }
+          Tracer tracer(seed);
+          ChaosRunOptions trace_opts = run_opts;
+          trace_opts.tracer = &tracer;
+          RunChaosOnce(*replay, seed, shrunk.schedule, trace_opts);
+          text += " causal timeline of shrunk schedule:\n" +
+                  RenderTimeline(tracer.spans(), options.timeline_traces, "  ");
+        }
       }
     }
     report.outcomes.push_back(std::move(outcome));

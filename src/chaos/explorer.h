@@ -25,6 +25,11 @@ struct ExplorerOptions {
   double horizon_ms = 0;    // 0 = scenario default
   double settle_ms = 0;
   bool verbose = false;     // per-seed lines even for passing seeds
+  // Re-run each shrunk schedule with causal tracing attached and print the span timeline
+  // next to the repro line (one extra run per failing seed). Deterministic: span ids come
+  // from the seed, so the timeline is as byte-stable as the rest of the report.
+  bool timeline = true;
+  size_t timeline_traces = 2;  // full trees for this many largest traces
 };
 
 struct SeedOutcome {

@@ -15,6 +15,9 @@ ChaosRunResult RunChaosOnce(ChaosScenario& scenario, uint64_t seed,
   scenario.set_horizon_ms(horizon);
 
   Cluster cluster(seed);
+  if (options.tracer != nullptr) {
+    cluster.set_tracer(options.tracer);
+  }
   TraceRecorder recorder;
   if (options.record_trace) {
     recorder.Attach(cluster);

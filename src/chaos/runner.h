@@ -15,6 +15,7 @@
 
 #include "src/chaos/fault_schedule.h"
 #include "src/chaos/scenario.h"
+#include "src/telemetry/span.h"
 
 namespace boom {
 
@@ -23,6 +24,10 @@ struct ChaosRunOptions {
   double settle_ms = 0;   // 0 = scenario default
   double check_period_ms = 1000;
   bool record_trace = false;
+  // When set, the run's Cluster records causal spans here (client ops, RPC hops, engine
+  // ticks). Purely observational: span ids derive from the sim seed, never the sim Rng, so
+  // attaching a tracer cannot perturb the schedule.
+  Tracer* tracer = nullptr;
 };
 
 struct ChaosRunResult {

@@ -94,17 +94,18 @@ Status InstallInvariants(Engine& engine, std::string_view rules_source,
   return Status::Ok();
 }
 
-std::string BoomFsInvariantRules(int replication_factor) {
+std::string BoomFsInvariantRules(int replication_factor,
+                                 bool include_under_replication) {
   std::string rep = std::to_string(replication_factor);
-  return R"olg(
+  std::string source = R"olg(
 program boomfs_invariants;
 
 // Every chunk of a live file should be reported by at most )olg" +
-         rep + R"olg( DataNodes (over-replication indicates a placement bug).
+                       rep + R"olg( DataNodes (over-replication indicates a placement bug).
 table inv_chunk_rep(ChunkId, N) keys(0);
 iv1 inv_chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
 iv2 invariant_violation("over_replicated", D) :- inv_chunk_rep(Ch, N), N > )olg" +
-         rep + R"olg(,
+                       rep + R"olg(,
                                                  D := str_cat("chunk ", Ch, " has ", N);
 
 // The directory tree must be acyclic/rooted: every file's parent must exist (except the
@@ -116,6 +117,52 @@ iv3 invariant_violation("orphan_inode", D) :- file(F, Par, _, _), F != 0,
 // fqpath is a function of FileId: two distinct paths for one file id is a view bug.
 iv4 invariant_violation("dup_path", D) :- fqpath(P1, F), fqpath(P2, F), P1 != P2,
                                           P1 < P2, D := str_cat(F, ": ", P1, " vs ", P2);
+)olg";
+  if (include_under_replication) {
+    source += R"olg(
+// Opt-in: once the workload quiesces, every live chunk with any replica at all should have
+// the full complement. (During a write the pipeline fills gradually, so this fires
+// spuriously if installed too early.)
+iv5 invariant_violation("under_replicated", D) :- inv_chunk_rep(Ch, N), N < )olg" +
+              rep + R"olg(,
+                                                  D := str_cat("chunk ", Ch, " has ", N);
+)olg";
+  }
+  return source;
+}
+
+Status InstallProfiling(Engine& engine) {
+  engine.EnableProfiling(true);
+  TableDef rule_def;
+  rule_def.name = "perf_rule";
+  rule_def.columns = {"Program", "Rule", "Evals", "Tuples", "MaxTuplesPerTick", "WallUs"};
+  rule_def.key_columns = {0, 1};
+  BOOM_RETURN_IF_ERROR(engine.catalog().Declare(rule_def));
+  TableDef fix_def;
+  fix_def.name = "perf_fixpoint";
+  fix_def.columns = {"Tick", "NowMs", "Rounds", "Derivs", "WallUs"};
+  fix_def.key_columns = {0};
+  return engine.catalog().Declare(fix_def);
+}
+
+std::string RuleHogInvariantRules(int64_t max_tuples_per_fixpoint) {
+  std::string cap = std::to_string(max_tuples_per_fixpoint);
+  return R"olg(
+program rule_hog_invariants;
+
+// Same shapes the engine declares in PublishProfile(); redeclaring identically is a no-op,
+// so this program installs whether or not profiling was enabled first.
+table perf_rule(Program, Rule, Evals, Tuples, MaxTuplesPerTick, WallUs) keys(0, 1);
+table perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) keys(0);
+
+// Joins the profile the engine publishes via PublishProfile(): no single rule may derive
+// more than )olg" +
+         cap + R"olg( tuples in one fixpoint (a hog usually means a missing join key or a
+// runaway recursive rule).
+rh1 invariant_violation("rule_hog", D) :- perf_rule(P, R, _, _, M, _), M > )olg" +
+         cap + R"olg(,
+                                          D := str_cat(P, ":", R, " peaked at ", M,
+                                                       " tuples/fixpoint");
 )olg";
 }
 

@@ -33,8 +33,25 @@ Status InstallInvariants(Engine& engine, std::string_view rules_source,
                          std::vector<std::string>* sink);
 
 // The BOOM-FS invariants from the paper's monitoring discussion: chunk replication bounds
-// and response coverage are expressible as rules over the NameNode's own tables.
-std::string BoomFsInvariantRules(int replication_factor);
+// and response coverage are expressible as rules over the NameNode's own tables. The
+// under-replication check is opt-in because chunks legitimately hold fewer than
+// `replication_factor` replicas while a pipeline is still filling; enable it only once the
+// workload has quiesced (or after inducing a failure on purpose).
+std::string BoomFsInvariantRules(int replication_factor,
+                                 bool include_under_replication = false);
+
+// Turns on per-rule profiling and declares the perf_rule(Program, Rule, Evals, Tuples,
+// MaxTuplesPerTick, WallUs) and perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) tables
+// up front, so monitor rules can join against them before the first
+// Engine::PublishProfile(). Profiles accumulate in C++ and only land in the tables when
+// PublishProfile() is called (keeping rules-over-perf-tables from feeding back into the
+// profile they observe).
+Status InstallProfiling(Engine& engine);
+
+// Invariant over the published profile: no rule may derive more than
+// `max_tuples_per_fixpoint` tuples in a single fixpoint. Install with InstallInvariants
+// after InstallProfiling; fires once Engine::PublishProfile() lands perf_rule rows.
+std::string RuleHogInvariantRules(int64_t max_tuples_per_fixpoint);
 
 }  // namespace boom
 

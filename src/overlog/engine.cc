@@ -1,6 +1,7 @@
 #include "src/overlog/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "src/base/logging.h"
@@ -177,6 +178,58 @@ void Engine::FireWatches(const std::string& table, const Tuple& tuple, bool inse
   }
 }
 
+void Engine::RecordRuleEval(const CompiledRule& rule, uint64_t tuples, double wall_us,
+                            std::map<std::string, uint64_t>& tick_tuples) {
+  std::string key = rule.program + ":" + rule.name;
+  RuleProfile& profile = rule_profiles_[key];
+  if (profile.rule.empty()) {
+    profile.program = rule.program;
+    profile.rule = rule.name;
+  }
+  ++profile.evals;
+  profile.tuples += tuples;
+  profile.wall_us += wall_us;
+  tick_tuples[key] += tuples;
+}
+
+void Engine::ResetProfile() {
+  rule_profiles_.clear();
+  fixpoint_profiles_.clear();
+}
+
+Status Engine::PublishProfile() {
+  if (catalog_.Find("perf_rule") == nullptr) {
+    TableDef def;
+    def.name = "perf_rule";
+    def.columns = {"Program", "Rule", "Evals", "Tuples", "MaxTuplesPerTick", "WallUs"};
+    def.key_columns = {0, 1};
+    BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
+  }
+  if (catalog_.Find("perf_fixpoint") == nullptr) {
+    TableDef def;
+    def.name = "perf_fixpoint";
+    def.columns = {"Tick", "NowMs", "Rounds", "Derivs", "WallUs"};
+    def.key_columns = {0};
+    BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
+  }
+  for (const auto& [key, p] : rule_profiles_) {
+    BOOM_RETURN_IF_ERROR(Enqueue(
+        "perf_rule", Tuple{Value(p.program), Value(p.rule),
+                           Value(static_cast<int64_t>(p.evals)),
+                           Value(static_cast<int64_t>(p.tuples)),
+                           Value(static_cast<int64_t>(p.max_tuples_per_tick)),
+                           Value(p.wall_us)}));
+  }
+  for (const FixpointProfile& fp : fixpoint_profiles_) {
+    BOOM_RETURN_IF_ERROR(Enqueue(
+        "perf_fixpoint", Tuple{Value(static_cast<int64_t>(fp.tick)), Value(fp.now_ms),
+                               Value(static_cast<int64_t>(fp.rounds)),
+                               Value(static_cast<int64_t>(fp.derivations)),
+                               Value(fp.wall_us)}));
+  }
+  return Status::Ok();
+}
+
 bool Engine::ApplyLocalInsert(const std::string& table, const Tuple& tuple) {
   Table* t = catalog_.Find(table);
   BOOM_CHECK(t != nullptr) << "insert into undeclared table " << table;
@@ -197,6 +250,18 @@ Engine::TickResult Engine::Tick(double now_ms) {
   TickResult result;
   evaluator_.ClearErrors();
   tick_new_.clear();
+
+  // Profiling bookkeeping (only touched when profiling is enabled; the disabled cost is one
+  // predictable branch per eval site).
+  using ProfClock = std::chrono::steady_clock;
+  std::map<std::string, uint64_t> tick_tuples;  // per-rule tuples this tick
+  ProfClock::time_point tick_start;
+  if (profile_) {
+    tick_start = ProfClock::now();
+  }
+  auto prof_elapsed_us = [](ProfClock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(ProfClock::now() - t0).count();
+  };
 
   // 0. Soft-state expiry: TTL rows not refreshed recently vanish before anything derives
   // from them this tick.
@@ -289,9 +354,16 @@ Engine::TickResult Engine::Tick(double now_ms) {
         if (delta_it == tick_new_.end() || delta_it->second.empty()) {
           continue;
         }
+        ProfClock::time_point t0;
+        if (profile_) {
+          t0 = ProfClock::now();
+        }
         std::vector<std::pair<Tuple, std::vector<Value>>> bindings;
         evaluator_.EvalAggBindings(*rule, delta_it->second, &bindings);
         if (bindings.empty()) {
+          if (profile_) {
+            RecordRuleEval(*rule, 0, prof_elapsed_us(t0), tick_tuples);
+          }
           continue;
         }
         AggState& state = agg_state_[rule->name];
@@ -320,6 +392,9 @@ Engine::TickResult Engine::Tick(double now_ms) {
           ++result.derivations;
           ApplyLocalInsert(rule->head_table, Tuple(std::move(vals)));
         }
+        if (profile_) {
+          RecordRuleEval(*rule, changed.size(), prof_elapsed_us(t0), tick_tuples);
+        }
         continue;
       }
       {
@@ -338,6 +413,10 @@ Engine::TickResult Engine::Tick(double now_ms) {
         }
         state.has_input_version = true;
         state.input_version_sum = version_sum;
+      }
+      ProfClock::time_point t0;
+      if (profile_) {
+        t0 = ProfClock::now();
       }
       std::vector<Tuple> head_rows;
       evaluator_.EvalAggregate(*rule, &head_rows);
@@ -375,14 +454,25 @@ Engine::TickResult Engine::Tick(double now_ms) {
         }
       }
       state.last_output = std::move(new_output);
+      if (profile_) {
+        RecordRuleEval(*rule, head_rows.size(), prof_elapsed_us(t0), tick_tuples);
+      }
     }
 
     // 4b. Driverless rules run once, at seed time.
     if (needs_seed_) {
       for (const CompiledRule* rule : by_stratum[stratum]) {
         if (rule->driverless && !rule->has_agg) {
+          ProfClock::time_point t0;
+          if (profile_) {
+            t0 = ProfClock::now();
+          }
           evaluator_.EvalFull(*rule, &derived);
+          size_t produced = derived.size();
           apply_derivations(derived);
+          if (profile_) {
+            RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
+          }
         }
       }
     }
@@ -413,14 +503,24 @@ Engine::TickResult Engine::Tick(double now_ms) {
         if (rule->has_agg || rule->driverless) {
           continue;
         }
+        ProfClock::time_point t0;
+        bool evaluated = false;
+        if (profile_) {
+          t0 = ProfClock::now();
+        }
         for (const CompiledVariant& variant : rule->variants) {
           auto it = deltas.find(variant.driver_table);
           if (it == deltas.end()) {
             continue;
           }
           evaluator_.EvalFromRows(*rule, variant, it->second, &derived);
+          evaluated = true;
         }
+        size_t produced = derived.size();
         apply_derivations(derived);
+        if (profile_ && evaluated) {
+          RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
+        }
       }
     }
   }
@@ -444,6 +544,22 @@ Engine::TickResult Engine::Tick(double now_ms) {
   }
   ++stats_.ticks;
   stats_.derivations += result.derivations;
+  if (profile_) {
+    for (const auto& [key, n] : tick_tuples) {
+      RuleProfile& profile = rule_profiles_[key];
+      profile.max_tuples_per_tick = std::max(profile.max_tuples_per_tick, n);
+    }
+    FixpointProfile fp;
+    fp.tick = stats_.ticks;
+    fp.now_ms = now_ms;
+    fp.rounds = result.rounds;
+    fp.derivations = result.derivations;
+    fp.wall_us = prof_elapsed_us(tick_start);
+    fixpoint_profiles_.push_back(fp);
+    if (fixpoint_profiles_.size() > kMaxFixpointProfiles) {
+      fixpoint_profiles_.pop_front();
+    }
+  }
   return result;
 }
 

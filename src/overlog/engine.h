@@ -16,6 +16,7 @@
 #ifndef SRC_OVERLOG_ENGINE_H_
 #define SRC_OVERLOG_ENGINE_H_
 
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -102,6 +103,47 @@ class Engine {
   // Rule/stratum introspection (used by tests and the monitoring layer).
   const CompiledProgram& compiled() const { return compiled_; }
 
+  // --- per-rule profiling ---
+  //
+  // When enabled, every rule evaluation is timed and counted; per-tick fixpoint summaries
+  // are kept for the most recent ticks. When disabled (the default), the eval loops pay one
+  // predictable branch per rule and nothing else.
+
+  struct RuleProfile {
+    std::string program;
+    std::string rule;
+    uint64_t evals = 0;             // evaluation calls (delta rounds / agg recomputations)
+    uint64_t tuples = 0;            // derivations produced across all ticks
+    uint64_t max_tuples_per_tick = 0;
+    double wall_us = 0;             // cumulative wall-clock evaluation time
+  };
+  struct FixpointProfile {
+    uint64_t tick = 0;       // stats().ticks value for this tick (1-based)
+    double now_ms = 0;       // virtual time of the tick
+    uint64_t rounds = 0;     // semi-naive rounds across strata
+    uint64_t derivations = 0;
+    double wall_us = 0;      // wall-clock time of the whole tick
+  };
+
+  void EnableProfiling(bool on = true) { profile_ = on; }
+  bool profiling() const { return profile_; }
+  // Cumulative per-rule counters, keyed by "<program>:<rule>"; sorted by key.
+  const std::map<std::string, RuleProfile>& rule_profiles() const { return rule_profiles_; }
+  // Per-tick summaries, oldest first, bounded to the most recent kMaxFixpointProfiles.
+  const std::deque<FixpointProfile>& fixpoint_profiles() const { return fixpoint_profiles_; }
+  void ResetProfile();
+
+  // Publishes the current profile into the Overlog tables
+  //   perf_rule(@Program, Rule, Evals, Tuples, MaxTuplesPerTick, WallUs)  keys(0,1)
+  //   perf_fixpoint(@Tick, NowMs, Rounds, Derivs, WallUs)                 keys(0)
+  // declaring them on first use, so monitoring rewrites and invariants can query the
+  // profile like any other relation. Publication is explicit (not automatic each tick): a
+  // rule that reads perf_* must not re-trigger the profiling it observes, which an
+  // every-tick feedback loop would. Rows are enqueued and land on the next Tick.
+  Status PublishProfile();
+
+  static constexpr size_t kMaxFixpointProfiles = 256;
+
  private:
   struct TimerState {
     std::string name;
@@ -135,6 +177,8 @@ class Engine {
   };
 
   Status Recompile();
+  void RecordRuleEval(const CompiledRule& rule, uint64_t tuples, double wall_us,
+                      std::map<std::string, uint64_t>& tick_tuples);
   void FireWatches(const std::string& table, const Tuple& tuple, bool inserted);
   // Inserts locally; appends to tick_new_ on change; fires watches. Returns true if new.
   bool ApplyLocalInsert(const std::string& table, const Tuple& tuple);
@@ -159,6 +203,10 @@ class Engine {
   bool needs_seed_ = false;
   uint64_t id_counter_ = 0;
   Stats stats_;
+
+  bool profile_ = false;
+  std::map<std::string, RuleProfile> rule_profiles_;  // keyed by "<program>:<rule>"
+  std::deque<FixpointProfile> fixpoint_profiles_;
 };
 
 }  // namespace boom

@@ -155,6 +155,27 @@ double Cluster::SampleLatency() {
   return latency_.base_ms + jitter;
 }
 
+SpanContext Cluster::StartSpan(const std::string& name, const std::string& node,
+                               SpanContext parent) {
+  if (tracer_ == nullptr) {
+    return {};
+  }
+  return tracer_->StartSpan(name, node, now_ms_, parent);
+}
+
+void Cluster::EndSpan(const SpanContext& ctx) {
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(ctx, now_ms_);
+  }
+}
+
+void Cluster::SpanAttr(const SpanContext& ctx, const std::string& key,
+                       const std::string& value) {
+  if (tracer_ != nullptr) {
+    tracer_->AddAttr(ctx, key, value);
+  }
+}
+
 void Cluster::Send(const std::string& from, const std::string& to, const std::string& table,
                    Tuple tuple, double extra_delay_ms) {
   ++net_stats_.messages;
@@ -167,7 +188,10 @@ void Cluster::Send(const std::string& from, const std::string& to, const std::st
     Trace("dropF", from, to, table);
     return;
   }
-  Message msg{from, to, table, std::move(tuple)};
+  Message msg{from, to, table, std::move(tuple), {}};
+  // The message's span covers the hop from send to processed-at-receiver; the receiver's
+  // work (and its sends) parent to it, chaining one operation's causality across nodes.
+  msg.span = StartSpan(table, to, active_span_);
   double delay = (from == to ? 0.0 : SampleLatency()) + extra_delay_ms;
   if (faults != nullptr) {
     delay += faults->extra_latency_ms;
@@ -202,7 +226,8 @@ void Cluster::Send(const std::string& from, const std::string& to, const std::st
 
 void Cluster::DeliverLocal(const std::string& to, const std::string& table, Tuple tuple,
                            double delay_ms) {
-  Message msg{to, to, table, std::move(tuple)};
+  Message msg{to, to, table, std::move(tuple), {}};
+  msg.span = StartSpan(table, to, active_span_);
   ScheduleAfter(delay_ms, [this, msg = std::move(msg)]() mutable {
     DeliverMessage(std::move(msg));
   });
@@ -214,11 +239,15 @@ void Cluster::DeliverMessage(Message msg) {
   if (dst == nullptr || !dst->alive || (src != nullptr && !src->alive && msg.from != msg.to)) {
     ++net_stats_.dropped_dead;
     Trace("dropD", msg.from, msg.to, msg.table);
+    SpanAttr(msg.span, "drop", "dead");
+    EndSpan(msg.span);
     return;
   }
   if (LinkBlocked(msg.from, msg.to)) {
     ++net_stats_.dropped_partition;
     Trace("dropP", msg.from, msg.to, msg.table);
+    SpanAttr(msg.span, "drop", "partition");
+    EndSpan(msg.span);
     return;
   }
   Trace("dlv", msg.from, msg.to, msg.table);
@@ -230,42 +259,50 @@ void Cluster::DeliverMessage(Message msg) {
     if (done > now_ms_) {
       dst->busy_until = done;
       ScheduleAt(done, [this, msg = std::move(msg)]() mutable {
-        Node* node = FindNode(msg.to);
-        if (node == nullptr || !node->alive) {
-          ++net_stats_.dropped_dead;
-          return;
-        }
-        if (node->actor) {
-          node->actor->OnMessage(msg, *this);
-        } else if (node->engine) {
-          Status s = node->engine->Enqueue(msg.table, std::move(msg.tuple));
-          if (!s.ok()) {
-            BOOM_LOG(Warning) << "drop message to " << msg.to << ": " << s.ToString();
-            return;
-          }
-          ScheduleEngineTick(*node, now_ms_);
-        }
+        ProcessDelivered(std::move(msg));
       });
       return;
     }
   }
-  if (dst->actor) {
-    dst->actor->OnMessage(msg, *this);
+  ProcessDelivered(std::move(msg));
+}
+
+// Runs the receiver's processing of a delivered message. The message's span is made the
+// active context so anything the handler sends or schedules is causally chained to it, and
+// it ends here — covering transit plus any busy-server wait. (EndSpan is idempotent, so a
+// fault-duplicated copy cannot stretch the original span.)
+void Cluster::ProcessDelivered(Message msg) {
+  Node* node = FindNode(msg.to);
+  if (node == nullptr || !node->alive) {
+    ++net_stats_.dropped_dead;
+    SpanAttr(msg.span, "drop", "dead");
+    EndSpan(msg.span);
     return;
   }
-  if (dst->engine) {
-    Status s = dst->engine->Enqueue(msg.table, std::move(msg.tuple));
+  SpanScope scope(*this, msg.span);
+  if (node->actor) {
+    node->actor->OnMessage(msg, *this);
+    EndSpan(msg.span);
+    return;
+  }
+  if (node->engine) {
+    Status s = node->engine->Enqueue(msg.table, std::move(msg.tuple));
     if (!s.ok()) {
       BOOM_LOG(Warning) << "drop message to " << msg.to << ": " << s.ToString();
+      EndSpan(msg.span);
       return;
     }
-    ScheduleEngineTick(*dst, now_ms_);
+    // The tick event scheduled here captures this message's context, so the rules it fires
+    // (and the sends they produce) join this trace. When several messages coalesce into one
+    // tick, the tick is attributed to the first scheduler's context.
+    ScheduleEngineTick(*node, now_ms_);
   }
+  EndSpan(msg.span);
 }
 
 void Cluster::ScheduleAt(double time_ms, std::function<void()> fn) {
   BOOM_CHECK(time_ms >= now_ms_) << "cannot schedule into the past";
-  queue_.push(Event{time_ms, seq_++, std::move(fn)});
+  queue_.push(Event{time_ms, seq_++, std::move(fn), active_span_});
 }
 
 void Cluster::ScheduleAfter(double delay_ms, std::function<void()> fn) {
@@ -302,9 +339,14 @@ void Cluster::RunEngineTick(const std::string& address) {
   }
   double next_timer = node->engine->NextTimerDeadline();
   if (next_timer < std::numeric_limits<double>::infinity()) {
+    // Timer-driven ticks are periodic background work, not a consequence of whatever
+    // message context this tick ran under — schedule them with a cleared context so, e.g.,
+    // the NameNode's heartbeat sweep does not get stitched into some client's write trace.
+    SpanScope clear(*this, SpanContext{});
     ScheduleEngineTick(*node, std::max(next_timer, now_ms_));
   }
   if (node->engine->HasQueuedInput()) {
+    // Queued-input follow-ups continue draining this tick's inbox: inherit its context.
     ScheduleEngineTick(*node, now_ms_);
   }
 }
@@ -381,7 +423,9 @@ void Cluster::RunUntil(double until_ms) {
     queue_.pop();
     BOOM_CHECK(ev.time >= now_ms_);
     now_ms_ = ev.time;
+    active_span_ = ev.ctx;
     ev.fn();
+    active_span_ = {};
   }
   now_ms_ = std::max(now_ms_, until_ms);
 }
@@ -396,7 +440,9 @@ bool Cluster::RunUntilIdle(double max_ms) {
     Event ev = queue_.top();
     queue_.pop();
     now_ms_ = ev.time;
+    active_span_ = ev.ctx;
     ev.fn();
+    active_span_ = {};
   }
   return true;
 }

@@ -23,6 +23,7 @@
 
 #include "src/overlog/engine.h"
 #include "src/sim/random.h"
+#include "src/telemetry/span.h"
 
 namespace boom {
 
@@ -33,6 +34,10 @@ struct Message {
   std::string to;
   std::string table;
   Tuple tuple;
+  // Causal context: the span representing this message's network hop (invalid when no
+  // tracer is attached). The receiver's work — actor handlers, the engine tick that drains
+  // the inbox, and any sends they make — is parented to it.
+  SpanContext span;
 };
 
 // A native (imperative) node.
@@ -158,6 +163,47 @@ class Cluster {
   using TraceFn = std::function<void(const std::string& line)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  // --- causal tracing ---
+
+  // Attaches a span tracer (not owned; must outlive the cluster or be detached). When set,
+  // every message send starts a span parented to the context active at send time, and the
+  // active context follows deliveries, actor handlers, and engine ticks — so one client op
+  // becomes one trace across every node it touches. When unset (the default), all tracing
+  // calls are no-ops, message spans stay invalid, and — because tracing never samples the
+  // cluster Rng or adds events — the event order and Rng stream are byte-identical to an
+  // untraced run of the same seed.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  // The span context of the event currently being executed (invalid between events or when
+  // no tracer is attached). Sends and ScheduleAt/ScheduleAfter capture it automatically.
+  SpanContext active_span() const { return active_span_; }
+
+  // Convenience wrappers that no-op without a tracer. StartSpan with a default (invalid)
+  // parent starts a new root trace — use it for top-level operations (a client write, a
+  // job submission); pass active_span() to continue the current causal chain instead.
+  SpanContext StartSpan(const std::string& name, const std::string& node,
+                        SpanContext parent = {});
+  void EndSpan(const SpanContext& ctx);
+  void SpanAttr(const SpanContext& ctx, const std::string& key, const std::string& value);
+
+  // RAII: makes `ctx` the active context for the current C++ scope, so sends and scheduled
+  // callbacks issued inside it are parented to `ctx`. Restores the previous context on exit.
+  class SpanScope {
+   public:
+    SpanScope(Cluster& cluster, SpanContext ctx)
+        : cluster_(cluster), prev_(cluster.active_span_) {
+      cluster_.active_span_ = ctx;
+    }
+    ~SpanScope() { cluster_.active_span_ = prev_; }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+   private:
+    Cluster& cluster_;
+    SpanContext prev_;
+  };
+
   // --- execution ---
 
   // Runs all events with time <= until_ms; virtual time ends at until_ms.
@@ -197,6 +243,7 @@ class Cluster {
     double time;
     uint64_t seq;
     std::function<void()> fn;
+    SpanContext ctx;  // active span captured at scheduling time, restored when fn runs
     bool operator>(const Event& other) const {
       if (time != other.time) {
         return time > other.time;
@@ -213,6 +260,7 @@ class Cluster {
              const std::string& detail);
   double SampleLatency();
   void DeliverMessage(Message msg);
+  void ProcessDelivered(Message msg);
   void ScheduleEngineTick(Node& node, double time_ms);
   void RunEngineTick(const std::string& address);
   void StartActorsIfNeeded();
@@ -226,6 +274,8 @@ class Cluster {
   std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
   std::map<std::string, DiskFaults> disk_faults_;
   TraceFn trace_;
+  Tracer* tracer_ = nullptr;
+  SpanContext active_span_;
   double now_ms_ = 0;
   uint64_t seq_ = 0;
   bool started_ = false;

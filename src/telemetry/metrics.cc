@@ -1,0 +1,227 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace boom {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    bounds_ = DefaultLatencyBoundsMs();
+  }
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.resize(bounds_.size() + 1);
+}
+
+std::vector<double> Histogram::DefaultLatencyBoundsMs() {
+  return {0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // atomic<double>::fetch_add is C++20 but not universally lock-free; CAS loop is.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      double lo = i == 0 ? 0 : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : lo * 2;  // overflow bucket: extrapolate
+      double frac = (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(b.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(name, std::move(bounds)).first;
+  }
+  return it->second;
+}
+
+std::vector<MetricRow> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  for (const auto& [name, c] : counters_) {
+    if (c.value() == 0) {
+      continue;
+    }
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricRow::Kind::kCounter;
+    row.value = static_cast<double>(c.value());
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (g.value() == 0) {
+      continue;
+    }
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricRow::Kind::kGauge;
+    row.value = g.value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) {
+      continue;
+    }
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricRow::Kind::kHistogram;
+    row.count = h.count();
+    row.sum = h.sum();
+    row.p50 = h.Quantile(0.50);
+    row.p95 = h.Quantile(0.95);
+    row.p99 = h.Quantile(0.99);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // Integral values print bare (counters, counts); others keep 3 decimals.
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToText() const {
+  std::vector<MetricRow> rows = Snapshot();
+  size_t width = 4;
+  for (const MetricRow& row : rows) {
+    width = std::max(width, row.name.size());
+  }
+  std::string out;
+  char buf[256];
+  for (const MetricRow& row : rows) {
+    if (row.kind == MetricRow::Kind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-*s  count=%llu sum=%s p50=%s p95=%s p99=%s\n",
+                    static_cast<int>(width), row.name.c_str(),
+                    static_cast<unsigned long long>(row.count),
+                    FormatDouble(row.sum).c_str(), FormatDouble(row.p50).c_str(),
+                    FormatDouble(row.p95).c_str(), FormatDouble(row.p99).c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf), "%-*s  %s\n", static_cast<int>(width),
+                    row.name.c_str(), FormatDouble(row.value).c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<MetricRow> rows = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  char buf[256];
+  for (const MetricRow& row : rows) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n  \"" + row.name + "\": ";
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+      case MetricRow::Kind::kGauge:
+        out += "{\"value\": " + FormatDouble(row.value) + "}";
+        break;
+      case MetricRow::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"count\": %llu, \"sum\": %s, \"p50\": %s, \"p95\": %s, "
+                      "\"p99\": %s}",
+                      static_cast<unsigned long long>(row.count),
+                      FormatDouble(row.sum).c_str(), FormatDouble(row.p50).c_str(),
+                      FormatDouble(row.p95).c_str(), FormatDouble(row.p99).c_str());
+        out += buf;
+        break;
+    }
+  }
+  out += first ? "}" : "\n}";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c.Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g.Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h.Reset();
+  }
+}
+
+}  // namespace boom

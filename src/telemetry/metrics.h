@@ -1,0 +1,119 @@
+// Metrics: a process-wide registry of named counters, gauges, and fixed-bucket histograms.
+//
+// The hot path is lock-free: a metric handle is a pointer to stable atomic storage, so
+// instrumented code pays one relaxed atomic op per update. Registration (name -> handle
+// lookup) takes a mutex; callers are expected to resolve handles once (at construction)
+// and reuse them. Snapshots/export walk the registry under the same mutex.
+//
+// Naming convention (see docs/OBSERVABILITY.md): dot-separated lowercase path,
+// `<subsystem>.<component>.<what>`, e.g. "fs.client.ns_request", "paxos.quorum_ms".
+// Histograms that record durations end in `_ms` (virtual or wall milliseconds).
+
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace boom {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one overflow bucket
+// counts the rest. Observe is a bucket search plus two relaxed atomic ops.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  // Approximate quantile (linear interpolation within the containing bucket); q in [0,1].
+  double Quantile(double q) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+  // {1, 2, 5, ...} decades up to 10s — suits both virtual-time and wall-clock millis.
+  static std::vector<double> DefaultLatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;                   // ascending upper bounds
+  std::deque<std::atomic<uint64_t>> buckets_;    // bounds_.size() + 1 (overflow last)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// One exported metric row (see MetricsRegistry::Snapshot).
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  // Counter/gauge payload.
+  double value = 0;
+  // Histogram payload.
+  uint64_t count = 0;
+  double sum = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry used by instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  // Find-or-create; returned references are stable for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  // All metrics with nonzero activity, sorted by name (zero-valued metrics are elided so
+  // reports only show what a run actually touched).
+  std::vector<MetricRow> Snapshot() const;
+  // Aligned text table of Snapshot().
+  std::string ToText() const;
+  // {"name": {...}, ...} with stable key order.
+  std::string ToJson() const;
+  // Zeroes every metric (names/handles survive) — benchmarks isolate phases with this.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based containers: references handed out must never move.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_TELEMETRY_METRICS_H_

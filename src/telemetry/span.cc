@@ -1,0 +1,114 @@
+#include "src/telemetry/span.h"
+
+#include <cstdio>
+
+namespace boom {
+
+Tracer::Tracer(uint64_t seed, size_t max_spans) : seed_(seed), max_spans_(max_spans) {}
+
+uint64_t Tracer::MintId() {
+  // splitmix64 over (seed, counter): deterministic, well-spread, never 0 in practice; the
+  // 0 guard keeps SpanContext::valid() honest regardless.
+  uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * ++counter_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+SpanContext Tracer::StartSpan(std::string name, std::string node, double now_ms,
+                              SpanContext parent) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return {};
+  }
+  SpanRecord record;
+  record.span_id = MintId();
+  record.trace_id = parent.valid() ? parent.trace_id : MintId();
+  record.parent_id = parent.valid() ? parent.span_id : 0;
+  record.name = std::move(name);
+  record.node = std::move(node);
+  record.start_ms = now_ms;
+  record.end_ms = now_ms;
+  SpanContext ctx{record.trace_id, record.span_id};
+  index_[record.span_id] = spans_.size();
+  spans_.push_back(std::move(record));
+  return ctx;
+}
+
+SpanRecord* Tracer::Find(const SpanContext& ctx) {
+  if (!ctx.valid()) {
+    return nullptr;
+  }
+  auto it = index_.find(ctx.span_id);
+  return it == index_.end() ? nullptr : &spans_[it->second];
+}
+
+void Tracer::EndSpan(const SpanContext& ctx, double now_ms) {
+  SpanRecord* span = Find(ctx);
+  if (span == nullptr || span->ended) {
+    return;
+  }
+  span->ended = true;
+  span->end_ms = now_ms;
+}
+
+void Tracer::AddAttr(const SpanContext& ctx, std::string key, std::string value) {
+  SpanRecord* span = Find(ctx);
+  if (span != nullptr) {
+    span->attrs.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+std::string Tracer::ToText() const {
+  std::string out;
+  char buf[128];
+  for (const SpanRecord& s : spans_) {
+    std::snprintf(buf, sizeof(buf), "%016llx/%016llx<-%016llx [%.3f..%.3f] ",
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_id), s.start_ms, s.end_ms);
+    out += buf;
+    out += s.name + "@" + s.node;
+    for (const auto& [k, v] : s.attrs) {
+      out += " " + k + "=" + v;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Tracer::ToJson() const {
+  std::string out = "[";
+  char buf[160];
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"trace\": \"%llx\", \"span\": \"%llx\", \"parent\": \"%llx\", "
+                  "\"start_ms\": %.3f, \"end_ms\": %.3f, ",
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_id), s.start_ms, s.end_ms);
+    out += buf;
+    out += "\"name\": \"" + s.name + "\", \"node\": \"" + s.node + "\"";
+    if (!s.attrs.empty()) {
+      out += ", \"attrs\": {";
+      for (size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += "\"" + s.attrs[i].first + "\": \"" + s.attrs[i].second + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += first ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace boom

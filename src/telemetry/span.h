@@ -1,0 +1,79 @@
+// Causal tracing: spans record where virtual time goes as one logical operation crosses
+// nodes. A span has a trace id (shared by everything causally downstream of one root), a
+// span id, and a parent span id; the simulator propagates the active span context through
+// message sends and scheduled events, so a BOOM-FS write yields one trace whose spans cover
+// the client, the NameNode, and every pipeline DataNode (see docs/OBSERVABILITY.md).
+//
+// Determinism: span and trace ids are minted by mixing the tracer seed (normally the sim
+// seed) with a creation counter — no wall clock, no heap addresses — so two runs of the
+// same seeded simulation produce byte-identical traces. All span times are virtual.
+
+#ifndef SRC_TELEMETRY_SPAN_H_
+#define SRC_TELEMETRY_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace boom {
+
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return span_id != 0; }
+};
+
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  std::string name;        // operation or message table, e.g. "fs.write", "dn_write"
+  std::string node;        // address where the span's work happens
+  double start_ms = 0;     // virtual time
+  double end_ms = 0;
+  bool ended = false;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class Tracer {
+ public:
+  // `seed` feeds id minting (pass the simulation seed). `max_spans` bounds memory on long
+  // runs; spans past the cap are counted in dropped() instead of recorded.
+  explicit Tracer(uint64_t seed, size_t max_spans = 1 << 18);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Starts a span. An invalid parent mints a fresh trace id (a new root).
+  SpanContext StartSpan(std::string name, std::string node, double now_ms,
+                        SpanContext parent = {});
+  // Idempotent: only the first End sets the end time (a duplicated message delivery must
+  // not stretch the original send's span).
+  void EndSpan(const SpanContext& ctx, double now_ms);
+  void AddAttr(const SpanContext& ctx, std::string key, std::string value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  size_t dropped() const { return dropped_; }
+
+  // One line per span in creation order, fixed-precision times, no wall-clock content —
+  // byte-identical across two runs of the same seed.
+  std::string ToText() const;
+  std::string ToJson() const;
+
+ private:
+  uint64_t MintId();
+  SpanRecord* Find(const SpanContext& ctx);
+
+  uint64_t seed_;
+  uint64_t counter_ = 0;
+  size_t max_spans_;
+  size_t dropped_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<uint64_t, size_t> index_;  // span_id -> position in spans_
+};
+
+}  // namespace boom
+
+#endif  // SRC_TELEMETRY_SPAN_H_

@@ -1,0 +1,206 @@
+#include "src/telemetry/trace_query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace boom {
+
+namespace {
+
+// Children of each span in creation order (creation order already respects causality:
+// a child span is always created after its parent).
+std::multimap<uint64_t, const SpanRecord*> ChildIndex(
+    const std::vector<SpanRecord>& spans, uint64_t trace_id) {
+  std::multimap<uint64_t, const SpanRecord*> children;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace_id && s.parent_id != 0) {
+      children.emplace(s.parent_id, &s);
+    }
+  }
+  return children;
+}
+
+const SpanRecord* FindRoot(const std::vector<SpanRecord>& spans, uint64_t trace_id) {
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace_id && s.parent_id == 0) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::string SpanLine(const SpanRecord& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=[%.3f..%.3f] ", s.start_ms, s.end_ms);
+  std::string line = buf;
+  line += s.name + "@" + s.node;
+  for (const auto& [k, v] : s.attrs) {
+    line += " " + k + "=" + v;
+  }
+  return line;
+}
+
+}  // namespace
+
+std::vector<TraceSummary> SummarizeTraces(const std::vector<SpanRecord>& spans) {
+  std::map<uint64_t, TraceSummary> by_trace;
+  for (const SpanRecord& s : spans) {
+    TraceSummary& summary = by_trace[s.trace_id];
+    if (summary.span_count == 0) {
+      summary.trace_id = s.trace_id;
+      summary.start_ms = s.start_ms;
+      summary.end_ms = s.end_ms;
+    }
+    ++summary.span_count;
+    summary.end_ms = std::max(summary.end_ms, s.end_ms);
+    if (s.parent_id == 0) {
+      summary.root_name = s.name;
+      summary.root_node = s.node;
+      summary.start_ms = std::min(summary.start_ms, s.start_ms);
+    }
+  }
+  std::vector<TraceSummary> out;
+  out.reserve(by_trace.size());
+  for (auto& [id, summary] : by_trace) {
+    out.push_back(std::move(summary));
+  }
+  std::sort(out.begin(), out.end(), [](const TraceSummary& a, const TraceSummary& b) {
+    if (a.start_ms != b.start_ms) {
+      return a.start_ms < b.start_ms;
+    }
+    return a.trace_id < b.trace_id;
+  });
+  return out;
+}
+
+std::vector<const SpanRecord*> TraceSpans(const std::vector<SpanRecord>& spans,
+                                          uint64_t trace_id) {
+  std::vector<const SpanRecord*> out;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace_id) {
+      out.push_back(&s);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_ms < b->start_ms;
+                   });
+  return out;
+}
+
+std::vector<const SpanRecord*> CriticalPath(const std::vector<SpanRecord>& spans,
+                                            uint64_t trace_id) {
+  std::vector<const SpanRecord*> path;
+  const SpanRecord* cur = FindRoot(spans, trace_id);
+  if (cur == nullptr) {
+    return path;
+  }
+  auto children = ChildIndex(spans, trace_id);
+  while (cur != nullptr) {
+    path.push_back(cur);
+    auto [lo, hi] = children.equal_range(cur->span_id);
+    const SpanRecord* next = nullptr;
+    for (auto it = lo; it != hi; ++it) {
+      if (next == nullptr || it->second->end_ms > next->end_ms) {
+        next = it->second;
+      }
+    }
+    cur = next;
+  }
+  return path;
+}
+
+std::string RenderTraceTree(const std::vector<SpanRecord>& spans, uint64_t trace_id,
+                            const std::string& indent, size_t max_lines) {
+  auto children = ChildIndex(spans, trace_id);
+  std::string out;
+  size_t lines = 0;
+  size_t omitted = 0;
+  // Iterative DFS preserving creation order among siblings.
+  struct Frame {
+    const SpanRecord* span;
+    size_t depth;
+  };
+  std::vector<Frame> stack;
+  // Multiple roots are possible when a parent span was dropped at the tracer cap.
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    if (s.trace_id == trace_id && s.parent_id == 0) {
+      roots.push_back(&s);
+    }
+  }
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (max_lines > 0 && lines >= max_lines) {
+      ++omitted;
+    } else {
+      out += indent + std::string(frame.depth * 2, ' ') + SpanLine(*frame.span) + "\n";
+      ++lines;
+    }
+    auto [lo, hi] = children.equal_range(frame.span->span_id);
+    std::vector<const SpanRecord*> kids;
+    for (auto it = lo; it != hi; ++it) {
+      kids.push_back(it->second);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, frame.depth + 1});
+    }
+  }
+  if (omitted > 0) {
+    out += indent + "... " + std::to_string(omitted) + " more spans\n";
+  }
+  return out;
+}
+
+std::string RenderTimeline(const std::vector<SpanRecord>& spans, size_t max_detail,
+                           const std::string& indent) {
+  std::vector<TraceSummary> summaries = SummarizeTraces(spans);
+  if (summaries.empty()) {
+    return indent + "(no spans recorded)\n";
+  }
+  // Roll up the root-span names (heartbeats and timer chatter collapse to one line each).
+  std::map<std::string, std::pair<size_t, size_t>> by_name;  // name -> {traces, spans}
+  for (const TraceSummary& s : summaries) {
+    std::string name = s.root_name.empty() ? "(orphan)" : s.root_name;
+    auto& [traces, span_count] = by_name[name];
+    ++traces;
+    span_count += s.span_count;
+  }
+  std::string out = indent + "trace roots:";
+  for (const auto& [name, counts] : by_name) {
+    out += " " + name + " x" + std::to_string(counts.first) + " (" +
+           std::to_string(counts.second) + " spans)";
+  }
+  out += "\n";
+  // Detail the traces with the most spans — those are the multi-hop operations.
+  std::vector<const TraceSummary*> detail;
+  for (const TraceSummary& s : summaries) {
+    detail.push_back(&s);
+  }
+  std::stable_sort(detail.begin(), detail.end(),
+                   [](const TraceSummary* a, const TraceSummary* b) {
+                     return a->span_count > b->span_count;
+                   });
+  if (detail.size() > max_detail) {
+    detail.resize(max_detail);
+  }
+  std::stable_sort(detail.begin(), detail.end(),
+                   [](const TraceSummary* a, const TraceSummary* b) {
+                     return a->start_ms < b->start_ms;
+                   });
+  for (const TraceSummary* s : detail) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "trace t=[%.3f..%.3f] %zu spans:\n", s->start_ms,
+                  s->end_ms, s->span_count);
+    out += indent + buf;
+    out += RenderTraceTree(spans, s->trace_id, indent + "  ", /*max_lines=*/48);
+  }
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,50 @@
+// Trace analysis: turn a flat span list into per-trace trees, summaries, critical paths,
+// and deterministic text renderings. Shared by tools/boomtrace, the chaos explorer's
+// failure timelines, and the telemetry tests.
+
+#ifndef SRC_TELEMETRY_TRACE_QUERY_H_
+#define SRC_TELEMETRY_TRACE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/span.h"
+
+namespace boom {
+
+struct TraceSummary {
+  uint64_t trace_id = 0;
+  std::string root_name;
+  std::string root_node;
+  double start_ms = 0;
+  double end_ms = 0;       // max end over the trace's spans
+  size_t span_count = 0;
+};
+
+// One summary per trace, ordered by (root start time, trace id).
+std::vector<TraceSummary> SummarizeTraces(const std::vector<SpanRecord>& spans);
+
+// The trace's spans ordered by (start time, creation order). Children always follow
+// parents in creation order, so the result is topologically consistent.
+std::vector<const SpanRecord*> TraceSpans(const std::vector<SpanRecord>& spans,
+                                          uint64_t trace_id);
+
+// Root-to-leaf chain that determines the trace's end time: from each span, follow the
+// child with the latest end time. This is the op's critical path through the cluster.
+std::vector<const SpanRecord*> CriticalPath(const std::vector<SpanRecord>& spans,
+                                            uint64_t trace_id);
+
+// Indented tree, one line per span: "t=[start..end] name@node (attrs)". Deterministic.
+// `max_lines` truncates huge traces with a "... N more spans" marker (0 = unlimited).
+std::string RenderTraceTree(const std::vector<SpanRecord>& spans, uint64_t trace_id,
+                            const std::string& indent = "", size_t max_lines = 0);
+
+// Compact whole-run timeline for failure reports: root spans grouped by name with counts,
+// then full trees for the `max_detail` traces with the most spans. Deterministic.
+std::string RenderTimeline(const std::vector<SpanRecord>& spans, size_t max_detail = 3,
+                           const std::string& indent = "");
+
+}  // namespace boom
+
+#endif  // SRC_TELEMETRY_TRACE_QUERY_H_

@@ -1,0 +1,181 @@
+// Monitor metaprogramming helpers: the tracing rewrite (with count rollups), the
+// invariant installer and its violation sink, the BOOM-FS invariant rules on induced
+// under-replication, and the rule-hog invariant over the engine's published per-rule
+// profile (perf_rule / perf_fixpoint queryable from Overlog).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/monitor/meta.h"
+#include "src/overlog/engine.h"
+#include "src/overlog/parser.h"
+
+namespace boom {
+namespace {
+
+EngineOptions TestEngineOptions() {
+  EngineOptions opts;
+  opts.address = "n";
+  return opts;
+}
+
+TEST(MakeTracingProgram, RecordsInsertionsWithCountRollups) {
+  const char* src = R"olg(
+program pairs;
+table y(A, B) keys(0);
+y(1, 2);
+y(3, 4);
+)olg";
+  Engine engine(TestEngineOptions());
+  ASSERT_TRUE(engine.InstallSource(src).ok());
+  Result<Program> parsed = ParseProgram(src);
+  ASSERT_TRUE(parsed.ok());
+  TracingOptions options;
+  options.with_counts = true;
+  ASSERT_TRUE(engine.Install(MakeTracingProgram(*parsed, options)).ok());
+  engine.Tick(0);
+
+  // trace_y(TraceTime, A, B): one row per inserted fact.
+  EXPECT_EQ(engine.catalog().Get("trace_y").size(), 2u);
+  // trace_cnt_y(1, count): the rollup sees both.
+  std::vector<Tuple> counts = engine.catalog().Get("trace_cnt_y").Rows();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0][1].as_int(), 2);
+}
+
+TEST(MakeTracingProgram, TableFilterLimitsRewrite) {
+  const char* src = R"olg(
+program two;
+table a(X) keys(0);
+table b(X) keys(0);
+a(1);
+b(2);
+)olg";
+  Engine engine(TestEngineOptions());
+  ASSERT_TRUE(engine.InstallSource(src).ok());
+  Result<Program> parsed = ParseProgram(src);
+  ASSERT_TRUE(parsed.ok());
+  TracingOptions options;
+  options.tables = {"a"};
+  ASSERT_TRUE(engine.Install(MakeTracingProgram(*parsed, options)).ok());
+  engine.Tick(0);
+  EXPECT_EQ(engine.catalog().Get("trace_a").size(), 1u);
+  EXPECT_EQ(engine.catalog().Find("trace_b"), nullptr);
+}
+
+TEST(InstallInvariants, ViolationsLandInSink) {
+  const char* src = R"olg(
+program demo;
+table x(A) keys(0);
+x(1);
+x(2);
+)olg";
+  Engine engine(TestEngineOptions());
+  ASSERT_TRUE(engine.InstallSource(src).ok());
+  std::vector<std::string> violations;
+  ASSERT_TRUE(InstallInvariants(engine, R"olg(
+program demo_inv;
+v1 invariant_violation("too_big_x", D) :- x(A), A > 1, D := str_cat("x is ", A);
+)olg",
+                                &violations)
+                  .ok());
+  engine.Tick(0);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("too_big_x"), std::string::npos);
+  EXPECT_NE(violations[0].find("x is 2"), std::string::npos);
+}
+
+// A minimal NameNode state slice: one live chunk reported by a single DataNode out of a
+// replication factor of 3.
+constexpr const char* kUnderReplicatedState = R"olg(
+program fakefs;
+table file(F, Par, Name, IsDir) keys(0);
+table fqpath(Path, F) keys(0);
+table fchunk(ChunkId, FileId) keys(0);
+table hb_chunk(Dn, ChunkId);
+file(0, 0, "", 1);
+fchunk(77, 5);
+hb_chunk("dn0", 77);
+)olg";
+
+TEST(BoomFsInvariants, UnderReplicationFiresOnlyWhenOptedIn) {
+  {
+    Engine engine(TestEngineOptions());
+    ASSERT_TRUE(engine.InstallSource(kUnderReplicatedState).ok());
+    std::vector<std::string> violations;
+    ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+    engine.Tick(0);
+    EXPECT_TRUE(violations.empty()) << violations[0];
+  }
+  {
+    Engine engine(TestEngineOptions());
+    ASSERT_TRUE(engine.InstallSource(kUnderReplicatedState).ok());
+    std::vector<std::string> violations;
+    ASSERT_TRUE(InstallInvariants(
+                    engine,
+                    BoomFsInvariantRules(3, /*include_under_replication=*/true),
+                    &violations)
+                    .ok());
+    engine.Tick(0);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("under_replicated"), std::string::npos);
+    EXPECT_NE(violations[0].find("chunk 77 has 1"), std::string::npos);
+  }
+}
+
+TEST(RuleHogInvariant, FiresOnFatRuleViaPerfTables) {
+  const char* src = R"olg(
+program hog;
+table t(X) keys(0);
+table s(X) keys(0);
+t(1); t(2); t(3); t(4); t(5); t(6); t(7); t(8);
+h1 s(X) :- t(X);
+)olg";
+  Engine engine(TestEngineOptions());
+  ASSERT_TRUE(engine.InstallSource(src).ok());
+  ASSERT_TRUE(InstallProfiling(engine).ok());
+  ASSERT_TRUE(engine.profiling());
+  std::vector<std::string> violations;
+  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantRules(5), &violations).ok());
+
+  engine.Tick(0);  // h1 derives 8 tuples in one fixpoint
+  ASSERT_TRUE(engine.PublishProfile().ok());
+  engine.Tick(1);  // perf_rule rows land; the invariant joins them
+
+  // The profile is queryable from Overlog: the invariant rule fired off perf_rule.
+  EXPECT_GT(engine.catalog().Get("perf_rule").size(), 0u);
+  EXPECT_GT(engine.catalog().Get("perf_fixpoint").size(), 0u);
+  bool found = false;
+  for (const std::string& v : violations) {
+    if (v.find("rule_hog") != std::string::npos &&
+        v.find("hog:h1") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "rule_hog invariant did not fire (violations: "
+                     << violations.size() << ")";
+}
+
+TEST(RuleHogInvariant, QuietProgramStaysClean) {
+  const char* src = R"olg(
+program quiet;
+table t(X) keys(0);
+table s(X) keys(0);
+t(1);
+h1 s(X) :- t(X);
+)olg";
+  Engine engine(TestEngineOptions());
+  ASSERT_TRUE(engine.InstallSource(src).ok());
+  ASSERT_TRUE(InstallProfiling(engine).ok());
+  std::vector<std::string> violations;
+  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantRules(5), &violations).ok());
+  engine.Tick(0);
+  ASSERT_TRUE(engine.PublishProfile().ok());
+  engine.Tick(1);
+  EXPECT_TRUE(violations.empty()) << violations[0];
+}
+
+}  // namespace
+}  // namespace boom

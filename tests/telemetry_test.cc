@@ -1,0 +1,187 @@
+// Unit tests for src/telemetry: the metrics registry, the span tracer, and the trace
+// query/rendering helpers. End-to-end tracing through the simulator is in
+// trace_e2e_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_query.h"
+
+namespace boom {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogram) {
+  MetricsRegistry registry;
+  registry.counter("test.hits").Add();
+  registry.counter("test.hits").Add(4);
+  EXPECT_EQ(registry.counter("test.hits").value(), 5u);
+
+  registry.gauge("test.depth").Set(7.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.depth").value(), 7.5);
+
+  Histogram& h = registry.histogram("test.lat_ms");
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Approximate quantiles: within the containing decade bucket.
+  EXPECT_GT(h.Quantile(0.5), 20.0);
+  EXPECT_LT(h.Quantile(0.5), 100.0);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.5));
+}
+
+TEST(Metrics, HandleIsStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("same.name");
+  Counter& b = registry.counter("same.name");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, SnapshotElidesZeroActivity) {
+  MetricsRegistry registry;
+  registry.counter("used").Add();
+  registry.counter("unused");  // registered but never incremented
+  std::vector<MetricRow> rows = registry.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "used");
+  EXPECT_DOUBLE_EQ(rows[0].value, 1.0);
+}
+
+TEST(Metrics, TextAndJsonExport) {
+  MetricsRegistry registry;
+  registry.counter("fs.ops").Add(3);
+  registry.histogram("fs.lat_ms").Observe(2.0);
+  std::string text = registry.ToText();
+  EXPECT_NE(text.find("fs.ops"), std::string::npos);
+  EXPECT_NE(text.find("fs.lat_ms"), std::string::npos);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"fs.ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"fs.lat_ms\""), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  registry.counter("c").Add(9);
+  registry.histogram("h").Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(registry.counter("c").value(), 0u);
+  EXPECT_EQ(registry.histogram("h").count(), 0u);
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(Tracer, IdsAreSeedDeterministic) {
+  Tracer a(42), b(42), c(43);
+  SpanContext ra = a.StartSpan("op", "n0", 0);
+  SpanContext rb = b.StartSpan("op", "n0", 0);
+  SpanContext rc = c.StartSpan("op", "n0", 0);
+  EXPECT_EQ(ra.trace_id, rb.trace_id);
+  EXPECT_EQ(ra.span_id, rb.span_id);
+  EXPECT_NE(ra.span_id, rc.span_id);
+}
+
+TEST(Tracer, ChildInheritsTraceAndRecordsParent) {
+  Tracer t(1);
+  SpanContext root = t.StartSpan("root", "n0", 0);
+  SpanContext child = t.StartSpan("child", "n1", 1, root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[1].parent_id, root.span_id);
+  // An invalid parent mints a fresh trace.
+  SpanContext other = t.StartSpan("other", "n2", 2);
+  EXPECT_NE(other.trace_id, root.trace_id);
+}
+
+TEST(Tracer, EndSpanIsIdempotent) {
+  Tracer t(1);
+  SpanContext ctx = t.StartSpan("op", "n0", 0);
+  t.EndSpan(ctx, 5);
+  t.EndSpan(ctx, 9);  // a duplicated delivery must not stretch the span
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_TRUE(t.spans()[0].ended);
+  EXPECT_DOUBLE_EQ(t.spans()[0].end_ms, 5.0);
+}
+
+TEST(Tracer, CapCountsDroppedSpans) {
+  Tracer t(1, /*max_spans=*/2);
+  t.StartSpan("a", "n", 0);
+  t.StartSpan("b", "n", 0);
+  t.StartSpan("c", "n", 0);
+  EXPECT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(Tracer, TextExportIsDeterministic) {
+  auto run = [] {
+    Tracer t(7);
+    SpanContext root = t.StartSpan("fs.write", "client", 10);
+    SpanContext hop = t.StartSpan("ns_request", "nn", 10, root);
+    t.AddAttr(hop, "path", "/a");
+    t.EndSpan(hop, 12);
+    t.EndSpan(root, 15);
+    return t.ToText();
+  };
+  std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("fs.write@client"), std::string::npos);
+  EXPECT_NE(first.find("path=/a"), std::string::npos);
+}
+
+// Two traces: a root with two children (one ending later), and a separate later root.
+struct QueryFixture {
+  Tracer t{5};
+  SpanContext root, fast, slow, leaf, other;
+
+  QueryFixture() {
+    root = t.StartSpan("write", "client", 0);
+    fast = t.StartSpan("fast", "n1", 1, root);
+    slow = t.StartSpan("slow", "n2", 1, root);
+    leaf = t.StartSpan("leaf", "n3", 4, slow);
+    t.EndSpan(fast, 2);
+    t.EndSpan(leaf, 9);
+    t.EndSpan(slow, 10);
+    t.EndSpan(root, 10);
+    other = t.StartSpan("read", "client", 20);
+    t.EndSpan(other, 21);
+  }
+};
+
+TEST(TraceQuery, SummariesOrderedByStart) {
+  QueryFixture f;
+  std::vector<TraceSummary> summaries = SummarizeTraces(f.t.spans());
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].root_name, "write");
+  EXPECT_EQ(summaries[0].span_count, 4u);
+  EXPECT_DOUBLE_EQ(summaries[0].end_ms, 10.0);
+  EXPECT_EQ(summaries[1].root_name, "read");
+}
+
+TEST(TraceQuery, CriticalPathFollowsLatestChild) {
+  QueryFixture f;
+  std::vector<const SpanRecord*> path = CriticalPath(f.t.spans(), f.root.trace_id);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0]->name, "write");
+  EXPECT_EQ(path[1]->name, "slow");  // ends at 10, beats "fast" at 2
+  EXPECT_EQ(path[2]->name, "leaf");
+}
+
+TEST(TraceQuery, TreeRenderAndTruncation) {
+  QueryFixture f;
+  std::string tree = RenderTraceTree(f.t.spans(), f.root.trace_id);
+  EXPECT_NE(tree.find("write@client"), std::string::npos);
+  EXPECT_NE(tree.find("leaf@n3"), std::string::npos);
+  std::string cut = RenderTraceTree(f.t.spans(), f.root.trace_id, "", /*max_lines=*/2);
+  EXPECT_NE(cut.find("more spans"), std::string::npos);
+}
+
+TEST(TraceQuery, TimelineGroupsRoots) {
+  QueryFixture f;
+  std::string timeline = RenderTimeline(f.t.spans());
+  EXPECT_NE(timeline.find("write x1"), std::string::npos);
+  EXPECT_NE(timeline.find("read x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace boom

@@ -1,0 +1,149 @@
+// End-to-end causal tracing through the simulator: one BOOM-FS client write must yield a
+// single trace whose spans cover the client, the NameNode, and every DataNode in the
+// replication pipeline, causally linked — and two runs of the same seed must produce
+// byte-identical trace text.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/boomfs/boomfs.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_query.h"
+
+namespace boom {
+namespace {
+
+struct TracedWrite {
+  Tracer tracer{0};
+  std::string namenode;
+  std::string client;  // address only; the cluster (and its actors) die with the ctor
+  std::vector<std::string> datanodes;
+  bool write_ok = false;
+  bool read_ok = false;
+
+  explicit TracedWrite(uint64_t seed) : tracer(seed) {
+    Cluster cluster(seed);
+    cluster.set_tracer(&tracer);
+    FsSetupOptions opts;
+    FsHandles handles = SetupFs(cluster, opts);
+    namenode = handles.namenode;
+    client = handles.client->address();
+    datanodes = handles.datanodes;
+    cluster.RunUntil(2000);  // heartbeats registered, safe mode exited
+    SyncFs fs(cluster, handles.client);
+    std::string payload(10 * 1024, 'x');  // one chunk -> one full pipeline
+    write_ok = fs.WriteFile("/traced", payload);
+    std::string back;
+    read_ok = fs.ReadFile("/traced", &back) && back == payload;
+    cluster.RunUntil(cluster.now() + 1000);  // drain pipeline acks and reports
+  }
+};
+
+const SpanRecord* FindRoot(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& s : spans) {
+    if (s.parent_id == 0 && s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+TEST(TraceE2E, SingleWriteTraceCoversClientNameNodeAndPipeline) {
+  TracedWrite run(11);
+  ASSERT_TRUE(run.write_ok);
+
+  const SpanRecord* root = FindRoot(run.tracer.spans(), "fs.write");
+  ASSERT_NE(root, nullptr);
+
+  // Collect the write trace and check causal linkage: every span's parent is either the
+  // synthetic root (0) or another span of the same trace.
+  std::set<uint64_t> ids;
+  std::set<std::string> dn_write_nodes;
+  bool saw_nn = false;
+  for (const SpanRecord& s : run.tracer.spans()) {
+    if (s.trace_id != root->trace_id) {
+      continue;
+    }
+    ids.insert(s.span_id);
+    if (s.node == run.namenode) {
+      saw_nn = true;
+    }
+    if (s.name == "dn_write") {
+      dn_write_nodes.insert(s.node);
+    }
+  }
+  for (const SpanRecord& s : run.tracer.spans()) {
+    if (s.trace_id == root->trace_id && s.parent_id != 0) {
+      EXPECT_TRUE(ids.count(s.parent_id)) << "orphan span " << s.name << "@" << s.node;
+    }
+  }
+
+  EXPECT_EQ(root->node, run.client);
+  EXPECT_TRUE(saw_nn) << "no NameNode span in the write trace";
+  // Replication factor 3: the pipeline must touch every DataNode.
+  for (const std::string& dn : run.datanodes) {
+    EXPECT_TRUE(dn_write_nodes.count(dn)) << "no dn_write span on " << dn;
+  }
+
+  // The critical path starts at the client root and reaches a DataNode.
+  std::vector<const SpanRecord*> path = CriticalPath(run.tracer.spans(), root->trace_id);
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(path.front()->name, "fs.write");
+}
+
+TEST(TraceE2E, ReadTraceIsSeparateFromWriteTrace) {
+  TracedWrite run(12);
+  ASSERT_TRUE(run.read_ok);
+  const SpanRecord* write_root = FindRoot(run.tracer.spans(), "fs.write");
+  const SpanRecord* read_root = FindRoot(run.tracer.spans(), "fs.read");
+  ASSERT_NE(write_root, nullptr);
+  ASSERT_NE(read_root, nullptr);
+  EXPECT_NE(write_root->trace_id, read_root->trace_id);
+}
+
+TEST(TraceE2E, SameSeedSameTraceText) {
+  TracedWrite a(33), b(33), c(34);
+  EXPECT_EQ(a.tracer.ToText(), b.tracer.ToText());
+  EXPECT_NE(a.tracer.ToText(), c.tracer.ToText());
+}
+
+TEST(TraceE2E, AttachingTracerDoesNotPerturbMetricsOrOutcome) {
+  // A traced and an untraced run of the same seed must agree on everything observable:
+  // the tracer never samples the cluster Rng and never schedules events.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+
+  auto run = [&registry](bool traced, uint64_t seed) {
+    registry.Reset();
+    Cluster cluster(seed);
+    Tracer tracer(seed);
+    if (traced) {
+      cluster.set_tracer(&tracer);
+    }
+    FsSetupOptions opts;
+    FsHandles handles = SetupFs(cluster, opts);
+    cluster.RunUntil(2000);
+    SyncFs fs(cluster, handles.client);
+    EXPECT_TRUE(fs.WriteFile("/same", std::string(4096, 'y')));
+    cluster.RunUntil(cluster.now() + 1000);
+    return registry.ToText() + "|end=" + std::to_string(cluster.now());
+  };
+  EXPECT_EQ(run(false, 21), run(true, 21));
+}
+
+TEST(TraceE2E, WriteIncrementsClientMetrics) {
+  MetricsRegistry::Global().Reset();
+  TracedWrite run(44);
+  ASSERT_TRUE(run.write_ok);
+  EXPECT_GE(MetricsRegistry::Global().counter("fs.client.write_ok").value(), 1u);
+  EXPECT_GE(MetricsRegistry::Global().counter("fs.client.ns_request").value(), 1u);
+  EXPECT_GE(MetricsRegistry::Global().histogram("fs.client.write_ms").count(), 1u);
+  EXPECT_GE(MetricsRegistry::Global().counter("fs.nn.ns_request").value(), 1u);
+  EXPECT_GE(MetricsRegistry::Global().counter("fs.dn.chunk_store").value(), 3u);
+}
+
+}  // namespace
+}  // namespace boom

@@ -1,0 +1,272 @@
+// boomtrace: run a seeded simulation with causal tracing attached, then dump / filter /
+// summarize the resulting traces.
+//
+//   boomtrace --mode=fs --seed=7 --ops=3 --tree
+//   boomtrace --mode=fs --critical --top-rules=5
+//   boomtrace --mode=chaos --scenario=boomfs --seed=42
+//
+// All time is virtual (discrete-event simulation) and span ids derive from the seed, so
+// output depends only on the flags: two identical invocations print byte-identical text.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/boomfs/boomfs.h"
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/scenario.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/span.h"
+#include "src/telemetry/trace_query.h"
+
+namespace {
+
+struct Options {
+  std::string mode = "fs";  // fs | chaos
+  uint64_t seed = 1;
+  int ops = 3;                      // fs: files written then read back
+  std::string scenario = "boomfs";  // chaos mode
+  std::string bug;                  // chaos mode
+  std::string filter;               // keep traces whose root span name contains this
+  bool summarize = false;
+  bool tree = false;
+  bool critical = false;
+  bool json = false;
+  bool metrics = false;
+  int top_rules = 0;  // fs: per-rule NameNode profile, top K by wall time
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: boomtrace [--mode=fs|chaos] [--seed=N]\n"
+               "                 [--ops=N]                        (fs: files to write+read)\n"
+               "                 [--scenario=NAME] [--bug=NAME]   (chaos)\n"
+               "                 [--summarize] [--tree] [--critical] [--json]\n"
+               "                 [--filter=SUBSTR] [--top-rules=K] [--metrics]\n"
+               "default output is --summarize; --json dumps every span unfiltered;\n"
+               "--top-rules needs --mode=fs (the tool owns the NameNode engine there)\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+// Traces surviving --filter (all of them when the filter is empty), summary order.
+std::vector<boom::TraceSummary> FilteredSummaries(
+    const std::vector<boom::SpanRecord>& spans, const std::string& filter) {
+  std::vector<boom::TraceSummary> all = boom::SummarizeTraces(spans);
+  if (filter.empty()) {
+    return all;
+  }
+  std::vector<boom::TraceSummary> kept;
+  for (boom::TraceSummary& s : all) {
+    if (s.root_name.find(filter) != std::string::npos) {
+      kept.push_back(std::move(s));
+    }
+  }
+  return kept;
+}
+
+void PrintSummaries(const std::vector<boom::TraceSummary>& summaries) {
+  std::printf("%-16s  %-20s  %-12s  %10s  %10s  %6s\n", "TRACE", "ROOT", "NODE", "START",
+              "END", "SPANS");
+  for (const boom::TraceSummary& s : summaries) {
+    std::printf("%016llx  %-20s  %-12s  %10.3f  %10.3f  %6zu\n",
+                static_cast<unsigned long long>(s.trace_id), s.root_name.c_str(),
+                s.root_node.c_str(), s.start_ms, s.end_ms, s.span_count);
+  }
+}
+
+void PrintCriticalPath(const std::vector<boom::SpanRecord>& spans,
+                       const boom::TraceSummary& summary) {
+  std::printf("critical path of %016llx %s@%s (%.3f ms):\n",
+              static_cast<unsigned long long>(summary.trace_id), summary.root_name.c_str(),
+              summary.root_node.c_str(), summary.end_ms - summary.start_ms);
+  for (const boom::SpanRecord* span : boom::CriticalPath(spans, summary.trace_id)) {
+    std::printf("  [%10.3f .. %10.3f] %s@%s\n", span->start_ms, span->end_ms,
+                span->name.c_str(), span->node.c_str());
+  }
+}
+
+void PrintTopRules(const boom::Engine& engine, int k) {
+  std::vector<const boom::Engine::RuleProfile*> rules;
+  for (const auto& [key, profile] : engine.rule_profiles()) {
+    rules.push_back(&profile);
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const boom::Engine::RuleProfile* a, const boom::Engine::RuleProfile* b) {
+              if (a->wall_us != b->wall_us) {
+                return a->wall_us > b->wall_us;
+              }
+              return std::tie(a->program, a->rule) < std::tie(b->program, b->rule);
+            });
+  if (rules.size() > static_cast<size_t>(k)) {
+    rules.resize(static_cast<size_t>(k));
+  }
+  std::printf("top %zu rules by wall time (NameNode):\n", rules.size());
+  std::printf("  %-40s  %8s  %8s  %9s  %10s\n", "RULE", "EVALS", "TUPLES", "MAX/TICK",
+              "WALL_US");
+  for (const boom::Engine::RuleProfile* r : rules) {
+    std::string name = r->program + ":" + r->rule;
+    std::printf("  %-40s  %8llu  %8llu  %9llu  %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(r->evals),
+                static_cast<unsigned long long>(r->tuples),
+                static_cast<unsigned long long>(r->max_tuples_per_tick), r->wall_us);
+  }
+}
+
+void RenderOutputs(const Options& opt, const boom::Tracer& tracer) {
+  const std::vector<boom::SpanRecord>& spans = tracer.spans();
+  std::vector<boom::TraceSummary> summaries = FilteredSummaries(spans, opt.filter);
+  if (opt.summarize) {
+    PrintSummaries(summaries);
+  }
+  if (opt.tree) {
+    for (const boom::TraceSummary& s : summaries) {
+      std::fputs(boom::RenderTraceTree(spans, s.trace_id).c_str(), stdout);
+    }
+  }
+  if (opt.critical) {
+    for (const boom::TraceSummary& s : summaries) {
+      PrintCriticalPath(spans, s);
+    }
+  }
+  if (opt.json) {
+    std::fputs(tracer.ToJson().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  if (tracer.dropped() > 0) {
+    std::printf("(%zu spans dropped past the tracer cap)\n", tracer.dropped());
+  }
+  if (opt.metrics) {
+    std::fputs(boom::MetricsRegistry::Global().ToText().c_str(), stdout);
+  }
+}
+
+int RunFs(const Options& opt) {
+  boom::Cluster cluster(opt.seed);
+  boom::Tracer tracer(opt.seed);
+  cluster.set_tracer(&tracer);
+
+  boom::FsSetupOptions fs_opts;
+  boom::FsHandles handles = boom::SetupFs(cluster, fs_opts);
+  boom::Engine* nn_engine = cluster.engine(handles.namenode);
+  if (opt.top_rules > 0 && nn_engine != nullptr) {
+    nn_engine->EnableProfiling(true);
+  }
+  cluster.RunUntil(2000);  // heartbeats registered, safe mode exited
+
+  boom::SyncFs fs(cluster, handles.client);
+  std::string payload(100 * 1024, 'x');  // two chunks -> a real pipeline per write
+  int ok_ops = 0;
+  for (int i = 0; i < opt.ops; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    if (fs.WriteFile(path, payload)) {
+      ++ok_ops;
+    }
+  }
+  std::string data;
+  for (int i = 0; i < opt.ops; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    if (fs.ReadFile(path, &data) && data == payload) {
+      ++ok_ops;
+    }
+  }
+  cluster.RunUntil(cluster.now() + 1000);  // drain heartbeats and pipeline acks
+
+  std::printf("fs run: seed=%llu ops=%d ok=%d/%d end=%.3f spans=%zu\n",
+              static_cast<unsigned long long>(opt.seed), opt.ops, ok_ops, 2 * opt.ops,
+              cluster.now(), tracer.spans().size());
+  RenderOutputs(opt, tracer);
+  if (opt.top_rules > 0 && nn_engine != nullptr) {
+    PrintTopRules(*nn_engine, opt.top_rules);
+  }
+  return ok_ops == 2 * opt.ops ? 0 : 1;
+}
+
+int RunChaos(const Options& opt) {
+  auto scenario = boom::MakeScenario(opt.scenario, {.bug = opt.bug});
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' or bug '%s'\n", opt.scenario.c_str(),
+                 opt.bug.c_str());
+    return 2;
+  }
+  boom::FaultSchedule schedule =
+      boom::GenerateFaultSchedule(opt.seed, scenario->FaultProfile());
+  boom::Tracer tracer(opt.seed);
+  boom::ChaosRunOptions run_opts;
+  run_opts.tracer = &tracer;
+  boom::ChaosRunResult result = boom::RunChaosOnce(*scenario, opt.seed, schedule, run_opts);
+
+  std::printf("chaos run: scenario=%s seed=%llu %s end=%.3f spans=%zu\n",
+              opt.scenario.c_str(), static_cast<unsigned long long>(opt.seed),
+              result.passed ? "PASS" : "FAIL", result.end_ms, tracer.spans().size());
+  std::fputs(schedule.ToString().c_str(), stdout);
+  for (const std::string& v : result.violations) {
+    std::printf("violation: %s\n", v.c_str());
+  }
+  RenderOutputs(opt, tracer);
+  return result.passed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg == "--summarize") {
+      opt.summarize = true;
+    } else if (arg == "--tree") {
+      opt.tree = true;
+    } else if (arg == "--critical") {
+      opt.critical = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (ParseFlag(arg, "mode", &value)) {
+      opt.mode = value;
+    } else if (ParseFlag(arg, "seed", &value)) {
+      opt.seed = static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "ops", &value)) {
+      opt.ops = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "scenario", &value)) {
+      opt.scenario = value;
+    } else if (ParseFlag(arg, "bug", &value)) {
+      opt.bug = value;
+    } else if (ParseFlag(arg, "filter", &value)) {
+      opt.filter = value;
+    } else if (ParseFlag(arg, "top-rules", &value)) {
+      opt.top_rules = std::atoi(value.c_str());
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (!opt.summarize && !opt.tree && !opt.critical && !opt.json) {
+    opt.summarize = true;
+  }
+  if (opt.mode == "fs") {
+    return RunFs(opt);
+  }
+  if (opt.mode == "chaos") {
+    if (opt.top_rules > 0) {
+      std::fprintf(stderr, "--top-rules is only available with --mode=fs\n");
+      return 2;
+    }
+    return RunChaos(opt);
+  }
+  Usage();
+  return 2;
+}

@@ -31,7 +31,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: chaos_explorer [--scenario=paxos|boomfs|boommr] [--seeds=N]\n"
                "                      [--seed0=N] [--bug=NAME] [--no-shrink]\n"
-               "                      [--horizon=MS] [--settle=MS] [--verbose] [--list]\n");
+               "                      [--no-timeline] [--horizon=MS] [--settle=MS]\n"
+               "                      [--verbose] [--list]\n");
 }
 
 bool ParseFlag(const std::string& arg, const std::string& name, std::string* out) {
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (arg == "--no-timeline") {
+      options.timeline = false;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (ParseFlag(arg, "scenario", &value)) {

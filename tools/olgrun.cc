@@ -6,13 +6,16 @@
 // print as they change, and the selected tables (default: all) are dumped at the end.
 // See olg/ for example programs.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "src/base/strings.h"
+#include "src/monitor/meta.h"
 #include "src/overlog/engine.h"
 
 namespace {
@@ -21,7 +24,33 @@ void Usage() {
   std::fprintf(stderr,
                "usage: olgrun <program.olg> [--until MS] [--dump t1,t2,...]\n"
                "  --until MS   advance virtual time to MS, firing timers (default 1000)\n"
-               "  --dump LIST  dump only these tables at exit (default: all non-empty)\n");
+               "  --dump LIST  dump only these tables at exit (default: all non-empty)\n"
+               "  --trace      install the metaprogrammed tracing rewrite (trace_* tables)\n"
+               "  --profile    per-rule profile: evals, tuples, wall time per rule\n");
+}
+
+void PrintRuleProfile(const boom::Engine& engine) {
+  std::vector<const boom::Engine::RuleProfile*> rules;
+  for (const auto& [key, profile] : engine.rule_profiles()) {
+    rules.push_back(&profile);
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const boom::Engine::RuleProfile* a, const boom::Engine::RuleProfile* b) {
+              if (a->wall_us != b->wall_us) {
+                return a->wall_us > b->wall_us;
+              }
+              return std::tie(a->program, a->rule) < std::tie(b->program, b->rule);
+            });
+  std::printf("rule profile (%zu rules):\n", rules.size());
+  std::printf("  %-40s  %8s  %8s  %9s  %10s\n", "RULE", "EVALS", "TUPLES", "MAX/TICK",
+              "WALL_US");
+  for (const boom::Engine::RuleProfile* r : rules) {
+    std::string name = r->program + ":" + r->rule;
+    std::printf("  %-40s  %8llu  %8llu  %9llu  %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(r->evals),
+                static_cast<unsigned long long>(r->tuples),
+                static_cast<unsigned long long>(r->max_tuples_per_tick), r->wall_us);
+  }
 }
 
 }  // namespace
@@ -33,6 +62,8 @@ int main(int argc, char** argv) {
   }
   std::string path;
   double until_ms = 1000;
+  bool trace = false;
+  bool profile = false;
   std::vector<std::string> dump_tables;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -40,6 +71,10 @@ int main(int argc, char** argv) {
       until_ms = std::strtod(argv[++i], nullptr);
     } else if (arg == "--dump" && i + 1 < argc) {
       dump_tables = boom::StrSplitSkipEmpty(argv[++i], ',');
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -71,6 +106,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "install failed: %s\n", status.ToString().c_str());
     return 1;
   }
+  if (trace) {
+    // Monitoring-as-metaprogramming: rewrite the loaded program into a companion that
+    // records every insertion as trace_<table>(Time, cols...) rows, and install both.
+    status = engine.Install(boom::MakeTracingProgram(engine.programs()[0]));
+    if (!status.ok()) {
+      std::fprintf(stderr, "tracing rewrite failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (profile) {
+    status = boom::InstallProfiling(engine);
+    if (!status.ok()) {
+      std::fprintf(stderr, "profiling install failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
 
   // Drive the engine: initial tick, then timer deadlines up to --until.
   boom::Engine::TickResult result = engine.Tick(0);
@@ -92,6 +143,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (profile) {
+    // Land the accumulated profile in perf_rule / perf_fixpoint (one extra timestep —
+    // Publish enqueues, the tick applies) so --dump and monitor rules can see it.
+    status = engine.PublishProfile();
+    if (!status.ok()) {
+      std::fprintf(stderr, "profile publish failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    engine.Tick(now);
+  }
+
   // Final dump.
   std::vector<std::string> tables =
       dump_tables.empty() ? engine.catalog().TableNames() : dump_tables;
@@ -110,6 +172,9 @@ int main(int argc, char** argv) {
     for (const boom::Tuple& row : rows) {
       std::printf("  %s\n", row.ToString().c_str());
     }
+  }
+  if (profile) {
+    PrintRuleProfile(engine);
   }
   std::printf("-- %zu derivations, virtual time %.0f ms --\n", total_derivations, now);
   return 0;
