@@ -1,8 +1,24 @@
-// Engine microbenchmarks (google-benchmark): not a paper figure, but the calibration data
-// behind the simulated service times used in the cluster figures, and a regression guard
-// for the Overlog runtime itself.
+// Engine microbenchmarks: not a paper figure, but the calibration data behind the simulated
+// service times used in the cluster figures, and a regression guard for the Overlog runtime
+// itself.
+//
+// Two modes:
+//   micro_engine            google-benchmark suite (exploratory; all BM_* below)
+//   micro_engine --json     fixed named workloads, machine-readable output consumed by
+//                           scripts/bench.sh -> BENCH_engine.json (the tracked perf
+//                           trajectory; see docs/PERFORMANCE.md)
+//
+// The JSON workloads are the regression-gated set: each is run kJsonReps times and the best
+// rep is reported (min ns/op), which suppresses scheduler noise without hiding real
+// regressions.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "src/base/logging.h"
 
@@ -14,6 +30,10 @@
 
 namespace boom {
 namespace {
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (exploratory mode)
+// ---------------------------------------------------------------------------
 
 void BM_TupleHashEquality(benchmark::State& state) {
   Tuple a{Value(42), Value("some/path/name"), Value(3.5)};
@@ -147,7 +167,245 @@ void BM_PaxosDecree(benchmark::State& state) {
 }
 BENCHMARK(BM_PaxosDecree);
 
+// ---------------------------------------------------------------------------
+// --json mode: the tracked workload set
+// ---------------------------------------------------------------------------
+
+using BenchClock = std::chrono::steady_clock;
+
+double ElapsedNs(BenchClock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(BenchClock::now() - t0).count();
+}
+
+struct WorkloadResult {
+  double ns_per_op = 0;
+  double ops_per_sec = 0;
+};
+
+WorkloadResult FromTotal(double total_ns, double ops) {
+  WorkloadResult r;
+  r.ns_per_op = total_ns / ops;
+  r.ops_per_sec = ops / (total_ns / 1e9);
+  return r;
+}
+
+constexpr int kJsonReps = 5;
+
+template <typename Fn>
+WorkloadResult BestOf(Fn&& fn) {
+  WorkloadResult best;
+  for (int rep = 0; rep < kJsonReps; ++rep) {
+    WorkloadResult r = fn();
+    if (rep == 0 || r.ns_per_op < best.ns_per_op) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+// tuple_hash_equality: Value/Tuple comparison + hash inner loop (the join-probe primitive).
+WorkloadResult RunTupleHashEquality() {
+  return BestOf([] {
+    Tuple a{Value(42), Value("some/path/name"), Value(3.5)};
+    Tuple b{Value(42), Value("some/path/name"), Value(3.5)};
+    constexpr int kIters = 2000000;
+    auto t0 = BenchClock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(a == b);
+      benchmark::DoNotOptimize(a.hash());
+    }
+    return FromTotal(ElapsedNs(t0), kIters);
+  });
+}
+
+// table_insert: keyed inserts with a string payload column.
+WorkloadResult RunTableInsert() {
+  return BestOf([] {
+    TableDef def;
+    def.name = "t";
+    def.columns = {"A", "B", "C"};
+    def.key_columns = {0};
+    Table table(def);
+    constexpr int64_t kIters = 300000;
+    auto t0 = BenchClock::now();
+    for (int64_t i = 0; i < kIters; ++i) {
+      table.Insert(Tuple{Value(i), Value("payload"), Value(i * 2)});
+    }
+    return FromTotal(ElapsedNs(t0), kIters);
+  });
+}
+
+// index_probe: secondary-index probes against a warm 10k-row table.
+WorkloadResult RunIndexProbe() {
+  return BestOf([] {
+    TableDef def;
+    def.name = "t";
+    def.columns = {"A", "B"};
+    def.key_columns = {0};
+    Table table(def);
+    for (int64_t i = 0; i < 10000; ++i) {
+      table.Insert(Tuple{Value(i), Value(i % 100)});
+    }
+    constexpr int64_t kIters = 500000;
+    std::vector<size_t> cols = {1};
+    auto t0 = BenchClock::now();
+    for (int64_t i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(table.Probe(cols, Tuple{Value(i % 100)}));
+    }
+    return FromTotal(ElapsedNs(t0), kIters);
+  });
+}
+
+// join_heavy: string-keyed transitive closure over a chain — every derived tuple is one
+// recursive join probe plus head construction; ns/op is per derived reach() tuple. String
+// node names mirror the paper's workloads (paths, host names), which key joins on strings.
+WorkloadResult RunJoinHeavy() {
+  constexpr int kChain = 160;
+  return BestOf([] {
+    EngineOptions opts;
+    opts.address = "n";
+    Engine engine(opts);
+    Status s = engine.InstallSource(R"(
+      program tc;
+      table link(X, Y);
+      table reach(X, Y);
+      r1 reach(X, Y) :- link(X, Y);
+      r2 reach(X, Z) :- link(X, Y), reach(Y, Z);
+    )");
+    BOOM_CHECK(s.ok());
+    auto node = [](int i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "n%04d", i);
+      return std::string(buf);
+    };
+    for (int i = 0; i < kChain; ++i) {
+      BOOM_CHECK(engine.Enqueue("link", Tuple{Value(node(i)), Value(node(i + 1))}).ok());
+    }
+    auto t0 = BenchClock::now();
+    engine.Tick(0);
+    double ns = ElapsedNs(t0);
+    size_t reach = engine.catalog().Get("reach").size();
+    BOOM_CHECK(reach == static_cast<size_t>(kChain) * (kChain + 1) / 2);
+    return FromTotal(ns, static_cast<double>(reach));
+  });
+}
+
+// churn_heavy: many installed rule families (the multi-program NameNode+Paxos+monitor
+// setting), but each tick only churns a handful of keys in one family. Measures how much
+// fixpoint overhead idle rules impose; ns/op is per derived tuple.
+WorkloadResult RunChurnHeavy() {
+  constexpr int kFamilies = 64;
+  constexpr int kTicks = 400;
+  constexpr int kKeysPerTick = 4;
+  std::string source = "program churn;\n";
+  for (int f = 0; f < kFamilies; ++f) {
+    std::string n = std::to_string(f);
+    source += "table in" + n + "(K, V) keys(0);\n";
+    source += "table out" + n + "(K, V) keys(0);\n";
+    source += "c" + n + " out" + n + "(K, V) :- in" + n + "(K, V);\n";
+  }
+  return BestOf([&source] {
+    EngineOptions opts;
+    opts.address = "n";
+    Engine engine(opts);
+    BOOM_CHECK(engine.InstallSource(source).ok());
+    engine.Tick(0);
+    uint64_t derivations = 0;
+    double total_ns = 0;
+    for (int t = 0; t < kTicks; ++t) {
+      int f = t % kFamilies;
+      std::string table = "in" + std::to_string(f);
+      for (int k = 0; k < kKeysPerTick; ++k) {
+        BOOM_CHECK(engine
+                       .Enqueue(table, Tuple{Value("key" + std::to_string(k)),
+                                             Value("v" + std::to_string(t) + "_" +
+                                                   std::to_string(k))})
+                       .ok());
+      }
+      auto t0 = BenchClock::now();
+      Engine::TickResult r = engine.Tick(t + 1);
+      total_ns += ElapsedNs(t0);
+      derivations += r.derivations;
+    }
+    BOOM_CHECK(derivations == static_cast<uint64_t>(kTicks) * kKeysPerTick);
+    return FromTotal(total_ns, static_cast<double>(derivations));
+  });
+}
+
+// namespace_op: end-to-end BOOM-FS NameNode create ops (the T2 primitive); ns/op per
+// namespace operation including both engine ticks.
+WorkloadResult RunNamespaceOp() {
+  constexpr int kOps = 400;
+  return BestOf([] {
+    EngineOptions opts;
+    opts.address = "nn";
+    Engine engine(opts);
+    BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
+    engine.Tick(0);
+    BOOM_CHECK(engine
+                   .Enqueue("ns_request", Tuple{Value("nn"), Value(0), Value("c"),
+                                                Value("mkdir"), Value("/base"), Value()})
+                   .ok());
+    engine.Tick(1);
+    engine.Tick(1);
+    double now = 2;
+    auto t0 = BenchClock::now();
+    for (int64_t i = 1; i <= kOps; ++i) {
+      BOOM_CHECK(engine
+                     .Enqueue("ns_request",
+                              Tuple{Value("nn"), Value(i), Value("c"), Value("create"),
+                                    Value("/base/f" + std::to_string(i)), Value()})
+                     .ok());
+      engine.Tick(now);
+      engine.Tick(now);
+      now += 1;
+    }
+    return FromTotal(ElapsedNs(t0), kOps);
+  });
+}
+
+int JsonMain() {
+  struct Entry {
+    const char* name;
+    WorkloadResult (*run)();
+  };
+  const Entry entries[] = {
+      {"tuple_hash_equality", RunTupleHashEquality},
+      {"table_insert", RunTableInsert},
+      {"index_probe", RunIndexProbe},
+      {"join_heavy", RunJoinHeavy},
+      {"churn_heavy", RunChurnHeavy},
+      {"namespace_op", RunNamespaceOp},
+  };
+  std::printf("{\n  \"bench\": \"micro_engine\",\n  \"workloads\": {\n");
+  bool first = true;
+  for (const Entry& e : entries) {
+    WorkloadResult r = e.run();
+    if (!first) {
+      std::printf(",\n");
+    }
+    first = false;
+    std::printf("    \"%s\": {\"ns_per_op\": %.1f, \"tuples_per_sec\": %.0f}", e.name,
+                r.ns_per_op, r.ops_per_sec);
+  }
+  std::printf("\n  }\n}\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace boom
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return boom::JsonMain();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

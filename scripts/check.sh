@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh            # everything below
 #   SKIP_ASAN=1 scripts/check.sh  # inner loop only (no sanitizer rebuild)
+#   SKIP_BENCH=1 scripts/check.sh # skip the Release bench smoke (e.g. loaded CI box)
 #
 # Tier 1 (must stay green): plain build + every non-chaos test, then the telemetry label
 # explicitly (metrics/tracing/profiling — see docs/OBSERVABILITY.md).
@@ -11,6 +12,8 @@
 # boomfs chaos sweep (corruption + slow-disk faults included via the scenario's fault
 # profile), so memory errors on the retry/quarantine/re-replication paths surface even
 # though the full chaos tier is too slow for every push.
+# Bench smoke: Release build of micro_engine, gated against the committed BENCH_engine.json
+# (missing workload keys or a >25% ns/op regression fail; scripts/check_bench.py).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +40,23 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 
   echo "==> ASan chaos smoke (3 seeds x boomfs)"
   ./build-asan/tools/chaos_explorer --scenario=boomfs --seeds=3
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  echo "==> Release bench smoke (gate vs BENCH_engine.json)"
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-release -j "$JOBS" --target micro_engine >/dev/null
+  fresh="$(mktemp)"
+  ./build-release/bench/micro_engine --json > "$fresh"
+  if ! python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh"; then
+    # One retry: these are wall-clock numbers and a loaded box can blow the tolerance
+    # without any code change. A regression that reproduces twice is treated as real.
+    echo "==> bench gate failed; retrying once"
+    sleep 5
+    ./build-release/bench/micro_engine --json > "$fresh"
+    python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh"
+  fi
+  rm -f "$fresh"
 fi
 
 echo "==> all checks passed"

@@ -29,6 +29,9 @@ struct Expr {
   ExprKind kind = ExprKind::kConst;
   Value constant;          // kConst
   std::string var;         // kVar
+  // kVar: slot index resolved by the planner for compiled rules (-1 = unresolved; the
+  // evaluator then falls back to a by-name lookup in the rule's slot map).
+  int slot = -1;
   std::string fn;          // kCall: builtin name; operators use their symbol ("+", "==", ...)
   std::vector<Expr> args;  // kCall
 

@@ -16,7 +16,17 @@ Status Catalog::Declare(const TableDef& def) {
     }
     return Status::Ok();
   }
-  tables_.emplace(def.name, std::make_unique<Table>(def));
+  auto inserted = tables_.emplace(def.name, std::make_unique<Table>(def));
+  Table* table = inserted.first->second.get();
+  auto by_name = [](const Table* a, const Table* b) { return a->name() < b->name(); };
+  if (def.ttl_ms > 0) {
+    ttl_tables_.insert(
+        std::upper_bound(ttl_tables_.begin(), ttl_tables_.end(), table, by_name), table);
+  }
+  if (def.kind == TableKind::kEvent) {
+    event_tables_.insert(
+        std::upper_bound(event_tables_.begin(), event_tables_.end(), table, by_name), table);
+  }
   return Status::Ok();
 }
 
@@ -53,10 +63,8 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 void Catalog::ClearEvents() {
-  for (auto& [name, table] : tables_) {
-    if (table->def().kind == TableKind::kEvent) {
-      table->Clear();
-    }
+  for (Table* table : event_tables_) {
+    table->Clear();
   }
 }
 

@@ -35,11 +35,18 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
-  // Clears all tables of kind kEvent (end-of-timestep semantics).
+  // Tables with a TTL, sorted by name (the order TableNames-based iteration used). Cached at
+  // Declare time so the engine's per-tick expiry pass doesn't allocate every table name.
+  const std::vector<Table*>& TtlTables() const { return ttl_tables_; }
+
+  // Clears all tables of kind kEvent (end-of-timestep semantics). Uses a Declare-time cache
+  // of event tables, so ticks don't scan the whole catalog.
   void ClearEvents();
 
  private:
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<Table*> ttl_tables_;    // sorted by name
+  std::vector<Table*> event_tables_;  // sorted by name
 };
 
 }  // namespace boom

@@ -138,6 +138,24 @@ Status Engine::Recompile() {
     return compiled.status();
   }
   compiled_ = std::move(compiled).value();
+  // Resolve body atoms to table pointers so join steps skip the per-row catalog lookup.
+  // Pointers are stable: the catalog stores tables behind unique_ptr and never drops them.
+  auto resolve_variant = [this](CompiledVariant& variant) {
+    if (!variant.driver.table.empty()) {
+      variant.driver.table_ptr = catalog_.Find(variant.driver.table);
+    }
+    for (CompiledStep& step : variant.steps) {
+      if (step.kind == BodyTerm::Kind::kAtom) {
+        step.atom.table_ptr = catalog_.Find(step.atom.table);
+      }
+    }
+  };
+  for (CompiledRule& rule : compiled_.rules) {
+    for (CompiledVariant& variant : rule.variants) {
+      resolve_variant(variant);
+    }
+    resolve_variant(rule.full_variant);
+  }
   return Status::Ok();
 }
 
@@ -169,6 +187,9 @@ void Engine::AddWatch(const std::string& table, WatchFn fn) {
 }
 
 void Engine::FireWatches(const std::string& table, const Tuple& tuple, bool inserted) {
+  if (watches_.empty()) {
+    return;  // common case: skip the map lookup entirely
+  }
   auto it = watches_.find(table);
   if (it == watches_.end()) {
     return;
@@ -264,14 +285,10 @@ Engine::TickResult Engine::Tick(double now_ms) {
   };
 
   // 0. Soft-state expiry: TTL rows not refreshed recently vanish before anything derives
-  // from them this tick.
-  for (const std::string& name : catalog_.TableNames()) {
-    Table& table = catalog_.Get(name);
-    if (table.def().ttl_ms <= 0) {
-      continue;
-    }
-    for (const Tuple& expired : table.ExpireOlderThan(now_ms - table.def().ttl_ms)) {
-      FireWatches(name, expired, /*inserted=*/false);
+  // from them this tick. The catalog keeps the (usually short) TTL-table list cached.
+  for (Table* table : catalog_.TtlTables()) {
+    for (const Tuple& expired : table->ExpireOlderThan(now_ms - table->def().ttl_ms)) {
+      FireWatches(table->name(), expired, /*inserted=*/false);
     }
   }
 
@@ -303,6 +320,9 @@ Engine::TickResult Engine::Tick(double now_ms) {
   std::vector<Derivation> deletions;
   // Deduplicate network sends within the tick.
   std::set<std::pair<std::pair<std::string, std::string>, Tuple>> sent;
+  // Dirty-rule worklist scratch, reused across rounds.
+  std::vector<size_t> dirty_worklist;
+  std::vector<char> dirty_mark;
 
   auto apply_derivations = [&](std::vector<Derivation>& derived) {
     for (Derivation& d : derived) {
@@ -329,25 +349,19 @@ Engine::TickResult Engine::Tick(double now_ms) {
     derived.clear();
   };
 
-  // Group rules by stratum once per tick (cheap; ~tens of rules).
-  std::vector<std::vector<const CompiledRule*>> by_stratum(
-      static_cast<size_t>(compiled_.num_strata));
-  for (const CompiledRule& rule : compiled_.rules) {
-    by_stratum[static_cast<size_t>(rule.stratum)].push_back(&rule);
-  }
-
   std::vector<Derivation> derived;
+  derived.reserve(64);
 
-  // 4. Strata, lowest first.
-  for (size_t stratum = 0; stratum < by_stratum.size(); ++stratum) {
+  // 4. Strata, lowest first, following the compile-time schedule (rules grouped by role at
+  // Recompile; no per-tick regrouping).
+  for (size_t stratum = 0; stratum < compiled_.schedule.size(); ++stratum) {
+    const StratumSchedule& sched = compiled_.schedule[stratum];
     // 4a. Aggregate rules: full recomputation + reconciliation against their prior output.
     // Skipped entirely when none of the rule's input tables changed since the last
     // recomputation — this is what keeps ever-growing audit tables from making every tick
     // O(table size).
-    for (const CompiledRule* rule : by_stratum[stratum]) {
-      if (!rule->has_agg) {
-        continue;
-      }
+    for (size_t rule_idx : sched.agg_rules) {
+      const CompiledRule* rule = &compiled_.rules[rule_idx];
       if (rule->incremental_agg && !options_.disable_incremental_aggregates) {
         // Fold only this tick's inserts into running accumulators: O(delta), not O(table).
         auto delta_it = tick_new_.find(rule->body_tables[0]);
@@ -461,24 +475,23 @@ Engine::TickResult Engine::Tick(double now_ms) {
 
     // 4b. Driverless rules run once, at seed time.
     if (needs_seed_) {
-      for (const CompiledRule* rule : by_stratum[stratum]) {
-        if (rule->driverless && !rule->has_agg) {
-          ProfClock::time_point t0;
-          if (profile_) {
-            t0 = ProfClock::now();
-          }
-          evaluator_.EvalFull(*rule, &derived);
-          size_t produced = derived.size();
-          apply_derivations(derived);
-          if (profile_) {
-            RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
-          }
+      for (size_t rule_idx : sched.seed_rules) {
+        const CompiledRule* rule = &compiled_.rules[rule_idx];
+        ProfClock::time_point t0;
+        if (profile_) {
+          t0 = ProfClock::now();
+        }
+        evaluator_.EvalFull(*rule, &derived);
+        size_t produced = derived.size();
+        apply_derivations(derived);
+        if (profile_) {
+          RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
         }
       }
     }
 
     // 4c. Semi-naive rounds over this stratum.
-    std::map<std::string, size_t> cursor;  // per-table consumed prefix of tick_new_
+    std::unordered_map<std::string, size_t> cursor;  // per-table consumed prefix of tick_new_
     size_t rounds = 0;
     while (true) {
       if (++rounds > options_.max_rounds_per_tick) {
@@ -499,10 +512,35 @@ Engine::TickResult Engine::Tick(double now_ms) {
         break;
       }
       ++result.rounds;
-      for (const CompiledRule* rule : by_stratum[stratum]) {
-        if (rule->has_agg || rule->driverless) {
-          continue;
+      // Dirty-rule worklist: only rules with a variant driven by a table that actually
+      // received deltas this round, in delta_rules (program) order — the same order, and
+      // the same evaluations, as the exhaustive scan, minus the rules that would have been
+      // skipped at their deltas.find() anyway.
+      const bool exhaustive = options_.disable_dirty_rule_scheduling;
+      dirty_worklist.clear();
+      if (!exhaustive) {
+        dirty_mark.assign(sched.delta_rules.size(), 0);
+        for (const auto& [table, rows] : deltas) {
+          auto it = sched.delta_rules_by_driver.find(table);
+          if (it == sched.delta_rules_by_driver.end()) {
+            continue;
+          }
+          for (size_t pos : it->second) {
+            if (!dirty_mark[pos]) {
+              dirty_mark[pos] = 1;
+              dirty_worklist.push_back(pos);
+            }
+          }
         }
+        std::sort(dirty_worklist.begin(), dirty_worklist.end());
+      } else {
+        dirty_worklist.resize(sched.delta_rules.size());
+        for (size_t i = 0; i < dirty_worklist.size(); ++i) {
+          dirty_worklist[i] = i;
+        }
+      }
+      for (size_t pos : dirty_worklist) {
+        const CompiledRule* rule = &compiled_.rules[sched.delta_rules[pos]];
         ProfClock::time_point t0;
         bool evaluated = false;
         if (profile_) {

@@ -23,6 +23,7 @@
 #include <optional>
 #include <random>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -45,6 +46,10 @@ struct EngineOptions {
   // Ablation switches (benchmarks only): fall back to full recomputation strategies.
   bool disable_incremental_aggregates = false;
   bool disable_aggregate_version_skip = false;
+  // Ablation/validation switch: fixpoint rounds scan every rule in the stratum instead of
+  // only those whose driver tables received deltas. Must derive identical fixpoints (see
+  // engine_test DirtySchedulingMatchesExhaustive).
+  bool disable_dirty_rule_scheduling = false;
 };
 
 class Engine {
@@ -197,7 +202,10 @@ class Engine {
   std::map<std::string, AggState> agg_state_;  // keyed by rule name
 
   std::vector<std::pair<std::string, Tuple>> inbox_;
-  std::map<std::string, std::vector<Tuple>> tick_new_;  // tuples newly inserted this tick
+  // Tuples newly inserted this tick. Keyed lookups only on the hot path; the per-round delta
+  // snapshot in Tick copies into an ordered map, so iteration order here never leaks into
+  // evaluation order (determinism).
+  std::unordered_map<std::string, std::vector<Tuple>> tick_new_;
 
   double now_ms_ = 0;
   bool needs_seed_ = false;

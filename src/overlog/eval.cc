@@ -7,13 +7,32 @@
 
 namespace boom {
 
-Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
-                       const std::unordered_map<std::string, int>& slot_of,
-                       const BuiltinRegistry& builtins, const EvalContext& ctx) {
+namespace {
+
+// Depth-indexed scratch pool for kCall argument vectors: every rule body evaluation calls
+// EvalExpr, so the per-call `std::vector<Value> args` allocation was pure hot-path churn.
+// One buffer per call-nesting depth; unique_ptr keeps buffer addresses stable while the
+// pool itself grows under a deeper recursion.
+std::vector<Value>& CallArgsScratch(size_t depth) {
+  thread_local std::vector<std::unique_ptr<std::vector<Value>>> pool;
+  while (pool.size() <= depth) {
+    pool.push_back(std::make_unique<std::vector<Value>>());
+  }
+  pool[depth]->clear();
+  return *pool[depth];
+}
+
+Result<Value> EvalExprAtDepth(const Expr& expr, const std::vector<Value>& slots,
+                              const std::unordered_map<std::string, int>& slot_of,
+                              const BuiltinRegistry& builtins, const EvalContext& ctx,
+                              size_t depth) {
   switch (expr.kind) {
     case ExprKind::kConst:
       return expr.constant;
     case ExprKind::kVar: {
+      if (expr.slot >= 0) {  // planner-resolved fast path
+        return slots[static_cast<size_t>(expr.slot)];
+      }
       auto it = slot_of.find(expr.var);
       if (it == slot_of.end()) {
         return Internal("unbound variable " + expr.var);
@@ -21,10 +40,10 @@ Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
       return slots[static_cast<size_t>(it->second)];
     }
     case ExprKind::kCall: {
-      std::vector<Value> args;
+      std::vector<Value>& args = CallArgsScratch(depth);
       args.reserve(expr.args.size());
       for (const Expr& a : expr.args) {
-        Result<Value> v = EvalExpr(a, slots, slot_of, builtins, ctx);
+        Result<Value> v = EvalExprAtDepth(a, slots, slot_of, builtins, ctx, depth + 1);
         if (!v.ok()) {
           return v;
         }
@@ -34,6 +53,14 @@ Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
     }
   }
   return Internal("bad expression kind");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
+                       const std::unordered_map<std::string, int>& slot_of,
+                       const BuiltinRegistry& builtins, const EvalContext& ctx) {
+  return EvalExprAtDepth(expr, slots, slot_of, builtins, ctx, 0);
 }
 
 void Evaluator::RecordError(const Status& status) {
@@ -94,11 +121,11 @@ void Evaluator::JoinSteps(const CompiledRule& rule, const CompiledVariant& varia
     }
     case BodyTerm::Kind::kAtom: {
       const CompiledAtom& atom = step.atom;
-      Table* table = catalog_->Find(atom.table);
+      Table* table = atom.table_ptr != nullptr ? atom.table_ptr : catalog_->Find(atom.table);
       BOOM_CHECK(table != nullptr) << "planner admitted unknown table " << atom.table;
-      // Build the probe tuple from const and pre-bound argument positions.
-      std::vector<Value> probe_vals;
-      probe_vals.reserve(atom.probe_cols.size());
+      // Build the probe key from const and pre-bound argument positions in a per-depth
+      // scratch buffer; the table is probed by view (precomputed hash, no Tuple built).
+      std::vector<Value>& probe_vals = ProbeScratch(step_idx);
       for (size_t col : atom.probe_cols) {
         const CompiledArg& arg = atom.args[col];
         if (arg.is_const) {
@@ -108,7 +135,12 @@ void Evaluator::JoinSteps(const CompiledRule& rule, const CompiledVariant& varia
         }
       }
       const std::vector<const Tuple*>& rows =
-          table->Probe(atom.probe_cols, Tuple(std::move(probe_vals)));
+          table->Probe(atom.probe_cols, TupleView::Of(probe_vals.data(), probe_vals.size()));
+#ifndef NDEBUG
+      // Derivations are buffered until the rule finishes, so nothing may mutate the probed
+      // table while we iterate its rows; debug builds enforce that here.
+      const uint64_t probe_gen = table->probe_generation();
+#endif
       if (atom.negated) {
         if (rows.empty()) {
           JoinSteps(rule, variant, step_idx + 1, slots, emit);
@@ -120,6 +152,9 @@ void Evaluator::JoinSteps(const CompiledRule& rule, const CompiledVariant& varia
           JoinSteps(rule, variant, step_idx + 1, slots, emit);
         }
       }
+#ifndef NDEBUG
+      table->AssertProbeFresh(probe_gen);
+#endif
       return;
     }
   }
@@ -127,7 +162,8 @@ void Evaluator::JoinSteps(const CompiledRule& rule, const CompiledVariant& varia
 
 void Evaluator::EmitHead(const CompiledRule& rule, const std::vector<Value>& slots,
                          std::vector<Derivation>* out) {
-  std::vector<Value> vals;
+  std::vector<Value>& vals = head_scratch_;
+  vals.clear();
   vals.reserve(rule.head_args.size());
   for (const CompiledHeadArg& arg : rule.head_args) {
     Result<Value> v = EvalExpr(arg.expr, slots, rule.slot_of, *builtins_, *ctx_);
@@ -152,14 +188,18 @@ void Evaluator::EmitHead(const CompiledRule& rule, const std::vector<Value>& slo
       d.dest = vals[0].as_string();
     }
   }
-  d.tuple = Tuple(std::move(vals));
+  d.tuple = Tuple(vals.data(), vals.size());  // copy out of the scratch; Values are cheap
   out->push_back(std::move(d));
 }
 
 void Evaluator::EvalFromRows(const CompiledRule& rule, const CompiledVariant& variant,
                              const std::vector<Tuple>& driver_rows,
                              std::vector<Derivation>* out) {
-  std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
+  EnsureProbeDepth(variant.steps.size());
+  // Reused scratch: unbound slots are never read (planner safety guarantees bound-before-
+  // use), so resetting to nil is only for debuggability, not correctness.
+  std::vector<Value>& slots = slots_scratch_;
+  slots.assign(static_cast<size_t>(rule.num_slots), Value());
   for (const Tuple& row : driver_rows) {
     if (!BindAtomRow(variant.driver, row, &slots)) {
       continue;
@@ -171,8 +211,10 @@ void Evaluator::EvalFromRows(const CompiledRule& rule, const CompiledVariant& va
 
 void Evaluator::EvalFull(const CompiledRule& rule, std::vector<Derivation>* out) {
   const CompiledVariant& variant = rule.full_variant;
-  std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
   if (variant.driver_table.empty()) {
+    EnsureProbeDepth(variant.steps.size());
+    std::vector<Value>& slots = slots_scratch_;
+    slots.assign(static_cast<size_t>(rule.num_slots), Value());
     JoinSteps(rule, variant, 0, &slots,
               [this, &rule, out](const std::vector<Value>& s) { EmitHead(rule, s, out); });
     return;
@@ -193,7 +235,9 @@ void Evaluator::EvalAggBindings(const CompiledRule& rule,
       agg_positions.push_back(i);
     }
   }
-  std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
+  EnsureProbeDepth(variant.steps.size());
+  std::vector<Value>& slots = slots_scratch_;
+  slots.assign(static_cast<size_t>(rule.num_slots), Value());
   auto emit = [&](const std::vector<Value>& bound) {
     std::vector<Value> key_vals;
     for (size_t i = 0; i < rule.head_args.size(); ++i) {
@@ -291,7 +335,9 @@ void Evaluator::EvalAggregate(const CompiledRule& rule, std::vector<Tuple>* head
     }
   };
 
-  std::vector<Value> slots(static_cast<size_t>(rule.num_slots));
+  EnsureProbeDepth(variant.steps.size());
+  std::vector<Value>& slots = slots_scratch_;
+  slots.assign(static_cast<size_t>(rule.num_slots), Value());
   if (variant.driver_table.empty()) {
     JoinSteps(rule, variant, 0, &slots, emit);
   } else {

@@ -27,7 +27,9 @@ struct Derivation {
   std::string dest;   // when remote
 };
 
-// Evaluates an expression under rule bindings. Exposed for tests.
+// Evaluates an expression under rule bindings. Exposed for tests. Call-argument vectors for
+// kCall nodes come from a depth-indexed thread-local scratch pool, so steady-state
+// evaluation does not allocate per call.
 Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
                        const std::unordered_map<std::string, int>& slot_of,
                        const BuiltinRegistry& builtins, const EvalContext& ctx);
@@ -76,10 +78,28 @@ class Evaluator {
   void EmitHead(const CompiledRule& rule, const std::vector<Value>& slots,
                 std::vector<Derivation>* out);
 
+  // Reusable per-join-depth probe buffer (JoinSteps recursion frames never share a depth,
+  // so indexing by step keeps the buffers disjoint). EnsureProbeDepth is called before
+  // recursion starts so the outer vector never reallocates while a frame holds a reference.
+  void EnsureProbeDepth(size_t n) {
+    if (probe_scratch_.size() < n) {
+      probe_scratch_.resize(n);
+    }
+  }
+  std::vector<Value>& ProbeScratch(size_t depth) {
+    probe_scratch_[depth].clear();
+    return probe_scratch_[depth];
+  }
+
   Catalog* catalog_;
   const BuiltinRegistry* builtins_;
   const EvalContext* ctx_;
   std::vector<std::string> errors_;
+  // Scratch buffers: allocated once, reused by every rule evaluation. The evaluator is not
+  // reentrant (Eval* methods never call each other), so a single set is safe.
+  std::vector<std::vector<Value>> probe_scratch_;
+  std::vector<Value> slots_scratch_;
+  std::vector<Value> head_scratch_;
 };
 
 }  // namespace boom

@@ -87,6 +87,15 @@ class RuleCompiler {
         out.variants.push_back(std::move(variant).value());
       }
     }
+
+    // Resolve kVar expressions to slot indexes so evaluation never hashes a variable name.
+    for (CompiledHeadArg& arg : out.head_args) {
+      ResolveExprSlots(&arg.expr, out);
+    }
+    ResolveVariantSlots(&out.full_variant, out);
+    for (CompiledVariant& variant : out.variants) {
+      ResolveVariantSlots(&variant, out);
+    }
     return out;
   }
 
@@ -155,6 +164,24 @@ class RuleCompiler {
       ch.agg = a.agg;
       ch.k = a.k;
       out->head_args.push_back(std::move(ch));
+    }
+  }
+
+  static void ResolveExprSlots(Expr* e, const CompiledRule& out) {
+    if (e->kind == ExprKind::kVar) {
+      auto it = out.slot_of.find(e->var);
+      if (it != out.slot_of.end()) {
+        e->slot = it->second;
+      }
+    }
+    for (Expr& a : e->args) {
+      ResolveExprSlots(&a, out);
+    }
+  }
+  static void ResolveVariantSlots(CompiledVariant* variant, const CompiledRule& out) {
+    for (CompiledStep& step : variant->steps) {
+      ResolveExprSlots(&step.assign_expr, out);
+      ResolveExprSlots(&step.condition, out);
     }
   }
 
@@ -567,6 +594,30 @@ Result<CompiledProgram> CompileRules(const std::vector<Rule>& rules,
     max_stratum = std::max(max_stratum, cr.stratum);
   }
   out.num_strata = max_stratum + 1;
+
+  // Build the per-stratum schedule (see StratumSchedule): rules grouped by role, plus the
+  // driver-table index that lets the engine's fixpoint visit only dirty rules per round.
+  out.schedule.assign(static_cast<size_t>(out.num_strata), StratumSchedule{});
+  for (size_t i = 0; i < out.rules.size(); ++i) {
+    const CompiledRule& cr = out.rules[i];
+    StratumSchedule& sched = out.schedule[static_cast<size_t>(cr.stratum)];
+    if (cr.has_agg) {
+      sched.agg_rules.push_back(i);
+      continue;
+    }
+    if (cr.driverless) {
+      sched.seed_rules.push_back(i);
+      continue;
+    }
+    size_t pos = sched.delta_rules.size();
+    sched.delta_rules.push_back(i);
+    for (const CompiledVariant& v : cr.variants) {
+      std::vector<size_t>& driven = sched.delta_rules_by_driver[v.driver_table];
+      if (driven.empty() || driven.back() != pos) {  // variants may share a driver table
+        driven.push_back(pos);
+      }
+    }
+  }
   return out;
 }
 

@@ -33,6 +33,10 @@ struct CompiledArg {
 
 struct CompiledAtom {
   std::string table;
+  // Resolved by Engine::Recompile after compilation (table addresses are stable: the catalog
+  // stores tables behind unique_ptr). Saves a string-hash catalog lookup per join step per
+  // row; the evaluator falls back to Catalog::Find when null.
+  Table* table_ptr = nullptr;
   bool negated = false;
   std::vector<CompiledArg> args;
   // Columns to probe on (const args + already-bound vars at this point in the ordering).
@@ -97,9 +101,25 @@ struct CompiledRule {
   bool incremental_agg = false;
 };
 
+// Per-stratum evaluation schedule, built once at compile time so Engine::Tick neither
+// regroups rules per tick nor scans every rule per fixpoint round.
+struct StratumSchedule {
+  // Indexes into CompiledProgram::rules, program order throughout.
+  std::vector<size_t> agg_rules;    // aggregate rules, reconciled at stratum entry
+  std::vector<size_t> seed_rules;   // driverless non-aggregate rules (seed tick only)
+  std::vector<size_t> delta_rules;  // semi-naive rules
+  // Driver table -> ascending positions in delta_rules having a variant driven by it. A
+  // fixpoint round unions the entries for tables that actually received deltas (the "dirty
+  // rules") and evaluates only those, in delta_rules order — exactly the order the
+  // exhaustive every-rule loop used, so derivation order (and with it send order, watch
+  // order, and chaos schedules) is unchanged.
+  std::unordered_map<std::string, std::vector<size_t>> delta_rules_by_driver;
+};
+
 struct CompiledProgram {
   std::vector<CompiledRule> rules;
   int num_strata = 1;
+  std::vector<StratumSchedule> schedule;  // one entry per stratum
 };
 
 // Compiles `rules` (typically the union of all installed programs) against tables already

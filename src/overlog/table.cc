@@ -33,18 +33,16 @@ Table::InsertOutcome Table::Insert(Tuple tuple, double now_ms) {
       << "arity mismatch inserting into " << def_.name << ": got " << tuple.size()
       << ", want " << def_.arity();
   Tuple key = KeyOf(tuple);
-  auto it = rows_.find(key);
-  if (it == rows_.end()) {
-    if (def_.ttl_ms > 0) {
-      row_time_[key] = now_ms;
-    }
-    auto [inserted_it, added] = rows_.emplace(std::move(key), std::move(tuple));
-    insert_log_.push_back(&inserted_it->second);
+  if (def_.ttl_ms > 0) {
+    row_time_[key] = now_ms;  // stamp, or refresh the lease on re-insertion
+  }
+  // Single hash-table traversal for both the new-key and existing-key cases; the mapped
+  // Tuple is only copied (a refcount bump) when the key is actually new.
+  auto [it, added] = rows_.try_emplace(std::move(key), tuple);
+  if (added) {
+    insert_log_.push_back(&it->second);
     ++version_;
     return InsertOutcome::kInserted;
-  }
-  if (def_.ttl_ms > 0) {
-    row_time_[key] = now_ms;  // re-insertion refreshes the lease even when unchanged
   }
   if (it->second == tuple) {
     return InsertOutcome::kUnchanged;
@@ -127,6 +125,22 @@ const std::vector<const Tuple*>& Table::Probe(const std::vector<size_t>& cols,
     return empty_result_;
   }
   return it->second;
+}
+
+const std::vector<const Tuple*>& Table::Probe(const std::vector<size_t>& cols,
+                                              const TupleView& probe) {
+  const Index& index = GetIndex(cols);
+  auto it = index.find(probe);
+  if (it == index.end()) {
+    return empty_result_;
+  }
+  return it->second;
+}
+
+void Table::AssertProbeFresh(uint64_t generation) const {
+  BOOM_CHECK(version_ == generation)
+      << "stale Table::Probe result used after mutation of " << def_.name << " (captured gen "
+      << generation << ", now " << version_ << ")";
 }
 
 void Table::Clear() {

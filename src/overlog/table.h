@@ -41,7 +41,9 @@ struct TableDef {
 };
 
 // Secondary index: projection of selected columns -> rows having that projection.
-using Index = std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash>;
+// TupleHash/TupleEq are transparent, so probes can use a TupleView (values + precomputed
+// hash) without materializing a Tuple.
+using Index = std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash, TupleEq>;
 
 class Table {
  public:
@@ -85,8 +87,21 @@ class Table {
   }
 
   // Returns rows whose projection on `cols` equals `probe`, via a lazily built and cached
-  // hash index. The returned pointers are valid until the next table mutation.
+  // hash index. The returned pointers (and the returned vector itself) are valid until the
+  // next table mutation; capture probe_generation() before use and call AssertProbeFresh()
+  // to enforce that in debug builds.
   const std::vector<const Tuple*>& Probe(const std::vector<size_t>& cols, const Tuple& probe);
+  // Precomputed-hash probe path: no Tuple is materialized and the hash is computed once by
+  // the caller (TupleView::Of), not re-derived per hash-map operation.
+  const std::vector<const Tuple*>& Probe(const std::vector<size_t>& cols,
+                                         const TupleView& probe);
+
+  // Generation token for probe-result validity: changes on every mutation that can move or
+  // drop rows out of cached indexes (insert, replace, erase, clear, TTL expiry).
+  uint64_t probe_generation() const { return version_; }
+  // Aborts when the table has mutated since `generation` was captured — i.e. a Probe result
+  // taken at that generation is stale. Callers gate this behind debug builds.
+  void AssertProbeFresh(uint64_t generation) const;
 
   void Clear();
 

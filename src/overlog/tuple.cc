@@ -4,14 +4,15 @@ namespace boom {
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < vals_.size(); ++i) {
+  for (size_t i = 0; i < size(); ++i) {
+    const Value& v = (*this)[i];
     if (i > 0) {
       out += ", ";
     }
-    if (vals_[i].is_string()) {
-      out += "\"" + vals_[i].as_string() + "\"";
+    if (v.is_string()) {
+      out += "\"" + v.as_string() + "\"";
     } else {
-      out += vals_[i].ToString();
+      out += v.ToString();
     }
   }
   out += ")";

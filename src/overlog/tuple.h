@@ -1,37 +1,126 @@
-// Tuple: an immutable row of Values with a precomputed hash.
+// Tuple: a row of Values with a cached hash and copy-on-write storage.
+//
+// Copying a Tuple is a refcount bump: the engine's delta pipeline (derive -> store -> delta
+// snapshot -> send) passes each row through several containers, and none of those hops
+// should allocate. The hash is computed lazily on first use and cached in the shared rep;
+// in-place mutation via set() clones the rep if shared and invalidates the cache.
+//
+// TupleView is a non-owning (values + precomputed hash) probe key: tuple-keyed hash maps
+// declared with TupleHash/TupleEq support heterogeneous lookup, so the evaluator's join
+// probes never materialize a Tuple (no allocation on the probe path).
+//
+// Thread-compatibility note: the refcount and lazy hash cache are deliberately NOT atomic —
+// Tuples follow the engine's single-threaded discipline (one Engine per thread, nothing
+// crosses threads), and non-atomic counts keep copies to a plain increment. A Tuple (or any
+// copy sharing its storage) must never be touched from two threads.
 
 #ifndef SRC_OVERLOG_TUPLE_H_
 #define SRC_OVERLOG_TUPLE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/overlog/value.h"
 
 namespace boom {
 
+// Hash of a contiguous Value range; the seed and combine steps match Tuple::hash() exactly,
+// so a TupleView built from the same values hashes like the materialized Tuple.
+inline size_t HashValueRange(const Value* data, size_t n) {
+  size_t h = 0x12345678;
+  for (size_t i = 0; i < n; ++i) {
+    h = HashCombine(h, data[i].Hash());
+  }
+  return h;
+}
+
 class Tuple {
  public:
-  Tuple() : hash_(EmptyHash()) {}
-  explicit Tuple(std::vector<Value> vals) : vals_(std::move(vals)) { hash_ = ComputeHash(); }
-  Tuple(std::initializer_list<Value> vals) : vals_(vals) { hash_ = ComputeHash(); }
+  Tuple() = default;  // empty tuple: no rep allocated
+  explicit Tuple(std::vector<Value> vals) : rep_(NewRepMove(vals.data(), vals.size())) {}
+  Tuple(std::initializer_list<Value> vals) : rep_(NewRepCopy(vals.begin(), vals.size())) {}
+  // Copies a contiguous range (used with reusable scratch buffers; Value copies are cheap —
+  // scalars or refcount bumps).
+  Tuple(const Value* data, size_t n) : rep_(NewRepCopy(data, n)) {}
 
-  size_t size() const { return vals_.size(); }
-  bool empty() const { return vals_.empty(); }
-  const Value& at(size_t i) const { return vals_[i]; }
-  const Value& operator[](size_t i) const { return vals_[i]; }
-  const std::vector<Value>& values() const { return vals_; }
+  Tuple(const Tuple& other) : rep_(other.rep_) {
+    if (rep_ != nullptr) {
+      ++rep_->refs;
+    }
+  }
+  Tuple(Tuple&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
+  Tuple& operator=(const Tuple& other) {
+    if (other.rep_ != nullptr) {
+      ++other.rep_->refs;  // before Release, for self-assignment
+    }
+    Release(rep_);
+    rep_ = other.rep_;
+    return *this;
+  }
+  Tuple& operator=(Tuple&& other) noexcept {
+    if (this != &other) {
+      Release(rep_);
+      rep_ = other.rep_;
+      other.rep_ = nullptr;
+    }
+    return *this;
+  }
+  ~Tuple() { Release(rep_); }
 
-  size_t hash() const { return hash_; }
+  size_t size() const { return rep_ == nullptr ? 0 : rep_->size; }
+  bool empty() const { return size() == 0; }
+  const Value& at(size_t i) const { return rep_->vals()[i]; }
+  const Value& operator[](size_t i) const { return rep_->vals()[i]; }
+  const Value* data() const { return rep_ == nullptr ? nullptr : rep_->vals(); }
+
+  // Replaces column `i`. Clones the storage when shared (copy-on-write) and invalidates the
+  // cached hash.
+  void set(size_t i, Value v) {
+    if (rep_->refs > 1) {
+      Rep* clone = NewRepCopy(rep_->vals(), rep_->size);
+      Release(rep_);
+      rep_ = clone;
+    }
+    rep_->vals()[i] = std::move(v);
+    rep_->hash_valid = false;
+  }
+
+  size_t hash() const {
+    if (rep_ == nullptr) {
+      return kEmptyHash;
+    }
+    if (!rep_->hash_valid) {
+      rep_->hash = HashValueRange(rep_->vals(), rep_->size);
+      rep_->hash_valid = true;
+    }
+    return rep_->hash;
+  }
+  // Whether the hash cache is populated (tests). Shared across copies with the rep.
+  bool hash_cached() const { return rep_ == nullptr || rep_->hash_valid; }
+  // Whether this tuple shares storage with another (tests).
+  bool shares_storage_with(const Tuple& other) const {
+    return rep_ != nullptr && rep_ == other.rep_;
+  }
 
   bool operator==(const Tuple& other) const {
-    if (hash_ != other.hash_ || vals_.size() != other.vals_.size()) {
+    if (rep_ == other.rep_) {
+      return true;  // shared storage (or both empty)
+    }
+    if (size() != other.size()) {
       return false;
     }
-    for (size_t i = 0; i < vals_.size(); ++i) {
-      if (!(vals_[i] == other.vals_[i])) {
+    if (rep_ != nullptr && other.rep_ != nullptr && rep_->hash_valid &&
+        other.rep_->hash_valid && rep_->hash != other.rep_->hash) {
+      return false;
+    }
+    for (size_t i = 0; i < size(); ++i) {
+      if (!(rep_->vals()[i] == other.rep_->vals()[i])) {
         return false;
       }
     }
@@ -39,47 +128,152 @@ class Tuple {
   }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
   bool operator<(const Tuple& other) const {
-    size_t n = std::min(vals_.size(), other.vals_.size());
+    if (rep_ == other.rep_) {
+      return false;
+    }
+    size_t n = std::min(size(), other.size());
     for (size_t i = 0; i < n; ++i) {
-      if (vals_[i] < other.vals_[i]) {
+      if ((*this)[i] < other[i]) {
         return true;
       }
-      if (other.vals_[i] < vals_[i]) {
+      if (other[i] < (*this)[i]) {
         return false;
       }
     }
-    return vals_.size() < other.vals_.size();
+    return size() < other.size();
   }
 
-  // Projects the given columns into a new tuple (used for keys and join probes).
+  // Projects the given columns into a new tuple (used for keys and join probes). An identity
+  // projection (all columns, in order — e.g. the effective key of a set-semantics table)
+  // shares storage with this tuple instead of allocating.
   Tuple Project(const std::vector<size_t>& cols) const {
-    std::vector<Value> out;
-    out.reserve(cols.size());
-    for (size_t c : cols) {
-      out.push_back(vals_[c]);
+    if (cols.size() == size()) {
+      bool identity = true;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] != i) {
+          identity = false;
+          break;
+        }
+      }
+      if (identity) {
+        return *this;
+      }
     }
-    return Tuple(std::move(out));
+    Tuple out;
+    out.rep_ = AllocRep(cols.size());
+    for (size_t i = 0; i < cols.size(); ++i) {
+      new (out.rep_->vals() + i) Value(rep_->vals()[cols[i]]);
+    }
+    return out;
   }
 
   // "(1, "foo", 3.5)"
   std::string ToString() const;
 
  private:
-  static size_t EmptyHash() { return 0x12345678; }
-  size_t ComputeHash() const {
-    size_t h = EmptyHash();
-    for (const Value& v : vals_) {
-      h = HashCombine(h, v.Hash());
+  static constexpr size_t kEmptyHash = 0x12345678;  // == HashValueRange(nullptr, 0)
+
+  // Header of the single heap block holding a tuple's values: {Rep, Value[size]}. The
+  // refcount is NOT atomic (see the thread-compatibility note above).
+  struct Rep {
+    uint32_t refs;
+    uint32_t size;
+    mutable size_t hash;
+    mutable bool hash_valid;
+
+    Value* vals() { return reinterpret_cast<Value*>(this + 1); }
+    const Value* vals() const { return reinterpret_cast<const Value*>(this + 1); }
+  };
+  static_assert(sizeof(Rep) % alignof(Value) == 0,
+                "Value payload must start aligned after the Rep header");
+
+  // One allocation for header + values; the caller placement-constructs all `n` values.
+  static Rep* AllocRep(size_t n) {
+    if (n == 0) {
+      return nullptr;
     }
-    return h;
+    Rep* rep = static_cast<Rep*>(::operator new(sizeof(Rep) + n * sizeof(Value)));
+    rep->refs = 1;
+    rep->size = static_cast<uint32_t>(n);
+    rep->hash = 0;
+    rep->hash_valid = false;
+    return rep;
+  }
+  static Rep* NewRepCopy(const Value* data, size_t n) {
+    Rep* rep = AllocRep(n);
+    for (size_t i = 0; i < n; ++i) {
+      new (rep->vals() + i) Value(data[i]);
+    }
+    return rep;
+  }
+  static Rep* NewRepMove(Value* data, size_t n) {
+    Rep* rep = AllocRep(n);
+    for (size_t i = 0; i < n; ++i) {
+      new (rep->vals() + i) Value(std::move(data[i]));
+    }
+    return rep;
+  }
+  static void Release(Rep* rep) {
+    if (rep == nullptr || --rep->refs != 0) {
+      return;
+    }
+    Value* v = rep->vals();
+    for (size_t i = rep->size; i > 0; --i) {
+      v[i - 1].~Value();
+    }
+    ::operator delete(rep);
   }
 
-  std::vector<Value> vals_;
-  size_t hash_;
+  Rep* rep_ = nullptr;
+};
+
+// Non-owning probe key: a Value range plus its precomputed hash. The referenced values must
+// outlive the view (typical use: an evaluator scratch buffer during one probe).
+struct TupleView {
+  const Value* data = nullptr;
+  size_t size = 0;
+  size_t hash = 0;
+
+  static TupleView Of(const Value* data, size_t n) {
+    return TupleView{data, n, HashValueRange(data, n)};
+  }
 };
 
 struct TupleHash {
+  using is_transparent = void;
   size_t operator()(const Tuple& t) const { return t.hash(); }
+  size_t operator()(const TupleView& v) const { return v.hash; }
+};
+
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(const TupleView& v, const Tuple& t) const { return Eq(v, t); }
+  bool operator()(const Tuple& t, const TupleView& v) const { return Eq(v, t); }
+  bool operator()(const TupleView& a, const TupleView& b) const {
+    if (a.size != b.size) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size; ++i) {
+      if (!(a.data[i] == b.data[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static bool Eq(const TupleView& v, const Tuple& t) {
+    if (v.size != t.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < v.size; ++i) {
+      if (!(v.data[i] == t[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
 };
 
 }  // namespace boom

@@ -2,11 +2,74 @@
 
 #include <cmath>
 #include <functional>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace boom {
 
 namespace {
+
+// Per-process string interner. Entries are weakly held: the last Value handle's destructor
+// removes the entry (via the shared_ptr deleter), so long-lived engines do not accumulate
+// strings for tuples that have been retracted. (Exception: each thread's fast-path cache in
+// InternString pins up to 256 recently interned strings.) The instance is intentionally
+// leaked so Values with static storage duration can run their deleters during process exit.
+class InternTable {
+ public:
+  static InternTable& Instance() {
+    static InternTable* table = new InternTable;
+    return *table;
+  }
+
+  InternedStringPtr Intern(std::string s, size_t hash) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(s);
+    if (it != map_.end()) {
+      if (InternedStringPtr live = it->second.lock()) {
+        return live;
+      }
+    }
+    auto* raw = new InternedString;
+    raw->text = std::move(s);
+    raw->hash = hash;  // precomputed by InternString (std::hash<std::string>)
+    InternedStringPtr handle(raw, [](const InternedString* p) { Instance().Remove(p); });
+    if (it != map_.end()) {
+      it->second = handle;  // revive an entry whose deleter has not run yet
+    } else {
+      map_.emplace(raw->text, handle);
+    }
+    return handle;
+  }
+
+  size_t LiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [text, weak] : map_) {
+      if (!weak.expired()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  void Remove(const InternedString* p) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(p->text);
+      // A concurrent Intern may have replaced the entry with a fresh live handle between
+      // this handle's refcount hitting zero and us taking the lock; leave that one alone.
+      if (it != map_.end() && it->second.expired()) {
+        map_.erase(it);
+      }
+    }
+    delete p;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<const InternedString>> map_;
+};
 
 int KindRank(ValueKind k) {
   switch (k) {
@@ -26,6 +89,29 @@ int KindRank(ValueKind k) {
 }
 
 }  // namespace
+
+InternedStringPtr InternString(std::string s) {
+  // Lock-free fast path: a small direct-mapped per-thread cache of recent interns. Workloads
+  // repeat the same literals (table names, commands, payload tags), so most interns hit here
+  // and never touch the mutex-guarded table.
+  struct CacheEntry {
+    size_t hash = 0;
+    InternedStringPtr ptr;
+  };
+  constexpr size_t kCacheSlots = 256;  // power of two
+  thread_local CacheEntry cache[kCacheSlots];
+  size_t h = std::hash<std::string>{}(s);
+  CacheEntry& entry = cache[h & (kCacheSlots - 1)];
+  if (entry.ptr != nullptr && entry.hash == h && entry.ptr->text == s) {
+    return entry.ptr;
+  }
+  InternedStringPtr p = InternTable::Instance().Intern(std::move(s), h);
+  entry.hash = h;
+  entry.ptr = p;
+  return p;
+}
+
+size_t InternedStringCount() { return InternTable::Instance().LiveCount(); }
 
 double Value::ToDouble() const {
   switch (kind()) {
@@ -74,7 +160,8 @@ bool Value::operator==(const Value& other) const {
     case ValueKind::kBool:
       return as_bool() == other.as_bool();
     case ValueKind::kString:
-      return as_string() == other.as_string();
+      // Interning guarantees one live handle per distinct string.
+      return interned() == other.interned();
     case ValueKind::kList: {
       const ValueList& a = as_list();
       const ValueList& b = other.as_list();
@@ -111,6 +198,9 @@ bool Value::operator<(const Value& other) const {
       }
       return ToDouble() < other.ToDouble();
     case ValueKind::kString:
+      if (interned() == other.interned()) {
+        return false;
+      }
       return as_string() < other.as_string();
     case ValueKind::kList: {
       const ValueList& a = as_list();
@@ -147,7 +237,7 @@ size_t Value::Hash() const {
       return std::hash<double>{}(d);
     }
     case ValueKind::kString:
-      return std::hash<std::string>{}(as_string());
+      return interned()->hash;  // precomputed at intern time
     case ValueKind::kList: {
       size_t h = 0xabcdef01;
       for (const Value& v : as_list()) {

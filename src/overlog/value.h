@@ -4,6 +4,13 @@
 //   nil, bool, int64, double, string, list<Value>.
 // Values have a total order (kind rank first, then payload) so they can key maps and drive
 // aggregate functions such as min/max/bottomk.
+//
+// Strings are interned: a per-process table maps each distinct string to one refcounted
+// InternedString, so string Values are a shared_ptr copy to move, a pointer compare for
+// equality, and a precomputed hash to probe with. The total order is unchanged (same-pointer
+// short-circuit, then lexicographic payload), so aggregates and sort-sensitive behaviour are
+// identical to the pre-interning engine. Entries die with their last Value: the interner
+// holds weak references and removes entries when the final handle drops.
 
 #ifndef SRC_OVERLOG_VALUE_H_
 #define SRC_OVERLOG_VALUE_H_
@@ -21,6 +28,20 @@ using ValueList = std::vector<Value>;
 
 enum class ValueKind { kNil = 0, kBool, kInt, kDouble, kString, kList };
 
+// One distinct string held by the per-process interner. `hash` uses the same function as
+// the pre-interning engine (std::hash<std::string>), so hash-ordered iteration (and with it
+// derivation order) is unchanged.
+struct InternedString {
+  std::string text;
+  size_t hash = 0;
+};
+using InternedStringPtr = std::shared_ptr<const InternedString>;
+
+// Returns the unique live handle for `s`, creating it if absent. Thread-safe.
+InternedStringPtr InternString(std::string s);
+// Live entries in the interner (diagnostics/tests).
+size_t InternedStringCount();
+
 class Value {
  public:
   Value() : rep_(std::monostate{}) {}
@@ -28,8 +49,9 @@ class Value {
   Value(int64_t i) : rep_(i) {}                  // NOLINT(google-explicit-constructor)
   Value(int i) : rep_(static_cast<int64_t>(i)) {}  // NOLINT(google-explicit-constructor)
   Value(double d) : rep_(d) {}                   // NOLINT(google-explicit-constructor)
-  Value(std::string s) : rep_(std::move(s)) {}   // NOLINT(google-explicit-constructor)
-  Value(const char* s) : rep_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(std::string s)                            // NOLINT(google-explicit-constructor)
+      : rep_(InternString(std::move(s))) {}
+  Value(const char* s) : rep_(InternString(s)) {}  // NOLINT(google-explicit-constructor)
   Value(ValueList list)                           // NOLINT(google-explicit-constructor)
       : rep_(std::make_shared<ValueList>(std::move(list))) {}
 
@@ -46,8 +68,14 @@ class Value {
   bool as_bool() const { return std::get<bool>(rep_); }
   int64_t as_int() const { return std::get<int64_t>(rep_); }
   double as_double() const { return std::get<double>(rep_); }
-  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  const std::string& as_string() const { return std::get<InternedStringPtr>(rep_)->text; }
   const ValueList& as_list() const { return *std::get<std::shared_ptr<ValueList>>(rep_); }
+
+  // The interned handle backing a string Value (tests/diagnostics; null for non-strings).
+  const InternedString* interned() const {
+    const InternedStringPtr* p = std::get_if<InternedStringPtr>(&rep_);
+    return p == nullptr ? nullptr : p->get();
+  }
 
   // Numeric coercion: int promotes to double when mixed. Non-numeric -> 0.
   double ToDouble() const;
@@ -69,7 +97,8 @@ class Value {
   std::string ToString() const;
 
  private:
-  std::variant<std::monostate, bool, int64_t, double, std::string, std::shared_ptr<ValueList>>
+  std::variant<std::monostate, bool, int64_t, double, InternedStringPtr,
+               std::shared_ptr<ValueList>>
       rep_;
 };
 

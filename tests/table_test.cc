@@ -89,6 +89,40 @@ TEST(TableTest, ProbeIndexRefreshesAfterMutation) {
   EXPECT_EQ(t.Probe({1}, Tuple{Value(0)}).size(), 1u);
 }
 
+TEST(TableTest, ProbeGenerationAdvancesOnMutation) {
+  Table t(KeyedDef());
+  uint64_t g0 = t.probe_generation();
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  uint64_t g1 = t.probe_generation();
+  EXPECT_NE(g0, g1);
+  t.AssertProbeFresh(g1);  // no mutation since capture: fine
+  // Unchanged re-insert of the identical row is a no-op and must NOT invalidate probes.
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  EXPECT_EQ(t.probe_generation(), g1);
+  t.AssertProbeFresh(g1);
+}
+
+TEST(TableDeathTest, StaleProbeAfterEraseAborts) {
+  // Probe results are pointers into the table; using them after an erase is a use-after-free
+  // in the making. AssertProbeFresh turns that into a deterministic abort.
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  t.Insert(Tuple{Value(2), Value(0), Value("b")});
+  const auto& rows = t.Probe({1}, Tuple{Value(0)});
+  ASSERT_EQ(rows.size(), 2u);
+  uint64_t gen = t.probe_generation();
+  t.EraseByKey(Tuple{Value(1)});
+  EXPECT_DEATH(t.AssertProbeFresh(gen), "stale Table::Probe result");
+}
+
+TEST(TableDeathTest, StaleProbeAfterReplaceAborts) {
+  Table t(KeyedDef());
+  t.Insert(Tuple{Value(1), Value(0), Value("a")});
+  uint64_t gen = t.probe_generation();
+  t.Insert(Tuple{Value(1), Value(0), Value("b")});  // key replace mutates the row
+  EXPECT_DEATH(t.AssertProbeFresh(gen), "stale Table::Probe result");
+}
+
 TEST(TableTest, EmptyProbeColsReturnsAllRows) {
   Table t(SetDef());
   t.Insert(Tuple{Value(1), Value(2)});

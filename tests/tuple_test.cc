@@ -1,0 +1,150 @@
+// Tests for the copy-on-write Tuple rep: cached-hash invalidation, storage sharing, and the
+// TupleView probe-key path (tuple.h). Basic equality/order/projection semantics are covered
+// in value_test.cc; this file exercises the performance machinery.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/overlog/tuple.h"
+#include "src/overlog/value.h"
+
+namespace boom {
+namespace {
+
+TEST(TupleRepTest, HashIsLazyAndCached) {
+  Tuple t{Value(1), Value("a")};
+  EXPECT_FALSE(t.hash_cached());
+  size_t h = t.hash();
+  EXPECT_TRUE(t.hash_cached());
+  EXPECT_EQ(t.hash(), h);  // stable on repeat
+}
+
+TEST(TupleRepTest, SetInvalidatesCachedHash) {
+  Tuple t{Value(1), Value(2)};
+  size_t before = t.hash();
+  ASSERT_TRUE(t.hash_cached());
+  t.set(1, Value(99));
+  EXPECT_FALSE(t.hash_cached());
+  size_t after = t.hash();
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, Tuple({Value(1), Value(99)}).hash());
+}
+
+TEST(TupleRepTest, CopyIsSharedUntilMutation) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b = a;
+  EXPECT_TRUE(a.shares_storage_with(b));
+  // Mutating b clones its storage; a keeps the original values.
+  b.set(0, Value(2));
+  EXPECT_FALSE(a.shares_storage_with(b));
+  EXPECT_EQ(a[0], Value(1));
+  EXPECT_EQ(b[0], Value(2));
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(TupleRepTest, SetOnUniquelyOwnedTupleMutatesInPlace) {
+  Tuple t{Value(1), Value(2)};
+  const Value* before = t.data();
+  t.set(0, Value(7));
+  EXPECT_EQ(t.data(), before);  // no clone when the rep is unshared
+  EXPECT_EQ(t[0], Value(7));
+}
+
+TEST(TupleRepTest, CachedHashSharedAcrossCopies) {
+  Tuple a{Value("k"), Value(3)};
+  Tuple b = a;
+  EXPECT_FALSE(b.hash_cached());
+  a.hash();  // computing through one handle populates the shared cache
+  EXPECT_TRUE(b.hash_cached());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(TupleRepTest, EmptyTupleHasStableHash) {
+  Tuple empty;
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.hash_cached());
+  EXPECT_EQ(empty.hash(), Tuple().hash());
+  EXPECT_EQ(empty, Tuple());
+}
+
+TEST(TupleRepTest, EqualTuplesHashEqualAcrossConstructors) {
+  std::vector<Value> vals = {Value(1), Value("a"), Value(2.5)};
+  Tuple from_vector(vals);
+  Tuple from_init{Value(1), Value("a"), Value(2.5)};
+  Tuple from_range(vals.data(), vals.size());
+  EXPECT_EQ(from_vector, from_init);
+  EXPECT_EQ(from_vector, from_range);
+  EXPECT_EQ(from_vector.hash(), from_init.hash());
+  EXPECT_EQ(from_vector.hash(), from_range.hash());
+}
+
+TEST(TupleRepTest, TupleViewHashMatchesTuple) {
+  std::vector<Value> vals = {Value("node"), Value(42), Value(3.5)};
+  Tuple t(vals.data(), vals.size());
+  TupleView view = TupleView::Of(vals.data(), vals.size());
+  EXPECT_EQ(view.hash, t.hash());
+  EXPECT_TRUE(TupleEq{}(view, t));
+  EXPECT_TRUE(TupleEq{}(t, view));
+}
+
+TEST(TupleRepTest, TupleViewProbesTupleKeyedMap) {
+  std::unordered_map<Tuple, int, TupleHash, TupleEq> map;
+  map[Tuple{Value("a"), Value(1)}] = 10;
+  map[Tuple{Value("b"), Value(2)}] = 20;
+
+  std::vector<Value> probe = {Value("b"), Value(2)};
+  auto it = map.find(TupleView::Of(probe.data(), probe.size()));
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 20);
+
+  std::vector<Value> miss = {Value("b"), Value(3)};
+  EXPECT_EQ(map.find(TupleView::Of(miss.data(), miss.size())), map.end());
+}
+
+TEST(TupleRepTest, IdentityProjectionSharesStorage) {
+  Tuple t{Value(1), Value(2), Value(3)};
+  Tuple same = t.Project({0, 1, 2});
+  EXPECT_TRUE(same.shares_storage_with(t));
+
+  Tuple reordered = t.Project({2, 0});
+  EXPECT_FALSE(reordered.shares_storage_with(t));
+  EXPECT_EQ(reordered, Tuple({Value(3), Value(1)}));
+}
+
+TEST(TupleRepTest, MutationAfterIdentityProjectionDoesNotAliasKey) {
+  // A table key produced by an identity projection shares storage with the row; mutating the
+  // row afterwards must not rewrite the key (CoW clone on set).
+  Tuple row{Value("k"), Value(1)};
+  Tuple key = row.Project({0, 1});
+  ASSERT_TRUE(key.shares_storage_with(row));
+  row.set(1, Value(2));
+  EXPECT_EQ(key, Tuple({Value("k"), Value(1)}));
+  EXPECT_EQ(row, Tuple({Value("k"), Value(2)}));
+}
+
+TEST(TupleRepTest, HashValueRangeMatchesTupleSeed) {
+  std::vector<Value> vals = {Value(5), Value("x")};
+  EXPECT_EQ(HashValueRange(vals.data(), vals.size()), Tuple(vals.data(), vals.size()).hash());
+  EXPECT_EQ(HashValueRange(nullptr, 0), Tuple().hash());
+}
+
+TEST(TupleRepTest, MoveLeavesSourceEmpty) {
+  Tuple a{Value(1), Value(2)};
+  Tuple b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move) — testing moved-from state
+  a = b;                    // reassignment after move works
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(TupleRepTest, SelfAssignmentIsSafe) {
+  Tuple t{Value("self"), Value(1)};
+  Tuple& alias = t;
+  t = alias;
+  EXPECT_EQ(t, Tuple({Value("self"), Value(1)}));
+}
+
+}  // namespace
+}  // namespace boom

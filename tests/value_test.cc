@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "src/overlog/tuple.h"
 #include "src/overlog/value.h"
 
@@ -57,6 +61,77 @@ TEST(ValueTest, ToString) {
   EXPECT_EQ(Value("hi").ToString(), "hi");
   EXPECT_EQ(Value(true).ToString(), "true");
   EXPECT_EQ(Value(ValueList{Value(1), Value("a")}).ToString(), "[1, \"a\"]");
+}
+
+// --- String interner (value.h: InternString / Value::interned) ---
+
+TEST(InternerTest, EqualStringsShareOneInternedObject) {
+  Value a("interner-round-trip");
+  Value b(std::string("interner-round-trip"));
+  ASSERT_NE(a.interned(), nullptr);
+  EXPECT_EQ(a.interned(), b.interned());  // pointer identity, not just equality
+  EXPECT_EQ(a.as_string(), "interner-round-trip");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(InternerTest, DistinctStringsGetDistinctObjects) {
+  Value a("interner-a");
+  Value b("interner-b");
+  EXPECT_NE(a.interned(), b.interned());
+  EXPECT_NE(a, b);
+}
+
+TEST(InternerTest, CopiesShareTheHandle) {
+  Value a("interner-copy");
+  Value b = a;
+  EXPECT_EQ(a.interned(), b.interned());
+}
+
+TEST(InternerTest, HandleCachesStdStringHash) {
+  Value v("interner-hash");
+  ASSERT_NE(v.interned(), nullptr);
+  EXPECT_EQ(v.interned()->hash, std::hash<std::string>{}("interner-hash"));
+  EXPECT_EQ(v.interned()->text, "interner-hash");
+}
+
+TEST(InternerTest, OrderingMatchesStdString) {
+  // Interning must not change the observable total order: string Values compare exactly like
+  // the std::strings they hold, independent of interning order.
+  std::vector<std::string> words = {"", "a", "aa", "ab", "b", "ba", "z", "zz"};
+  for (size_t i = 0; i < words.size(); ++i) {
+    for (size_t j = 0; j < words.size(); ++j) {
+      EXPECT_EQ(Value(words[i]) < Value(words[j]), words[i] < words[j])
+          << words[i] << " vs " << words[j];
+      EXPECT_EQ(Value(words[i]) == Value(words[j]), words[i] == words[j]);
+    }
+  }
+}
+
+TEST(InternerTest, CrossKindOrderUnchangedByInterning) {
+  // KindRank order: nil < bool < numeric < string < list.
+  Value s("m");
+  EXPECT_LT(Value(), s);
+  EXPECT_LT(Value(true), s);
+  EXPECT_LT(Value(int64_t{1} << 60), s);
+  EXPECT_LT(Value(1e300), s);
+  EXPECT_LT(s, Value(ValueList{}));
+}
+
+TEST(InternerTest, InternedStringCountTracksLiveStrings) {
+  size_t before = InternedStringCount();
+  {
+    // A never-before-seen string grows the table by one; ten equal Values still add one.
+    std::vector<Value> vals;
+    for (int i = 0; i < 10; ++i) {
+      vals.emplace_back("interner-count-unique-string");
+    }
+    EXPECT_EQ(InternedStringCount(), before + 1);
+  }
+  // After the Values die the entry may stay pinned by the thread-local intern cache (up to
+  // 256 recent strings per thread), so the count does not necessarily drop — but it must
+  // never exceed one entry for the string.
+  EXPECT_LE(InternedStringCount(), before + 1);
 }
 
 TEST(TupleTest, EqualityAndHash) {
