@@ -38,12 +38,11 @@ double RunConfig(bool incremental_aggs, bool version_skip, bool index_catchup,
   opts.disable_aggregate_version_skip = !version_skip;
   opts.disable_dirty_rule_scheduling = !dirty_rules;
   Engine engine(opts);
-  BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
-  Result<Program> parsed = ParseProgram(BoomFsNnProgram());
-  BOOM_CHECK(parsed.ok());
+  Program nn_program = BoomFsNnProgram();
+  BOOM_CHECK(engine.Install(nn_program).ok());
   TracingOptions trace_opts;
   trace_opts.tables = {"file", "fqpath", "ns_request"};
-  BOOM_CHECK(engine.Install(MakeTracingProgram(*parsed, trace_opts)).ok());
+  BOOM_CHECK(engine.Install(MakeTracingProgram(nn_program, trace_opts)).ok());
 
   engine.Tick(0);
   double now = 1;

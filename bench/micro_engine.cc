@@ -77,7 +77,8 @@ void BM_IndexProbe(benchmark::State& state) {
 BENCHMARK(BM_IndexProbe);
 
 void BM_ParseNameNodeProgram(benchmark::State& state) {
-  std::string source = BoomFsNnProgram();
+  // The canonical rendering of the built program round-trips through the parser.
+  std::string source = BoomFsNnProgram().ToString();
   for (auto _ : state) {
     Result<Program> p = ParseProgram(source);
     benchmark::DoNotOptimize(p.ok());
@@ -115,7 +116,7 @@ void BM_NamespaceOp(benchmark::State& state) {
   EngineOptions opts;
   opts.address = "nn";
   Engine engine(opts);
-  BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
+  BOOM_CHECK(engine.Install(BoomFsNnProgram()).ok());
   engine.Tick(0);
   BOOM_CHECK(engine
                  .Enqueue("ns_request", Tuple{Value("nn"), Value(0), Value("c"),
@@ -147,9 +148,9 @@ void BM_PaxosDecree(benchmark::State& state) {
     PaxosProgramOptions popts;
     popts.peers = peers;
     popts.my_index = i;
-    std::string source = PaxosProgram(popts);
-    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [source](Engine& engine) {
-      BOOM_CHECK(engine.InstallSource(source).ok());
+    Program program = PaxosProgram(popts);
+    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [program](Engine& engine) {
+      BOOM_CHECK(engine.Install(program).ok());
     });
   }
   cluster.RunUntil(2000);
@@ -340,7 +341,7 @@ WorkloadResult RunNamespaceOp() {
     EngineOptions opts;
     opts.address = "nn";
     Engine engine(opts);
-    BOOM_CHECK(engine.InstallSource(BoomFsNnProgram()).ok());
+    BOOM_CHECK(engine.Install(BoomFsNnProgram()).ok());
     engine.Tick(0);
     BOOM_CHECK(engine
                    .Enqueue("ns_request", Tuple{Value("nn"), Value(0), Value("c"),

@@ -103,27 +103,26 @@ int main() {
 
   // Bare NameNode: telemetry hooks compiled in, nothing enabled. This is the number to
   // compare against the pre-telemetry baseline — the hooks must be branch-cheap when off.
+  Program nn_program = BoomFsNnProgram();
   Engine bare(opts);
-  BOOM_CHECK(bare.InstallSource(BoomFsNnProgram()).ok());
+  BOOM_CHECK(bare.Install(nn_program).ok());
   double bare_ms = RunOps(bare, registry.histogram("bench.t4.bare_op_us"));
 
   // Per-rule profiling on.
   Engine profiled(opts);
-  BOOM_CHECK(profiled.InstallSource(BoomFsNnProgram()).ok());
+  BOOM_CHECK(profiled.Install(nn_program).ok());
   BOOM_CHECK(InstallProfiling(profiled).ok());
   double profiled_ms = RunOps(profiled, registry.histogram("bench.t4.profiled_op_us"));
 
   // NameNode + tracing of the core state tables + invariants.
   Engine traced(opts);
-  BOOM_CHECK(traced.InstallSource(BoomFsNnProgram()).ok());
-  Result<Program> parsed = ParseProgram(BoomFsNnProgram());
-  BOOM_CHECK(parsed.ok());
+  BOOM_CHECK(traced.Install(nn_program).ok());
   TracingOptions trace_opts;
   trace_opts.tables = {"file", "fqpath", "fchunk", "ns_request", "ns_response"};
-  Program tracing = MakeTracingProgram(*parsed, trace_opts);
+  Program tracing = MakeTracingProgram(nn_program, trace_opts);
   BOOM_CHECK(traced.Install(tracing).ok());
   std::vector<std::string> violations;
-  BOOM_CHECK(InstallInvariants(traced, BoomFsInvariantRules(3), &violations).ok());
+  BOOM_CHECK(InstallInvariants(traced, BoomFsInvariantProgram(3), &violations).ok());
   double traced_ms = RunOps(traced, registry.histogram("bench.t4.traced_op_us"));
 
   PrintConfig("bare NameNode (telemetry off)", bare_ms, bare_ms);

@@ -26,6 +26,9 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1 tests (ctest -LE chaos)"
 (cd build && ctest -LE chaos --output-on-failure -j "$JOBS")
 
+echo "==> lint (ctest -L lint: olglint over olg/*.olg and all program families)"
+(cd build && ctest -L lint --output-on-failure -j "$JOBS")
+
 echo "==> telemetry tests (ctest -L telemetry)"
 (cd build && ctest -L telemetry --output-on-failure -j "$JOBS")
 
@@ -33,10 +36,13 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "==> ASan build"
   cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target chaos_explorer telemetry_test \
-    trace_e2e_test monitor_meta_test
+    trace_e2e_test monitor_meta_test olglint olgrun
 
   echo "==> ASan telemetry smoke (ctest -L telemetry)"
   (cd build-asan && ctest -L telemetry --output-on-failure -j "$JOBS")
+
+  echo "==> ASan lint smoke (ctest -L lint)"
+  (cd build-asan && ctest -L lint --output-on-failure -j "$JOBS")
 
   echo "==> ASan chaos smoke (3 seeds x boomfs)"
   ./build-asan/tools/chaos_explorer --scenario=boomfs --seeds=3

@@ -28,9 +28,11 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
     prog.safe_mode_report_frac_pct = options.safe_mode_report_frac_pct;
     prog.safe_mode_timeout_ms = options.safe_mode_timeout_ms;
     prog.safe_mode_grace_ms = options.safe_mode_grace_ms;
-    std::string source = BoomFsNnProgram(prog);
-    cluster.AddOverlogNode(address, [source](Engine& engine) {
-      Status status = engine.InstallSource(source);
+    Program program = options.nn_program_override.has_value()
+                          ? *options.nn_program_override
+                          : BoomFsNnProgram(prog);
+    cluster.AddOverlogNode(address, [program](Engine& engine) {
+      Status status = engine.Install(program);
       BOOM_CHECK(status.ok()) << "BOOM-FS NameNode program failed to install: "
                               << status.ToString();
       // NameNode-side metrics, derived from table activity rather than code paths — the

@@ -6,6 +6,7 @@
 #define SRC_BOOMFS_BOOMFS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,9 @@ struct FsSetupOptions {
   int safe_mode_report_frac_pct = 60;
   double safe_mode_timeout_ms = 5000;
   double safe_mode_grace_ms = 400;
+  // Test hook: install this NameNode program instead of the generated one (used by the
+  // refactor-equivalence tests to pin a frozen pre-refactor program text).
+  std::optional<Program> nn_program_override;
 };
 
 struct FsHandles {

@@ -7,9 +7,15 @@
 
 namespace boom {
 
-std::string HaBridgeProgram() {
-  return R"olg(
-program ha_bridge;
+namespace {
+
+constexpr char kBridgeModule[] = R"olg(
+// Relations borrowed from the Paxos and BOOM-FS programs on the same engine. `extern`
+// records the expected schema; the engine verifies it at install time.
+extern table leader(K, Addr) keys(0);
+extern event px_request(Addr, Cmd);
+extern event apply_cmd(Slot, Cmd);
+extern event ns_request(Addr, ReqId, Client, Cmd, Path, Arg);
 
 // Client-facing request event; same shape as ns_request but routed through Paxos.
 event ha_request(Addr, ReqId, Client, Cmd, Path, Arg);
@@ -31,6 +37,23 @@ h4 ns_request(@Me, R, Cl, Cm, P, A) :- apply_cmd(_, C), Me := f_me(),
                                        Cm := list_get(C, 2), P := list_get(C, 3),
                                        A := list_get(C, 4);
 )olg";
+
+}  // namespace
+
+const Module& HaBridgeModule() {
+  static const Module* kModule = new Module{"ha_bridge", kBridgeModule, {}};
+  return *kModule;
+}
+
+Program HaBridgeProgram() {
+  ProgramBuilder builder("ha_bridge");
+  // ha_request arrives from clients (and from peer replicas forwarding to the leader).
+  builder.WithExternalInputs({"ha_request"});
+  Status status = builder.Add(HaBridgeModule());
+  BOOM_CHECK(status.ok()) << status.ToString();
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options) {
@@ -42,20 +65,20 @@ HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options) {
   NnProgramOptions nn_prog;
   nn_prog.replication_factor = options.replication_factor;
   nn_prog.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
-  std::string fs_source = BoomFsNnProgram(nn_prog);
-  std::string bridge_source = HaBridgeProgram();
+  Program fs_program = BoomFsNnProgram(nn_prog);
+  Program bridge_program = HaBridgeProgram();
 
   for (int i = 0; i < options.num_replicas; ++i) {
     PaxosProgramOptions paxos = options.paxos;
     paxos.peers = handles.replicas;
     paxos.my_index = i;
-    std::string paxos_source = PaxosProgram(paxos);
-    auto init = [paxos_source, fs_source, bridge_source](Engine& engine) {
-      Status s = engine.InstallSource(paxos_source);
+    Program paxos_program = PaxosProgram(paxos);
+    auto init = [paxos_program, fs_program, bridge_program](Engine& engine) {
+      Status s = engine.Install(paxos_program);
       BOOM_CHECK(s.ok()) << "paxos install: " << s.ToString();
-      s = engine.InstallSource(fs_source);
+      s = engine.Install(fs_program);
       BOOM_CHECK(s.ok()) << "boomfs install: " << s.ToString();
-      s = engine.InstallSource(bridge_source);
+      s = engine.Install(bridge_program);
       BOOM_CHECK(s.ok()) << "ha bridge install: " << s.ToString();
       // Consensus metrics from table activity: proposals, decisions, ballot churn, and
       // propose->decide quorum latency (virtual ms, matched per slot on this replica).

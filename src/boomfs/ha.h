@@ -36,8 +36,12 @@ struct HaFsHandles {
   FsClient* client = nullptr;  // owned by the cluster
 };
 
+// The bridge module: `extern` declarations name the relations it borrows from the Paxos
+// and BOOM-FS programs installed on the same engine (verified at install time).
+const Module& HaBridgeModule();
+
 // The bridge program: client requests -> Paxos commands -> replayed namespace requests.
-std::string HaBridgeProgram();
+Program HaBridgeProgram();
 
 HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options);
 

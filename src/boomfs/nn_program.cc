@@ -1,13 +1,13 @@
 #include "src/boomfs/nn_program.h"
 
+#include "src/base/logging.h"
+
 namespace boom {
 
 namespace {
 
-// Core namespace program (paper revision F1). $REP / $HBTO / $CHECK are substituted.
-constexpr char kNamespaceProgram[] = R"olg(
-program boomfs_nn;
-
+// Core namespace module (paper revision F1). `rep_factor` is the chunk placement width.
+constexpr char kNamespaceModule[] = R"olg(
 /////////////////////////////////////////////////////////////////////////////
 // File-system metadata: the entire NameNode state is relational.
 /////////////////////////////////////////////////////////////////////////////
@@ -127,8 +127,8 @@ rm5 ns_response(@C, R, true, nil) :- rm_ok(R, C, _);
 rm6 ns_response(@C, R, false, "rm failed") :- do_rm(R, C, _), notin rm_ok(R, _, _);
 
 /////////////////////////////////////////////////////////////////////////////
-// addchunk: allocate a fresh chunk id and pick the $REP least-loaded live
-// DataNodes (load = chunk count, a classic declarative placement policy).
+// addchunk: allocate a fresh chunk id and pick the rep_factor least-loaded
+// live DataNodes (load = chunk count, a classic declarative placement policy).
 /////////////////////////////////////////////////////////////////////////////
 dl1 dn_load(Dn, count<C>) :- datanode(Dn, _), hb_chunk(Dn, C);
 
@@ -143,8 +143,8 @@ ac0 do_addchunk2(R, C, F) :- do_addchunk(R, C, P), fqpath(P, F), file(F, _, _, f
 ac1a cand_dn(R, C, F, Dn, L) :- do_addchunk2(R, C, F), datanode(Dn, _), dn_load(Dn, L);
 ac1b cand_dn(R, C, F, Dn, 0) :- do_addchunk2(R, C, F), datanode(Dn, _),
                                 notin dn_load(Dn, _);
-ac1 addchunk_sel(R, C, F, bottomk<$REP, Pair>) :- cand_dn(R, C, F, Dn, L),
-                                                  Pair := [L, Dn];
+ac1 addchunk_sel(R, C, F, bottomk<rep_factor, Pair>) :- cand_dn(R, C, F, Dn, L),
+                                                        Pair := [L, Dn];
 ac2 addchunk_ok(R, C, F, Ch, Dns) :- addchunk_sel(R, C, F, Pairs),
                                      list_len(Pairs) > 0,
                                      Ch := f_unique_id(),
@@ -218,12 +218,12 @@ cq1 delete hb_chunk(Dn, Ch) :- dn_corrupt(_, Dn, Ch), hb_chunk(Dn, Ch);
 )olg";
 
 // Availability extension: failure detection + re-replication (toward revision F2).
-constexpr char kFailureDetectorProgram[] = R"olg(
+constexpr char kFailureDetectorModule[] = R"olg(
 // ---- availability extension: failure detection + re-replication ----
 
-timer dn_check($CHECK);
+timer dn_check(fd_check_ms);
 event dn_dead(Dn);
-fd1 dn_dead(Dn) :- dn_check(_), datanode(Dn, T), f_now() - T > $HBTO;
+fd1 dn_dead(Dn) :- dn_check(_), datanode(Dn, T), f_now() - T > hb_timeout_ms;
 fd2 delete datanode(Dn, T) :- dn_dead(Dn), datanode(Dn, T);
 fd3 delete hb_chunk(Dn, Ch) :- dn_dead(Dn), hb_chunk(Dn, Ch);
 
@@ -236,7 +236,7 @@ table repl_src(ChunkId, Src) keys(0);
 event replicate_cmd(Addr, ChunkId, Dest);
 event repl_cand(ChunkId, Dn, Load);
 rr1 chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
-rr2 under_rep(Ch) :- dn_check(_), chunk_rep(Ch, N), N < $REP, N > 0,
+rr2 under_rep(Ch) :- dn_check(_), chunk_rep(Ch, N), N < rep_factor, N > 0,
                      notin safemode(_);
 // Candidate targets: loaded DataNodes not already holding the chunk, plus chunk-less ones
 // (which have no dn_load row at all).
@@ -251,14 +251,13 @@ rr5 replicate_cmd(@Src, Ch, Dest) :- repl_sel(Ch, Pairs), list_len(Pairs) > 0,
 )olg";
 
 // Safe-mode extension: after a (re)start the NameNode defers location serving and
-// re-replication until it has heard about enough of its chunks. $SMCHECK / $SMFRAC /
-// $SMTO / $SMGRACE are substituted.
-constexpr char kSafeModeProgram[] = R"olg(
+// re-replication until it has heard about enough of its chunks.
+constexpr char kSafeModeModule[] = R"olg(
 // ---- safe mode: defer the data plane until the location table is warm ----
 
 // In safe mode from the first tick; the namespace rules above are unaffected.
 safemode(1);
-timer sm_check($SMCHECK);
+timer sm_check(sm_check_ms);
 // First sm_check stamps the epoch start (f_now-based, so it is correct after a failover
 // restart too — an absolute deadline computed at program-load time would not be).
 table sm_start(T) keys(0);
@@ -272,44 +271,79 @@ smr sm_reported(Ch) :- dn_chunk_report(_, _, Ch);
 sma sm_start(T)@next :- sm_check(_), notin sm_start(_), T := f_now();
 sm1 sm_total(Me, count<Ch>) :- sm_check(Me), safemode(_), fchunk(Ch, _);
 sm2 sm_seen(Me, count<Ch>)  :- sm_check(Me), safemode(_), sm_reported(Ch), fchunk(Ch, _);
-// Exit when $SMFRAC percent of owned chunks have a reported location...
-sm3 sm_exit(Me) :- sm_total(Me, Tot), sm_seen(Me, Seen), Seen * 100 >= Tot * $SMFRAC;
+// Exit when sm_frac_pct percent of owned chunks have a reported location...
+sm3 sm_exit(Me) :- sm_total(Me, Tot), sm_seen(Me, Seen), Seen * 100 >= Tot * sm_frac_pct;
 // ...or the namespace owns no chunks at all (fresh cluster / empty log) after a short
 // grace period that covers HA log replay...
 sm4 sm_exit(Me) :- sm_check(Me), safemode(_), notin fchunk(_, _), sm_start(T),
-                   f_now() - T > $SMGRACE;
+                   f_now() - T > sm_grace_ms;
 // ...or unconditionally after the timeout (better to serve a partial view than none).
-sm5 sm_exit(Me) :- sm_check(Me), safemode(_), sm_start(T), f_now() - T > $SMTO;
+sm5 sm_exit(Me) :- sm_check(Me), safemode(_), sm_start(T), f_now() - T > sm_timeout_ms;
 sm6 delete safemode(On) :- sm_exit(_), safemode(On);
 sm7 delete sm_reported(Ch) :- sm_exit(_), sm_reported(Ch);
 )olg";
 
-void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
-  size_t pos = 0;
-  while ((pos = s->find(from, pos)) != std::string::npos) {
-    s->replace(pos, from.size(), to);
-    pos += to.size();
-  }
-}
-
 }  // namespace
 
-std::string BoomFsNnProgram(const NnProgramOptions& options) {
-  std::string out = kNamespaceProgram;
+const Module& NnNamespaceModule() {
+  static const Module* kModule = new Module{
+      "nn_namespace",
+      kNamespaceModule,
+      {ModuleParam::Required("rep_factor", ValueKind::kInt)},
+  };
+  return *kModule;
+}
+
+const Module& NnFailureDetectorModule() {
+  static const Module* kModule = new Module{
+      "nn_failure_detector",
+      kFailureDetectorModule,
+      {ModuleParam::Required("rep_factor", ValueKind::kInt),
+       ModuleParam::Required("hb_timeout_ms", ValueKind::kDouble),
+       ModuleParam::Required("fd_check_ms", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
+const Module& NnSafeModeModule() {
+  static const Module* kModule = new Module{
+      "nn_safe_mode",
+      kSafeModeModule,
+      {ModuleParam::Required("sm_check_ms", ValueKind::kDouble),
+       ModuleParam::Required("sm_frac_pct", ValueKind::kInt),
+       ModuleParam::Required("sm_timeout_ms", ValueKind::kDouble),
+       ModuleParam::Required("sm_grace_ms", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
+Program BoomFsNnProgram(const NnProgramOptions& options) {
+  ProgramBuilder builder("boomfs_nn");
+  // Protocol inputs arrive over the network (clients, DataNodes); nothing in the program
+  // produces them.
+  builder.WithExternalInputs(
+      {"ns_request", "dn_heartbeat", "dn_chunk_report", "dn_corrupt"});
+  Status status =
+      builder.Add(NnNamespaceModule(), {{"rep_factor", options.replication_factor}});
+  BOOM_CHECK(status.ok()) << status.ToString();
   if (options.with_failure_detector) {
-    out += kFailureDetectorProgram;
+    status = builder.Add(NnFailureDetectorModule(),
+                         {{"rep_factor", options.replication_factor},
+                          {"hb_timeout_ms", options.heartbeat_timeout_ms},
+                          {"fd_check_ms", options.failure_check_period_ms}});
+    BOOM_CHECK(status.ok()) << status.ToString();
   }
   if (options.with_safe_mode) {
-    out += kSafeModeProgram;
+    status = builder.Add(NnSafeModeModule(),
+                         {{"sm_check_ms", options.safe_mode_check_period_ms},
+                          {"sm_frac_pct", options.safe_mode_report_frac_pct},
+                          {"sm_timeout_ms", options.safe_mode_timeout_ms},
+                          {"sm_grace_ms", options.safe_mode_grace_ms}});
+    BOOM_CHECK(status.ok()) << status.ToString();
   }
-  ReplaceAll(&out, "$REP", std::to_string(options.replication_factor));
-  ReplaceAll(&out, "$HBTO", std::to_string(options.heartbeat_timeout_ms));
-  ReplaceAll(&out, "$CHECK", std::to_string(options.failure_check_period_ms));
-  ReplaceAll(&out, "$SMCHECK", std::to_string(options.safe_mode_check_period_ms));
-  ReplaceAll(&out, "$SMFRAC", std::to_string(options.safe_mode_report_frac_pct));
-  ReplaceAll(&out, "$SMTO", std::to_string(options.safe_mode_timeout_ms));
-  ReplaceAll(&out, "$SMGRACE", std::to_string(options.safe_mode_grace_ms));
-  return out;
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 }  // namespace boom

@@ -6,6 +6,12 @@
 // operation is a handful of rules over those tables; chunk placement is a bottomk aggregate
 // over DataNode load; failure detection and re-replication are a timer plus six rules.
 //
+// The program is composed from three modules on a ProgramBuilder (see overlog/module.h):
+//   nn_namespace         the core metadata + client protocol (paper revision F1)
+//   nn_failure_detector  liveness + re-replication (the availability revision)
+//   nn_safe_mode         deferred location serving after a (re)start
+// with typed parameters (rep_factor, hb_timeout_ms, ...) instead of string substitution.
+//
 // Robustness extensions (all still declarative):
 //   - dn_corrupt retracts the (chunk, datanode) location of a quarantined replica, so reads
 //     stop landing on it and the re-replication rules heal the count.
@@ -16,7 +22,8 @@
 #ifndef SRC_BOOMFS_NN_PROGRAM_H_
 #define SRC_BOOMFS_NN_PROGRAM_H_
 
-#include <string>
+#include "src/overlog/ast.h"
+#include "src/overlog/module.h"
 
 namespace boom {
 
@@ -38,8 +45,14 @@ struct NnProgramOptions {
   double safe_mode_grace_ms = 400;
 };
 
-// Returns the NameNode Overlog program text.
-std::string BoomFsNnProgram(const NnProgramOptions& options = {});
+// The three NameNode modules, for composition on a caller-owned ProgramBuilder.
+const Module& NnNamespaceModule();
+const Module& NnFailureDetectorModule();
+const Module& NnSafeModeModule();
+
+// Composes the modules selected by `options` into the NameNode program and runs the
+// analyzer. Aborts on error — the modules are compiled in, so failure is a code bug.
+Program BoomFsNnProgram(const NnProgramOptions& options = {});
 
 }  // namespace boom
 

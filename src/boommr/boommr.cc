@@ -26,9 +26,11 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
     prog.policy = options.policy;
     prog.speculative_cap = options.speculative_cap;
     prog.slow_task_fraction = options.slow_task_fraction;
-    std::string source = BoomMrJtProgram(prog);
-    cluster.AddOverlogNode(options.jobtracker, [source](Engine& engine) {
-      Status status = engine.InstallSource(source);
+    Program program = options.jt_program_override.has_value()
+                          ? *options.jt_program_override
+                          : BoomMrJtProgram(prog);
+    cluster.AddOverlogNode(options.jobtracker, [program](Engine& engine) {
+      Status status = engine.Install(program);
       BOOM_CHECK(status.ok()) << "BOOM-MR JobTracker program failed to install: "
                               << status.ToString();
       // JobTracker-side scheduling metrics from table activity.

@@ -5,6 +5,7 @@
 #define SRC_BOOMMR_BOOMMR_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct MrSetupOptions {
   // Straggler injection: per-tracker slowdown factors; index i applies to tracker i
   // (missing entries default to 1.0).
   std::vector<double> tracker_slowdowns;
+  // Test hook: install this JobTracker program instead of the generated one (used by the
+  // refactor-equivalence tests to pin a frozen pre-refactor program text).
+  std::optional<Program> jt_program_override;
 };
 
 struct MrHandles {

@@ -1,5 +1,7 @@
 #include "src/boommr/jt_program.h"
 
+#include "src/base/logging.h"
+
 namespace boom {
 
 const char* MrPolicyName(MrPolicy policy) {
@@ -14,12 +16,10 @@ const char* MrPolicyName(MrPolicy policy) {
 
 namespace {
 
-// Core scheduler: state relations, FIFO policy, barrier between map and reduce phases,
-// completion tracking. All state updates are deferred (@next); assignments and client
-// notifications are events.
-constexpr char kSchedulerProgram[] = R"olg(
-program boommr_jt;
-
+// Core scheduler state: the four relations, the protocol, job/task intake, and the barrier
+// between map and reduce phases. Also declares the `launch` event — the policy interface:
+// policy modules derive launch rows, jt_exec consumes them.
+constexpr char kCoreModule[] = R"olg(
 /////////////////////////////////////////////////////////////////////////////
 // The four relations at the heart of BOOM-MR (paper section on MapReduce).
 /////////////////////////////////////////////////////////////////////////////
@@ -39,6 +39,9 @@ event tt_progress(Addr, TT, JobId, TaskId, AttemptId, Progress);
 event tt_done(Addr, TT, JobId, TaskId, AttemptId, Type);
 event assign(Addr, JobId, TaskId, AttemptId, Type, Spec);
 
+// The policy interface: a scheduling policy derives launch(TT, J, T, Type, Spec) rows.
+event launch(TT, JobId, TaskId, Type, Spec);
+
 /////////////////////////////////////////////////////////////////////////////
 // Job and task intake.
 /////////////////////////////////////////////////////////////////////////////
@@ -56,12 +59,13 @@ b1 map_done_cnt(J, count<T>) :- task(J, T, "map", "done");
 b2 reduce_done_cnt(J, count<T>) :- task(J, T, "reduce", "done");
 b3 maps_done(J) :- job(J, _, _, M, _, "running"), map_done_cnt(J, N), N == M;
 b4 maps_done(J) :- job(J, _, _, 0, _, "running");
+)olg";
 
-/////////////////////////////////////////////////////////////////////////////
-// FIFO policy: when a tracker advertises a free slot, hand it the pending
-// task of the oldest running job. min<> over [SubmitTime, JobId, TaskId]
-// triples gives the FIFO order declaratively.
-/////////////////////////////////////////////////////////////////////////////
+// FIFO policy: when a tracker advertises a free slot, hand it the pending task of the
+// oldest running job. min<> over [SubmitTime, JobId, TaskId] triples gives the FIFO order
+// declaratively.
+constexpr char kFifoModule[] = R"olg(
+// ---- FIFO scheduling policy ----
 event best_map(TT, Cand);
 event best_reduce(TT, Cand);
 f1 best_map(TT, min<Cand>) :- tt_hb(_, TT, FreeM, _), FreeM > 0,
@@ -73,14 +77,17 @@ f2 best_reduce(TT, min<Cand>) :- tt_hb(_, TT, _, FreeR), FreeR > 0,
                                  job(J, _, S, _, _, "running"), maps_done(J),
                                  Cand := [S, J, T];
 
-event launch(TT, JobId, TaskId, Type, Spec);
 f3 launch(TT, J, T, "map", false) :- best_map(TT, Cand),
                                      J := list_get(Cand, 1), T := list_get(Cand, 2);
 f4 launch(TT, J, T, "reduce", false) :- best_reduce(TT, Cand),
                                         J := list_get(Cand, 1), T := list_get(Cand, 2);
+)olg";
 
+// Launch machinery, progress/completion tracking, job completion, and TaskTracker failure
+// handling — shared by every policy.
+constexpr char kExecModule[] = R"olg(
 /////////////////////////////////////////////////////////////////////////////
-// Launch machinery (shared by FIFO and LATE): mint an attempt id, notify the
+// Launch machinery (shared by all policies): mint an attempt id, notify the
 // tracker, record the attempt, flip the task to running.
 /////////////////////////////////////////////////////////////////////////////
 event launch2(TT, JobId, TaskId, Type, Spec, AttemptId);
@@ -118,9 +125,9 @@ j3 mr_job_done(@C, J, T) :- job(J, C, _, _, _, "done"), T := f_now();
 // TaskTracker failure handling: a silent tracker is declared dead; its
 // running attempts fail and their tasks go back to pending for re-execution.
 /////////////////////////////////////////////////////////////////////////////
-timer tt_check($TTCHECK);
+timer tt_check(tt_check_ms);
 event tt_dead(TT);
-x1 tt_dead(TT) :- tt_check(_), tasktracker(TT, T), f_now() - T > $TTTO;
+x1 tt_dead(TT) :- tt_check(_), tasktracker(TT, T), f_now() - T > tt_timeout_ms;
 x2 delete tasktracker(TT, T) :- tt_dead(TT), tasktracker(TT, T);
 x3 attempt(J, T, A, TT, "failed", Pr, St, En, Sp)@next :-
        tt_dead(TT), attempt(J, T, A, TT, "running", Pr, St, En, Sp);
@@ -136,7 +143,7 @@ x4 task(J, T, Ty, "pending")@next :- tt_dead(TT),
 event attempt_stuck(JobId, TaskId, AttemptId, Tracker);
 x5 attempt_stuck(J, T, A, TT) :- tt_check(_),
                                  attempt(J, T, A, TT, "running", _, St, _, _),
-                                 f_now() - St > $ATTTO;
+                                 f_now() - St > att_timeout_ms;
 x6 attempt(J, T, A, TT, "failed", Pr, St, En, Sp)@next :-
        attempt_stuck(J, T, A, TT), attempt(J, T, A, TT, "running", Pr, St, En, Sp);
 x7 task(J, T, Ty, "pending")@next :- attempt_stuck(J, T, _, TT),
@@ -146,10 +153,10 @@ x7 task(J, T, Ty, "pending")@next :- attempt_stuck(J, T, _, TT),
 
 // LATE speculative execution. When a tracker has a free slot and there is no pending work,
 // re-execute the running attempt with the Longest Approximate Time to End, provided the
-// attempt is slow relative to the fleet (rate below $SLOWFRAC of the average) and the number
-// of in-flight speculative attempts is under $SPECCAP. This condenses the LATE heuristics
-// into five rules — the paper's point about policy being data.
-constexpr char kLateProgram[] = R"olg(
+// attempt is slow relative to the fleet (rate below slow_frac of the average) and the
+// number of in-flight speculative attempts is under spec_cap. This condenses the LATE
+// heuristics into five rules — the paper's point about policy being data.
+constexpr char kLateModule[] = R"olg(
 // ---- LATE speculation policy ----
 table spec_attempt(JobId, TaskId, Type) keys(0, 1, 2);
 table spec_running_cnt(K, N) keys(0);
@@ -178,12 +185,12 @@ sc1 spec_cand(TT, Ty, max<Cand>) :- spec_req(TT, Ty),
                                     rate_stats(1, AvgRate),
                                     Pr > 0.0, Pr < 1.0,
                                     Rate := Pr / (f_now() - St + 1.0),
-                                    Rate < AvgRate * $SLOWFRAC,
+                                    Rate < AvgRate * slow_frac,
                                     TimeLeft := (1.0 - Pr) / (Rate + 0.000001),
                                     Cand := [TimeLeft, J, T];
 
 sp1 spec_launch(TT, J, T, Ty) :- spec_cand(TT, Ty, Cand), spec_running_cnt(1, N),
-                                 N < $SPECCAP,
+                                 N < spec_cap,
                                  J := list_get(Cand, 1), T := list_get(Cand, 2);
 sp2 spec_launch(TT, J, T, Ty) :- spec_cand(TT, Ty, Cand),
                                  notin attempt(_, _, _, _, "running", _, _, _, true),
@@ -193,27 +200,60 @@ sp3 launch(TT, J, T, Ty, true) :- spec_launch(TT, J, T, Ty);
 sp4 spec_attempt(J, T, Ty)@next :- spec_launch(_, J, T, Ty);
 )olg";
 
-void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
-  size_t pos = 0;
-  while ((pos = s->find(from, pos)) != std::string::npos) {
-    s->replace(pos, from.size(), to);
-    pos += to.size();
-  }
-}
-
 }  // namespace
 
-std::string BoomMrJtProgram(const JtProgramOptions& options) {
-  std::string out = kSchedulerProgram;
-  ReplaceAll(&out, "$TTCHECK", std::to_string(options.tracker_check_period_ms));
-  ReplaceAll(&out, "$TTTO", std::to_string(options.tracker_timeout_ms));
-  ReplaceAll(&out, "$ATTTO", std::to_string(options.attempt_timeout_ms));
+const Module& JtCoreModule() {
+  static const Module* kModule = new Module{"jt_core", kCoreModule, {}};
+  return *kModule;
+}
+
+const Module& JtFifoPolicyModule() {
+  static const Module* kModule = new Module{"jt_fifo", kFifoModule, {}};
+  return *kModule;
+}
+
+const Module& JtExecModule() {
+  static const Module* kModule = new Module{
+      "jt_exec",
+      kExecModule,
+      {ModuleParam::Required("tt_check_ms", ValueKind::kDouble),
+       ModuleParam::Required("tt_timeout_ms", ValueKind::kDouble),
+       ModuleParam::Required("att_timeout_ms", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
+const Module& JtLatePolicyModule() {
+  static const Module* kModule = new Module{
+      "jt_late",
+      kLateModule,
+      {ModuleParam::Required("spec_cap", ValueKind::kInt),
+       ModuleParam::Required("slow_frac", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
+Program BoomMrJtProgram(const JtProgramOptions& options) {
+  ProgramBuilder builder("boommr_jt");
+  builder.WithExternalInputs({"mr_submit", "mr_task", "tt_hb", "tt_progress", "tt_done"});
+  Status status = builder.Add(JtCoreModule());
+  BOOM_CHECK(status.ok()) << status.ToString();
+  status = builder.Add(JtFifoPolicyModule());
+  BOOM_CHECK(status.ok()) << status.ToString();
+  status = builder.Add(JtExecModule(),
+                       {{"tt_check_ms", options.tracker_check_period_ms},
+                        {"tt_timeout_ms", options.tracker_timeout_ms},
+                        {"att_timeout_ms", options.attempt_timeout_ms}});
+  BOOM_CHECK(status.ok()) << status.ToString();
   if (options.policy == MrPolicy::kLate) {
-    out += kLateProgram;
-    ReplaceAll(&out, "$SPECCAP", std::to_string(options.speculative_cap));
-    ReplaceAll(&out, "$SLOWFRAC", std::to_string(options.slow_task_fraction));
+    status = builder.Add(JtLatePolicyModule(),
+                         {{"spec_cap", options.speculative_cap},
+                          {"slow_frac", options.slow_task_fraction}});
+    BOOM_CHECK(status.ok()) << status.ToString();
   }
-  return out;
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 }  // namespace boom

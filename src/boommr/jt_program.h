@@ -3,11 +3,20 @@
 // handful of rules, and the scheduling *policy* is a swappable rule set. Two policies ship,
 // matching the paper: the default FIFO policy and the LATE speculative-execution policy
 // (Zaharia et al., OSDI 2008).
+//
+// The program is composed from modules (see overlog/module.h):
+//   jt_core     the four relations, protocol events, intake, and the map/reduce barrier
+//   jt_fifo     FIFO policy: free slot -> pending task of the oldest running job
+//   jt_exec     launch machinery, progress/completion, job completion, failure handling
+//   jt_late     LATE policy: speculative re-execution of stragglers (added for kLate)
+// The policy boundary is the `launch` event declared by jt_core: a policy module's only
+// job is to derive launch(TT, J, T, Type, Spec) rows; jt_exec turns them into attempts.
 
 #ifndef SRC_BOOMMR_JT_PROGRAM_H_
 #define SRC_BOOMMR_JT_PROGRAM_H_
 
-#include <string>
+#include "src/overlog/ast.h"
+#include "src/overlog/module.h"
 
 namespace boom {
 
@@ -31,8 +40,15 @@ struct JtProgramOptions {
   double attempt_timeout_ms = 10000;
 };
 
-// Returns the JobTracker Overlog program text.
-std::string BoomMrJtProgram(const JtProgramOptions& options = {});
+// The JobTracker modules, for composition on a caller-owned ProgramBuilder.
+const Module& JtCoreModule();
+const Module& JtFifoPolicyModule();
+const Module& JtExecModule();
+const Module& JtLatePolicyModule();
+
+// Composes the JobTracker program for `options` and runs the analyzer. Aborts on error —
+// the modules are compiled in, so failure is a code bug.
+Program BoomMrJtProgram(const JtProgramOptions& options = {});
 
 }  // namespace boom
 

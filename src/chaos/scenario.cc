@@ -17,21 +17,28 @@ namespace boom {
 
 namespace {
 
-void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
-  size_t pos = 0;
-  while ((pos = s->find(from, pos)) != std::string::npos) {
-    s->replace(pos, from.size(), to);
-    pos += to.size();
+// Removes one rule from a Program by name. Bug variants operate on the AST (programs are
+// data): no re-parsing, and the remaining rules keep their program order.
+void StripRule(Program* program, const std::string& name) {
+  for (auto it = program->rules.begin(); it != program->rules.end(); ++it) {
+    if (it->name == name) {
+      program->rules.erase(it);
+      return;
+    }
   }
+  BOOM_CHECK(false) << "rule " << name << " not found";
 }
 
-// Removes one rule ("<label> head :- body;") from an Overlog program by label.
-void StripRule(std::string* src, const std::string& label) {
-  size_t pos = src->find("\n" + label + " ");
-  BOOM_CHECK(pos != std::string::npos) << "rule " << label << " not found";
-  size_t end = src->find(';', pos);
-  BOOM_CHECK(end != std::string::npos);
-  src->erase(pos, end - pos + 1);
+// Overwrites every fact for `table` with `tuple` (used to shrink the quorum fact).
+void ReplaceFacts(Program* program, const std::string& table, const Tuple& tuple) {
+  bool found = false;
+  for (Fact& fact : program->facts) {
+    if (fact.table == table) {
+      fact.tuple = tuple;
+      found = true;
+    }
+  }
+  BOOM_CHECK(found) << "no fact for table " << table;
 }
 
 // --- Paxos: three replicas, a steady command stream, agreement + progress checks ---
@@ -52,12 +59,12 @@ class PaxosScenario : public ChaosScenario {
       PaxosProgramOptions opts;
       opts.peers = peers_;
       opts.my_index = i;
-      std::string source = PaxosProgram(opts);
+      Program program = PaxosProgram(opts);
       if (options_.bug == "quorum1") {
-        ReplaceAll(&source, "quorum(1, 2);", "quorum(1, 1);");
+        ReplaceFacts(&program, "quorum", Tuple{Value(1), Value(1)});
       }
-      cluster.AddOverlogNode(peers_[static_cast<size_t>(i)], [source](Engine& engine) {
-        Status status = engine.InstallSource(source);
+      cluster.AddOverlogNode(peers_[static_cast<size_t>(i)], [program](Engine& engine) {
+        Status status = engine.Install(program);
         BOOM_CHECK(status.ok()) << status.ToString();
       });
     }
@@ -126,16 +133,18 @@ class BoomFsScenario : public ChaosScenario {
     prog.replication_factor = 3;
     prog.heartbeat_timeout_ms = 1200;
     prog.failure_check_period_ms = 400;
-    std::string source = BoomFsNnProgram(prog);
+    Program program = options_.nn_program_override.has_value()
+                          ? *options_.nn_program_override
+                          : BoomFsNnProgram(prog);
     if (options_.bug == "resurrect") {
       // Without the tombstone protocol a DataNode that missed the rm-time dn_delete
       // resurrects the chunk's location on its next full report, and never drops the bytes.
-      StripRule(&source, "rm9");
-      StripRule(&source, "hb3");
-      StripRule(&source, "hb4");
+      StripRule(&program, "rm9");
+      StripRule(&program, "hb3");
+      StripRule(&program, "hb4");
     }
-    cluster.AddOverlogNode(nn_, [source](Engine& engine) {
-      Status status = engine.InstallSource(source);
+    cluster.AddOverlogNode(nn_, [program](Engine& engine) {
+      Status status = engine.Install(program);
       BOOM_CHECK(status.ok()) << status.ToString();
     });
     for (const std::string& dn : datanodes_) {
@@ -325,6 +334,7 @@ class BoomMrScenario : public ChaosScenario {
     opts.num_trackers = kNumTrackers;
     opts.map_slots = 2;
     opts.reduce_slots = 2;
+    opts.jt_program_override = options_.jt_program_override;
     MrHandles handles = SetupMr(cluster, opts);
     MrClient* client = handles.client;
     data_plane_ = handles.data_plane;

@@ -16,17 +16,24 @@
 #define SRC_CHAOS_SCENARIO_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/chaos/fault_schedule.h"
 #include "src/chaos/invariants.h"
+#include "src/overlog/ast.h"
 #include "src/sim/cluster.h"
 
 namespace boom {
 
 struct ScenarioOptions {
   std::string bug;  // empty = correct implementation
+  // Test hooks: run the scenario against a caller-supplied control program (e.g. one parsed
+  // from a frozen pre-refactor text) instead of the module-built default. Bug variants
+  // still apply on top.
+  std::optional<Program> nn_program_override{};  // boomfs scenario
+  std::optional<Program> jt_program_override{};  // boommr scenario
 };
 
 class ChaosScenario {

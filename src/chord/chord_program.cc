@@ -9,7 +9,16 @@ namespace {
 
 // The ring-interval tests are spelled out inline (Overlog has no macros): K in (My, S] for
 // routing, X in (A, B) open for pointer adoption — both with wraparound.
-constexpr char kChordRules[] = R"olg(
+constexpr char kRingModule[] = R"olg(
+table node_id(K, Id) keys(0);
+table successor(K, Addr, Id) keys(0);
+table predecessor(K, Addr, Id) keys(0);
+timer stab_t(stab_ms);
+node_id(1, my_node_id);
+// The bootstrap starts as a one-node ring (its own successor); everyone else starts with
+// the successor unknown until the join lookup answers.
+successor(1, succ0_addr, succ0_id);
+
 event find_succ(Addr, Key, ReplyTo, Tag, Hops);
 event found_succ(Addr, Tag, Key, OwnerAddr, OwnerId, Hops);
 event get_pred(Addr, From);
@@ -68,23 +77,34 @@ int64_t ChordId(const std::string& address, int64_t id_space) {
   return static_cast<int64_t>(Fnv1a64(address) % static_cast<uint64_t>(id_space));
 }
 
-std::string ChordProgram(const std::string& address, const ChordOptions& options) {
+const Module& ChordRingModule() {
+  static const Module* kModule = new Module{
+      "chord_ring",
+      kRingModule,
+      {ModuleParam::Required("boot_addr", ValueKind::kString),
+       ModuleParam::Required("stab_ms", ValueKind::kDouble),
+       ModuleParam::Required("my_node_id", ValueKind::kInt),
+       ModuleParam::Required("succ0_addr", ValueKind::kString),
+       ModuleParam::Required("succ0_id", ValueKind::kInt)},
+  };
+  return *kModule;
+}
+
+Program ChordProgram(const std::string& address, const ChordOptions& options) {
   int64_t id = ChordId(address, options.id_space);
-  std::string out = "program chord;\n";
-  out += "const boot_addr = \"" + options.bootstrap + "\";\n";
-  out += "table node_id(K, Id) keys(0);\n";
-  out += "table successor(K, Addr, Id) keys(0);\n";
-  out += "table predecessor(K, Addr, Id) keys(0);\n";
-  out += "timer stab_t(" + std::to_string(options.stabilize_period_ms) + ");\n";
-  out += "node_id(1, " + std::to_string(id) + ");\n";
-  if (address == options.bootstrap) {
-    // The bootstrap starts as a one-node ring: its own successor.
-    out += "successor(1, \"" + address + "\", " + std::to_string(id) + ");\n";
-  } else {
-    out += "successor(1, \"\", -1);\n";  // unknown until the join lookup answers
-  }
-  out += kChordRules;
-  return out;
+  bool is_bootstrap = address == options.bootstrap;
+  ProgramBuilder builder("chord");
+  Status status = builder.Add(
+      ChordRingModule(),
+      {{"boot_addr", Value(options.bootstrap)},
+       {"stab_ms", options.stabilize_period_ms},
+       {"my_node_id", id},
+       {"succ0_addr", is_bootstrap ? Value(address) : Value(std::string())},
+       {"succ0_id", is_bootstrap ? Value(id) : Value(int64_t{-1})}});
+  BOOM_CHECK(status.ok()) << status.ToString();
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 void SetupChordRing(Cluster& cluster, const std::vector<std::string>& addresses,
@@ -95,9 +115,9 @@ void SetupChordRing(Cluster& cluster, const std::vector<std::string>& addresses,
     opts.bootstrap = addresses[0];
   }
   for (const std::string& address : addresses) {
-    std::string source = ChordProgram(address, opts);
-    cluster.AddOverlogNode(address, [source](Engine& engine) {
-      Status status = engine.InstallSource(source);
+    Program program = ChordProgram(address, opts);
+    cluster.AddOverlogNode(address, [program](Engine& engine) {
+      Status status = engine.Install(program);
       BOOM_CHECK(status.ok()) << "chord install failed: " << status.ToString();
     });
   }

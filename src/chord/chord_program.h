@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/overlog/ast.h"
+#include "src/overlog/module.h"
 #include "src/sim/cluster.h"
 
 namespace boom {
@@ -24,8 +26,12 @@ struct ChordOptions {
 // Ring id of a node address.
 int64_t ChordId(const std::string& address, int64_t id_space = 1 << 16);
 
-// The per-node Overlog program ($-parameters baked in for `address`).
-std::string ChordProgram(const std::string& address, const ChordOptions& options);
+// The ring-maintenance module (typed parameters: boot_addr, stab_ms, my_node_id,
+// succ0_addr, succ0_id), for composition on a caller-owned ProgramBuilder.
+const Module& ChordRingModule();
+
+// The per-node Overlog program (module + per-node parameter bindings), analyzed.
+Program ChordProgram(const std::string& address, const ChordOptions& options);
 
 // Creates `addresses.size()` Overlog nodes running Chord (addresses[0] is bootstrap).
 void SetupChordRing(Cluster& cluster, const std::vector<std::string>& addresses,

@@ -2,7 +2,66 @@
 
 #include <set>
 
+#include "src/base/logging.h"
+
 namespace boom {
+
+namespace {
+
+constexpr char kBoomFsInvariantsModule[] = R"olg(
+// NameNode relations this program joins against (owned by boomfs_nn on the same engine;
+// schemas verified at install). invariant_violation is declared by InstallInvariants.
+extern table file(FileId, ParentId, FName, IsDir) keys(0);
+extern table fqpath(Path, FileId);
+extern table fchunk(ChunkId, FileId) keys(0);
+extern table hb_chunk(Dn, ChunkId);
+extern table invariant_violation(Name, Detail);
+
+// Every chunk of a live file should be reported by at most rep_factor DataNodes
+// (over-replication indicates a placement bug).
+table inv_chunk_rep(ChunkId, N) keys(0);
+iv1 inv_chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
+iv2 invariant_violation("over_replicated", D) :- inv_chunk_rep(Ch, N), N > rep_factor,
+                                                 D := str_cat("chunk ", Ch, " has ", N);
+
+// The directory tree must be acyclic/rooted: every file's parent must exist (except the
+// root itself).
+iv3 invariant_violation("orphan_inode", D) :- file(F, Par, _, _), F != 0,
+                                              notin file(Par, _, _, _),
+                                              D := str_cat("file ", F, " parent ", Par);
+
+// fqpath is a function of FileId: two distinct paths for one file id is a view bug.
+iv4 invariant_violation("dup_path", D) :- fqpath(P1, F), fqpath(P2, F), P1 != P2,
+                                          P1 < P2, D := str_cat(F, ": ", P1, " vs ", P2);
+)olg";
+
+constexpr char kUnderReplicationModule[] = R"olg(
+// Opt-in: once the workload quiesces, every live chunk with any replica at all should have
+// the full complement. (During a write the pipeline fills gradually, so this fires
+// spuriously if installed too early.)
+extern table inv_chunk_rep(ChunkId, N) keys(0);
+extern table invariant_violation(Name, Detail);
+iv5 invariant_violation("under_replicated", D) :- inv_chunk_rep(Ch, N), N < rep_factor,
+                                                  D := str_cat("chunk ", Ch, " has ", N);
+)olg";
+
+constexpr char kRuleHogModule[] = R"olg(
+extern table invariant_violation(Name, Detail);
+
+// Same shapes the engine declares in PublishProfile(); redeclaring identically is a no-op,
+// so this program installs whether or not profiling was enabled first.
+table perf_rule(Program, Rule, Evals, Tuples, MaxTuplesPerTick, WallUs) keys(0, 1);
+table perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) keys(0);
+
+// Joins the profile the engine publishes via PublishProfile(): no single rule may derive
+// more than hog_cap tuples in one fixpoint (a hog usually means a missing join key or a
+// runaway recursive rule).
+rh1 invariant_violation("rule_hog", D) :- perf_rule(P, R, _, _, M, _), M > hog_cap,
+                                          D := str_cat(P, ":", R, " peaked at ", M,
+                                                       " tuples/fixpoint");
+)olg";
+
+}  // namespace
 
 Program MakeTracingProgram(const Program& program, const TracingOptions& options) {
   std::set<std::string> wanted(options.tables.begin(), options.tables.end());
@@ -76,7 +135,7 @@ Program MakeTracingProgram(const Program& program, const TracingOptions& options
   return out;
 }
 
-Status InstallInvariants(Engine& engine, std::string_view rules_source,
+Status InstallInvariants(Engine& engine, const Program& rules,
                          std::vector<std::string>* sink) {
   if (engine.catalog().Find("invariant_violation") == nullptr) {
     TableDef def;
@@ -84,7 +143,7 @@ Status InstallInvariants(Engine& engine, std::string_view rules_source,
     def.columns = {"Name", "Detail"};
     BOOM_RETURN_IF_ERROR(engine.catalog().Declare(def));
   }
-  BOOM_RETURN_IF_ERROR(engine.InstallSource(rules_source));
+  BOOM_RETURN_IF_ERROR(engine.Install(rules));
   engine.AddWatch("invariant_violation",
                   [sink](const std::string&, const Tuple& tuple, bool inserted) {
                     if (inserted) {
@@ -94,41 +153,36 @@ Status InstallInvariants(Engine& engine, std::string_view rules_source,
   return Status::Ok();
 }
 
-std::string BoomFsInvariantRules(int replication_factor,
-                                 bool include_under_replication) {
-  std::string rep = std::to_string(replication_factor);
-  std::string source = R"olg(
-program boomfs_invariants;
+const Module& BoomFsInvariantsModule() {
+  static const Module* kModule = new Module{
+      "boomfs_invariants",
+      kBoomFsInvariantsModule,
+      {ModuleParam::Required("rep_factor", ValueKind::kInt)},
+  };
+  return *kModule;
+}
 
-// Every chunk of a live file should be reported by at most )olg" +
-                       rep + R"olg( DataNodes (over-replication indicates a placement bug).
-table inv_chunk_rep(ChunkId, N) keys(0);
-iv1 inv_chunk_rep(Ch, count<Dn>) :- fchunk(Ch, _), hb_chunk(Dn, Ch);
-iv2 invariant_violation("over_replicated", D) :- inv_chunk_rep(Ch, N), N > )olg" +
-                       rep + R"olg(,
-                                                 D := str_cat("chunk ", Ch, " has ", N);
+const Module& BoomFsUnderReplicationModule() {
+  static const Module* kModule = new Module{
+      "boomfs_under_replication",
+      kUnderReplicationModule,
+      {ModuleParam::Required("rep_factor", ValueKind::kInt)},
+  };
+  return *kModule;
+}
 
-// The directory tree must be acyclic/rooted: every file's parent must exist (except the
-// root itself).
-iv3 invariant_violation("orphan_inode", D) :- file(F, Par, _, _), F != 0,
-                                              notin file(Par, _, _, _),
-                                              D := str_cat("file ", F, " parent ", Par);
-
-// fqpath is a function of FileId: two distinct paths for one file id is a view bug.
-iv4 invariant_violation("dup_path", D) :- fqpath(P1, F), fqpath(P2, F), P1 != P2,
-                                          P1 < P2, D := str_cat(F, ": ", P1, " vs ", P2);
-)olg";
+Program BoomFsInvariantProgram(int replication_factor, bool include_under_replication) {
+  ProgramBuilder builder("boomfs_invariants");
+  ParamBindings rep = {{"rep_factor", replication_factor}};
+  Status status = builder.Add(BoomFsInvariantsModule(), rep);
+  BOOM_CHECK(status.ok()) << status.ToString();
   if (include_under_replication) {
-    source += R"olg(
-// Opt-in: once the workload quiesces, every live chunk with any replica at all should have
-// the full complement. (During a write the pipeline fills gradually, so this fires
-// spuriously if installed too early.)
-iv5 invariant_violation("under_replicated", D) :- inv_chunk_rep(Ch, N), N < )olg" +
-              rep + R"olg(,
-                                                  D := str_cat("chunk ", Ch, " has ", N);
-)olg";
+    status = builder.Add(BoomFsUnderReplicationModule(), rep);
+    BOOM_CHECK(status.ok()) << status.ToString();
   }
-  return source;
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 Status InstallProfiling(Engine& engine) {
@@ -145,25 +199,23 @@ Status InstallProfiling(Engine& engine) {
   return engine.catalog().Declare(fix_def);
 }
 
-std::string RuleHogInvariantRules(int64_t max_tuples_per_fixpoint) {
-  std::string cap = std::to_string(max_tuples_per_fixpoint);
-  return R"olg(
-program rule_hog_invariants;
+const Module& RuleHogInvariantsModule() {
+  static const Module* kModule = new Module{
+      "rule_hog_invariants",
+      kRuleHogModule,
+      {ModuleParam::Required("hog_cap", ValueKind::kInt)},
+  };
+  return *kModule;
+}
 
-// Same shapes the engine declares in PublishProfile(); redeclaring identically is a no-op,
-// so this program installs whether or not profiling was enabled first.
-table perf_rule(Program, Rule, Evals, Tuples, MaxTuplesPerTick, WallUs) keys(0, 1);
-table perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) keys(0);
-
-// Joins the profile the engine publishes via PublishProfile(): no single rule may derive
-// more than )olg" +
-         cap + R"olg( tuples in one fixpoint (a hog usually means a missing join key or a
-// runaway recursive rule).
-rh1 invariant_violation("rule_hog", D) :- perf_rule(P, R, _, _, M, _), M > )olg" +
-         cap + R"olg(,
-                                          D := str_cat(P, ":", R, " peaked at ", M,
-                                                       " tuples/fixpoint");
-)olg";
+Program RuleHogInvariantProgram(int64_t max_tuples_per_fixpoint) {
+  ProgramBuilder builder("rule_hog_invariants");
+  Status status =
+      builder.Add(RuleHogInvariantsModule(), {{"hog_cap", max_tuples_per_fixpoint}});
+  BOOM_CHECK(status.ok()) << status.ToString();
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 }  // namespace boom

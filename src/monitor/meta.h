@@ -6,12 +6,14 @@
 #ifndef SRC_MONITOR_META_H_
 #define SRC_MONITOR_META_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/overlog/ast.h"
 #include "src/overlog/engine.h"
+#include "src/overlog/module.h"
 
 namespace boom {
 
@@ -26,19 +28,25 @@ struct TracingOptions {
 // records every insertion into the selected tables as trace_<name>(Time, cols...) rows.
 Program MakeTracingProgram(const Program& program, const TracingOptions& options = {});
 
-// Installs invariant rules (plain Overlog text; violations should derive tuples of
+// Installs an invariant program (violations should derive tuples of
 // `invariant_violation(Name, Detail)`), declares the violation table if needed, and wires a
 // watch that collects violations into `sink`.
-Status InstallInvariants(Engine& engine, std::string_view rules_source,
+Status InstallInvariants(Engine& engine, const Program& rules,
                          std::vector<std::string>* sink);
+
+// The BOOM-FS invariant modules: `extern` declarations pin the schemas of the NameNode
+// tables they join against, verified when the program lands on the NameNode's engine. Both
+// take the typed parameter rep_factor (int).
+const Module& BoomFsInvariantsModule();
+const Module& BoomFsUnderReplicationModule();
 
 // The BOOM-FS invariants from the paper's monitoring discussion: chunk replication bounds
 // and response coverage are expressible as rules over the NameNode's own tables. The
-// under-replication check is opt-in because chunks legitimately hold fewer than
-// `replication_factor` replicas while a pipeline is still filling; enable it only once the
-// workload has quiesced (or after inducing a failure on purpose).
-std::string BoomFsInvariantRules(int replication_factor,
-                                 bool include_under_replication = false);
+// under-replication check is an opt-in second module because chunks legitimately hold fewer
+// than `replication_factor` replicas while a pipeline is still filling; enable it only once
+// the workload has quiesced (or after inducing a failure on purpose).
+Program BoomFsInvariantProgram(int replication_factor,
+                               bool include_under_replication = false);
 
 // Turns on per-rule profiling and declares the perf_rule(Program, Rule, Evals, Tuples,
 // MaxTuplesPerTick, WallUs) and perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) tables
@@ -49,9 +57,11 @@ std::string BoomFsInvariantRules(int replication_factor,
 Status InstallProfiling(Engine& engine);
 
 // Invariant over the published profile: no rule may derive more than
-// `max_tuples_per_fixpoint` tuples in a single fixpoint. Install with InstallInvariants
-// after InstallProfiling; fires once Engine::PublishProfile() lands perf_rule rows.
-std::string RuleHogInvariantRules(int64_t max_tuples_per_fixpoint);
+// `max_tuples_per_fixpoint` tuples in a single fixpoint (typed parameter hog_cap). Install
+// with InstallInvariants after InstallProfiling; fires once Engine::PublishProfile() lands
+// perf_rule rows.
+const Module& RuleHogInvariantsModule();
+Program RuleHogInvariantProgram(int64_t max_tuples_per_fixpoint);
 
 }  // namespace boom
 

@@ -174,23 +174,36 @@ std::string Rule::ToString() const {
   return out;
 }
 
+namespace {
+
+std::string TableDeclToString(const TableDef& def, bool is_extern) {
+  std::string out = is_extern ? "extern " : "";
+  out += (def.kind == TableKind::kEvent) ? "event " : "table ";
+  out += def.name + "(" + StrJoin(def.columns, ", ") + ")";
+  if (def.kind == TableKind::kTable && !def.key_columns.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(def.key_columns.size());
+    for (size_t k : def.key_columns) {
+      keys.push_back(std::to_string(k));
+    }
+    out += " keys(" + StrJoin(keys, ", ") + ")";
+  }
+  if (def.ttl_ms > 0) {
+    out += " ttl(" + std::to_string(def.ttl_ms) + ")";
+  }
+  out += ";\n";
+  return out;
+}
+
+}  // namespace
+
 std::string Program::ToString() const {
   std::string out = "program " + name + ";\n";
+  for (const TableDef& def : externs) {
+    out += TableDeclToString(def, /*is_extern=*/true);
+  }
   for (const TableDef& def : tables) {
-    out += (def.kind == TableKind::kEvent) ? "event " : "table ";
-    out += def.name + "(" + StrJoin(def.columns, ", ") + ")";
-    if (def.kind == TableKind::kTable && !def.key_columns.empty()) {
-      std::vector<std::string> keys;
-      keys.reserve(def.key_columns.size());
-      for (size_t k : def.key_columns) {
-        keys.push_back(std::to_string(k));
-      }
-      out += " keys(" + StrJoin(keys, ", ") + ")";
-    }
-    if (def.ttl_ms > 0) {
-      out += " ttl(" + std::to_string(def.ttl_ms) + ")";
-    }
-    out += ";\n";
+    out += TableDeclToString(def, /*is_extern=*/false);
   }
   for (const TimerDecl& t : timers) {
     out += "timer " + t.name + "(" + std::to_string(t.period_ms) + ");\n";

@@ -129,6 +129,7 @@ struct BodyTerm {
 
 struct Rule {
   std::string name;  // optional textual label ("r1"); auto-generated when omitted
+  int line = 0;      // 1-based source line of the rule head (0 = built programmatically)
   bool is_delete = false;
   // `head(...)@next :- body` — the derived tuples become visible at the NEXT timestep
   // (Dedalus-style deferral). This is how Overlog programs express state updates guarded by
@@ -153,10 +154,21 @@ struct Fact {
 struct Program {
   std::string name;
   std::vector<TableDef> tables;
+  // `extern table t(...)` / `extern event e(...)`: schema expectations for relations owned
+  // outside this rule set (another installed program, a timer, or a C++ actor feeding the
+  // inbox). Install-time behavior is declare-or-verify, same as an ordinary declaration; the
+  // analyzer exempts externs from the producer/reader checks.
+  std::vector<TableDef> externs;
   std::vector<Rule> rules;
   std::vector<TimerDecl> timers;
   std::vector<std::string> watches;
   std::vector<Fact> facts;
+  // Host-coupling contract recorded by ProgramBuilder: events the embedding C++ feeds
+  // (Enqueue/network) and relations it reads back (watches, direct catalog lookups).
+  // Carried with the program so any later analysis pass sees the same context the
+  // builder's strict pass did.
+  std::vector<std::string> external_inputs;
+  std::vector<std::string> external_outputs;
 
   // Pretty-printed source form (used by the metaprogramming rewriter and diagnostics).
   std::string ToString() const;

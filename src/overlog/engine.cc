@@ -85,6 +85,13 @@ Status Engine::InstallSource(std::string_view source, std::map<std::string, Valu
 }
 
 Status Engine::Install(Program program) {
+  // Externs are declare-or-verify: Catalog::Declare is a no-op for an identical existing
+  // declaration and an error for a conflicting one, which is exactly the contract an
+  // `extern` schema expectation wants. When the owner is not installed yet, this creates
+  // the table and the owner's later (identical) declaration collapses into it.
+  for (const TableDef& def : program.externs) {
+    BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
+  }
   for (const TableDef& def : program.tables) {
     BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
   }
@@ -106,10 +113,30 @@ Status Engine::Install(Program program) {
       BOOM_LOG(Info) << "watch " << (inserted ? "+" : "-") << table << tuple.ToString();
     });
   }
+  // Advisory static analysis: at engine level no-producer is only a warning (hosts may
+  // Enqueue events from C++), and relations from other installed programs are external.
+  {
+    AnalyzerOptions aopts;
+    aopts.strict_events = false;
+    aopts.external_inputs.insert(program.external_inputs.begin(),
+                                 program.external_inputs.end());
+    aopts.external_outputs.insert(program.external_outputs.begin(),
+                                  program.external_outputs.end());
+    for (const Program& p : programs_) {
+      for (const TableDef& def : p.tables) {
+        aopts.external_tables.insert(def.name);
+      }
+    }
+    for (const std::string& name : catalog_.TableNames()) {
+      aopts.external_tables.insert(name);
+    }
+    analyzer_reports_.push_back(AnalyzeProgram(program, aopts));
+  }
   programs_.push_back(std::move(program));
   Status status = Recompile();
   if (!status.ok()) {
     programs_.pop_back();
+    analyzer_reports_.pop_back();
     Status rollback = Recompile();
     BOOM_CHECK(rollback.ok()) << "rollback recompile failed: " << rollback.ToString();
     return status;
@@ -127,8 +154,15 @@ Status Engine::Install(Program program) {
 Status Engine::Recompile() {
   std::vector<Rule> all_rules;
   std::vector<std::string> rule_programs;
+  // Profiling, tracing, and the dirty-rule scheduler all key rules by (program, rule);
+  // a duplicate key would silently merge two rules' counters.
+  std::set<std::pair<std::string, std::string>> rule_keys;
   for (const Program& p : programs_) {
     for (const Rule& r : p.rules) {
+      if (!rule_keys.emplace(p.name, r.name).second) {
+        return InvalidArgument("duplicate rule '" + r.name + "' in program '" + p.name +
+                               "'");
+      }
       all_rules.push_back(r);
       rule_programs.push_back(p.name);
     }

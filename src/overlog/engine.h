@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/overlog/analyzer.h"
 #include "src/overlog/builtins.h"
 #include "src/overlog/catalog.h"
 #include "src/overlog/eval.h"
@@ -69,6 +70,11 @@ class Engine {
   Status InstallSource(std::string_view source, std::map<std::string, Value> consts = {});
   Status Install(Program program);
   const std::vector<Program>& programs() const { return programs_; }
+
+  // Advisory analyzer report for each installed program (parallel to programs()). Run with
+  // strict_events off: at engine level an event with no in-program producer may be fed by
+  // the host, so it is only a warning here.
+  const std::vector<AnalyzerReport>& analyzer_reports() const { return analyzer_reports_; }
 
   // Queues an external tuple (message arrival, client request). Applied on the next Tick.
   Status Enqueue(const std::string& table, Tuple tuple);
@@ -196,6 +202,7 @@ class Engine {
   Evaluator evaluator_;
 
   std::vector<Program> programs_;
+  std::vector<AnalyzerReport> analyzer_reports_;
   CompiledProgram compiled_;
   std::vector<TimerState> timers_;
   std::map<std::string, std::vector<WatchFn>> watches_;

@@ -1,0 +1,254 @@
+#include "src/overlog/module.h"
+
+#include <utility>
+
+#include "src/overlog/parser.h"
+
+namespace boom {
+
+namespace {
+
+bool SameSchema(const TableDef& a, const TableDef& b) {
+  return a.kind == b.kind && a.columns == b.columns && a.key_columns == b.key_columns &&
+         a.ttl_ms == b.ttl_ms;
+}
+
+const char* KindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNil:
+      return "nil";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kList:
+      return "list";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string program_name) {
+  program_.name = std::move(program_name);
+}
+
+ProgramBuilder& ProgramBuilder::WithExternalTables(std::set<std::string> tables) {
+  analyzer_options_.external_tables = std::move(tables);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::WithExternalInputs(std::set<std::string> events) {
+  analyzer_options_.external_inputs = std::move(events);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::WithExternalOutputs(std::set<std::string> tables) {
+  analyzer_options_.external_outputs = std::move(tables);
+  return *this;
+}
+
+Status ProgramBuilder::Add(const Module& module, const ParamBindings& bindings) {
+  ParserOptions options;
+  for (const auto& [name, value] : bindings) {
+    bool known = false;
+    for (const ModuleParam& param : module.params) {
+      if (param.name == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return InvalidArgument("module '" + module.name + "' has no parameter '" + name +
+                             "'");
+    }
+  }
+  for (const ModuleParam& param : module.params) {
+    auto it = bindings.find(param.name);
+    if (it == bindings.end()) {
+      if (param.required) {
+        return InvalidArgument("module '" + module.name +
+                               "' missing required parameter '" + param.name + "'");
+      }
+      options.consts[param.name] = param.def;
+      continue;
+    }
+    Value bound = it->second;
+    // Ints promote to double params (callers pass `2000` for a timeout); nothing else
+    // coerces — a silently stringified number would change parse semantics.
+    if (bound.kind() != param.kind) {
+      if (param.kind == ValueKind::kDouble && bound.is_int()) {
+        bound = Value(static_cast<double>(bound.as_int()));
+      } else {
+        return InvalidArgument("module '" + module.name + "' parameter '" + param.name +
+                               "' wants " + KindName(param.kind) + ", got " +
+                               KindName(bound.kind()));
+      }
+    }
+    options.consts[param.name] = std::move(bound);
+  }
+
+  options.known_tables = analyzer_options_.external_tables;
+  for (const TableDef& def : program_.tables) {
+    options.known_tables.insert(def.name);
+  }
+  for (const TableDef& def : program_.externs) {
+    options.known_tables.insert(def.name);
+  }
+  for (const TimerDecl& timer : program_.timers) {
+    options.known_tables.insert(timer.name);
+  }
+
+  std::string header_name = program_.name.empty() ? module.name : program_.name;
+  Result<Program> fragment =
+      ParseProgram("program " + header_name + ";\n" + module.source, options);
+  if (!fragment.ok()) {
+    return InvalidArgument("module '" + module.name +
+                           "': " + fragment.status().message());
+  }
+  return Merge(std::move(fragment).value(), module.name);
+}
+
+Status ProgramBuilder::AddProgramText(std::string_view source, const std::string& label) {
+  ParserOptions options;
+  options.known_tables = analyzer_options_.external_tables;
+  for (const TableDef& def : program_.tables) {
+    options.known_tables.insert(def.name);
+  }
+  for (const TableDef& def : program_.externs) {
+    options.known_tables.insert(def.name);
+  }
+  for (const TimerDecl& timer : program_.timers) {
+    options.known_tables.insert(timer.name);
+  }
+  Result<Program> fragment = ParseProgram(source, options);
+  if (!fragment.ok()) {
+    return InvalidArgument(label + ": " + fragment.status().message());
+  }
+  if (program_.name.empty()) {
+    program_.name = fragment->name;
+  }
+  return Merge(std::move(fragment).value(), label);
+}
+
+ProgramBuilder& ProgramBuilder::AddFact(std::string table, Tuple tuple) {
+  Fact fact;
+  fact.table = std::move(table);
+  fact.tuple = std::move(tuple);
+  program_.facts.push_back(std::move(fact));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::AddWatch(std::string table) {
+  for (const std::string& w : program_.watches) {
+    if (w == table) {
+      return *this;
+    }
+  }
+  program_.watches.push_back(std::move(table));
+  return *this;
+}
+
+Status ProgramBuilder::Merge(Program fragment, const std::string& label) {
+  auto find_decl = [this](const std::string& name) -> TableDef* {
+    for (TableDef& def : program_.tables) {
+      if (def.name == name) {
+        return &def;
+      }
+    }
+    return nullptr;
+  };
+  auto find_extern = [this](const std::string& name) -> size_t {
+    for (size_t i = 0; i < program_.externs.size(); ++i) {
+      if (program_.externs[i].name == name) {
+        return i;
+      }
+    }
+    return program_.externs.size();
+  };
+
+  for (TableDef& def : fragment.tables) {
+    if (TableDef* existing = find_decl(def.name)) {
+      if (!SameSchema(*existing, def)) {
+        return InvalidArgument("module '" + label + "' redeclares '" + def.name +
+                               "' with a different schema");
+      }
+      continue;
+    }
+    // A real declaration satisfies (and replaces) a pending extern expectation.
+    size_t ei = find_extern(def.name);
+    if (ei < program_.externs.size()) {
+      if (!SameSchema(program_.externs[ei], def)) {
+        return InvalidArgument("module '" + label + "' declares '" + def.name +
+                               "' with a schema conflicting with an earlier extern");
+      }
+      program_.externs.erase(program_.externs.begin() + ei);
+    }
+    declared_.insert(def.name);
+    program_.tables.push_back(std::move(def));
+  }
+  for (TableDef& def : fragment.externs) {
+    if (TableDef* existing = find_decl(def.name)) {
+      if (!SameSchema(*existing, def)) {
+        return InvalidArgument("module '" + label + "' extern for '" + def.name +
+                               "' conflicts with its declaration");
+      }
+      continue;  // already satisfied
+    }
+    size_t ei = find_extern(def.name);
+    if (ei < program_.externs.size()) {
+      if (!SameSchema(program_.externs[ei], def)) {
+        return InvalidArgument("module '" + label + "' extern for '" + def.name +
+                               "' conflicts with an earlier extern");
+      }
+      continue;
+    }
+    program_.externs.push_back(std::move(def));
+  }
+  for (TimerDecl& timer : fragment.timers) {
+    auto [it, added] = timer_sources_.emplace(timer.name, label);
+    if (!added) {
+      return InvalidArgument("timer '" + timer.name + "' declared by both module '" +
+                             it->second + "' and module '" + label + "'");
+    }
+    program_.timers.push_back(std::move(timer));
+  }
+  for (Rule& rule : fragment.rules) {
+    auto [it, added] = rule_sources_.emplace(rule.name, label);
+    if (!added) {
+      return InvalidArgument("rule '" + rule.name + "' defined by both module '" +
+                             it->second + "' and module '" + label + "'");
+    }
+    program_.rules.push_back(std::move(rule));
+  }
+  for (std::string& watch : fragment.watches) {
+    AddWatch(std::move(watch));
+  }
+  for (Fact& fact : fragment.facts) {
+    program_.facts.push_back(std::move(fact));
+  }
+  return Status::Ok();
+}
+
+Result<Program> ProgramBuilder::Build(AnalyzerReport* report_out) const {
+  AnalyzerReport report = AnalyzeProgram(program_, analyzer_options_);
+  if (report_out != nullptr) {
+    *report_out = report;
+  }
+  if (!report.ok()) {
+    return InvalidArgument("program '" + program_.name + "' failed analysis:\n" +
+                           report.ToString());
+  }
+  Program program = program_;
+  program.external_inputs.assign(analyzer_options_.external_inputs.begin(),
+                                 analyzer_options_.external_inputs.end());
+  program.external_outputs.assign(analyzer_options_.external_outputs.begin(),
+                                  analyzer_options_.external_outputs.end());
+  return program;
+}
+
+}  // namespace boom

@@ -1,0 +1,122 @@
+// First-class Overlog modules and the ProgramBuilder that composes them.
+//
+// A Module is a named, parameterized rule set: Overlog text (declarations, facts, timers,
+// watches, rules — everything except the `program` header) plus a typed parameter list.
+// Parameters appear in the text as lowercase identifiers (`bottomk<rep_factor, Pair>`,
+// `timer dn_check(fd_check_ms);`, `Deficit := rep_factor - Have`) and are bound to concrete
+// Values when the module is added to a builder — the typed replacement for the old
+// `$TOKEN` string substitution.
+//
+// ProgramBuilder concatenates modules, in order, into one Program:
+//   - declarations merge; identical redeclarations collapse, conflicting ones are errors
+//   - `extern` declarations are satisfied by a real declaration from any module (or survive
+//     into Program::externs for the engine to verify at install time)
+//   - rule and timer names must be unique across all modules
+//   - Build() runs the strict analyzer pass and fails on any error diagnostic
+//
+// Rule order in the built Program is exactly module-addition order — tick-level evaluation
+// order is observable (the dirty-rule scheduler keys on program order), so composition must
+// not reshuffle rules.
+//
+//   ProgramBuilder b("boommr_jt");
+//   RETURN_IF_ERROR(b.Add(JtCoreModule(), {...}));
+//   RETURN_IF_ERROR(b.Add(JtFifoPolicyModule(), {}));        // <- policy is one Add() swap
+//   RETURN_IF_ERROR(b.Add(JtExecModule(), {{"tt_check_ms", 1000.0}, ...}));
+//   Result<Program> p = b.Build();
+
+#ifndef SRC_OVERLOG_MODULE_H_
+#define SRC_OVERLOG_MODULE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/overlog/analyzer.h"
+#include "src/overlog/ast.h"
+#include "src/overlog/value.h"
+
+namespace boom {
+
+// One typed module parameter. When `required` is false, `def` supplies the default.
+struct ModuleParam {
+  std::string name;
+  ValueKind kind = ValueKind::kInt;
+  bool required = true;
+  Value def;
+
+  static ModuleParam Required(std::string name, ValueKind kind) {
+    ModuleParam p;
+    p.name = std::move(name);
+    p.kind = kind;
+    return p;
+  }
+  static ModuleParam Optional(std::string name, Value def) {
+    ModuleParam p;
+    p.name = std::move(name);
+    p.kind = def.kind();
+    p.required = false;
+    p.def = std::move(def);
+    return p;
+  }
+};
+
+struct Module {
+  std::string name;    // diagnostic label, e.g. "nn_failure_detector"
+  std::string source;  // Overlog text WITHOUT a `program ...;` header
+  std::vector<ModuleParam> params;
+};
+
+// Bindings for a module's parameters, by name.
+using ParamBindings = std::map<std::string, Value>;
+
+class ProgramBuilder {
+ public:
+  // `program_name` names the final Program. An empty name adopts the name of the first
+  // fragment added with AddProgramText (olgrun/olglint compose whole files this way).
+  explicit ProgramBuilder(std::string program_name);
+
+  // Tables/events declared by programs already installed on the target engine. They satisfy
+  // name-resolution in module text and are passed to the analyzer as external (arity
+  // unchecked here; the engine verifies any matching `extern` schema at install time).
+  ProgramBuilder& WithExternalTables(std::set<std::string> tables);
+  // Events the host enqueues from C++ — forwarded to the analyzer's no-producer check.
+  ProgramBuilder& WithExternalInputs(std::set<std::string> events);
+  // Relations the host reads from C++ — forwarded to the analyzer's unread-table check.
+  ProgramBuilder& WithExternalOutputs(std::set<std::string> tables);
+
+  // Parses `module.source` with `bindings` resolved against `module.params` and merges the
+  // result. Rejects unknown binding names, missing required params, and kind mismatches
+  // (an int binding coerces to a double param; nothing else coerces).
+  Status Add(const Module& module, const ParamBindings& bindings = {});
+
+  // Parses a complete program text (with `program ...;` header) and merges it. The
+  // fragment's own program name is ignored unless this builder was constructed with an
+  // empty name and this is the first fragment.
+  Status AddProgramText(std::string_view source, const std::string& label = "<text>");
+
+  // Appends a fact (table must be declared by some module, checked at Build).
+  ProgramBuilder& AddFact(std::string table, Tuple tuple);
+  ProgramBuilder& AddWatch(std::string table);
+
+  // Runs the strict analyzer; returns the composed Program or an error listing every
+  // diagnostic. `report_out`, when non-null, receives the full report (incl. warnings).
+  Result<Program> Build(AnalyzerReport* report_out = nullptr) const;
+
+  // The analyzer options Build() uses — exposed so tools (olglint) can tweak strictness.
+  AnalyzerOptions& analyzer_options() { return analyzer_options_; }
+
+ private:
+  Status Merge(Program fragment, const std::string& label);
+
+  Program program_;
+  AnalyzerOptions analyzer_options_;
+  std::set<std::string> declared_;  // names declared (non-extern) so far
+  std::map<std::string, std::string> rule_sources_;   // rule name -> module label
+  std::map<std::string, std::string> timer_sources_;  // timer name -> module label
+};
+
+}  // namespace boom
+
+#endif  // SRC_OVERLOG_MODULE_H_

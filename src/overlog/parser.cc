@@ -86,8 +86,16 @@ class Parser {
   }
 
   Status ParseDecl() {
+    if (PeekKeyword("extern")) {
+      if (Peek(1).kind == TokenKind::kIdent &&
+          (Peek(1).text == "table" || Peek(1).text == "event")) {
+        Advance();  // 'extern'
+        return ParseTableDecl(/*is_extern=*/true);
+      }
+      return Error("expected 'table' or 'event' after 'extern'");
+    }
     if (PeekKeyword("table") || PeekKeyword("event")) {
-      return ParseTableDecl();
+      return ParseTableDecl(/*is_extern=*/false);
     }
     if (PeekKeyword("timer")) {
       return ParseTimerDecl();
@@ -101,7 +109,7 @@ class Parser {
     return ParseRuleOrFact();
   }
 
-  Status ParseTableDecl() {
+  Status ParseTableDecl(bool is_extern) {
     bool is_event = Peek().text == "event";
     Advance();
     if (Peek().kind != TokenKind::kIdent) {
@@ -162,7 +170,11 @@ class Parser {
       return InvalidArgument("table " + def.name + " must have at least one column");
     }
     known_tables_.insert(def.name);
-    program_.tables.push_back(std::move(def));
+    if (is_extern) {
+      program_.externs.push_back(std::move(def));
+    } else {
+      program_.tables.push_back(std::move(def));
+    }
     return Status::Ok();
   }
 
@@ -174,10 +186,19 @@ class Parser {
     TimerDecl timer;
     timer.name = Advance().text;
     BOOM_RETURN_IF_ERROR(ExpectKind(TokenKind::kLParen));
-    if (Peek().kind != TokenKind::kInt && Peek().kind != TokenKind::kDouble) {
+    if (Peek().kind == TokenKind::kInt || Peek().kind == TokenKind::kDouble) {
+      timer.period_ms = Advance().literal.ToDouble();
+    } else if (Peek().kind == TokenKind::kIdent && !IsVarName(Peek().text)) {
+      // A declared constant (module parameter) naming the period.
+      auto it = consts_.find(Peek().text);
+      if (it == consts_.end() || !it->second.is_numeric()) {
+        return Error("expected timer period (ms): literal or numeric constant");
+      }
+      Advance();
+      timer.period_ms = it->second.ToDouble();
+    } else {
       return Error("expected timer period (ms)");
     }
-    timer.period_ms = Advance().literal.ToDouble();
     BOOM_RETURN_IF_ERROR(ExpectKind(TokenKind::kRParen));
     BOOM_RETURN_IF_ERROR(ExpectKind(TokenKind::kSemi));
     // A timer implicitly declares the event table <name>(Node).
@@ -230,6 +251,7 @@ class Parser {
 
   Status ParseRuleOrFact() {
     Rule rule;
+    rule.line = Peek().line;
     // Optional label: IDENT followed by another IDENT or 'delete'. A leading 'delete' is the
     // keyword, never a label.
     if (Peek().kind == TokenKind::kIdent && !IsVarName(Peek().text) &&
@@ -276,6 +298,15 @@ class Parser {
     if (rule.name.empty()) {
       rule.name = "rule_" + std::to_string(program_.rules.size() + 1);
     }
+    // Duplicate rule names are a hard error: profiling, tracing, and the dirty-rule
+    // scheduler all key rules by (program, name), so a silent last-writer-wins would
+    // misattribute every duplicate.
+    auto [it, added] = rule_lines_.emplace(rule.name, rule.line);
+    if (!added) {
+      return InvalidArgument("duplicate rule name '" + rule.name + "' at line " +
+                             std::to_string(rule.line) + " (first defined at line " +
+                             std::to_string(it->second) + ")");
+    }
     program_.rules.push_back(std::move(rule));
     return Status::Ok();
   }
@@ -316,10 +347,16 @@ class Parser {
         Advance();  // '<'
         arg.agg = kind;
         if (kind == AggKind::kBottomK) {
-          if (Peek().kind != TokenKind::kInt) {
-            return Error("bottomk<k, Expr> requires an integer k");
+          if (Peek().kind == TokenKind::kInt) {
+            arg.k = Advance().literal.as_int();
+          } else if (Peek().kind == TokenKind::kIdent && !IsVarName(Peek().text) &&
+                     consts_.count(Peek().text) > 0 &&
+                     consts_.at(Peek().text).is_int()) {
+            // An integer constant (module parameter) naming k.
+            arg.k = consts_.at(Advance().text).as_int();
+          } else {
+            return Error("bottomk<k, Expr> requires an integer k (literal or constant)");
           }
-          arg.k = Advance().literal.as_int();
           BOOM_RETURN_IF_ERROR(ExpectKind(TokenKind::kComma));
         }
         // No comparison operators inside <...>: the closing '>' would be consumed.
@@ -671,6 +708,7 @@ class Parser {
   Program program_;
   std::set<std::string> known_tables_;
   std::map<std::string, Value> consts_;
+  std::map<std::string, int> rule_lines_;  // rule name -> first definition line
   int anon_counter_ = 0;
 };
 

@@ -5,7 +5,9 @@
 //   - Lowercase identifiers name tables, builtin functions (calls require parens), or
 //     declared constants.
 //   - Declarations must precede use. Tables declared by previously installed programs can be
-//     referenced by passing them in ParserOptions::known_tables.
+//     referenced by passing them in ParserOptions::known_tables, or declared in-source as
+//     `extern table t(...)` / `extern event e(...)` (schema expectations for relations owned
+//     elsewhere; collected into Program::externs).
 
 #ifndef SRC_OVERLOG_PARSER_H_
 #define SRC_OVERLOG_PARSER_H_

@@ -6,11 +6,9 @@ namespace boom {
 
 namespace {
 
-constexpr char kProgram[] = R"olg(
-program paxos;
-
+constexpr char kCoreModule[] = R"olg(
 /////////////////////////////////////////////////////////////////////////////
-// Membership and constants (facts generated per replica).
+// Membership and constants (facts appended per replica by PaxosProgram).
 /////////////////////////////////////////////////////////////////////////////
 table paxos_peer(Peer) keys(0);
 table quorum(K, Q) keys(0);
@@ -18,8 +16,8 @@ table quorum(K, Q) keys(0);
 /////////////////////////////////////////////////////////////////////////////
 // Timers.
 /////////////////////////////////////////////////////////////////////////////
-timer px_ping_t($PING);
-timer px_tick($TICK);
+timer px_ping_t(ping_ms);
+timer px_tick(tick_ms);
 
 /////////////////////////////////////////////////////////////////////////////
 // Leader election: lowest-addressed live replica. Liveness from pings; the
@@ -34,7 +32,7 @@ table leader(K, Addr) keys(0);
 
 el1 px_ping(@P, Me) :- px_ping_t(_), paxos_peer(P), Me := f_me();
 el2 peer_alive(F, T) :- px_ping(_, F), T := f_now();
-el3 live_peer(P) :- px_ping_t(_), peer_alive(P, T), f_now() - T < $LEADTO;
+el3 live_peer(P) :- px_ping_t(_), peer_alive(P, T), f_now() - T < lead_timeout_ms;
 el4 live_peer(Me) :- px_ping_t(_), Me := f_me();
 el5 leader_now(1, min<P>) :- live_peer(P);
 el6 leader(1, L)@next :- leader_now(1, L);
@@ -49,7 +47,7 @@ table request_q(ReqKey, Cmd) keys(0);   // dedup memory: every command ever seen
 table pending_req(ReqKey, Cmd) keys(0); // work queue: not yet assigned to a slot
 table proposal(Slot, Bal, Cmd) keys(0, 1);
 
-my_ballot(1, $IDX);
+my_ballot(1, my_idx);
 phase1_done(1, -1);
 next_slot(1, 0);
 
@@ -85,7 +83,7 @@ p1e phase1_done(1, B)@next :- promise_cnt(B, N), quorum(1, Q), N >= Q, my_ballot
 
 // Ballot bump on rejection: next round that still encodes our index.
 p1f my_ballot(1, NB)@next :- px_nack(_, _, PB), my_ballot(1, B), PB >= B,
-                             NB := (PB / $N + 1) * $N + $IDX;
+                             NB := (PB / n_peers + 1) * n_peers + my_idx;
 
 /////////////////////////////////////////////////////////////////////////////
 // New-leader recovery: re-propose the highest-ballot accepted value of every
@@ -188,35 +186,46 @@ l1 apply_cmd(S, C) :- applied_upto(1, S0), S := S0 + 1, decided(S, C);
 l2 applied_upto(1, S)@next :- apply_cmd(S, _);
 )olg";
 
-void ReplaceAll(std::string* s, const std::string& from, const std::string& to) {
-  size_t pos = 0;
-  while ((pos = s->find(from, pos)) != std::string::npos) {
-    s->replace(pos, from.size(), to);
-    pos += to.size();
-  }
-}
-
 }  // namespace
 
-std::string PaxosProgram(const PaxosProgramOptions& options) {
+const Module& PaxosCoreModule() {
+  static const Module* kModule = new Module{
+      "paxos_core",
+      kCoreModule,
+      {ModuleParam::Required("ping_ms", ValueKind::kDouble),
+       ModuleParam::Required("tick_ms", ValueKind::kDouble),
+       ModuleParam::Required("lead_timeout_ms", ValueKind::kDouble),
+       ModuleParam::Required("my_idx", ValueKind::kInt),
+       ModuleParam::Required("n_peers", ValueKind::kInt)},
+  };
+  return *kModule;
+}
+
+Program PaxosProgram(const PaxosProgramOptions& options) {
   BOOM_CHECK(!options.peers.empty());
   BOOM_CHECK(options.my_index >= 0 &&
              static_cast<size_t>(options.my_index) < options.peers.size());
-  std::string out = kProgram;
-  // Membership facts.
-  std::string facts;
+  ProgramBuilder builder("paxos");
+  // px_request arrives from clients (or the HA bridge); apply_cmd is consumed by the
+  // replicated application from C++ (or by a bridge program's rules).
+  builder.WithExternalInputs({"px_request"});
+  builder.analyzer_options().external_outputs.insert("apply_cmd");
+  Status status =
+      builder.Add(PaxosCoreModule(),
+                  {{"ping_ms", options.ping_period_ms},
+                   {"tick_ms", options.tick_period_ms},
+                   {"lead_timeout_ms", options.lead_timeout_ms},
+                   {"my_idx", options.my_index},
+                   {"n_peers", static_cast<int>(options.peers.size())}});
+  BOOM_CHECK(status.ok()) << status.ToString();
   for (const std::string& peer : options.peers) {
-    facts += "paxos_peer(\"" + peer + "\");\n";
+    builder.AddFact("paxos_peer", Tuple({Value(peer)}));
   }
-  size_t quorum = options.peers.size() / 2 + 1;
-  facts += "quorum(1, " + std::to_string(quorum) + ");\n";
-  out += facts;
-  ReplaceAll(&out, "$PING", std::to_string(options.ping_period_ms));
-  ReplaceAll(&out, "$TICK", std::to_string(options.tick_period_ms));
-  ReplaceAll(&out, "$LEADTO", std::to_string(options.lead_timeout_ms));
-  ReplaceAll(&out, "$IDX", std::to_string(options.my_index));
-  ReplaceAll(&out, "$N", std::to_string(options.peers.size()));
-  return out;
+  int64_t quorum = static_cast<int64_t>(options.peers.size()) / 2 + 1;
+  builder.AddFact("quorum", Tuple({Value(1), Value(quorum)}));
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
 }
 
 }  // namespace boom

@@ -13,12 +13,19 @@
 //     and each replica applies decided commands in strict slot order (`apply_cmd`).
 //
 // Ballot uniqueness: ballot = round * num_peers + replica_index.
+//
+// The protocol is one module (PaxosCoreModule) with typed parameters (ping_ms, tick_ms,
+// lead_timeout_ms, my_idx, n_peers); membership facts (paxos_peer, quorum) are appended by
+// PaxosProgram via ProgramBuilder::AddFact.
 
 #ifndef SRC_PAXOS_PAXOS_PROGRAM_H_
 #define SRC_PAXOS_PAXOS_PROGRAM_H_
 
 #include <string>
 #include <vector>
+
+#include "src/overlog/ast.h"
+#include "src/overlog/module.h"
 
 namespace boom {
 
@@ -30,8 +37,12 @@ struct PaxosProgramOptions {
   double tick_period_ms = 10;      // proposer drain rate (one command per tick)
 };
 
-// Returns the Paxos Overlog program text for one replica.
-std::string PaxosProgram(const PaxosProgramOptions& options);
+// The consensus protocol module, for composition on a caller-owned ProgramBuilder.
+const Module& PaxosCoreModule();
+
+// Composes the Paxos program for one replica (protocol module + membership facts) and runs
+// the analyzer. Aborts on error — the module is compiled in, so failure is a code bug.
+Program PaxosProgram(const PaxosProgramOptions& options);
 
 }  // namespace boom
 

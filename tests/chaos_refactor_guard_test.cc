@@ -1,0 +1,75 @@
+// Chaos regression guard for the module-system refactor: sweeps 10 seeds of the boomfs and
+// boommr scenarios twice — once against the frozen pre-refactor program text (installed via
+// the scenario's program-override hook) and once against the module-built default — and
+// requires byte-identical fault/network traces and identical outcomes.
+//
+// The fixpoint-equivalence tests (program_equivalence_test.cc) compare resting state under
+// a fixed workload; this guard compares *trajectories* under fault injection, where any
+// divergence in rule order or derivation timing would shift a message, a timer race, or a
+// checker verdict somewhere across the sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/scenario.h"
+#include "src/overlog/parser.h"
+
+namespace boom {
+namespace {
+
+constexpr uint64_t kNumSeeds = 10;
+
+Program ParseGolden(const std::string& name) {
+  std::string path = std::string(BOOM_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<Program> program = ParseProgram(text.str());
+  EXPECT_TRUE(program.ok()) << name << ": " << program.status().ToString();
+  return std::move(program).value();
+}
+
+ChaosRunResult TracedRun(const std::string& scenario_name, uint64_t seed,
+                         const ScenarioOptions& scenario_options) {
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario(scenario_name, scenario_options);
+  FaultSchedule schedule = GenerateFaultSchedule(seed, scenario->FaultProfile());
+  ChaosRunOptions options;
+  options.record_trace = true;
+  return RunChaosOnce(*scenario, seed, schedule, options);
+}
+
+void ExpectIdenticalSweep(const std::string& scenario_name,
+                          const ScenarioOptions& golden_options) {
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    ChaosRunResult golden = TracedRun(scenario_name, seed, golden_options);
+    ChaosRunResult built = TracedRun(scenario_name, seed, ScenarioOptions{});
+    ASSERT_FALSE(built.trace.empty()) << scenario_name << " seed " << seed;
+    EXPECT_EQ(golden.trace, built.trace)
+        << scenario_name << " seed " << seed << ": traces diverged";
+    EXPECT_EQ(golden.passed, built.passed) << scenario_name << " seed " << seed;
+    EXPECT_EQ(golden.violations, built.violations) << scenario_name << " seed " << seed;
+    EXPECT_EQ(golden.end_ms, built.end_ms) << scenario_name << " seed " << seed;
+  }
+}
+
+TEST(ChaosRefactorGuard, BoomFsTracesMatchPreRefactorProgram) {
+  ScenarioOptions golden;
+  golden.nn_program_override = ParseGolden("boomfs_nn_chaos.olg");
+  ExpectIdenticalSweep("boomfs", golden);
+}
+
+TEST(ChaosRefactorGuard, BoomMrTracesMatchPreRefactorProgram) {
+  ScenarioOptions golden;
+  golden.jt_program_override = ParseGolden("jt_fifo.olg");
+  ExpectIdenticalSweep("boommr", golden);
+}
+
+}  // namespace
+}  // namespace boom

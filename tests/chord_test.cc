@@ -125,9 +125,9 @@ TEST(ChordTest, LateJoinerIsAbsorbed) {
   ChordOptions opts;
   opts.bootstrap = nodes[0];
   std::string late = "chord_late";
-  std::string source = ChordProgram(late, opts);
+  Program source = ChordProgram(late, opts);
   cluster.AddOverlogNode(late, [source](Engine& engine) {
-    ASSERT_TRUE(engine.InstallSource(source).ok());
+    ASSERT_TRUE(engine.Install(source).ok());
   });
   std::vector<std::string> all = nodes;
   all.push_back(late);

@@ -153,11 +153,12 @@ INSTANTIATE_TEST_SUITE_P(BothFileSystems, AbandonTest,
 TEST(SafeModeTest, OverlogNameNodeDefersLocationsUntilReports) {
   Cluster cluster(303);
   NnProgramOptions prog;  // defaults: check 200ms, frac 60%, timeout 5000ms, grace 400ms
-  std::string source = BoomFsNnProgram(prog);
+  Program program = BoomFsNnProgram(prog);
   // Seed a namespace that owns one chunk, as if restored from a replicated log.
-  source += "\nfile(7, 0, \"f\", false);\nfchunk(42, 7);\n";
-  cluster.AddOverlogNode("nn", [source](Engine& engine) {
-    Status status = engine.InstallSource(source);
+  program.facts.push_back({"file", Tuple{Value(7), Value(0), Value("f"), Value(false)}});
+  program.facts.push_back({"fchunk", Tuple{Value(42), Value(7)}});
+  cluster.AddOverlogNode("nn", [program](Engine& engine) {
+    Status status = engine.Install(program);
     ASSERT_TRUE(status.ok()) << status.ToString();
   });
   FsClientOptions copts;

@@ -1,0 +1,309 @@
+// Unit tests for Module / ProgramBuilder: typed parameter binding (the replacement for
+// $TOKEN string substitution), module merging with cross-module conflict detection, extern
+// satisfaction, and the Build()-time analyzer gate.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/overlog/engine.h"
+#include "src/overlog/module.h"
+
+namespace boom {
+namespace {
+
+// A small parameterized module, shaped like the real ones: an int threshold and a double
+// timer period flowing into the text as lowercase identifiers.
+Module ThresholdModule() {
+  Module m;
+  m.name = "threshold";
+  m.source = R"olg(
+    table sample(Id, N) keys(0);
+    table alarm(Id) keys(0);
+    timer sweep(sweep_ms);
+    a1 alarm(Id) :- sweep(_), sample(Id, N), N > cap;
+    watch alarm;
+  )olg";
+  m.params = {ModuleParam::Required("cap", ValueKind::kInt),
+              ModuleParam::Optional("sweep_ms", Value(100.0))};
+  return m;
+}
+
+TEST(ModuleTest, ParamsBindIntoProgramText) {
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(ThresholdModule(), {{"cap", 7}}).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->name, "demo");
+  ASSERT_EQ(program->rules.size(), 1u);
+  // The bound constant is folded into the rule body — no trace of the parameter name.
+  EXPECT_NE(program->rules[0].ToString().find("7"), std::string::npos);
+  EXPECT_EQ(program->ToString().find("cap"), std::string::npos);
+  ASSERT_EQ(program->timers.size(), 1u);
+  EXPECT_EQ(program->timers[0].period_ms, 100.0);  // optional default applied
+}
+
+TEST(ModuleTest, OptionalParamOverride) {
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(ThresholdModule(), {{"cap", 7}, {"sweep_ms", 250.0}}).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->timers[0].period_ms, 250.0);
+}
+
+TEST(ModuleTest, UnknownBindingRejected) {
+  ProgramBuilder builder("demo");
+  Status s = builder.Add(ThresholdModule(), {{"cap", 7}, {"typo", 1}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("typo"), std::string::npos);
+  EXPECT_NE(s.message().find("threshold"), std::string::npos);  // names the module
+}
+
+TEST(ModuleTest, MissingRequiredRejected) {
+  ProgramBuilder builder("demo");
+  Status s = builder.Add(ThresholdModule(), {});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cap"), std::string::npos);
+}
+
+TEST(ModuleTest, KindMismatchRejected) {
+  ProgramBuilder builder("demo");
+  Status s = builder.Add(ThresholdModule(), {{"cap", Value("not-a-number")}});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("wants int"), std::string::npos) << s.message();
+}
+
+TEST(ModuleTest, IntCoercesToDoubleParamOnly) {
+  // Callers write {"sweep_ms", 250} for a double timeout; that must work...
+  ProgramBuilder ok_builder("demo");
+  EXPECT_TRUE(ok_builder.Add(ThresholdModule(), {{"cap", 7}, {"sweep_ms", 250}}).ok());
+  Result<Program> program = ok_builder.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->timers[0].period_ms, 250.0);
+
+  // ...but a double does NOT silently truncate into an int parameter.
+  ProgramBuilder bad_builder("demo");
+  Status s = bad_builder.Add(ThresholdModule(), {{"cap", 7.5}});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ModuleTest, RuleNameCollisionNamesBothModules) {
+  Module first{"mod_one", "table a(X);\nr1 a(X) :- a(X);\nwatch a;", {}};
+  Module second{"mod_two", "r1 a(X) :- a(X);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(first).ok());
+  Status s = builder.Add(second);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("mod_one"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("mod_two"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("r1"), std::string::npos) << s.message();
+}
+
+TEST(ModuleTest, TimerCollisionAcrossModulesRejected) {
+  Module first{"mod_one", "timer tk(100);\ntable s(X);\nr1 s(X) :- tk(X);\nwatch s;", {}};
+  Module second{"mod_two", "timer tk(200);\nr2 s(X) :- tk(X);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(first).ok());
+  Status s = builder.Add(second);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("tk"), std::string::npos);
+}
+
+TEST(ModuleTest, IdenticalRedeclarationCollapses) {
+  Module first{"mod_one", "table shared(A, B) keys(0);\nr1 shared(A, B) :- shared(A, B);",
+               {}};
+  Module second{"mod_two",
+                "table shared(A, B) keys(0);\nr2 shared(B, A) :- shared(A, B);\nwatch shared;",
+                {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(first).ok());
+  ASSERT_TRUE(builder.Add(second).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  size_t count = 0;
+  for (const TableDef& def : program->tables) {
+    count += def.name == "shared" ? 1 : 0;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ModuleTest, ConflictingRedeclarationRejected) {
+  Module first{"mod_one", "table shared(A, B) keys(0);", {}};
+  Module second{"mod_two", "table shared(A, B, C) keys(0);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(first).ok());
+  Status s = builder.Add(second);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("shared"), std::string::npos);
+}
+
+TEST(ModuleTest, ExternSatisfiedByLaterDeclaration) {
+  Module borrower{"borrower",
+                  "extern table owned(A, B) keys(0);\ntable view(A);\n"
+                  "v1 view(A) :- owned(A, _);\nwatch view;",
+                  {}};
+  Module owner{"owner", "table owned(A, B) keys(0);\no1 owned(A, B) :- owned(A, B);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(borrower).ok());
+  ASSERT_TRUE(builder.Add(owner).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // The pending extern was satisfied: only the real declaration survives.
+  EXPECT_TRUE(program->externs.empty());
+  size_t count = 0;
+  for (const TableDef& def : program->tables) {
+    count += def.name == "owned" ? 1 : 0;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ModuleTest, ExternSatisfiedByEarlierDeclaration) {
+  Module owner{"owner", "table owned(A, B) keys(0);\no1 owned(A, B) :- owned(A, B);", {}};
+  Module borrower{"borrower",
+                  "extern table owned(A, B) keys(0);\ntable view(A);\n"
+                  "v1 view(A) :- owned(A, _);\nwatch view;",
+                  {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(owner).ok());
+  ASSERT_TRUE(builder.Add(borrower).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->externs.empty());
+}
+
+TEST(ModuleTest, ExternSchemaConflictRejected) {
+  Module borrower{"borrower", "extern table owned(A, B) keys(0);", {}};
+  Module owner{"owner", "table owned(A, B, C) keys(0);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(borrower).ok());
+  Status s = builder.Add(owner);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("owned"), std::string::npos);
+}
+
+TEST(ModuleTest, UnsatisfiedExternSurvivesToInstallTime) {
+  // An extern nothing in the builder satisfies lands in Program::externs; the engine then
+  // verifies (or creates) it at install, which is how cross-program stacks compose.
+  Module borrower{"borrower",
+                  "extern table owned(A, B) keys(0);\ntable view(A);\n"
+                  "v1 view(A) :- owned(A, _);\nwatch view;",
+                  {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(borrower).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->externs.size(), 1u);
+  EXPECT_EQ(program->externs[0].name, "owned");
+
+  // Install on an engine that already has a CONFLICTING owned -> install must fail.
+  Engine engine(EngineOptions{});
+  TableDef conflicting;
+  conflicting.name = "owned";
+  conflicting.columns = {"A"};
+  ASSERT_TRUE(engine.catalog().Declare(conflicting).ok());
+  EXPECT_FALSE(engine.Install(*program).ok());
+
+  // On a fresh engine the extern creates the table and install succeeds.
+  Engine fresh(EngineOptions{});
+  EXPECT_TRUE(fresh.Install(*program).ok());
+  EXPECT_TRUE(fresh.catalog().Has("owned"));
+}
+
+TEST(ModuleTest, AddProgramTextAdoptsFirstName) {
+  ProgramBuilder builder("");
+  ASSERT_TRUE(builder
+                  .AddProgramText("program from_file;\ntable t(A);\nt(1);\nwatch t;",
+                                  "file1.olg")
+                  .ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->name, "from_file");
+}
+
+TEST(ModuleTest, AddProgramTextParseErrorNamesLabel) {
+  ProgramBuilder builder("");
+  Status s = builder.AddProgramText("program broken;\ntable t(A", "file1.olg");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("file1.olg"), std::string::npos) << s.message();
+}
+
+TEST(ModuleTest, BuildFailsWithFullReport) {
+  Module broken{"broken",
+                "table a(X);\ntable sink(X, Y);\nevent orphan(E);\n"
+                "r1 sink(X, Nope) :- a(X);\nwatch sink;",
+                {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(broken).ok());
+  AnalyzerReport report;
+  Result<Program> program = builder.Build(&report);
+  ASSERT_FALSE(program.ok());
+  EXPECT_GE(report.num_errors(), 2u) << report.ToString();  // unbound head + no producer
+  // The error message carries the whole report, not just the first problem.
+  EXPECT_NE(program.status().message().find("unbound-head-var"), std::string::npos);
+  EXPECT_NE(program.status().message().find("no-producer"), std::string::npos);
+}
+
+TEST(ModuleTest, HostCouplingStampedIntoProgram) {
+  Module m{"m",
+           "event from_host(A);\ntable to_host(A);\nh1 to_host(A) :- from_host(A);", {}};
+  ProgramBuilder builder("demo");
+  builder.WithExternalInputs({"from_host"});
+  builder.WithExternalOutputs({"to_host"});
+  ASSERT_TRUE(builder.Add(m).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // The contract rides with the Program, so the engine's advisory analyzer sees the same
+  // context the strict pass did and reports no warnings either.
+  ASSERT_EQ(program->external_inputs.size(), 1u);
+  EXPECT_EQ(program->external_inputs[0], "from_host");
+  ASSERT_EQ(program->external_outputs.size(), 1u);
+  EXPECT_EQ(program->external_outputs[0], "to_host");
+
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.Install(*program).ok());
+  ASSERT_EQ(engine.analyzer_reports().size(), 1u);
+  EXPECT_EQ(engine.analyzer_reports()[0].diagnostics.size(), 0u)
+      << engine.analyzer_reports()[0].ToString();
+}
+
+TEST(ModuleTest, AddFactAndWatch) {
+  Module m{"m", "table t(A) keys(0);\nr1 t(A) :- t(A);", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(m).ok());
+  builder.AddFact("t", Tuple{Value(1)});
+  builder.AddFact("t", Tuple{Value(2)});
+  builder.AddWatch("t");
+  builder.AddWatch("t");  // deduped
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->facts.size(), 2u);
+  EXPECT_EQ(program->watches.size(), 1u);
+}
+
+TEST(ModuleTest, FactForUndeclaredTableFailsBuild) {
+  ProgramBuilder builder("demo");
+  builder.AddFact("nowhere", Tuple{Value(1)});
+  Result<Program> program = builder.Build();
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("nowhere"), std::string::npos);
+}
+
+// Module composition preserves rule order exactly (addition order): tick-level evaluation
+// order is observable via the dirty-rule scheduler, so this is part of the contract.
+TEST(ModuleTest, RuleOrderIsModuleAdditionOrder) {
+  Module first{"mod_one", "table a(X) keys(0);\nr1 a(X) :- a(X);\nr2 a(X) :- a(X), X > 0;",
+               {}};
+  Module second{"mod_two", "r3 a(X) :- a(X), X < 0;\nwatch a;", {}};
+  ProgramBuilder builder("demo");
+  ASSERT_TRUE(builder.Add(first).ok());
+  ASSERT_TRUE(builder.Add(second).ok());
+  Result<Program> program = builder.Build();
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->rules.size(), 3u);
+  EXPECT_EQ(program->rules[0].name, "r1");
+  EXPECT_EQ(program->rules[1].name, "r2");
+  EXPECT_EQ(program->rules[2].name, "r3");
+}
+
+}  // namespace
+}  // namespace boom

@@ -10,6 +10,7 @@
 
 #include "src/monitor/meta.h"
 #include "src/overlog/engine.h"
+#include "src/overlog/module.h"
 #include "src/overlog/parser.h"
 
 namespace boom {
@@ -75,12 +76,18 @@ x(2);
   Engine engine(TestEngineOptions());
   ASSERT_TRUE(engine.InstallSource(src).ok());
   std::vector<std::string> violations;
-  ASSERT_TRUE(InstallInvariants(engine, R"olg(
+  ProgramBuilder builder("demo_inv");
+  ASSERT_TRUE(builder
+                  .AddProgramText(R"olg(
 program demo_inv;
+extern table x(A) keys(0);
+extern table invariant_violation(Name, Detail);
 v1 invariant_violation("too_big_x", D) :- x(A), A > 1, D := str_cat("x is ", A);
-)olg",
-                                &violations)
+)olg")
                   .ok());
+  Result<Program> inv = builder.Build();
+  ASSERT_TRUE(inv.ok()) << inv.status().ToString();
+  ASSERT_TRUE(InstallInvariants(engine, *inv, &violations).ok());
   engine.Tick(0);
   ASSERT_EQ(violations.size(), 1u);
   EXPECT_NE(violations[0].find("too_big_x"), std::string::npos);
@@ -92,7 +99,7 @@ v1 invariant_violation("too_big_x", D) :- x(A), A > 1, D := str_cat("x is ", A);
 constexpr const char* kUnderReplicatedState = R"olg(
 program fakefs;
 table file(F, Par, Name, IsDir) keys(0);
-table fqpath(Path, F) keys(0);
+table fqpath(Path, F);
 table fchunk(ChunkId, FileId) keys(0);
 table hb_chunk(Dn, ChunkId);
 file(0, 0, "", 1);
@@ -105,7 +112,7 @@ TEST(BoomFsInvariants, UnderReplicationFiresOnlyWhenOptedIn) {
     Engine engine(TestEngineOptions());
     ASSERT_TRUE(engine.InstallSource(kUnderReplicatedState).ok());
     std::vector<std::string> violations;
-    ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+    ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantProgram(3), &violations).ok());
     engine.Tick(0);
     EXPECT_TRUE(violations.empty()) << violations[0];
   }
@@ -115,7 +122,7 @@ TEST(BoomFsInvariants, UnderReplicationFiresOnlyWhenOptedIn) {
     std::vector<std::string> violations;
     ASSERT_TRUE(InstallInvariants(
                     engine,
-                    BoomFsInvariantRules(3, /*include_under_replication=*/true),
+                    BoomFsInvariantProgram(3, /*include_under_replication=*/true),
                     &violations)
                     .ok());
     engine.Tick(0);
@@ -138,7 +145,7 @@ h1 s(X) :- t(X);
   ASSERT_TRUE(InstallProfiling(engine).ok());
   ASSERT_TRUE(engine.profiling());
   std::vector<std::string> violations;
-  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantRules(5), &violations).ok());
+  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantProgram(5), &violations).ok());
 
   engine.Tick(0);  // h1 derives 8 tuples in one fixpoint
   ASSERT_TRUE(engine.PublishProfile().ok());
@@ -170,7 +177,7 @@ h1 s(X) :- t(X);
   ASSERT_TRUE(engine.InstallSource(src).ok());
   ASSERT_TRUE(InstallProfiling(engine).ok());
   std::vector<std::string> violations;
-  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantRules(5), &violations).ok());
+  ASSERT_TRUE(InstallInvariants(engine, RuleHogInvariantProgram(5), &violations).ok());
   engine.Tick(0);
   ASSERT_TRUE(engine.PublishProfile().ok());
   engine.Tick(1);

@@ -58,6 +58,23 @@ TEST(ParserTest, UnlabeledRuleGetsName) {
   EXPECT_FALSE(p.rules[0].name.empty());
 }
 
+// Duplicate rule names are a hard parse error: profiling, tracing, and the dirty-rule
+// scheduler all key rules by (program, name), so last-writer-wins would misattribute.
+TEST(ParserTest, DuplicateRuleNameRejected) {
+  Result<Program> p = ParseProgram(R"(
+    program test;
+    table a(X);
+    table b(X);
+    r1 b(X) :- a(X);
+    r1 b(X) :- a(X), X > 0;
+  )");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("duplicate rule name 'r1'"), std::string::npos)
+      << p.status().message();
+  // The error pinpoints both definitions.
+  EXPECT_NE(p.status().message().find("first defined at line"), std::string::npos);
+}
+
 TEST(ParserTest, Facts) {
   Program p = MustParse(R"(
     program test;

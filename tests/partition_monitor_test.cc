@@ -165,7 +165,7 @@ TEST(MonitorTest, InvariantViolationDetected) {
     file(0, -1, "", true);
   )").ok());
   std::vector<std::string> violations;
-  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantProgram(3), &violations).ok());
   engine.Tick(0);
   EXPECT_TRUE(violations.empty());
   // Orphan: parent 999 does not exist.
@@ -180,9 +180,9 @@ TEST(MonitorTest, CleanBoomFsRaisesNoViolations) {
   EngineOptions eopts;
   eopts.address = "nn";
   Engine engine(eopts);
-  ASSERT_TRUE(engine.InstallSource(BoomFsNnProgram()).ok());
+  ASSERT_TRUE(engine.Install(BoomFsNnProgram()).ok());
   std::vector<std::string> violations;
-  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantRules(3), &violations).ok());
+  ASSERT_TRUE(InstallInvariants(engine, BoomFsInvariantProgram(3), &violations).ok());
   engine.Tick(0);
   // Drive a few namespace ops directly.
   auto request = [&engine](int64_t id, const std::string& cmd, const std::string& path) {

@@ -21,9 +21,9 @@ std::vector<std::string> SetupPaxos(Cluster& cluster, int n) {
     PaxosProgramOptions opts;
     opts.peers = peers;
     opts.my_index = i;
-    std::string source = PaxosProgram(opts);
-    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [source](Engine& engine) {
-      Status s = engine.InstallSource(source);
+    Program program = PaxosProgram(opts);
+    cluster.AddOverlogNode(peers[static_cast<size_t>(i)], [program](Engine& engine) {
+      Status s = engine.Install(program);
       ASSERT_TRUE(s.ok()) << s.ToString();
     });
   }

@@ -1,0 +1,206 @@
+// olglint: compile-time analysis for Overlog programs.
+//
+//   olglint file.olg [more.olg ...]     lint a composition of source files (strict)
+//   olglint --family NAME|all           lint the generated built-in programs
+//
+// File mode composes the inputs through ProgramBuilder exactly like `olgrun`, runs the
+// analyzer in strict mode, and prints every diagnostic. Family mode rebuilds the embedded
+// programs (BOOM-FS NameNode, BOOM-MR JobTracker under both policies, Paxos, Chord, the HA
+// bridge, and the monitor invariants) and installs each stack on a scratch engine, so the
+// cross-program `extern` schemas are verified too; the engine's advisory analyzer reports
+// are printed per program. Exit status is 1 if any error was found.
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/boomfs/ha.h"
+#include "src/boomfs/nn_program.h"
+#include "src/boommr/jt_program.h"
+#include "src/chord/chord_program.h"
+#include "src/monitor/meta.h"
+#include "src/overlog/analyzer.h"
+#include "src/overlog/engine.h"
+#include "src/overlog/module.h"
+#include "src/paxos/paxos_program.h"
+
+namespace boom {
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: olglint <file.olg> [more.olg ...]\n"
+               "       olglint --family "
+               "all|boomfs_nn|jt_fifo|jt_late|paxos|chord|ha|monitor\n");
+}
+
+struct LintTally {
+  size_t errors = 0;
+  size_t warnings = 0;
+};
+
+void PrintReport(const std::string& label, const AnalyzerReport& report,
+                 LintTally* tally) {
+  for (const Diagnostic& d : report.diagnostics) {
+    std::fprintf(stderr, "%s\n", d.ToString().c_str());
+  }
+  tally->errors += report.num_errors();
+  tally->warnings += report.num_warnings();
+  std::printf("%-12s %zu error(s), %zu warning(s)\n", label.c_str(),
+              report.num_errors(), report.num_warnings());
+}
+
+// Installs a family's program stack on a scratch engine (verifying extern schemas against
+// the programs they borrow from) and reports the per-program analyzer findings.
+int LintStack(const std::string& label, const std::vector<Program>& stack,
+              LintTally* tally) {
+  EngineOptions options;
+  options.address = "olglint";
+  Engine engine(options);
+  for (const Program& program : stack) {
+    Status status = engine.Install(program);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: install of '%s' failed: %s\n", label.c_str(),
+                   program.name.c_str(), status.ToString().c_str());
+      ++tally->errors;
+      return 1;
+    }
+  }
+  AnalyzerReport merged;
+  for (const AnalyzerReport& report : engine.analyzer_reports()) {
+    merged.diagnostics.insert(merged.diagnostics.end(), report.diagnostics.begin(),
+                              report.diagnostics.end());
+  }
+  PrintReport(label, merged, tally);
+  return 0;
+}
+
+std::vector<Program> MonitorStack() {
+  // The invariants join NameNode tables, so they lint against the NameNode program plus
+  // the violation table InstallInvariants would declare.
+  Program violation_decl;
+  violation_decl.name = "invariant_decl";
+  TableDef def;
+  def.name = "invariant_violation";
+  def.columns = {"Name", "Detail"};
+  violation_decl.tables.push_back(def);
+  return {BoomFsNnProgram(), violation_decl,
+          BoomFsInvariantProgram(3, /*include_under_replication=*/true),
+          RuleHogInvariantProgram(5000)};
+}
+
+int LintFamily(const std::string& family, LintTally* tally) {
+  bool all = family == "all";
+  bool matched = false;
+  auto want = [&](const char* name) {
+    bool yes = all || family == name;
+    matched = matched || yes;
+    return yes;
+  };
+  int rc = 0;
+  if (want("boomfs_nn")) {
+    rc |= LintStack("boomfs_nn", {BoomFsNnProgram()}, tally);
+  }
+  if (want("jt_fifo")) {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kFifo;
+    rc |= LintStack("jt_fifo", {BoomMrJtProgram(options)}, tally);
+  }
+  if (want("jt_late")) {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kLate;
+    rc |= LintStack("jt_late", {BoomMrJtProgram(options)}, tally);
+  }
+  if (want("paxos")) {
+    PaxosProgramOptions options;
+    options.peers = {"px0", "px1", "px2"};
+    options.my_index = 0;
+    rc |= LintStack("paxos", {PaxosProgram(options)}, tally);
+  }
+  if (want("chord")) {
+    ChordOptions options;
+    options.bootstrap = "c0";
+    rc |= LintStack("chord", {ChordProgram("c0", options)}, tally);
+  }
+  if (want("ha")) {
+    PaxosProgramOptions options;
+    options.peers = {"nn0", "nn1", "nn2"};
+    options.my_index = 0;
+    rc |= LintStack(
+        "ha", {PaxosProgram(options), BoomFsNnProgram(), HaBridgeProgram()}, tally);
+  }
+  if (want("monitor")) {
+    rc |= LintStack("monitor", MonitorStack(), tally);
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+    Usage();
+    return 2;
+  }
+  return rc;
+}
+
+int LintFiles(const std::vector<std::string>& paths, LintTally* tally) {
+  ProgramBuilder builder("");
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    Status status = builder.AddProgramText(buf.str(), path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      ++tally->errors;
+      return 1;
+    }
+  }
+  AnalyzerReport report;
+  Result<Program> built = builder.Build(&report);
+  PrintReport(built.ok() ? built->name : paths.front(), report, tally);
+  return report.num_errors() == 0 ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string family;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--family" && i + 1 < argc) {
+      family = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (family.empty() && paths.empty()) {
+    Usage();
+    return 2;
+  }
+  LintTally tally;
+  int rc = 0;
+  if (!family.empty()) {
+    rc = LintFamily(family, &tally);
+  }
+  if (rc == 0 && !paths.empty()) {
+    rc = LintFiles(paths, &tally);
+  }
+  std::printf("olglint: %zu error(s), %zu warning(s)\n", tally.errors, tally.warnings);
+  return rc;
+}
+
+}  // namespace
+}  // namespace boom
+
+int main(int argc, char** argv) { return boom::Run(argc, argv); }

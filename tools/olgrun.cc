@@ -1,10 +1,13 @@
-// olgrun: load and execute a standalone Overlog program from a .olg file.
+// olgrun: load and execute an Overlog program from one or more .olg files.
 //
-//   olgrun program.olg [--ticks N] [--until MS] [--dump table1,table2] [--all]
+//   olgrun program.olg [more.olg ...] [--until MS] [--dump table1,table2] [--check]
 //
-// The program runs on a single local engine: timers fire in virtual time, `watch`ed tables
-// print as they change, and the selected tables (default: all) are dumped at the end.
-// See olg/ for example programs.
+// Multiple files are concatenated through ProgramBuilder into a single program: later
+// files see the tables of earlier ones, and the analyzer vets the composition before it
+// reaches the engine. With --check the program is analyzed and never run (olglint with
+// run-mode flags). The program runs on a single local engine: timers fire in virtual
+// time, `watch`ed tables print as they change, and the selected tables (default: all)
+// are dumped at the end. See olg/ for example programs.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,16 +20,18 @@
 #include "src/base/strings.h"
 #include "src/monitor/meta.h"
 #include "src/overlog/engine.h"
+#include "src/overlog/module.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: olgrun <program.olg> [--until MS] [--dump t1,t2,...]\n"
+               "usage: olgrun <program.olg> [more.olg ...] [--until MS] [--dump t1,...]\n"
                "  --until MS   advance virtual time to MS, firing timers (default 1000)\n"
                "  --dump LIST  dump only these tables at exit (default: all non-empty)\n"
                "  --trace      install the metaprogrammed tracing rewrite (trace_* tables)\n"
-               "  --profile    per-rule profile: evals, tuples, wall time per rule\n");
+               "  --profile    per-rule profile: evals, tuples, wall time per rule\n"
+               "  --check      analyze only (strict): print diagnostics, do not run\n");
 }
 
 void PrintRuleProfile(const boom::Engine& engine) {
@@ -60,10 +65,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  std::string path;
+  std::vector<std::string> paths;
   double until_ms = 1000;
   bool trace = false;
   bool profile = false;
+  bool check_only = false;
   std::vector<std::string> dump_tables;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -75,6 +81,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--check") {
+      check_only = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -82,26 +90,57 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
-  if (path.empty()) {
+  if (paths.empty()) {
     Usage();
     return 2;
   }
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+  // Compose the input files into one program. The builder threads the accumulated table
+  // declarations through, so a later file can use relations an earlier one declared.
+  boom::ProgramBuilder builder("");
+  // Run mode is permissive about event producers (a demo may leave an event for the
+  // reader to feed); --check is the strict lint.
+  builder.analyzer_options().strict_events = check_only;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    boom::Status status = builder.AddProgramText(buf.str(), path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  boom::AnalyzerReport report;
+  boom::Result<boom::Program> built = builder.Build(&report);
+  if (check_only) {
+    if (!report.diagnostics.empty()) {
+      std::fprintf(stderr, "%s", report.ToString().c_str());
+    }
+    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s)\n",
+                 built.ok() ? built->name.c_str() : "olgrun",
+                 report.num_errors(), report.num_warnings());
+    return report.num_errors() == 0 ? 0 : 1;
+  }
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  std::stringstream buf;
-  buf << in.rdbuf();
+  for (const boom::Diagnostic& d : report.diagnostics) {
+    std::fprintf(stderr, "%s\n", d.ToString().c_str());
+  }
 
   boom::EngineOptions options;
   options.address = "olgrun";
   boom::Engine engine(options);
-  boom::Status status = engine.InstallSource(buf.str());
+  boom::Status status = engine.Install(*built);
   if (!status.ok()) {
     std::fprintf(stderr, "install failed: %s\n", status.ToString().c_str());
     return 1;
