@@ -1,5 +1,7 @@
 #include "src/boommr/boommr.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 #include "src/mr_baseline/jobtracker.h"
 #include "src/telemetry/metrics.h"
@@ -16,6 +18,18 @@ const char* MrKindName(MrKind kind) {
   return "?";
 }
 
+namespace {
+
+std::string TenantClientAddress(const MrSetupOptions& options, int tenant) {
+  std::string addr = options.jobtracker + "_client";
+  if (tenant > 0) {
+    addr += "_t" + std::to_string(tenant);
+  }
+  return addr;
+}
+
+}  // namespace
+
 MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
   MrHandles handles;
   handles.jobtracker = options.jobtracker;
@@ -26,6 +40,10 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
     prog.policy = options.policy;
     prog.speculative_cap = options.speculative_cap;
     prog.slow_task_fraction = options.slow_task_fraction;
+    prog.capacity_default = options.capacity_default;
+    for (const auto& [tenant, slots] : options.tenant_capacities) {
+      prog.tenant_capacities.emplace_back(TenantClientAddress(options, tenant), slots);
+    }
     Program program = options.jt_program_override.has_value()
                           ? *options.jt_program_override
                           : BoomMrJtProgram(prog);
@@ -68,10 +86,15 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
     handles.trackers.push_back(std::move(tt));
   }
 
-  auto client = std::make_unique<MrClient>(options.jobtracker + "_client",
-                                           options.jobtracker, handles.data_plane);
-  handles.client = client.get();
-  cluster.AddActor(std::move(client));
+  int tenants = std::max(1, options.num_tenants);
+  for (int t = 0; t < tenants; ++t) {
+    auto client = std::make_unique<MrClient>(
+        TenantClientAddress(options, t), options.jobtracker, handles.data_plane,
+        /*first_job_id=*/static_cast<int64_t>(t) * 1000000 + 1);
+    handles.tenant_clients.push_back(client.get());
+    cluster.AddActor(std::move(client));
+  }
+  handles.client = handles.tenant_clients.front();
   return handles;
 }
 

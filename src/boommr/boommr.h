@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/boommr/jt_program.h"
@@ -38,6 +39,13 @@ struct MrSetupOptions {
   // Straggler injection: per-tracker slowdown factors; index i applies to tracker i
   // (missing entries default to 1.0).
   std::vector<double> tracker_slowdowns;
+  // Multi-tenancy: one submission client per tenant. Tenant 0 keeps the historical
+  // "<jt>_client" address; tenant i > 0 is "<jt>_client_t<i>". All share the data plane;
+  // job-id blocks of 10^6 per tenant keep RegisterJob collision-free.
+  int num_tenants = 1;
+  // kCapacity quotas, keyed by tenant *index* (resolved to client addresses here).
+  std::vector<std::pair<int, int64_t>> tenant_capacities;
+  int64_t capacity_default = 2;
   // Test hook: install this JobTracker program instead of the generated one (used by the
   // refactor-equivalence tests to pin a frozen pre-refactor program text).
   std::optional<Program> jt_program_override;
@@ -46,7 +54,8 @@ struct MrSetupOptions {
 struct MrHandles {
   std::string jobtracker;
   std::vector<std::string> trackers;
-  MrClient* client = nullptr;                 // owned by the cluster
+  MrClient* client = nullptr;                 // tenant 0's client, owned by the cluster
+  std::vector<MrClient*> tenant_clients;      // one per tenant; [0] == client
   std::shared_ptr<MrDataPlane> data_plane;
 };
 

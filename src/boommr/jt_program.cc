@@ -10,6 +10,10 @@ const char* MrPolicyName(MrPolicy policy) {
       return "FIFO";
     case MrPolicy::kLate:
       return "LATE";
+    case MrPolicy::kFairShare:
+      return "FAIR";
+    case MrPolicy::kCapacity:
+      return "CAP";
   }
   return "?";
 }
@@ -81,6 +85,81 @@ f3 launch(TT, J, T, "map", false) :- best_map(TT, Cand),
                                      J := list_get(Cand, 1), T := list_get(Cand, 2);
 f4 launch(TT, J, T, "reduce", false) :- best_reduce(TT, Cand),
                                         J := list_get(Cand, 1), T := list_get(Cand, 2);
+)olg";
+
+// Fair-share policy: a free slot goes to the pending task of the *least-loaded tenant*
+// (fewest running attempts across all its jobs), FIFO within the tenant. Tenants with
+// running jobs but zero running attempts get an explicit zero row so the min<> sees them —
+// a starved tenant always outranks a busy one. The entire Hadoop Fair Scheduler core is
+// the candidate key [Load, SubmitTime, JobId, TaskId].
+constexpr char kFairShareModule[] = R"olg(
+// ---- fair-share scheduling policy ----
+table tenant_running(Client, N) keys(0);
+table tenant_load(Client, N) keys(0);
+event fs_best_map(TT, Cand);
+event fs_best_reduce(TT, Cand);
+
+fs0 tenant_running(C, count<A>) :- attempt(J, _, A, _, "running", _, _, _, _),
+                                   job(J, C, _, _, _, "running");
+fs1 tenant_load(C, N) :- tenant_running(C, N);
+fs2 tenant_load(C, 0) :- job(_, C, _, _, _, "running"), notin tenant_running(C, _);
+
+fs3 fs_best_map(TT, min<Cand>) :- tt_hb(_, TT, FreeM, _), FreeM > 0,
+                                  task(J, T, "map", "pending"),
+                                  job(J, C, S, _, _, "running"),
+                                  tenant_load(C, N),
+                                  Cand := [N, S, J, T];
+fs4 fs_best_reduce(TT, min<Cand>) :- tt_hb(_, TT, _, FreeR), FreeR > 0,
+                                     task(J, T, "reduce", "pending"),
+                                     job(J, C, S, _, _, "running"), maps_done(J),
+                                     tenant_load(C, N),
+                                     Cand := [N, S, J, T];
+
+fs5 launch(TT, J, T, "map", false) :- fs_best_map(TT, Cand),
+                                      J := list_get(Cand, 2), T := list_get(Cand, 3);
+fs6 launch(TT, J, T, "reduce", false) :- fs_best_reduce(TT, Cand),
+                                         J := list_get(Cand, 2), T := list_get(Cand, 3);
+)olg";
+
+// Capacity policy (Hadoop Capacity Scheduler): each tenant has a guaranteed slot quota
+// (`capacity` facts; `cap_default` for tenants without one). Slots first go to tenants
+// below their quota (most under-quota wins); once everyone is at quota the policy is
+// work-conserving — spare slots go to whoever is least over quota. That is exactly
+// min<> over [Running - Quota, SubmitTime, JobId, TaskId].
+constexpr char kCapacityModule[] = R"olg(
+// ---- capacity scheduling policy ----
+table capacity(Client, Slots) keys(0);
+table cp_running(Client, N) keys(0);
+table cp_load(Client, N) keys(0);
+table cp_cap(Client, Slots) keys(0);
+event cp_best_map(TT, Cand);
+event cp_best_reduce(TT, Cand);
+
+cp0 cp_running(C, count<A>) :- attempt(J, _, A, _, "running", _, _, _, _),
+                               job(J, C, _, _, _, "running");
+cp1 cp_load(C, N) :- cp_running(C, N);
+cp2 cp_load(C, 0) :- job(_, C, _, _, _, "running"), notin cp_running(C, _);
+cp3 cp_cap(C, Cap) :- capacity(C, Cap);
+cp4 cp_cap(C, D) :- job(_, C, _, _, _, "running"), notin capacity(C, _),
+                    D := cap_default;
+
+cp5 cp_best_map(TT, min<Cand>) :- tt_hb(_, TT, FreeM, _), FreeM > 0,
+                                  task(J, T, "map", "pending"),
+                                  job(J, C, S, _, _, "running"),
+                                  cp_load(C, N), cp_cap(C, Cap),
+                                  Over := N - Cap,
+                                  Cand := [Over, S, J, T];
+cp6 cp_best_reduce(TT, min<Cand>) :- tt_hb(_, TT, _, FreeR), FreeR > 0,
+                                     task(J, T, "reduce", "pending"),
+                                     job(J, C, S, _, _, "running"), maps_done(J),
+                                     cp_load(C, N), cp_cap(C, Cap),
+                                     Over := N - Cap,
+                                     Cand := [Over, S, J, T];
+
+cp7 launch(TT, J, T, "map", false) :- cp_best_map(TT, Cand),
+                                      J := list_get(Cand, 2), T := list_get(Cand, 3);
+cp8 launch(TT, J, T, "reduce", false) :- cp_best_reduce(TT, Cand),
+                                         J := list_get(Cand, 2), T := list_get(Cand, 3);
 )olg";
 
 // Launch machinery, progress/completion tracking, job completion, and TaskTracker failure
@@ -212,6 +291,20 @@ const Module& JtFifoPolicyModule() {
   return *kModule;
 }
 
+const Module& JtFairSharePolicyModule() {
+  static const Module* kModule = new Module{"jt_fairshare", kFairShareModule, {}};
+  return *kModule;
+}
+
+const Module& JtCapacityPolicyModule() {
+  static const Module* kModule = new Module{
+      "jt_capacity",
+      kCapacityModule,
+      {ModuleParam::Required("cap_default", ValueKind::kInt)},
+  };
+  return *kModule;
+}
+
 const Module& JtExecModule() {
   static const Module* kModule = new Module{
       "jt_exec",
@@ -238,7 +331,22 @@ Program BoomMrJtProgram(const JtProgramOptions& options) {
   builder.WithExternalInputs({"mr_submit", "mr_task", "tt_hb", "tt_progress", "tt_done"});
   Status status = builder.Add(JtCoreModule());
   BOOM_CHECK(status.ok()) << status.ToString();
-  status = builder.Add(JtFifoPolicyModule());
+  switch (options.policy) {
+    case MrPolicy::kFifo:
+    case MrPolicy::kLate:
+      status = builder.Add(JtFifoPolicyModule());
+      break;
+    case MrPolicy::kFairShare:
+      status = builder.Add(JtFairSharePolicyModule());
+      break;
+    case MrPolicy::kCapacity:
+      status = builder.Add(JtCapacityPolicyModule(),
+                           {{"cap_default", options.capacity_default}});
+      for (const auto& [client, slots] : options.tenant_capacities) {
+        builder.AddFact("capacity", Tuple({Value(client), Value(slots)}));
+      }
+      break;
+  }
   BOOM_CHECK(status.ok()) << status.ToString();
   status = builder.Add(JtExecModule(),
                        {{"tt_check_ms", options.tracker_check_period_ms},

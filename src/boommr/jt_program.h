@@ -5,15 +5,23 @@
 // (Zaharia et al., OSDI 2008).
 //
 // The program is composed from modules (see overlog/module.h):
-//   jt_core     the four relations, protocol events, intake, and the map/reduce barrier
-//   jt_fifo     FIFO policy: free slot -> pending task of the oldest running job
-//   jt_exec     launch machinery, progress/completion, job completion, failure handling
-//   jt_late     LATE policy: speculative re-execution of stragglers (added for kLate)
+//   jt_core      the four relations, protocol events, intake, and the map/reduce barrier
+//   jt_fifo      FIFO policy: free slot -> pending task of the oldest running job
+//   jt_fairshare fair-share policy: free slot -> least-loaded tenant's oldest pending task
+//   jt_capacity  capacity policy: guaranteed per-tenant slot quotas, work-conserving
+//   jt_exec      launch machinery, progress/completion, job completion, failure handling
+//   jt_late      LATE policy: speculative re-execution of stragglers (added for kLate)
 // The policy boundary is the `launch` event declared by jt_core: a policy module's only
 // job is to derive launch(TT, J, T, Type, Spec) rows; jt_exec turns them into attempts.
+// Each policy is one Add() swap — the paper's claim that scheduling policy is data.
 
 #ifndef SRC_BOOMMR_JT_PROGRAM_H_
 #define SRC_BOOMMR_JT_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/overlog/ast.h"
 #include "src/overlog/module.h"
@@ -21,8 +29,10 @@
 namespace boom {
 
 enum class MrPolicy {
-  kFifo,  // no speculation
-  kLate,  // FIFO + LATE speculative re-execution of stragglers
+  kFifo,       // no speculation
+  kLate,       // FIFO + LATE speculative re-execution of stragglers
+  kFairShare,  // slots go to the tenant with the fewest running attempts
+  kCapacity,   // per-tenant guaranteed slot quotas, work-conserving beyond the quota
 };
 
 const char* MrPolicyName(MrPolicy policy);
@@ -38,11 +48,17 @@ struct JtProgramOptions {
   // Per-attempt timeout: a "running" attempt older than this is failed and re-queued
   // (covers assigns lost in flight and trackers that bounced under the tracker timeout).
   double attempt_timeout_ms = 10000;
+  // kCapacity: guaranteed slots per tenant (client address -> slots), installed as
+  // `capacity` facts. Tenants absent from the list fall back to `capacity_default`.
+  std::vector<std::pair<std::string, int64_t>> tenant_capacities;
+  int64_t capacity_default = 2;
 };
 
 // The JobTracker modules, for composition on a caller-owned ProgramBuilder.
 const Module& JtCoreModule();
 const Module& JtFifoPolicyModule();
+const Module& JtFairSharePolicyModule();
+const Module& JtCapacityPolicyModule();
 const Module& JtExecModule();
 const Module& JtLatePolicyModule();
 

@@ -15,11 +15,14 @@ namespace boom {
 
 class MrClient : public Actor {
  public:
+  // `first_job_id` partitions the id space when several clients share one data plane
+  // (multi-tenant setups give tenant i the block [i*10^6, (i+1)*10^6)).
   MrClient(std::string address, std::string jobtracker,
-           std::shared_ptr<MrDataPlane> data_plane)
+           std::shared_ptr<MrDataPlane> data_plane, int64_t first_job_id = 1)
       : Actor(std::move(address)),
         jobtracker_(std::move(jobtracker)),
-        data_plane_(std::move(data_plane)) {}
+        data_plane_(std::move(data_plane)),
+        next_job_id_(first_job_id) {}
 
   void OnMessage(const Message& msg, Cluster& cluster) override;
 
@@ -35,7 +38,7 @@ class MrClient : public Actor {
   std::shared_ptr<MrDataPlane> data_plane_;
   std::map<int64_t, std::function<void(double)>> pending_;
   std::map<int64_t, SpanContext> job_spans_;  // "mr.job" root span per job in flight
-  int64_t next_job_id_ = 1;
+  int64_t next_job_id_;
 };
 
 }  // namespace boom

@@ -66,7 +66,9 @@ void TaskTracker::StartAttempt(const Message& msg, Cluster& cluster) {
     TaskRef ref{attempt.job_id, attempt.task_id, attempt.is_map};
     base = job->duration_ms(ref, address());
   }
-  attempt.duration_ms = base * options_.slowdown;
+  // Static straggler slowdown composes with any gray-failure slowdown the chaos layer has
+  // installed on this node — a limping tracker computes slower, not just reacts slower.
+  attempt.duration_ms = base * options_.slowdown * cluster.node_slowdown(address());
 
   int& running_count = attempt.is_map ? running_maps_ : running_reduces_;
   int slots = attempt.is_map ? options_.map_slots : options_.reduce_slots;

@@ -1,6 +1,7 @@
 #include "src/chaos/fault_schedule.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/base/logging.h"
@@ -48,6 +49,23 @@ std::string FaultEvent::ToString() const {
     case FaultType::kSlowDisk:
       out += "slow-disk " + node + Fmt(" +%.1fms", slow_disk_ms);
       break;
+    case FaultType::kGrayNode:
+      out += "gray " + node + Fmt(" x%.1f", slowdown_factor);
+      break;
+    case FaultType::kClockSkew:
+      out += "clock-skew " + node + Fmt(" %+.1fms", skew_ms);
+      break;
+    case FaultType::kRollingRestart: {
+      out += "rolling-restart {";
+      for (size_t i = 0; i < side_a.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += side_a[i];
+      }
+      out += "}" + Fmt(" down=%.1fms", per_node_down_ms);
+      break;
+    }
   }
   return out;
 }
@@ -148,6 +166,24 @@ FaultSchedule GenerateFaultSchedule(uint64_t seed, const FaultGenOptions& o) {
       ev.corrupt_prob = rng.Uniform(0.5, 1.0);
       ev.duration_ms = rng.Uniform(o.min_disk_ms, o.max_disk_ms);
       ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      if (o.corrupt_avoids_partitions) {
+        bool clear = false;
+        for (int tries = 0; tries < 16 && !clear; ++tries) {
+          clear = true;
+          for (const FaultEvent& other : schedule.events) {
+            if (other.type == FaultType::kPartition &&
+                ev.start_ms < other.start_ms + other.duration_ms &&
+                other.start_ms < ev.start_ms + ev.duration_ms) {
+              clear = false;
+              ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+              break;
+            }
+          }
+        }
+        if (!clear) {
+          continue;  // no overlap-free slot found: drop the window
+        }
+      }
       schedule.events.push_back(std::move(ev));
     }
   }
@@ -161,6 +197,56 @@ FaultSchedule GenerateFaultSchedule(uint64_t seed, const FaultGenOptions& o) {
           rng.UniformInt(0, static_cast<int64_t>(o.corruptible.size()) - 1))];
       ev.slow_disk_ms = rng.Uniform(20, 200);
       ev.duration_ms = rng.Uniform(o.min_disk_ms, o.max_disk_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  // Gray / skew / rolling windows come last in the draw order (same reasoning: opting in
+  // must not disturb the schedules of seeds generated before these knobs existed).
+  if (!o.grayable.empty() && o.max_grays > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_grays));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kGrayNode;
+      ev.node = o.grayable[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.grayable.size()) - 1))];
+      // Log-uniform: most windows are mild (a busy neighbor), the top decade is limplock —
+      // alive, heartbeating, and doing essentially no useful work.
+      ev.slowdown_factor = std::exp(
+          rng.Uniform(std::log(o.min_gray_factor), std::log(o.max_gray_factor)));
+      ev.duration_ms = rng.Uniform(o.min_disk_ms, o.max_disk_ms);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  if (!o.skewable.empty() && o.max_clock_skews > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_clock_skews));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kClockSkew;
+      ev.node = o.skewable[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(o.skewable.size()) - 1))];
+      double magnitude = rng.Uniform(o.min_skew_ms, o.max_skew_ms);
+      ev.skew_ms = rng.Bernoulli(0.5) ? magnitude : -magnitude;
+      ev.duration_ms = rng.Uniform(1500, 5000);
+      ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
+      schedule.events.push_back(std::move(ev));
+    }
+  }
+
+  if (!o.rollable.empty() && o.max_rolling_restarts > 0) {
+    int n = static_cast<int>(rng.UniformInt(0, o.max_rolling_restarts));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.type = FaultType::kRollingRestart;
+      ev.side_a = o.rollable;
+      ev.per_node_down_ms = o.rolling_down_ms;
+      // The window must fit every stagger plus the last node's downtime.
+      double min_window =
+          o.rolling_down_ms * static_cast<double>(std::max<size_t>(1, ev.side_a.size()));
+      ev.duration_ms = rng.Uniform(min_window, std::max(min_window + 1, o.horizon_ms / 2));
       ev.start_ms = rng.Uniform(0, std::max(1.0, o.horizon_ms - ev.duration_ms));
       schedule.events.push_back(std::move(ev));
     }
@@ -250,6 +336,46 @@ void ApplySchedule(Cluster& cluster, const FaultSchedule& schedule, bool fresh_s
         });
         break;
       }
+      case FaultType::kGrayNode: {
+        std::string node = ev.node;
+        double factor = ev.slowdown_factor;
+        cluster.ScheduleAt(start,
+                           [&cluster, node, factor] { cluster.SetNodeSlowdown(node, factor); });
+        cluster.ScheduleAt(end, [&cluster, node] { cluster.SetNodeSlowdown(node, 1.0); });
+        break;
+      }
+      case FaultType::kClockSkew: {
+        std::string node = ev.node;
+        double skew = ev.skew_ms;
+        cluster.ScheduleAt(start, [&cluster, node, skew] { cluster.SetClockSkew(node, skew); });
+        cluster.ScheduleAt(end, [&cluster, node] { cluster.SetClockSkew(node, 0); });
+        break;
+      }
+      case FaultType::kRollingRestart: {
+        // Bounce the group one node at a time: node i goes down at start + i*gap and comes
+        // back per_node_down_ms later. gap >= down, so at most one node is down at once —
+        // the operational discipline whose violation rolling restarts are meant to catch.
+        size_t n = ev.side_a.size();
+        double down = ev.per_node_down_ms;
+        double gap = n <= 1 ? 0
+                            : std::max(down, (ev.duration_ms - down) /
+                                                 static_cast<double>(n - 1));
+        for (size_t i = 0; i < n; ++i) {
+          std::string node = ev.side_a[i];
+          double kill_at = start + gap * static_cast<double>(i);
+          cluster.ScheduleAt(kill_at, [&cluster, node] {
+            if (cluster.IsAlive(node)) {
+              cluster.KillNode(node);
+            }
+          });
+          cluster.ScheduleAt(kill_at + down, [&cluster, node, fresh_state] {
+            if (!cluster.IsAlive(node)) {
+              cluster.RestartNode(node, fresh_state);
+            }
+          });
+        }
+        break;
+      }
     }
   }
 }
@@ -258,6 +384,8 @@ void HealAll(Cluster& cluster, const std::vector<std::string>& nodes, bool fresh
   cluster.ClearBlockedLinks();
   cluster.ClearAllLinkFaults();
   cluster.ClearAllDiskFaults();
+  cluster.ClearAllNodeSlowdowns();
+  cluster.ClearAllClockSkews();
   for (const std::string& node : nodes) {
     if (cluster.HasNode(node) && !cluster.IsAlive(node)) {
       cluster.RestartNode(node, fresh_state);

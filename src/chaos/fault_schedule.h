@@ -20,24 +20,30 @@
 namespace boom {
 
 enum class FaultType {
-  kCrash,        // KillNode at start, RestartNode at start + duration
-  kPartition,    // side_a cut off from every other node
-  kLinkDegrade,  // LinkFaults applied to one link for the window
-  kDiskCorrupt,  // chunks stored on `node` during the window silently rot at rest
-  kSlowDisk,     // `node` adds per-operation disk latency during the window
+  kCrash,           // KillNode at start, RestartNode at start + duration
+  kPartition,       // side_a cut off from every other node
+  kLinkDegrade,     // LinkFaults applied to one link for the window
+  kDiskCorrupt,     // chunks stored on `node` during the window silently rot at rest
+  kSlowDisk,        // `node` adds per-operation disk latency during the window
+  kGrayNode,        // gray failure (limplock): `node` alive and heartbeating, but slowed
+  kClockSkew,       // `node`'s engine clock offset by skew_ms for the window
+  kRollingRestart,  // side_a nodes bounced one at a time, staggered across the window
 };
 
 struct FaultEvent {
   FaultType type = FaultType::kCrash;
   double start_ms = 0;
   double duration_ms = 0;
-  std::string node;                 // kCrash / kDiskCorrupt / kSlowDisk
-  std::vector<std::string> side_a;  // kPartition: the isolated group
+  std::string node;                 // kCrash / kDiskCorrupt / kSlowDisk / kGray / kSkew
+  std::vector<std::string> side_a;  // kPartition: the isolated group; kRolling: the group
   std::vector<std::string> side_b;  // kPartition: everyone else (all_nodes - side_a)
   std::string link_a, link_b;       // kLinkDegrade
   LinkFaults faults;                // kLinkDegrade
   double corrupt_prob = 0;          // kDiskCorrupt
   double slow_disk_ms = 0;          // kSlowDisk
+  double slowdown_factor = 1;       // kGrayNode: service-time multiplier (> 1)
+  double skew_ms = 0;               // kClockSkew: signed clock offset
+  double per_node_down_ms = 0;      // kRollingRestart: downtime of each bounce
 
   std::string ToString() const;
 };
@@ -77,12 +83,31 @@ struct FaultGenOptions {
   int max_slow_disks = 0;   // kSlowDisk windows
   double min_disk_ms = 1500;
   double max_disk_ms = 6000;
+  // Keep corrupt-disk windows clear of partition windows. A chunk written while a
+  // partition has degraded it to a single reachable replica must not also rot: durability
+  // against corruption is promised only when one intact copy survives to re-replicate
+  // from. Seeds whose first draw is already clear keep byte-identical schedules.
+  bool corrupt_avoids_partitions = false;
+
+  // Gray failures / clock skew / rolling restarts (defaults off, sampled after the disk
+  // faults — same byte-identical-schedule guarantee for scenarios that never opt in).
+  int max_grays = 0;              // kGrayNode windows
+  double min_gray_factor = 4;     // slowdown sampled log-uniform in [min, max]
+  double max_gray_factor = 400;   // the top decade is limplock territory
+  int max_clock_skews = 0;        // kClockSkew windows
+  double min_skew_ms = 2000;      // |skew| range; sign is a fair coin
+  double max_skew_ms = 6000;
+  int max_rolling_restarts = 0;   // kRollingRestart windows (whole-group bounces)
+  double rolling_down_ms = 1200;  // per-node downtime within a rolling window
 
   std::vector<std::string> killable;       // crash targets
   std::vector<std::string> partitionable;  // the isolated side is drawn from these
   std::vector<std::string> all_nodes;      // partition: other side = all_nodes - side_a
   std::vector<std::pair<std::string, std::string>> degradable_links;
   std::vector<std::string> corruptible;    // kDiskCorrupt / kSlowDisk targets
+  std::vector<std::string> grayable;       // kGrayNode targets
+  std::vector<std::string> skewable;       // kClockSkew targets
+  std::vector<std::string> rollable;       // kRollingRestart: the group bounced in order
 };
 
 // Deterministic: the same (seed, options) always yields the same schedule. The generator

@@ -340,6 +340,60 @@ void BoomMrExactlyOnceChecker::Check(Cluster& /*cluster*/, bool /*final_check*/,
   }
 }
 
+void BoomMrFairnessChecker::Check(Cluster& /*cluster*/, bool /*final_check*/,
+                                  std::vector<std::string>* out) {
+  const MrMetrics& metrics = data_plane_->metrics();
+  size_t tenants = static_cast<size_t>(num_tenants_);
+  std::vector<int> running(tenants, 0);
+  std::map<int64_t, int> started_by_job;  // running + first-completed tasks per job
+  for (const AttemptRecord& a : metrics.attempts) {
+    if (a.end_ms < 0) {
+      int64_t t = a.job_id / 1000000;
+      if (t >= 0 && static_cast<size_t>(t) < tenants) {
+        ++running[static_cast<size_t>(t)];
+      }
+      ++started_by_job[a.job_id];
+    }
+  }
+  for (const auto& [key, when] : metrics.task_first_done_ms) {
+    ++started_by_job[std::get<0>(key)];
+  }
+  std::vector<int> demand(running);
+  for (const auto& [job, submit_ms] : metrics.job_submit_ms) {
+    if (metrics.job_done_ms.count(job) != 0) {
+      continue;
+    }
+    int64_t t = job / 1000000;
+    if (t < 0 || static_cast<size_t>(t) >= tenants) {
+      continue;
+    }
+    auto started = started_by_job.find(job);
+    int started_n = started == started_by_job.end() ? 0 : started->second;
+    demand[static_cast<size_t>(t)] += std::max(0, tasks_per_job_ - started_n);
+  }
+  int equal_share = total_slots_ / std::max(1, num_tenants_);
+  bool contended = true;
+  for (size_t t = 0; t < tenants; ++t) {
+    if (demand[t] < equal_share) {
+      contended = false;
+      break;
+    }
+  }
+  int max_running = *std::max_element(running.begin(), running.end());
+  for (size_t t = 0; t < tenants; ++t) {
+    bool starved = contended && running[t] == 0 && max_running > equal_share;
+    starved_streak_[t] = starved ? starved_streak_[t] + 1 : 0;
+    if (starved_streak_[t] >= max_starved_checks_) {
+      out->push_back("tenant " + std::to_string(t) + " held 0 slots for " +
+                     std::to_string(starved_streak_[t]) +
+                     " consecutive contended checkpoints while another tenant held " +
+                     std::to_string(max_running) + " (equal share " +
+                     std::to_string(equal_share) + ")");
+      starved_streak_[t] = 0;  // re-arm instead of flooding every later checkpoint
+    }
+  }
+}
+
 void BoomMrCompletionChecker::Check(Cluster& /*cluster*/, bool final_check,
                                     std::vector<std::string>* out) {
   if (!final_check) {

@@ -152,6 +152,34 @@ class BoomMrExactlyOnceChecker : public InvariantChecker {
   std::shared_ptr<const MrWorkloadLog> log_;
 };
 
+// Fair-share under faults. At *contended* checkpoints — every tenant has demand (running
+// attempts plus not-yet-started tasks of unfinished jobs) for at least its equal slot
+// share — no tenant may sit at zero running attempts for several consecutive checkpoints
+// while another tenant holds more than the equal share. Transient imbalance right after a
+// crash or during a gray window is expected; sustained starvation under a fair-share
+// policy is a scheduling bug. Tenants are identified by job-id block (10^6 ids each).
+class BoomMrFairnessChecker : public InvariantChecker {
+ public:
+  BoomMrFairnessChecker(std::shared_ptr<MrDataPlane> data_plane, int num_tenants,
+                        int tasks_per_job, int total_slots, int max_starved_checks = 4)
+      : data_plane_(std::move(data_plane)),
+        num_tenants_(num_tenants),
+        tasks_per_job_(tasks_per_job),
+        total_slots_(total_slots),
+        max_starved_checks_(max_starved_checks),
+        starved_streak_(static_cast<size_t>(num_tenants), 0) {}
+  std::string name() const override { return "boommr-fair-share"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<MrDataPlane> data_plane_;
+  int num_tenants_;
+  int tasks_per_job_;
+  int total_slots_;
+  int max_starved_checks_;
+  std::vector<int> starved_streak_;  // consecutive contended checkpoints at 0 slots
+};
+
 // Liveness (final only): every submitted job completed once the cluster healed.
 class BoomMrCompletionChecker : public InvariantChecker {
  public:

@@ -10,8 +10,10 @@
 #include "src/boomfs/datanode.h"
 #include "src/boomfs/nn_program.h"
 #include "src/boommr/boommr.h"
+#include "src/boommr/jt_program.h"
 #include "src/paxos/paxos_program.h"
 #include "src/sim/random.h"
+#include "src/workload/tenancy.h"
 
 namespace boom {
 
@@ -202,6 +204,18 @@ class BoomFsScenario : public ChaosScenario {
     o.corruptible = datanodes_;
     o.max_corruptions = 2;
     o.max_slow_disks = 2;
+    o.corrupt_avoids_partitions = true;
+    // Gray DataNodes (alive and heartbeating but slow to serve) and staggered rolling
+    // restarts of the DataNode fleet: checksummed read failover and re-replication must
+    // ride both out. No clock skew — the NameNode's failure detector is the only clock
+    // that matters here and skewing it is indistinguishable from tuning its timeout.
+    o.grayable = datanodes_;
+    o.max_grays = 1;
+    o.rollable = datanodes_;
+    o.max_rolling_restarts = 1;
+    o.rolling_down_ms = 800;  // quick bounces: replication must not collapse to a single
+                              // copy while a partition is also in force (durability needs
+                              // one intact replica to re-replicate from)
     return o;
   }
 
@@ -334,7 +348,21 @@ class BoomMrScenario : public ChaosScenario {
     opts.num_trackers = kNumTrackers;
     opts.map_slots = 2;
     opts.reduce_slots = 2;
-    opts.jt_program_override = options_.jt_program_override;
+    if (options_.bug == "limplock") {
+      // Strip the per-attempt timeout (x5-x7): the only defense against a gray tracker
+      // whose attempts run orders of magnitude slow. The dead-tracker detector (x1-x4)
+      // never fires — a limplocked node heartbeats on time — so a stuck attempt is
+      // re-queued by nothing and its job never completes.
+      Program program = options_.jt_program_override.has_value()
+                            ? *options_.jt_program_override
+                            : BoomMrJtProgram({});
+      StripRule(&program, "x5");
+      StripRule(&program, "x6");
+      StripRule(&program, "x7");
+      opts.jt_program_override = std::move(program);
+    } else {
+      opts.jt_program_override = options_.jt_program_override;
+    }
     MrHandles handles = SetupMr(cluster, opts);
     MrClient* client = handles.client;
     data_plane_ = handles.data_plane;
@@ -385,6 +413,15 @@ class BoomMrScenario : public ChaosScenario {
     o.max_degrades = 2;
     o.min_degrade_ms = 1500;
     o.max_degrade_ms = 6000;
+    // Gray failures on trackers (the limplock the attempt timeout exists for), a signed
+    // clock-skew window on the JobTracker (its failure detectors must stay safe when
+    // f_now() jumps), and one staggered rolling restart of the tracker fleet.
+    o.grayable = trackers_;
+    o.max_grays = 1;
+    o.skewable = {jt_};
+    o.max_clock_skews = 1;
+    o.rollable = trackers_;
+    o.max_rolling_restarts = 1;
     return o;
   }
 
@@ -395,6 +432,87 @@ class BoomMrScenario : public ChaosScenario {
   std::string jt_ = "jt";
   std::vector<std::string> trackers_;
   std::shared_ptr<MrDataPlane> data_plane_;
+};
+
+// --- Tenancy: the multi-tenant open-loop production workload under mild faults ---
+//
+// Three tenants with skewed traffic shares drive the fair-share JobTracker while one
+// tracker crashes and another limps through a mild gray window (factors small enough that
+// the attempt timeout never needs to fire). The point is that the *scheduling guarantee*
+// must degrade gracefully: jobs still complete exactly once, and no tenant with pending
+// demand is starved while another over-consumes.
+
+class TenancyChaosScenario : public ChaosScenario {
+ public:
+  explicit TenancyChaosScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int i = 0; i < kNumTrackers; ++i) {
+      trackers_.push_back(jt_ + "_tt" + std::to_string(i));
+    }
+  }
+
+  std::string name() const override { return "tenancy"; }
+  double default_horizon_ms() const override { return 20000; }
+  double default_settle_ms() const override { return 30000; }
+
+  void Setup(Cluster& cluster, uint64_t seed) override {
+    TenancyOptions opts;
+    opts.policy = MrPolicy::kFairShare;
+    opts.jobtracker = jt_;
+    opts.num_trackers = kNumTrackers;
+    opts.map_slots = 2;
+    opts.reduce_slots = 1;
+    opts.seed = seed;
+    opts.horizon_ms = horizon_ms() - 5000;   // arrivals stop early so the queue can drain
+    opts.mean_interarrival_ms = 450;         // near saturation, not over it: completion is
+    opts.num_clients = 100000;               // part of the contract under faults
+    auto log = std::make_shared<MrWorkloadLog>();
+    int num_maps = opts.maps_per_job;
+    int num_reduces = opts.reduces_per_job;
+    opts.on_submit = [log, num_maps, num_reduces](int64_t job_id, int /*tenant*/) {
+      log->submitted.push_back(job_id);
+      log->job_shape[job_id] = {num_maps, num_reduces};
+    };
+    workload_ = std::make_unique<TenancyWorkload>(cluster, opts);
+    std::shared_ptr<MrDataPlane> data_plane = workload_->handles().data_plane;
+    checkers_.push_back(std::make_unique<BoomMrExactlyOnceChecker>(data_plane, log));
+    checkers_.push_back(std::make_unique<BoomMrCompletionChecker>(data_plane, log));
+    checkers_.push_back(std::make_unique<BoomMrFairnessChecker>(
+        data_plane, opts.num_tenants, opts.maps_per_job + opts.reduces_per_job,
+        kNumTrackers * (opts.map_slots + opts.reduce_slots)));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    o.killable = trackers_;
+    o.all_nodes = trackers_;
+    o.all_nodes.push_back(jt_);
+    o.all_nodes.push_back(jt_ + "_client");
+    for (int t = 1; t < 3; ++t) {
+      o.all_nodes.push_back(jt_ + "_client_t" + std::to_string(t));
+    }
+    o.allow_drop = false;
+    o.allow_dup = false;
+    o.allow_reorder = false;
+    o.max_crashes = 1;
+    o.min_crash_ms = 1000;
+    o.max_crash_ms = 3000;
+    o.max_partitions = 0;
+    o.max_degrades = 0;
+    o.grayable = trackers_;
+    o.max_grays = 1;
+    o.min_gray_factor = 2;  // mild: inflated attempts stay under the attempt timeout
+    o.max_gray_factor = 8;
+    return o;
+  }
+
+ private:
+  static constexpr int kNumTrackers = 5;
+
+  ScenarioOptions options_;
+  std::string jt_ = "jt";
+  std::vector<std::string> trackers_;
+  std::unique_ptr<TenancyWorkload> workload_;
 };
 
 }  // namespace
@@ -418,7 +536,10 @@ std::vector<std::string> ScenarioBugNames(const std::string& scenario) {
   if (scenario == "boomfs") {
     return {"resurrect", "serve-corrupt"};
   }
-  return {};  // boommr has no bug variants yet
+  if (scenario == "boommr") {
+    return {"limplock"};
+  }
+  return {};  // the tenancy scenario has no bug variants
 }
 
 std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
@@ -437,9 +558,14 @@ std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
   if (name == "boommr") {
     return std::make_unique<BoomMrScenario>(options);
   }
+  if (name == "tenancy") {
+    return std::make_unique<TenancyChaosScenario>(options);
+  }
   return nullptr;
 }
 
-std::vector<std::string> ScenarioNames() { return {"paxos", "boomfs", "boommr"}; }
+std::vector<std::string> ScenarioNames() {
+  return {"paxos", "boomfs", "boommr", "tenancy"};
+}
 
 }  // namespace boom

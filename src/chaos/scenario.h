@@ -11,6 +11,10 @@
 //           "serve-corrupt" — DataNodes skip checksum verification on reads, so a replica
 //           whose bytes rotted at rest is served (with a recomputed, matching checksum)
 //           instead of being quarantined.
+//   boommr: "limplock" — strips the per-attempt timeout rules (x5-x7): a gray tracker
+//           whose attempts run orders of magnitude slow is never worked around (the
+//           dead-tracker detector stays quiet — the node heartbeats on time), so its
+//           tasks wedge and jobs never complete.
 
 #ifndef SRC_CHAOS_SCENARIO_H_
 #define SRC_CHAOS_SCENARIO_H_
@@ -66,7 +70,7 @@ class ChaosScenario {
   double horizon_ms_ = 0;
 };
 
-// Factory for {"paxos", "boomfs", "boommr"}; returns nullptr for unknown names.
+// Factory for {"paxos", "boomfs", "boommr", "tenancy"}; returns nullptr for unknown names.
 std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
                                             const ScenarioOptions& options = {});
 std::vector<std::string> ScenarioNames();

@@ -1,5 +1,7 @@
 #include "src/overlog/ast.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
 
 namespace boom {
@@ -46,7 +48,9 @@ std::string Expr::ToString() const {
     case ExprKind::kConst:
       return QuoteValue(constant);
     case ExprKind::kVar:
-      return var;
+      // Parser-generated anonymous variables print back as the wildcard they came from,
+      // keeping ToString() output round-trippable through the parser.
+      return var.rfind("_Anon", 0) == 0 ? "_" : var;
     case ExprKind::kCall: {
       if (args.size() == 2 && IsInfixOp(fn)) {
         return "(" + args[0].ToString() + " " + fn + " " + args[1].ToString() + ")";
@@ -203,7 +207,11 @@ std::string Program::ToString() const {
     out += TableDeclToString(def, /*is_extern=*/true);
   }
   for (const TableDef& def : tables) {
-    out += TableDeclToString(def, /*is_extern=*/false);
+    // Host-fed relations print as externs, so the text names its own coupling contract
+    // and round-trips through the analyzer without no-producer diagnostics.
+    bool host_fed = std::find(external_inputs.begin(), external_inputs.end(), def.name) !=
+                    external_inputs.end();
+    out += TableDeclToString(def, /*is_extern=*/host_fed);
   }
   for (const TimerDecl& t : timers) {
     out += "timer " + t.name + "(" + std::to_string(t.period_ms) + ");\n";

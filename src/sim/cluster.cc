@@ -7,6 +7,21 @@
 
 namespace boom {
 
+namespace {
+
+// Per-message reaction penalty a gray node pays even when it has no service-time model:
+// factor f adds (f-1)*kGrayServiceBaseMs ms of queueing per inbound message, so a
+// heavily-limping node (f=400) still takes ~40ms to react to each heartbeat or assignment.
+constexpr double kGrayServiceBaseMs = 0.1;
+
+std::string Fmt1(const char* fmt, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
 Cluster::Cluster(uint64_t seed) : rng_(seed) {}
 
 Engine& Cluster::AddOverlogNode(const std::string& address,
@@ -130,6 +145,42 @@ DiskFaults Cluster::disk_faults(const std::string& address) const {
   return it == disk_faults_.end() ? DiskFaults{} : it->second;
 }
 
+void Cluster::SetNodeSlowdown(const std::string& address, double factor) {
+  if (factor <= 1.0) {
+    if (node_slowdowns_.erase(address) > 0) {
+      Trace("gray", address, "", "clear");
+    }
+    return;
+  }
+  node_slowdowns_[address] = factor;
+  Trace("gray", address, "", Fmt1("x%.1f", factor));
+}
+
+double Cluster::node_slowdown(const std::string& address) const {
+  auto it = node_slowdowns_.find(address);
+  return it == node_slowdowns_.end() ? 1.0 : it->second;
+}
+
+void Cluster::ClearAllNodeSlowdowns() { node_slowdowns_.clear(); }
+
+void Cluster::SetClockSkew(const std::string& address, double skew_ms) {
+  if (skew_ms == 0) {
+    if (clock_skews_.erase(address) > 0) {
+      Trace("skew", address, "", "clear");
+    }
+    return;
+  }
+  clock_skews_[address] = skew_ms;
+  Trace("skew", address, "", Fmt1("%+.1fms", skew_ms));
+}
+
+double Cluster::clock_skew(const std::string& address) const {
+  auto it = clock_skews_.find(address);
+  return it == clock_skews_.end() ? 0.0 : it->second;
+}
+
+void Cluster::ClearAllClockSkews() { clock_skews_.clear(); }
+
 void Cluster::Trace(const char* kind, const std::string& from, const std::string& to,
                     const std::string& detail) {
   if (!trace_) {
@@ -251,9 +302,18 @@ void Cluster::DeliverMessage(Message msg) {
     return;
   }
   Trace("dlv", msg.from, msg.to, msg.table);
-  // Busy-server semantics: messages wait for the server to free up.
-  if (dst->service_ms) {
-    double service = dst->service_ms(msg);
+  // Busy-server semantics: messages wait for the server to free up. A gray node's service
+  // times inflate by its slowdown; nodes with no service model get a small per-message
+  // penalty so a limping node is slow to *react*, not just slow to compute. Both paths are
+  // untouched (and Rng-silent) when no slowdown is set.
+  double service = dst->service_ms ? dst->service_ms(msg) : 0.0;
+  if (!node_slowdowns_.empty()) {
+    auto slow = node_slowdowns_.find(msg.to);
+    if (slow != node_slowdowns_.end()) {
+      service = service * slow->second + (slow->second - 1.0) * kGrayServiceBaseMs;
+    }
+  }
+  if (service > 0) {
     double start = std::max(now_ms_, dst->busy_until);
     double done = start + service;
     if (done > now_ms_) {
@@ -330,7 +390,13 @@ void Cluster::RunEngineTick(const std::string& address) {
     return;  // stale event (tick was rescheduled or node restarted)
   }
   node->scheduled_tick = -1;
-  Engine::TickResult result = node->engine->Tick(now_ms_);
+  // Clock skew: the engine sees cluster time + skew, clamped so its clock never runs
+  // backwards — removing a positive skew freezes the node's clock until real time catches
+  // up. Timer deadlines reported by the engine are in its (skewed) timebase and are
+  // converted back when scheduling the next tick.
+  double skew = clock_skews_.empty() ? 0.0 : clock_skew(address);
+  double tick_time = std::max(now_ms_ + skew, node->engine->now());
+  Engine::TickResult result = node->engine->Tick(tick_time);
   for (const std::string& err : result.errors) {
     BOOM_LOG(Warning) << address << ": " << err;
   }
@@ -339,6 +405,7 @@ void Cluster::RunEngineTick(const std::string& address) {
   }
   double next_timer = node->engine->NextTimerDeadline();
   if (next_timer < std::numeric_limits<double>::infinity()) {
+    next_timer -= skew;
     // Timer-driven ticks are periodic background work, not a consequence of whatever
     // message context this tick ran under — schedule them with a cleared context so, e.g.,
     // the NameNode's heartbeat sweep does not get stitched into some client's write trace.

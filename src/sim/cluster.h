@@ -157,6 +157,24 @@ class Cluster {
   // The faults currently set on `address` (all-zero when none).
   DiskFaults disk_faults(const std::string& address) const;
 
+  // Gray failure (limplock): the node stays alive and keeps heartbeating, but every unit
+  // of work it does is `factor`x slower. Inbound message service times are inflated here
+  // (nodes with no service model get a small per-message penalty so the limp is visible at
+  // all), and compute-owning actors (TaskTrackers) consult node_slowdown() for their task
+  // durations. Factor 1.0 clears. Fault-free runs never touch the map, so behavior and the
+  // Rng stream are byte-identical to builds that predate gray failures.
+  void SetNodeSlowdown(const std::string& address, double factor);
+  double node_slowdown(const std::string& address) const;  // 1.0 when unset
+  void ClearAllNodeSlowdowns();
+
+  // Clock skew: the node's Overlog engine sees f_now() = cluster time + skew_ms. Engine
+  // clocks must never run backwards, so removing a positive skew freezes the node's clock
+  // until real time catches up (exactly how a step-down NTP correction looks to a process
+  // that clamps monotonically). Skew 0 clears. Only Overlog nodes are affected.
+  void SetClockSkew(const std::string& address, double skew_ms);
+  double clock_skew(const std::string& address) const;  // 0 when unset
+  void ClearAllClockSkews();
+
   // Observability hook for the chaos harness: every network/fault event is reported as one
   // formatted text line (fixed-precision times, no addresses of heap objects), so two runs
   // with the same seed must produce byte-identical traces.
@@ -273,6 +291,8 @@ class Cluster {
   std::set<std::pair<std::string, std::string>> blocked_;
   std::map<std::pair<std::string, std::string>, LinkFaults> link_faults_;
   std::map<std::string, DiskFaults> disk_faults_;
+  std::map<std::string, double> node_slowdowns_;
+  std::map<std::string, double> clock_skews_;
   TraceFn trace_;
   Tracer* tracer_ = nullptr;
   SpanContext active_span_;

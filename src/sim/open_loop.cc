@@ -1,0 +1,60 @@
+#include "src/sim/open_loop.h"
+
+#include <deque>
+#include <memory>
+
+namespace boom {
+
+namespace {
+
+struct DriverState {
+  std::function<bool(OpenLoopArrival*)> next;
+  std::function<void(const OpenLoopArrival&)> deliver;
+  std::deque<OpenLoopArrival> buffer;
+  int batch = 64;
+  bool exhausted = false;
+};
+
+void Refill(DriverState& state) {
+  while (!state.exhausted && static_cast<int>(state.buffer.size()) < state.batch) {
+    OpenLoopArrival arrival;
+    if (!state.next(&arrival)) {
+      state.exhausted = true;
+      break;
+    }
+    state.buffer.push_back(arrival);
+  }
+}
+
+void Arm(Cluster& cluster, const std::shared_ptr<DriverState>& state) {
+  if (state->buffer.empty()) {
+    return;
+  }
+  double when = std::max(state->buffer.front().time_ms, cluster.now());
+  cluster.ScheduleAt(when, [&cluster, state] {
+    // Deliver the head and every buffered arrival due by now (identical or earlier
+    // timestamps coalesce into this one event — the batching part).
+    while (!state->buffer.empty() && state->buffer.front().time_ms <= cluster.now()) {
+      OpenLoopArrival arrival = state->buffer.front();
+      state->buffer.pop_front();
+      state->deliver(arrival);
+    }
+    Refill(*state);
+    Arm(cluster, state);
+  });
+}
+
+}  // namespace
+
+void DriveOpenLoop(Cluster& cluster, std::function<bool(OpenLoopArrival*)> next,
+                   std::function<void(const OpenLoopArrival&)> deliver,
+                   OpenLoopOptions options) {
+  auto state = std::make_shared<DriverState>();
+  state->next = std::move(next);
+  state->deliver = std::move(deliver);
+  state->batch = std::max(1, options.batch);
+  Refill(*state);
+  Arm(cluster, state);
+}
+
+}  // namespace boom

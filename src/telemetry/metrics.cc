@@ -98,6 +98,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<doubl
   return it->second;
 }
 
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 std::vector<MetricRow> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricRow> rows;

@@ -96,6 +96,10 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
 
+  // Names of every registered histogram, sorted — lets reporters (e.g. the SLO report)
+  // discover metric families like "slo.tenant<i>.job_ms" without a side registry.
+  std::vector<std::string> HistogramNames() const;
+
   // All metrics with nonzero activity, sorted by name (zero-valued metrics are elided so
   // reports only show what a run actually touched).
   std::vector<MetricRow> Snapshot() const;

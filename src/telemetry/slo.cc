@@ -1,0 +1,105 @@
+#include "src/telemetry/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace boom {
+
+namespace {
+
+constexpr char kPrefix[] = "slo.tenant";
+constexpr char kSuffix[] = ".job_ms";
+
+// Parses "slo.tenant<i>.job_ms" -> i, or -1 if the name is not in the family.
+int ParseTenant(const std::string& name) {
+  size_t prefix_len = sizeof(kPrefix) - 1;
+  size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len || name.compare(0, prefix_len, kPrefix) != 0 ||
+      name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return -1;
+  }
+  std::string digits = name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::atoi(digits.c_str());
+}
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SloHistogramName(int tenant) {
+  return kPrefix + std::to_string(tenant) + kSuffix;
+}
+
+std::vector<double> SloLatencyBoundsMs() {
+  // 1-2-5 decades, 50ms .. 20min: job latencies under saturation span four orders of
+  // magnitude, and p999 lives in the far tail.
+  return {50,    100,   200,   500,    1000,   2000,   5000,   10000,
+          20000, 50000, 100000, 200000, 500000, 1200000};
+}
+
+SloReport BuildSloReport(MetricsRegistry& registry) {
+  SloReport report;
+  for (const std::string& name : registry.HistogramNames()) {
+    int tenant = ParseTenant(name);
+    if (tenant < 0) {
+      continue;
+    }
+    Histogram& h = registry.histogram(name);
+    TenantSlo slo;
+    slo.tenant = tenant;
+    slo.count = h.count();
+    slo.mean_ms = h.mean();
+    slo.p50_ms = h.Quantile(0.50);
+    slo.p99_ms = h.Quantile(0.99);
+    slo.p999_ms = h.Quantile(0.999);
+    report.tenants.push_back(slo);
+  }
+  std::sort(report.tenants.begin(), report.tenants.end(),
+            [](const TenantSlo& a, const TenantSlo& b) { return a.tenant < b.tenant; });
+  return report;
+}
+
+std::string SloReport::ToJson() const {
+  std::string out = "{\n  \"tenants\": [";
+  bool first = true;
+  char buf[256];
+  for (const TenantSlo& t : tenants) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n    {\"tenant\": %d, \"jobs\": %llu, \"mean_ms\": %s, "
+                  "\"p50_ms\": %s, \"p99_ms\": %s, \"p999_ms\": %s}",
+                  t.tenant, static_cast<unsigned long long>(t.count),
+                  Fmt(t.mean_ms).c_str(), Fmt(t.p50_ms).c_str(), Fmt(t.p99_ms).c_str(),
+                  Fmt(t.p999_ms).c_str());
+    out += buf;
+  }
+  out += first ? "]\n}" : "\n  ]\n}";
+  return out;
+}
+
+std::string SloReport::ToText() const {
+  std::string out;
+  char buf[256];
+  for (const TenantSlo& t : tenants) {
+    std::snprintf(buf, sizeof(buf),
+                  "tenant %d  jobs=%llu mean=%sms p50=%sms p99=%sms p999=%sms\n", t.tenant,
+                  static_cast<unsigned long long>(t.count), Fmt(t.mean_ms).c_str(),
+                  Fmt(t.p50_ms).c_str(), Fmt(t.p99_ms).c_str(), Fmt(t.p999_ms).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,47 @@
+// Per-tenant SLO reporting: drains the "slo.tenant<i>.job_ms" latency histograms into a
+// p50/p99/p999 attainment report, for the tenancy benchmarks and the sloreport tool.
+//
+// The workload layer records one observation per completed job into its tenant's histogram
+// (wide bounds — saturation experiments produce multi-minute tails that the default 10s
+// latency bounds would crush into the overflow bucket). This module only *reads*: any
+// subsystem that populates the naming scheme gets SLO reports for free.
+
+#ifndef SRC_TELEMETRY_SLO_H_
+#define SRC_TELEMETRY_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+
+namespace boom {
+
+struct TenantSlo {
+  int tenant = 0;
+  uint64_t count = 0;  // completed jobs observed
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+};
+
+struct SloReport {
+  std::vector<TenantSlo> tenants;  // ascending tenant index
+
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+// Histogram name for tenant `i`: "slo.tenant<i>.job_ms".
+std::string SloHistogramName(int tenant);
+
+// Log-spaced bounds from 50ms to 20 minutes — wide enough for saturated tails.
+std::vector<double> SloLatencyBoundsMs();
+
+// Scans `registry` for "slo.tenant<i>.job_ms" histograms with activity and builds the
+// report. Tenants with zero completed jobs are included only if their histogram exists.
+SloReport BuildSloReport(MetricsRegistry& registry);
+
+}  // namespace boom
+
+#endif  // SRC_TELEMETRY_SLO_H_

@@ -1,0 +1,95 @@
+#include "src/workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/base/strings.h"
+
+namespace boom {
+
+double DiurnalFactor(const ArrivalOptions& options, double t_ms) {
+  if (options.diurnal_amplitude == 0 || options.diurnal_period_ms <= 0) {
+    return 1.0;
+  }
+  double phase = 2.0 * M_PI * t_ms / options.diurnal_period_ms;
+  return std::max(0.0, 1.0 + options.diurnal_amplitude * std::sin(phase));
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed * 0x9e3779b97f4a7c15ULL + 0x1b873593ULL),
+      zipf_(std::max<uint64_t>(1, options_.num_clients), options_.zipf_s) {
+  double total = 0;
+  for (double w : options_.tenant_weights) {
+    total += std::max(0.0, w);
+  }
+  if (total <= 0) {
+    tenant_cdf_ = {1.0};
+    return;
+  }
+  double acc = 0;
+  for (double w : options_.tenant_weights) {
+    acc += std::max(0.0, w) / total;
+    tenant_cdf_.push_back(acc);
+  }
+  tenant_cdf_.back() = 1.0;
+}
+
+int ArrivalGenerator::TenantOf(uint64_t client_id) const {
+  if (tenant_cdf_.size() <= 1) {
+    return 0;
+  }
+  // A stable hash of the client id positions it in [0,1); the tenant CDF slices that range
+  // by weight. Independent of the client's Zipf rank, so tenants share the hot clients in
+  // proportion to their weights rather than partitioning the rank space.
+  uint64_t h = Fnv1a64("client/" + std::to_string(client_id));
+  double u = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  for (size_t i = 0; i < tenant_cdf_.size(); ++i) {
+    if (u < tenant_cdf_[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(tenant_cdf_.size()) - 1;
+}
+
+bool ArrivalGenerator::Next(OpenLoopArrival* out) {
+  // Poisson thinning (Lewis & Shedler): draw from the peak-rate homogeneous process, keep
+  // each point with probability rate(t)/peak. The kept points are exactly the
+  // inhomogeneous Poisson process with the diurnal rate — and the draw sequence is fixed
+  // by the seed alone, so the trace is deterministic.
+  double peak_rate_factor = 1.0 + std::max(0.0, options_.diurnal_amplitude);
+  double mean_at_peak = options_.mean_interarrival_ms / peak_rate_factor;
+  while (true) {
+    t_ms_ += rng_.Exponential(mean_at_peak);
+    if (t_ms_ >= options_.horizon_ms) {
+      return false;
+    }
+    double keep = DiurnalFactor(options_, t_ms_) / peak_rate_factor;
+    if (keep < 1.0 && !rng_.Bernoulli(std::max(0.0, keep))) {
+      continue;
+    }
+    uint64_t rank = zipf_.Sample(rng_);
+    out->time_ms = t_ms_;
+    out->client_id = rank - 1;  // client 0 is the hottest rank
+    out->tenant = TenantOf(out->client_id);
+    out->key = rank - 1;
+    ++generated_;
+    return true;
+  }
+}
+
+std::string FormatArrivalTrace(ArrivalGenerator& gen, uint64_t max_events) {
+  std::string out;
+  OpenLoopArrival a;
+  char line[128];
+  for (uint64_t i = 0; i < max_events && gen.Next(&a); ++i) {
+    std::snprintf(line, sizeof(line), "t=%.6f client=%llu tenant=%d key=%llu\n", a.time_ms,
+                  static_cast<unsigned long long>(a.client_id), a.tenant,
+                  static_cast<unsigned long long>(a.key));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace boom

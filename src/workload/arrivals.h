@@ -1,0 +1,85 @@
+// Open-loop arrival processes for the production-traffic experiments.
+//
+// An ArrivalGenerator is a pull-based stream of (time, client, tenant, key) events drawn
+// from a seed-deterministic Poisson process whose rate follows a diurnal curve, with the
+// issuing client sampled from a Zipf distribution over a population of millions of
+// simulated clients and the tenant assigned by weighted hash of the client id. Nothing is
+// materialized per client — the generator is O(1) state regardless of population size —
+// so the simulator schedules arrivals in batches (src/sim/open_loop.h) instead of hosting
+// per-client actors.
+//
+// Open-loop means arrival times never depend on the system's responses: a slow scheduler
+// faces the same offered load, which is what makes the tail-latency comparisons honest
+// (closed-loop clients self-throttle and hide queueing collapse).
+
+#ifndef SRC_WORKLOAD_ARRIVALS_H_
+#define SRC_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/open_loop.h"
+#include "src/sim/random.h"
+#include "src/workload/skew.h"
+
+namespace boom {
+
+struct ArrivalOptions {
+  uint64_t seed = 1;
+  double horizon_ms = 30000;
+
+  // Base Poisson rate: one arrival every `mean_interarrival_ms` on average, modulated by
+  // the diurnal curve below (thinning keeps the process exactly Poisson at every instant).
+  double mean_interarrival_ms = 400;
+
+  // rate(t) = base * (1 + amplitude * sin(2*pi*t / period)), clamped at >= 0. Amplitude 0
+  // is a flat Poisson process; 1 swings between 0 and double the base rate.
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_ms = 20000;
+
+  // Client population and key skew. Clients are ranks of a Zipf(s) distribution: client 0
+  // is the most active of `num_clients`.
+  uint64_t num_clients = 1000000;
+  double zipf_s = 1.1;
+
+  // Tenant mix: arrival fractions per tenant. The issuing client's tenant is a weighted
+  // hash of its id, so a client's tenant is stable across draws and the per-tenant arrival
+  // fraction converges to its weight. Empty = single tenant 0.
+  std::vector<double> tenant_weights;
+};
+
+// The instantaneous diurnal rate multiplier at time t (>= 0).
+double DiurnalFactor(const ArrivalOptions& options, double t_ms);
+
+// Pull-based generator: Next() yields arrivals in nondecreasing time order until the
+// horizon. Satisfies the OpenLoopSource shape expected by sim/open_loop.h.
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(ArrivalOptions options);
+
+  // Fills `out` and returns true, or returns false when the horizon is reached.
+  bool Next(OpenLoopArrival* out);
+
+  const ArrivalOptions& options() const { return options_; }
+  uint64_t generated() const { return generated_; }
+
+ private:
+  int TenantOf(uint64_t client_id) const;
+
+  ArrivalOptions options_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  std::vector<double> tenant_cdf_;
+  double t_ms_ = 0;
+  uint64_t generated_ = 0;
+};
+
+// Drains the whole generator into a fixed-precision text trace (one line per arrival).
+// Two generators with equal options must produce byte-identical traces — the determinism
+// contract tests/workload_test.cc pins.
+std::string FormatArrivalTrace(ArrivalGenerator& gen, uint64_t max_events = ~0ull);
+
+}  // namespace boom
+
+#endif  // SRC_WORKLOAD_ARRIVALS_H_

@@ -1,0 +1,85 @@
+#include "src/workload/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace boom {
+
+// Rejection-inversion after Hormann & Derflinger, "Rejection-inversion to generate variates
+// from monotone discrete distributions" (ACM TOMACS 1996): invert the integral of the
+// continuous envelope h(t) = t^-s, then accept/reject against the discrete mass. The
+// acceptance rate is bounded below for every (n, s), so Sample is O(1) with no tables.
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(std::max<uint64_t>(1, n)), s_(s) {
+  BOOM_CHECK(s > 0) << "Zipf exponent must be positive";
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  // Acceptance shortcut constant from the paper: candidates within this distance of their
+  // integer are accepted without evaluating the integral.
+  shortcut_ = 2.0 - Hinv(H(2.5) - std::exp(-s_ * std::log(2.0)));
+  // Normalizer H_{n,s}: exact partial sum plus an integral tail so million-key populations
+  // stay cheap to construct. Only Probability() uses it; Sample() never does.
+  const uint64_t exact = std::min<uint64_t>(n_, 10000);
+  double sum = 0;
+  for (uint64_t k = 1; k <= exact; ++k) {
+    sum += std::exp(-s_ * std::log(static_cast<double>(k)));
+  }
+  if (exact < n_) {
+    sum += H(static_cast<double>(n_) + 0.5) - H(static_cast<double>(exact) + 0.5);
+  }
+  norm_ = sum;
+}
+
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  if (s_ == 1.0) {
+    return log_x;
+  }
+  // (x^(1-s) - 1) / (1-s), via expm1 for stability near s == 1.
+  return std::expm1((1.0 - s_) * log_x) / (1.0 - s_);
+}
+
+double ZipfSampler::Hinv(double y) const {
+  if (s_ == 1.0) {
+    return std::exp(y);
+  }
+  double t = std::max(-1.0, y * (1.0 - s_));
+  return std::exp(std::log1p(t) / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 1;
+  }
+  while (true) {
+    double u = h_n_ + rng.Uniform(0, 1) * (h_x1_ - h_n_);
+    double x = Hinv(u);
+    uint64_t k = static_cast<uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n_)));
+    if (static_cast<double>(k) - x <= shortcut_ ||
+        u >= H(static_cast<double>(k) + 0.5) - std::exp(-s_ * std::log(static_cast<double>(k)))) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::Probability(uint64_t k) const {
+  if (k < 1 || k > n_) {
+    return 0;
+  }
+  return std::exp(-s_ * std::log(static_cast<double>(k))) / norm_;
+}
+
+HotspotSampler::HotspotSampler(uint64_t n, uint64_t hot_set, double hot_fraction)
+    : n_(std::max<uint64_t>(1, n)),
+      hot_set_(std::clamp<uint64_t>(hot_set, 1, n_)),
+      hot_fraction_(std::clamp(hot_fraction, 0.0, 1.0)) {}
+
+uint64_t HotspotSampler::Sample(Rng& rng) const {
+  uint64_t range = rng.Bernoulli(hot_fraction_) ? hot_set_ : n_;
+  return static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(range) - 1));
+}
+
+}  // namespace boom

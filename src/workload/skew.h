@@ -1,0 +1,64 @@
+// Key-skew samplers for the open-loop workload generator.
+//
+// ZipfSampler draws ranks from a Zipf(s) distribution over {1..n} in O(1) per draw using
+// Hormann & Derflinger's rejection-inversion method — no per-rank tables, so populations
+// of millions of simulated clients cost nothing to set up. HotspotSampler is the simpler
+// production pattern: a fixed fraction of traffic hammers a small hot set.
+//
+// Both samplers are deterministic given the caller's Rng, so the arrival traces built on
+// top of them are reproducible from a single seed.
+
+#ifndef SRC_WORKLOAD_SKEW_H_
+#define SRC_WORKLOAD_SKEW_H_
+
+#include <cstdint>
+
+#include "src/sim/random.h"
+
+namespace boom {
+
+// Zipf over ranks 1..n with exponent s > 0 (s != 1 handled exactly; s == 1 works via the
+// same generalized-harmonic integrals). Rank 1 is the most popular key.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+  // One rank in [1, n]; O(1) expected (rejection rate is bounded for all n, s).
+  uint64_t Sample(Rng& rng) const;
+
+  // The probability of rank k, for frequency sanity checks: 1 / (k^s * H_{n,s}).
+  double Probability(uint64_t k) const;
+
+ private:
+  // H(x) = integral of 1/t^s: the antiderivative used by rejection-inversion.
+  double H(double x) const;
+  double Hinv(double y) const;
+
+  uint64_t n_ = 1;
+  double s_ = 1.1;
+  double h_x1_ = 0;        // H(1.5) - 1
+  double h_n_ = 0;         // H(n + 0.5)
+  double shortcut_ = 0;    // accept-without-integral threshold (depends only on s)
+  double norm_ = 1;        // generalized harmonic number H_{n,s} (exact sum for small n)
+};
+
+// `hot_fraction` of draws hit a uniformly-chosen key in [0, hot_set); the rest are uniform
+// over the full population [0, n).
+class HotspotSampler {
+ public:
+  HotspotSampler(uint64_t n, uint64_t hot_set, double hot_fraction);
+
+  uint64_t Sample(Rng& rng) const;
+
+ private:
+  uint64_t n_;
+  uint64_t hot_set_;
+  double hot_fraction_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_WORKLOAD_SKEW_H_

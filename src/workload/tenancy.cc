@@ -1,0 +1,177 @@
+#include "src/workload/tenancy.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/base/logging.h"
+#include "src/telemetry/slo.h"
+#include "src/workload/workload.h"
+
+namespace boom {
+
+TenancyWorkload::TenancyWorkload(Cluster& cluster, TenancyOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  int tenants = std::max(1, options_.num_tenants);
+  submitted_.assign(static_cast<size_t>(tenants), 0);
+  completed_.assign(static_cast<size_t>(tenants), 0);
+  running_sum_.assign(static_cast<size_t>(tenants), 0.0);
+
+  MrSetupOptions mr;
+  mr.kind = options_.kind;
+  mr.policy = options_.policy;
+  mr.jobtracker = options_.jobtracker;
+  mr.num_trackers = options_.num_trackers;
+  mr.map_slots = options_.map_slots;
+  mr.reduce_slots = options_.reduce_slots;
+  mr.num_tenants = tenants;
+  mr.tenant_capacities = options_.tenant_capacities;
+  mr.capacity_default = options_.capacity_default;
+  handles_ = SetupMr(cluster_, mr);
+
+  for (int t = 0; t < tenants; ++t) {
+    slo_.push_back(
+        &MetricsRegistry::Global().histogram(SloHistogramName(t), SloLatencyBoundsMs()));
+  }
+
+  ArrivalOptions arrivals;
+  arrivals.seed = options_.seed;
+  arrivals.horizon_ms = options_.horizon_ms;
+  arrivals.mean_interarrival_ms = options_.mean_interarrival_ms;
+  arrivals.diurnal_amplitude = options_.diurnal_amplitude;
+  arrivals.diurnal_period_ms = options_.diurnal_period_ms;
+  arrivals.num_clients = options_.num_clients;
+  arrivals.zipf_s = options_.zipf_s;
+  arrivals.tenant_weights = options_.tenant_weights;
+  generator_ = std::make_unique<ArrivalGenerator>(arrivals);
+
+  DriveOpenLoop(
+      cluster_, [this](OpenLoopArrival* out) { return generator_->Next(out); },
+      [this](const OpenLoopArrival& arrival) { OnArrival(arrival); });
+  SampleLoop();
+}
+
+void TenancyWorkload::OnArrival(const OpenLoopArrival& arrival) {
+  int tenant = std::clamp(arrival.tenant, 0, options_.num_tenants - 1);
+  MrClient* client = handles_.tenant_clients[static_cast<size_t>(tenant)];
+
+  JobSpec spec;
+  spec.job_id = client->NextJobId();
+  spec.client = client->address();
+  spec.num_maps = options_.maps_per_job;
+  spec.num_reduces = options_.reduces_per_job;
+  JobDurationModel model;
+  model.map_median_ms = options_.map_median_ms;
+  model.reduce_median_ms = options_.reduce_median_ms;
+  model.map_sigma = options_.task_sigma;
+  model.reduce_sigma = options_.task_sigma;
+  // Salt with the issuing client so hot clients re-draw the same durations but distinct
+  // clients differ — the trace alone fixes every task duration in the run.
+  model.seed = options_.seed * 1000003ULL + arrival.client_id;
+  spec.duration_ms = MakeDurationFn(model);
+
+  ++arrivals_;
+  ++submitted_[static_cast<size_t>(tenant)];
+  if (options_.on_submit) {
+    options_.on_submit(spec.job_id, tenant);
+  }
+  double t0 = cluster_.now();
+  Histogram* slo = slo_[static_cast<size_t>(tenant)];
+  client->Submit(cluster_, std::move(spec), [this, tenant, t0, slo](double finish) {
+    ++completed_[static_cast<size_t>(tenant)];
+    slo->Observe(finish - t0);
+  });
+}
+
+void TenancyWorkload::SampleLoop() {
+  cluster_.ScheduleAfter(options_.sample_period_ms, [this] {
+    ++total_samples_;
+    size_t tenants = submitted_.size();
+    std::vector<int> running(tenants, 0);
+    std::map<int64_t, int> started_by_job;  // running + first-completed tasks per job
+    const MrMetrics& metrics = handles_.data_plane->metrics();
+    for (const AttemptRecord& a : metrics.attempts) {
+      if (a.end_ms < 0) {
+        int t = TenantOfJob(a.job_id);
+        if (t >= 0 && static_cast<size_t>(t) < tenants) {
+          ++running[static_cast<size_t>(t)];
+        }
+        ++started_by_job[a.job_id];
+      }
+    }
+    for (const auto& [key, when] : metrics.task_first_done_ms) {
+      ++started_by_job[std::get<0>(key)];
+    }
+    // Contended instant: every tenant has *demand for at least its equal share* of slots
+    // (running attempts plus tasks not yet started anywhere). This is the instant the
+    // fair-share guarantee speaks to — "a tenant demanding its share receives it". Samples
+    // where a tenant's remaining work couldn't fill its share anyway (reduce tail, a job's
+    // barrier) measure job structure, not scheduling.
+    int tasks_per_job = options_.maps_per_job + options_.reduces_per_job;
+    std::vector<int> demand(tenants, 0);
+    for (size_t t = 0; t < tenants; ++t) {
+      demand[t] = running[t];
+    }
+    for (const auto& [job, submit_ms] : metrics.job_submit_ms) {
+      if (metrics.job_done_ms.count(job) != 0) {
+        continue;
+      }
+      int t = TenantOfJob(job);
+      if (t < 0 || static_cast<size_t>(t) >= tenants) {
+        continue;
+      }
+      auto started = started_by_job.find(job);
+      int started_n = started == started_by_job.end() ? 0 : started->second;
+      demand[static_cast<size_t>(t)] += std::max(0, tasks_per_job - started_n);
+    }
+    int equal_share = options_.num_trackers * (options_.map_slots + options_.reduce_slots) /
+                      std::max<int>(1, static_cast<int>(tenants));
+    bool contended = true;
+    for (size_t t = 0; t < tenants; ++t) {
+      if (demand[t] < equal_share) {
+        contended = false;
+        break;
+      }
+    }
+    if (contended) {
+      ++contended_samples_;
+      for (size_t t = 0; t < tenants; ++t) {
+        running_sum_[t] += running[t];
+      }
+    }
+    SampleLoop();
+  });
+}
+
+uint64_t TenancyWorkload::total_submitted() const {
+  uint64_t n = 0;
+  for (uint64_t s : submitted_) {
+    n += s;
+  }
+  return n;
+}
+
+uint64_t TenancyWorkload::total_completed() const {
+  uint64_t n = 0;
+  for (uint64_t c : completed_) {
+    n += c;
+  }
+  return n;
+}
+
+TenancyFairness TenancyWorkload::Fairness() const {
+  TenancyFairness out;
+  out.contended_samples = contended_samples_;
+  out.total_samples = total_samples_;
+  double lo = 0, hi = 0;
+  for (size_t t = 0; t < running_sum_.size(); ++t) {
+    double mean =
+        contended_samples_ == 0 ? 0 : running_sum_[t] / static_cast<double>(contended_samples_);
+    out.mean_running.push_back(mean);
+    hi = t == 0 ? mean : std::max(hi, mean);
+    lo = t == 0 ? mean : std::min(lo, mean);
+  }
+  out.slot_share_ratio = hi / std::max(lo, 0.01);
+  return out;
+}
+
+}  // namespace boom

@@ -1,0 +1,123 @@
+// The multi-tenant production-traffic experiment: an open-loop arrival stream (Poisson
+// with diurnal modulation, Zipf-skewed over a simulated client population in the millions)
+// drives job submissions from several tenants into one BOOM-MR cluster, while a sampler
+// records per-tenant slot occupancy for the fairness metrics and completed jobs feed the
+// per-tenant SLO histograms ("slo.tenant<i>.job_ms").
+//
+// Shared by bench/fig_tenancy, tools/sloreport, the "tenancy" chaos scenario, and the
+// scheduler-policy tests: they all build a TenancyWorkload, run the cluster, and read the
+// report. Everything is deterministic in (options.seed, options) — same seed, same trace,
+// same report.
+
+#ifndef SRC_WORKLOAD_TENANCY_H_
+#define SRC_WORKLOAD_TENANCY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/boommr/boommr.h"
+#include "src/telemetry/metrics.h"
+#include "src/workload/arrivals.h"
+
+namespace boom {
+
+struct TenancyOptions {
+  // Cluster shape.
+  MrKind kind = MrKind::kBoomMr;
+  MrPolicy policy = MrPolicy::kFairShare;
+  std::string jobtracker = "jt";
+  int num_trackers = 5;
+  int map_slots = 2;
+  int reduce_slots = 1;
+  // kCapacity quotas by tenant index; tenants absent fall back to capacity_default.
+  std::vector<std::pair<int, int64_t>> tenant_capacities;
+  int64_t capacity_default = 2;
+
+  // Traffic. Defaults put offered load moderately above cluster capacity at the diurnal
+  // peak, so scheduling policy — not raw capacity — decides who waits.
+  uint64_t seed = 1;
+  int num_tenants = 3;
+  std::vector<double> tenant_weights = {0.6, 0.3, 0.1};
+  uint64_t num_clients = 1000000;  // simulated client population (Zipf-ranked)
+  double zipf_s = 1.1;
+  double horizon_ms = 30000;           // arrivals stop here
+  double mean_interarrival_ms = 300;   // cluster-wide, at baseline rate
+  double diurnal_amplitude = 0.5;
+  double diurnal_period_ms = 20000;
+
+  // Job shape: every arrival is one job; task durations are lognormal, deterministic per
+  // (job, task, tracker) so re-executions are stable. At the defaults each job is ~4.4
+  // task-seconds arriving every 0.3s — ~15 task-streams against 15 slots, ~22 at the
+  // diurnal peak, so the queue builds and the scheduler has real choices to make.
+  int maps_per_job = 5;
+  int reduces_per_job = 2;
+  double map_median_ms = 700;
+  double reduce_median_ms = 450;
+  double task_sigma = 0.3;
+
+  // Fairness sampler period (virtual ms).
+  double sample_period_ms = 250;
+
+  // Observation hook, called at submit time with (job_id, tenant). The chaos scenario
+  // uses it to feed the exactly-once / completion checkers' workload log.
+  std::function<void(int64_t job_id, int tenant)> on_submit;
+};
+
+// Per-run fairness summary (SLO quantiles live in the telemetry registry; see
+// telemetry/slo.h for the report built from them).
+struct TenancyFairness {
+  // Mean running attempts per tenant, averaged over *contended* samples (instants where
+  // every tenant had a submitted-but-unfinished job).
+  std::vector<double> mean_running;
+  uint64_t contended_samples = 0;
+  uint64_t total_samples = 0;
+  // max/min of mean_running (min clamped to a small epsilon; a starved tenant under FIFO
+  // legitimately drives this to a huge value).
+  double slot_share_ratio = 1.0;
+};
+
+// Builds the MR cluster inside `cluster`, arms the open-loop driver and the fairness
+// sampler. Keep the object alive for the whole run (actors call back into it); then run
+// the cluster (e.g. cluster.RunUntil(options.horizon_ms + drain)) and read the results.
+class TenancyWorkload {
+ public:
+  TenancyWorkload(Cluster& cluster, TenancyOptions options);
+
+  const MrHandles& handles() const { return handles_; }
+  const TenancyOptions& options() const { return options_; }
+
+  uint64_t arrivals() const { return arrivals_; }
+  const std::vector<uint64_t>& submitted() const { return submitted_; }
+  const std::vector<uint64_t>& completed() const { return completed_; }
+  uint64_t total_submitted() const;
+  uint64_t total_completed() const;
+
+  // Tenant index of a job id (tenants get blocks of 10^6 ids).
+  static int TenantOfJob(int64_t job_id) { return static_cast<int>(job_id / 1000000); }
+
+  TenancyFairness Fairness() const;
+
+ private:
+  void OnArrival(const OpenLoopArrival& arrival);
+  void SampleLoop();
+
+  Cluster& cluster_;
+  TenancyOptions options_;
+  MrHandles handles_;
+  std::unique_ptr<ArrivalGenerator> generator_;
+  std::vector<Histogram*> slo_;  // per-tenant job-latency histograms
+  std::vector<uint64_t> submitted_;
+  std::vector<uint64_t> completed_;
+  std::vector<double> running_sum_;  // per-tenant running attempts over contended samples
+  uint64_t contended_samples_ = 0;
+  uint64_t total_samples_ = 0;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace boom
+
+#endif  // SRC_WORKLOAD_TENANCY_H_

@@ -1,0 +1,208 @@
+// Scheduler-policy tests for the multi-tenant BOOM-MR JobTracker: the fair-share and
+// capacity policy programs are frozen as goldens (tests/golden/jt_fairshare.olg and
+// jt_capacity.olg), the paper's one-module-swap claim is checked structurally across all
+// four policies, and a 2-tenant mixed job set must complete under every policy.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/boommr/boommr.h"
+#include "src/boommr/jt_program.h"
+#include "src/overlog/parser.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+namespace {
+
+std::string ReadGolden(const std::string& name) {
+  std::string path = std::string(BOOM_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- frozen policy program texts -------------------------------------------------------
+
+// The composed fair-share program is byte-identical to the frozen golden, and the golden
+// is self-contained, parseable Overlog (olglint checks it separately at ctest level).
+TEST(SchedulerPolicy, FairShareGoldenIsExactProgramText) {
+  JtProgramOptions opts;
+  opts.policy = MrPolicy::kFairShare;
+  Program program = BoomMrJtProgram(opts);
+  EXPECT_EQ(program.ToString(), ReadGolden("jt_fairshare.olg"));
+
+  Result<Program> reparsed = ParseProgram(ReadGolden("jt_fairshare.olg"));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().rules.size(), program.rules.size());
+}
+
+TEST(SchedulerPolicy, CapacityGoldenIsExactProgramText) {
+  JtProgramOptions opts;
+  opts.policy = MrPolicy::kCapacity;
+  opts.tenant_capacities = {{"jt_client", 4}, {"jt_client_t1", 2}};
+  Program program = BoomMrJtProgram(opts);
+  EXPECT_EQ(program.ToString(), ReadGolden("jt_capacity.olg"));
+
+  Result<Program> reparsed = ParseProgram(ReadGolden("jt_capacity.olg"));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  // The tenant quotas ride along as capacity facts, not baked-in rule edits.
+  size_t capacity_facts = 0;
+  for (const Fact& fact : reparsed.value().facts) {
+    if (fact.table == "capacity") {
+      ++capacity_facts;
+    }
+  }
+  EXPECT_EQ(capacity_facts, 2u);
+}
+
+// --- the one-module-swap claim, across all four policies -------------------------------
+
+// Structure of every policy program: a shared core (jt_core + jt_exec rules, identical
+// text in every composition) plus that policy's own rules. FIFO/fair-share/capacity rules
+// are pairwise disjoint; LATE is FIFO plus the speculation module. This is the paper's
+// "scheduling policy is data" claim stated over the ASTs rather than by inspection.
+TEST(SchedulerPolicy, EveryPolicyIsOneModuleSwap) {
+  auto build = [](MrPolicy policy) {
+    JtProgramOptions opts;
+    opts.policy = policy;
+    return BoomMrJtProgram(opts);
+  };
+  Program fifo = build(MrPolicy::kFifo);
+  Program late = build(MrPolicy::kLate);
+  Program fair = build(MrPolicy::kFairShare);
+  Program cap = build(MrPolicy::kCapacity);
+
+  auto rule_texts = [](const Program& p) {
+    std::map<std::string, std::string> out;
+    for (const Rule& rule : p.rules) {
+      out[rule.name] = rule.ToString();
+    }
+    return out;
+  };
+  auto fifo_rules = rule_texts(fifo);
+  auto late_rules = rule_texts(late);
+  auto fair_rules = rule_texts(fair);
+  auto cap_rules = rule_texts(cap);
+
+  // The shared core: rule names present under all of fifo/fair/capacity (their policy
+  // modules are disjoint, so the intersection is exactly jt_core + jt_exec).
+  std::set<std::string> core;
+  for (const auto& [name, text] : fifo_rules) {
+    if (fair_rules.count(name) && cap_rules.count(name)) {
+      core.insert(name);
+    }
+  }
+  ASSERT_GT(core.size(), 5u) << "shared core unexpectedly small";
+
+  // Core rules are byte-identical in every composition — swapping policy touches nothing
+  // else.
+  for (const auto* rules : {&late_rules, &fair_rules, &cap_rules}) {
+    for (const std::string& name : core) {
+      ASSERT_TRUE(rules->count(name)) << "core rule " << name << " missing";
+      EXPECT_EQ(rules->at(name), fifo_rules.at(name)) << "core rule " << name << " edited";
+    }
+  }
+
+  // Each policy's own rules: nonempty, and pairwise disjoint across fifo/fair/capacity.
+  auto extras = [&core](const std::map<std::string, std::string>& rules) {
+    std::set<std::string> out;
+    for (const auto& [name, text] : rules) {
+      if (!core.count(name)) {
+        out.insert(name);
+      }
+    }
+    return out;
+  };
+  std::set<std::string> fifo_extra = extras(fifo_rules);
+  std::set<std::string> fair_extra = extras(fair_rules);
+  std::set<std::string> cap_extra = extras(cap_rules);
+  EXPECT_FALSE(fifo_extra.empty());
+  EXPECT_FALSE(fair_extra.empty());
+  EXPECT_FALSE(cap_extra.empty());
+  for (const std::string& name : fifo_extra) {
+    EXPECT_FALSE(fair_extra.count(name)) << name;
+    EXPECT_FALSE(cap_extra.count(name)) << name;
+  }
+  for (const std::string& name : fair_extra) {
+    EXPECT_FALSE(cap_extra.count(name)) << name;
+  }
+
+  // LATE = FIFO + the speculation module: every FIFO rule survives verbatim.
+  for (const auto& [name, text] : fifo_rules) {
+    ASSERT_TRUE(late_rules.count(name)) << "LATE dropped FIFO rule " << name;
+    EXPECT_EQ(late_rules.at(name), text) << "LATE edited FIFO rule " << name;
+  }
+  EXPECT_GT(late_rules.size(), fifo_rules.size());
+}
+
+// --- the 4-policy completion matrix ----------------------------------------------------
+
+// Every policy must run the same mixed two-tenant job set to completion — swapping the
+// policy module changes who goes first, never whether work finishes.
+TEST(SchedulerPolicy, AllPoliciesCompleteMixedTenantJobs) {
+  for (MrPolicy policy : {MrPolicy::kFifo, MrPolicy::kLate, MrPolicy::kFairShare,
+                          MrPolicy::kCapacity}) {
+    SCOPED_TRACE(MrPolicyName(policy));
+    Cluster cluster(1234);
+    MrSetupOptions opts;
+    opts.policy = policy;
+    opts.num_trackers = 4;
+    opts.map_slots = 2;
+    opts.reduce_slots = 1;
+    opts.num_tenants = 2;
+    if (policy == MrPolicy::kCapacity) {
+      opts.tenant_capacities = {{0, 4}, {1, 2}};
+    }
+    MrHandles handles = SetupMr(cluster, opts);
+    ASSERT_EQ(handles.tenant_clients.size(), 2u);
+
+    // Three jobs per tenant, interleaved submissions, enough tasks to contend for the 12
+    // map slots.
+    int outstanding = 0;
+    std::vector<int64_t> job_ids;
+    for (int round = 0; round < 3; ++round) {
+      for (int tenant = 0; tenant < 2; ++tenant) {
+        MrClient* client = handles.tenant_clients[static_cast<size_t>(tenant)];
+        JobSpec spec;
+        spec.job_id = client->NextJobId();
+        spec.client = client->address();
+        spec.num_maps = 6;
+        spec.num_reduces = 2;
+        spec.duration_ms = [](const TaskRef& task, const std::string&) {
+          return 150.0 + ((task.job_id * 13 + task.task_id * 7) % 4) * 50.0;
+        };
+        job_ids.push_back(spec.job_id);
+        ++outstanding;
+        client->Submit(cluster, std::move(spec), [&outstanding](double) { --outstanding; });
+      }
+    }
+    double deadline = cluster.now() + 120000;
+    while (outstanding > 0 && cluster.now() < deadline) {
+      cluster.RunUntil(cluster.now() + 100.0);
+    }
+    EXPECT_EQ(outstanding, 0) << "jobs unfinished under " << MrPolicyName(policy);
+
+    // The data plane recorded a submit and a completion for every job, and the job ids
+    // confirm both tenants' blocks were exercised.
+    const MrMetrics& metrics = handles.data_plane->metrics();
+    std::set<int> tenants_seen;
+    for (int64_t job : job_ids) {
+      EXPECT_TRUE(metrics.job_submit_ms.count(job)) << "job " << job;
+      EXPECT_TRUE(metrics.job_done_ms.count(job)) << "job " << job;
+      tenants_seen.insert(static_cast<int>(job / 1000000));
+    }
+    EXPECT_EQ(tenants_seen.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace boom

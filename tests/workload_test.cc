@@ -1,0 +1,232 @@
+// Tests for the open-loop workload generator library (src/workload): seed determinism of
+// the arrival trace, Zipf rank-frequency sanity, the diurnal rate integral, tenant-mix
+// convergence, and the O(batch) open-loop driver delivering arrivals at exact times.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sim/cluster.h"
+#include "src/sim/open_loop.h"
+#include "src/sim/random.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/skew.h"
+
+namespace boom {
+namespace {
+
+// --- determinism -----------------------------------------------------------------------
+
+// The contract the whole experiment stack leans on: the same options produce a
+// byte-identical arrival trace, so a seed names the entire offered load.
+TEST(ArrivalsTest, TraceIsByteIdenticalPerSeed) {
+  ArrivalOptions options;
+  options.seed = 42;
+  options.horizon_ms = 5000;
+  options.mean_interarrival_ms = 20;
+  options.num_clients = 1000000;
+  options.tenant_weights = {0.6, 0.3, 0.1};
+
+  ArrivalGenerator a(options);
+  ArrivalGenerator b(options);
+  std::string trace_a = FormatArrivalTrace(a);
+  std::string trace_b = FormatArrivalTrace(b);
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(trace_a, trace_b);
+
+  ArrivalOptions other = options;
+  other.seed = 43;
+  ArrivalGenerator c(other);
+  EXPECT_NE(trace_a, FormatArrivalTrace(c)) << "different seeds produced the same trace";
+}
+
+TEST(ArrivalsTest, TimesAreNondecreasingAndBounded) {
+  ArrivalOptions options;
+  options.seed = 7;
+  options.horizon_ms = 8000;
+  options.mean_interarrival_ms = 10;
+  ArrivalGenerator gen(options);
+  OpenLoopArrival arrival;
+  double last = 0;
+  while (gen.Next(&arrival)) {
+    EXPECT_GE(arrival.time_ms, last);
+    EXPECT_LT(arrival.time_ms, options.horizon_ms);
+    last = arrival.time_ms;
+  }
+  EXPECT_GT(gen.generated(), 100u);
+}
+
+// --- Zipf ------------------------------------------------------------------------------
+
+// Rejection-inversion must actually produce Zipf frequencies: low ranks dominate, the
+// empirical frequency of the head ranks tracks the analytic probability, and every draw
+// stays in [1, n] even for a population in the millions.
+TEST(SkewTest, ZipfRankFrequencySanity) {
+  const uint64_t n = 1000000;
+  const double s = 1.1;
+  ZipfSampler zipf(n, s);
+  Rng rng(99);
+  const int kDraws = 200000;
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t rank = zipf.Sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, n);
+    if (rank <= 8) {
+      ++counts[rank];
+    }
+  }
+  // Head ranks are sorted by frequency (allow adjacent noise only beyond rank 4: rank k
+  // beats rank k+2 always).
+  for (uint64_t k = 1; k + 2 <= 8; ++k) {
+    EXPECT_GT(counts[k], counts[k + 2]) << "rank " << k << " vs " << k + 2;
+  }
+  // Rank 1's share matches the analytic Zipf probability within 10% relative error.
+  double expect = zipf.Probability(1);
+  double got = static_cast<double>(counts[1]) / kDraws;
+  EXPECT_NEAR(got, expect, 0.1 * expect);
+  // The analytic pmf is a distribution: head + tail bound sums to ~1.
+  double head = 0;
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    head += zipf.Probability(k);
+  }
+  EXPECT_GT(head, 0.5);
+  EXPECT_LT(head, 1.0);
+}
+
+TEST(SkewTest, HotspotSamplerConcentrates) {
+  HotspotSampler hot(100000, 10, 0.9);
+  Rng rng(5);
+  int in_hot = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (hot.Sample(rng) < 10) {
+      ++in_hot;
+    }
+  }
+  double frac = static_cast<double>(in_hot) / kDraws;
+  EXPECT_NEAR(frac, 0.9, 0.02);
+}
+
+// --- diurnal modulation ----------------------------------------------------------------
+
+// Thinning preserves the mean: over whole periods the diurnal factor integrates to 1, so
+// the arrival count matches horizon / mean_interarrival; and the peak half-period must
+// carry measurably more traffic than the trough half.
+TEST(ArrivalsTest, DiurnalIntegralAndShape) {
+  ArrivalOptions options;
+  options.seed = 11;
+  options.horizon_ms = 40000;  // two full periods
+  options.mean_interarrival_ms = 5;
+  options.diurnal_amplitude = 0.8;
+  options.diurnal_period_ms = 20000;
+  ArrivalGenerator gen(options);
+
+  uint64_t total = 0;
+  uint64_t peak_half = 0;    // sin > 0: first half of each period
+  uint64_t trough_half = 0;  // sin < 0: second half
+  OpenLoopArrival arrival;
+  while (gen.Next(&arrival)) {
+    ++total;
+    double phase = std::fmod(arrival.time_ms, options.diurnal_period_ms);
+    if (phase < options.diurnal_period_ms / 2) {
+      ++peak_half;
+    } else {
+      ++trough_half;
+    }
+  }
+  double expected = options.horizon_ms / options.mean_interarrival_ms;  // 8000
+  EXPECT_NEAR(static_cast<double>(total), expected, 0.05 * expected);
+  // With amplitude 0.8, the halves carry (1 + 2*0.8/pi) vs (1 - 2*0.8/pi) of the base
+  // rate: a ~3x ratio. Require a conservative 2x.
+  EXPECT_GT(peak_half, 2 * trough_half);
+
+  // The analytic factor matches the curve the generator thins against.
+  EXPECT_NEAR(DiurnalFactor(options, options.diurnal_period_ms / 4), 1.8, 1e-9);
+  EXPECT_NEAR(DiurnalFactor(options, 3 * options.diurnal_period_ms / 4), 0.2, 1e-9);
+}
+
+// --- tenant mix ------------------------------------------------------------------------
+
+TEST(ArrivalsTest, TenantMixConvergesToWeights) {
+  ArrivalOptions options;
+  options.seed = 3;
+  options.horizon_ms = 60000;
+  options.mean_interarrival_ms = 5;
+  // Flatten the skew for this test: under s=1.1 the single head client carries ~9% of all
+  // traffic, so whichever tenant it hashes to is permanently over-weight. Convergence to
+  // the weights is a statement about the population, testable only when no client
+  // dominates.
+  options.zipf_s = 0.5;
+  options.tenant_weights = {0.6, 0.3, 0.1};
+  ArrivalGenerator gen(options);
+  std::vector<uint64_t> per_tenant(3, 0);
+  uint64_t total = 0;
+  OpenLoopArrival arrival;
+  std::map<uint64_t, int> client_tenant;
+  while (gen.Next(&arrival)) {
+    ASSERT_GE(arrival.tenant, 0);
+    ASSERT_LT(arrival.tenant, 3);
+    ++per_tenant[static_cast<size_t>(arrival.tenant)];
+    ++total;
+    // A client's tenant is a stable function of its id.
+    auto it = client_tenant.find(arrival.client_id);
+    if (it != client_tenant.end()) {
+      EXPECT_EQ(it->second, arrival.tenant) << "client " << arrival.client_id;
+    } else {
+      client_tenant[arrival.client_id] = arrival.tenant;
+    }
+  }
+  ASSERT_GT(total, 5000u);
+  for (size_t t = 0; t < 3; ++t) {
+    double frac = static_cast<double>(per_tenant[t]) / static_cast<double>(total);
+    EXPECT_NEAR(frac, options.tenant_weights[t], 0.08) << "tenant " << t;
+  }
+}
+
+// --- the open-loop driver --------------------------------------------------------------
+
+// Every generated arrival is delivered exactly once, at exactly its generated virtual
+// time, regardless of batch size — the driver's one-in-flight-event batching is pure
+// plumbing, invisible to the workload.
+TEST(OpenLoopTest, DriverDeliversEveryArrivalAtItsTime) {
+  ArrivalOptions options;
+  options.seed = 21;
+  options.horizon_ms = 10000;
+  options.mean_interarrival_ms = 25;
+  ArrivalGenerator reference(options);
+  std::vector<OpenLoopArrival> expected;
+  OpenLoopArrival arrival;
+  while (reference.Next(&arrival)) {
+    expected.push_back(arrival);
+  }
+  ASSERT_GT(expected.size(), 100u);
+
+  for (int batch : {1, 64}) {
+    Cluster cluster(1);
+    ArrivalGenerator gen(options);
+    std::vector<OpenLoopArrival> delivered;
+    OpenLoopOptions loop;
+    loop.batch = batch;
+    DriveOpenLoop(
+        cluster, [&gen](OpenLoopArrival* out) { return gen.Next(out); },
+        [&cluster, &delivered](const OpenLoopArrival& a) {
+          EXPECT_DOUBLE_EQ(cluster.now(), a.time_ms);
+          delivered.push_back(a);
+        },
+        loop);
+    cluster.RunUntil(options.horizon_ms + 1000);
+    ASSERT_EQ(delivered.size(), expected.size()) << "batch=" << batch;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(delivered[i].client_id, expected[i].client_id);
+      EXPECT_DOUBLE_EQ(delivered[i].time_ms, expected[i].time_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace boom

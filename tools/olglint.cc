@@ -35,7 +35,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: olglint <file.olg> [more.olg ...]\n"
                "       olglint --family "
-               "all|boomfs_nn|jt_fifo|jt_late|paxos|chord|ha|monitor\n");
+               "all|boomfs_nn|jt_fifo|jt_late|jt_fairshare|jt_capacity|paxos|chord|ha|"
+               "monitor\n");
 }
 
 struct LintTally {
@@ -114,6 +115,17 @@ int LintFamily(const std::string& family, LintTally* tally) {
     JtProgramOptions options;
     options.policy = MrPolicy::kLate;
     rc |= LintStack("jt_late", {BoomMrJtProgram(options)}, tally);
+  }
+  if (want("jt_fairshare")) {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kFairShare;
+    rc |= LintStack("jt_fairshare", {BoomMrJtProgram(options)}, tally);
+  }
+  if (want("jt_capacity")) {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kCapacity;
+    options.tenant_capacities = {{"jt_client", 4}, {"jt_client_t1", 2}};
+    rc |= LintStack("jt_capacity", {BoomMrJtProgram(options)}, tally);
   }
   if (want("paxos")) {
     PaxosProgramOptions options;

@@ -1,0 +1,143 @@
+// sloreport: run the multi-tenant production-traffic experiment and print the per-tenant
+// SLO report (p50/p99/p999 job latency) plus the fair-share slot metrics.
+//
+//   sloreport [--policy fifo|late|fair|cap] [--tenants N] [--clients N] [--zipf S]
+//             [--seed N] [--horizon MS] [--trackers N] [--json]
+//
+// The run is deterministic in the flags: same invocation, same report. --json emits the
+// machine-readable form bench/fig_tenancy.cc and external dashboards consume.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/base/logging.h"
+#include "src/telemetry/slo.h"
+#include "src/workload/tenancy.h"
+
+namespace boom {
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: sloreport [--policy fifo|late|fair|cap] [--tenants N] "
+               "[--clients N] [--zipf S] [--seed N] [--horizon MS] [--trackers N] "
+               "[--json]\n");
+}
+
+bool ParsePolicy(const std::string& name, MrPolicy* out) {
+  if (name == "fifo") {
+    *out = MrPolicy::kFifo;
+  } else if (name == "late") {
+    *out = MrPolicy::kLate;
+  } else if (name == "fair") {
+    *out = MrPolicy::kFairShare;
+  } else if (name == "cap") {
+    *out = MrPolicy::kCapacity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  TenancyOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      if (!ParsePolicy(next(), &options.policy)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--tenants") {
+      options.num_tenants = std::atoi(next());
+    } else if (arg == "--clients") {
+      options.num_clients = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--zipf") {
+      options.zipf_s = std::atof(next());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--horizon") {
+      options.horizon_ms = std::atof(next());
+    } else if (arg == "--trackers") {
+      options.num_trackers = std::atoi(next());
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (options.num_tenants > 1 &&
+      static_cast<size_t>(options.num_tenants) != options.tenant_weights.size()) {
+    // Re-derive weights for non-default tenant counts: geometric 2:1 decay.
+    options.tenant_weights.clear();
+    double w = 1.0;
+    for (int t = 0; t < options.num_tenants; ++t, w /= 2) {
+      options.tenant_weights.push_back(w);
+    }
+  }
+
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(options.seed);
+  TenancyWorkload workload(cluster, options);
+  double deadline = options.horizon_ms + 60000;
+  cluster.RunUntil(options.horizon_ms);
+  while (workload.total_completed() < workload.total_submitted() &&
+         cluster.now() < deadline) {
+    cluster.RunUntil(cluster.now() + 500);
+  }
+
+  SloReport slo = BuildSloReport(MetricsRegistry::Global());
+  TenancyFairness fair = workload.Fairness();
+  if (json) {
+    std::string out = slo.ToJson();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n  \"policy\": \"%s\", \"arrivals\": %llu, \"completed\": %llu,"
+                  " \"slot_share_ratio\": %.3f, \"contended_samples\": %llu\n}",
+                  MrPolicyName(options.policy),
+                  static_cast<unsigned long long>(workload.arrivals()),
+                  static_cast<unsigned long long>(workload.total_completed()),
+                  fair.slot_share_ratio,
+                  static_cast<unsigned long long>(fair.contended_samples));
+    BOOM_CHECK(out.size() >= 2 && out.back() == '}');
+    out.resize(out.size() - 2);  // splice the run summary into the report object
+    out += buf;
+    std::printf("%s\n", out.c_str());
+  } else {
+    std::printf("policy=%s arrivals=%llu completed=%llu/%llu\n",
+                MrPolicyName(options.policy),
+                static_cast<unsigned long long>(workload.arrivals()),
+                static_cast<unsigned long long>(workload.total_completed()),
+                static_cast<unsigned long long>(workload.total_submitted()));
+    std::printf("%s", slo.ToText().c_str());
+    std::printf("mean_running:");
+    for (double m : fair.mean_running) {
+      std::printf(" %.2f", m);
+    }
+    std::printf("\nslot_share_ratio=%.3f over %llu contended samples (of %llu)\n",
+                fair.slot_share_ratio,
+                static_cast<unsigned long long>(fair.contended_samples),
+                static_cast<unsigned long long>(fair.total_samples));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace boom
+
+int main(int argc, char** argv) { return boom::Run(argc, argv); }
