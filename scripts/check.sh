@@ -6,15 +6,16 @@
 #   SKIP_BENCH=1 scripts/check.sh # skip the Release bench smoke (e.g. loaded CI box)
 #
 # Tier 1 (must stay green): plain build + every non-chaos test, then the telemetry label
-# explicitly (metrics/tracing/profiling — see docs/OBSERVABILITY.md) and the workload +
+# explicitly (metrics/tracing/profiling — see docs/OBSERVABILITY.md), the workload +
 # policy labels (open-loop generator determinism and the scheduler-policy matrix — see
-# docs/WORKLOADS.md).
+# docs/WORKLOADS.md), and the overload label (admission control, retry budgets, and the
+# metastable-failure scenario — see docs/CHAOS.md).
 # ASan smoke: rebuild with -DBOOM_SANITIZE=address, run the telemetry + workload + policy
-# tests under ASan (the tracer/registry hot paths are lock-free atomics worth sanitizing;
-# the generator and scheduler paths churn tuples hard), then a 3-seed boomfs chaos sweep
-# (corruption + slow-disk faults included via the scenario's fault profile), so memory
-# errors on the retry/quarantine/re-replication paths surface even though the full chaos
-# tier is too slow for every push.
+# + overload tests under ASan (the tracer/registry hot paths are lock-free atomics worth
+# sanitizing; the generator, scheduler, and admission-gateway paths churn tuples hard),
+# then a 3-seed boomfs chaos sweep (corruption + slow-disk faults included via the
+# scenario's fault profile), so memory errors on the retry/quarantine/re-replication
+# paths surface even though the full chaos tier is too slow for every push.
 # Bench smoke: Release build of micro_engine, gated against the committed BENCH_engine.json
 # (missing workload keys or a >25% ns/op regression fail; scripts/check_bench.py).
 set -euo pipefail
@@ -38,17 +39,24 @@ echo "==> telemetry tests (ctest -L telemetry)"
 echo "==> workload + policy tests (ctest -L 'workload|policy')"
 (cd build && ctest -L 'workload|policy' --output-on-failure -j "$JOBS")
 
+echo "==> overload tests (ctest -L overload: admission, retry budgets, metastable chaos)"
+(cd build && ctest -L overload --output-on-failure -j "$JOBS")
+
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "==> ASan build"
   cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target chaos_explorer telemetry_test \
-    trace_e2e_test monitor_meta_test workload_test scheduler_policy_test olglint olgrun
+    trace_e2e_test monitor_meta_test workload_test scheduler_policy_test overload_test \
+    olglint olgrun
 
   echo "==> ASan telemetry smoke (ctest -L telemetry)"
   (cd build-asan && ctest -L telemetry --output-on-failure -j "$JOBS")
 
   echo "==> ASan workload + policy smoke (ctest -L 'workload|policy')"
   (cd build-asan && ctest -L 'workload|policy' --output-on-failure -j "$JOBS")
+
+  echo "==> ASan overload smoke (ctest -L overload)"
+  (cd build-asan && ctest -L overload --output-on-failure -j "$JOBS")
 
   echo "==> ASan lint smoke (ctest -L lint)"
   (cd build-asan && ctest -L lint --output-on-failure -j "$JOBS")

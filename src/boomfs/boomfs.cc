@@ -6,6 +6,39 @@
 
 namespace boom {
 
+namespace {
+
+// Recurring svc_load probe for the admission gateway: samples the NameNode's queued work
+// (the overload signal) into the gateway every period. An actor rather than a
+// self-rescheduling closure so the cluster owns its lifetime.
+class GatewayLoadProbe : public Actor {
+ public:
+  GatewayLoadProbe(std::string address, std::string gateway, std::string namenode,
+                   double period_ms)
+      : Actor(std::move(address)),
+        gateway_(std::move(gateway)),
+        namenode_(std::move(namenode)),
+        period_ms_(period_ms) {}
+
+  void OnStart(Cluster& cluster) override { Arm(cluster); }
+  void OnMessage(const Message&, Cluster&) override {}
+
+ private:
+  void Arm(Cluster& cluster) {
+    cluster.ScheduleAfter(period_ms_, [this, &cluster] {
+      cluster.DeliverLocal(gateway_, kSvcLoad,
+                           Tuple{Value(gateway_), Value(cluster.ServiceBacklogMs(namenode_))});
+      Arm(cluster);
+    });
+  }
+
+  std::string gateway_;
+  std::string namenode_;
+  double period_ms_;
+};
+
+}  // namespace
+
 const char* FsKindName(FsKind kind) {
   switch (kind) {
     case FsKind::kBoomFs:
@@ -28,6 +61,10 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
     prog.safe_mode_report_frac_pct = options.safe_mode_report_frac_pct;
     prog.safe_mode_timeout_ms = options.safe_mode_timeout_ms;
     prog.safe_mode_grace_ms = options.safe_mode_grace_ms;
+    prog.with_rename = options.with_rename;
+    prog.with_gc = options.with_gc;
+    prog.gc_check_period_ms = options.gc_check_period_ms;
+    prog.gc_tombstone_ms = options.gc_tombstone_ms;
     Program program = options.nn_program_override.has_value()
                           ? *options.nn_program_override
                           : BoomFsNnProgram(prog);
@@ -65,7 +102,44 @@ void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
   nn_opts.safe_mode_report_frac_pct = options.safe_mode_report_frac_pct;
   nn_opts.safe_mode_timeout_ms = options.safe_mode_timeout_ms;
   nn_opts.safe_mode_grace_ms = options.safe_mode_grace_ms;
+  nn_opts.with_rename = options.with_rename;
+  nn_opts.with_tombstone_gc = options.with_gc;
+  nn_opts.gc_check_period_ms = options.gc_check_period_ms;
+  nn_opts.gc_tombstone_ms = options.gc_tombstone_ms;
   cluster.AddActor(std::make_unique<HdfsNameNode>(address, nn_opts));
+}
+
+void AddAdmissionGateway(Cluster& cluster, const GatewaySetupOptions& options) {
+  Program program = options.program_override.has_value()
+                        ? *options.program_override
+                        : BoomFsGatewayProgram(options.gateway);
+  cluster.AddOverlogNode(options.address, [program](Engine& engine) {
+    Status status = engine.Install(program);
+    BOOM_CHECK(status.ok()) << "admission gateway program failed to install: "
+                            << status.ToString();
+    // Shed accounting rides the adm_deny event: distinct ReqIds mean every shed request
+    // derives its own row (a tenant-only event would collapse same-tick sheds under set
+    // semantics and undercount).
+    engine.AddWatch("adm_deny", [](const std::string&, const Tuple& t, bool inserted) {
+      if (inserted && t.size() >= 3 && t[2].is_numeric()) {
+        MetricsRegistry::Global().counter("fs.gw.shed").Add();
+        MetricsRegistry::Global()
+            .counter("slo.tenant" + std::to_string(t[2].as_int()) + ".shed")
+            .Add();
+      }
+    });
+    // brownout(On) holds one row while writes are shed: insert = enter, delete = exit.
+    engine.AddWatch("brownout", [](const std::string&, const Tuple&, bool inserted) {
+      MetricsRegistry::Global()
+          .counter(inserted ? "fs.gw.brownout_enter" : "fs.gw.brownout_exit")
+          .Add();
+    });
+  });
+  if (options.load_probe_period_ms > 0) {
+    cluster.AddActor(std::make_unique<GatewayLoadProbe>(
+        options.address + "_probe", options.address, options.gateway.namenode,
+        options.load_probe_period_ms));
+  }
 }
 
 FsHandles SetupFs(Cluster& cluster, const FsSetupOptions& options) {
@@ -156,6 +230,16 @@ bool SyncFs::Ls(const std::string& path, std::vector<std::string>* names) {
 }
 
 bool SyncFs::Rm(const std::string& path) { return Op(kCmdRm, path, nullptr); }
+
+bool SyncFs::Rename(const std::string& path, const std::string& new_path) {
+  bool done = false;
+  bool ok = false;
+  client_->Rename(cluster_, path, new_path, [&done, &ok](bool response_ok, const Value&) {
+    ok = response_ok;
+    done = true;
+  });
+  return Await(&done) && ok;
+}
 
 bool SyncFs::WriteFile(const std::string& path, std::string data) {
   bool done = false;

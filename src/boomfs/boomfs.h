@@ -43,6 +43,12 @@ struct FsSetupOptions {
   int safe_mode_report_frac_pct = 60;
   double safe_mode_timeout_ms = 5000;
   double safe_mode_grace_ms = 400;
+  // Rename support and tombstone GC (see NnProgramOptions / HdfsNameNodeOptions). Both
+  // kinds honor these, keeping the twins behaviorally matched.
+  bool with_rename = false;
+  bool with_gc = false;
+  double gc_check_period_ms = 1000;
+  double gc_tombstone_ms = 10000;
   // Test hook: install this NameNode program instead of the generated one (used by the
   // refactor-equivalence tests to pin a frozen pre-refactor program text).
   std::optional<Program> nn_program_override;
@@ -62,6 +68,25 @@ FsHandles SetupFs(Cluster& cluster, const FsSetupOptions& options);
 void AddNameNode(Cluster& cluster, FsKind kind, const std::string& address,
                  const FsSetupOptions& options);
 
+// Admission-gateway deployment: a separate Overlog node running BoomFsGatewayProgram in
+// front of the NameNode. Clients send ns_ingress to the gateway (request_table =
+// "ns_ingress", namenode = the gateway address); admitted requests are forwarded as
+// ns_request to the NameNode, which answers the client directly; shed requests get a
+// retryable ["overloaded", RetryAfterMs] response straight from the gateway.
+struct GatewaySetupOptions {
+  std::string address = "gw";
+  GatewayOptions gateway;
+  // Period of the svc_load probe feeding the NameNode's measured service backlog into the
+  // gateway's brownout rules. 0 disables the probe.
+  double load_probe_period_ms = 100;
+  // Test hook (chaos bug variants): install this program instead of the generated one.
+  std::optional<Program> program_override;
+};
+
+// Adds the gateway node, wires shed/brownout counters (fs.gw.shed, slo.tenant<i>.shed,
+// fs.gw.brownout_enter/exit), and starts the svc_load probe.
+void AddAdmissionGateway(Cluster& cluster, const GatewaySetupOptions& options);
+
 // Synchronous facade over FsClient: each call drives the simulation until the response
 // arrives (or `timeout_ms` of virtual time passes).
 class SyncFs {
@@ -75,6 +100,7 @@ class SyncFs {
   // Returns true and fills `names` on success.
   bool Ls(const std::string& path, std::vector<std::string>* names);
   bool Rm(const std::string& path);
+  bool Rename(const std::string& path, const std::string& new_path);
   bool WriteFile(const std::string& path, std::string data);
   bool ReadFile(const std::string& path, std::string* data);
   // Raw namespace op; returns ok and fills payload.

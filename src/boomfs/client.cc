@@ -19,7 +19,8 @@ struct WriteJob {
   std::string path;
   std::string data;
   size_t next_offset = 0;
-  int round = 0;  // retry rounds consumed by the chunk currently being written
+  int round = 0;           // retry rounds consumed by the chunk currently being written
+  int overload_round = 0;  // shed ("overloaded") retries, budgeted separately
   std::function<void(bool)> cb;
   SpanContext span;  // "fs.write" root span for the whole composite op
 };
@@ -113,7 +114,32 @@ double FsClient::Backoff(Cluster& cluster, int round) const {
     base = std::min(base * 2, options_.retry_max_ms);
   }
   base = std::min(base, options_.retry_max_ms);
+  // Exactly one Rng draw either way, so flipping full_jitter never shifts the seeded
+  // schedule of anything else in the run.
+  if (options_.full_jitter) {
+    return cluster.rng().Uniform(0, base);
+  }
   return base + cluster.rng().Uniform(0, base * 0.5);
+}
+
+bool FsClient::TrySpendRetryToken() {
+  if (options_.retry_budget_cap <= 0) {
+    return true;  // budget disabled
+  }
+  if (retry_tokens_ < 1) {
+    ClientCounter("fs.client.retry_budget_exhausted").Add();
+    return false;
+  }
+  retry_tokens_ -= 1;
+  return true;
+}
+
+void FsClient::CreditSuccess() {
+  if (options_.retry_budget_cap <= 0) {
+    return;
+  }
+  retry_tokens_ =
+      std::min(options_.retry_budget_cap, retry_tokens_ + options_.retry_budget_refill);
 }
 
 void FsClient::Mkdir(Cluster& c, const std::string& path, ResponseCb cb) {
@@ -147,6 +173,10 @@ void FsClient::Ls(Cluster& c, const std::string& path, ResponseCb cb) {
 }
 void FsClient::Rm(Cluster& c, const std::string& path, ResponseCb cb) {
   Request(c, kCmdRm, path, Value(), std::move(cb));
+}
+void FsClient::Rename(Cluster& c, const std::string& path, const std::string& new_path,
+                      ResponseCb cb) {
+  Request(c, kCmdRename, path, Value(new_path), std::move(cb));
 }
 void FsClient::AddChunk(Cluster& c, const std::string& path, ResponseCb cb) {
   Request(c, kCmdAddChunk, path, Value(), std::move(cb));
@@ -192,6 +222,13 @@ void FsClient::WriteChunks(Cluster& cluster, std::shared_ptr<WriteJob> job) {
     return;
   }
   AddChunk(cluster, job->path, [this, &cluster, job](bool ok, const Value& payload) {
+    if (!ok && IsOverloadedPayload(payload)) {
+      // Shed by admission control: retryable-with-delay, NOT a transient failure — it
+      // must not ride the escalation ladder (fan-out/abandon would only add load to a
+      // server that just asked us to back off).
+      RetryWriteOverloaded(cluster, job, OverloadRetryAfterMs(payload));
+      return;
+    }
     if (!ok || !payload.is_list() || payload.as_list().size() != 2) {
       // addchunk can fail transiently (NameNode timeout, safe mode): back off and retry.
       RetryWrite(cluster, job);
@@ -264,6 +301,25 @@ void FsClient::RetryWrite(Cluster& cluster, std::shared_ptr<WriteJob> job) {
   Cluster::SpanScope scope(cluster, job->span);
   cluster.ScheduleAfter(Backoff(cluster, job->round),
                         [this, &cluster, job] { WriteChunks(cluster, job); });
+}
+
+void FsClient::RetryWriteOverloaded(Cluster& cluster, std::shared_ptr<WriteJob> job,
+                                    double retry_after_ms) {
+  ++job->overload_round;
+  ClientCounter("fs.client.write_overload_retry").Add();
+  int max_rounds = options_.overload_max_rounds > 0 ? options_.overload_max_rounds
+                                                    : options_.write_max_rounds;
+  if (job->overload_round >= max_rounds || !TrySpendRetryToken()) {
+    ClientCounter("fs.client.write_overload_give_up").Add();
+    job->cb(false);
+    return;
+  }
+  double delay = Backoff(cluster, job->overload_round);
+  if (options_.honor_retry_after) {
+    delay = std::max(delay, retry_after_ms);
+  }
+  Cluster::SpanScope scope(cluster, job->span);
+  cluster.ScheduleAfter(delay, [this, &cluster, job] { WriteChunks(cluster, job); });
 }
 
 void FsClient::AbandonAndRetry(Cluster& cluster, std::shared_ptr<WriteJob> job,
@@ -380,6 +436,9 @@ void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
         .Observe(cluster.now() - it->second.sent_ms);
     cluster.EndSpan(it->second.span);
     pending_.erase(it);
+    if (msg.tuple[2].Truthy()) {
+      CreditSuccess();
+    }
     cb(msg.tuple[2].Truthy(), msg.tuple[3]);
     return;
   }

@@ -50,6 +50,23 @@ struct FsClientOptions {
   // a chaos run stay reproducible and fault-free runs draw nothing).
   double retry_base_ms = 100;
   double retry_max_ms = 2000;
+  // Retry budget: a token bucket capping how many retries the client may issue in excess
+  // of its successes. Starts full at retry_budget_cap tokens; each budgeted retry spends
+  // one, each success credits retry_budget_refill back (clamped to the cap). 0 disables
+  // the budget (legacy behavior: every retry ladder runs to its round limit). Under a
+  // metastable overload the budget is what breaks the retry amplification loop.
+  double retry_budget_cap = 0;
+  double retry_budget_refill = 0.1;
+  // When the NameNode (or its admission gateway) sheds a request with a retryable
+  // ["overloaded", RetryAfterMs] payload, wait at least RetryAfterMs before retrying.
+  bool honor_retry_after = true;
+  // Full-jitter backoff (Uniform(0, base)) instead of the legacy base + Uniform(0, base/2).
+  // Full jitter decorrelates a thundering herd of shed clients; both draw exactly once
+  // from the cluster Rng per backoff, so enabling it does not perturb unrelated schedules.
+  bool full_jitter = false;
+  // Retry rounds allowed for shed ("overloaded") writes, counted separately from the
+  // transient-failure ladder. 0 = use write_max_rounds.
+  int overload_max_rounds = 0;
 };
 
 class FsClient : public Actor {
@@ -58,7 +75,9 @@ class FsClient : public Actor {
   using DataCb = std::function<void(bool ok, const std::string& data)>;
 
   FsClient(std::string address, FsClientOptions options)
-      : Actor(std::move(address)), options_(std::move(options)) {}
+      : Actor(std::move(address)),
+        options_(std::move(options)),
+        retry_tokens_(options_.retry_budget_cap) {}
 
   void OnMessage(const Message& msg, Cluster& cluster) override;
 
@@ -75,6 +94,8 @@ class FsClient : public Actor {
   void Exists(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Ls(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Rm(Cluster& cluster, const std::string& path, ResponseCb cb);
+  void Rename(Cluster& cluster, const std::string& path, const std::string& new_path,
+              ResponseCb cb);
   void AddChunk(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Chunks(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Locations(Cluster& cluster, int64_t chunk_id, ResponseCb cb);
@@ -93,12 +114,23 @@ class FsClient : public Actor {
   // Number of namespace requests issued (for throughput accounting).
   uint64_t requests_sent() const { return requests_sent_; }
 
+  // --- retry budget (shared with workloads that drive their own retries) ---
+  // Spends one token if the budget allows another retry (always true when disabled).
+  bool TrySpendRetryToken();
+  // Credits the budget for a success (no-op when disabled).
+  void CreditSuccess();
+  double retry_tokens() const { return retry_tokens_; }
+
  private:
   void Request(Cluster& cluster, const std::string& cmd, const std::string& path, Value arg,
                ResponseCb cb, std::string forced_target = "");
   void WriteChunks(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
   // Retry ladder steps for one chunk write / read (see FsClientOptions comments).
   void RetryWrite(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
+  // Shed-write path: `kOverloaded` is retryable-with-delay, not an escalation trigger —
+  // the retry honors the server's retry-after hint and draws on the retry budget.
+  void RetryWriteOverloaded(Cluster& cluster, std::shared_ptr<struct WriteJob> job,
+                            double retry_after_ms);
   void AbandonAndRetry(Cluster& cluster, std::shared_ptr<struct WriteJob> job,
                        int64_t chunk_id);
   void ReadChunks(Cluster& cluster, std::shared_ptr<struct ReadJob> job);
@@ -134,6 +166,7 @@ class FsClient : public Actor {
   std::map<int64_t, std::function<void(bool, std::string, int64_t)>> pending_reads_;
   std::map<int64_t, std::function<void()>> pending_acks_;
   uint64_t requests_sent_ = 0;
+  double retry_tokens_ = 0;  // remaining retry budget (meaningful iff cap > 0)
 };
 
 }  // namespace boom

@@ -283,6 +283,122 @@ sm6 delete safemode(On) :- sm_exit(_), safemode(On);
 sm7 delete sm_reported(Ch) :- sm_exit(_), sm_reported(Ch);
 )olg";
 
+// Rename extension: move a file to a new path. Files only — moving a directory would
+// leave every descendant's materialized fqpath stale, so directories keep their paths for
+// the lifetime of the namespace (HDFS-style metadata workloads rename files, not trees).
+constexpr char kRenameModule[] = R"olg(
+// ---- rename: move a file (not a directory) to a fresh path ----
+event do_rename(ReqId, Client, Path, NewPath);
+event rename_ok(ReqId, Client, FileId, NewParent, NewName);
+rn0 do_rename(R, C, P, NP) :- ns_request(@Me, R, C, "rename", P, NP);
+// Valid when the source is an existing file, the destination parent is a directory, and
+// the destination path is free. Existence checks read pre-request state, like mk1/cr1.
+rn1 rename_ok(R, C, F, NPar, NN) :- do_rename(R, C, P, NP), fqpath(P, F),
+                                    file(F, _, _, false),
+                                    D := path_dirname(NP),
+                                    NN := path_basename(NP), NN != "",
+                                    fqpath(D, NPar), file(NPar, _, _, true),
+                                    notin fqpath(NP, _);
+rn2 delete file(F, Par, N, IsD) :- rename_ok(_, _, F, _, _), file(F, Par, N, IsD);
+rn3 delete fqpath(P, F)         :- rename_ok(_, _, F, _, _), fqpath(P, F);
+// Re-inserting the file row under its new parent lets fq1 re-derive the new fqpath; the
+// file keeps its id, so chunk ownership (fchunk is keyed on the chunk) survives the move.
+rn4 file(F, NPar, NN, false)@next :- rename_ok(_, _, F, NPar, NN);
+rn5 ns_response(@C, R, true, nil) :- rename_ok(R, C, _, _, _);
+rn6 ns_response(@C, R, false, "rename failed") :- do_rename(R, C, _, _),
+                                                  notin rename_ok(R, _, _, _, _);
+)olg";
+
+// Tombstone GC extension: dead_chunk rows protect against resurrection-by-chunk-report
+// only while a DataNode could still be holding a stale replica; after gc_tombstone_ms
+// (chosen to exceed any plausible down-time plus a report period) they are pure garbage.
+// Tombstones are stamped from the same events that mint them (rm9/ab5) — stamping from
+// dead_chunk itself would put the rule's head in its own negation support.
+constexpr char kGcModule[] = R"olg(
+// ---- tombstone GC: bound dead_chunk growth under sustained churn ----
+table tomb_born(ChunkId, BornMs) keys(0);
+timer gc_check(gc_check_ms);
+gc1a tomb_born(Ch, T) :- rm_ok(_, _, F), fchunk(Ch, F), T := f_now();
+gc1b tomb_born(Ch, T) :- abandon_ok(_, _, Ch), T := f_now();
+gc2 delete dead_chunk(Ch) :- gc_check(_), dead_chunk(Ch), tomb_born(Ch, T),
+                             f_now() - T > gc_tombstone_ms;
+gc3 delete tomb_born(Ch, T) :- gc_check(_), tomb_born(Ch, T),
+                               f_now() - T > gc_tombstone_ms;
+)olg";
+
+// Admission-control module: installed alone on a gateway node (program "boomfs_gw"), not
+// composed into the NameNode — a self-addressed head would bypass the simulator's
+// busy-server service charge, making admitted work free. The gateway forwards admitted
+// requests over the network to the real NameNode, which replies to the client directly.
+constexpr char kAdmissionModule[] = R"olg(
+/////////////////////////////////////////////////////////////////////////////
+// SLO-aware admission control: per-tenant windowed write quotas, read-only
+// brownout under backlog, and load shedding with a retry-after hint.
+/////////////////////////////////////////////////////////////////////////////
+table adm_target(Nn) keys(0);
+table adm_tenant(Client, Tenant) keys(0);
+table adm_write(Cmd) keys(0);
+// Writes admitted in the current quota window, and the per-tenant count over them.
+table adm_win_w(ReqId, Tenant) keys(0);
+table adm_used(Tenant, N) keys(0);
+table brownout(On) keys(0);
+// The engine's published fixpoint profile (declared eagerly so bo3 can read it; the
+// engine reuses this declaration when PublishProfile runs).
+table perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) keys(0);
+
+// The non-monotone commands: everything else is a monotone read, served even browned out.
+adm_write("mkdir");
+adm_write("create");
+adm_write("rm");
+adm_write("addchunk");
+adm_write("abandon");
+adm_write("rename");
+
+timer adm_reset(adm_window_ms);
+
+event ns_ingress(Addr, ReqId, Client, Cmd, Path, Arg);
+event svc_load(Addr, BacklogMs);
+event ns_request(Addr, ReqId, Client, Cmd, Path, Arg);
+event ns_response(Addr, ReqId, Ok, Payload);
+event req_t(ReqId, Client, Cmd, Path, Arg, Tenant);
+event adm_deny(ReqId, Client, Tenant);
+
+// Tenant resolution: the configured mapping, else tenant 0.
+at1 req_t(R, C, Cmd, P, A, T) :- ns_ingress(@Me, R, C, Cmd, P, A), adm_tenant(C, T);
+at2 req_t(R, C, Cmd, P, A, 0) :- ns_ingress(@Me, R, C, Cmd, P, A),
+                                 notin adm_tenant(C, _);
+
+// Reads are monotone: always forwarded (the graceful-degradation guarantee).
+ar1 ns_request(@Nn, R, C, Cmd, P, A) :- req_t(R, C, Cmd, P, A, _),
+                                        notin adm_write(Cmd), adm_target(Nn);
+
+// Writes pay admission: shed when the tenant's window quota is spent or the plane is
+// browned out. (ady1/ady2 are the retry-storm bug-variant strip targets.)
+ady1 adm_deny(R, C, T) :- req_t(R, C, Cmd, _, _, T), adm_write(Cmd),
+                          adm_used(T, N), N >= adm_quota;
+ady2 adm_deny(R, C, T) :- req_t(R, C, Cmd, _, _, T), adm_write(Cmd), brownout(_);
+
+aw1 ns_request(@Nn, R, C, Cmd, P, A) :- req_t(R, C, Cmd, P, A, _), adm_write(Cmd),
+                                        notin adm_deny(R, _, _), adm_target(Nn);
+// Window accounting lands @next so the per-tick admit set is not re-judged against the
+// count it is itself producing.
+aw2 adm_win_w(R, T)@next :- req_t(R, _, Cmd, _, _, T), adm_write(Cmd),
+                            notin adm_deny(R, _, _);
+au1 adm_used(T, count<R>) :- adm_win_w(R, T);
+aw3 delete adm_win_w(R, T) :- adm_reset(_), adm_win_w(R, T);
+
+// Shed path: a cheap local rejection carrying the retry-after hint.
+ash1 ns_response(@C, R, false, Pay) :- adm_deny(R, C, _),
+                                       Pay := ["overloaded", adm_retry_ms];
+
+// Brownout with hysteresis: enter when the NameNode's sampled service backlog exceeds
+// the bound, exit once it drains below half. bo3 is the perf_fixpoint hook — a published
+// profile tick that blew its budget also trips the brownout.
+bo1 brownout(1) :- svc_load(_, Ms), Ms > adm_queue_bound_ms;
+bo2 delete brownout(On) :- svc_load(_, Ms), brownout(On), 2 * Ms < adm_queue_bound_ms;
+bo3 brownout(1) :- perf_fixpoint(_, _, _, _, W), W > adm_fixpoint_budget_us;
+)olg";
+
 }  // namespace
 
 const Module& NnNamespaceModule() {
@@ -317,6 +433,34 @@ const Module& NnSafeModeModule() {
   return *kModule;
 }
 
+const Module& NnRenameModule() {
+  static const Module* kModule = new Module{"nn_rename", kRenameModule, {}};
+  return *kModule;
+}
+
+const Module& NnGcModule() {
+  static const Module* kModule = new Module{
+      "nn_gc",
+      kGcModule,
+      {ModuleParam::Required("gc_check_ms", ValueKind::kDouble),
+       ModuleParam::Required("gc_tombstone_ms", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
+const Module& NnAdmissionModule() {
+  static const Module* kModule = new Module{
+      "nn_admission",
+      kAdmissionModule,
+      {ModuleParam::Required("adm_quota", ValueKind::kInt),
+       ModuleParam::Required("adm_window_ms", ValueKind::kDouble),
+       ModuleParam::Required("adm_queue_bound_ms", ValueKind::kDouble),
+       ModuleParam::Required("adm_retry_ms", ValueKind::kDouble),
+       ModuleParam::Required("adm_fixpoint_budget_us", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
 Program BoomFsNnProgram(const NnProgramOptions& options) {
   ProgramBuilder builder("boomfs_nn");
   // Protocol inputs arrive over the network (clients, DataNodes); nothing in the program
@@ -340,6 +484,35 @@ Program BoomFsNnProgram(const NnProgramOptions& options) {
                           {"sm_timeout_ms", options.safe_mode_timeout_ms},
                           {"sm_grace_ms", options.safe_mode_grace_ms}});
     BOOM_CHECK(status.ok()) << status.ToString();
+  }
+  if (options.with_rename) {
+    status = builder.Add(NnRenameModule());
+    BOOM_CHECK(status.ok()) << status.ToString();
+  }
+  if (options.with_gc) {
+    status = builder.Add(NnGcModule(), {{"gc_check_ms", options.gc_check_period_ms},
+                                        {"gc_tombstone_ms", options.gc_tombstone_ms}});
+    BOOM_CHECK(status.ok()) << status.ToString();
+  }
+  Result<Program> program = builder.Build();
+  BOOM_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+Program BoomFsGatewayProgram(const GatewayOptions& options) {
+  ProgramBuilder builder("boomfs_gw");
+  builder.WithExternalInputs({"ns_ingress", "svc_load"});
+  Status status = builder.Add(
+      NnAdmissionModule(),
+      {{"adm_quota", options.tenant_quota},
+       {"adm_window_ms", options.window_ms},
+       {"adm_queue_bound_ms", options.queue_bound_ms},
+       {"adm_retry_ms", options.retry_after_ms},
+       {"adm_fixpoint_budget_us", options.fixpoint_budget_us}});
+  BOOM_CHECK(status.ok()) << status.ToString();
+  builder.AddFact("adm_target", Tuple{Value(options.namenode)});
+  for (const auto& [client, tenant] : options.client_tenants) {
+    builder.AddFact("adm_tenant", Tuple{Value(client), Value(tenant)});
   }
   Result<Program> program = builder.Build();
   BOOM_CHECK(program.ok()) << program.status().ToString();

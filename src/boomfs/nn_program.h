@@ -22,6 +22,10 @@
 #ifndef SRC_BOOMFS_NN_PROGRAM_H_
 #define SRC_BOOMFS_NN_PROGRAM_H_
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/overlog/ast.h"
 #include "src/overlog/module.h"
 
@@ -43,16 +47,47 @@ struct NnProgramOptions {
   int safe_mode_report_frac_pct = 60;
   double safe_mode_timeout_ms = 5000;
   double safe_mode_grace_ms = 400;
+  // Rename support ("rename" command, files only). Off by default: the core module set
+  // (and with it the frozen golden program texts) is byte-identical without it.
+  bool with_rename = false;
+  // Tombstone GC: expire dead_chunk tombstones after gc_tombstone_ms so a churning
+  // NameNode has bounded state. Off by default for the same golden-stability reason.
+  bool with_gc = false;
+  double gc_check_period_ms = 1000;
+  double gc_tombstone_ms = 10000;
 };
 
-// The three NameNode modules, for composition on a caller-owned ProgramBuilder.
+// The NameNode modules, for composition on a caller-owned ProgramBuilder.
 const Module& NnNamespaceModule();
 const Module& NnFailureDetectorModule();
 const Module& NnSafeModeModule();
+const Module& NnRenameModule();
+const Module& NnGcModule();
+// The admission-control module (the NameNode's front door — runs on a separate gateway
+// node so admitted work still pays the NameNode's service time).
+const Module& NnAdmissionModule();
 
 // Composes the modules selected by `options` into the NameNode program and runs the
 // analyzer. Aborts on error — the modules are compiled in, so failure is a code bug.
 Program BoomFsNnProgram(const NnProgramOptions& options = {});
+
+// SLO-aware admission gateway in front of a NameNode: per-tenant token buckets over a
+// sliding window, read-only brownout keyed off the NameNode's measured service backlog
+// (svc_load) or the published perf_fixpoint profile, and load shedding that answers with
+// a retryable ["overloaded", RetryAfterMs] payload. Reads (monotone) are always forwarded.
+struct GatewayOptions {
+  std::string namenode = "nn";
+  // Client address -> tenant id (installed as adm_tenant facts; unlisted clients are
+  // tenant 0).
+  std::vector<std::pair<std::string, int64_t>> client_tenants;
+  int64_t tenant_quota = 64;     // admitted writes per tenant per window
+  double window_ms = 1000;
+  double queue_bound_ms = 400;   // brownout enters above this NN backlog, exits below half
+  double retry_after_ms = 500;   // hint carried in the shed response
+  double fixpoint_budget_us = 50000;  // brownout via a published perf_fixpoint row
+};
+
+Program BoomFsGatewayProgram(const GatewayOptions& options = {});
 
 }  // namespace boom
 

@@ -32,12 +32,20 @@
 #include <string_view>
 
 #include "src/base/strings.h"
+#include "src/overlog/value.h"
 
 namespace boom {
 
 // Namespace protocol.
 inline constexpr char kNsRequest[] = "ns_request";
 inline constexpr char kNsResponse[] = "ns_response";
+// Admission gateway intake: same tuple shape as ns_request, addressed to the gateway node.
+// Admitted requests are forwarded as ns_request to the real NameNode; shed requests get an
+// ns_response whose payload is ["overloaded", RetryAfterMs] (see below).
+inline constexpr char kNsIngress[] = "ns_ingress";
+// Load signal fed into the gateway: svc_load(Gw, BacklogMs) — the NameNode's queued
+// service backlog sampled via Cluster::ServiceBacklogMs.
+inline constexpr char kSvcLoad[] = "svc_load";
 
 // Commands.
 inline constexpr char kCmdMkdir[] = "mkdir";
@@ -51,6 +59,9 @@ inline constexpr char kCmdLocations[] = "locations";
 // Detach + tombstone a chunk whose every replica write failed (client-side pipeline
 // recovery gives up on the allocated id before re-requesting a fresh pipeline).
 inline constexpr char kCmdAbandon[] = "abandon";
+// Move a file: Path is the source, Arg the destination path (files only; directories keep
+// their paths for the lifetime of the namespace).
+inline constexpr char kCmdRename[] = "rename";
 
 // Data plane.
 inline constexpr char kDnWrite[] = "dn_write";
@@ -69,6 +80,25 @@ inline constexpr char kDnDelete[] = "dn_delete";
 // platforms so a checksum computed by the writer verifies on any replica.
 inline int64_t ChunkChecksum(std::string_view data) {
   return static_cast<int64_t>(Fnv1a64(data));
+}
+
+// Overload shedding. A shed request is answered with Ok=false and payload
+// ["overloaded", RetryAfterMs]: retryable after the hint, never terminal. Distinguishable
+// from every legacy failure payload (those are nil, bools, or lists of names/ids).
+inline constexpr char kOverloadedError[] = "overloaded";
+
+inline bool IsOverloadedPayload(const Value& payload) {
+  return payload.is_list() && payload.as_list().size() == 2 &&
+         payload.as_list()[0].is_string() &&
+         payload.as_list()[0].as_string() == kOverloadedError;
+}
+
+// The retry-after hint carried by an overloaded payload (0 when absent/malformed).
+inline double OverloadRetryAfterMs(const Value& payload) {
+  if (!IsOverloadedPayload(payload) || !payload.as_list()[1].is_numeric()) {
+    return 0;
+  }
+  return payload.as_list()[1].ToDouble();
 }
 
 }  // namespace boom

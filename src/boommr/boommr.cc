@@ -41,6 +41,9 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
     prog.speculative_cap = options.speculative_cap;
     prog.slow_task_fraction = options.slow_task_fraction;
     prog.capacity_default = options.capacity_default;
+    prog.with_admission = options.with_admission;
+    prog.jam_queue_bound = options.jam_queue_bound;
+    prog.jam_retry_ms = options.jam_retry_ms;
     for (const auto& [tenant, slots] : options.tenant_capacities) {
       prog.tenant_capacities.emplace_back(TenantClientAddress(options, tenant), slots);
     }
@@ -60,6 +63,12 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
       engine.AddWatch("spec_attempt", [](const std::string&, const Tuple&, bool inserted) {
         if (inserted) {
           MetricsRegistry::Global().counter("mr.jt.spec_attempt").Add();
+        }
+      });
+      // jam_deny carries distinct job ids, so each shed submission counts once.
+      engine.AddWatch("jam_deny", [](const std::string&, const Tuple&, bool inserted) {
+        if (inserted) {
+          MetricsRegistry::Global().counter("mr.jt.jam_deny").Add();
         }
       });
     });
@@ -91,6 +100,9 @@ MrHandles SetupMr(Cluster& cluster, const MrSetupOptions& options) {
     auto client = std::make_unique<MrClient>(
         TenantClientAddress(options, t), options.jobtracker, handles.data_plane,
         /*first_job_id=*/static_cast<int64_t>(t) * 1000000 + 1);
+    MrClientOptions client_opts = options.client;
+    client_opts.via_ingress = client_opts.via_ingress || options.with_admission;
+    client->set_options(std::move(client_opts));
     handles.tenant_clients.push_back(client.get());
     cluster.AddActor(std::move(client));
   }

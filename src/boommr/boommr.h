@@ -46,6 +46,14 @@ struct MrSetupOptions {
   // kCapacity quotas, keyed by tenant *index* (resolved to client addresses here).
   std::vector<std::pair<int, int64_t>> tenant_capacities;
   int64_t capacity_default = 2;
+  // Admission control (jt_admission module, BOOM-MR only): clients submit via
+  // mr_ingress/mr_task_ingress, submissions past the running-job bound are rejected with
+  // a retry hint, and rejected clients resubmit under fresh ids within `client` options.
+  bool with_admission = false;
+  int64_t jam_queue_bound = 8;
+  double jam_retry_ms = 500;
+  MrClientOptions client;  // applied to every tenant client (via_ingress is forced on
+                           // when with_admission is set)
   // Test hook: install this JobTracker program instead of the generated one (used by the
   // refactor-equivalence tests to pin a frozen pre-refactor program text).
   std::optional<Program> jt_program_override;

@@ -279,6 +279,34 @@ sp3 launch(TT, J, T, Ty, true) :- spec_launch(TT, J, T, Ty);
 sp4 spec_attempt(J, T, Ty)@next :- spec_launch(_, J, T, Ty);
 )olg";
 
+// Admission module: intake moves to mr_ingress / mr_task_ingress; a submission arriving
+// while the running-job backlog is at the bound is denied and bounced back to the client
+// with a retry-after hint, and its task stream is swallowed. Admitted jobs re-derive the
+// core mr_submit / mr_task events locally, so the rest of the program is untouched.
+constexpr char kAdmissionModule[] = R"olg(
+// ---- admission: bound the running-job backlog, shed with a retry-after hint ----
+table jam_backlog(K, N) keys(0);
+// Jobs denied in an earlier tick: their task events may still be in flight and must be
+// swallowed, not turned into orphan task rows.
+table jam_denied(JobId) keys(0);
+event mr_ingress(Addr, JobId, Client, NumMaps, NumReduces);
+event mr_task_ingress(Addr, JobId, TaskId, Type);
+event jam_deny(JobId, Client);
+event mr_reject(Addr, JobId, RetryMs);
+
+ja1 jam_backlog(1, count<J>) :- job(J, _, _, _, _, "running");
+ja2 jam_deny(J, C) :- mr_ingress(@Me, J, C, _, _), jam_backlog(1, N),
+                      N >= jam_queue_bound;
+ja3 jam_denied(J)@next :- jam_deny(J, _);
+ja4 mr_submit(Me, J, C, M, R) :- mr_ingress(@Me, J, C, M, R), notin jam_deny(J, _);
+ja5 mr_task(Me, J, T, Ty) :- mr_task_ingress(@Me, J, T, Ty), notin jam_deny(J, _),
+                             notin jam_denied(J);
+ja6 mr_reject(@C, J, RMs) :- jam_deny(J, C), RMs := jam_retry_ms;
+// A denied job id that comes back and is admitted sheds its tombstone.
+ja7 delete jam_denied(J) :- mr_ingress(_, J, _, _, _), jam_denied(J),
+                            notin jam_deny(J, _);
+)olg";
+
 }  // namespace
 
 const Module& JtCoreModule() {
@@ -316,6 +344,16 @@ const Module& JtExecModule() {
   return *kModule;
 }
 
+const Module& JtAdmissionModule() {
+  static const Module* kModule = new Module{
+      "jt_admission",
+      kAdmissionModule,
+      {ModuleParam::Required("jam_queue_bound", ValueKind::kInt),
+       ModuleParam::Required("jam_retry_ms", ValueKind::kDouble)},
+  };
+  return *kModule;
+}
+
 const Module& JtLatePolicyModule() {
   static const Module* kModule = new Module{
       "jt_late",
@@ -328,9 +366,23 @@ const Module& JtLatePolicyModule() {
 
 Program BoomMrJtProgram(const JtProgramOptions& options) {
   ProgramBuilder builder("boommr_jt");
-  builder.WithExternalInputs({"mr_submit", "mr_task", "tt_hb", "tt_progress", "tt_done"});
+  if (options.with_admission) {
+    // The core intake events now have local producers (ja4/ja5); the network-facing
+    // externals are the ingress pair.
+    builder.WithExternalInputs(
+        {"mr_ingress", "mr_task_ingress", "tt_hb", "tt_progress", "tt_done"});
+  } else {
+    builder.WithExternalInputs(
+        {"mr_submit", "mr_task", "tt_hb", "tt_progress", "tt_done"});
+  }
   Status status = builder.Add(JtCoreModule());
   BOOM_CHECK(status.ok()) << status.ToString();
+  if (options.with_admission) {
+    status = builder.Add(JtAdmissionModule(),
+                         {{"jam_queue_bound", options.jam_queue_bound},
+                          {"jam_retry_ms", options.jam_retry_ms}});
+    BOOM_CHECK(status.ok()) << status.ToString();
+  }
   switch (options.policy) {
     case MrPolicy::kFifo:
     case MrPolicy::kLate:

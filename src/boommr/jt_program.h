@@ -52,6 +52,13 @@ struct JtProgramOptions {
   // `capacity` facts. Tenants absent from the list fall back to `capacity_default`.
   std::vector<std::pair<std::string, int64_t>> tenant_capacities;
   int64_t capacity_default = 2;
+  // Admission control (jt_admission): bound the running-job backlog. Submissions arriving
+  // via mr_ingress while `jam_queue_bound` jobs are running are bounced back with
+  // mr_reject(Client, JobId, jam_retry_ms). Off by default — the composed program (and
+  // the frozen policy goldens) are byte-identical without it.
+  bool with_admission = false;
+  int64_t jam_queue_bound = 8;
+  double jam_retry_ms = 500;
 };
 
 // The JobTracker modules, for composition on a caller-owned ProgramBuilder.
@@ -61,6 +68,7 @@ const Module& JtFairSharePolicyModule();
 const Module& JtCapacityPolicyModule();
 const Module& JtExecModule();
 const Module& JtLatePolicyModule();
+const Module& JtAdmissionModule();
 
 // Composes the JobTracker program for `options` and runs the analyzer. Aborts on error —
 // the modules are compiled in, so failure is a code bug.

@@ -1,15 +1,32 @@
 #include "src/boommr/mr_client.h"
 
+#include <algorithm>
+
 #include "src/boommr/mr_protocol.h"
 #include "src/telemetry/metrics.h"
 
 namespace boom {
+
+bool MrClient::TrySpendRetryToken() {
+  if (options_.retry_budget_cap <= 0) {
+    return true;  // budget disabled
+  }
+  if (retry_tokens_ < 1) {
+    MetricsRegistry::Global().counter("mr.client.retry_budget_exhausted").Add();
+    return false;
+  }
+  retry_tokens_ -= 1;
+  return true;
+}
 
 void MrClient::Submit(Cluster& cluster, JobSpec spec,
                       std::function<void(double)> done) {
   int64_t job = spec.job_id;
   int num_maps = spec.num_maps;
   int num_reduces = spec.num_reduces;
+  if (options_.via_ingress) {
+    specs_[job] = spec;  // kept for resubmission on mr_reject
+  }
   data_plane_->RegisterJob(std::move(spec));
   data_plane_->metrics().job_submit_ms[job] = cluster.now();
   pending_[job] = std::move(done);
@@ -18,15 +35,17 @@ void MrClient::Submit(Cluster& cluster, JobSpec spec,
   cluster.SpanAttr(job_spans_[job], "job", std::to_string(job));
   Cluster::SpanScope scope(cluster, job_spans_[job]);
 
-  cluster.Send(address(), jobtracker_, kMrSubmit,
+  const std::string& submit_table = options_.via_ingress ? kMrIngress : kMrSubmit;
+  const std::string& task_table = options_.via_ingress ? kMrTaskIngress : kMrTask;
+  cluster.Send(address(), jobtracker_, submit_table,
                Tuple{Value(jobtracker_), Value(job), Value(address()), Value(num_maps),
                      Value(num_reduces)});
   for (int t = 0; t < num_maps; ++t) {
-    cluster.Send(address(), jobtracker_, kMrTask,
+    cluster.Send(address(), jobtracker_, task_table,
                  Tuple{Value(jobtracker_), Value(job), Value(t), Value(kTaskMap)});
   }
   for (int t = 0; t < num_reduces; ++t) {
-    cluster.Send(address(), jobtracker_, kMrTask,
+    cluster.Send(address(), jobtracker_, task_table,
                  Tuple{Value(jobtracker_), Value(job), Value(t), Value(kTaskReduce)});
   }
 }
@@ -41,6 +60,12 @@ void MrClient::OnMessage(const Message& msg, Cluster& cluster) {
     }
     auto cb = std::move(it->second);
     pending_.erase(it);
+    specs_.erase(job);
+    resubmits_.erase(job);
+    if (options_.retry_budget_cap > 0) {
+      retry_tokens_ = std::min(options_.retry_budget_cap,
+                               retry_tokens_ + options_.retry_budget_refill);
+    }
     data_plane_->metrics().job_done_ms[job] = cluster.now();
     auto span_it = job_spans_.find(job);
     if (span_it != job_spans_.end()) {
@@ -51,6 +76,44 @@ void MrClient::OnMessage(const Message& msg, Cluster& cluster) {
       job_spans_.erase(span_it);
     }
     cb(cluster.now());
+    return;
+  }
+  if (msg.table == kMrReject) {
+    // (Client, JobId, RetryMs): admission bounced the submission. Resubmit under a fresh
+    // id after the server's hint, spending a retry token; give up (cb never fires — the
+    // caller's own deadline owns that) when the budget or resubmit cap is exhausted.
+    int64_t job = msg.tuple[1].as_int();
+    auto it = pending_.find(job);
+    auto spec_it = specs_.find(job);
+    if (it == pending_.end() || spec_it == specs_.end()) {
+      return;  // duplicate reject
+    }
+    MetricsRegistry::Global().counter("mr.client.job_reject").Add();
+    auto cb = std::move(it->second);
+    JobSpec spec = std::move(spec_it->second);
+    int attempts = resubmits_[job];
+    pending_.erase(it);
+    specs_.erase(spec_it);
+    resubmits_.erase(job);
+    auto span_it = job_spans_.find(job);
+    if (span_it != job_spans_.end()) {
+      cluster.SpanAttr(span_it->second, "rejected", "1");
+      cluster.EndSpan(span_it->second);
+      job_spans_.erase(span_it);
+    }
+    if (attempts >= options_.max_resubmits || !TrySpendRetryToken()) {
+      MetricsRegistry::Global().counter("mr.client.job_reject_give_up").Add();
+      return;
+    }
+    double delay = msg.tuple[2].is_numeric() ? msg.tuple[2].ToDouble() : 0.0;
+    cluster.ScheduleAfter(delay, [this, &cluster, spec = std::move(spec),
+                                  cb = std::move(cb), attempts]() mutable {
+      spec.job_id = NextJobId();
+      resubmits_[spec.job_id] = attempts + 1;
+      MetricsRegistry::Global().counter("mr.client.job_resubmit").Add();
+      Submit(cluster, std::move(spec), std::move(cb));
+    });
+    return;
   }
 }
 

@@ -13,6 +13,20 @@
 
 namespace boom {
 
+struct MrClientOptions {
+  // Submit through the JobTracker's admission gateway tables (mr_ingress /
+  // mr_task_ingress) instead of the direct mr_submit/mr_task intake. A bounced
+  // submission comes back as mr_reject(Client, JobId, RetryMs) and is resubmitted with a
+  // FRESH job id after the server's retry hint (a fresh id sidesteps any race between
+  // readmission and task events still in flight under the old id).
+  bool via_ingress = false;
+  // Resubmit budget: token bucket as in FsClientOptions — each resubmit spends a token,
+  // each completed job credits retry_budget_refill back. 0 disables the budget.
+  double retry_budget_cap = 0;
+  double retry_budget_refill = 1;
+  int max_resubmits = 8;  // per logical job, across its ids
+};
+
 class MrClient : public Actor {
  public:
   // `first_job_id` partitions the id space when several clients share one data plane
@@ -33,11 +47,25 @@ class MrClient : public Actor {
   // Fresh process-unique job id.
   int64_t NextJobId() { return next_job_id_++; }
 
+  void set_options(MrClientOptions options) {
+    options_ = std::move(options);
+    retry_tokens_ = options_.retry_budget_cap;  // bucket starts full
+  }
+  double retry_tokens() const { return retry_tokens_; }
+
  private:
+  bool TrySpendRetryToken();
+
   std::string jobtracker_;
   std::shared_ptr<MrDataPlane> data_plane_;
+  MrClientOptions options_;
   std::map<int64_t, std::function<void(double)>> pending_;
   std::map<int64_t, SpanContext> job_spans_;  // "mr.job" root span per job in flight
+  // Ingress mode: the spec and resubmit count per job id in flight, so a rejected job can
+  // be resubmitted (specs are dropped once the job completes or gives up).
+  std::map<int64_t, JobSpec> specs_;
+  std::map<int64_t, int> resubmits_;
+  double retry_tokens_ = 0;
   int64_t next_job_id_;
 };
 

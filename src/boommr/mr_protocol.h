@@ -22,6 +22,12 @@ namespace boom {
 inline constexpr char kMrSubmit[] = "mr_submit";
 inline constexpr char kMrTask[] = "mr_task";
 inline constexpr char kMrJobDone[] = "mr_job_done";
+// Admission intake (jt_admission module): same shapes as mr_submit / mr_task. Admitted
+// jobs re-derive the core events locally; shed jobs are bounced back to the client with
+// mr_reject(Client, JobId, RetryAfterMs).
+inline constexpr char kMrIngress[] = "mr_ingress";
+inline constexpr char kMrTaskIngress[] = "mr_task_ingress";
+inline constexpr char kMrReject[] = "mr_reject";
 inline constexpr char kTtHb[] = "tt_hb";
 inline constexpr char kTtProgress[] = "tt_progress";
 inline constexpr char kTtDone[] = "tt_done";

@@ -394,6 +394,28 @@ void BoomMrFairnessChecker::Check(Cluster& /*cluster*/, bool /*final_check*/,
   }
 }
 
+void GoodputRecoveryChecker::Check(Cluster& /*cluster*/, bool final_check,
+                                   std::vector<std::string>* out) {
+  if (!final_check) {
+    return;
+  }
+  double pre = goodput_(pre_t0_ms_, pre_t1_ms_);
+  double post = goodput_(post_t0_ms_, post_t1_ms_);
+  if (pre <= 0) {
+    // Never a pass by vacuity: a run whose baseline produced nothing is itself broken.
+    out->push_back("no pre-burst goodput in [" + Fmt("%.0f", pre_t0_ms_) + ", " +
+                   Fmt("%.0f", pre_t1_ms_) + ")ms — baseline window saw zero successes");
+    return;
+  }
+  if (post < min_ratio_ * pre) {
+    out->push_back("goodput stayed collapsed after the burst cleared: " +
+                   Fmt("%.1f", post) + " ops/s in [" + Fmt("%.0f", post_t0_ms_) + ", " +
+                   Fmt("%.0f", post_t1_ms_) + ")ms vs " + Fmt("%.1f", pre) +
+                   " ops/s baseline (need >= " + Fmt("%.2f", min_ratio_) +
+                   "x) — the metastable-failure signature");
+  }
+}
+
 void BoomMrCompletionChecker::Check(Cluster& /*cluster*/, bool final_check,
                                     std::vector<std::string>* out) {
   if (!final_check) {

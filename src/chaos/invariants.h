@@ -15,6 +15,7 @@
 #define SRC_CHAOS_INVARIANTS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -178,6 +179,37 @@ class BoomMrFairnessChecker : public InvariantChecker {
   int total_slots_;
   int max_starved_checks_;
   std::vector<int> starved_streak_;  // consecutive contended checkpoints at 0 slots
+};
+
+// --- Overload ---
+
+// Goodput recovery (final only): the metastable-failure invariant. Compares mean
+// successful ops/sec over a post-burst window against the pre-burst baseline; a healthy
+// admission + retry-budget stack must climb back to >= min_ratio of baseline once the
+// trigger (the burst, a gray window) clears. A system stuck in the retry-sustained
+// regime stays collapsed and trips this. `goodput` is typically
+// FsLoadWorkload::GoodputBetween bound to the scenario's workload.
+class GoodputRecoveryChecker : public InvariantChecker {
+ public:
+  GoodputRecoveryChecker(std::function<double(double, double)> goodput, double pre_t0_ms,
+                         double pre_t1_ms, double post_t0_ms, double post_t1_ms,
+                         double min_ratio = 0.9)
+      : goodput_(std::move(goodput)),
+        pre_t0_ms_(pre_t0_ms),
+        pre_t1_ms_(pre_t1_ms),
+        post_t0_ms_(post_t0_ms),
+        post_t1_ms_(post_t1_ms),
+        min_ratio_(min_ratio) {}
+  std::string name() const override { return "overload-goodput-recovery"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::function<double(double, double)> goodput_;
+  double pre_t0_ms_;
+  double pre_t1_ms_;
+  double post_t0_ms_;
+  double post_t1_ms_;
+  double min_ratio_;
 };
 
 // Liveness (final only): every submitted job completed once the cluster healed.

@@ -13,6 +13,7 @@
 #include "src/boommr/jt_program.h"
 #include "src/paxos/paxos_program.h"
 #include "src/sim/random.h"
+#include "src/workload/fs_load.h"
 #include "src/workload/tenancy.h"
 
 namespace boom {
@@ -515,6 +516,120 @@ class TenancyChaosScenario : public ChaosScenario {
   std::unique_ptr<TenancyWorkload> workload_;
 };
 
+// --- Overload: open-loop FS-metadata traffic, a mid-run burst past NameNode capacity,
+// --- and the admission gateway + retry budgets that must keep the collapse metastable-
+// --- free. The only random faults are mild gray windows on the NameNode itself: the
+// --- burst is the trigger, the gray window composes with it.
+//
+// The "retry-storm" bug variant strips the gateway's shed rules (ady1/ady2) and removes
+// the client retry budget + retry-after hint: requests queue unboundedly at the
+// NameNode, time out, and the unbudgeted retry stream replaces the burst as the
+// sustaining load — goodput stays collapsed after the trigger clears, which the
+// GoodputRecoveryChecker flags (and the explorer shrinks the fault schedule to show the
+// workload alone reproduces it).
+
+class OverloadScenario : public ChaosScenario {
+ public:
+  explicit OverloadScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int i = 0; i < kNumDataNodes; ++i) {
+      datanodes_.push_back(nn_ + "_dn" + std::to_string(i));
+    }
+    for (int t = 0; t < kNumTenants; ++t) {
+      clients_.push_back(nn_ + "_client_t" + std::to_string(t));
+    }
+  }
+
+  std::string name() const override { return "overload"; }
+  double default_horizon_ms() const override { return 30000; }
+  double default_settle_ms() const override { return 10000; }
+
+  void Setup(Cluster& cluster, uint64_t seed) override {
+    FsLoadOptions opts;
+    opts.namenode = nn_;
+    opts.num_datanodes = kNumDataNodes;
+    opts.num_tenants = kNumTenants;
+    opts.seed = seed;
+    opts.horizon_ms = horizon_ms();
+    // ~250 ops/s offered against a 625 ops/s NameNode (1.6ms serial service); the burst
+    // alone exceeds capacity, everything else has headroom.
+    opts.service_ms_per_request = 1.6;
+    opts.mean_interarrival_ms = 4.0;
+    opts.burst_factor = kBurstFactor;
+    opts.burst_start_ms = kBurstStartMs;
+    opts.burst_end_ms = kBurstEndMs;
+    opts.with_admission = true;
+    // Brownout (backlog-triggered read-only degradation) is the mechanism under test;
+    // park the per-tenant write quota far above any rate this run can reach.
+    opts.gateway.tenant_quota = 1000000;
+    opts.gateway.queue_bound_ms = 400;
+    opts.gateway.retry_after_ms = 500;
+    // The recovering configuration: budgeted retries, full jitter, honored hints.
+    opts.retry_budget_cap = 16;
+    opts.retry_budget_refill = 0.2;
+    opts.honor_retry_after = true;
+    opts.full_jitter = true;
+    if (options_.bug == "retry-storm") {
+      // Gateway becomes a pass-through: same topology, no shedding. Clients lose the
+      // budget (cap 0 = unbounded) and ignore retry-after hints — the pre-PR behaviour.
+      GatewayOptions gw = opts.gateway;
+      gw.namenode = nn_;
+      for (int t = 0; t < kNumTenants; ++t) {
+        gw.client_tenants.emplace_back(clients_[static_cast<size_t>(t)],
+                                       static_cast<int64_t>(t));
+      }
+      Program program = BoomFsGatewayProgram(gw);
+      StripRule(&program, "ady1");
+      StripRule(&program, "ady2");
+      opts.gateway_program_override = std::move(program);
+      opts.retry_budget_cap = 0;
+      opts.honor_retry_after = false;
+      opts.max_op_retries = 6;
+    }
+    workload_ = std::make_unique<FsLoadWorkload>(cluster, std::move(opts));
+    FsLoadWorkload* w = workload_.get();
+    checkers_.push_back(std::make_unique<GoodputRecoveryChecker>(
+        [w](double t0, double t1) { return w->GoodputBetween(t0, t1); },
+        /*pre_t0_ms=*/4000, /*pre_t1_ms=*/kBurstStartMs,
+        /*post_t0_ms=*/kBurstEndMs + 6000, /*post_t1_ms=*/horizon_ms() - 1000,
+        /*min_ratio=*/0.9));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    o.all_nodes = datanodes_;
+    o.all_nodes.push_back(nn_);
+    o.all_nodes.push_back(nn_ + "_gw");
+    for (const std::string& c : clients_) {
+      o.all_nodes.push_back(c);
+    }
+    // No crashes/partitions/degrades: the overload trigger lives in the workload itself.
+    // The random dimension is a mild gray window on the NameNode — capacity dips but
+    // stays above the steady offered load, so only its composition with the burst bites.
+    o.max_crashes = 0;
+    o.max_partitions = 0;
+    o.max_degrades = 0;
+    o.grayable = {nn_};
+    o.max_grays = 1;
+    o.min_gray_factor = 1.2;
+    o.max_gray_factor = 1.8;
+    return o;
+  }
+
+ private:
+  static constexpr int kNumDataNodes = 3;
+  static constexpr int kNumTenants = 3;
+  static constexpr double kBurstFactor = 4.0;   // 4x offered = ~1.6x capacity
+  static constexpr double kBurstStartMs = 10000;
+  static constexpr double kBurstEndMs = 14000;
+
+  ScenarioOptions options_;
+  std::string nn_ = "nn";
+  std::vector<std::string> datanodes_;
+  std::vector<std::string> clients_;
+  std::unique_ptr<FsLoadWorkload> workload_;
+};
+
 }  // namespace
 
 namespace {
@@ -539,6 +654,9 @@ std::vector<std::string> ScenarioBugNames(const std::string& scenario) {
   if (scenario == "boommr") {
     return {"limplock"};
   }
+  if (scenario == "overload") {
+    return {"retry-storm"};
+  }
   return {};  // the tenancy scenario has no bug variants
 }
 
@@ -561,11 +679,14 @@ std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
   if (name == "tenancy") {
     return std::make_unique<TenancyChaosScenario>(options);
   }
+  if (name == "overload") {
+    return std::make_unique<OverloadScenario>(options);
+  }
   return nullptr;
 }
 
 std::vector<std::string> ScenarioNames() {
-  return {"paxos", "boomfs", "boommr", "tenancy"};
+  return {"paxos", "boomfs", "boommr", "tenancy", "overload"};
 }
 
 }  // namespace boom

@@ -15,6 +15,10 @@
 //           whose attempts run orders of magnitude slow is never worked around (the
 //           dead-tracker detector stays quiet — the node heartbeats on time), so its
 //           tasks wedge and jobs never complete.
+//   overload: "retry-storm" — strips the admission gateway's shed rules (ady1/ady2) and
+//           the client retry budget: a burst past NameNode capacity queues requests past
+//           the client timeout, and the unbudgeted retry stream sustains the overload
+//           after the burst clears (metastable failure — goodput never recovers).
 
 #ifndef SRC_CHAOS_SCENARIO_H_
 #define SRC_CHAOS_SCENARIO_H_
@@ -70,7 +74,8 @@ class ChaosScenario {
   double horizon_ms_ = 0;
 };
 
-// Factory for {"paxos", "boomfs", "boommr", "tenancy"}; returns nullptr for unknown names.
+// Factory for {"paxos", "boomfs", "boommr", "tenancy", "overload"}; returns nullptr for
+// unknown names.
 std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
                                             const ScenarioOptions& options = {});
 std::vector<std::string> ScenarioNames();

@@ -19,6 +19,29 @@ void HdfsNameNode::OnStart(Cluster& cluster) {
   safe_mode_since_ = cluster.now();
   ArmFailureCheck(cluster);
   ArmSafeModeCheck(cluster);
+  ArmGcCheck(cluster);
+}
+
+void HdfsNameNode::ArmGcCheck(Cluster& cluster) {
+  if (!options_.with_tombstone_gc) {
+    return;
+  }
+  uint64_t epoch = start_epoch_;
+  cluster.ScheduleAfter(options_.gc_check_period_ms, [this, &cluster, epoch] {
+    if (epoch != start_epoch_ || !cluster.IsAlive(address())) {
+      return;
+    }
+    // A tombstone only needs to outlive straggler chunk reports; after gc_tombstone_ms
+    // it is dead weight, and under sustained churn an unbounded set is a slow leak.
+    for (auto it = dead_chunks_.begin(); it != dead_chunks_.end();) {
+      if (cluster.now() - it->second > options_.gc_tombstone_ms) {
+        it = dead_chunks_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ArmGcCheck(cluster);
+  });
 }
 
 void HdfsNameNode::ArmSafeModeCheck(Cluster& cluster) {
@@ -173,11 +196,34 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
       }
       chunk_file_.erase(chunk);
       chunk_locs_.erase(chunk);
-      dead_chunks_.insert(chunk);
+      dead_chunks_[chunk] = cluster.now();
     }
     file_chunks_.erase(node->id);
     children_.erase({node->parent, node->name});
     inodes_.erase(node->id);
+    Respond(cluster, client, req, true, Value());
+    return;
+  }
+  if (cmd == kCmdRename && options_.with_rename) {
+    // Files only, same semantics as the Overlog nn_rename module: the source must be an
+    // existing file, the destination parent an existing directory, and the destination
+    // path free. Chunk ownership is keyed by inode id, so it survives untouched.
+    const Inode* node = Resolve(path);
+    const std::string new_path = arg.as_string();
+    const Inode* dir = Resolve(PathDirname(new_path));
+    std::string name = PathBasename(new_path);
+    if (node == nullptr || node->is_dir || name.empty() || dir == nullptr ||
+        !dir->is_dir || children_.count({dir->id, name}) > 0) {
+      Respond(cluster, client, req, false, Value("rename failed"));
+      return;
+    }
+    int64_t id = node->id;
+    int64_t new_parent = dir->id;
+    children_.erase({node->parent, node->name});
+    Inode& inode = inodes_[id];
+    inode.parent = new_parent;
+    inode.name = name;
+    children_[{new_parent, name}] = id;
     Respond(cluster, client, req, true, Value());
     return;
   }
@@ -250,7 +296,7 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
         chunk_locs_.erase(locs_it);
       }
       chunk_file_.erase(owner);
-      dead_chunks_.insert(chunk);
+      dead_chunks_[chunk] = cluster.now();
     }
     Respond(cluster, client, req, true, Value());
     return;

@@ -29,6 +29,14 @@ struct HdfsNameNodeOptions {
   int safe_mode_report_frac_pct = 60;
   double safe_mode_timeout_ms = 5000;
   double safe_mode_grace_ms = 400;
+  // Rename support ("rename" command, files only — same semantics as the Overlog
+  // nn_rename module). Off by default to match the Overlog twin's default module set.
+  bool with_rename = false;
+  // Tombstone GC: expire rm/abandon tombstones after gc_tombstone_ms so sustained churn
+  // leaves bounded state (the Overlog twin's nn_gc module).
+  bool with_tombstone_gc = false;
+  double gc_check_period_ms = 1000;
+  double gc_tombstone_ms = 10000;
 };
 
 class HdfsNameNode : public Actor {
@@ -46,6 +54,7 @@ class HdfsNameNode : public Actor {
   size_t file_count() const { return inodes_.size(); }
   size_t live_datanodes() const { return datanodes_.size(); }
   bool in_safe_mode() const { return safe_mode_; }
+  size_t dead_chunk_count() const { return dead_chunks_.size(); }
   std::vector<std::string> ChunkLocations(int64_t chunk_id) const;
 
  private:
@@ -60,6 +69,7 @@ class HdfsNameNode : public Actor {
   const Inode* Resolve(const std::string& path) const;
   void ArmFailureCheck(Cluster& cluster);
   void ArmSafeModeCheck(Cluster& cluster);
+  void ArmGcCheck(Cluster& cluster);
   void CheckSafeMode(Cluster& cluster);
   void Respond(Cluster& cluster, const std::string& client, int64_t req, bool ok,
                Value payload);
@@ -74,7 +84,7 @@ class HdfsNameNode : public Actor {
   std::map<int64_t, std::vector<int64_t>> file_chunks_;   // file -> ordered chunks
   std::map<int64_t, int64_t> chunk_file_;                 // chunk -> file
   std::map<int64_t, std::set<std::string>> chunk_locs_;   // chunk -> datanodes
-  std::set<int64_t> dead_chunks_;                         // rm tombstones (gates reports)
+  std::map<int64_t, double> dead_chunks_;  // rm tombstones (gates reports) -> born time
   std::map<std::string, double> datanodes_;               // datanode -> last heartbeat
   int64_t next_id_ = 1;
   uint64_t start_epoch_ = 0;

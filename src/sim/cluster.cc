@@ -80,6 +80,14 @@ void Cluster::SetServiceTime(const std::string& address,
   node->service_ms = std::move(service_ms);
 }
 
+double Cluster::ServiceBacklogMs(const std::string& address) const {
+  const Node* node = FindNode(address);
+  if (node == nullptr) {
+    return 0;
+  }
+  return std::max(0.0, node->busy_until - now_ms_);
+}
+
 Cluster::Node* Cluster::FindNode(const std::string& address) {
   auto it = nodes_.find(address);
   return it == nodes_.end() ? nullptr : &it->second;

@@ -117,6 +117,9 @@ class Cluster {
   // Serial service time for inbound messages at `address` (0 = infinitely fast server).
   void SetServiceTime(const std::string& address,
                       std::function<double(const Message&)> service_ms);
+  // Milliseconds of queued work ahead of a fresh arrival at `address` right now (0 for an
+  // idle or unknown node). Admission controllers sample this as their load signal.
+  double ServiceBacklogMs(const std::string& address) const;
 
   // --- messaging & scheduling ---
 

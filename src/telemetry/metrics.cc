@@ -108,6 +108,16 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   return names;
 }
 
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 std::vector<MetricRow> MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricRow> rows;

@@ -99,6 +99,8 @@ class MetricsRegistry {
   // Names of every registered histogram, sorted — lets reporters (e.g. the SLO report)
   // discover metric families like "slo.tenant<i>.job_ms" without a side registry.
   std::vector<std::string> HistogramNames() const;
+  // Same for counters (e.g. the "slo.tenant<i>.shed" family).
+  std::vector<std::string> CounterNames() const;
 
   // All metrics with nonzero activity, sorted by name (zero-valued metrics are elided so
   // reports only show what a run actually touched).

@@ -61,6 +61,17 @@ SloReport BuildSloReport(MetricsRegistry& registry) {
     slo.p50_ms = h.Quantile(0.50);
     slo.p99_ms = h.Quantile(0.99);
     slo.p999_ms = h.Quantile(0.999);
+    std::string base = kPrefix + std::to_string(tenant) + ".";
+    // counter() would create the name; only read families the run actually touched.
+    for (const std::string& cname : registry.CounterNames()) {
+      if (cname == base + "shed") {
+        slo.shed = registry.counter(cname).value();
+      } else if (cname == base + "rejected") {
+        slo.rejected = registry.counter(cname).value();
+      } else if (cname == base + "retries") {
+        slo.retries = registry.counter(cname).value();
+      }
+    }
     report.tenants.push_back(slo);
   }
   std::sort(report.tenants.begin(), report.tenants.end(),
@@ -79,10 +90,13 @@ std::string SloReport::ToJson() const {
     first = false;
     std::snprintf(buf, sizeof(buf),
                   "\n    {\"tenant\": %d, \"jobs\": %llu, \"mean_ms\": %s, "
-                  "\"p50_ms\": %s, \"p99_ms\": %s, \"p999_ms\": %s}",
+                  "\"p50_ms\": %s, \"p99_ms\": %s, \"p999_ms\": %s, "
+                  "\"shed\": %llu, \"rejected\": %llu, \"retries\": %llu}",
                   t.tenant, static_cast<unsigned long long>(t.count),
                   Fmt(t.mean_ms).c_str(), Fmt(t.p50_ms).c_str(), Fmt(t.p99_ms).c_str(),
-                  Fmt(t.p999_ms).c_str());
+                  Fmt(t.p999_ms).c_str(), static_cast<unsigned long long>(t.shed),
+                  static_cast<unsigned long long>(t.rejected),
+                  static_cast<unsigned long long>(t.retries));
     out += buf;
   }
   out += first ? "]\n}" : "\n  ]\n}";
@@ -94,9 +108,13 @@ std::string SloReport::ToText() const {
   char buf[256];
   for (const TenantSlo& t : tenants) {
     std::snprintf(buf, sizeof(buf),
-                  "tenant %d  jobs=%llu mean=%sms p50=%sms p99=%sms p999=%sms\n", t.tenant,
-                  static_cast<unsigned long long>(t.count), Fmt(t.mean_ms).c_str(),
-                  Fmt(t.p50_ms).c_str(), Fmt(t.p99_ms).c_str(), Fmt(t.p999_ms).c_str());
+                  "tenant %d  jobs=%llu mean=%sms p50=%sms p99=%sms p999=%sms"
+                  " shed=%llu rejected=%llu retries=%llu\n",
+                  t.tenant, static_cast<unsigned long long>(t.count), Fmt(t.mean_ms).c_str(),
+                  Fmt(t.p50_ms).c_str(), Fmt(t.p99_ms).c_str(), Fmt(t.p999_ms).c_str(),
+                  static_cast<unsigned long long>(t.shed),
+                  static_cast<unsigned long long>(t.rejected),
+                  static_cast<unsigned long long>(t.retries));
     out += buf;
   }
   return out;

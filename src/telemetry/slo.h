@@ -23,6 +23,11 @@ struct TenantSlo {
   double p50_ms = 0;
   double p99_ms = 0;
   double p999_ms = 0;
+  // Overload accounting, from the "slo.tenant<i>.shed|rejected|retries" counter family
+  // (zero when the run had no admission control / retry machinery).
+  uint64_t shed = 0;      // requests dropped by the admission gateway
+  uint64_t rejected = 0;  // shed responses observed client-side
+  uint64_t retries = 0;   // client retries issued (shed + timeout triggered)
 };
 
 struct SloReport {

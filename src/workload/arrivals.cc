@@ -16,6 +16,15 @@ double DiurnalFactor(const ArrivalOptions& options, double t_ms) {
   return std::max(0.0, 1.0 + options.diurnal_amplitude * std::sin(phase));
 }
 
+double BurstFactor(const ArrivalOptions& options, double t_ms) {
+  if (options.burst_factor <= 0 || options.burst_end_ms <= options.burst_start_ms) {
+    return 1.0;
+  }
+  return (t_ms >= options.burst_start_ms && t_ms < options.burst_end_ms)
+             ? options.burst_factor
+             : 1.0;
+}
+
 ArrivalGenerator::ArrivalGenerator(ArrivalOptions options)
     : options_(std::move(options)),
       rng_(options_.seed * 0x9e3779b97f4a7c15ULL + 0x1b873593ULL),
@@ -58,14 +67,16 @@ bool ArrivalGenerator::Next(OpenLoopArrival* out) {
   // each point with probability rate(t)/peak. The kept points are exactly the
   // inhomogeneous Poisson process with the diurnal rate — and the draw sequence is fixed
   // by the seed alone, so the trace is deterministic.
-  double peak_rate_factor = 1.0 + std::max(0.0, options_.diurnal_amplitude);
+  double peak_burst = std::max(1.0, options_.burst_factor);
+  double peak_rate_factor = (1.0 + std::max(0.0, options_.diurnal_amplitude)) * peak_burst;
   double mean_at_peak = options_.mean_interarrival_ms / peak_rate_factor;
   while (true) {
     t_ms_ += rng_.Exponential(mean_at_peak);
     if (t_ms_ >= options_.horizon_ms) {
       return false;
     }
-    double keep = DiurnalFactor(options_, t_ms_) / peak_rate_factor;
+    double keep =
+        DiurnalFactor(options_, t_ms_) * BurstFactor(options_, t_ms_) / peak_rate_factor;
     if (keep < 1.0 && !rng_.Bernoulli(std::max(0.0, keep))) {
       continue;
     }

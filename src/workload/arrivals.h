@@ -47,10 +47,21 @@ struct ArrivalOptions {
   // hash of its id, so a client's tenant is stable across draws and the per-tenant arrival
   // fraction converges to its weight. Empty = single tenant 0.
   std::vector<double> tenant_weights;
+
+  // Overload burst: multiply the rate by burst_factor inside [burst_start_ms,
+  // burst_end_ms) — the metastable-failure trigger. Factor 1 (or an empty window) is
+  // byte-identical to no burst: the thinning peak is scaled by an exact *1.0, so every
+  // Rng draw and comparison is unchanged.
+  double burst_factor = 1.0;
+  double burst_start_ms = 0;
+  double burst_end_ms = 0;
 };
 
 // The instantaneous diurnal rate multiplier at time t (>= 0).
 double DiurnalFactor(const ArrivalOptions& options, double t_ms);
+
+// The burst multiplier at time t: burst_factor inside the burst window, 1 outside.
+double BurstFactor(const ArrivalOptions& options, double t_ms);
 
 // Pull-based generator: Next() yields arrivals in nondecreasing time order until the
 // horizon. Satisfies the OpenLoopSource shape expected by sim/open_loop.h.

@@ -1,0 +1,264 @@
+#include "src/workload/fs_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/strings.h"
+#include "src/boomfs/protocol.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/slo.h"
+
+namespace boom {
+
+namespace {
+
+std::string TenantDir(int tenant) { return "/t" + std::to_string(tenant); }
+
+std::string TenantCounterName(int tenant, const char* what) {
+  return "slo.tenant" + std::to_string(tenant) + "." + what;
+}
+
+}  // namespace
+
+FsLoadWorkload::FsLoadWorkload(Cluster& cluster, FsLoadOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  int tenants = std::max(1, options_.num_tenants);
+  live_.assign(static_cast<size_t>(tenants), {});
+  name_seq_.assign(static_cast<size_t>(tenants), 0);
+
+  FsSetupOptions fs;
+  fs.kind = options_.kind;
+  fs.namenode = options_.namenode;
+  fs.num_datanodes = options_.num_datanodes;
+  fs.with_rename = true;  // the op mix includes renames
+  fs.with_gc = options_.with_gc;
+  fs.gc_check_period_ms = options_.gc_check_period_ms;
+  fs.gc_tombstone_ms = options_.gc_tombstone_ms;
+  handles_ = SetupFs(cluster_, fs);
+
+  // The capacity model: namespace requests queue behind a serial service time, so offered
+  // load above 1/service_ms turns into backlog — the overload signal everything else
+  // (svc_load, brownout, the goodput checker) keys off.
+  if (options_.service_ms_per_request > 0) {
+    double per_req = options_.service_ms_per_request;
+    cluster_.SetServiceTime(options_.namenode, [per_req](const Message& m) {
+      return m.table == kNsRequest ? per_req : 0.0;
+    });
+  }
+
+  std::string gateway_addr = options_.namenode + "_gw";
+  std::vector<std::pair<std::string, int64_t>> client_tenants;
+  for (int t = 0; t < tenants; ++t) {
+    client_tenants.emplace_back(options_.namenode + "_client_t" + std::to_string(t), t);
+  }
+  if (options_.with_admission) {
+    GatewaySetupOptions gw;
+    gw.address = gateway_addr;
+    gw.gateway = options_.gateway;
+    gw.gateway.namenode = options_.namenode;
+    gw.gateway.client_tenants = client_tenants;
+    gw.load_probe_period_ms = options_.load_probe_period_ms;
+    gw.program_override = options_.gateway_program_override;
+    AddAdmissionGateway(cluster_, gw);
+  }
+
+  for (int t = 0; t < tenants; ++t) {
+    FsClientOptions copts;
+    copts.namenode = options_.with_admission ? gateway_addr : options_.namenode;
+    copts.request_table = options_.with_admission ? kNsIngress : kNsRequest;
+    copts.request_timeout_ms = options_.op_timeout_ms;
+    copts.retry_base_ms = options_.retry_base_ms;
+    copts.retry_max_ms = options_.retry_max_ms;
+    copts.retry_budget_cap = options_.retry_budget_cap;
+    copts.retry_budget_refill = options_.retry_budget_refill;
+    copts.honor_retry_after = options_.honor_retry_after;
+    copts.full_jitter = options_.full_jitter;
+    auto client =
+        std::make_unique<FsClient>(client_tenants[static_cast<size_t>(t)].first, copts);
+    clients_.push_back(client.get());
+    cluster_.AddActor(std::move(client));
+    // Pre-register the SLO histogram so zero-traffic tenants still appear in reports.
+    MetricsRegistry::Global().histogram(SloHistogramName(t), SloLatencyBoundsMs());
+    // Per-tenant root directory; arrivals only start ~mean_interarrival_ms in, so this
+    // normally lands first (a create racing it just fails and is retried as fresh work).
+    clients_[static_cast<size_t>(t)]->Mkdir(cluster_, TenantDir(t),
+                                            [](bool, const Value&) {});
+  }
+
+  ArrivalOptions arrivals;
+  arrivals.seed = options_.seed;
+  arrivals.horizon_ms = options_.horizon_ms;
+  arrivals.mean_interarrival_ms = options_.mean_interarrival_ms;
+  arrivals.diurnal_amplitude = options_.diurnal_amplitude;
+  arrivals.diurnal_period_ms = options_.diurnal_period_ms;
+  arrivals.num_clients = options_.num_clients;
+  arrivals.zipf_s = options_.zipf_s;
+  arrivals.tenant_weights = options_.tenant_weights;
+  arrivals.burst_factor = options_.burst_factor;
+  arrivals.burst_start_ms = options_.burst_start_ms;
+  arrivals.burst_end_ms = options_.burst_end_ms;
+  generator_ = std::make_unique<ArrivalGenerator>(arrivals);
+
+  DriveOpenLoop(
+      cluster_, [this](OpenLoopArrival* out) { return generator_->Next(out); },
+      [this](const OpenLoopArrival& arrival) { OnArrival(arrival); });
+}
+
+void FsLoadWorkload::OnArrival(const OpenLoopArrival& arrival) {
+  int tenant = std::clamp(arrival.tenant, 0, options_.num_tenants - 1);
+  size_t ti = static_cast<size_t>(tenant);
+  ++report_.arrivals;
+
+  // Deterministic op choice per arrival: the key alone repeats (hot clients), so salt
+  // with the arrival sequence number.
+  uint64_t h = Fnv1a64("fsop/" + std::to_string(report_.arrivals) + "/" +
+                       std::to_string(arrival.key));
+  uint64_t pct = h % 100;
+  std::vector<std::string>& live = live_[ti];
+
+  OpKind kind;
+  if (live.empty() || pct < 35) {
+    kind = OpKind::kCreate;  // churn mix: creates outpace deletes, live set grows slowly
+  } else if (pct < 60) {
+    kind = OpKind::kOpen;
+  } else if (pct < 75) {
+    kind = OpKind::kLs;
+  } else if (pct < 85) {
+    kind = OpKind::kRename;
+  } else {
+    kind = OpKind::kDelete;
+  }
+
+  std::string path;
+  std::string arg;
+  switch (kind) {
+    case OpKind::kCreate:
+      path = TenantDir(tenant) + "/f" + std::to_string(name_seq_[ti]++);
+      break;
+    case OpKind::kOpen:
+    case OpKind::kDelete:
+      path = live[(h >> 8) % live.size()];
+      break;
+    case OpKind::kLs:
+      path = TenantDir(tenant);
+      break;
+    case OpKind::kRename:
+      path = live[(h >> 8) % live.size()];
+      arg = TenantDir(tenant) + "/f" + std::to_string(name_seq_[ti]++);
+      break;
+  }
+  ++report_.issued;
+  IssueOp(tenant, kind, std::move(path), std::move(arg), 0, cluster_.now());
+}
+
+void FsLoadWorkload::IssueOp(int tenant, OpKind kind, std::string path, std::string arg,
+                             int attempt, double started_ms) {
+  FsClient* client = clients_[static_cast<size_t>(tenant)];
+  auto cb = [this, tenant, kind, path, arg, attempt, started_ms](bool ok,
+                                                                const Value& payload) {
+    OnOpDone(tenant, kind, path, arg, attempt, started_ms, ok, payload);
+  };
+  switch (kind) {
+    case OpKind::kCreate:
+      client->CreateFile(cluster_, path, std::move(cb));
+      break;
+    case OpKind::kOpen:
+      client->Exists(cluster_, path, std::move(cb));
+      break;
+    case OpKind::kLs:
+      client->Ls(cluster_, path, std::move(cb));
+      break;
+    case OpKind::kRename:
+      client->Rename(cluster_, path, arg, std::move(cb));
+      break;
+    case OpKind::kDelete:
+      client->Rm(cluster_, path, std::move(cb));
+      break;
+  }
+}
+
+void FsLoadWorkload::OnOpDone(int tenant, OpKind kind, std::string path, std::string arg,
+                              int attempt, double started_ms, bool ok,
+                              const Value& payload) {
+  size_t ti = static_cast<size_t>(tenant);
+  if (ok) {
+    ++report_.succeeded;
+    size_t window = static_cast<size_t>(cluster_.now() / options_.goodput_window_ms);
+    if (goodput_windows_.size() <= window) {
+      goodput_windows_.resize(window + 1, 0);
+    }
+    ++goodput_windows_[window];
+    MetricsRegistry::Global()
+        .histogram(SloHistogramName(tenant), SloLatencyBoundsMs())
+        .Observe(cluster_.now() - started_ms);
+    std::vector<std::string>& live = live_[ti];
+    if (kind == OpKind::kCreate) {
+      live.push_back(std::move(path));
+    } else if (kind == OpKind::kRename) {
+      auto it = std::find(live.begin(), live.end(), path);
+      if (it != live.end()) {
+        *it = arg;
+      } else {
+        live.push_back(arg);
+      }
+    } else if (kind == OpKind::kDelete) {
+      auto it = std::find(live.begin(), live.end(), path);
+      if (it != live.end()) {
+        live.erase(it);
+      }
+    }
+    return;
+  }
+
+  bool shed = IsOverloadedPayload(payload);
+  bool timed_out = payload.is_string() && payload.as_string() == "timeout";
+  if (shed) {
+    ++report_.shed;
+    MetricsRegistry::Global().counter(TenantCounterName(tenant, "rejected")).Add();
+  } else if (timed_out) {
+    ++report_.timeouts;
+  } else {
+    ++report_.failed;  // definitive application error: served work, nothing to retry
+    return;
+  }
+
+  FsClient* client = clients_[ti];
+  if (attempt + 1 >= options_.max_op_retries || !client->TrySpendRetryToken()) {
+    ++report_.gave_up;
+    return;
+  }
+  ++report_.retries;
+  MetricsRegistry::Global().counter(TenantCounterName(tenant, "retries")).Add();
+  double base = options_.retry_base_ms;
+  for (int i = 0; i < attempt; ++i) {
+    base = std::min(base * 2, options_.retry_max_ms);
+  }
+  double delay = options_.full_jitter ? cluster_.rng().Uniform(0, base)
+                                      : base + cluster_.rng().Uniform(0, base * 0.5);
+  if (shed && options_.honor_retry_after) {
+    delay = std::max(delay, OverloadRetryAfterMs(payload));
+  }
+  cluster_.ScheduleAfter(delay, [this, tenant, kind, path = std::move(path),
+                                 arg = std::move(arg), attempt, started_ms] {
+    IssueOp(tenant, kind, path, arg, attempt + 1, started_ms);
+  });
+}
+
+double FsLoadWorkload::GoodputBetween(double t0_ms, double t1_ms) const {
+  double w = options_.goodput_window_ms;
+  uint64_t total = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < goodput_windows_.size(); ++i) {
+    double start = static_cast<double>(i) * w;
+    if (start >= t0_ms && start + w <= t1_ms) {
+      total += goodput_windows_[i];
+      ++n;
+    }
+  }
+  if (n == 0) {
+    return 0;
+  }
+  return static_cast<double>(total) / (static_cast<double>(n) * w / 1000.0);
+}
+
+}  // namespace boom

@@ -1,0 +1,144 @@
+// Open-loop FS-metadata workload: the production-traffic generator (Poisson arrivals,
+// Zipf-skewed clients, weighted tenant mix — src/workload/arrivals.h) pointed at BOOM-FS
+// namespace metadata instead of MapReduce submissions. Every arrival becomes one
+// per-tenant create/open/ls/rename/delete against the NameNode, optionally through the
+// SLO-aware admission gateway (src/boomfs/nn_program.h, BoomFsGatewayProgram).
+//
+// This is the harness for the overload experiments: the NameNode gets a serial service
+// time (Cluster::SetServiceTime), the arrival stream can carry a mid-run burst at a
+// multiple of capacity, clients retry shed/timed-out ops under a retry budget with
+// full-jitter backoff, and the workload buckets successful ops into fixed goodput windows
+// so a run can be judged on "goodput after the burst vs before it" — the
+// metastable-failure signature (Bronson et al., HotOS 2021) is goodput that stays
+// collapsed after the trigger clears because retries replace the original load.
+//
+// Deterministic in (seed, options): same trace, same retries, same report.
+
+#ifndef SRC_WORKLOAD_FS_LOAD_H_
+#define SRC_WORKLOAD_FS_LOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/boomfs/boomfs.h"
+#include "src/workload/arrivals.h"
+
+namespace boom {
+
+struct FsLoadOptions {
+  // Cluster shape.
+  FsKind kind = FsKind::kBoomFs;
+  std::string namenode = "nn";
+  int num_datanodes = 3;
+  // Serial service time per namespace request at the NameNode (the capacity model:
+  // 1/service_ms requests per ms). 0 = infinitely fast server (no overload possible).
+  double service_ms_per_request = 1.6;
+
+  // Traffic. Defaults put offered load around 40% of a 1.6ms-service NameNode's
+  // capacity, leaving headroom that only a burst can exhaust. Diurnal modulation is off
+  // by default so the burst window is the only rate change in the run.
+  uint64_t seed = 1;
+  double horizon_ms = 30000;
+  double mean_interarrival_ms = 4.0;
+  double diurnal_amplitude = 0;
+  double diurnal_period_ms = 20000;
+  uint64_t num_clients = 100000;
+  double zipf_s = 1.1;
+  int num_tenants = 3;
+  std::vector<double> tenant_weights = {0.6, 0.3, 0.1};
+
+  // Overload burst (passed through to ArrivalOptions): rate * burst_factor inside the
+  // window. Factor 1 = no burst, byte-identical trace.
+  double burst_factor = 1.0;
+  double burst_start_ms = 0;
+  double burst_end_ms = 0;
+
+  // Admission control: route every client through a BoomFsGatewayProgram node
+  // ("<nn>_gw") instead of straight at the NameNode.
+  bool with_admission = false;
+  GatewayOptions gateway;                // namenode is overwritten with options.namenode
+  double load_probe_period_ms = 100;     // svc_load sampling period
+  std::optional<Program> gateway_program_override;  // chaos bug hook (retry-storm)
+
+  // NameNode extensions (rename is required by the op mix; GC bounds tombstone churn).
+  bool with_gc = true;
+  double gc_check_period_ms = 1000;
+  double gc_tombstone_ms = 5000;
+
+  // Client-side retry policy for shed / timed-out ops. The budget is what separates the
+  // recovering configuration from the metastable one: with cap 0 every failure retries
+  // up to max_op_retries with no global bound, and under overload the retry stream
+  // itself can exceed capacity.
+  int max_op_retries = 4;
+  double op_timeout_ms = 1500;
+  double retry_base_ms = 100;
+  double retry_max_ms = 2000;
+  double retry_budget_cap = 0;      // 0 = unbounded (legacy / buggy configuration)
+  double retry_budget_refill = 0.2;  // tokens per successful op
+  bool honor_retry_after = true;     // sleep at least the server's shed hint
+  bool full_jitter = true;
+
+  // Goodput bucketing: successful ops are counted into fixed windows of this width.
+  double goodput_window_ms = 1000;
+};
+
+// Per-run summary (per-tenant SLO latency histograms land in the telemetry registry
+// under SloHistogramName(tenant); shed/rejected/retry counters under
+// "slo.tenant<i>.shed|rejected|retries").
+struct FsLoadReport {
+  uint64_t arrivals = 0;
+  uint64_t issued = 0;     // ops sent (first attempts)
+  uint64_t succeeded = 0;  // definitive ok responses
+  uint64_t failed = 0;     // definitive application errors (rare under the live-set model)
+  uint64_t shed = 0;       // ["overloaded", ...] responses observed client-side
+  uint64_t timeouts = 0;   // terminal request timeouts observed client-side
+  uint64_t retries = 0;    // re-issues (both shed and timeout triggered)
+  uint64_t gave_up = 0;    // ops dropped after max retries / exhausted budget
+};
+
+// Builds the FS cluster (plus gateway when configured) inside `cluster` and arms the
+// open-loop driver. Keep the object alive for the whole run; then RunUntil(horizon +
+// drain) and read the report / goodput.
+class FsLoadWorkload {
+ public:
+  FsLoadWorkload(Cluster& cluster, FsLoadOptions options);
+
+  const FsLoadOptions& options() const { return options_; }
+  const FsHandles& handles() const { return handles_; }
+  FsClient* tenant_client(int tenant) { return clients_[static_cast<size_t>(tenant)]; }
+
+  const FsLoadReport& report() const { return report_; }
+
+  // Mean successful ops per second over the goodput windows fully inside [t0_ms, t1_ms).
+  // Returns 0 when the range covers no complete window.
+  double GoodputBetween(double t0_ms, double t1_ms) const;
+  const std::vector<uint64_t>& goodput_windows() const { return goodput_windows_; }
+
+ private:
+  // One namespace op kind per arrival, weighted toward a create/delete churn mix.
+  enum class OpKind { kCreate, kOpen, kLs, kRename, kDelete };
+
+  void OnArrival(const OpenLoopArrival& arrival);
+  void IssueOp(int tenant, OpKind kind, std::string path, std::string arg, int attempt,
+               double started_ms);
+  void OnOpDone(int tenant, OpKind kind, std::string path, std::string arg, int attempt,
+                double started_ms, bool ok, const Value& payload);
+
+  Cluster& cluster_;
+  FsLoadOptions options_;
+  FsHandles handles_;
+  std::vector<FsClient*> clients_;             // one per tenant, owned by the cluster
+  std::unique_ptr<ArrivalGenerator> generator_;
+  // Client-side model of live files per tenant (appended on create-ok, renamed/erased on
+  // rename-ok/delete-ok) so most ops act on paths that exist.
+  std::vector<std::vector<std::string>> live_;
+  std::vector<uint64_t> name_seq_;  // fresh-name counter per tenant
+  std::vector<uint64_t> goodput_windows_;
+  FsLoadReport report_;
+};
+
+}  // namespace boom
+
+#endif  // SRC_WORKLOAD_FS_LOAD_H_

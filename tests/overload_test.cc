@@ -1,0 +1,588 @@
+// Overload-robustness tier (ctest -L overload, runs in the fast inner loop): the
+// SLO-aware admission gateway, client retry budgets, rename + tombstone GC on both
+// NameNode twins, the MR submission bound, the open-loop FS-metadata workload, and the
+// metastable-failure chaos scenario (admission recovers; the retry-storm bug variant is
+// caught by the goodput invariant and shrunk to a minimal schedule).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/boomfs/boomfs.h"
+#include "src/boomfs/client.h"
+#include "src/boomfs/nn_program.h"
+#include "src/boomfs/protocol.h"
+#include "src/boommr/boommr.h"
+#include "src/boommr/jt_program.h"
+#include "src/chaos/explorer.h"
+#include "src/chaos/invariants.h"
+#include "src/chaos/scenario.h"
+#include "src/hdfs_baseline/namenode.h"
+#include "src/overlog/engine.h"
+#include "src/sim/cluster.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/slo.h"
+#include "src/workload/arrivals.h"
+#include "src/workload/fs_load.h"
+
+namespace boom {
+namespace {
+
+uint64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().counter(name).value();
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::string path = std::string(BOOM_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Rows currently in an Overlog node's table; empty when the node/table is missing.
+size_t TableSize(Cluster& cluster, const std::string& node, const std::string& table) {
+  Engine* engine = cluster.engine(node);
+  if (engine == nullptr) {
+    return 0;
+  }
+  const Table* t = engine->catalog().Find(table);
+  if (t == nullptr) {
+    return 0;
+  }
+  size_t n = 0;
+  t->ForEach([&n](const Tuple&) { ++n; });
+  return n;
+}
+
+// --- rename: both twins ----------------------------------------------------------------
+
+class RenameTwinTest : public ::testing::TestWithParam<FsKind> {};
+
+TEST_P(RenameTwinTest, RenameMovesFilesAndRejectsBadTargets) {
+  Cluster cluster(1);
+  FsSetupOptions opts;
+  opts.kind = GetParam();
+  opts.with_rename = true;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client);
+
+  ASSERT_TRUE(fs.Mkdir("/a"));
+  ASSERT_TRUE(fs.Mkdir("/b"));
+  ASSERT_TRUE(fs.CreateFile("/a/f"));
+
+  EXPECT_TRUE(fs.Rename("/a/f", "/b/g"));
+  EXPECT_TRUE(fs.Exists("/b/g"));
+  EXPECT_FALSE(fs.Exists("/a/f"));
+
+  EXPECT_FALSE(fs.Rename("/a/f", "/b/h")) << "source no longer exists";
+  ASSERT_TRUE(fs.CreateFile("/a/f2"));
+  EXPECT_FALSE(fs.Rename("/a/f2", "/missing/x")) << "destination parent must exist";
+  ASSERT_TRUE(fs.CreateFile("/b/taken"));
+  EXPECT_FALSE(fs.Rename("/a/f2", "/b/taken")) << "destination name must be free";
+  EXPECT_TRUE(fs.Exists("/a/f2")) << "failed rename must not move the source";
+}
+
+// Renaming a file keeps its chunks: written bytes must be readable at the new path.
+TEST_P(RenameTwinTest, RenameKeepsChunkOwnership) {
+  Cluster cluster(2);
+  FsSetupOptions opts;
+  opts.kind = GetParam();
+  opts.with_rename = true;
+  opts.chunk_size = 16;  // force a multi-chunk file
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client);
+
+  std::string data = "rename keeps every chunk of this file intact";
+  ASSERT_TRUE(fs.WriteFile("/orig", data));
+  ASSERT_TRUE(fs.Rename("/orig", "/moved"));
+  std::string got;
+  ASSERT_TRUE(fs.ReadFile("/moved", &got));
+  EXPECT_EQ(got, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTwins, RenameTwinTest,
+                         ::testing::Values(FsKind::kBoomFs, FsKind::kHdfsBaseline),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           return info.param == FsKind::kBoomFs ? "BoomFs" : "HdfsBaseline";
+                         });
+
+// --- tombstone GC under churn: both twins ----------------------------------------------
+
+class TombstoneGcTwinTest : public ::testing::TestWithParam<FsKind> {};
+
+// Long-horizon churn: create/write/rm in a loop. Without GC every rm leaves a dead-chunk
+// tombstone forever; with GC the tombstone set must return to (near) zero once the churn
+// stops and the retention window passes — bounded growth, not monotone growth.
+TEST_P(TombstoneGcTwinTest, ChurnLeavesBoundedTombstones) {
+  Cluster cluster(3);
+  FsSetupOptions opts;
+  opts.kind = GetParam();
+  opts.with_gc = true;
+  opts.gc_check_period_ms = 500;
+  opts.gc_tombstone_ms = 2000;
+  opts.chunk_size = 16;
+  FsHandles handles = SetupFs(cluster, opts);
+  SyncFs fs(cluster, handles.client);
+
+  constexpr int kChurnRounds = 25;
+  for (int i = 0; i < kChurnRounds; ++i) {
+    std::string path = "/churn" + std::to_string(i);
+    ASSERT_TRUE(fs.WriteFile(path, "churned bytes " + std::to_string(i)));
+    ASSERT_TRUE(fs.Rm(path));
+  }
+
+  auto tombstones = [&]() -> size_t {
+    if (GetParam() == FsKind::kHdfsBaseline) {
+      auto* nn = dynamic_cast<HdfsNameNode*>(cluster.actor(handles.namenode));
+      return nn == nullptr ? 0 : nn->dead_chunk_count();
+    }
+    return TableSize(cluster, handles.namenode, "dead_chunk");
+  };
+
+  // Mid-churn the set is bounded by what was deleted (no resurrection-driven growth)...
+  EXPECT_LE(tombstones(), static_cast<size_t>(kChurnRounds * 4));
+  // ...and after the retention window plus a couple of GC sweeps it drains to zero.
+  cluster.RunUntil(cluster.now() + opts.gc_tombstone_ms + 4 * opts.gc_check_period_ms);
+  EXPECT_EQ(tombstones(), 0u) << FsKindName(GetParam())
+                              << " kept tombstones past the retention window";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTwins, TombstoneGcTwinTest,
+                         ::testing::Values(FsKind::kBoomFs, FsKind::kHdfsBaseline),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           return info.param == FsKind::kBoomFs ? "BoomFs" : "HdfsBaseline";
+                         });
+
+// --- admission gateway -----------------------------------------------------------------
+
+struct GatewayRig {
+  explicit GatewayRig(Cluster& cluster, GatewayOptions gw_opts,
+                      FsClientOptions client_extra = {},
+                      double load_probe_period_ms = 100) {
+    FsSetupOptions fs;
+    fs.with_rename = true;
+    handles = SetupFs(cluster, fs);
+    GatewaySetupOptions gw;
+    gw.address = "nn_gw";
+    gw.load_probe_period_ms = load_probe_period_ms;
+    gw.gateway = std::move(gw_opts);
+    gw.gateway.namenode = handles.namenode;
+    gw.gateway.client_tenants = {{"c0", 0}};
+    AddAdmissionGateway(cluster, gw);
+    FsClientOptions copts = std::move(client_extra);
+    copts.namenode = "nn_gw";
+    copts.request_table = kNsIngress;
+    auto owned = std::make_unique<FsClient>("c0", std::move(copts));
+    client = owned.get();
+    cluster.AddActor(std::move(owned));
+  }
+
+  FsHandles handles;
+  FsClient* client = nullptr;
+};
+
+TEST(AdmissionGatewayTest, QuotaShedsWritesButServesReads) {
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(4);
+  GatewayOptions gw;
+  gw.tenant_quota = 2;
+  gw.window_ms = 1000000;  // one window for the whole test: the quota never resets
+  gw.retry_after_ms = 250;
+  GatewayRig rig(cluster, gw);
+
+  int ok_count = 0;
+  std::vector<Value> shed_payloads;
+  for (int i = 0; i < 5; ++i) {
+    // Spaced out so each request sees the accounting of the previous one (adm_win_w
+    // lands @next: same-tick submissions are judged against a stale count by design).
+    cluster.ScheduleAt(6000 + i * 50, [&cluster, &rig, &ok_count, &shed_payloads, i] {
+      rig.client->Mkdir(cluster, "/d" + std::to_string(i),
+                        [&ok_count, &shed_payloads](bool ok, const Value& payload) {
+                          if (ok) {
+                            ++ok_count;
+                          } else if (IsOverloadedPayload(payload)) {
+                            shed_payloads.push_back(payload);
+                          }
+                        });
+    });
+  }
+  cluster.RunUntil(8000);
+
+  EXPECT_EQ(ok_count, 2) << "quota admits exactly tenant_quota writes per window";
+  ASSERT_EQ(shed_payloads.size(), 3u);
+  for (const Value& p : shed_payloads) {
+    EXPECT_EQ(OverloadRetryAfterMs(p), 250) << "shed responses carry the retry-after hint";
+  }
+  EXPECT_EQ(CounterValue("fs.gw.shed"), 3u);
+  EXPECT_EQ(CounterValue("slo.tenant0.shed"), 3u);
+
+  // Reads are monotone and bypass the quota: still served with the budget spent.
+  bool read_ok = false;
+  cluster.ScheduleAt(8000, [&cluster, &rig, &read_ok] {
+    rig.client->Exists(cluster, "/d0", [&read_ok](bool ok, const Value&) { read_ok = ok; });
+  });
+  cluster.RunUntil(9000);
+  EXPECT_TRUE(read_ok);
+}
+
+TEST(AdmissionGatewayTest, BrownoutEntersOnBacklogAndExitsWithHysteresis) {
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(5);
+  GatewayOptions gw;
+  gw.tenant_quota = 1000000;
+  gw.queue_bound_ms = 400;
+  // Probe off: this test injects svc_load samples by hand (the real probe would report
+  // the unloaded NameNode's zero backlog every 100ms and instantly exit the brownout).
+  GatewayRig rig(cluster, gw, {}, /*load_probe_period_ms=*/0);
+
+  auto mkdir_result = [&cluster, &rig](double at, const std::string& path, bool* ok,
+                                       bool* shed) {
+    cluster.ScheduleAt(at, [&cluster, &rig, path, ok, shed] {
+      rig.client->Mkdir(cluster, path, [ok, shed](bool got_ok, const Value& payload) {
+        *ok = got_ok;
+        *shed = IsOverloadedPayload(payload);
+      });
+    });
+  };
+
+  bool ok1 = false, shed1 = false, ok2 = false, shed2 = false, ok3 = false, shed3 = false;
+  mkdir_result(6000, "/before", &ok1, &shed1);
+  // Backlog above the bound -> brownout enters; writes shed, reads still served.
+  cluster.ScheduleAt(6500, [&cluster] {
+    cluster.DeliverLocal("nn_gw", kSvcLoad, Tuple{Value("nn_gw"), Value(900.0)});
+  });
+  mkdir_result(7000, "/during", &ok2, &shed2);
+  bool read_ok = false;
+  cluster.ScheduleAt(7100, [&cluster, &rig, &read_ok] {
+    rig.client->Exists(cluster, "/before",
+                       [&read_ok](bool ok, const Value&) { read_ok = ok; });
+  });
+  // Hysteresis: backlog just below the bound is NOT enough to exit (exit needs < half).
+  cluster.ScheduleAt(7500, [&cluster] {
+    cluster.DeliverLocal("nn_gw", kSvcLoad, Tuple{Value("nn_gw"), Value(300.0)});
+  });
+  bool ok_hyst = false, shed_hyst = false;
+  mkdir_result(7800, "/still_browned", &ok_hyst, &shed_hyst);
+  // Backlog drained below half the bound -> brownout exits; writes flow again.
+  cluster.ScheduleAt(8200, [&cluster] {
+    cluster.DeliverLocal("nn_gw", kSvcLoad, Tuple{Value("nn_gw"), Value(50.0)});
+  });
+  mkdir_result(8700, "/after", &ok3, &shed3);
+  cluster.RunUntil(10000);
+
+  EXPECT_TRUE(ok1);
+  EXPECT_TRUE(shed2) << "write during brownout must be shed";
+  EXPECT_FALSE(ok2);
+  EXPECT_TRUE(read_ok) << "reads are served while browned out";
+  EXPECT_TRUE(shed_hyst) << "backlog between half and full bound must stay browned out";
+  EXPECT_TRUE(ok3) << "write after brownout exit must be admitted";
+  EXPECT_GE(CounterValue("fs.gw.brownout_enter"), 1u);
+  EXPECT_GE(CounterValue("fs.gw.brownout_exit"), 1u);
+}
+
+// The PR-2 escalation-ladder fix: a pipeline write shed mid-flight retries with the
+// server's delay instead of escalating to fan-out / chunk abandonment.
+TEST(AdmissionGatewayTest, ShedPipelineWriteRetriesWithoutEscalating) {
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(6);
+  GatewayOptions gw;
+  gw.tenant_quota = 2;    // create + first addchunk fit; the second addchunk is shed
+  gw.window_ms = 400;     // the next window re-admits the retried addchunk
+  gw.retry_after_ms = 250;
+  FsClientOptions copts;
+  copts.chunk_size = 16;
+  copts.retry_budget_cap = 8;
+  copts.retry_budget_refill = 0.5;
+  copts.honor_retry_after = true;
+  GatewayRig rig(cluster, gw, copts);
+
+  bool done = false, ok = false;
+  std::string data = "three chunks of payload, shed mid-write!";
+  cluster.ScheduleAt(6000, [&cluster, &rig, &done, &ok, data] {
+    rig.client->WriteFile(cluster, "/w", data, [&done, &ok](bool got_ok) {
+      done = true;
+      ok = got_ok;
+    });
+  });
+  cluster.RunUntil(20000);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(ok) << "shed write must eventually land once the quota window rolls";
+  EXPECT_GE(CounterValue("fs.client.write_overload_retry"), 1u);
+  EXPECT_EQ(CounterValue("fs.client.write_fanout"), 0u)
+      << "overload must not trigger the crash-recovery fan-out";
+  EXPECT_EQ(CounterValue("fs.client.chunk_abandon"), 0u)
+      << "overload must not trigger chunk abandonment";
+
+  std::string got;
+  SyncFs fs(cluster, rig.client);
+  ASSERT_TRUE(fs.ReadFile("/w", &got));
+  EXPECT_EQ(got, data);
+}
+
+// --- client retry budget ---------------------------------------------------------------
+
+TEST(RetryBudgetTest, TokensSpendAndRefillClamped) {
+  FsClientOptions opts;
+  opts.retry_budget_cap = 2;
+  opts.retry_budget_refill = 0.5;
+  FsClient client("budget_c", opts);
+
+  EXPECT_TRUE(client.TrySpendRetryToken());
+  EXPECT_TRUE(client.TrySpendRetryToken());
+  EXPECT_FALSE(client.TrySpendRetryToken()) << "cap spent: retries must stop";
+  client.CreditSuccess();
+  EXPECT_FALSE(client.TrySpendRetryToken()) << "half a token is not a retry";
+  client.CreditSuccess();
+  EXPECT_TRUE(client.TrySpendRetryToken()) << "successes refill the budget";
+  for (int i = 0; i < 100; ++i) {
+    client.CreditSuccess();
+  }
+  EXPECT_DOUBLE_EQ(client.retry_tokens(), 2.0) << "refill clamps at the cap";
+}
+
+TEST(RetryBudgetTest, CapZeroDisablesTheBudget) {
+  FsClientOptions opts;
+  opts.retry_budget_cap = 0;
+  FsClient client("nobudget_c", opts);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(client.TrySpendRetryToken());
+  }
+}
+
+// --- MR submission admission -----------------------------------------------------------
+
+TEST(MrAdmissionTest, RejectedJobsResubmitUnderFreshIdsAndAllComplete) {
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(7);
+  MrSetupOptions opts;
+  opts.kind = MrKind::kBoomMr;
+  opts.num_trackers = 3;
+  opts.with_admission = true;
+  opts.jam_queue_bound = 1;  // one running job at a time: a burst of 3 must queue client-side
+  opts.jam_retry_ms = 400;
+  MrHandles handles = SetupMr(cluster, opts);
+
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    // Staggered past the JT's per-tick accounting (ja1 recounts "running" jobs at the
+    // fixpoint after a submission lands): back-to-back same-tick submissions would all be
+    // judged against the stale count and admitted.
+    cluster.ScheduleAt(1000 + i * 300, [&cluster, &handles, &completed] {
+      JobSpec spec;
+      spec.job_id = handles.client->NextJobId();
+      spec.client = handles.client->address();
+      spec.num_maps = 2;
+      spec.num_reduces = 1;
+      spec.duration_ms = [](const TaskRef&, const std::string&) { return 120.0; };
+      handles.client->Submit(cluster, std::move(spec),
+                             [&completed](double) { ++completed; });
+    });
+  }
+  cluster.RunUntil(30000);
+
+  EXPECT_EQ(completed, 3) << "every logical job must complete despite rejections";
+  EXPECT_EQ(handles.data_plane->metrics().job_done_ms.size(), 3u)
+      << "resubmission must not duplicate job executions";
+  EXPECT_GE(CounterValue("mr.jt.jam_deny"), 1u) << "the bound must actually have fired";
+  EXPECT_GE(CounterValue("mr.client.job_resubmit"), 1u);
+}
+
+// --- open-loop FS-metadata workload ----------------------------------------------------
+
+FsLoadOptions SmallLoadOptions(uint64_t seed) {
+  FsLoadOptions opts;
+  opts.seed = seed;
+  opts.horizon_ms = 6000;
+  opts.mean_interarrival_ms = 10;
+  opts.service_ms_per_request = 0.5;
+  return opts;
+}
+
+TEST(FsLoadWorkloadTest, ReportAndGoodputAreDeterministicPerSeed) {
+  FsLoadReport reports[2];
+  std::vector<uint64_t> windows[2];
+  for (int run = 0; run < 2; ++run) {
+    MetricsRegistry::Global().Reset();
+    Cluster cluster(99);
+    FsLoadWorkload workload(cluster, SmallLoadOptions(11));
+    cluster.RunUntil(9000);
+    reports[run] = workload.report();
+    windows[run] = workload.goodput_windows();
+  }
+  EXPECT_GT(reports[0].arrivals, 100u);
+  EXPECT_GT(reports[0].succeeded, 100u);
+  EXPECT_EQ(reports[0].arrivals, reports[1].arrivals);
+  EXPECT_EQ(reports[0].issued, reports[1].issued);
+  EXPECT_EQ(reports[0].succeeded, reports[1].succeeded);
+  EXPECT_EQ(reports[0].failed, reports[1].failed);
+  EXPECT_EQ(reports[0].retries, reports[1].retries);
+  EXPECT_EQ(windows[0], windows[1]) << "goodput series must be seed-deterministic";
+
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(99);
+  FsLoadWorkload other(cluster, SmallLoadOptions(12));
+  cluster.RunUntil(9000);
+  EXPECT_NE(other.report().arrivals, reports[0].arrivals)
+      << "different seeds should offer different traces";
+}
+
+TEST(FsLoadWorkloadTest, BurstFactorOneKeepsTheArrivalTraceByteIdentical) {
+  ArrivalOptions base;
+  base.seed = 21;
+  base.horizon_ms = 5000;
+  base.mean_interarrival_ms = 5;
+  ArrivalOptions with_burst = base;
+  with_burst.burst_factor = 1.0;  // a no-op burst window must not perturb the trace
+  with_burst.burst_start_ms = 1000;
+  with_burst.burst_end_ms = 3000;
+  ArrivalGenerator a(base);
+  ArrivalGenerator b(with_burst);
+  EXPECT_EQ(FormatArrivalTrace(a), FormatArrivalTrace(b));
+
+  ArrivalOptions hot = base;
+  hot.burst_factor = 3.0;
+  hot.burst_start_ms = 1000;
+  hot.burst_end_ms = 3000;
+  ArrivalGenerator c(hot);
+  EXPECT_GT(c.generated() + 1, 0u);  // silence unused warning paths
+  uint64_t base_n = 0, hot_n = 0;
+  OpenLoopArrival arrival;
+  ArrivalGenerator a2(base);
+  while (a2.Next(&arrival)) {
+    ++base_n;
+  }
+  while (c.Next(&arrival)) {
+    ++hot_n;
+  }
+  EXPECT_GT(hot_n, base_n + base_n / 2) << "a 3x burst over 40% of the horizon should "
+                                           "materially raise the arrival count";
+}
+
+TEST(FsLoadWorkloadTest, SloReportCarriesShedRejectedRetryCounters) {
+  MetricsRegistry::Global().Reset();
+  Cluster cluster(8);
+  FsLoadOptions opts = SmallLoadOptions(31);
+  opts.with_admission = true;
+  opts.gateway.tenant_quota = 1;  // near-everything sheds: exercise the whole counter path
+  opts.gateway.window_ms = 1000;
+  opts.retry_budget_cap = 4;
+  FsLoadWorkload workload(cluster, opts);
+  cluster.RunUntil(9000);
+
+  EXPECT_GT(workload.report().shed, 0u);
+  EXPECT_GT(workload.report().retries, 0u);
+
+  SloReport slo = BuildSloReport(MetricsRegistry::Global());
+  ASSERT_GE(slo.tenants.size(), 1u);
+  uint64_t total_shed = 0, total_rejected = 0, total_retries = 0;
+  for (const TenantSlo& t : slo.tenants) {
+    total_shed += t.shed;
+    total_rejected += t.rejected;
+    total_retries += t.retries;
+  }
+  EXPECT_GT(total_shed, 0u) << "gateway-side shed counters must reach the SLO report";
+  EXPECT_GT(total_rejected, 0u) << "client-side rejection counters must reach the report";
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_NE(slo.ToJson().find("\"shed\""), std::string::npos);
+  EXPECT_NE(slo.ToText().find("shed="), std::string::npos);
+}
+
+// --- goodput-recovery invariant --------------------------------------------------------
+
+TEST(GoodputRecoveryCheckerTest, FlagsCollapseAndVacuousBaseline) {
+  Cluster cluster(1);
+  auto check = [&cluster](double pre, double post, bool final_check) {
+    GoodputRecoveryChecker checker(
+        [pre, post](double t0, double) { return t0 < 5000 ? pre : post; },
+        /*pre_t0_ms=*/0, /*pre_t1_ms=*/5000, /*post_t0_ms=*/10000, /*post_t1_ms=*/15000,
+        /*min_ratio=*/0.9);
+    std::vector<std::string> out;
+    checker.Check(cluster, final_check, &out);
+    return out;
+  };
+
+  EXPECT_TRUE(check(100, 95, true).empty()) << "recovered goodput must pass";
+  EXPECT_FALSE(check(100, 50, true).empty()) << "collapsed goodput must be flagged";
+  EXPECT_FALSE(check(0, 0, true).empty()) << "a zero baseline is never a vacuous pass";
+  EXPECT_TRUE(check(100, 0, false).empty()) << "recovery is a final-only check";
+}
+
+// --- frozen admission program texts ----------------------------------------------------
+//
+// The composed admission programs are byte-identical to the goldens (regenerable with
+// `olglint --dump nn_admission|jt_admission`); olglint keeps both diagnostic-clean at
+// ctest level. A drift here means the admission semantics changed without the golden.
+
+TEST(AdmissionGoldenTest, GatewayProgramMatchesGolden) {
+  Program program = BoomFsGatewayProgram();
+  EXPECT_EQ(program.ToString(), ReadGolden("nn_admission.olg"));
+}
+
+TEST(AdmissionGoldenTest, JtAdmissionProgramMatchesGolden) {
+  JtProgramOptions opts;
+  opts.policy = MrPolicy::kFifo;
+  opts.with_admission = true;
+  Program program = BoomMrJtProgram(opts);
+  EXPECT_EQ(program.ToString(), ReadGolden("jt_admission.olg"));
+}
+
+// --- the chaos scenario ----------------------------------------------------------------
+
+TEST(OverloadScenarioTest, RegisteredWithRetryStormBugVariant) {
+  std::vector<std::string> names = ScenarioNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "overload"), names.end());
+  EXPECT_NE(MakeScenario("overload"), nullptr);
+  ScenarioOptions bug;
+  bug.bug = "retry-storm";
+  EXPECT_NE(MakeScenario("overload", bug), nullptr);
+  ScenarioOptions typo;
+  typo.bug = "retry-strom";
+  EXPECT_EQ(MakeScenario("overload", typo), nullptr) << "unknown bugs must be rejected";
+  EXPECT_EQ(ScenarioBugNames("overload"), std::vector<std::string>{"retry-storm"});
+}
+
+// Admission + retry budgets: the burst (and any gray window the seed adds) clears and
+// goodput recovers — the sweep must be green.
+TEST(OverloadScenarioTest, AdmissionRecoversGoodputAcrossSeeds) {
+  MetricsRegistry::Global().Reset();
+  ExplorerOptions opts;
+  opts.scenario = "overload";
+  opts.seeds = 2;
+  opts.shrink = false;
+  opts.timeline = false;
+  ExplorerReport report = ExploreSeeds(opts);
+  EXPECT_EQ(report.failures, 0) << report.text;
+}
+
+// The retry storm: no shedding, no budget, no retry-after — the explorer must catch the
+// sustained collapse and ddmin must shrink the fault schedule away entirely (the
+// workload's own burst is the whole trigger).
+TEST(OverloadScenarioTest, RetryStormIsCaughtAndShrunkToMinimalSchedule) {
+  MetricsRegistry::Global().Reset();
+  ExplorerOptions opts;
+  opts.scenario = "overload";
+  opts.bug = "retry-storm";
+  opts.seeds = 1;
+  opts.seed0 = 3;  // this seed's schedule carries a gray window for the shrinker to drop
+  opts.timeline = false;
+  ExplorerReport report = ExploreSeeds(opts);
+  ASSERT_EQ(report.failures, 1) << report.text;
+  const SeedOutcome& outcome = report.outcomes[0];
+  ASSERT_FALSE(outcome.violations.empty());
+  EXPECT_NE(outcome.violations[0].find("goodput stayed collapsed"), std::string::npos)
+      << outcome.violations[0];
+  EXPECT_TRUE(outcome.shrunk.events.empty())
+      << "the workload alone reproduces the storm; every fault event must shrink away";
+}
+
+}  // namespace
+}  // namespace boom

@@ -35,8 +35,11 @@ void Usage() {
   std::fprintf(stderr,
                "usage: olglint <file.olg> [more.olg ...]\n"
                "       olglint --family "
-               "all|boomfs_nn|jt_fifo|jt_late|jt_fairshare|jt_capacity|paxos|chord|ha|"
-               "monitor\n");
+               "all|boomfs_nn|nn_extensions|nn_admission|jt_fifo|jt_late|jt_fairshare|"
+               "jt_capacity|jt_admission|paxos|chord|ha|monitor\n"
+               "       olglint --dump nn_admission|jt_admission\n"
+               "--dump prints the composed program text (the golden generator for the\n"
+               "admission goldens in tests/golden/).\n");
 }
 
 struct LintTally {
@@ -145,6 +148,21 @@ int LintFamily(const std::string& family, LintTally* tally) {
     rc |= LintStack(
         "ha", {PaxosProgram(options), BoomFsNnProgram(), HaBridgeProgram()}, tally);
   }
+  if (want("nn_extensions")) {
+    NnProgramOptions options;
+    options.with_rename = true;
+    options.with_gc = true;
+    rc |= LintStack("nn_extensions", {BoomFsNnProgram(options)}, tally);
+  }
+  if (want("nn_admission")) {
+    rc |= LintStack("nn_admission", {BoomFsGatewayProgram()}, tally);
+  }
+  if (want("jt_admission")) {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kFifo;
+    options.with_admission = true;
+    rc |= LintStack("jt_admission", {BoomMrJtProgram(options)}, tally);
+  }
   if (want("monitor")) {
     rc |= LintStack("monitor", MonitorStack(), tally);
   }
@@ -179,6 +197,26 @@ int LintFiles(const std::vector<std::string>& paths, LintTally* tally) {
   return report.num_errors() == 0 ? 0 : 1;
 }
 
+// The generated programs whose text is frozen as a golden (tests/golden/*.olg); --dump
+// prints one so the goldens are regenerable with a one-liner.
+int DumpProgram(const std::string& name) {
+  Program program;
+  if (name == "nn_admission") {
+    program = BoomFsGatewayProgram();
+  } else if (name == "jt_admission") {
+    JtProgramOptions options;
+    options.policy = MrPolicy::kFifo;
+    options.with_admission = true;
+    program = BoomMrJtProgram(options);
+  } else {
+    std::fprintf(stderr, "unknown dump target '%s'\n", name.c_str());
+    Usage();
+    return 2;
+  }
+  std::printf("%s", program.ToString().c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string family;
@@ -186,6 +224,8 @@ int Run(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--family" && i + 1 < argc) {
       family = argv[++i];
+    } else if (arg == "--dump" && i + 1 < argc) {
+      return DumpProgram(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
