@@ -42,12 +42,15 @@ echo "==> workload + policy tests (ctest -L 'workload|policy')"
 echo "==> overload tests (ctest -L overload: admission, retry budgets, metastable chaos)"
 (cd build && ctest -L overload --output-on-failure -j "$JOBS")
 
+echo "==> scale-out tests (ctest -L scaleout: federated metadata plane, rebalance, 25-seed federation chaos sweep)"
+(cd build && ctest -L scaleout --output-on-failure -j "$JOBS")
+
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "==> ASan build"
   cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target chaos_explorer telemetry_test \
     trace_e2e_test monitor_meta_test workload_test scheduler_policy_test overload_test \
-    olglint olgrun
+    federation_test olglint olgrun
 
   echo "==> ASan telemetry smoke (ctest -L telemetry)"
   (cd build-asan && ctest -L telemetry --output-on-failure -j "$JOBS")
@@ -57,6 +60,9 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
 
   echo "==> ASan overload smoke (ctest -L overload)"
   (cd build-asan && ctest -L overload --output-on-failure -j "$JOBS")
+
+  echo "==> ASan scale-out smoke (ctest -L scaleout)"
+  (cd build-asan && ctest -L scaleout --output-on-failure -j "$JOBS")
 
   echo "==> ASan lint smoke (ctest -L lint)"
   (cd build-asan && ctest -L lint --output-on-failure -j "$JOBS")

@@ -11,7 +11,65 @@ namespace boom {
 namespace {
 // Handles resolved once; registry names are the contract with docs/OBSERVABILITY.md.
 Counter& ClientCounter(const char* name) { return MetricsRegistry::Global().counter(name); }
+
+// "/a/b/c" -> {"/a", "/a/b", "/a/b/c"}; "/" and "" have no prefixes.
+std::vector<std::string> PathPrefixes(const std::string& path) {
+  std::vector<std::string> out;
+  size_t pos = 1;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) {
+      slash = path.size();
+    }
+    if (slash > pos) {
+      out.push_back(path.substr(0, slash));
+    }
+    pos = slash + 1;
+  }
+  return out;
+}
 }  // namespace
+
+bool FedMapCache::ApplyRow(int64_t pid, int64_t epoch, const std::string& leader,
+                           std::vector<std::string> members) {
+  auto it = rows.find(pid);
+  if (it != rows.end() && epoch <= it->second.epoch) {
+    return false;  // stale or already-applied row: routing never rolls back
+  }
+  FedGroupEntry& row = rows[pid];
+  row.epoch = epoch;
+  row.leader = leader;
+  row.members = std::move(members);
+  return true;
+}
+
+int FedMapCache::ApplyStalePayload(const Value& payload) {
+  if (!IsStaleEpochPayload(payload)) {
+    return 0;
+  }
+  const ValueList& outer = payload.as_list();
+  global_epoch = std::max(global_epoch, outer[1].as_int());
+  int applied = 0;
+  for (const Value& row : outer[2].as_list()) {
+    if (!row.is_list() || row.as_list().size() != 4) {
+      continue;
+    }
+    const ValueList& r = row.as_list();
+    if (!r[0].is_numeric() || !r[1].is_numeric() || !r[2].is_string() || !r[3].is_list()) {
+      continue;
+    }
+    std::vector<std::string> members;
+    for (const Value& m : r[3].as_list()) {
+      if (m.is_string()) {
+        members.push_back(m.as_string());
+      }
+    }
+    if (ApplyRow(r[0].as_int(), r[1].as_int(), r[2].as_string(), std::move(members))) {
+      ++applied;
+    }
+  }
+  return applied;
+}
 
 // State for a multi-chunk write in flight. next_offset advances only when a chunk is acked,
 // so a retry round re-sends exactly the bytes that were never confirmed.
@@ -36,8 +94,19 @@ struct ReadJob {
   SpanContext span;  // "fs.read" root span for the whole composite op
 };
 
+// State for a cross-partition rename in flight (federated routing): the chunk ids
+// returned by xr_intent, adopted one at a time at the destination partition.
+struct FedRenameJob {
+  std::string src;
+  std::string dst;
+  ValueList chunks;
+  size_t next_chunk = 0;
+  FsClient::ResponseCb cb;
+};
+
 void FsClient::Request(Cluster& cluster, const std::string& cmd, const std::string& path,
-                       Value arg, ResponseCb cb, std::string forced_target) {
+                       Value arg, ResponseCb cb, std::string forced_target,
+                       std::string table, std::string route_key) {
   int64_t req = next_req_++;
   PendingReq& pending = pending_[req];
   pending.cmd = cmd;
@@ -45,6 +114,8 @@ void FsClient::Request(Cluster& cluster, const std::string& cmd, const std::stri
   pending.arg = std::move(arg);
   pending.cb = std::move(cb);
   pending.forced_target = std::move(forced_target);
+  pending.table = std::move(table);
+  pending.route_key = std::move(route_key);
   pending.target_index = preferred_target_;
   // The request span joins whatever operation is active (an fs.write, a chaos workload
   // step) and covers the request until its response or terminal timeout.
@@ -70,7 +141,26 @@ void FsClient::Dispatch(Cluster& cluster, int64_t req) {
   if (!pending.forced_target.empty()) {
     nn = pending.forced_target;
   } else if (router_) {
-    nn = router_(pending.cmd, pending.path);
+    // A route_key override routes like "ls <key>" (by the key itself, not its parent).
+    nn = pending.route_key.empty() ? router_(pending.cmd, pending.path)
+                                   : router_(kCmdLs, pending.route_key);
+  } else if (fed_cache_ && fed_num_partitions_ > 0) {
+    const std::string key = pending.route_key.empty()
+                                ? NsRoutingKey(pending.cmd, pending.path)
+                                : pending.route_key;
+    auto entry = fed_cache_->rows.find(RoutingPid(key, fed_num_partitions_));
+    if (entry != fed_cache_->rows.end() && !entry->second.members.empty()) {
+      // First attempt to the cached leader; failover rotates through the group (any
+      // member forwards to the live leader via the HA bridge).
+      if (pending.attempts == 1 && !entry->second.leader.empty()) {
+        nn = entry->second.leader;
+      } else {
+        const std::vector<std::string>& members = entry->second.members;
+        nn = members[static_cast<size_t>(pending.attempts) % members.size()];
+      }
+    } else {
+      nn = options_.namenode;
+    }
   } else if (pending.target_index == 0 || options_.fallbacks.empty()) {
     nn = options_.namenode;
   } else {
@@ -79,9 +169,20 @@ void FsClient::Dispatch(Cluster& cluster, int64_t req) {
   {
     // Parent the wire message (and the timeout event) to the request's span.
     Cluster::SpanScope scope(cluster, pending.span);
-    cluster.Send(address(), nn, options_.request_table,
-                 Tuple{Value(nn), Value(req), Value(address()), Value(pending.cmd),
-                       Value(pending.path), pending.arg});
+    const std::string& table =
+        pending.table.empty() ? options_.request_table : pending.table;
+    std::vector<Value> wire{Value(nn),          Value(req),           Value(address()),
+                            Value(pending.cmd), Value(pending.path),  pending.arg};
+    if (fed_cache_ && table == kFedRequest) {
+      // fed_request carries (Pid, CachedEpoch) so the serving group can gate on
+      // ownership and answer stale routing with the fresh map.
+      const std::string key = pending.route_key.empty()
+                                  ? NsRoutingKey(pending.cmd, pending.path)
+                                  : pending.route_key;
+      wire.push_back(Value(RoutingPid(key, fed_num_partitions_)));
+      wire.push_back(Value(fed_cache_->global_epoch));
+    }
+    cluster.Send(address(), nn, table, Tuple(std::move(wire)));
     // Always armed: with every NameNode dead the request surfaces a terminal cb(false,
     // "timeout") instead of leaving the caller waiting forever.
     ArmTimeout(cluster, req, pending.attempts);
@@ -143,24 +244,93 @@ void FsClient::CreditSuccess() {
 }
 
 void FsClient::Mkdir(Cluster& c, const std::string& path, ResponseCb cb) {
-  Request(c, kCmdMkdir, path, Value(), std::move(cb));
-}
-
-void FsClient::MkdirAll(Cluster& c, const std::string& path,
-                        std::vector<std::string> targets, ResponseCb cb) {
-  auto remaining = std::make_shared<size_t>(targets.size());
+  bool dual = false;
+  if (!path.empty() && path != "/") {
+    if (fed_cache_ && fed_num_partitions_ > 1) {
+      dual = RoutingPid(NsRoutingKey(kCmdMkdir, path), fed_num_partitions_) !=
+             RoutingPid(path, fed_num_partitions_);
+    } else if (router_) {
+      dual = router_(kCmdMkdir, path) != router_(kCmdLs, path);
+    }
+  }
+  if (!dual) {
+    Request(c, kCmdMkdir, path, Value(), std::move(cb));
+    return;
+  }
+  // Dual-homed directory: the canonical entry lands at the parent's partition (where the
+  // directory is listed); a child-serving copy — with any missing ancestor scaffolding —
+  // lands at the directory's own partition (where its entries and their routing live).
+  // This keeps parent-directory existence a partition-local question; the old
+  // every-partition MkdirAll fan-out is gone.
+  auto remaining = std::make_shared<int>(2);
   auto all_ok = std::make_shared<bool>(true);
   auto done_cb = std::make_shared<ResponseCb>(std::move(cb));
-  for (const std::string& target : targets) {
-    Request(c, kCmdMkdir, path, Value(),
-            [remaining, all_ok, done_cb](bool ok, const Value&) {
-              *all_ok = *all_ok && ok;
-              if (--*remaining == 0) {
-                (*done_cb)(*all_ok, Value());
-              }
-            },
-            target);
+  ResponseCb join = [remaining, all_ok, done_cb](bool ok, const Value&) {
+    *all_ok = *all_ok && ok;
+    if (--*remaining == 0) {
+      (*done_cb)(*all_ok, Value());
+    }
+  };
+  MkdirLeg(c, path, "", join);
+  auto prefixes = std::make_shared<std::vector<std::string>>(PathPrefixes(path));
+  MkdirScaffold(c, prefixes, 0, path, std::make_shared<ResponseCb>(join));
+}
+
+void FsClient::MkdirLeg(Cluster& c, const std::string& path, const std::string& route_key,
+                        ResponseCb cb) {
+  auto done = std::make_shared<ResponseCb>(std::move(cb));
+  Request(c, kCmdMkdir, path, Value(),
+          [this, &c, path, route_key, done](bool ok, const Value& pay) {
+            if (ok) {
+              (*done)(true, pay);
+              return;
+            }
+            // "mkdir failed" covers both already-exists and missing-parent; an Exists
+            // probe on the same route disambiguates, so repeated legs stay idempotent.
+            Request(c, kCmdExists, path, Value(),
+                    [done](bool ok2, const Value& present) {
+                      (*done)(ok2 && present.Truthy(), Value());
+                    },
+                    "", "", route_key);
+          },
+          "", "", route_key);
+}
+
+void FsClient::MkdirScaffold(Cluster& c, std::shared_ptr<std::vector<std::string>> prefixes,
+                             size_t index, std::string route_key,
+                             std::shared_ptr<ResponseCb> done) {
+  if (index >= prefixes->size()) {
+    (*done)(true, Value());
+    return;
   }
+  MkdirLeg(c, (*prefixes)[index], route_key,
+           [this, &c, prefixes, index, route_key, done](bool ok, const Value&) {
+             if (!ok) {
+               (*done)(false, Value());
+               return;
+             }
+             MkdirScaffold(c, prefixes, index + 1, route_key, done);
+           });
+}
+
+void FsClient::MkdirP(Cluster& c, const std::string& path, ResponseCb cb) {
+  auto prefixes = std::make_shared<std::vector<std::string>>(PathPrefixes(path));
+  MkdirPStep(c, prefixes, 0, std::make_shared<ResponseCb>(std::move(cb)));
+}
+
+void FsClient::MkdirPStep(Cluster& c, std::shared_ptr<std::vector<std::string>> prefixes,
+                          size_t index, std::shared_ptr<ResponseCb> done) {
+  if (index >= prefixes->size()) {
+    (*done)(true, Value());
+    return;
+  }
+  Mkdir(c, (*prefixes)[index], [this, &c, prefixes, index, done](bool ok, const Value&) {
+    if (!ok) {
+      (*done)(false, Value());
+      return;
+    }
+    MkdirPStep(c, prefixes, index + 1, done);
+  });
 }
 void FsClient::CreateFile(Cluster& c, const std::string& path, ResponseCb cb) {
   Request(c, kCmdCreate, path, Value(), std::move(cb));
@@ -176,7 +346,82 @@ void FsClient::Rm(Cluster& c, const std::string& path, ResponseCb cb) {
 }
 void FsClient::Rename(Cluster& c, const std::string& path, const std::string& new_path,
                       ResponseCb cb) {
+  if (fed_cache_ && fed_num_partitions_ > 1 &&
+      RoutingPid(NsRoutingKey(kCmdRename, path), fed_num_partitions_) !=
+          RoutingPid(NsRoutingKey(kCmdRename, new_path), fed_num_partitions_)) {
+    FedRename(c, path, new_path, std::move(cb));
+    return;
+  }
   Request(c, kCmdRename, path, Value(new_path), std::move(cb));
+}
+
+void FsClient::FedRename(Cluster& cluster, const std::string& path,
+                         const std::string& new_path, ResponseCb cb) {
+  ClientCounter("fs.client.xr_rename").Add();
+  auto job = std::make_shared<FedRenameJob>();
+  job->src = path;
+  job->dst = new_path;
+  job->cb = std::move(cb);
+  // Phase 1: mark the source moving; the answer carries [FileId, chunk ids].
+  Request(cluster, kCmdXrIntent, path, Value(),
+          [this, &cluster, job](bool ok, const Value& pay) {
+            if (!ok) {
+              // Nothing changed at either partition (a timeout stays a timeout: the
+              // intent may or may not have been marked — the caller treats it as
+              // uncertain, like any timed-out mutation).
+              job->cb(false, pay);
+              return;
+            }
+            if (!pay.is_list() || pay.as_list().size() != 2 ||
+                !pay.as_list()[1].is_list()) {
+              FedRenameUnwind(cluster, job, Value("rename failed"));
+              return;
+            }
+            job->chunks = pay.as_list()[1].as_list();
+            // Phase 2: ordinary create at the destination partition, then adopt the
+            // source's already-allocated chunk ids one by one.
+            Request(cluster, kCmdCreate, job->dst, Value(),
+                    [this, &cluster, job](bool ok2, const Value& pay2) {
+                      if (!ok2) {
+                        FedRenameUnwind(cluster, job, pay2);
+                        return;
+                      }
+                      FedRenameAdopt(cluster, job);
+                    });
+          });
+}
+
+void FsClient::FedRenameAdopt(Cluster& cluster, std::shared_ptr<FedRenameJob> job) {
+  if (job->next_chunk >= job->chunks.size()) {
+    // Phase 3: commit tombstones the source entry; the destination owns the chunks now.
+    Request(cluster, kCmdXrCommit, job->src, Value(),
+            [job](bool ok, const Value& pay) { job->cb(ok, ok ? Value() : pay); });
+    return;
+  }
+  Value chunk = job->chunks[job->next_chunk];
+  Request(cluster, kCmdXrAddChunk, job->dst, std::move(chunk),
+          [this, &cluster, job](bool ok, const Value& pay) {
+            if (!ok) {
+              FedRenameUnwind(cluster, job, pay);
+              return;
+            }
+            ++job->next_chunk;
+            FedRenameAdopt(cluster, job);
+          });
+}
+
+void FsClient::FedRenameUnwind(Cluster& cluster, std::shared_ptr<FedRenameJob> job,
+                               const Value& failure) {
+  ClientCounter("fs.client.xr_unwind").Add();
+  // Best-effort unwind: drop the half-imported destination entry WITHOUT chunk GC
+  // (xr_drop — the source still references the adopted chunks), then release the source
+  // intent (xr_abort). Both are idempotent; the caller sees the original failure.
+  Value fail = failure;
+  Request(cluster, kCmdXrDrop, job->dst, Value(),
+          [this, &cluster, job, fail](bool, const Value&) {
+            Request(cluster, kCmdXrAbort, job->src, Value(),
+                    [job, fail](bool, const Value&) { job->cb(false, fail); });
+          });
 }
 void FsClient::AddChunk(Cluster& c, const std::string& path, ResponseCb cb) {
   Request(c, kCmdAddChunk, path, Value(), std::move(cb));
@@ -186,6 +431,11 @@ void FsClient::Chunks(Cluster& c, const std::string& path, ResponseCb cb) {
 }
 void FsClient::Locations(Cluster& c, int64_t chunk_id, ResponseCb cb) {
   Request(c, kCmdLocations, "", Value(chunk_id), std::move(cb));
+}
+
+void FsClient::RawOp(Cluster& c, const std::string& cmd, const std::string& path, Value arg,
+                     ResponseCb cb, const std::string& target, const std::string& table) {
+  Request(c, cmd, path, std::move(arg), std::move(cb), target, table);
 }
 
 void FsClient::WriteFile(Cluster& cluster, const std::string& path, std::string data,
@@ -428,6 +678,34 @@ void FsClient::OnMessage(const Message& msg, Cluster& cluster) {
     auto it = pending_.find(req);
     if (it == pending_.end()) {
       return;  // duplicate/late response (possible during failover)
+    }
+    if (fed_cache_ && !msg.tuple[2].Truthy()) {
+      const Value& payload = msg.tuple[3];
+      if (IsStaleEpochPayload(payload)) {
+        // Routed to a group that does not own the partition: apply the carried map and
+        // re-dispatch immediately under the fresh routing.
+        ClientCounter("fs.client.fed_stale_epoch").Add();
+        fed_cache_->ApplyStalePayload(payload);
+        if (it->second.attempts <= options_.max_retries) {
+          Dispatch(cluster, req);
+          return;
+        }
+      } else if (IsOverloadedPayload(payload) && options_.honor_retry_after &&
+                 it->second.attempts <= options_.max_retries) {
+        // Partition frozen mid-migration (or a shed intake): retry after the server's
+        // hint. The attempt guard mirrors ArmTimeout's — whichever fires first wins.
+        ClientCounter("fs.client.fed_frozen_retry").Add();
+        int attempt = it->second.attempts;
+        double delay = std::max(OverloadRetryAfterMs(payload), 1.0);
+        cluster.ScheduleAfter(delay, [this, &cluster, req, attempt] {
+          auto it2 = pending_.find(req);
+          if (it2 == pending_.end() || it2->second.attempts != attempt) {
+            return;
+          }
+          Dispatch(cluster, req);
+        });
+        return;
+      }
     }
     ResponseCb cb = std::move(it->second.cb);
     preferred_target_ = it->second.target_index;  // this target answered: stick to it

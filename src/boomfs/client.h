@@ -69,6 +69,27 @@ struct FsClientOptions {
   int overload_max_rounds = 0;
 };
 
+// Client-side cache of the federated partition map (src/boomfs/federation.h). One cache is
+// shared by every client of a deployment: any client's stale-epoch bounce refreshes routing
+// for all of them. Rows only move forward — a row is applied iff its epoch is strictly
+// newer than the cached row's — so reordered or replayed bounces cannot roll routing back.
+struct FedGroupEntry {
+  int64_t epoch = 0;
+  std::string leader;
+  std::vector<std::string> members;
+};
+
+struct FedMapCache {
+  int64_t global_epoch = 0;
+  std::map<int64_t, FedGroupEntry> rows;  // pid -> owning group
+
+  // Applies one map row; returns true iff it was newer than the cached row.
+  bool ApplyRow(int64_t pid, int64_t epoch, const std::string& leader,
+                std::vector<std::string> members);
+  // Applies a ["stale_epoch", GlobalEpoch, rows] payload; returns rows applied.
+  int ApplyStalePayload(const Value& payload);
+};
+
 class FsClient : public Actor {
  public:
   using ResponseCb = std::function<void(bool ok, const Value& payload)>;
@@ -88,21 +109,48 @@ class FsClient : public Actor {
   void set_namenode(const std::string& nn) { options_.namenode = nn; }
   const std::string& namenode() const { return options_.namenode; }
 
+  // Federated routing (src/boomfs/federation.h): requests route by
+  // RoutingPid(NsRoutingKey(cmd, path), num_partitions) through the shared map cache —
+  // first attempt to the cached leader, later attempts rotating through the group members.
+  // Requests carry (Pid, CachedEpoch) as two extra columns (the fed_request shape); a
+  // stale-epoch bounce applies the carried map and re-dispatches, and an
+  // ["overloaded", RetryAfterMs] answer (a partition frozen mid-migration) retries after
+  // the hint. Mutually exclusive with SetRouter.
+  void SetFedRouting(std::shared_ptr<FedMapCache> cache, int num_partitions) {
+    fed_cache_ = std::move(cache);
+    fed_num_partitions_ = num_partitions;
+  }
+  const std::shared_ptr<FedMapCache>& fed_cache() const { return fed_cache_; }
+
   // --- primitive namespace operations ---
+  // Mkdir under partitioned/federated routing is dual-homed: the canonical entry is made
+  // at the partition of the directory's parent (where the directory is listed), and a
+  // child-serving copy — plus any missing ancestor scaffolding — at the partition of the
+  // directory's own path (where its entries live). Parent-directory existence is thereby
+  // partition-local: no every-partition fan-out. Both legs tolerate already-exists races.
   void Mkdir(Cluster& cluster, const std::string& path, ResponseCb cb);
   void CreateFile(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Exists(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Ls(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Rm(Cluster& cluster, const std::string& path, ResponseCb cb);
+  // Rename routes same-partition moves as one replicated command; under federated routing
+  // a source and destination on different partitions run the client-driven two-phase
+  // cross-partition protocol (xr_intent -> create+xr_addchunk -> xr_commit, with
+  // xr_drop/xr_abort unwinding a failed attempt). A cb(false, "timeout") outcome leaves
+  // the namespace state uncertain; any other failure is state-preserving.
   void Rename(Cluster& cluster, const std::string& path, const std::string& new_path,
               ResponseCb cb);
   void AddChunk(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Chunks(Cluster& cluster, const std::string& path, ResponseCb cb);
   void Locations(Cluster& cluster, int64_t chunk_id, ResponseCb cb);
-  // Issues mkdir to every listed NameNode (partitioned mode replicates the directory
-  // skeleton); cb(true) iff all succeed.
-  void MkdirAll(Cluster& cluster, const std::string& path,
-                std::vector<std::string> targets, ResponseCb cb);
+  // Creates every prefix of `path` in order (each a dual-homed Mkdir); cb(true) iff every
+  // prefix exists afterwards.
+  void MkdirP(Cluster& cluster, const std::string& path, ResponseCb cb);
+  // Escape hatch for tooling (the partition rebalancer, tests): one namespace request with
+  // an explicit target and request table (empty table = the client's configured table).
+  // Bypasses routing entirely; a nonempty table also skips the fed_request column append.
+  void RawOp(Cluster& cluster, const std::string& cmd, const std::string& path, Value arg,
+             ResponseCb cb, const std::string& target, const std::string& table);
 
   // --- composite data operations ---
   // Creates `path` and writes `data` as a sequence of chunks through DataNode pipelines.
@@ -123,7 +171,24 @@ class FsClient : public Actor {
 
  private:
   void Request(Cluster& cluster, const std::string& cmd, const std::string& path, Value arg,
-               ResponseCb cb, std::string forced_target = "");
+               ResponseCb cb, std::string forced_target = "", std::string table = "",
+               std::string route_key = "");
+  // One dual-homed Mkdir leg: mkdir routed by `route_key` ("" = canonical), falling back
+  // to an Exists probe on failure so already-exists races report success.
+  void MkdirLeg(Cluster& cluster, const std::string& path, const std::string& route_key,
+                ResponseCb cb);
+  // Sequential ancestor scaffolding at one partition: mkdir every prefix of `path`,
+  // all routed by `route_key`.
+  void MkdirScaffold(Cluster& cluster, std::shared_ptr<std::vector<std::string>> prefixes,
+                     size_t index, std::string route_key, std::shared_ptr<ResponseCb> done);
+  void MkdirPStep(Cluster& cluster, std::shared_ptr<std::vector<std::string>> prefixes,
+                  size_t index, std::shared_ptr<ResponseCb> done);
+  // Cross-partition rename chain (see Rename).
+  void FedRename(Cluster& cluster, const std::string& path, const std::string& new_path,
+                 ResponseCb cb);
+  void FedRenameAdopt(Cluster& cluster, std::shared_ptr<struct FedRenameJob> job);
+  void FedRenameUnwind(Cluster& cluster, std::shared_ptr<struct FedRenameJob> job,
+                       const Value& failure);
   void WriteChunks(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
   // Retry ladder steps for one chunk write / read (see FsClientOptions comments).
   void RetryWrite(Cluster& cluster, std::shared_ptr<struct WriteJob> job);
@@ -150,6 +215,8 @@ class FsClient : public Actor {
     int attempts = 0;
     size_t target_index = 0;   // into {namenode} U fallbacks
     std::string forced_target;  // when nonempty, overrides routing entirely
+    std::string table;      // per-request table override ("" = options_.request_table)
+    std::string route_key;  // routing-key override ("" = NsRoutingKey(cmd, path))
     SpanContext span;          // "ns:<cmd>" span covering request through response/timeout
     double sent_ms = 0;
   };
@@ -158,6 +225,8 @@ class FsClient : public Actor {
 
   FsClientOptions options_;
   RouterFn router_;
+  std::shared_ptr<FedMapCache> fed_cache_;  // nonnull = federated routing active
+  int fed_num_partitions_ = 0;
   // Sticky failover: index into {namenode} U fallbacks that last answered; new requests
   // start there instead of re-probing a dead primary.
   size_t preferred_target_ = 0;

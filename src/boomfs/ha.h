@@ -40,8 +40,22 @@ struct HaFsHandles {
 // and BOOM-FS programs installed on the same engine (verified at install time).
 const Module& HaBridgeModule();
 
+// The federated variant (src/boomfs/federation.h): same intake, but log replay of plain
+// namespace commands is fenced by the partition seal table (`fed_sealed`, owned by
+// nn_federation) — once an `xr_seal` command is in the replicated log, later plain
+// commands for that partition never apply and never ack. Takes a `num_partitions`
+// parameter to recompute the client's routing pid at replay.
+const Module& FencedHaBridgeModule();
+
+struct HaBridgeOptions {
+  // Fence replayed commands on the federation partition seal. The default (off) builds
+  // the standalone-HA bridge, byte-identical to the pre-federation program.
+  bool fed_fence = false;
+  int num_partitions = 0;  // required when fed_fence is set
+};
+
 // The bridge program: client requests -> Paxos commands -> replayed namespace requests.
-Program HaBridgeProgram();
+Program HaBridgeProgram(const HaBridgeOptions& options = {});
 
 HaFsHandles SetupHaFs(Cluster& cluster, const HaFsOptions& options);
 

@@ -11,12 +11,13 @@ std::string RouteByPath(const std::vector<std::string>& partitions, const std::s
     return partitions[0];
   }
   // Files live on the partition that hashes their parent directory, so a directory's direct
-  // children are colocated: `ls` routes by the listed directory itself, every other op by
-  // the parent. Directories are replicated to all partitions (MkdirAll), making them valid
-  // parents everywhere. Chunk-location lookups can go anywhere (every partition hears every
+  // children are colocated (the federated plane shares this key function — see
+  // NsRoutingKey in protocol.h). Directories get a child-serving copy on their own
+  // partition from the dual-homed Mkdir, making them valid parents exactly where their
+  // children route. Chunk-location lookups can go anywhere (every partition hears every
   // DataNode); they hash the empty path.
-  std::string key = (cmd == kCmdLs) ? path : (path.empty() ? "/" : PathDirname(path));
-  return partitions[Fnv1a64(key) % partitions.size()];
+  return partitions[static_cast<size_t>(
+      RoutingPid(NsRoutingKey(cmd, path), static_cast<int>(partitions.size())))];
 }
 
 PartitionedFsHandles SetupPartitionedFs(Cluster& cluster,
@@ -29,6 +30,10 @@ PartitionedFsHandles SetupPartitionedFs(Cluster& cluster,
 
   for (int p = 0; p < options.num_partitions; ++p) {
     std::string nn = options.prefix + std::to_string(p);
+    // Distinct per-partition id salts: N NameNodes mint over one shared DataNode pool, and
+    // without disjoint id spaces two partitions can allocate the same chunk id (the chunk
+    // reports then cross-wire — see ChunkIdsDisjointAcrossPartitions).
+    fs_opts.id_salt = 0xA00 + static_cast<uint64_t>(p);
     AddNameNode(cluster, options.kind, nn, fs_opts);
     handles.partitions.push_back(std::move(nn));
   }

@@ -36,9 +36,12 @@ struct PartitionedFsHandles {
   std::vector<FsClient*> clients;  // owned by the cluster
 };
 
-// Routing rule shared by all clients: ls routes by the listed directory; everything else by
-// hash(dirname(path)). Directories must be created with FsClient::MkdirAll so they exist on
-// every partition.
+// Routing rule shared by all clients: partitions[RoutingPid(NsRoutingKey(cmd, path))] —
+// ls routes by the listed directory, everything else by hash(dirname(path)); see
+// src/boomfs/protocol.h. Directory creation is dual-homed (FsClient::Mkdir makes the
+// canonical entry at the parent's partition and a child-serving copy at the directory's
+// own partition), so parent-directory existence is partition-local — no every-partition
+// directory broadcast.
 std::string RouteByPath(const std::vector<std::string>& partitions, const std::string& cmd,
                         const std::string& path);
 

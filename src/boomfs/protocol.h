@@ -46,6 +46,10 @@ inline constexpr char kNsIngress[] = "ns_ingress";
 // Load signal fed into the gateway: svc_load(Gw, BacklogMs) — the NameNode's queued
 // service backlog sampled via Cluster::ServiceBacklogMs.
 inline constexpr char kSvcLoad[] = "svc_load";
+// Federated intake (src/boomfs/federation.h): ns_request's shape plus the partition id the
+// client routed by and the map epoch its cache held —
+//   fed_request(NN, ReqId, Client, Cmd, Path, Arg, Pid, Epoch)
+inline constexpr char kFedRequest[] = "fed_request";
 
 // Commands.
 inline constexpr char kCmdMkdir[] = "mkdir";
@@ -62,6 +66,29 @@ inline constexpr char kCmdAbandon[] = "abandon";
 // Move a file: Path is the source, Arg the destination path (files only; directories keep
 // their paths for the lifetime of the namespace).
 inline constexpr char kCmdRename[] = "rename";
+
+// Cross-partition rename (federated metadata plane, src/boomfs/federation.h): a
+// client-driven two-phase protocol. xr_intent at the source partition validates the file,
+// marks it moving, and returns [FileId, chunk ids]; the destination entry is made with an
+// ordinary "create"; xr_addchunk adopts each already-allocated chunk id at the
+// destination; xr_commit drops the source entry and leaves a tombstone (without chunk GC
+// — the destination owns the bytes now). xr_abort releases a source intent and xr_drop
+// removes a half-imported destination entry; both are idempotent unwind steps.
+inline constexpr char kCmdXrIntent[] = "xr_intent";
+inline constexpr char kCmdXrAddChunk[] = "xr_addchunk";
+inline constexpr char kCmdXrCommit[] = "xr_commit";
+inline constexpr char kCmdXrAbort[] = "xr_abort";
+inline constexpr char kCmdXrDrop[] = "xr_drop";
+// Partition seal (migration fence): `xr_seal` rides the group's replicated log with the
+// partition id in Arg (Path unused). Once applied, every LATER plain namespace command
+// for that partition is dropped at log replay — never applied, never acked — so a command
+// stuck in a recovering ex-leader's proposer cannot resurface after the partition has
+// migrated away (the client's retry lands at the new owner instead). Because the seal is
+// itself log-ordered, the migration snapshot taken after it applies is provably complete:
+// every acked command precedes the seal in the log. xr_unseal (idempotent) reopens the
+// partition, e.g. at the destination group or when a migration aborts.
+inline constexpr char kCmdXrSeal[] = "xr_seal";
+inline constexpr char kCmdXrUnseal[] = "xr_unseal";
 
 // Data plane.
 inline constexpr char kDnWrite[] = "dn_write";
@@ -99,6 +126,39 @@ inline double OverloadRetryAfterMs(const Value& payload) {
     return 0;
   }
   return payload.as_list()[1].ToDouble();
+}
+
+// Federated routing. Every namespace command routes by one key: "ls" by the listed
+// directory itself, everything else by the parent directory of the path. This is the
+// contract that makes parent-directory existence a partition-local question — all entries
+// of one directory (and the directory's child-serving copy, see FsClient::Mkdir) live on
+// the partition of the directory's own path.
+inline std::string NsRoutingKey(const std::string& cmd, const std::string& path) {
+  if (cmd == kCmdLs) {
+    return path.empty() ? "/" : path;
+  }
+  return path.empty() ? "/" : PathDirname(path);
+}
+
+inline int64_t RoutingPid(const std::string& key, int num_partitions) {
+  if (num_partitions <= 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(Fnv1a64(key) % static_cast<uint64_t>(num_partitions));
+}
+
+// Stale-epoch bounce (federation). A request routed to a group that does not own the
+// partition is answered with Ok=false and payload
+//   ["stale_epoch", GlobalEpoch, [[Pid, Epoch, Leader, Members], ...]]
+// carrying the replica's whole partition map, so one round trip refreshes the client's
+// cache. Retryable after applying the map, never terminal.
+inline constexpr char kStaleEpochError[] = "stale_epoch";
+
+inline bool IsStaleEpochPayload(const Value& payload) {
+  return payload.is_list() && payload.as_list().size() == 3 &&
+         payload.as_list()[0].is_string() &&
+         payload.as_list()[0].as_string() == kStaleEpochError &&
+         payload.as_list()[1].is_numeric() && payload.as_list()[2].is_list();
 }
 
 }  // namespace boom

@@ -6,6 +6,8 @@
 
 #include "src/boomfs/boomfs.h"
 #include "src/boomfs/datanode.h"
+#include "src/boomfs/federation.h"
+#include "src/boomfs/protocol.h"
 
 namespace boom {
 
@@ -290,6 +292,194 @@ void BoomFsReadIntegrityChecker::Check(Cluster& /*cluster*/, bool /*final_check*
       out->push_back("read of " + r.path + " issued at t=" + Fmt("%.1f", r.issued_ms) +
                      " succeeded with wrong bytes (" + std::to_string(r.got.size()) +
                      "B got vs " + std::to_string(r.expect.size()) + "B expected)");
+    }
+  }
+}
+
+// --- Federated BOOM-FS ---
+
+namespace {
+
+// The service's published map as pid -> (epoch, members); empty when the node is down.
+std::map<int64_t, std::pair<int64_t, std::vector<std::string>>> ReadPmapRows(
+    Cluster& cluster, const std::string& pmap) {
+  std::map<int64_t, std::pair<int64_t, std::vector<std::string>>> rows;
+  for (const Tuple& row : ReadTable(cluster, pmap, "partition_map")) {
+    std::vector<std::string> members;
+    if (row[3].is_list()) {
+      for (const Value& m : row[3].as_list()) {
+        members.push_back(m.as_string());
+      }
+    }
+    rows[row[0].as_int()] = {row[1].as_int(), std::move(members)};
+  }
+  return rows;
+}
+
+int64_t ReadEpochCell(Cluster& cluster, const std::string& node, const std::string& table) {
+  for (const Tuple& row : ReadTable(cluster, node, table)) {
+    return row[1].as_int();
+  }
+  return -1;  // table empty / node down
+}
+
+}  // namespace
+
+void FedEpochChecker::Check(Cluster& cluster, bool final_check,
+                            std::vector<std::string>* out) {
+  int64_t global = ReadEpochCell(cluster, model_->pmap, "pm_epoch");
+  if (global < 0) {
+    return;  // map service unreadable at this checkpoint: nothing to compare against
+  }
+  if (global < max_global_epoch_) {
+    out->push_back("partition-map global epoch regressed: " + std::to_string(global) +
+                   " after " + std::to_string(max_global_epoch_));
+  }
+  max_global_epoch_ = std::max(max_global_epoch_, global);
+  auto pmap_rows = ReadPmapRows(cluster, model_->pmap);
+  for (const auto& [pid, row] : pmap_rows) {
+    if (row.first > global) {
+      out->push_back("partition-map row for pid " + std::to_string(pid) + " carries epoch " +
+                     std::to_string(row.first) + " > global epoch " +
+                     std::to_string(global));
+    }
+  }
+  for (const auto& group : model_->groups) {
+    for (const std::string& replica : group) {
+      if (!cluster.IsAlive(replica)) {
+        continue;
+      }
+      int64_t applied = ReadEpochCell(cluster, replica, "fed_epoch");
+      if (applied > global) {
+        out->push_back(replica + " applied global epoch " + std::to_string(applied) +
+                       " ahead of the map service's " + std::to_string(global));
+      }
+      for (const Tuple& row : ReadTable(cluster, replica, "fed_map")) {
+        int64_t pid = row[0].as_int();
+        auto it = pmap_rows.find(pid);
+        if (it != pmap_rows.end() && row[1].as_int() > it->second.first) {
+          out->push_back(replica + " holds fed_map epoch " + std::to_string(row[1].as_int()) +
+                         " for pid " + std::to_string(pid) +
+                         " ahead of the map service's " +
+                         std::to_string(it->second.first));
+        }
+      }
+    }
+  }
+  if (!final_check) {
+    return;
+  }
+  // Healed: complete map, and ownership everywhere matches the published membership.
+  for (int64_t pid = 0; pid < model_->num_partitions; ++pid) {
+    if (!pmap_rows.count(pid)) {
+      out->push_back("partition-map has no row for pid " + std::to_string(pid) +
+                     " after healing");
+    }
+  }
+  for (const auto& group : model_->groups) {
+    for (const std::string& replica : group) {
+      if (!cluster.IsAlive(replica)) {
+        continue;
+      }
+      std::set<int64_t> owned;
+      for (const Tuple& row : ReadTable(cluster, replica, "fed_owned")) {
+        owned.insert(row[0].as_int());
+      }
+      for (const auto& [pid, row] : pmap_rows) {
+        bool member = std::find(row.second.begin(), row.second.end(), replica) !=
+                      row.second.end();
+        if (member && !owned.count(pid)) {
+          out->push_back(replica + " is a published member of pid " + std::to_string(pid) +
+                         " but does not own it after healing");
+        }
+        if (!member && owned.count(pid)) {
+          out->push_back(replica + " still owns pid " + std::to_string(pid) +
+                         " it is no longer a published member of after healing");
+        }
+      }
+    }
+  }
+}
+
+void FedNamespaceChecker::Check(Cluster& cluster, bool final_check,
+                                std::vector<std::string>* out) {
+  if (!final_check) {
+    return;  // mid-migration states are legal; obligations bind only after healing
+  }
+  auto pmap_rows = ReadPmapRows(cluster, model_->pmap);
+  // pid -> owning group index, resolved by matching the published members against the
+  // deployment's group lists (-1 = unresolvable, skip that partition).
+  auto owner_group = [&](int64_t pid) {
+    auto it = pmap_rows.find(pid);
+    if (it == pmap_rows.end() || it->second.second.empty()) {
+      return -1;
+    }
+    const std::string& first = it->second.second.front();
+    for (size_t g = 0; g < model_->groups.size(); ++g) {
+      const auto& members = model_->groups[g];
+      if (std::find(members.begin(), members.end(), first) != members.end()) {
+        return static_cast<int>(g);
+      }
+    }
+    return -1;
+  };
+  // One leader-preferred namespace snapshot per group; a dead group stays unreadable.
+  std::vector<bool> readable(model_->groups.size(), false);
+  std::vector<std::set<std::string>> paths(model_->groups.size());
+  for (size_t g = 0; g < model_->groups.size(); ++g) {
+    std::string leader = GroupLeader(cluster, model_->groups[g]);
+    if (leader.empty()) {
+      continue;
+    }
+    readable[g] = true;
+    for (const Tuple& row : ReadTable(cluster, leader, "fqpath")) {
+      paths[g].insert(row[0].as_string());
+    }
+  }
+  auto routing_pid = [this](const std::string& path) {
+    return RoutingPid(NsRoutingKey("exists", path), model_->num_partitions);
+  };
+  for (const auto& [path, is_dir] : model_->live) {
+    if (model_->uncertain.count(path)) {
+      continue;
+    }
+    int64_t pid = routing_pid(path);
+    if (model_->uncertain_pids.count(pid)) {
+      continue;
+    }
+    int owner = owner_group(pid);
+    if (owner >= 0 && readable[static_cast<size_t>(owner)] &&
+        !paths[static_cast<size_t>(owner)].count(path)) {
+      out->push_back("acked " + std::string(is_dir ? "dir " : "file ") + path +
+                     " missing from owner group " + std::to_string(owner) + " (pid " +
+                     std::to_string(pid) + ")");
+    }
+    if (!is_dir) {  // dirs are dual-homed by design; only files must be unique
+      int copies = 0;
+      for (size_t g = 0; g < model_->groups.size(); ++g) {
+        if (readable[g] && paths[g].count(path)) {
+          ++copies;
+        }
+      }
+      if (copies > 1) {
+        out->push_back("acked file " + path + " present in " + std::to_string(copies) +
+                       " groups (duplicated namespace entry)");
+      }
+    }
+  }
+  for (const std::string& path : model_->gone) {
+    if (model_->uncertain.count(path)) {
+      continue;
+    }
+    int64_t pid = routing_pid(path);
+    if (model_->uncertain_pids.count(pid)) {
+      continue;
+    }
+    int owner = owner_group(pid);
+    if (owner >= 0 && readable[static_cast<size_t>(owner)] &&
+        paths[static_cast<size_t>(owner)].count(path)) {
+      out->push_back("removed path " + path + " resurfaced at owner group " +
+                     std::to_string(owner) + " (pid " + std::to_string(pid) + ")");
     }
   }
 }

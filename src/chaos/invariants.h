@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,57 @@ class BoomFsReadIntegrityChecker : public InvariantChecker {
 
  private:
   std::shared_ptr<const FsReadLog> reads_;
+};
+
+// --- Federated BOOM-FS (src/boomfs/federation.h) ---
+
+// Shared between the federation scenario's workload driver (writer) and the two federation
+// checkers (readers). The namespace oracle is one-directional like FsModel: only
+// acknowledged operations carry obligations. Faulted outcomes (a timed-out rename, an
+// aborted migration) are parked in `uncertain` / `uncertain_pids` and exempt from both the
+// lost and the duplicate checks.
+struct FedModel {
+  int num_partitions = 0;
+  std::string pmap;                               // partition-map service address
+  std::vector<std::vector<std::string>> groups;   // group -> replica addresses
+  std::map<std::string, bool> live;               // acked path -> is_dir
+  std::set<std::string> gone;                     // acked removed / renamed-away sources
+  std::set<std::string> uncertain;                // unknown-outcome paths (failed ops)
+  std::set<int64_t> uncertain_pids;               // partitions with an aborted migration
+};
+
+// Epoch safety: the partition-map service is the sole routing authority, so (a) its global
+// epoch never regresses (cumulative across checkpoints), (b) no replica's applied epoch or
+// per-partition map row ever runs AHEAD of the service's, and (c) once healed (final), the
+// service holds exactly one row per partition and every alive replica's fed_owned set
+// matches the published membership.
+class FedEpochChecker : public InvariantChecker {
+ public:
+  explicit FedEpochChecker(std::shared_ptr<const FedModel> model)
+      : model_(std::move(model)) {}
+  std::string name() const override { return "fed-epoch"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<const FedModel> model_;
+  int64_t max_global_epoch_ = 0;  // cumulative: the service's epoch must only ratchet
+};
+
+// Namespace integrity across groups (final only): every acked-live path is present in its
+// routing owner's namespace (nothing lost by failover, rename, or migration), no acked-live
+// FILE appears in more than one group (nothing duplicated — directories are dual-homed by
+// design and exempt), and every acked-gone path stays gone at its owner (a commit that
+// forgot to tombstone the source shows up here). Reads go through each group's current
+// leader; a group that is entirely dead is skipped, as are uncertain paths/partitions.
+class FedNamespaceChecker : public InvariantChecker {
+ public:
+  explicit FedNamespaceChecker(std::shared_ptr<const FedModel> model)
+      : model_(std::move(model)) {}
+  std::string name() const override { return "fed-namespace"; }
+  void Check(Cluster& cluster, bool final_check, std::vector<std::string>* out) override;
+
+ private:
+  std::shared_ptr<const FedModel> model_;
 };
 
 // --- BOOM-MR ---

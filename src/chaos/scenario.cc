@@ -8,6 +8,7 @@
 #include "src/boomfs/boomfs.h"
 #include "src/boomfs/client.h"
 #include "src/boomfs/datanode.h"
+#include "src/boomfs/federation.h"
 #include "src/boomfs/nn_program.h"
 #include "src/boommr/boommr.h"
 #include "src/boommr/jt_program.h"
@@ -630,6 +631,226 @@ class OverloadScenario : public ChaosScenario {
   std::unique_ptr<FsLoadWorkload> workload_;
 };
 
+// --- Federation: partitioned + Paxos-replicated NameNode groups under replica churn ---
+//
+// Two groups of three replicas serve an 8-partition namespace behind the partition-map
+// service while clients churn files (create/exists/rename/delete, renames deliberately
+// cross-directory so the two-phase xr protocol fires) and, mid-run, partition 0 is
+// migrated to the other group (StartRebalance) — the split-during-churn composition. The
+// random faults are crashes and partitions of NameNode REPLICAS only: the contract under
+// test is that group failover and the migration protocol never lose, duplicate, or
+// resurrect an acknowledged namespace entry (FedNamespaceChecker) and that routing epochs
+// only ever move forward (FedEpochChecker).
+//
+// The "split-rename" bug variant strips the xr_commit delete rules (xc2/xc3): a committed
+// cross-partition rename acks the client but leaves the source entry behind, so renamed-
+// away paths resurface and migrated files end up present in two groups.
+
+class FederationScenario : public ChaosScenario {
+ public:
+  explicit FederationScenario(ScenarioOptions options) : options_(std::move(options)) {
+    for (int g = 0; g < kNumGroups; ++g) {
+      for (int r = 0; r < kReplicasPerGroup; ++r) {
+        replicas_.push_back(prefix_ + "_g" + std::to_string(g) + "r" + std::to_string(r));
+      }
+    }
+    for (int i = 0; i < kNumDataNodes; ++i) {
+      datanodes_.push_back(prefix_ + "_dn" + std::to_string(i));
+    }
+  }
+
+  std::string name() const override { return "federation"; }
+
+  void Setup(Cluster& cluster, uint64_t seed) override {
+    FederatedFsOptions opts;
+    opts.num_groups = kNumGroups;
+    opts.replicas_per_group = kReplicasPerGroup;
+    opts.num_partitions = kNumPartitions;
+    opts.prefix = prefix_;
+    opts.num_datanodes = kNumDataNodes;
+    opts.num_clients = kNumClients;
+    if (options_.bug == "split-rename") {
+      opts.federation_strip_rules = {"xc2", "xc3"};
+    }
+    handles_ = SetupFederatedFs(cluster, opts);
+
+    auto model = std::make_shared<FedModel>();
+    model->num_partitions = kNumPartitions;
+    model->pmap = handles_.pmap;
+    model->groups = handles_.groups;
+    auto work = std::make_shared<FedWork>(seed, model);
+
+    // Pre-made working directories: twelve roots spread over the eight partitions, so
+    // cross-directory renames usually cross partitions (and often cross groups).
+    for (int d = 0; d < 12; ++d) {
+      std::string dir = "/d" + std::to_string(d);
+      cluster.ScheduleAt(700 + d * 40, [this, &cluster, work, dir] {
+        FsClient* client = NextClient(work);
+        client->Mkdir(cluster, dir, [work, dir](bool ok, const Value&) {
+          if (ok) {
+            work->model->live[dir] = true;
+          } else {
+            work->model->uncertain.insert(dir);
+          }
+        });
+      });
+    }
+    for (double t = 1500; t < horizon_ms() - 1000; t += 250) {
+      cluster.ScheduleAt(t, [this, &cluster, work] { Step(cluster, work); });
+    }
+
+    // Mid-run migration: partition 0 moves to the other group while the churn continues.
+    // An aborted migration (leader churn can exhaust the per-op retries) leaves committed
+    // destination entries orphaned from the routed namespace, so its partition's paths
+    // stop carrying obligations.
+    cluster.ScheduleAt(horizon_ms() * 0.45, [this, &cluster, work] {
+      FedRebalanceOptions reb;
+      reb.pmap = handles_.pmap;
+      int source = handles_.pid_group[0];
+      reb.source = handles_.groups[static_cast<size_t>(source)];
+      reb.dest = handles_.groups[static_cast<size_t>(1 - source)];
+      reb.pid = 0;
+      reb.num_partitions = kNumPartitions;
+      reb.admin = handles_.admin;
+      StartRebalance(cluster, reb, [work](bool ok) {
+        if (!ok) {
+          work->model->uncertain_pids.insert(0);
+        }
+      });
+    });
+
+    checkers_.push_back(std::make_unique<FedEpochChecker>(model));
+    checkers_.push_back(std::make_unique<FedNamespaceChecker>(model));
+  }
+
+  FaultGenOptions FaultProfile() const override {
+    FaultGenOptions o;
+    o.horizon_ms = horizon_ms();
+    // Only NameNode replicas fault: the contract is that Paxos failover inside a group and
+    // the epoch protocol across groups absorb replica loss. The map service, DataNodes,
+    // and clients stay up (faulting the sole routing authority is a different experiment).
+    o.killable = replicas_;
+    o.partitionable = replicas_;
+    o.all_nodes = replicas_;
+    o.all_nodes.push_back(prefix_ + "_pmap");
+    o.all_nodes.push_back(prefix_ + "_admin");
+    for (const std::string& dn : datanodes_) {
+      o.all_nodes.push_back(dn);
+    }
+    for (int i = 0; i < kNumClients; ++i) {
+      o.all_nodes.push_back(prefix_ + "_client" + std::to_string(i));
+    }
+    // The replicated intake assumes TCP links (like the Paxos scenario): crashes and
+    // partitions are the faults under test, not message loss.
+    o.allow_drop = false;
+    o.allow_dup = false;
+    o.allow_reorder = false;
+    o.max_crashes = 2;
+    o.min_crash_ms = 800;
+    o.max_crash_ms = 4000;
+    o.max_partitions = 1;
+    o.min_partition_ms = 1500;
+    o.max_partition_ms = 4000;
+    o.max_degrades = 0;
+    return o;
+  }
+
+ private:
+  static constexpr int kNumGroups = 2;
+  static constexpr int kReplicasPerGroup = 3;
+  static constexpr int kNumPartitions = 8;
+  static constexpr int kNumDataNodes = 4;
+  static constexpr int kNumClients = 2;
+
+  struct FedWork {
+    FedWork(uint64_t seed, std::shared_ptr<FedModel> m)
+        : rng(seed ^ 0xFEDFEDFED0123ULL), model(std::move(m)) {}
+    Rng rng;
+    std::shared_ptr<FedModel> model;
+    std::set<std::string> busy;  // paths with a pending rename/delete (never double-issue)
+    int next_file = 0;
+    int next_client = 0;
+  };
+
+  FsClient* NextClient(const std::shared_ptr<FedWork>& work) {
+    return handles_.clients[static_cast<size_t>(work->next_client++) %
+                            handles_.clients.size()];
+  }
+
+  void Step(Cluster& cluster, std::shared_ptr<FedWork> work) {
+    auto& m = *work->model;
+    std::vector<std::string> dirs;
+    for (const auto& [path, is_dir] : m.live) {
+      if (is_dir && !m.uncertain.count(path)) {
+        dirs.push_back(path);
+      }
+    }
+    if (dirs.empty()) {
+      return;  // mkdirs still in flight
+    }
+    auto pick = [&work](const std::vector<std::string>& from) {
+      return from[static_cast<size_t>(
+          work->rng.UniformInt(0, static_cast<int64_t>(from.size()) - 1))];
+    };
+    std::vector<std::string> files;
+    for (const auto& [path, is_dir] : m.live) {
+      if (!is_dir && !m.uncertain.count(path) && !work->busy.count(path)) {
+        files.push_back(path);
+      }
+    }
+    FsClient* client = NextClient(work);
+    double r = work->rng.Uniform(0, 1);
+    if (r < 0.45 || files.empty()) {
+      std::string path = pick(dirs) + "/f" + std::to_string(work->next_file++);
+      client->CreateFile(cluster, path, [work, path](bool ok, const Value&) {
+        if (ok) {
+          work->model->live[path] = false;
+        } else {
+          work->model->uncertain.insert(path);
+        }
+      });
+    } else if (r < 0.6) {
+      client->Exists(cluster, pick(files), [](bool, const Value&) {});
+    } else if (r < 0.8) {
+      // Rename into a different directory: under the dirname routing this is usually a
+      // cross-partition move, exercising the xr two-phase protocol under faults.
+      std::string src = pick(files);
+      std::string dst = pick(dirs) + "/r" + std::to_string(work->next_file++);
+      work->busy.insert(src);
+      client->Rename(cluster, src, dst, [work, src, dst](bool ok, const Value&) {
+        work->busy.erase(src);
+        if (ok) {
+          work->model->live.erase(src);
+          work->model->gone.insert(src);
+          work->model->live[dst] = false;
+        } else {
+          // Unknown outcome: the intent/commit may have applied without the ack landing.
+          work->model->uncertain.insert(src);
+          work->model->uncertain.insert(dst);
+        }
+      });
+    } else {
+      std::string path = pick(files);
+      work->busy.insert(path);
+      client->Rm(cluster, path, [work, path](bool ok, const Value&) {
+        work->busy.erase(path);
+        if (ok) {
+          work->model->live.erase(path);
+          work->model->gone.insert(path);
+        } else {
+          work->model->uncertain.insert(path);
+        }
+      });
+    }
+  }
+
+  ScenarioOptions options_;
+  std::string prefix_ = "fed";
+  std::vector<std::string> replicas_;
+  std::vector<std::string> datanodes_;
+  FederatedFsHandles handles_;
+};
+
 }  // namespace
 
 namespace {
@@ -657,6 +878,9 @@ std::vector<std::string> ScenarioBugNames(const std::string& scenario) {
   if (scenario == "overload") {
     return {"retry-storm"};
   }
+  if (scenario == "federation") {
+    return {"split-rename"};
+  }
   return {};  // the tenancy scenario has no bug variants
 }
 
@@ -682,11 +906,14 @@ std::unique_ptr<ChaosScenario> MakeScenario(const std::string& name,
   if (name == "overload") {
     return std::make_unique<OverloadScenario>(options);
   }
+  if (name == "federation") {
+    return std::make_unique<FederationScenario>(options);
+  }
   return nullptr;
 }
 
 std::vector<std::string> ScenarioNames() {
-  return {"paxos", "boomfs", "boommr", "tenancy", "overload"};
+  return {"paxos", "boomfs", "boommr", "tenancy", "overload", "federation"};
 }
 
 }  // namespace boom

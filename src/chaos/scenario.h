@@ -19,6 +19,9 @@
 //           the client retry budget: a burst past NameNode capacity queues requests past
 //           the client timeout, and the unbudgeted retry stream sustains the overload
 //           after the burst clears (metastable failure — goodput never recovers).
+//   federation: "split-rename" — strips the xr_commit delete rules (xc2/xc3): a committed
+//           cross-partition rename acks the client but never removes the source entry, so
+//           renamed-away paths resurface and migrated files appear in two groups.
 
 #ifndef SRC_CHAOS_SCENARIO_H_
 #define SRC_CHAOS_SCENARIO_H_

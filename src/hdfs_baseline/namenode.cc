@@ -152,7 +152,7 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
       Respond(cluster, client, req, false, Value(std::string(cmd) + " failed"));
       return;
     }
-    int64_t id = next_id_++;
+    int64_t id = MintId();
     inodes_[id] = Inode{id, dir->id, name, cmd == kCmdMkdir};
     children_[{dir->id, name}] = id;
     Respond(cluster, client, req, true, Value());
@@ -234,7 +234,7 @@ void HdfsNameNode::HandleRequest(const Message& msg, Cluster& cluster) {
       Respond(cluster, client, req, false, Value("addchunk failed"));
       return;
     }
-    int64_t chunk = next_id_++;
+    int64_t chunk = MintId();
     file_chunks_[node->id].push_back(chunk);
     chunk_file_[chunk] = node->id;
     ValueList dn_vals;

@@ -173,6 +173,17 @@ BuiltinRegistry BuiltinRegistry::Standard() {
   pure("hash", 1, [](const std::vector<Value>& a) {
     return Value(static_cast<int64_t>(Fnv1a64(a[0].ToString()) & 0x7fffffffffffffffULL));
   });
+  // The federation routing function, bit-for-bit the client's RoutingPid
+  // (src/boomfs/protocol.h): full 64-bit FNV-1a of the raw key string, mod the partition
+  // count. Kept separate from `hash` (which masks to 63 bits and stringifies non-strings
+  // with quoting) so rules can fence by the exact pid the client routed with.
+  pure("route_pid", 2, [](const std::vector<Value>& a) -> Result<Value> {
+    if (!a[0].is_string() || !a[1].is_int() || a[1].as_int() <= 0) {
+      return InvalidArgument("route_pid expects (string key, positive int n)");
+    }
+    return Value(static_cast<int64_t>(Fnv1a64(a[0].as_string()) %
+                                      static_cast<uint64_t>(a[1].as_int())));
+  });
 
   // --- math ---
   pure("abs", 1, [](const std::vector<Value>& a) -> Result<Value> {

@@ -18,6 +18,7 @@ table quorum(K, Q) keys(0);
 /////////////////////////////////////////////////////////////////////////////
 timer px_ping_t(ping_ms);
 timer px_tick(tick_ms);
+timer px_sync_t(sync_ms);
 
 /////////////////////////////////////////////////////////////////////////////
 // Leader election: lowest-addressed live replica. Liveness from pings; the
@@ -184,6 +185,22 @@ applied_upto(1, -1);
 // decided through its primary-key index instead of scanning the whole log.
 l1 apply_cmd(S, C) :- applied_upto(1, S0), S := S0 + 1, decided(S, C);
 l2 applied_upto(1, S)@next :- apply_cmd(S, _);
+
+/////////////////////////////////////////////////////////////////////////////
+// Learner anti-entropy. Decide messages are broadcast once, at decision time:
+// a replica that was down or partitioned misses them, and with no client
+// traffic nothing triggers phase-1 recovery — it can rejoin, win the election
+// back (lowest live address), and serve a stale state machine forever. Each
+// replica periodically advertises its applied watermark; any peer re-sends the
+// decided slots just above it (a bounded window per round, so a laggard
+// streams back instead of being flooded).
+/////////////////////////////////////////////////////////////////////////////
+event px_sync_req(Addr, From, Upto);
+
+sy1 px_sync_req(@P, Me, S0) :- px_sync_t(_), applied_upto(1, S0), paxos_peer(P),
+                               Me := f_me(), P != Me;
+sy2 decide(@F, S, C) :- px_sync_req(@Me, F, S0), Hi := S0 + 64, decided(S, C),
+                        S > S0, S <= Hi;
 )olg";
 
 }  // namespace
@@ -194,6 +211,7 @@ const Module& PaxosCoreModule() {
       kCoreModule,
       {ModuleParam::Required("ping_ms", ValueKind::kDouble),
        ModuleParam::Required("tick_ms", ValueKind::kDouble),
+       ModuleParam::Required("sync_ms", ValueKind::kDouble),
        ModuleParam::Required("lead_timeout_ms", ValueKind::kDouble),
        ModuleParam::Required("my_idx", ValueKind::kInt),
        ModuleParam::Required("n_peers", ValueKind::kInt)},
@@ -214,6 +232,7 @@ Program PaxosProgram(const PaxosProgramOptions& options) {
       builder.Add(PaxosCoreModule(),
                   {{"ping_ms", options.ping_period_ms},
                    {"tick_ms", options.tick_period_ms},
+                   {"sync_ms", options.sync_period_ms},
                    {"lead_timeout_ms", options.lead_timeout_ms},
                    {"my_idx", options.my_index},
                    {"n_peers", static_cast<int>(options.peers.size())}});

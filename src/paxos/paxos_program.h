@@ -35,6 +35,7 @@ struct PaxosProgramOptions {
   double ping_period_ms = 200;     // leader-election heartbeat
   double lead_timeout_ms = 1000;   // peer considered dead after this silence
   double tick_period_ms = 10;      // proposer drain rate (one command per tick)
+  double sync_period_ms = 200;     // learner anti-entropy: applied-watermark advert period
 };
 
 // The consensus protocol module, for composition on a caller-owned ProgramBuilder.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/base/logging.h"
 #include "src/base/strings.h"
 #include "src/boomfs/protocol.h"
 #include "src/telemetry/metrics.h"
@@ -77,11 +78,37 @@ FsLoadWorkload::FsLoadWorkload(Cluster& cluster, FsLoadOptions options)
         std::make_unique<FsClient>(client_tenants[static_cast<size_t>(t)].first, copts);
     clients_.push_back(client.get());
     cluster_.AddActor(std::move(client));
+  }
+  StartDriver();
+}
+
+FsLoadWorkload::FsLoadWorkload(Cluster& cluster, FsLoadOptions options,
+                               std::vector<FsClient*> clients)
+    : cluster_(cluster), options_(std::move(options)) {
+  BOOM_CHECK(!clients.empty()) << "external-cluster mode needs at least one client";
+  int tenants = std::max(1, options_.num_tenants);
+  live_.assign(static_cast<size_t>(tenants), {});
+  name_seq_.assign(static_cast<size_t>(tenants), 0);
+  for (int t = 0; t < tenants; ++t) {
+    clients_.push_back(clients[static_cast<size_t>(t) % clients.size()]);
+  }
+  StartDriver();
+}
+
+std::string FsLoadWorkload::TenantRoot(int tenant) const {
+  if (options_.tenant_dirs.empty()) {
+    return TenantDir(tenant);
+  }
+  return options_.tenant_dirs[static_cast<size_t>(tenant) % options_.tenant_dirs.size()];
+}
+
+void FsLoadWorkload::StartDriver() {
+  for (int t = 0; t < std::max(1, options_.num_tenants); ++t) {
     // Pre-register the SLO histogram so zero-traffic tenants still appear in reports.
     MetricsRegistry::Global().histogram(SloHistogramName(t), SloLatencyBoundsMs());
     // Per-tenant root directory; arrivals only start ~mean_interarrival_ms in, so this
     // normally lands first (a create racing it just fails and is retried as fresh work).
-    clients_[static_cast<size_t>(t)]->Mkdir(cluster_, TenantDir(t),
+    clients_[static_cast<size_t>(t)]->Mkdir(cluster_, TenantRoot(t),
                                             [](bool, const Value&) {});
   }
 
@@ -133,18 +160,18 @@ void FsLoadWorkload::OnArrival(const OpenLoopArrival& arrival) {
   std::string arg;
   switch (kind) {
     case OpKind::kCreate:
-      path = TenantDir(tenant) + "/f" + std::to_string(name_seq_[ti]++);
+      path = TenantRoot(tenant) + "/f" + std::to_string(name_seq_[ti]++);
       break;
     case OpKind::kOpen:
     case OpKind::kDelete:
       path = live[(h >> 8) % live.size()];
       break;
     case OpKind::kLs:
-      path = TenantDir(tenant);
+      path = TenantRoot(tenant);
       break;
     case OpKind::kRename:
       path = live[(h >> 8) % live.size()];
-      arg = TenantDir(tenant) + "/f" + std::to_string(name_seq_[ti]++);
+      arg = TenantRoot(tenant) + "/f" + std::to_string(name_seq_[ti]++);
       break;
   }
   ++report_.issued;
@@ -188,6 +215,14 @@ void FsLoadWorkload::OnOpDone(int tenant, OpKind kind, std::string path, std::st
       goodput_windows_.resize(window + 1, 0);
     }
     ++goodput_windows_[window];
+    if (tenant_goodput_windows_.size() <= ti) {
+      tenant_goodput_windows_.resize(ti + 1);
+    }
+    std::vector<uint64_t>& tw = tenant_goodput_windows_[ti];
+    if (tw.size() <= window) {
+      tw.resize(window + 1, 0);
+    }
+    ++tw[window];
     MetricsRegistry::Global()
         .histogram(SloHistogramName(tenant), SloLatencyBoundsMs())
         .Observe(cluster_.now() - started_ms);
@@ -244,21 +279,38 @@ void FsLoadWorkload::OnOpDone(int tenant, OpKind kind, std::string path, std::st
   });
 }
 
-double FsLoadWorkload::GoodputBetween(double t0_ms, double t1_ms) const {
-  double w = options_.goodput_window_ms;
+namespace {
+
+double WindowedRate(const std::vector<uint64_t>& windows, double window_ms, double t0_ms,
+                    double t1_ms) {
   uint64_t total = 0;
   size_t n = 0;
-  for (size_t i = 0; i < goodput_windows_.size(); ++i) {
-    double start = static_cast<double>(i) * w;
-    if (start >= t0_ms && start + w <= t1_ms) {
-      total += goodput_windows_[i];
+  for (size_t i = 0; i < windows.size(); ++i) {
+    double start = static_cast<double>(i) * window_ms;
+    if (start >= t0_ms && start + window_ms <= t1_ms) {
+      total += windows[i];
       ++n;
     }
   }
   if (n == 0) {
     return 0;
   }
-  return static_cast<double>(total) / (static_cast<double>(n) * w / 1000.0);
+  return static_cast<double>(total) / (static_cast<double>(n) * window_ms / 1000.0);
+}
+
+}  // namespace
+
+double FsLoadWorkload::GoodputBetween(double t0_ms, double t1_ms) const {
+  return WindowedRate(goodput_windows_, options_.goodput_window_ms, t0_ms, t1_ms);
+}
+
+double FsLoadWorkload::TenantGoodputBetween(int tenant, double t0_ms, double t1_ms) const {
+  size_t ti = static_cast<size_t>(tenant);
+  if (ti >= tenant_goodput_windows_.size()) {
+    return 0;
+  }
+  return WindowedRate(tenant_goodput_windows_[ti], options_.goodput_window_ms, t0_ms,
+                      t1_ms);
 }
 
 }  // namespace boom

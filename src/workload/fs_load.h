@@ -82,6 +82,12 @@ struct FsLoadOptions {
 
   // Goodput bucketing: successful ops are counted into fixed windows of this width.
   double goodput_window_ms = 1000;
+
+  // Per-tenant root directories. Empty = the default "/t<i>". Sized/cycled per tenant;
+  // used by the federated deployments to pin tenants to known partitions (a tenant's whole
+  // op stream routes by its root dir, so "which group serves tenant i" is a RoutingPid
+  // lookup — what the leader-kill isolation experiments key on).
+  std::vector<std::string> tenant_dirs;
 };
 
 // Per-run summary (per-tenant SLO latency histograms land in the telemetry registry
@@ -105,6 +111,13 @@ class FsLoadWorkload {
  public:
   FsLoadWorkload(Cluster& cluster, FsLoadOptions options);
 
+  // External-cluster mode: drive an already-built deployment (e.g. SetupFederatedFs)
+  // instead of building one. Tenant t issues through clients[t % clients.size()]; no
+  // NameNode, gateway, or service-time setup happens — only tenant dirs, the arrival
+  // stream, and the retry/goodput accounting. Cluster-shape options (kind/namenode/
+  // num_datanodes/service_ms_per_request/with_admission) are ignored.
+  FsLoadWorkload(Cluster& cluster, FsLoadOptions options, std::vector<FsClient*> clients);
+
   const FsLoadOptions& options() const { return options_; }
   const FsHandles& handles() const { return handles_; }
   FsClient* tenant_client(int tenant) { return clients_[static_cast<size_t>(tenant)]; }
@@ -115,11 +128,18 @@ class FsLoadWorkload {
   // Returns 0 when the range covers no complete window.
   double GoodputBetween(double t0_ms, double t1_ms) const;
   const std::vector<uint64_t>& goodput_windows() const { return goodput_windows_; }
+  // Same, restricted to one tenant's successes (the isolation experiments compare a
+  // faulted group's tenants against the others').
+  double TenantGoodputBetween(int tenant, double t0_ms, double t1_ms) const;
 
  private:
   // One namespace op kind per arrival, weighted toward a create/delete churn mix.
   enum class OpKind { kCreate, kOpen, kLs, kRename, kDelete };
 
+  // Tenant t's root directory (options_.tenant_dirs override, else "/t<i>").
+  std::string TenantRoot(int tenant) const;
+  // Shared tail of both constructors: tenant dirs, SLO histograms, the arrival stream.
+  void StartDriver();
   void OnArrival(const OpenLoopArrival& arrival);
   void IssueOp(int tenant, OpKind kind, std::string path, std::string arg, int attempt,
                double started_ms);
@@ -136,6 +156,7 @@ class FsLoadWorkload {
   std::vector<std::vector<std::string>> live_;
   std::vector<uint64_t> name_seq_;  // fresh-name counter per tenant
   std::vector<uint64_t> goodput_windows_;
+  std::vector<std::vector<uint64_t>> tenant_goodput_windows_;  // [tenant][window]
   FsLoadReport report_;
 };
 

@@ -27,15 +27,16 @@ class PartitionTest : public ::testing::TestWithParam<int> {
     cluster_.RunUntil(1500);
   }
 
-  // Directory creation in partitioned mode: broadcast.
-  bool MkdirAllSync(const std::string& path) {
+  // Directory creation in partitioned mode: dual-homed (canonical entry at the parent's
+  // partition plus a child-serving copy at the directory's own partition) — the old
+  // every-partition MkdirAll broadcast is gone.
+  bool MkdirSync(const std::string& path) {
     bool done = false;
     bool ok = false;
-    handles_.clients[0]->MkdirAll(cluster_, path, handles_.partitions,
-                                  [&done, &ok](bool r, const Value&) {
-                                    ok = r;
-                                    done = true;
-                                  });
+    handles_.clients[0]->Mkdir(cluster_, path, [&done, &ok](bool r, const Value&) {
+      ok = r;
+      done = true;
+    });
     double deadline = cluster_.now() + 30000;
     while (!done && cluster_.now() < deadline) {
       cluster_.RunUntil(cluster_.now() + 1.0);
@@ -49,9 +50,9 @@ class PartitionTest : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(PartitionTest, FilesSpreadAcrossPartitionsAndRoundTrip) {
-  ASSERT_TRUE(MkdirAllSync("/data"));
-  ASSERT_TRUE(MkdirAllSync("/logs"));
-  ASSERT_TRUE(MkdirAllSync("/home"));
+  ASSERT_TRUE(MkdirSync("/data"));
+  ASSERT_TRUE(MkdirSync("/logs"));
+  ASSERT_TRUE(MkdirSync("/home"));
   for (int i = 0; i < 6; ++i) {
     std::string dir = (i % 3 == 0) ? "/data" : (i % 3 == 1 ? "/logs" : "/home");
     std::string path = dir + "/f" + std::to_string(i);
@@ -66,7 +67,7 @@ TEST_P(PartitionTest, FilesSpreadAcrossPartitionsAndRoundTrip) {
 }
 
 TEST_P(PartitionTest, LsSeesAllChildrenOfADirectory) {
-  ASSERT_TRUE(MkdirAllSync("/d"));
+  ASSERT_TRUE(MkdirSync("/d"));
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(fs_->CreateFile("/d/f" + std::to_string(i)));
   }
@@ -76,7 +77,7 @@ TEST_P(PartitionTest, LsSeesAllChildrenOfADirectory) {
 }
 
 TEST_P(PartitionTest, ExistsAndRmRouteCorrectly) {
-  ASSERT_TRUE(MkdirAllSync("/x"));
+  ASSERT_TRUE(MkdirSync("/x"));
   ASSERT_TRUE(fs_->CreateFile("/x/f"));
   EXPECT_TRUE(fs_->Exists("/x/f"));
   EXPECT_TRUE(fs_->Rm("/x/f"));

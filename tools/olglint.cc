@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/boomfs/federation.h"
 #include "src/boomfs/ha.h"
 #include "src/boomfs/nn_program.h"
 #include "src/boommr/jt_program.h"
@@ -36,8 +37,9 @@ void Usage() {
                "usage: olglint <file.olg> [more.olg ...]\n"
                "       olglint --family "
                "all|boomfs_nn|nn_extensions|nn_admission|jt_fifo|jt_late|jt_fairshare|"
-               "jt_capacity|jt_admission|paxos|chord|ha|monitor\n"
-               "       olglint --dump nn_admission|jt_admission\n"
+               "jt_capacity|jt_admission|paxos|chord|ha|federation|monitor\n"
+               "       olglint --dump nn_admission|jt_admission|nn_federation|"
+               "partition_map|paxos_px<i>|paxos_nn<i>\n"
                "--dump prints the composed program text (the golden generator for the\n"
                "admission goldens in tests/golden/).\n");
 }
@@ -163,6 +165,23 @@ int LintFamily(const std::string& family, LintTally* tally) {
     options.with_admission = true;
     rc |= LintStack("jt_admission", {BoomMrJtProgram(options)}, tally);
   }
+  if (want("federation")) {
+    // The full per-replica stack of a federated group member (extern schemas verified
+    // program-against-program), plus the standalone partition-map service.
+    PaxosProgramOptions options;
+    options.peers = {"fed_g0r0", "fed_g0r1", "fed_g0r2"};
+    options.my_index = 0;
+    NnProgramOptions nn;
+    nn.with_rename = true;
+    HaBridgeOptions bridge;  // the fenced variant the federated deployment installs
+    bridge.fed_fence = true;
+    bridge.num_partitions = 8;
+    rc |= LintStack("federation",
+                    {PaxosProgram(options), BoomFsNnProgram(nn),
+                     HaBridgeProgram(bridge), NnFederationProgram()},
+                    tally);
+    rc |= LintStack("partition_map", {PartitionMapProgram()}, tally);
+  }
   if (want("monitor")) {
     rc |= LintStack("monitor", MonitorStack(), tally);
   }
@@ -208,6 +227,18 @@ int DumpProgram(const std::string& name) {
     options.policy = MrPolicy::kFifo;
     options.with_admission = true;
     program = BoomMrJtProgram(options);
+  } else if (name == "nn_federation") {
+    program = NnFederationProgram();
+  } else if (name == "partition_map") {
+    program = PartitionMapProgram();
+  } else if ((name.rfind("paxos_px", 0) == 0 || name.rfind("paxos_nn", 0) == 0) &&
+             name.size() == 9 && name[8] >= '0' && name[8] <= '2') {
+    // The three-replica configurations frozen for program_equivalence_test.
+    PaxosProgramOptions options;
+    std::string prefix = name.substr(6, 2);
+    options.peers = {prefix + "0", prefix + "1", prefix + "2"};
+    options.my_index = name[8] - '0';
+    program = PaxosProgram(options);
   } else {
     std::fprintf(stderr, "unknown dump target '%s'\n", name.c_str());
     Usage();
