@@ -30,13 +30,15 @@ namespace {
 constexpr int kOps = 1200;
 
 double RunConfig(bool incremental_aggs, bool version_skip, bool index_catchup,
-                 bool dirty_rules) {
+                 bool dirty_rules, size_t threads = 1, bool parallel_fixpoint = true) {
   Table::SetDisableIndexCatchupForBenchmarks(!index_catchup);
   EngineOptions opts;
   opts.address = "nn";
   opts.disable_incremental_aggregates = !incremental_aggs;
   opts.disable_aggregate_version_skip = !version_skip;
   opts.disable_dirty_rule_scheduling = !dirty_rules;
+  opts.worker_threads = threads;
+  opts.disable_parallel_fixpoint = !parallel_fixpoint;
   Engine engine(opts);
   Program nn_program = BoomFsNnProgram();
   BOOM_CHECK(engine.Install(nn_program).ok());
@@ -84,13 +86,23 @@ int main(int argc, char** argv) {
     const char* label;
     const char* key;  // JSON workload name
     bool inc_agg, version_skip, index_catchup, dirty_rules;
+    size_t threads = 1;
+    bool parallel_fixpoint = true;
   };
+  // F and G run last: an engine with worker_threads > 1 flips tuple refcounts into their
+  // (sticky, process-wide) atomic mode, which would taint the serial configs' numbers.
+  // F vs G isolates the intra-fixpoint batcher itself: same pool, same atomic refcounts,
+  // parallel evaluation on vs off.
   const Config configs[] = {
       {"A. full engine", "full_engine", true, true, true, true},
       {"B. no incremental aggregates", "no_incremental_aggregates", false, true, true, true},
       {"C. no aggregate version-skip", "no_aggregate_version_skip", false, false, true, true},
       {"D. no index catch-up", "no_index_catchup", true, true, false, true},
       {"E. no dirty-rule scheduling", "no_dirty_rule_scheduling", true, true, true, false},
+      {"F. parallel fixpoint (4 threads)", "parallel_fixpoint_4t", true, true, true, true, 4,
+       true},
+      {"G. 4 threads, parallel eval off", "no_parallel_fixpoint_4t", true, true, true, true,
+       4, false},
   };
 
   if (!json) {
@@ -110,7 +122,8 @@ int main(int argc, char** argv) {
     double ms = 0;
     for (int rep = 0; rep < kReps; ++rep) {
       double run_ms = RunConfig(config.inc_agg, config.version_skip, config.index_catchup,
-                                config.dirty_rules);
+                                config.dirty_rules, config.threads,
+                                config.parallel_fixpoint);
       if (rep == 0 || run_ms < ms) {
         ms = run_ms;
       }

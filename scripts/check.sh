@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh            # everything below
 #   SKIP_ASAN=1 scripts/check.sh  # inner loop only (no sanitizer rebuild)
+#   SKIP_TSAN=1 scripts/check.sh  # skip the ThreadSanitizer leg
 #   SKIP_BENCH=1 scripts/check.sh # skip the Release bench smoke (e.g. loaded CI box)
 #
 # Tier 1 (must stay green): plain build + every non-chaos test, then the telemetry label
@@ -16,6 +17,10 @@
 # then a 3-seed boomfs chaos sweep (corruption + slow-disk faults included via the
 # scenario's fault profile), so memory errors on the retry/quarantine/re-replication
 # paths surface even though the full chaos tier is too slow for every push.
+# TSan leg: rebuild with -DBOOM_SANITIZE=thread and run the engine + parallel labels plus
+# a 2-seed 4-thread chaos smoke — every shared-state fast path in the parallel fixpoint
+# (tuple refcounts, interner shards, worker evaluators, cluster tick batches) raced under
+# the sanitizer.
 # Bench smoke: Release build of micro_engine, gated against the committed BENCH_engine.json
 # (missing workload keys or a >25% ns/op regression fail; scripts/check_bench.py).
 set -euo pipefail
@@ -71,21 +76,45 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/tools/chaos_explorer --scenario=boomfs --seeds=3
 fi
 
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "==> TSan build"
+  cmake -B build-tsan -S . -DBOOM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target engine_test sim_test parallel_test \
+    chaos_explorer
+
+  echo "==> TSan engine + sim tests"
+  ./build-tsan/tests/engine_test
+  ./build-tsan/tests/sim_test
+
+  echo "==> TSan parallel tests (ctest -L parallel: serial-vs-parallel byte identity)"
+  (cd build-tsan && ctest -L parallel --output-on-failure -j "$JOBS")
+
+  echo "==> TSan chaos smoke (2 seeds x boomfs, 4 worker threads)"
+  ./build-tsan/tools/chaos_explorer --scenario=boomfs --seeds=2 --threads=4
+fi
+
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   echo "==> Release bench smoke (gate vs BENCH_engine.json)"
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-release -j "$JOBS" --target micro_engine >/dev/null
   fresh="$(mktemp)"
+  fresh_scaling="$(mktemp)"
   ./build-release/bench/micro_engine --json > "$fresh"
-  if ! python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh"; then
+  # threads=1 only: the serial baseline of the parallel sweep is host-independent; the
+  # multi-thread rows depend on core count and are never wall-clock gated.
+  ./build-release/bench/micro_engine --json --threads 1 > "$fresh_scaling"
+  if ! python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh" \
+      --fresh-scaling "$fresh_scaling"; then
     # One retry: these are wall-clock numbers and a loaded box can blow the tolerance
     # without any code change. A regression that reproduces twice is treated as real.
     echo "==> bench gate failed; retrying once"
     sleep 5
     ./build-release/bench/micro_engine --json > "$fresh"
-    python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh"
+    ./build-release/bench/micro_engine --json --threads 1 > "$fresh_scaling"
+    python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh" \
+      --fresh-scaling "$fresh_scaling"
   fi
-  rm -f "$fresh"
+  rm -f "$fresh" "$fresh_scaling"
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,114 @@
+#include "src/base/thread_pool.h"
+
+namespace boom {
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Participate(BatchState& state) {
+  size_t completed = 0;
+  size_t i;
+  while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < state.n) {
+    (*state.task)(i);
+    ++completed;
+  }
+  if (completed > 0 &&
+      state.done.fetch_add(completed, std::memory_order_acq_rel) + completed == state.n) {
+    // Last task of the batch: wake the caller. The lock orders the notify against the
+    // caller's predicate check so the wakeup cannot be lost.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_broadcast = 0;
+  std::shared_ptr<BatchState> seen_batch;
+  while (true) {
+    std::shared_ptr<BatchState> state;
+    const std::function<void()>* broadcast = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || broadcast_gen_ != seen_broadcast ||
+               (batch_ != seen_batch && batch_ != nullptr);
+      });
+      if (stop_) {
+        return;
+      }
+      if (broadcast_gen_ != seen_broadcast) {
+        seen_broadcast = broadcast_gen_;
+        broadcast = broadcast_fn_;
+      } else {
+        seen_batch = batch_;
+        state = batch_;
+      }
+    }
+    if (broadcast != nullptr) {
+      (*broadcast)();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++broadcast_done_ == threads_.size()) {
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    Participate(*state);
+  }
+}
+
+void ThreadPool::RunBatch(size_t n, const std::function<void(size_t)>& task) {
+  if (n == 0) {
+    return;
+  }
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      task(i);
+    }
+    return;
+  }
+  auto state = std::make_shared<BatchState>();
+  state->task = &task;
+  state->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = state;
+  }
+  work_cv_.notify_all();
+  Participate(*state);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return state->done.load(std::memory_order_acquire) == state->n; });
+  batch_ = nullptr;
+}
+
+void ThreadPool::Broadcast(const std::function<void()>& fn) {
+  if (threads_.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    broadcast_fn_ = &fn;
+    ++broadcast_gen_;
+    broadcast_done_ = 0;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return broadcast_done_ == threads_.size(); });
+  broadcast_fn_ = nullptr;
+}
+
+}  // namespace boom

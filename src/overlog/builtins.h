@@ -37,8 +37,21 @@ class BuiltinRegistry {
   // A registry preloaded with operators and the standard function library.
   static BuiltinRegistry Standard();
 
-  // arity -1 means variadic. Re-registering a name replaces it.
+  // arity -1 means variadic. Re-registering a name replaces it. Registrations default to
+  // NOT pure: the parallel fixpoint serializes any rule calling an impure builtin, so an
+  // unannotated custom function is safe by default.
   void Register(const std::string& name, int arity, Fn fn);
+
+  // Purity = the result depends only on the arguments and the read-only parts of the
+  // EvalContext (clock, address, salt). Impure builtins (f_rand/f_randint advance the
+  // engine Rng; f_unique_id advances the id counter) must run on the engine thread, in
+  // program order, or parallel evaluation would reorder their state mutations.
+  void MarkPure(const std::string& name);
+  void MarkImpure(const std::string& name);
+  bool IsPure(const std::string& name) const {
+    auto it = fns_.find(name);
+    return it != fns_.end() && it->second.pure;
+  }
 
   bool Has(const std::string& name) const { return fns_.count(name) > 0; }
 
@@ -58,6 +71,7 @@ class BuiltinRegistry {
   struct Entry {
     int arity;
     Fn fn;
+    bool pure = false;
   };
   std::unordered_map<std::string, Entry> fns_;
 };

@@ -66,6 +66,12 @@ Engine::Engine(EngineOptions options)
   ctx_.rng = &rng_;
   ctx_.id_counter = &id_counter_;
   ctx_.id_salt = options_.id_salt.value_or(Fnv1a64(options_.address));
+  if (options_.worker_threads > 1) {
+    // Flip tuple refcounts to concurrent mode before any worker thread exists; the flag is
+    // sticky for the process, so engines created later share tuples safely with this one.
+    Tuple::EnableConcurrentMode();
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads - 1);
+  }
 }
 
 Status Engine::InstallSource(std::string_view source, std::map<std::string, Value> consts) {
@@ -184,11 +190,45 @@ Status Engine::Recompile() {
       }
     }
   };
+  // Purity analysis for the parallel fixpoint: a rule may run on a worker thread only if
+  // every builtin it can call is pure (impure ones mutate the engine Rng / id counter and
+  // must stay in program order on the engine thread).
+  std::function<bool(const Expr&)> expr_is_pure = [&](const Expr& e) -> bool {
+    if (e.kind == ExprKind::kCall) {
+      if (!builtins_.IsPure(e.fn)) {
+        return false;
+      }
+      for (const Expr& arg : e.args) {
+        if (!expr_is_pure(arg)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  auto variant_is_pure = [&](const CompiledVariant& variant) {
+    for (const CompiledStep& step : variant.steps) {
+      if (step.kind == BodyTerm::Kind::kAssign && !expr_is_pure(step.assign_expr)) {
+        return false;
+      }
+      if (step.kind == BodyTerm::Kind::kCondition && !expr_is_pure(step.condition)) {
+        return false;
+      }
+    }
+    return true;
+  };
   for (CompiledRule& rule : compiled_.rules) {
     for (CompiledVariant& variant : rule.variants) {
       resolve_variant(variant);
     }
     resolve_variant(rule.full_variant);
+    rule.parallel_safe = variant_is_pure(rule.full_variant);
+    for (const CompiledVariant& variant : rule.variants) {
+      rule.parallel_safe = rule.parallel_safe && variant_is_pure(variant);
+    }
+    for (const CompiledHeadArg& arg : rule.head_args) {
+      rule.parallel_safe = rule.parallel_safe && expr_is_pure(arg.expr);
+    }
   }
   return Status::Ok();
 }
@@ -573,26 +613,128 @@ Engine::TickResult Engine::Tick(double now_ms) {
           dirty_worklist[i] = i;
         }
       }
-      for (size_t pos : dirty_worklist) {
-        const CompiledRule* rule = &compiled_.rules[sched.delta_rules[pos]];
-        ProfClock::time_point t0;
-        bool evaluated = false;
-        if (profile_) {
-          t0 = ProfClock::now();
-        }
-        for (const CompiledVariant& variant : rule->variants) {
-          auto it = deltas.find(variant.driver_table);
-          if (it == deltas.end()) {
-            continue;
+      const bool parallel_rules = pool_ != nullptr && !options_.disable_parallel_fixpoint &&
+                                  dirty_worklist.size() >= 2;
+      auto rule_at = [&](size_t w) -> const CompiledRule& {
+        return compiled_.rules[sched.delta_rules[dirty_worklist[w]]];
+      };
+      for (size_t wi = 0; wi < dirty_worklist.size();) {
+        // Grow a conflict-free batch [wi, batch_end): parallel-safe rules none of whose
+        // body tables an earlier batch member writes. Deletes apply at tick end and @next
+        // heads go to the inbox, so only plain heads count as writes; remote-capable heads
+        // count conservatively (a location arg may name this node at runtime).
+        size_t batch_end = wi + 1;
+        if (parallel_rules && rule_at(wi).parallel_safe) {
+          auto writes_table = [](const CompiledRule& r) { return !r.is_delete && !r.is_next; };
+          std::vector<const std::string*> written;
+          if (writes_table(rule_at(wi))) {
+            written.push_back(&rule_at(wi).head_table);
           }
-          evaluator_.EvalFromRows(*rule, variant, it->second, &derived);
-          evaluated = true;
+          while (batch_end < dirty_worklist.size()) {
+            const CompiledRule& cand = rule_at(batch_end);
+            if (!cand.parallel_safe) {
+              break;
+            }
+            bool conflict = false;
+            for (const std::string& body : cand.body_tables) {
+              for (const std::string* w : written) {
+                if (body == *w) {
+                  conflict = true;
+                  break;
+                }
+              }
+              if (conflict) {
+                break;
+              }
+            }
+            if (conflict) {
+              break;
+            }
+            if (writes_table(cand)) {
+              written.push_back(&cand.head_table);
+            }
+            ++batch_end;
+          }
         }
-        size_t produced = derived.size();
-        apply_derivations(derived);
-        if (profile_ && evaluated) {
-          RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
+        if (batch_end - wi < 2) {
+          // Serial path: exactly the pre-parallelism per-rule code.
+          const CompiledRule* rule = &rule_at(wi);
+          ProfClock::time_point t0;
+          bool evaluated = false;
+          if (profile_) {
+            t0 = ProfClock::now();
+          }
+          for (const CompiledVariant& variant : rule->variants) {
+            auto it = deltas.find(variant.driver_table);
+            if (it == deltas.end()) {
+              continue;
+            }
+            evaluator_.EvalFromRows(*rule, variant, it->second, &derived);
+            evaluated = true;
+          }
+          size_t produced = derived.size();
+          apply_derivations(derived);
+          if (profile_ && evaluated) {
+            RecordRuleEval(*rule, produced, prof_elapsed_us(t0), tick_tuples);
+          }
+          wi = batch_end;
+          continue;
         }
+        // Parallel batch. Warm every secondary index the batch will probe on this thread,
+        // so worker-side Probe calls are pure reads (tables do not mutate mid-batch: the
+        // batch is read-only by construction and application happens afterwards, here).
+        const size_t batch_size = batch_end - wi;
+        ++stats_.parallel_batches;
+        for (size_t k = 0; k < batch_size; ++k) {
+          for (const CompiledVariant& variant : rule_at(wi + k).variants) {
+            if (deltas.find(variant.driver_table) == deltas.end()) {
+              continue;
+            }
+            for (const CompiledStep& step : variant.steps) {
+              if (step.kind == BodyTerm::Kind::kAtom && step.atom.table_ptr != nullptr) {
+                step.atom.table_ptr->WarmIndex(step.atom.probe_cols);
+              }
+            }
+          }
+        }
+        while (worker_evaluators_.size() < batch_size) {
+          worker_evaluators_.push_back(
+              std::make_unique<Evaluator>(&catalog_, &builtins_, &ctx_));
+        }
+        // Workers fill private buffers; nothing engine-visible mutates until the ordered
+        // application below, which replays exactly what the serial loop would have done.
+        std::vector<std::vector<Derivation>> batch_derived(batch_size);
+        std::vector<char> batch_evaluated(batch_size, 0);
+        std::vector<double> batch_wall(batch_size, 0);
+        pool_->RunBatch(batch_size, [&](size_t k) {
+          const CompiledRule& rule = rule_at(wi + k);
+          Evaluator& ev = *worker_evaluators_[k];
+          ev.ClearErrors();
+          ProfClock::time_point t0;
+          if (profile_) {
+            t0 = ProfClock::now();
+          }
+          for (const CompiledVariant& variant : rule.variants) {
+            auto it = deltas.find(variant.driver_table);
+            if (it == deltas.end()) {
+              continue;
+            }
+            ev.EvalFromRows(rule, variant, it->second, &batch_derived[k]);
+            batch_evaluated[k] = 1;
+          }
+          if (profile_) {
+            batch_wall[k] = prof_elapsed_us(t0);
+          }
+        });
+        for (size_t k = 0; k < batch_size; ++k) {
+          evaluator_.MergeErrors(*worker_evaluators_[k]);
+          size_t produced = batch_derived[k].size();
+          apply_derivations(batch_derived[k]);
+          if (profile_ && batch_evaluated[k]) {
+            RecordRuleEval(rule_at(wi + k), produced, batch_wall[k], tick_tuples);
+          }
+        }
+        wi = batch_end;
       }
     }
   }

@@ -20,6 +20,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <random>
 #include <string>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/overlog/analyzer.h"
 #include "src/overlog/builtins.h"
 #include "src/overlog/catalog.h"
@@ -51,6 +53,16 @@ struct EngineOptions {
   // only those whose driver tables received deltas. Must derive identical fixpoints (see
   // engine_test DirtySchedulingMatchesExhaustive).
   bool disable_dirty_rule_scheduling = false;
+  // Intra-fixpoint rule parallelism: conflict-free runs of dirty rules in a fixpoint round
+  // evaluate concurrently on worker_threads-1 pool threads plus the engine thread, each
+  // into a private derivation buffer; buffers are applied in program order, so fixpoint
+  // results, send order, watch order, and profile counts are bit-identical to a serial run.
+  // 1 = serial, today's exact code path. Engines hosted by a parallel Cluster keep this at
+  // 1 — the cluster parallelizes across nodes instead of nesting pools.
+  size_t worker_threads = 1;
+  // Ablation switch (benchmarks only): keep the pool configured but evaluate every rule on
+  // the engine thread, serially.
+  bool disable_parallel_fixpoint = false;
 };
 
 class Engine {
@@ -108,6 +120,10 @@ class Engine {
     uint64_t derivations = 0;
     uint64_t messages_sent = 0;
     uint64_t tuples_enqueued = 0;
+    // Conflict-free rule batches dispatched to the worker pool. Always 0 when
+    // worker_threads == 1 or disable_parallel_fixpoint is set; tests use it to prove the
+    // parallel path actually ran (a serial-vs-serial comparison proves nothing).
+    uint64_t parallel_batches = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -200,6 +216,10 @@ class Engine {
   std::mt19937_64 rng_;
   EvalContext ctx_;
   Evaluator evaluator_;
+  // Owned fixpoint worker pool (worker_threads > 1 only). Worker evaluators are private
+  // scratch, one per batch slot, created lazily and reused across ticks.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Evaluator>> worker_evaluators_;
 
   std::vector<Program> programs_;
   std::vector<AnalyzerReport> analyzer_reports_;

@@ -64,7 +64,6 @@ Result<Value> EvalExpr(const Expr& expr, const std::vector<Value>& slots,
 }
 
 void Evaluator::RecordError(const Status& status) {
-  constexpr size_t kMaxErrors = 64;
   if (errors_.size() < kMaxErrors) {
     errors_.push_back(status.ToString());
   }

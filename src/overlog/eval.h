@@ -57,6 +57,21 @@ class Evaluator {
 
   const std::vector<std::string>& errors() const { return errors_; }
   void ClearErrors() { errors_.clear(); }
+  // Parallel fixpoint: folds a worker evaluator's errors into this one, respecting the
+  // cap. Workers record into private evaluators during a rule batch; the engine merges in
+  // program order, so the combined list is byte-identical to a serial run's.
+  void MergeErrors(const Evaluator& other) {
+    for (const std::string& e : other.errors_) {
+      if (errors_.size() >= kMaxErrors) {
+        break;
+      }
+      errors_.push_back(e);
+    }
+  }
+
+  // Runtime errors recorded per tick are capped: a pathological program (e.g. division by
+  // zero in a hot rule) should not turn every tick into an allocation storm.
+  static constexpr size_t kMaxErrors = 64;
 
  private:
   struct AggGroup {

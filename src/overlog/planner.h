@@ -99,6 +99,11 @@ struct CompiledRule {
   // (single-atom body over an insert-only persistent set-semantics table; no bottomk, no
   // remote head). Keeps audit-style rollups O(delta) instead of O(table) per tick.
   bool incremental_agg = false;
+  // Every builtin the rule calls (head args, assignments, conditions) is pure, so its
+  // evaluation can run on a worker thread without reordering engine state mutations.
+  // Filled by Engine::Recompile (the planner has no builtin registry); rules calling
+  // f_rand/f_randint/f_unique_id or unannotated custom builtins stay on the engine thread.
+  bool parallel_safe = false;
 };
 
 // Per-stratum evaluation schedule, built once at compile time so Engine::Tick neither

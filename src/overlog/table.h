@@ -96,6 +96,13 @@ class Table {
   const std::vector<const Tuple*>& Probe(const std::vector<size_t>& cols,
                                          const TupleView& probe);
 
+  // Builds (or catches up) the secondary index on `cols` now. After this — and until the
+  // next table mutation — Probe(cols, ...) is write-free: the cached index is built, its
+  // epoch matches, and the insert-log catch-up loop has nothing to fold in. The parallel
+  // fixpoint warms every (table, probe_cols) pair a rule batch will touch on the engine
+  // thread before dispatching, so worker-side probes are pure reads.
+  void WarmIndex(const std::vector<size_t>& cols) { GetIndex(cols); }
+
   // Generation token for probe-result validity: changes on every mutation that can move or
   // drop rows out of cached indexes (insert, replace, erase, clear, TTL expiry).
   uint64_t probe_generation() const { return version_; }

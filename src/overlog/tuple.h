@@ -9,15 +9,22 @@
 // declared with TupleHash/TupleEq support heterogeneous lookup, so the evaluator's join
 // probes never materialize a Tuple (no allocation on the probe path).
 //
-// Thread-compatibility note: the refcount and lazy hash cache are deliberately NOT atomic —
-// Tuples follow the engine's single-threaded discipline (one Engine per thread, nothing
-// crosses threads), and non-atomic counts keep copies to a plain increment. A Tuple (or any
-// copy sharing its storage) must never be touched from two threads.
+// Thread-compatibility note: the refcount field is an atomic, but in the default
+// (single-threaded) mode it is manipulated with plain relaxed load/store pairs — the
+// compiler emits the same unsynchronized increment the engine has always paid, so serial
+// performance is unchanged. Tuple::EnableConcurrentMode() flips a sticky process-wide flag
+// that switches refcounting to real fetch_add/fetch_sub; the thread pools' owners (parallel
+// Cluster / parallel Engine) enable it in their constructors, strictly before any worker
+// thread exists, so every tuple that can cross threads is counted atomically. The lazy hash
+// cache uses release/acquire atomics unconditionally (free on x86): concurrent readers may
+// both compute the hash, but they compute the same value, so the race is benign and clean
+// under TSan.
 
 #ifndef SRC_OVERLOG_TUPLE_H_
 #define SRC_OVERLOG_TUPLE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -49,15 +56,25 @@ class Tuple {
   // scalars or refcount bumps).
   Tuple(const Value* data, size_t n) : rep_(NewRepCopy(data, n)) {}
 
+  // Sticky switch to thread-safe refcounting. Must be called before any thread that shares
+  // tuples is spawned; there is deliberately no way back (a tuple created in concurrent
+  // mode may outlive the pool that motivated the switch).
+  static void EnableConcurrentMode() {
+    concurrent_mode_.store(true, std::memory_order_relaxed);
+  }
+  static bool concurrent_mode() {
+    return concurrent_mode_.load(std::memory_order_relaxed);
+  }
+
   Tuple(const Tuple& other) : rep_(other.rep_) {
     if (rep_ != nullptr) {
-      ++rep_->refs;
+      IncRef(rep_);
     }
   }
   Tuple(Tuple&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
   Tuple& operator=(const Tuple& other) {
     if (other.rep_ != nullptr) {
-      ++other.rep_->refs;  // before Release, for self-assignment
+      IncRef(other.rep_);  // before Release, for self-assignment
     }
     Release(rep_);
     rep_ = other.rep_;
@@ -82,27 +99,33 @@ class Tuple {
   // Replaces column `i`. Clones the storage when shared (copy-on-write) and invalidates the
   // cached hash.
   void set(size_t i, Value v) {
-    if (rep_->refs > 1) {
+    if (rep_->refs.load(std::memory_order_acquire) > 1) {
       Rep* clone = NewRepCopy(rep_->vals(), rep_->size);
       Release(rep_);
       rep_ = clone;
     }
+    // Exclusive owner here (refs == 1 means no other thread can observe this rep).
     rep_->vals()[i] = std::move(v);
-    rep_->hash_valid = false;
+    rep_->hash_valid.store(false, std::memory_order_relaxed);
   }
 
   size_t hash() const {
     if (rep_ == nullptr) {
       return kEmptyHash;
     }
-    if (!rep_->hash_valid) {
-      rep_->hash = HashValueRange(rep_->vals(), rep_->size);
-      rep_->hash_valid = true;
+    if (rep_->hash_valid.load(std::memory_order_acquire)) {
+      return rep_->hash.load(std::memory_order_relaxed);
     }
-    return rep_->hash;
+    // Concurrent fillers compute the same value; publish hash before the valid flag.
+    size_t h = HashValueRange(rep_->vals(), rep_->size);
+    rep_->hash.store(h, std::memory_order_relaxed);
+    rep_->hash_valid.store(true, std::memory_order_release);
+    return h;
   }
   // Whether the hash cache is populated (tests). Shared across copies with the rep.
-  bool hash_cached() const { return rep_ == nullptr || rep_->hash_valid; }
+  bool hash_cached() const {
+    return rep_ == nullptr || rep_->hash_valid.load(std::memory_order_acquire);
+  }
   // Whether this tuple shares storage with another (tests).
   bool shares_storage_with(const Tuple& other) const {
     return rep_ != nullptr && rep_ == other.rep_;
@@ -115,8 +138,11 @@ class Tuple {
     if (size() != other.size()) {
       return false;
     }
-    if (rep_ != nullptr && other.rep_ != nullptr && rep_->hash_valid &&
-        other.rep_->hash_valid && rep_->hash != other.rep_->hash) {
+    if (rep_ != nullptr && other.rep_ != nullptr &&
+        rep_->hash_valid.load(std::memory_order_acquire) &&
+        other.rep_->hash_valid.load(std::memory_order_acquire) &&
+        rep_->hash.load(std::memory_order_relaxed) !=
+            other.rep_->hash.load(std::memory_order_relaxed)) {
       return false;
     }
     for (size_t i = 0; i < size(); ++i) {
@@ -174,29 +200,51 @@ class Tuple {
   static constexpr size_t kEmptyHash = 0x12345678;  // == HashValueRange(nullptr, 0)
 
   // Header of the single heap block holding a tuple's values: {Rep, Value[size]}. The
-  // refcount is NOT atomic (see the thread-compatibility note above).
+  // refcount is an atomic manipulated non-atomically in serial mode (see the
+  // thread-compatibility note above).
   struct Rep {
-    uint32_t refs;
-    uint32_t size;
-    mutable size_t hash;
-    mutable bool hash_valid;
+    std::atomic<uint32_t> refs{1};
+    uint32_t size = 0;
+    mutable std::atomic<size_t> hash{0};
+    mutable std::atomic<bool> hash_valid{false};
 
     Value* vals() { return reinterpret_cast<Value*>(this + 1); }
     const Value* vals() const { return reinterpret_cast<const Value*>(this + 1); }
   };
   static_assert(sizeof(Rep) % alignof(Value) == 0,
                 "Value payload must start aligned after the Rep header");
+  static_assert(std::atomic<uint32_t>::is_always_lock_free &&
+                    std::atomic<size_t>::is_always_lock_free,
+                "Rep header atomics must be lock-free");
+
+  // Refcount ops: real RMW atomics in concurrent mode; plain load/store pairs (the
+  // single-threaded increment the compiler has always emitted) otherwise.
+  static void IncRef(Rep* rep) {
+    if (concurrent_mode()) {
+      rep->refs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rep->refs.store(rep->refs.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    }
+  }
+  // Decrements; returns true when this was the last reference.
+  static bool DecRefToZero(Rep* rep) {
+    if (concurrent_mode()) {
+      return rep->refs.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    }
+    uint32_t prev = rep->refs.load(std::memory_order_relaxed);
+    rep->refs.store(prev - 1, std::memory_order_relaxed);
+    return prev == 1;
+  }
 
   // One allocation for header + values; the caller placement-constructs all `n` values.
   static Rep* AllocRep(size_t n) {
     if (n == 0) {
       return nullptr;
     }
-    Rep* rep = static_cast<Rep*>(::operator new(sizeof(Rep) + n * sizeof(Value)));
-    rep->refs = 1;
+    void* raw = ::operator new(sizeof(Rep) + n * sizeof(Value));
+    Rep* rep = new (raw) Rep;
     rep->size = static_cast<uint32_t>(n);
-    rep->hash = 0;
-    rep->hash_valid = false;
     return rep;
   }
   static Rep* NewRepCopy(const Value* data, size_t n) {
@@ -214,7 +262,7 @@ class Tuple {
     return rep;
   }
   static void Release(Rep* rep) {
-    if (rep == nullptr || --rep->refs != 0) {
+    if (rep == nullptr || !DecRefToZero(rep)) {
       return;
     }
     Value* v = rep->vals();
@@ -223,6 +271,8 @@ class Tuple {
     }
     ::operator delete(rep);
   }
+
+  static inline std::atomic<bool> concurrent_mode_{false};
 
   Rep* rep_ = nullptr;
 };

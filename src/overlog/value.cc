@@ -1,5 +1,6 @@
 #include "src/overlog/value.h"
 
+#include <atomic>
 #include <cmath>
 #include <functional>
 #include <mutex>
@@ -10,11 +11,14 @@ namespace boom {
 
 namespace {
 
-// Per-process string interner. Entries are weakly held: the last Value handle's destructor
-// removes the entry (via the shared_ptr deleter), so long-lived engines do not accumulate
-// strings for tuples that have been retracted. (Exception: each thread's fast-path cache in
-// InternString pins up to 256 recently interned strings.) The instance is intentionally
-// leaked so Values with static storage duration can run their deleters during process exit.
+// Per-process string interner, sharded by hash so parallel fixpoint workers missing their
+// thread-local caches at the same instant contend on 1/16th of a lock each instead of one
+// global mutex. Entries are weakly held: the last Value handle's destructor removes the
+// entry (via the shared_ptr deleter), so long-lived engines do not accumulate strings for
+// tuples that have been retracted. (Exception: each thread's fast-path cache in
+// InternString pins up to 256 recently interned strings — see InvalidateInternCaches.) The
+// instance is intentionally leaked so Values with static storage duration can run their
+// deleters during process exit.
 class InternTable {
  public:
   static InternTable& Instance() {
@@ -23,9 +27,10 @@ class InternTable {
   }
 
   InternedStringPtr Intern(std::string s, size_t hash) {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(s);
-    if (it != map_.end()) {
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(s);
+    if (it != shard.map.end()) {
       if (InternedStringPtr live = it->second.lock()) {
         return live;
       }
@@ -34,42 +39,70 @@ class InternTable {
     raw->text = std::move(s);
     raw->hash = hash;  // precomputed by InternString (std::hash<std::string>)
     InternedStringPtr handle(raw, [](const InternedString* p) { Instance().Remove(p); });
-    if (it != map_.end()) {
+    if (it != shard.map.end()) {
       it->second = handle;  // revive an entry whose deleter has not run yet
     } else {
-      map_.emplace(raw->text, handle);
+      shard.map.emplace(raw->text, handle);
     }
     return handle;
   }
 
   size_t LiveCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
     size_t n = 0;
-    for (const auto& [text, weak] : map_) {
-      if (!weak.expired()) {
-        ++n;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [text, weak] : shard.map) {
+        if (!weak.expired()) {
+          ++n;
+        }
       }
     }
     return n;
   }
 
  private:
+  static constexpr size_t kShards = 16;  // power of two
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::weak_ptr<const InternedString>> map;
+  };
+
+  Shard& ShardFor(size_t hash) { return shards_[hash & (kShards - 1)]; }
+
   void Remove(const InternedString* p) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = map_.find(p->text);
+      Shard& shard = ShardFor(p->hash);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(p->text);
       // A concurrent Intern may have replaced the entry with a fresh live handle between
       // this handle's refcount hitting zero and us taking the lock; leave that one alone.
-      if (it != map_.end() && it->second.expired()) {
-        map_.erase(it);
+      if (it != shard.map.end() && it->second.expired()) {
+        shard.map.erase(it);
       }
     }
     delete p;
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::weak_ptr<const InternedString>> map_;
+  Shard shards_[kShards];
 };
+
+// Bumped by InvalidateInternCaches; every thread compares its cache's generation against
+// this on the InternString fast path (one relaxed load) and drops its pins on mismatch.
+std::atomic<uint64_t> g_intern_cache_gen{0};
+
+// The per-thread fast-path cache (defined outside InternString so the flush helper can
+// reach it).
+struct InternCacheEntry {
+  size_t hash = 0;
+  InternedStringPtr ptr;
+};
+constexpr size_t kInternCacheSlots = 256;  // power of two
+struct InternCache {
+  uint64_t generation = 0;
+  InternCacheEntry slots[kInternCacheSlots];
+};
+thread_local InternCache g_intern_cache;
 
 int KindRank(ValueKind k) {
   switch (k) {
@@ -93,15 +126,18 @@ int KindRank(ValueKind k) {
 InternedStringPtr InternString(std::string s) {
   // Lock-free fast path: a small direct-mapped per-thread cache of recent interns. Workloads
   // repeat the same literals (table names, commands, payload tags), so most interns hit here
-  // and never touch the mutex-guarded table.
-  struct CacheEntry {
-    size_t hash = 0;
-    InternedStringPtr ptr;
-  };
-  constexpr size_t kCacheSlots = 256;  // power of two
-  thread_local CacheEntry cache[kCacheSlots];
+  // and never touch the sharded table.
+  InternCache& cache = g_intern_cache;
+  uint64_t gen = g_intern_cache_gen.load(std::memory_order_relaxed);
+  if (cache.generation != gen) {
+    // An invalidation happened since this thread last interned: drop every pin.
+    for (InternCacheEntry& e : cache.slots) {
+      e.ptr.reset();
+    }
+    cache.generation = gen;
+  }
   size_t h = std::hash<std::string>{}(s);
-  CacheEntry& entry = cache[h & (kCacheSlots - 1)];
+  InternCacheEntry& entry = cache.slots[h & (kInternCacheSlots - 1)];
   if (entry.ptr != nullptr && entry.hash == h && entry.ptr->text == s) {
     return entry.ptr;
   }
@@ -112,6 +148,16 @@ InternedStringPtr InternString(std::string s) {
 }
 
 size_t InternedStringCount() { return InternTable::Instance().LiveCount(); }
+
+void InvalidateInternCaches() {
+  g_intern_cache_gen.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlushInternCacheForCurrentThread() {
+  for (InternCacheEntry& e : g_intern_cache.slots) {
+    e.ptr.reset();
+  }
+}
 
 double Value::ToDouble() const {
   switch (kind()) {

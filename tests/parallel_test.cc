@@ -1,0 +1,502 @@
+// Parallel execution determinism tests: the multi-core paths (cluster tick batching,
+// intra-fixpoint rule parallelism, atomic tuple refcounts, the sharded interner) must be
+// bit-identical to serial execution. A parallel run that differs from serial by one byte
+// of trace or one derivation is a bug, full stop — reproducibility-from-seed is the
+// architecture's core invariant and speed never gets to trade against it.
+//
+// This suite is also the TSan workload: scripts/check.sh rebuilds with
+// -DBOOM_SANITIZE=thread and runs the `parallel` label, so every shared-state fast path
+// exercised here is raced under the sanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/scenario.h"
+#include "src/overlog/engine.h"
+#include "src/sim/cluster.h"
+
+namespace boom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Chaos traces: byte-identical at any thread count
+// ---------------------------------------------------------------------------
+
+ChaosRunResult TracedRun(const std::string& scenario_name, uint64_t seed,
+                         size_t worker_threads) {
+  std::unique_ptr<ChaosScenario> scenario = MakeScenario(scenario_name);
+  FaultSchedule schedule = GenerateFaultSchedule(seed, scenario->FaultProfile());
+  ChaosRunOptions options;
+  options.record_trace = true;
+  options.worker_threads = worker_threads;
+  return RunChaosOnce(*scenario, seed, schedule, options);
+}
+
+class ParallelTraceDeterminism : public ::testing::TestWithParam<std::string> {};
+
+// Same seed, threads in {1, 2, 4} => byte-identical fault/network traces and identical
+// outcomes. This is the hard gate on the cluster dispatcher: everything that samples the
+// Rng, assigns event seqs, or formats trace lines must replay in event order.
+TEST_P(ParallelTraceDeterminism, TraceByteIdenticalAcrossThreadCounts) {
+  const std::string scenario = GetParam();
+  for (uint64_t seed : {uint64_t{3}, uint64_t{11}}) {
+    ChaosRunResult serial = TracedRun(scenario, seed, 1);
+    ASSERT_FALSE(serial.trace.empty())
+        << scenario << " seed " << seed << ": no trace recorded";
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      ChaosRunResult parallel = TracedRun(scenario, seed, threads);
+      EXPECT_EQ(serial.trace, parallel.trace)
+          << scenario << " seed " << seed << ": trace diverged at " << threads
+          << " threads";
+      EXPECT_EQ(serial.passed, parallel.passed);
+      EXPECT_EQ(serial.violations, parallel.violations);
+      EXPECT_EQ(serial.end_ms, parallel.end_ms);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ParallelTraceDeterminism,
+                         ::testing::ValuesIn(ScenarioNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// ---------------------------------------------------------------------------
+// Engine fixpoints: parallel rule evaluation matches serial, observable by observable
+// ---------------------------------------------------------------------------
+
+struct EngineWorkload {
+  std::string name;
+  std::vector<std::string> sources;
+  std::vector<std::string> watch_tables;
+  // ticks[t] = tuples enqueued before the tick at virtual time t+1.
+  std::vector<std::vector<std::pair<std::string, Tuple>>> ticks;
+};
+
+// Every engine-visible output of a run, minus wall-clock times (inherently noisy even
+// between two serial runs).
+struct RunSummary {
+  std::vector<std::string> tables;
+  std::vector<std::string> sends;      // in send order
+  std::vector<std::string> errors;     // in record order
+  std::vector<std::string> watch_log;  // in firing order
+  uint64_t derivations = 0;
+  uint64_t parallel_batches = 0;
+  std::string profile;  // evals/tuples/max per rule, sorted by key
+
+  bool SameObservables(const RunSummary& other) const {
+    return tables == other.tables && sends == other.sends && errors == other.errors &&
+           watch_log == other.watch_log && derivations == other.derivations &&
+           profile == other.profile;
+  }
+};
+
+RunSummary RunEngineWorkload(const EngineWorkload& w, size_t threads,
+                             bool disable_parallel = false) {
+  EngineOptions opts;
+  opts.address = "n";
+  opts.seed = 7;
+  opts.worker_threads = threads;
+  opts.disable_parallel_fixpoint = disable_parallel;
+  Engine engine(opts);
+  RunSummary out;
+  for (const std::string& src : w.sources) {
+    Status s = engine.InstallSource(src);
+    EXPECT_TRUE(s.ok()) << w.name << ": " << s.ToString();
+  }
+  for (const std::string& table : w.watch_tables) {
+    engine.AddWatch(table, [&out](const std::string& t, const Tuple& row, bool inserted) {
+      out.watch_log.push_back((inserted ? "+" : "-") + t + row.ToString());
+    });
+  }
+  engine.EnableProfiling();
+  Engine::TickResult r = engine.Tick(0);
+  out.derivations += r.derivations;
+  auto absorb = [&out](const Engine::TickResult& result) {
+    for (const Engine::Send& send : result.sends) {
+      out.sends.push_back(send.dest + "/" + send.table + send.tuple.ToString());
+    }
+    for (const std::string& err : result.errors) {
+      out.errors.push_back(err);
+    }
+  };
+  absorb(r);
+  double now = 1;
+  for (const auto& tick : w.ticks) {
+    for (const auto& [table, tuple] : tick) {
+      Status s = engine.Enqueue(table, tuple);
+      EXPECT_TRUE(s.ok()) << w.name << ": " << s.ToString();
+    }
+    r = engine.Tick(now);
+    out.derivations += r.derivations;
+    absorb(r);
+    // Drain deferred @next tuples at the same virtual time, as a host loop would.
+    while (engine.HasQueuedInput()) {
+      r = engine.Tick(now);
+      out.derivations += r.derivations;
+      absorb(r);
+    }
+    now += 1;
+  }
+  for (const std::string& name : engine.catalog().TableNames()) {
+    std::vector<Tuple> rows = engine.catalog().Get(name).Rows();
+    std::sort(rows.begin(), rows.end());
+    for (const Tuple& row : rows) {
+      out.tables.push_back(name + row.ToString());
+    }
+  }
+  for (const auto& [key, p] : engine.rule_profiles()) {
+    out.profile += key + " evals=" + std::to_string(p.evals) +
+                   " tuples=" + std::to_string(p.tuples) +
+                   " max=" + std::to_string(p.max_tuples_per_tick) + "\n";
+  }
+  out.parallel_batches = engine.stats().parallel_batches;
+  return out;
+}
+
+std::vector<EngineWorkload> GoldenWorkloads() {
+  std::vector<EngineWorkload> workloads;
+
+  // Recursive fixpoint: r1/r2 conflict on reach, so batches stay serial — the batcher
+  // must recognize the read-after-write hazard and fall back without changing anything.
+  {
+    EngineWorkload w;
+    w.name = "transitive_closure";
+    w.sources.push_back(R"(
+      program tc;
+      table link(X, Y);
+      table reach(X, Y);
+      r1 reach(X, Y) :- link(X, Y);
+      r2 reach(X, Z) :- link(X, Y), reach(Y, Z);
+    )");
+    std::vector<std::pair<std::string, Tuple>> tick;
+    for (int i = 0; i < 24; ++i) {
+      tick.emplace_back("link", Tuple{Value("n" + std::to_string(i)),
+                                      Value("n" + std::to_string(i + 1))});
+    }
+    w.ticks.push_back(tick);
+    w.watch_tables = {"reach"};
+    workloads.push_back(std::move(w));
+  }
+
+  // Independent rule families: the batcher's bread and butter — wide conflict-free
+  // batches, every family evaluated on a worker, applied in program order.
+  {
+    EngineWorkload w;
+    w.name = "independent_families";
+    std::string src = "program fam;\n";
+    for (int f = 0; f < 12; ++f) {
+      std::string n = std::to_string(f);
+      src += "table in" + n + "(K, V) keys(0);\n";
+      src += "table out" + n + "(K, V) keys(0);\n";
+      src += "c" + n + " out" + n + "(K, V) :- in" + n + "(K, V);\n";
+    }
+    w.sources.push_back(src);
+    for (int t = 0; t < 6; ++t) {
+      std::vector<std::pair<std::string, Tuple>> tick;
+      for (int f = 0; f < 12; ++f) {
+        tick.emplace_back("in" + std::to_string(f),
+                          Tuple{Value("k" + std::to_string(t % 3)),
+                                Value("v" + std::to_string(t) + "_" + std::to_string(f))});
+      }
+      w.ticks.push_back(tick);
+    }
+    w.watch_tables = {"out0", "out7"};
+    workloads.push_back(std::move(w));
+  }
+
+  // Impure builtins interleaved with pure families: f_randint/f_unique_id rules are
+  // pinned to the engine thread in program order, so the Rng and id streams — and with
+  // them the derived values — must be byte-identical to serial.
+  {
+    EngineWorkload w;
+    w.name = "impure_mix";
+    w.sources.push_back(R"(
+      program mix;
+      table ain(K) keys(0);
+      table aout(K, R) keys(0);
+      table bin(K) keys(0);
+      table bout(K, V) keys(0);
+      table cin(K) keys(0);
+      table cout(K, I) keys(0);
+      ra aout(K, R) :- ain(K), R := f_randint(1000000);
+      rb bout(K, V) :- bin(K), V := K + 1;
+      rc cout(K, I) :- cin(K), I := f_unique_id();
+    )");
+    for (int t = 0; t < 5; ++t) {
+      std::vector<std::pair<std::string, Tuple>> tick;
+      tick.emplace_back("ain", Tuple{Value(int64_t{t})});
+      tick.emplace_back("bin", Tuple{Value(int64_t{t})});
+      tick.emplace_back("cin", Tuple{Value(int64_t{t})});
+      w.ticks.push_back(tick);
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  // Deletes, @next deferral, negation, and an aggregate rollup — the non-insert head
+  // kinds, whose effects are deferred (tick end / next tick) and so are write-free for
+  // conflict purposes.
+  {
+    EngineWorkload w;
+    w.name = "deletes_next_agg";
+    w.sources.push_back(R"(
+      program dna;
+      table reg(K, V) keys(0);
+      table tomb(K) keys(0);
+      table alive(K) keys(0);
+      table total(G, N) keys(0);
+      d1 delete reg(K, V) :- tomb(K), reg(K, V);
+      n1 alive(K)@next :- reg(K, V);
+      g1 total(1, count<K>) :- reg(K, V);
+    )");
+    for (int t = 0; t < 4; ++t) {
+      std::vector<std::pair<std::string, Tuple>> tick;
+      tick.emplace_back("reg", Tuple{Value("k" + std::to_string(t)), Value(int64_t{t})});
+      tick.emplace_back("reg",
+                        Tuple{Value("p" + std::to_string(t)), Value(int64_t{t + 10})});
+      if (t == 2) {
+        tick.emplace_back("tomb", Tuple{Value("k0")});
+        tick.emplace_back("tomb", Tuple{Value("p1")});
+      }
+      w.ticks.push_back(tick);
+    }
+    w.watch_tables = {"reg", "alive"};
+    workloads.push_back(std::move(w));
+  }
+
+  // Remote heads from several independent rules: send order (and within-tick send dedup)
+  // is part of the observable contract — the cluster schedules deliveries in that order.
+  {
+    EngineWorkload w;
+    w.name = "remote_sends";
+    std::string src = "program remote;\n";
+    for (int f = 0; f < 6; ++f) {
+      std::string n = std::to_string(f);
+      src += "table route" + n + "(Dst, K) keys(0, 1);\n";
+      src += "table ship" + n + "(Dst, K) keys(0, 1);\n";
+      src += "s" + n + " ship" + n + "(@Dst, K) :- route" + n + "(Dst, K);\n";
+    }
+    w.sources.push_back(src);
+    for (int t = 0; t < 3; ++t) {
+      std::vector<std::pair<std::string, Tuple>> tick;
+      for (int f = 0; f < 6; ++f) {
+        tick.emplace_back("route" + std::to_string(f),
+                          Tuple{Value("peer" + std::to_string(f % 2)),
+                                Value(int64_t{t})});
+        // Duplicate route rows exercise the within-tick send dedup.
+        tick.emplace_back("route" + std::to_string(f),
+                          Tuple{Value("peer" + std::to_string(f % 2)), Value(int64_t{0})});
+      }
+      w.ticks.push_back(tick);
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  // Runtime errors (division by zero) from several independent families: worker-private
+  // error buffers must merge in program order and respect the serial cap.
+  {
+    EngineWorkload w;
+    w.name = "error_merge";
+    std::string src = "program err;\n";
+    for (int f = 0; f < 4; ++f) {
+      std::string n = std::to_string(f);
+      src += "table ein" + n + "(K) keys(0);\n";
+      src += "table eout" + n + "(K, Y) keys(0);\n";
+      src += "e" + n + " eout" + n + "(K, Y) :- ein" + n + "(K), Y := 10 / (K - K);\n";
+    }
+    w.sources.push_back(src);
+    for (int t = 0; t < 2; ++t) {
+      std::vector<std::pair<std::string, Tuple>> tick;
+      for (int f = 0; f < 4; ++f) {
+        tick.emplace_back("ein" + std::to_string(f), Tuple{Value(int64_t{t})});
+      }
+      w.ticks.push_back(tick);
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  return workloads;
+}
+
+TEST(ParallelFixpoint, MatchesSerialOnGoldenPrograms) {
+  for (const EngineWorkload& w : GoldenWorkloads()) {
+    RunSummary serial = RunEngineWorkload(w, 1);
+    EXPECT_EQ(serial.parallel_batches, 0u) << w.name;
+    for (size_t threads : {size_t{2}, size_t{4}}) {
+      RunSummary parallel = RunEngineWorkload(w, threads);
+      EXPECT_TRUE(serial.SameObservables(parallel))
+          << w.name << " diverged at " << threads << " threads:\n  serial tables="
+          << serial.tables.size() << " sends=" << serial.sends.size()
+          << " derivations=" << serial.derivations << "\n  parallel tables="
+          << parallel.tables.size() << " sends=" << parallel.sends.size()
+          << " derivations=" << parallel.derivations;
+    }
+    // The ablation switch must also be a no-op on observables.
+    RunSummary ablated = RunEngineWorkload(w, 4, /*disable_parallel=*/true);
+    EXPECT_TRUE(serial.SameObservables(ablated)) << w.name << " ablation diverged";
+    EXPECT_EQ(ablated.parallel_batches, 0u) << w.name;
+  }
+}
+
+// The parallel engine must actually take the batched path on batchable programs —
+// otherwise MatchesSerial is vacuously comparing serial to serial.
+TEST(ParallelFixpoint, BatchesActuallyDispatch) {
+  for (const EngineWorkload& w : GoldenWorkloads()) {
+    if (w.name != "independent_families") {
+      continue;
+    }
+    RunSummary parallel = RunEngineWorkload(w, 4);
+    EXPECT_GT(parallel.parallel_batches, 0u)
+        << "independent families never formed a parallel batch";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level batching on a plain (non-chaos) cluster
+// ---------------------------------------------------------------------------
+
+// A 4-node cluster where every node ticks at the same virtual times. Parallel dispatch
+// must batch those ticks (counter check), and traces + final states must match serial.
+TEST(ParallelCluster, BatchedTicksMatchSerial) {
+  auto run = [](size_t threads, std::vector<std::string>* trace) {
+    ClusterOptions copts;
+    copts.worker_threads = threads;
+    Cluster cluster(17, copts);
+    cluster.set_trace([trace](const std::string& line) { trace->push_back(line); });
+    for (int i = 0; i < 4; ++i) {
+      std::string me = "node" + std::to_string(i);
+      std::string peer = "node" + std::to_string((i + 1) % 4);
+      cluster.AddOverlogNode(me, [me, peer](Engine& e) {
+        Status s = e.InstallSource(
+            "program ring;\n"
+            "table beat(N) keys(0);\n"
+            "table seen(From, N) keys(0, 1);\n"
+            "timer tock(250);\n"
+            "t1 beat(N) :- tock(_), N := f_now();\n"
+            "t2 seen(@Peer, Me) :- beat(_), Me := f_me(), Peer := \"" + peer + "\";\n");
+        EXPECT_TRUE(s.ok()) << s.ToString();
+      });
+    }
+    cluster.RunUntil(2000);
+    std::string state;
+    for (int i = 0; i < 4; ++i) {
+      Engine* e = cluster.engine("node" + std::to_string(i));
+      std::vector<Tuple> rows = e->catalog().Get("seen").Rows();
+      std::sort(rows.begin(), rows.end());
+      for (const Tuple& row : rows) {
+        state += "node" + std::to_string(i) + ":" + row.ToString() + "\n";
+      }
+    }
+    return std::make_pair(state, cluster.parallel_tick_batches());
+  };
+  std::vector<std::string> trace1;
+  auto [state1, batches1] = run(1, &trace1);
+  EXPECT_EQ(batches1, 0u);
+  EXPECT_FALSE(state1.empty());
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    std::vector<std::string> traceN;
+    auto [stateN, batchesN] = run(threads, &traceN);
+    EXPECT_EQ(state1, stateN) << threads << " threads";
+    EXPECT_EQ(trace1, traceN) << threads << " threads";
+    EXPECT_GT(batchesN, 0u) << threads
+                            << " threads: same-time ticks never formed a batch";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic refcounts and the sharded interner under real thread churn
+// ---------------------------------------------------------------------------
+
+// Copy-on-write tuples shared across pool threads: concurrent copies, hash computations,
+// set() clones, and destruction. Correctness here is "no lost updates, no double frees,
+// values intact"; under TSan it is also "no data races on the refcount or hash cache".
+TEST(ParallelRefcount, SharedTupleStress) {
+  Tuple::EnableConcurrentMode();
+  ThreadPool pool(3);
+  std::vector<Tuple> shared;
+  for (int i = 0; i < 64; ++i) {
+    shared.push_back(Tuple{Value(int64_t{i}), Value("payload" + std::to_string(i)),
+                           Value(static_cast<double>(i))});
+  }
+  std::atomic<uint64_t> hash_sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.RunBatch(16, [&](size_t k) {
+      uint64_t local = 0;
+      for (int rep = 0; rep < 200; ++rep) {
+        const Tuple& src = shared[(k * 31 + static_cast<size_t>(rep)) % shared.size()];
+        Tuple copy = src;                    // shared-rep refcount bump
+        local += copy.hash();                // racing hash-cache fills
+        Tuple mine = copy;
+        mine.set(0, Value(int64_t{static_cast<int64_t>(k)}));  // CoW clone
+        ASSERT_EQ(mine[0].as_int(), static_cast<int64_t>(k));
+        ASSERT_EQ(copy[0].as_int(),
+                  static_cast<int64_t>((k * 31 + static_cast<size_t>(rep)) %
+                                       shared.size()));
+      }
+      hash_sum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  // Source tuples survived every concurrent copy/clone/destroy cycle intact.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(shared[static_cast<size_t>(i)][0].as_int(), i);
+    EXPECT_EQ(shared[static_cast<size_t>(i)][1].as_string(),
+              "payload" + std::to_string(i));
+  }
+  EXPECT_NE(hash_sum.load(), 0u);
+}
+
+// Engine migration across pool threads pins interned strings in per-thread caches; the
+// invalidate + broadcast-flush protocol must release them all, restoring serial retention.
+TEST(ParallelInterner, CacheMigrationReleasesPins) {
+  ThreadPool pool(3);
+  // Flush everything this test binary interned so far, so the baseline is clean.
+  InvalidateInternCaches();
+  pool.Broadcast([] { FlushInternCacheForCurrentThread(); });
+  FlushInternCacheForCurrentThread();
+  const size_t baseline = InternedStringCount();
+  // Each worker interns a distinct set of strings and drops the returned pointers; the
+  // thread-local caches are now the only thing keeping them alive.
+  pool.Broadcast([] {
+    static std::atomic<int> next{0};
+    int me = next.fetch_add(1);
+    for (int i = 0; i < 100; ++i) {
+      InternString("migr_w" + std::to_string(me) + "_" + std::to_string(i));
+    }
+  });
+  EXPECT_GT(InternedStringCount(), baseline)
+      << "worker caches should pin recently interned strings";
+  InvalidateInternCaches();
+  pool.Broadcast([] { FlushInternCacheForCurrentThread(); });
+  FlushInternCacheForCurrentThread();
+  EXPECT_LE(InternedStringCount(), baseline)
+      << "invalidate+flush left stale pins on pool threads";
+}
+
+// Concurrent interning of overlapping strings across threads: one canonical pointer per
+// string, shard mutexes doing their job (a TSan workload above all).
+TEST(ParallelInterner, ConcurrentInternIsCanonical) {
+  ThreadPool pool(3);
+  std::vector<InternedStringPtr> canonical(32);
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    canonical[i] = InternString("shared_intern_" + std::to_string(i));
+  }
+  pool.RunBatch(16, [&](size_t k) {
+    for (int rep = 0; rep < 100; ++rep) {
+      size_t i = (k + static_cast<size_t>(rep)) % canonical.size();
+      InternedStringPtr p = InternString("shared_intern_" + std::to_string(i));
+      ASSERT_EQ(p.get(), canonical[i].get());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace boom
