@@ -7,6 +7,8 @@
 //   C. no version skip        — every aggregate recomputes every tick, changed or not
 //   D. no index catch-up      — any table change rebuilds dependent indexes in full
 //   E. no dirty-rule sched    — fixpoint rounds scan every rule, changed driver or not
+//   F. cost-based optimizer   — A plus profile-guided re-planning (DESIGN.md §13); the
+//                               one config that adds a mechanism instead of removing one
 //
 // B through E each turn an O(delta) mechanism back into an O(state) (or O(rules)) one, so
 // their cost grows with the run; the full engine's cost stays flat. This is the engineering
@@ -30,7 +32,8 @@ namespace {
 constexpr int kOps = 1200;
 
 double RunConfig(bool incremental_aggs, bool version_skip, bool index_catchup,
-                 bool dirty_rules, size_t threads = 1, bool parallel_fixpoint = true) {
+                 bool dirty_rules, size_t threads = 1, bool parallel_fixpoint = true,
+                 bool optimizer = false) {
   Table::SetDisableIndexCatchupForBenchmarks(!index_catchup);
   EngineOptions opts;
   opts.address = "nn";
@@ -39,6 +42,7 @@ double RunConfig(bool incremental_aggs, bool version_skip, bool index_catchup,
   opts.disable_dirty_rule_scheduling = !dirty_rules;
   opts.worker_threads = threads;
   opts.disable_parallel_fixpoint = !parallel_fixpoint;
+  opts.enable_optimizer = optimizer;
   Engine engine(opts);
   Program nn_program = BoomFsNnProgram();
   BOOM_CHECK(engine.Install(nn_program).ok());
@@ -88,20 +92,24 @@ int main(int argc, char** argv) {
     bool inc_agg, version_skip, index_catchup, dirty_rules;
     size_t threads = 1;
     bool parallel_fixpoint = true;
+    bool optimizer = false;
   };
-  // F and G run last: an engine with worker_threads > 1 flips tuple refcounts into their
+  // G and H run last: an engine with worker_threads > 1 flips tuple refcounts into their
   // (sticky, process-wide) atomic mode, which would taint the serial configs' numbers.
-  // F vs G isolates the intra-fixpoint batcher itself: same pool, same atomic refcounts,
-  // parallel evaluation on vs off.
+  // G vs H isolates the intra-fixpoint batcher itself: same pool, same atomic refcounts,
+  // parallel evaluation on vs off. F is A plus the cost-based optimizer — the one config
+  // that ADDS a mechanism instead of removing one.
   const Config configs[] = {
       {"A. full engine", "full_engine", true, true, true, true},
       {"B. no incremental aggregates", "no_incremental_aggregates", false, true, true, true},
       {"C. no aggregate version-skip", "no_aggregate_version_skip", false, false, true, true},
       {"D. no index catch-up", "no_index_catchup", true, true, false, true},
       {"E. no dirty-rule scheduling", "no_dirty_rule_scheduling", true, true, true, false},
-      {"F. parallel fixpoint (4 threads)", "parallel_fixpoint_4t", true, true, true, true, 4,
+      {"F. cost-based optimizer on", "cost_based_optimizer", true, true, true, true, 1, true,
        true},
-      {"G. 4 threads, parallel eval off", "no_parallel_fixpoint_4t", true, true, true, true,
+      {"G. parallel fixpoint (4 threads)", "parallel_fixpoint_4t", true, true, true, true, 4,
+       true},
+      {"H. 4 threads, parallel eval off", "no_parallel_fixpoint_4t", true, true, true, true,
        4, false},
   };
 
@@ -123,7 +131,7 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < kReps; ++rep) {
       double run_ms = RunConfig(config.inc_agg, config.version_skip, config.index_catchup,
                                 config.dirty_rules, config.threads,
-                                config.parallel_fixpoint);
+                                config.parallel_fixpoint, config.optimizer);
       if (rep == 0 || run_ms < ms) {
         ms = run_ms;
       }

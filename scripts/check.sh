@@ -6,7 +6,9 @@
 #   SKIP_TSAN=1 scripts/check.sh  # skip the ThreadSanitizer leg
 #   SKIP_BENCH=1 scripts/check.sh # skip the Release bench smoke (e.g. loaded CI box)
 #
-# Tier 1 (must stay green): plain build + every non-chaos test, then the telemetry label
+# Tier 1 (must stay green): plain build + every non-chaos test, then the optimizer label
+# (cost-based planner units, optimizer-on/off fixpoint equivalence across all program
+# families, and the pinned --explain/olglint goldens — see DESIGN.md §13), the telemetry label
 # explicitly (metrics/tracing/profiling — see docs/OBSERVABILITY.md), the workload +
 # policy labels (open-loop generator determinism and the scheduler-policy matrix — see
 # docs/WORKLOADS.md), and the overload label (admission control, retry budgets, and the
@@ -38,6 +40,9 @@ echo "==> tier-1 tests (ctest -LE chaos)"
 echo "==> lint (ctest -L lint: olglint over olg/*.olg and all program families)"
 (cd build && ctest -L lint --output-on-failure -j "$JOBS")
 
+echo "==> optimizer tests (ctest -L optimizer: cost-based planner, on/off equivalence, CLI goldens)"
+(cd build && ctest -L optimizer --output-on-failure -j "$JOBS")
+
 echo "==> telemetry tests (ctest -L telemetry)"
 (cd build && ctest -L telemetry --output-on-failure -j "$JOBS")
 
@@ -55,7 +60,10 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DBOOM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target chaos_explorer telemetry_test \
     trace_e2e_test monitor_meta_test workload_test scheduler_policy_test overload_test \
-    federation_test olglint olgrun
+    federation_test optimizer_test olglint olgrun
+
+  echo "==> ASan optimizer smoke (ctest -L optimizer)"
+  (cd build-asan && ctest -L optimizer --output-on-failure -j "$JOBS")
 
   echo "==> ASan telemetry smoke (ctest -L telemetry)"
   (cd build-asan && ctest -L telemetry --output-on-failure -j "$JOBS")
@@ -80,7 +88,10 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "==> TSan build"
   cmake -B build-tsan -S . -DBOOM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target engine_test sim_test parallel_test \
-    chaos_explorer
+    chaos_explorer optimizer_test olglint olgrun
+
+  echo "==> TSan optimizer tests (ctest -L optimizer: shared-prefix cache + re-plan under TSan)"
+  (cd build-tsan && ctest -L optimizer --output-on-failure -j "$JOBS")
 
   echo "==> TSan engine + sim tests"
   ./build-tsan/tests/engine_test
@@ -99,22 +110,25 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   cmake --build build-release -j "$JOBS" --target micro_engine >/dev/null
   fresh="$(mktemp)"
   fresh_scaling="$(mktemp)"
+  fresh_optimizer="$(mktemp)"
   ./build-release/bench/micro_engine --json > "$fresh"
   # threads=1 only: the serial baseline of the parallel sweep is host-independent; the
   # multi-thread rows depend on core count and are never wall-clock gated.
   ./build-release/bench/micro_engine --json --threads 1 > "$fresh_scaling"
+  ./build-release/bench/micro_engine --json --optimizer > "$fresh_optimizer"
   if ! python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh" \
-      --fresh-scaling "$fresh_scaling"; then
+      --fresh-scaling "$fresh_scaling" --fresh-optimizer "$fresh_optimizer"; then
     # One retry: these are wall-clock numbers and a loaded box can blow the tolerance
     # without any code change. A regression that reproduces twice is treated as real.
     echo "==> bench gate failed; retrying once"
     sleep 5
     ./build-release/bench/micro_engine --json > "$fresh"
     ./build-release/bench/micro_engine --json --threads 1 > "$fresh_scaling"
+    ./build-release/bench/micro_engine --json --optimizer > "$fresh_optimizer"
     python3 scripts/check_bench.py --committed BENCH_engine.json --fresh "$fresh" \
-      --fresh-scaling "$fresh_scaling"
+      --fresh-scaling "$fresh_scaling" --fresh-optimizer "$fresh_optimizer"
   fi
-  rm -f "$fresh" "$fresh_scaling"
+  rm -f "$fresh" "$fresh_scaling" "$fresh_optimizer"
 fi
 
 echo "==> all checks passed"

@@ -49,11 +49,11 @@ Program BoomFsInvariantProgram(int replication_factor,
                                bool include_under_replication = false);
 
 // Turns on per-rule profiling and declares the perf_rule(Program, Rule, Evals, Tuples,
-// MaxTuplesPerTick, WallUs) and perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs) tables
-// up front, so monitor rules can join against them before the first
-// Engine::PublishProfile(). Profiles accumulate in C++ and only land in the tables when
-// PublishProfile() is called (keeping rules-over-perf-tables from feeding back into the
-// profile they observe).
+// MaxTuplesPerTick, WallUs), perf_fixpoint(Tick, NowMs, Rounds, Derivs, WallUs), and
+// perf_table(Name, Rows, Probes, IndexHits, Rebuilds) tables up front, so monitor rules
+// can join against them before the first Engine::PublishProfile(). Profiles accumulate in
+// C++ and only land in the tables when PublishProfile() is called (keeping
+// rules-over-perf-tables from feeding back into the profile they observe).
 Status InstallProfiling(Engine& engine);
 
 // Invariant over the published profile: no rule may derive more than
@@ -62,6 +62,22 @@ Status InstallProfiling(Engine& engine);
 // perf_rule rows.
 const Module& RuleHogInvariantsModule();
 Program RuleHogInvariantProgram(int64_t max_tuples_per_fixpoint);
+
+// Invariant over the published per-table stats: no table may suffer more than
+// `max_index_rebuilds` full secondary-index rebuilds (typed parameter rebuild_cap). A hot
+// rebuild count means a churned table is probed through cached indexes that replace/erase
+// keep invalidating — the fix is the optimizer's incremental index maintenance, or a
+// declared key matching the probe. Fires once Engine::PublishProfile() lands perf_table
+// rows.
+const Module& IndexChurnInvariantsModule();
+Program IndexChurnInvariantProgram(int64_t max_index_rebuilds);
+
+// Mirrors the live per-table stats (and, when the optimizer is on, its re-plan and
+// shared-prefix counters) into the process-wide MetricsRegistry as
+// engine.table.<name>.{rows,probes,probe_hits,index_rebuilds} gauges and
+// engine.optimizer.{replans,shared_prefix_evals,shared_prefix_hits} gauges, so monitor
+// dashboards see the same numbers perf_table publishes without an extra tick.
+void ExportTableMetrics(const Engine& engine);
 
 }  // namespace boom
 

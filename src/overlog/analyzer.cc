@@ -121,6 +121,10 @@ class Analyzer {
     CheckStratification();
     CheckProducers();
     CheckReaders();
+    if (options_.advisories) {
+      AdviseIndexes();
+      AdviseSharedPrefixes();
+    }
     std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
                        return a.severity < b.severity;
@@ -149,6 +153,11 @@ class Analyzer {
                   int line = 0) {
     Add(DiagnosticSeverity::kWarning, std::move(code), std::move(message), std::move(rule),
         line);
+  }
+  void AddAdvisory(std::string code, std::string message, std::string rule = "",
+                   int line = 0) {
+    Add(DiagnosticSeverity::kAdvisory, std::move(code), std::move(message),
+        std::move(rule), line);
   }
 
   // Merges regular and extern declarations; flags conflicting redeclarations. Identical
@@ -457,6 +466,162 @@ class Analyzer {
     }
   }
 
+  // Advisory tier: mirrors the planner's greedy join ordering (driver = first positive
+  // atom, then most-bound-first) and flags every probe whose column set differs from the
+  // probed table's effective key — the engine answers those probes from a lazily built
+  // secondary index, which churn-heavy workloads repeatedly invalidate. One advisory per
+  // (table, column set), attributed to the first rule that wants it.
+  void AdviseIndexes() {
+    std::set<std::pair<std::string, std::vector<size_t>>> seen;
+    for (const Rule& rule : program_.rules) {
+      std::vector<const Atom*> positives;
+      for (const BodyTerm& term : rule.body) {
+        if (term.kind == BodyTerm::Kind::kAtom && !term.atom.negated) {
+          positives.push_back(&term.atom);
+        }
+      }
+      if (positives.size() < 2) {
+        continue;
+      }
+      std::set<std::string> bound;
+      auto bind_atom = [&bound](const Atom& atom) {
+        for (const Expr& arg : atom.args) {
+          arg.CollectVars(&bound);
+        }
+      };
+      auto probe_cols_of = [&bound](const Atom& atom) {
+        std::vector<size_t> cols;
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          const Expr& arg = atom.args[i];
+          if (arg.is_const() ||
+              (arg.is_var() && !IsAnonVar(arg.var) && bound.count(arg.var) > 0)) {
+            cols.push_back(i);
+          }
+        }
+        return cols;
+      };
+      bind_atom(*positives[0]);
+      std::vector<bool> taken(positives.size(), false);
+      taken[0] = true;
+      for (size_t picks = 1; picks < positives.size(); ++picks) {
+        size_t best = 0;
+        size_t best_bound = 0;
+        bool have = false;
+        for (size_t i = 1; i < positives.size(); ++i) {
+          if (taken[i]) {
+            continue;
+          }
+          size_t n = probe_cols_of(*positives[i]).size();
+          if (!have || n > best_bound) {
+            have = true;
+            best = i;
+            best_bound = n;
+          }
+        }
+        taken[best] = true;
+        const Atom& atom = *positives[best];
+        std::vector<size_t> cols = probe_cols_of(atom);
+        bind_atom(atom);
+        auto decl = decls_.find(atom.table);
+        if (cols.empty() || decl == decls_.end()) {
+          continue;  // unconstrained scan, or external table with unknown key
+        }
+        if (cols == decl->second.EffectiveKey()) {
+          continue;  // key-shaped probe; the index mirrors the primary key
+        }
+        if (!seen.insert({atom.table, cols}).second) {
+          continue;
+        }
+        std::vector<std::string> pattern;
+        std::set<size_t> colset(cols.begin(), cols.end());
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          pattern.push_back(colset.count(i) > 0 ? atom.args[i].ToString() : "_");
+        }
+        AddAdvisory("wants-index",
+                    "rule " + rule.name + " wants an index on " + atom.table + "(" +
+                        StrJoin(pattern, ",") + "); declare keys(" +
+                        StrJoin([&cols] {
+                          std::vector<std::string> ks;
+                          for (size_t c : cols) {
+                            ks.push_back(std::to_string(c));
+                          }
+                          return ks;
+                        }(), ", ") +
+                        ") or enable the cost-based optimizer's index warming",
+                    rule.name, rule.line);
+      }
+    }
+  }
+
+  // Advisory tier: rules whose bodies start with the same join prefix (>= 2 leading
+  // positive atoms, identical modulo variable renaming) re-evaluate that join once per
+  // rule; the cost-based optimizer's common-subplan sharing evaluates it once per round.
+  void AdviseSharedPrefixes() {
+    struct Cand {
+      const Rule* rule;
+      std::vector<std::string> tokens;
+    };
+    std::vector<Cand> cands;
+    for (const Rule& rule : program_.rules) {
+      std::map<std::string, int> canon;
+      std::vector<std::string> tokens;
+      for (const BodyTerm& term : rule.body) {
+        if (term.kind != BodyTerm::Kind::kAtom || term.atom.negated) {
+          break;
+        }
+        std::vector<std::string> args;
+        for (const Expr& arg : term.atom.args) {
+          if (!arg.is_var()) {
+            args.push_back("=" + arg.ToString());
+            continue;
+          }
+          auto [it, added] = canon.emplace(arg.var, static_cast<int>(canon.size()));
+          args.push_back("v" + std::to_string(it->second));
+        }
+        tokens.push_back(term.atom.table + "(" + StrJoin(args, ",") + ")");
+      }
+      if (tokens.size() >= 2) {
+        cands.push_back({&rule, std::move(tokens)});
+      }
+    }
+    std::map<std::string, std::vector<size_t>> by_key;
+    for (size_t i = 0; i < cands.size(); ++i) {
+      by_key[cands[i].tokens[0] + " & " + cands[i].tokens[1]].push_back(i);
+    }
+    for (const auto& [key, members] : by_key) {
+      if (members.size() < 2) {
+        continue;
+      }
+      size_t common = 2;
+      while (true) {
+        const Cand& first = cands[members[0]];
+        if (first.tokens.size() <= common) {
+          break;
+        }
+        bool all = true;
+        for (size_t m : members) {
+          if (cands[m].tokens.size() <= common ||
+              cands[m].tokens[common] != first.tokens[common]) {
+            all = false;
+            break;
+          }
+        }
+        if (!all) {
+          break;
+        }
+        ++common;
+      }
+      std::vector<std::string> names;
+      for (size_t m : members) {
+        names.push_back(cands[m].rule->name);
+      }
+      AddAdvisory("shared-prefix",
+                  "rules " + StrJoin(names, "/") + " share a " + std::to_string(common) +
+                      "-atom prefix [" + key +
+                      "]; the cost-based optimizer evaluates it once per round");
+    }
+  }
+
   const Program& program_;
   const AnalyzerOptions& options_;
   AnalyzerReport report_;
@@ -467,7 +632,9 @@ class Analyzer {
 }  // namespace
 
 std::string Diagnostic::ToString() const {
-  std::string out = severity == DiagnosticSeverity::kError ? "error[" : "warning[";
+  std::string out = severity == DiagnosticSeverity::kError     ? "error["
+                    : severity == DiagnosticSeverity::kWarning ? "warning["
+                                                               : "advisory[";
   out += code + "] " + program;
   if (!rule.empty()) {
     out += ":" + rule;
@@ -490,7 +657,19 @@ size_t AnalyzerReport::num_errors() const {
 }
 
 size_t AnalyzerReport::num_warnings() const {
-  return diagnostics.size() - num_errors();
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == DiagnosticSeverity::kWarning ? 1 : 0;
+  }
+  return n;
+}
+
+size_t AnalyzerReport::num_advisories() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    n += d.severity == DiagnosticSeverity::kAdvisory ? 1 : 0;
+  }
+  return n;
 }
 
 std::string AnalyzerReport::ToString() const {

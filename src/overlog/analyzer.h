@@ -16,9 +16,16 @@
 //   error   unstratifiable        negation/aggregation cycle with no @next deferral
 //   error*  no-producer           an event no rule, timer, fact, or extern source feeds
 //   warning unread-table          a relation that is written but never read
+//   advisory wants-index          a join probes a column set no declared key covers; the
+//                                 engine will build (and on churn rebuild) a secondary index
+//   advisory shared-prefix        two or more rules start with the same join prefix; the
+//                                 cost-based optimizer can evaluate it once and share it
 //
 // (* no-producer demotes to a warning when AnalyzerOptions::strict_events is false — the
 // engine runs it that way, since hosts may legitimately Enqueue events from C++.)
+//
+// Advisories never affect ok(); they are performance hints surfaced by olglint and consumed
+// by people, not machines.
 //
 // `extern` declarations are the escape hatch for relations owned outside the rule set: they
 // carry the expected schema, satisfy undeclared-table, and are exempt from the producer and
@@ -35,7 +42,7 @@
 
 namespace boom {
 
-enum class DiagnosticSeverity { kError, kWarning };
+enum class DiagnosticSeverity { kError, kWarning, kAdvisory };
 
 struct Diagnostic {
   DiagnosticSeverity severity = DiagnosticSeverity::kError;
@@ -63,6 +70,8 @@ struct AnalyzerOptions {
   bool strict_events = true;
   // Emit unread-table warnings (on by default).
   bool warn_unread = true;
+  // Emit performance advisories (wants-index, shared-prefix; on by default).
+  bool advisories = true;
 };
 
 struct AnalyzerReport {
@@ -71,7 +80,8 @@ struct AnalyzerReport {
   bool ok() const;  // true when no diagnostic is an error
   size_t num_errors() const;
   size_t num_warnings() const;
-  // All diagnostics, one per line, errors first.
+  size_t num_advisories() const;
+  // All diagnostics, one per line, errors first, then warnings, then advisories.
   std::string ToString() const;
 };
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <set>
+#include <sstream>
 
 #include "src/base/logging.h"
 #include "src/base/strings.h"
@@ -173,7 +175,12 @@ Status Engine::Recompile() {
       rule_programs.push_back(p.name);
     }
   }
-  Result<CompiledProgram> compiled = CompileRules(all_rules, rule_programs, catalog_);
+  PlannerOptions popts;
+  if (options_.enable_optimizer) {
+    popts.cost_based = true;
+    HarvestPlannerStats(&popts.stats);
+  }
+  Result<CompiledProgram> compiled = CompileRules(all_rules, rule_programs, catalog_, popts);
   if (!compiled.ok()) {
     return compiled.status();
   }
@@ -230,7 +237,148 @@ Status Engine::Recompile() {
       rule.parallel_safe = rule.parallel_safe && expr_is_pure(arg.expr);
     }
   }
+  if (options_.enable_optimizer) {
+    // Canonical shared-prefix variants probe tables too; resolve their pointers.
+    for (SharedPrefixGroup& group : compiled_.shared_prefixes) {
+      resolve_variant(group.canon);
+    }
+    // Automatic index selection: build every index the chosen plans will probe, so first
+    // probes inside a tick never pay a cold O(table) build.
+    for (const auto& [table_name, cols] : compiled_.warm_indexes) {
+      Table* table = catalog_.Find(table_name);
+      if (table != nullptr) {
+        table->WarmIndex(cols);
+      }
+    }
+    // Incremental index maintenance rides with the optimizer (it changes probe-result
+    // order, which the default byte-stable path must not). The drift snapshot caches Table
+    // pointers: PlanDrifted runs at every tick entry, and name lookups there would charge
+    // O(tables) map probes per tick to workloads the optimizer never helps. Tables declared
+    // after this snapshot (only perf_table's lazy declare) join it at the next recompile.
+    planned_rows_.clear();
+    for (const std::string& name : catalog_.TableNames()) {
+      Table* table = catalog_.Find(name);
+      table->set_incremental_index_maintenance(true);
+      planned_rows_.emplace_back(table, table->size());
+    }
+  }
   return Status::Ok();
+}
+
+void Engine::HarvestPlannerStats(std::unordered_map<std::string, TableStats>* stats) const {
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table& table = catalog_.Get(name);
+    TableStats ts;
+    ts.rows = table.size();
+    const size_t arity = table.def().arity();
+    ts.distinct.reserve(arity);
+    for (size_t col = 0; col < arity; ++col) {
+      ts.distinct.push_back(table.DistinctCount(col));
+    }
+    const uint64_t probes = table.probes();
+    ts.probe_hit_ratio =
+        probes == 0 ? 1.0
+                    : static_cast<double>(table.probe_hits()) / static_cast<double>(probes);
+    (*stats)[name] = std::move(ts);
+  }
+}
+
+bool Engine::PlanDrifted() const {
+  for (const auto& [table, planned] : planned_rows_) {
+    const uint64_t now_rows = table->size();
+    const uint64_t hi = std::max(planned, now_rows);
+    const uint64_t lo = std::min(planned, now_rows);
+    if (hi >= options_.replan_min_rows &&
+        static_cast<double>(lo) * options_.replan_drift_factor < static_cast<double>(hi)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Engine::ExplainPlan() const {
+  std::ostringstream os;
+  os << "plan: " << (compiled_.cost_based ? "cost-based" : "greedy") << ", "
+     << compiled_.rules.size() << " rule(s), " << compiled_.num_strata << " stratum(s)\n";
+  auto fmt_est = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+    return std::string(buf);
+  };
+  auto atom_str = [](const CompiledAtom& a) {
+    std::string s = a.negated ? "!" : "";
+    s += a.table;
+    s += "(probe:";
+    for (size_t i = 0; i < a.probe_cols.size(); ++i) {
+      if (i > 0) {
+        s += ',';
+      }
+      s += std::to_string(a.probe_cols[i]);
+    }
+    s += ')';
+    return s;
+  };
+  auto variant_str = [&](const CompiledVariant& v, const std::string& label) {
+    std::string s = "  " + label + ": ";
+    s += v.driver_table.empty() ? "<once>" : "scan " + v.driver_table;
+    for (const CompiledStep& step : v.steps) {
+      s += " -> ";
+      switch (step.kind) {
+        case BodyTerm::Kind::kAtom:
+          s += atom_str(step.atom);
+          if (step.est_rows >= 0) {
+            s += "~" + fmt_est(step.est_rows);
+          }
+          break;
+        case BodyTerm::Kind::kAssign:
+          s += "assign";
+          break;
+        case BodyTerm::Kind::kCondition:
+          s += "cond";
+          break;
+      }
+    }
+    if (v.est_cost >= 0) {
+      s += "  cost=" + fmt_est(v.est_cost);
+    }
+    if (v.shared_group >= 0) {
+      s += "  shared=#" + std::to_string(v.shared_group);
+    }
+    return s + "\n";
+  };
+  for (const CompiledRule& rule : compiled_.rules) {
+    os << rule.program << ":" << rule.name << " (stratum " << rule.stratum << ")\n";
+    os << variant_str(rule.full_variant, "full");
+    for (const CompiledVariant& v : rule.variants) {
+      os << variant_str(v, "delta[" + v.driver_table + "]");
+    }
+  }
+  if (!compiled_.warm_indexes.empty()) {
+    os << "warm indexes:\n";
+    for (const auto& [table, cols] : compiled_.warm_indexes) {
+      os << "  " << table << "(";
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (i > 0) {
+          os << ",";
+        }
+        os << cols[i];
+      }
+      os << ")\n";
+    }
+  }
+  if (!compiled_.shared_prefixes.empty()) {
+    os << "shared prefixes:\n";
+    for (size_t g = 0; g < compiled_.shared_prefixes.size(); ++g) {
+      const SharedPrefixGroup& group = compiled_.shared_prefixes[g];
+      os << "  #" << g << " stratum " << group.stratum << " driver " << group.driver_table
+         << " [" << group.key << "] members:";
+      for (const SharedPrefixMember& m : group.members) {
+        os << " " << compiled_.rules[m.rule_index].name;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
 }
 
 Status Engine::Enqueue(const std::string& table, Tuple tuple) {
@@ -307,6 +455,22 @@ Status Engine::PublishProfile() {
     def.key_columns = {0};
     BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
   }
+  if (catalog_.Find("perf_table") == nullptr) {
+    TableDef def;
+    def.name = "perf_table";
+    def.columns = {"Name", "Rows", "Probes", "IndexHits", "Rebuilds"};
+    def.key_columns = {0};
+    BOOM_RETURN_IF_ERROR(catalog_.Declare(def));
+  }
+  // Per-table runtime stats, in sorted table order (deterministic publication order).
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table& t = catalog_.Get(name);
+    BOOM_RETURN_IF_ERROR(
+        Enqueue("perf_table", Tuple{Value(name), Value(static_cast<int64_t>(t.size())),
+                                    Value(static_cast<int64_t>(t.probes())),
+                                    Value(static_cast<int64_t>(t.probe_hits())),
+                                    Value(static_cast<int64_t>(t.index_rebuilds()))}));
+  }
   for (const auto& [key, p] : rule_profiles_) {
     BOOM_RETURN_IF_ERROR(Enqueue(
         "perf_rule", Tuple{Value(p.program), Value(p.rule),
@@ -345,6 +509,16 @@ Engine::TickResult Engine::Tick(double now_ms) {
   TickResult result;
   evaluator_.ClearErrors();
   tick_new_.clear();
+
+  // Optimizer: deterministic re-plan at the tick boundary when observed cardinalities have
+  // drifted past the threshold. The decision reads only table state at tick entry — a pure
+  // function of the seeded execution so far — so chaos traces stay byte-identical per seed.
+  if (options_.enable_optimizer && !needs_seed_ && PlanDrifted()) {
+    Status replanned = Recompile();
+    if (replanned.ok()) {
+      ++stats_.replans;
+    }  // on failure the previous plan stays installed; nothing observable changes
+  }
 
   // Profiling bookkeeping (only touched when profiling is enabled; the disabled cost is one
   // predictable branch per eval site).
@@ -566,6 +740,12 @@ Engine::TickResult Engine::Tick(double now_ms) {
 
     // 4c. Semi-naive rounds over this stratum.
     std::unordered_map<std::string, size_t> cursor;  // per-table consumed prefix of tick_new_
+    // Common-subplan sharing (optimizer, serial engines only): per-round cache of canonical
+    // prefix bindings, keyed by shared-prefix group. Cleared every round — the driver delta
+    // snapshot it was computed from is per-round state.
+    const bool share_prefixes = options_.enable_optimizer && pool_ == nullptr &&
+                                !compiled_.shared_prefixes.empty();
+    std::unordered_map<int, std::vector<std::vector<Value>>> prefix_cache;
     size_t rounds = 0;
     while (true) {
       if (++rounds > options_.max_rounds_per_tick) {
@@ -586,6 +766,7 @@ Engine::TickResult Engine::Tick(double now_ms) {
         break;
       }
       ++result.rounds;
+      prefix_cache.clear();  // cached bindings are valid for one round's delta snapshot only
       // Dirty-rule worklist: only rules with a variant driven by a table that actually
       // received deltas this round, in delta_rules (program) order — the same order, and
       // the same evaluations, as the exhaustive scan, minus the rules that would have been
@@ -657,16 +838,43 @@ Engine::TickResult Engine::Tick(double now_ms) {
           }
         }
         if (batch_end - wi < 2) {
-          // Serial path: exactly the pre-parallelism per-rule code.
+          // Serial path: exactly the pre-parallelism per-rule code, plus (optimizer only)
+          // the shared-prefix fast path for variants in a common-subplan group.
+          const size_t rule_idx = sched.delta_rules[dirty_worklist[wi]];
           const CompiledRule* rule = &rule_at(wi);
           ProfClock::time_point t0;
           bool evaluated = false;
           if (profile_) {
             t0 = ProfClock::now();
           }
-          for (const CompiledVariant& variant : rule->variants) {
+          for (size_t vi = 0; vi < rule->variants.size(); ++vi) {
+            const CompiledVariant& variant = rule->variants[vi];
             auto it = deltas.find(variant.driver_table);
             if (it == deltas.end()) {
+              continue;
+            }
+            if (share_prefixes && variant.shared_group >= 0 &&
+                it->second.size() >= options_.shared_prefix_min_delta_rows) {
+              const SharedPrefixGroup& group =
+                  compiled_.shared_prefixes[static_cast<size_t>(variant.shared_group)];
+              const SharedPrefixMember* member = nullptr;
+              for (const SharedPrefixMember& m : group.members) {
+                if (m.rule_index == rule_idx && m.variant_index == vi) {
+                  member = &m;
+                  break;
+                }
+              }
+              BOOM_CHECK(member != nullptr) << "shared-prefix member lookup failed";
+              auto [cached, filled] = prefix_cache.try_emplace(variant.shared_group);
+              if (filled) {
+                evaluator_.EvalPrefix(group, it->second, &cached->second);
+                ++stats_.shared_prefix_evals;
+              } else {
+                ++stats_.shared_prefix_hits;
+              }
+              evaluator_.EvalFromPrefixBindings(*rule, variant, group.prefix_steps,
+                                                member->slot_map, cached->second, &derived);
+              evaluated = true;
               continue;
             }
             evaluator_.EvalFromRows(*rule, variant, it->second, &derived);

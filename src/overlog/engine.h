@@ -63,6 +63,26 @@ struct EngineOptions {
   // Ablation switch (benchmarks only): keep the pool configured but evaluate every rule on
   // the engine thread, serially.
   bool disable_parallel_fixpoint = false;
+  // Profile-guided cost-based optimizer (DESIGN.md §13). Off by default: the default path
+  // compiles the classic greedy most-bound-first plans and stays byte-identical to every
+  // pinned trace. When on: rule bodies are ordered by a cardinality cost model seeded from
+  // live table stats, chosen probe indexes are pre-warmed after each (re)compile, identical
+  // body prefixes across rules evaluate once per fixpoint round into a shared binding cache
+  // (serial fixpoint only), and tables maintain cached secondary indexes incrementally
+  // across replace/erase. Re-planning happens deterministically at tick boundaries when
+  // observed row counts drift (see replan_* below), so runs stay byte-identical per seed.
+  bool enable_optimizer = false;
+  // Re-plan at a tick boundary when some table's row count and the count recorded at plan
+  // time differ by more than replan_drift_factor (and the larger side has at least
+  // replan_min_rows rows — tiny tables re-order for free anyway and would thrash).
+  double replan_drift_factor = 4.0;
+  uint64_t replan_min_rows = 64;
+  // Shared-prefix evaluation materializes the canonical prefix bindings into a per-round
+  // cache; that only pays off when the driver delta is large enough to amortize the copy.
+  // Below this many driver rows, group members evaluate directly — the fixpoint is
+  // identical either way (enforced by the `optimizer` equivalence tests), and the decision
+  // reads only the round's delta snapshot, so it is deterministic per seed.
+  uint64_t shared_prefix_min_delta_rows = 8;
 };
 
 class Engine {
@@ -124,11 +144,20 @@ class Engine {
     // worker_threads == 1 or disable_parallel_fixpoint is set; tests use it to prove the
     // parallel path actually ran (a serial-vs-serial comparison proves nothing).
     uint64_t parallel_batches = 0;
+    // Cost-based optimizer (all 0 unless enable_optimizer):
+    uint64_t replans = 0;              // drift-triggered deterministic re-plans
+    uint64_t shared_prefix_evals = 0;  // canonical prefix evaluations (cache fills)
+    uint64_t shared_prefix_hits = 0;   // member evaluations served from the cache
   };
   const Stats& stats() const { return stats_; }
 
   // Rule/stratum introspection (used by tests and the monitoring layer).
   const CompiledProgram& compiled() const { return compiled_; }
+
+  // Human-readable dump of the current compiled plan: per-rule variant orderings (with cost
+  // estimates under the optimizer), chosen warm indexes, and shared-prefix groups. Backs
+  // `olgrun --explain`.
+  std::string ExplainPlan() const;
 
   // --- per-rule profiling ---
   //
@@ -204,6 +233,13 @@ class Engine {
   };
 
   Status Recompile();
+  // Optimizer support: snapshots per-table stats (rows, per-column distinct counts, probe
+  // hit ratios) for the planner's cost model. Deterministic per seed: derived only from
+  // table contents and monotone counters.
+  void HarvestPlannerStats(std::unordered_map<std::string, TableStats>* stats) const;
+  // Returns true when some table's row count has drifted past the re-plan threshold since
+  // the current plan was produced.
+  bool PlanDrifted() const;
   void RecordRuleEval(const CompiledRule& rule, uint64_t tuples, double wall_us,
                       std::map<std::string, uint64_t>& tick_tuples);
   void FireWatches(const std::string& table, const Tuple& tuple, bool inserted);
@@ -233,6 +269,12 @@ class Engine {
   // snapshot in Tick copies into an ordered map, so iteration order here never leaks into
   // evaluation order (determinism).
   std::unordered_map<std::string, std::vector<Tuple>> tick_new_;
+
+  // Optimizer: per-table row counts recorded when the current plan was produced; the
+  // re-plan drift check compares live counts against these at tick entry. Table pointers
+  // (stable for the catalog's lifetime) rather than names: the check runs every tick and
+  // must not pay per-table map lookups.
+  std::vector<std::pair<const Table*, uint64_t>> planned_rows_;
 
   double now_ms_ = 0;
   bool needs_seed_ = false;

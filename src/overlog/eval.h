@@ -47,6 +47,22 @@ class Evaluator {
   // rules the body is evaluated once.
   void EvalFull(const CompiledRule& rule, std::vector<Derivation>* out);
 
+  // Common-subplan sharing (cost-based optimizer, serial fixpoint only): evaluates the
+  // group's canonical prefix (driver + kAtom steps, canonical slot numbering) over the
+  // driver delta rows, appending one canonical binding vector per satisfied prefix binding.
+  // The bindings are copies, safe to cache across member evaluations within a round.
+  void EvalPrefix(const SharedPrefixGroup& group, const std::vector<Tuple>& driver_rows,
+                  std::vector<std::vector<Value>>* bindings);
+
+  // Continues a member variant from cached canonical bindings: loads each binding into the
+  // member rule's slots via `slot_map` (canonical slot -> member slot) and runs the
+  // remaining steps [prefix_steps..). Emissions are byte-identical to EvalFromRows over the
+  // same bindings.
+  void EvalFromPrefixBindings(const CompiledRule& rule, const CompiledVariant& variant,
+                              size_t prefix_steps, const std::vector<int>& slot_map,
+                              const std::vector<std::vector<Value>>& bindings,
+                              std::vector<Derivation>* out);
+
   // Recomputes an aggregate rule from scratch: one head tuple per group.
   void EvalAggregate(const CompiledRule& rule, std::vector<Tuple>* head_rows);
 

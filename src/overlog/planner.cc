@@ -13,8 +13,9 @@ namespace {
 // Working state for compiling a single rule.
 class RuleCompiler {
  public:
-  RuleCompiler(const Rule& rule, const std::string& program, const Catalog& catalog)
-      : rule_(rule), program_(program), catalog_(catalog) {}
+  RuleCompiler(const Rule& rule, const std::string& program, const Catalog& catalog,
+               const PlannerOptions& options)
+      : rule_(rule), program_(program), catalog_(catalog), options_(options) {}
 
   Result<CompiledRule> Run() {
     CompiledRule out;
@@ -70,8 +71,9 @@ class RuleCompiler {
     // Full ordering (seed evaluation and aggregate rules): drive from the first positive
     // atom's full table contents, or no driver at all when the body has none.
     {
-      Result<CompiledVariant> full =
-          OrderBody(out, positive_atoms.empty() ? -1 : static_cast<int>(positive_atoms[0]));
+      Result<CompiledVariant> full = PlanVariant(
+          out, positive_atoms.empty() ? -1 : static_cast<int>(positive_atoms[0]),
+          positive_atoms);
       if (!full.ok()) {
         return full.status();
       }
@@ -80,7 +82,8 @@ class RuleCompiler {
 
     if (!out.has_agg) {
       for (size_t atom_idx : positive_atoms) {
-        Result<CompiledVariant> variant = OrderBody(out, static_cast<int>(atom_idx));
+        Result<CompiledVariant> variant =
+            PlanVariant(out, static_cast<int>(atom_idx), positive_atoms);
         if (!variant.ok()) {
           return variant.status();
         }
@@ -254,10 +257,80 @@ class RuleCompiler {
     return true;
   }
 
-  Result<CompiledVariant> OrderBody(const CompiledRule& out, int driver_idx) const {
+  // Cost model: estimated rows matched when probing `ca` (rows scaled down by the distinct
+  // count of each probe column, then by the observed probe-hit ratio). All inputs come from
+  // PlannerOptions::stats; unknown tables estimate as a single row so const-bound atoms
+  // still order ahead of unconstrained scans via their probe columns.
+  double EstimatedMatches(const CompiledAtom& ca) const {
+    auto it = options_.stats.find(ca.table);
+    const TableStats* ts = it == options_.stats.end() ? nullptr : &it->second;
+    double est = ts != nullptr ? std::max<double>(1.0, static_cast<double>(ts->rows)) : 1.0;
+    if (ca.probe_cols.empty() && !ca.args.empty()) {
+      // No bound or constant column: the "probe" is a cross product with every row. Stats
+      // say nothing useful here — a table empty at plan time (every event table) can hold
+      // rows mid-tick — so penalize unconditionally; a connected order always costs less
+      // when one exists.
+      return std::max(est, kCrossProductPenalty);
+    }
+    for (size_t col : ca.probe_cols) {
+      uint64_t distinct =
+          (ts != nullptr && col < ts->distinct.size()) ? ts->distinct[col] : 1;
+      est /= static_cast<double>(std::max<uint64_t>(distinct, 1));
+    }
+    if (ts != nullptr && !ca.probe_cols.empty()) {
+      est *= ts->probe_hit_ratio;
+    }
+    return std::max(est, 1e-3);
+  }
+
+  static constexpr double kCrossProductPenalty = 1e4;
+
+  // Chooses the evaluation order for one variant. Under cost-based planning with >= 2
+  // non-driver positive atoms, enumerates every permutation of those atoms (up to 6; the
+  // cost-greedy fallback inside OrderBody handles wider bodies), costs each candidate as the
+  // sum of estimated intermediate binding counts, and keeps the strictly cheapest —
+  // permutations are generated in lexicographic order of body positions, so ties resolve to
+  // body order deterministically.
+  Result<CompiledVariant> PlanVariant(const CompiledRule& out, int driver_idx,
+                                      const std::vector<size_t>& positive_atoms) const {
+    std::vector<size_t> rest;
+    for (size_t idx : positive_atoms) {
+      if (static_cast<int>(idx) != driver_idx) {
+        rest.push_back(idx);
+      }
+    }
+    if (!options_.cost_based || rest.size() < 2 || rest.size() > 6) {
+      return OrderBody(out, driver_idx, nullptr);
+    }
+    std::sort(rest.begin(), rest.end());
+    bool have_best = false;
+    double best_cost = 0;
+    CompiledVariant best;
+    do {
+      Result<CompiledVariant> candidate = OrderBody(out, driver_idx, &rest);
+      if (!candidate.ok()) {
+        return candidate.status();
+      }
+      if (!have_best || candidate.value().est_cost < best_cost) {
+        have_best = true;
+        best_cost = candidate.value().est_cost;
+        best = std::move(candidate).value();
+      }
+    } while (std::next_permutation(rest.begin(), rest.end()));
+    return best;
+  }
+
+  // Orders one rule body. When `forced_positive` is non-null it dictates the relative order
+  // of non-driver positive atoms; otherwise step 2 picks greedily (most-bound-first by
+  // default, cheapest-estimated-matches under cost-based planning).
+  Result<CompiledVariant> OrderBody(const CompiledRule& out, int driver_idx,
+                                    const std::vector<size_t>* forced_positive) const {
     CompiledVariant variant;
     std::set<int> bound;
     std::vector<bool> used(rule_.body.size(), false);
+    double est_bindings = 1.0;  // per driver row for delta variants
+    double cost = 0;
+    size_t forced_cursor = 0;
 
     if (driver_idx >= 0) {
       const Atom& driver_atom = rule_.body[static_cast<size_t>(driver_idx)].atom;
@@ -326,27 +399,57 @@ class RuleCompiler {
         continue;
       }
 
-      // 2. Pick the positive atom with the most bound/const argument positions.
+      // 2. Pick the next positive atom: the forced enumeration order when planning
+      //    cost-based candidates, the cheapest estimated probe under cost-greedy fallback,
+      //    or the classic most-bound/const-count heuristic by default.
       int best = -1;
-      int best_score = -1;
-      for (size_t i = 0; i < rule_.body.size(); ++i) {
-        if (used[i]) {
-          continue;
+      if (forced_positive != nullptr) {
+        while (forced_cursor < forced_positive->size() &&
+               used[(*forced_positive)[forced_cursor]]) {
+          ++forced_cursor;
         }
-        const BodyTerm& t = rule_.body[i];
-        if (t.kind != BodyTerm::Kind::kAtom || t.atom.negated) {
-          continue;
+        if (forced_cursor < forced_positive->size()) {
+          best = static_cast<int>((*forced_positive)[forced_cursor++]);
         }
-        int score = 0;
-        for (const Expr& arg : t.atom.args) {
-          if (arg.is_const() ||
-              (arg.is_var() && bound.count(out.slot_of.at(arg.var)) > 0)) {
-            ++score;
+      } else if (options_.cost_based) {
+        double best_est = 0;
+        for (size_t i = 0; i < rule_.body.size(); ++i) {
+          if (used[i]) {
+            continue;
+          }
+          const BodyTerm& t = rule_.body[i];
+          if (t.kind != BodyTerm::Kind::kAtom || t.atom.negated) {
+            continue;
+          }
+          std::set<int> trial_bound = bound;
+          CompiledAtom trial = CompileAtom(t.atom, out, &trial_bound, /*is_probe=*/true);
+          double est = EstimatedMatches(trial);
+          if (best < 0 || est < best_est) {
+            best_est = est;
+            best = static_cast<int>(i);
           }
         }
-        if (score > best_score) {
-          best_score = score;
-          best = static_cast<int>(i);
+      } else {
+        int best_score = -1;
+        for (size_t i = 0; i < rule_.body.size(); ++i) {
+          if (used[i]) {
+            continue;
+          }
+          const BodyTerm& t = rule_.body[i];
+          if (t.kind != BodyTerm::Kind::kAtom || t.atom.negated) {
+            continue;
+          }
+          int score = 0;
+          for (const Expr& arg : t.atom.args) {
+            if (arg.is_const() ||
+                (arg.is_var() && bound.count(out.slot_of.at(arg.var)) > 0)) {
+              ++score;
+            }
+          }
+          if (score > best_score) {
+            best_score = score;
+            best = static_cast<int>(i);
+          }
         }
       }
       if (best < 0) {
@@ -356,6 +459,11 @@ class RuleCompiler {
       step.kind = BodyTerm::Kind::kAtom;
       step.atom = CompileAtom(rule_.body[static_cast<size_t>(best)].atom, out, &bound,
                               /*is_probe=*/true);
+      if (options_.cost_based) {
+        est_bindings *= EstimatedMatches(step.atom);
+        cost += est_bindings;
+        step.est_rows = est_bindings;
+      }
       variant.steps.push_back(std::move(step));
       used[static_cast<size_t>(best)] = true;
       --remaining;
@@ -369,12 +477,16 @@ class RuleCompiler {
       }
     }
     variant.bound_slots.assign(bound.begin(), bound.end());
+    if (options_.cost_based) {
+      variant.est_cost = cost;
+    }
     return variant;
   }
 
   const Rule& rule_;
   const std::string& program_;
   const Catalog& catalog_;
+  const PlannerOptions& options_;
 };
 
 // Iterative Tarjan SCC over table dependency graph.
@@ -458,15 +570,161 @@ class SccFinder {
   int next_component_ = 0;
 };
 
+// Serializes one atom with canonical slot numbering assigned in first-use order. Two
+// variants whose driver + leading atom runs serialize identically are structurally equal
+// modulo variable naming: same tables, same negation flags, same const positions, and the
+// same repeat/bind pattern — which also fixes every step's probe columns.
+std::string CanonAtomToken(const CompiledAtom& atom, std::unordered_map<int, int>* canon_of,
+                           int* next_canon) {
+  std::string tok = atom.negated ? "!" : "";
+  tok += atom.table;
+  tok += '(';
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) {
+      tok += ',';
+    }
+    const CompiledArg& arg = atom.args[i];
+    if (arg.is_const) {
+      tok += '=';
+      tok += arg.constant.ToString();
+    } else {
+      auto [it, added] = canon_of->emplace(arg.slot, *next_canon);
+      if (added) {
+        ++(*next_canon);
+      }
+      tok += 'v';
+      tok += std::to_string(it->second);
+    }
+  }
+  tok += ')';
+  return tok;
+}
+
+// Populates CompiledProgram::shared_prefixes: per stratum, delta variants grouped by the
+// canonical serialization of (driver, first probe atom), then widened to the longest token
+// run common to every group member. Iteration is stratum-ascending with string-sorted group
+// keys and program-ordered members, so group numbering is deterministic.
+void DetectSharedPrefixes(CompiledProgram* out) {
+  for (int s = 0; s < out->num_strata; ++s) {
+    const StratumSchedule& sched = out->schedule[static_cast<size_t>(s)];
+    struct Cand {
+      size_t rule;
+      size_t variant;
+      std::vector<std::string> tokens;
+    };
+    std::map<std::string, std::vector<Cand>> by_key;
+    for (size_t ri : sched.delta_rules) {
+      const CompiledRule& cr = out->rules[ri];
+      for (size_t vi = 0; vi < cr.variants.size(); ++vi) {
+        const CompiledVariant& v = cr.variants[vi];
+        std::unordered_map<int, int> canon;
+        int next = 0;
+        std::vector<std::string> toks;
+        toks.push_back(CanonAtomToken(v.driver, &canon, &next));
+        for (const CompiledStep& st : v.steps) {
+          if (st.kind != BodyTerm::Kind::kAtom) {
+            break;
+          }
+          toks.push_back(CanonAtomToken(st.atom, &canon, &next));
+        }
+        if (toks.size() < 2) {
+          continue;
+        }
+        by_key[toks[0] + "|" + toks[1]].push_back(Cand{ri, vi, std::move(toks)});
+      }
+    }
+    for (auto& [key, cands] : by_key) {
+      if (cands.size() < 2) {
+        continue;
+      }
+      size_t common = cands[0].tokens.size();
+      for (const Cand& c : cands) {
+        size_t m = 0;
+        while (m < common && m < c.tokens.size() && c.tokens[m] == cands[0].tokens[m]) {
+          ++m;
+        }
+        common = m;
+      }
+      SharedPrefixGroup g;
+      g.stratum = s;
+      g.prefix_steps = common - 1;  // >= 1: the 2-token key guarantees common >= 2
+      const CompiledVariant& first = out->rules[cands[0].rule].variants[cands[0].variant];
+      g.driver_table = first.driver_table;
+      std::unordered_map<int, int> canon;
+      int next = 0;
+      auto canonicalize = [&canon, &next](const CompiledAtom& a) {
+        CompiledAtom ca = a;
+        ca.table_ptr = nullptr;  // re-resolved by Engine::Recompile
+        for (CompiledArg& arg : ca.args) {
+          if (!arg.is_const) {
+            auto [it, added] = canon.emplace(arg.slot, next);
+            if (added) {
+              ++next;
+            }
+            arg.slot = it->second;
+          }
+        }
+        return ca;
+      };
+      g.canon.driver_table = first.driver_table;
+      g.canon.driver = canonicalize(first.driver);
+      for (size_t k = 0; k < g.prefix_steps; ++k) {
+        CompiledStep st;
+        st.kind = BodyTerm::Kind::kAtom;
+        st.atom = canonicalize(first.steps[k].atom);
+        g.canon.steps.push_back(std::move(st));
+      }
+      g.canon_num_slots = next;
+      for (size_t t = 0; t < common; ++t) {
+        if (t > 0) {
+          g.key += " & ";
+        }
+        g.key += cands[0].tokens[t];
+      }
+      for (const Cand& c : cands) {
+        SharedPrefixMember m;
+        m.rule_index = c.rule;
+        m.variant_index = c.variant;
+        m.slot_map.assign(static_cast<size_t>(g.canon_num_slots), -1);
+        std::unordered_map<int, int> member_canon;
+        int member_next = 0;
+        auto walk = [&m, &member_canon, &member_next](const CompiledAtom& a) {
+          for (const CompiledArg& arg : a.args) {
+            if (arg.is_const) {
+              continue;
+            }
+            auto [it, added] = member_canon.emplace(arg.slot, member_next);
+            if (added) {
+              m.slot_map[static_cast<size_t>(it->second)] = arg.slot;
+              ++member_next;
+            }
+          }
+        };
+        const CompiledVariant& mv = out->rules[c.rule].variants[c.variant];
+        walk(mv.driver);
+        for (size_t k = 0; k < g.prefix_steps; ++k) {
+          walk(mv.steps[k].atom);
+        }
+        out->rules[c.rule].variants[c.variant].shared_group =
+            static_cast<int>(out->shared_prefixes.size());
+        g.members.push_back(std::move(m));
+      }
+      out->shared_prefixes.push_back(std::move(g));
+    }
+  }
+}
+
 }  // namespace
 
 Result<CompiledProgram> CompileRules(const std::vector<Rule>& rules,
                                      const std::vector<std::string>& programs,
-                                     const Catalog& catalog) {
+                                     const Catalog& catalog,
+                                     const PlannerOptions& options) {
   CompiledProgram out;
+  out.cost_based = options.cost_based;
   for (size_t i = 0; i < rules.size(); ++i) {
     const std::string program = i < programs.size() ? programs[i] : "";
-    Result<CompiledRule> compiled = RuleCompiler(rules[i], program, catalog).Run();
+    Result<CompiledRule> compiled = RuleCompiler(rules[i], program, catalog, options).Run();
     if (!compiled.ok()) {
       return compiled.status();
     }
@@ -617,6 +875,28 @@ Result<CompiledProgram> CompileRules(const std::vector<Rule>& rules,
         driven.push_back(pos);
       }
     }
+  }
+
+  if (options.cost_based) {
+    // Automatic index selection: every (table, probe columns) pair any chosen plan will
+    // probe, sorted + deduped for the engine's post-recompile WarmIndex sweep.
+    std::set<std::pair<std::string, std::vector<size_t>>> warm;
+    auto collect = [&warm](const CompiledVariant& v) {
+      for (const CompiledStep& step : v.steps) {
+        if (step.kind == BodyTerm::Kind::kAtom && !step.atom.probe_cols.empty()) {
+          warm.emplace(step.atom.table, step.atom.probe_cols);
+        }
+      }
+    };
+    for (const CompiledRule& cr : out.rules) {
+      collect(cr.full_variant);
+      for (const CompiledVariant& v : cr.variants) {
+        collect(v);
+      }
+    }
+    out.warm_indexes.assign(warm.begin(), warm.end());
+
+    DetectSharedPrefixes(&out);
   }
   return out;
 }

@@ -23,6 +23,27 @@
 
 namespace boom {
 
+// Observed statistics for one table, harvested by the engine from live table state plus the
+// Table runtime counters. Everything here is derived deterministically from table contents
+// (set-based distinct counts, monotone counters), so re-planning from stats keeps chaos
+// traces byte-identical per seed.
+struct TableStats {
+  uint64_t rows = 0;
+  std::vector<uint64_t> distinct;  // per-column distinct counts (size = arity; may be empty)
+  double probe_hit_ratio = 1.0;    // probe_hits / probes observed so far
+};
+
+// Optional cost-based planning mode (DESIGN.md §13). Off by default: the default plan is
+// byte-identical to the greedy most-bound-first ordering this repo has always produced.
+struct PlannerOptions {
+  // When true: rule bodies are ordered by the cardinality/selectivity cost model (exhaustive
+  // permutation enumeration up to 6 positive atoms, cost-greedy beyond), warm_indexes and
+  // shared_prefixes are populated, and per-step cost estimates are recorded for
+  // `olgrun --explain`.
+  bool cost_based = false;
+  std::unordered_map<std::string, TableStats> stats;  // table name -> observed stats
+};
+
 // One argument position of a compiled atom.
 struct CompiledArg {
   bool is_const = false;
@@ -50,6 +71,8 @@ struct CompiledStep {
   int assign_slot = -1;    // kAssign
   Expr assign_expr;        // kAssign
   Expr condition;          // kCondition
+  // Cost-based planning only: estimated bindings alive after this step (-1 = not planned).
+  double est_rows = -1;
 };
 
 // One join ordering. driver_table names the delta relation this variant is driven by
@@ -59,6 +82,12 @@ struct CompiledVariant {
   CompiledAtom driver;              // meaningful when driver_table is nonempty
   std::vector<CompiledStep> steps;  // remaining terms, in evaluation order
   std::vector<int> bound_slots;     // slots guaranteed bound after all steps (sorted)
+  // Cost-based planning only: total estimated cost (sum of intermediate binding counts
+  // across positive-atom steps; -1 = planned greedily without a cost model).
+  double est_cost = -1;
+  // Index into CompiledProgram::shared_prefixes when this variant is a member of a
+  // common-subplan group (-1 otherwise). Filled only under cost-based planning.
+  int shared_group = -1;
 };
 
 struct CompiledHeadArg {
@@ -121,17 +150,52 @@ struct StratumSchedule {
   std::unordered_map<std::string, std::vector<size_t>> delta_rules_by_driver;
 };
 
+// Common-subplan sharing (cost-based planning only): several delta variants in one stratum,
+// driven by the same table, whose driver atom plus leading run of kAtom steps are
+// structurally identical modulo variable naming. The canonical prefix is evaluated once per
+// fixpoint round into a shared binding cache; each member then continues its remaining
+// steps from the cached bindings (serial evaluation path only — the parallel fixpoint
+// bypasses sharing). Mid-round inserts into prefix-probed tables that a later member would
+// have seen without sharing are recovered on the next round by that member's variant driven
+// by the mutated table, so the fixpoint is unchanged (DESIGN.md §13).
+struct SharedPrefixMember {
+  size_t rule_index = 0;      // into CompiledProgram::rules
+  size_t variant_index = 0;   // into rules[rule_index].variants
+  std::vector<int> slot_map;  // canonical slot -> member rule slot
+};
+
+struct SharedPrefixGroup {
+  std::string driver_table;
+  int stratum = 0;
+  size_t prefix_steps = 0;  // kAtom steps after the driver in the prefix (>= 1)
+  // Driver + prefix steps with canonical slot numbering (first-use order). All slots in
+  // [0, canon_num_slots) are bound after the prefix.
+  CompiledVariant canon;
+  int canon_num_slots = 0;
+  std::vector<SharedPrefixMember> members;  // >= 2, program order
+  std::string key;  // human-readable serialization (for --explain / olglint advisories)
+};
+
 struct CompiledProgram {
   std::vector<CompiledRule> rules;
   int num_strata = 1;
   std::vector<StratumSchedule> schedule;  // one entry per stratum
+  // Cost-based planning only (empty otherwise):
+  bool cost_based = false;
+  // Every (table, probe columns) pair the chosen plans will probe, sorted + deduped; the
+  // engine warms these via Table::WarmIndex right after a successful recompile so first
+  // probes inside a tick never pay a cold index build.
+  std::vector<std::pair<std::string, std::vector<size_t>>> warm_indexes;
+  std::vector<SharedPrefixGroup> shared_prefixes;
 };
 
 // Compiles `rules` (typically the union of all installed programs) against tables already
-// declared in `catalog`. All referenced tables must be declared.
+// declared in `catalog`. All referenced tables must be declared. `options` selects the
+// optional cost-based planning mode; the default produces the classic greedy plans.
 Result<CompiledProgram> CompileRules(const std::vector<Rule>& rules,
                                      const std::vector<std::string>& programs,
-                                     const Catalog& catalog);
+                                     const Catalog& catalog,
+                                     const PlannerOptions& options = PlannerOptions());
 
 }  // namespace boom
 

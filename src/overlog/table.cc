@@ -1,6 +1,8 @@
 #include "src/overlog/table.h"
 
+#include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
 #include "src/base/logging.h"
 
@@ -47,6 +49,16 @@ Table::InsertOutcome Table::Insert(Tuple tuple, double now_ms) {
   if (it->second == tuple) {
     return InsertOutcome::kUnchanged;
   }
+  if (incremental_maintenance_) {
+    // Remove the old payload from every cached index while it is still readable, assign in
+    // place (the node address is stable), then re-add under the new projections. No epoch
+    // bump: every surviving index stays fully caught up.
+    RemoveRowFromIndexes(&it->second);
+    it->second = std::move(tuple);
+    AddRowToIndexes(&it->second);
+    ++version_;
+    return InsertOutcome::kReplaced;
+  }
   it->second = std::move(tuple);
   ++version_;
   ++mutation_epoch_;  // cached index entries may point at the replaced payload
@@ -59,6 +71,12 @@ bool Table::Erase(const Tuple& tuple) {
   if (it == rows_.end() || it->second != tuple) {
     return false;
   }
+  if (incremental_maintenance_) {
+    RemoveRowFromIndexes(&it->second);
+    rows_.erase(it);
+    ++version_;
+    return true;
+  }
   rows_.erase(it);
   ++version_;
   ++mutation_epoch_;
@@ -67,13 +85,63 @@ bool Table::Erase(const Tuple& tuple) {
 }
 
 bool Table::EraseByKey(const Tuple& key) {
-  if (rows_.erase(key) > 0) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return false;
+  }
+  if (incremental_maintenance_) {
+    RemoveRowFromIndexes(&it->second);
+    rows_.erase(it);
     ++version_;
-    ++mutation_epoch_;
-    insert_log_.clear();
     return true;
   }
-  return false;
+  rows_.erase(it);
+  ++version_;
+  ++mutation_epoch_;
+  insert_log_.clear();
+  return true;
+}
+
+void Table::RemoveRowFromIndexes(const Tuple* row) {
+  for (auto idx_it = indexes_.begin(); idx_it != indexes_.end();) {
+    CachedIndex& cached = idx_it->second;
+    if (!cached.built || cached.epoch != mutation_epoch_) {
+      // Stale from a pre-optimizer full-invalidation (Clear/expiry/epoch bump): drop it;
+      // the next probe rebuilds from scratch anyway.
+      idx_it = indexes_.erase(idx_it);
+      continue;
+    }
+    // Fold pending plain inserts first so the bucket for `row` is present even when the row
+    // was inserted after this index last caught up.
+    for (; cached.log_pos < insert_log_.size(); ++cached.log_pos) {
+      const Tuple* logged = insert_log_[cached.log_pos];
+      cached.index[logged->Project(idx_it->first)].push_back(logged);
+    }
+    auto bucket_it = cached.index.find(row->Project(idx_it->first));
+    if (bucket_it != cached.index.end()) {
+      std::vector<const Tuple*>& bucket = bucket_it->second;
+      // std::find + erase keeps the surviving rows' relative order, which derivation order
+      // (and with it trace order) observes.
+      auto pos = std::find(bucket.begin(), bucket.end(), row);
+      if (pos != bucket.end()) {
+        bucket.erase(pos);
+      }
+      if (bucket.empty()) {
+        cached.index.erase(bucket_it);
+      }
+    }
+    ++idx_it;
+  }
+  insert_log_.clear();
+  for (auto& [cols, cached] : indexes_) {
+    cached.log_pos = 0;
+  }
+}
+
+void Table::AddRowToIndexes(const Tuple* row) {
+  for (auto& [cols, cached] : indexes_) {
+    cached.index[row->Project(cols)].push_back(row);
+  }
 }
 
 const Tuple* Table::LookupByKey(const Tuple& key) const {
@@ -100,6 +168,9 @@ const Index& Table::GetIndex(const std::vector<size_t>& cols) {
   if (!cached.built || cached.epoch != mutation_epoch_ ||
       (g_disable_index_catchup && cached.log_pos != insert_log_.size())) {
     // Full rebuild: a replacement or erase may have invalidated cached row pointers.
+    if (cached.built) {
+      index_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
     cached.index.clear();
     for (const auto& [key, row] : rows_) {
       cached.index[row.Project(cols)].push_back(&row);
@@ -120,21 +191,38 @@ const Index& Table::GetIndex(const std::vector<size_t>& cols) {
 const std::vector<const Tuple*>& Table::Probe(const std::vector<size_t>& cols,
                                               const Tuple& probe) {
   const Index& index = GetIndex(cols);
+  probes_.fetch_add(1, std::memory_order_relaxed);
   auto it = index.find(probe);
   if (it == index.end()) {
     return empty_result_;
   }
+  probe_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 const std::vector<const Tuple*>& Table::Probe(const std::vector<size_t>& cols,
                                               const TupleView& probe) {
   const Index& index = GetIndex(cols);
+  probes_.fetch_add(1, std::memory_order_relaxed);
   auto it = index.find(probe);
   if (it == index.end()) {
     return empty_result_;
   }
+  probe_hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
+}
+
+uint64_t Table::DistinctCount(size_t col) const {
+  if (col >= def_.arity()) {
+    return 0;
+  }
+  std::unordered_set<Tuple, TupleHash, TupleEq> values;
+  values.reserve(rows_.size());
+  const std::vector<size_t> cols{col};
+  for (const auto& [key, row] : rows_) {
+    values.insert(row.Project(cols));
+  }
+  return values.size();
 }
 
 void Table::AssertProbeFresh(uint64_t generation) const {

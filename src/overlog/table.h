@@ -10,6 +10,7 @@
 #ifndef SRC_OVERLOG_TABLE_H_
 #define SRC_OVERLOG_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -122,6 +123,30 @@ class Table {
   // scratch instead of catching up from the insert log.
   static void SetDisableIndexCatchupForBenchmarks(bool disable);
 
+  // --- optimizer support -------------------------------------------------------------
+
+  // Optimizer mode: maintain cached secondary indexes incrementally across replace/erase
+  // instead of bumping mutation_epoch_ (which forces a full O(table) rebuild on the next
+  // probe of every cached index). Post-mutation bucket order differs from the rebuild
+  // order, which is observable in derivation order, so this is only switched on together
+  // with the cost-based optimizer (EngineOptions::enable_optimizer) — never on the default
+  // byte-stable path. Clear() and ExpireOlderThan() keep full-rebuild semantics.
+  void set_incremental_index_maintenance(bool on) { incremental_maintenance_ = on; }
+  bool incremental_index_maintenance() const { return incremental_maintenance_; }
+
+  // Cost-model statistic: exact count of distinct values in column `col` by full scan.
+  // Order-independent (set-based), so the result is deterministic regardless of hash-map
+  // iteration order — required for byte-identical re-planning per seed.
+  uint64_t DistinctCount(size_t col) const;
+
+  // Runtime counters for perf_table / the metrics registry. Atomic (relaxed) because the
+  // parallel fixpoint probes warmed indexes from worker threads.
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  uint64_t probe_hits() const { return probe_hits_.load(std::memory_order_relaxed); }
+  uint64_t index_rebuilds() const {
+    return index_rebuilds_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct CachedIndex {
     bool built = false;
@@ -131,6 +156,15 @@ class Table {
   };
 
   const Index& GetIndex(const std::vector<size_t>& cols);
+
+  // Incremental-maintenance helper: brings every cached index fully up to date (folding the
+  // insert log; dropping stale-epoch entries), then removes `row` — identified by address —
+  // from each bucket keyed by its current projection. Leaves insert_log_ empty with every
+  // surviving index at log_pos 0. Callers must invoke this while `row` still holds its old
+  // payload, and must NOT bump mutation_epoch_ afterwards (no dangling pointers remain).
+  void RemoveRowFromIndexes(const Tuple* row);
+  // Appends `row` (already holding its new payload) to every cached index bucket.
+  void AddRowToIndexes(const Tuple* row);
 
   TableDef def_;
   std::vector<size_t> effective_key_;
@@ -145,6 +179,10 @@ class Table {
   std::vector<const Tuple*> insert_log_;
   uint64_t mutation_epoch_ = 0;
   std::vector<const Tuple*> empty_result_;
+  bool incremental_maintenance_ = false;
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> probe_hits_{0};
+  std::atomic<uint64_t> index_rebuilds_{0};
 };
 
 }  // namespace boom

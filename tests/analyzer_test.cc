@@ -51,7 +51,17 @@ TEST(AnalyzerTest, CleanProgramPasses) {
   )");
   AnalyzerReport report = AnalyzeProgram(p);
   EXPECT_TRUE(report.ok()) << report.ToString();
-  EXPECT_EQ(report.diagnostics.size(), 0u) << report.ToString();
+  EXPECT_EQ(report.num_errors(), 0u) << report.ToString();
+  EXPECT_EQ(report.num_warnings(), 0u) << report.ToString();
+  // The recursive join probes reach on its first column, which the (whole-row) key does
+  // not cover — the advisory tier points that out without failing anything.
+  ASSERT_EQ(report.diagnostics.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.diagnostics[0].code, "wants-index");
+  EXPECT_EQ(report.diagnostics[0].severity, DiagnosticSeverity::kAdvisory);
+
+  AnalyzerOptions quiet;
+  quiet.advisories = false;
+  EXPECT_EQ(AnalyzeProgram(p, quiet).diagnostics.size(), 0u);
 }
 
 // The parser already hard-errors on in-file duplicates and ProgramBuilder on cross-module
@@ -383,6 +393,62 @@ TEST(AnalyzerTest, ErrorsSortBeforeWarnings) {
   ASSERT_GE(report.diagnostics.size(), 2u);
   EXPECT_EQ(report.diagnostics.front().severity, DiagnosticSeverity::kError);
   EXPECT_EQ(report.diagnostics.back().severity, DiagnosticSeverity::kWarning);
+}
+
+TEST(AnalyzerTest, WantsIndexAdvisory) {
+  Program p = MustParse(R"(
+    program t;
+    table chunk(ChunkId, Node) keys(0);
+    event probe(Node);
+    table sink(ChunkId);
+    r1 sink(C) :- probe(N), chunk(C, N);
+    watch sink;
+  )");
+  AnalyzerOptions lax;
+  lax.strict_events = false;
+  AnalyzerReport report = AnalyzeProgram(p, lax);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  const Diagnostic* d = FindCode(report, "wants-index");
+  ASSERT_NE(d, nullptr) << report.ToString();
+  EXPECT_EQ(d->severity, DiagnosticSeverity::kAdvisory);
+  EXPECT_EQ(d->rule, "r1");
+  EXPECT_NE(d->message.find("chunk(_,N)"), std::string::npos) << d->message;
+  EXPECT_EQ(d->ToString().rfind("advisory[wants-index]", 0), 0u) << d->ToString();
+
+  // A key-shaped probe needs no secondary index: same join, keyed on the probed column.
+  Program keyed = MustParse(R"(
+    program t;
+    table chunk(ChunkId, Node) keys(1);
+    event probe(Node);
+    table sink(ChunkId);
+    r1 sink(C) :- probe(N), chunk(C, N);
+    watch sink;
+  )");
+  EXPECT_EQ(CountCode(AnalyzeProgram(keyed, lax), "wants-index"), 0u);
+}
+
+TEST(AnalyzerTest, SharedPrefixAdvisory) {
+  Program p = MustParse(R"(
+    program t;
+    table job(JobId, User) keys(0);
+    table task(JobId, TaskId) keys(0, 1);
+    table s1(User, TaskId);
+    table s2(TaskId);
+    j3 s1(U, T) :- job(J, U), task(J, T);
+    j7 s2(T) :- job(J, U), task(J, T), U != "root";
+    watch s1;
+    watch s2;
+  )");
+  AnalyzerReport report = AnalyzeProgram(p);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  const Diagnostic* d = FindCode(report, "shared-prefix");
+  ASSERT_NE(d, nullptr) << report.ToString();
+  EXPECT_EQ(d->severity, DiagnosticSeverity::kAdvisory);
+  EXPECT_NE(d->message.find("rules j3/j7 share a 2-atom prefix"), std::string::npos)
+      << d->message;
+  // Advisories are excluded from the warning count and sort after warnings.
+  EXPECT_EQ(report.num_warnings(), 0u);
+  EXPECT_EQ(report.num_advisories(), report.diagnostics.size());
 }
 
 TEST(AnalyzerTest, AllProblemsReportedAtOnce) {

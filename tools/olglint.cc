@@ -47,6 +47,7 @@ void Usage() {
 struct LintTally {
   size_t errors = 0;
   size_t warnings = 0;
+  size_t advisories = 0;
 };
 
 void PrintReport(const std::string& label, const AnalyzerReport& report,
@@ -56,8 +57,9 @@ void PrintReport(const std::string& label, const AnalyzerReport& report,
   }
   tally->errors += report.num_errors();
   tally->warnings += report.num_warnings();
-  std::printf("%-12s %zu error(s), %zu warning(s)\n", label.c_str(),
-              report.num_errors(), report.num_warnings());
+  tally->advisories += report.num_advisories();
+  std::printf("%-12s %zu error(s), %zu warning(s), %zu advisory(s)\n", label.c_str(),
+              report.num_errors(), report.num_warnings(), report.num_advisories());
 }
 
 // Installs a family's program stack on a scratch engine (verifying extern schemas against
@@ -279,7 +281,8 @@ int Run(int argc, char** argv) {
   if (rc == 0 && !paths.empty()) {
     rc = LintFiles(paths, &tally);
   }
-  std::printf("olglint: %zu error(s), %zu warning(s)\n", tally.errors, tally.warnings);
+  std::printf("olglint: %zu error(s), %zu warning(s), %zu advisory(s)\n", tally.errors,
+              tally.warnings, tally.advisories);
   return rc;
 }
 

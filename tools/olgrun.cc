@@ -33,6 +33,10 @@ void Usage() {
                "  --profile    per-rule profile: evals, tuples, wall time per rule\n"
                "  --threads N  parallel fixpoint worker threads (default 1 = serial);\n"
                "               results are bit-identical at any thread count\n"
+               "  --optimize   enable the cost-based optimizer (join reordering, index\n"
+               "               warming, shared prefixes, tick-boundary re-planning)\n"
+               "  --explain    print the compiled plan (join orders, cost estimates,\n"
+               "               warm indexes, shared prefixes) after install and at exit\n"
                "  --check      analyze only (strict): print diagnostics, do not run\n");
 }
 
@@ -72,6 +76,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool profile = false;
   bool check_only = false;
+  bool optimize = false;
+  bool explain = false;
   size_t threads = 1;
   std::vector<std::string> dump_tables;
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +92,10 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--optimize") {
+      optimize = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--check") {
       check_only = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -129,9 +139,9 @@ int main(int argc, char** argv) {
     if (!report.diagnostics.empty()) {
       std::fprintf(stderr, "%s", report.ToString().c_str());
     }
-    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s)\n",
+    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s), %zu advisory(s)\n",
                  built.ok() ? built->name.c_str() : "olgrun",
-                 report.num_errors(), report.num_warnings());
+                 report.num_errors(), report.num_warnings(), report.num_advisories());
     return report.num_errors() == 0 ? 0 : 1;
   }
   if (!built.ok()) {
@@ -145,11 +155,15 @@ int main(int argc, char** argv) {
   boom::EngineOptions options;
   options.address = "olgrun";
   options.worker_threads = threads;
+  options.enable_optimizer = optimize;
   boom::Engine engine(options);
   boom::Status status = engine.Install(*built);
   if (!status.ok()) {
     std::fprintf(stderr, "install failed: %s\n", status.ToString().c_str());
     return 1;
+  }
+  if (explain) {
+    std::printf("%s", engine.ExplainPlan().c_str());
   }
   if (trace) {
     // Monitoring-as-metaprogramming: rewrite the loaded program into a companion that
@@ -220,6 +234,12 @@ int main(int argc, char** argv) {
   }
   if (profile) {
     PrintRuleProfile(engine);
+  }
+  if (explain && optimize && engine.stats().replans > 0) {
+    // Re-planning may have changed join orders since install; show the final plan too.
+    std::printf("-- plan after %llu re-plan(s) --\n",
+                static_cast<unsigned long long>(engine.stats().replans));
+    std::printf("%s", engine.ExplainPlan().c_str());
   }
   std::printf("-- %zu derivations, virtual time %.0f ms --\n", total_derivations, now);
   return 0;
